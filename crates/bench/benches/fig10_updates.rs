@@ -1,0 +1,87 @@
+//! Fig. 10 — change operations: persistent FDM updates (structural
+//! sharing) vs the copy-the-world strawman, plus the in-place mutable
+//! baseline, at several relation sizes. This is also the DESIGN.md
+//! ablation for the persistent-AVL storage substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_fql::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fdm_db(n: usize) -> DatabaseF {
+    let mut rel = RelationF::new("accounts", &["id"]);
+    for i in 0..n as i64 {
+        rel = rel
+            .insert(Value::Int(i), TupleF::builder("a").attr("balance", 100i64).build())
+            .unwrap();
+    }
+    DatabaseF::new("bank").with_relation(rel)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_updates");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for n in [1_000usize, 10_000, 100_000] {
+        let db = fdm_db(n);
+
+        // persistent update: O(log n) structural sharing
+        g.bench_with_input(BenchmarkId::new("fdm_persistent_update", n), &n, |b, &n| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 7) % n as i64;
+                black_box(
+                    db_update_attr(&db, "accounts", &Value::Int(i), "balance", i).unwrap(),
+                )
+            })
+        });
+
+        // insert + delete round trip
+        g.bench_with_input(BenchmarkId::new("fdm_insert_delete", n), &n, |b, &n| {
+            b.iter(|| {
+                let db2 = db_upsert(
+                    &db,
+                    "accounts",
+                    Value::Int(n as i64 + 1),
+                    TupleF::builder("a").attr("balance", 0i64).build(),
+                )
+                .unwrap();
+                black_box(db_delete(&db2, "accounts", &Value::Int(n as i64 + 1)).unwrap())
+            })
+        });
+
+        // copy-the-world: what immutability costs WITHOUT structural
+        // sharing (the ablation's strawman)
+        if n <= 10_000 {
+            g.bench_with_input(BenchmarkId::new("copy_the_world_update", n), &n, |b, &n| {
+                let mut i = 0i64;
+                b.iter(|| {
+                    i = (i + 7) % n as i64;
+                    let copied = deep_copy(&db).unwrap();
+                    black_box(
+                        db_update_attr(&copied, "accounts", &Value::Int(i), "balance", i)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+
+        // in-place mutable baseline: a plain Vec of rows
+        g.bench_with_input(BenchmarkId::new("mutable_vec_update", n), &n, |b, &n| {
+            let mut rows: Vec<(i64, i64)> = (0..n as i64).map(|i| (i, 100)).collect();
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 7) % n as i64;
+                rows[i as usize].1 = i;
+                black_box(rows[i as usize].1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Fig. 11 — transactional transfers: explicit begin/commit vs
+//! per-statement autocommit, snapshot cost, and commit under a
+//! conflicting history.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_txn::Store;
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::Arc;
+
+fn store_with(n: usize) -> Arc<Store> {
+    let mut rel = RelationF::new("accounts", &["id"]);
+    for i in 0..n as i64 {
+        rel = rel
+            .insert(Value::Int(i), TupleF::builder("a").attr("balance", 1_000i64).build())
+            .unwrap();
+    }
+    Store::new(DatabaseF::new("bank").with_relation(rel))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_transactions");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for n in [1_000usize, 10_000] {
+        let store = store_with(n);
+
+        g.bench_with_input(BenchmarkId::new("begin_snapshot", n), &n, |b, _| {
+            b.iter(|| black_box(store.begin().base_version()))
+        });
+
+        g.bench_with_input(BenchmarkId::new("transfer_txn", n), &n, |b, &n| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 13) % (n as i64 - 1);
+                let mut txn = store.begin();
+                txn.modify_attr("accounts", &Value::Int(i), "balance", |v| {
+                    v.sub(&Value::Int(1))
+                })
+                .unwrap();
+                txn.modify_attr("accounts", &Value::Int(i + 1), "balance", |v| {
+                    v.add(&Value::Int(1))
+                })
+                .unwrap();
+                black_box(txn.commit().unwrap())
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("autocommit_two_statements", n), &n, |b, &n| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 13) % (n as i64 - 1);
+                store
+                    .autocommit(3, |txn| {
+                        txn.modify_attr("accounts", &Value::Int(i), "balance", |v| {
+                            v.sub(&Value::Int(1))
+                        })
+                    })
+                    .unwrap();
+                store
+                    .autocommit(3, |txn| {
+                        txn.modify_attr("accounts", &Value::Int(i + 1), "balance", |v| {
+                            v.add(&Value::Int(1))
+                        })
+                    })
+                    .unwrap();
+                black_box(store.version())
+            })
+        });
+
+        // commit validation with a non-trivial concurrent history: the
+        // transaction must scan the commit log since its snapshot
+        g.bench_with_input(BenchmarkId::new("commit_after_history", n), &n, |b, &n| {
+            let mut i = 0i64;
+            b.iter(|| {
+                let mut txn = store.begin();
+                // 16 disjoint commits land after our snapshot
+                for k in 0..16i64 {
+                    store
+                        .upsert_one(
+                            "accounts",
+                            Value::Int((n as i64 / 2 + k) % n as i64),
+                            TupleF::builder("a").attr("balance", k).build(),
+                        )
+                        .unwrap();
+                }
+                i = (i + 1) % (n as i64 / 4);
+                txn.update_attr("accounts", &Value::Int(i), "balance", 5i64)
+                    .unwrap();
+                black_box(txn.commit().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

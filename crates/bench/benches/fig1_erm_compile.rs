@@ -1,0 +1,38 @@
+//! Fig. 1 — compiling the same ER schema to FDM vs to the relational
+//! model, and running the same point query against both compilations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdm_bench::{both, standard_config};
+use fdm_core::Value;
+use fdm_relational::{col_eq, select, Cell};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_erm_compile");
+    g.sample_size(30);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let schema = fdm_erm::retail_schema();
+    g.bench_function("compile_to_fdm", |b| {
+        b.iter(|| black_box(fdm_erm::compile_to_fdm(black_box(&schema))))
+    });
+    g.bench_function("compile_to_relational", |b| {
+        b.iter(|| black_box(fdm_erm::compile_to_relational(black_box(&schema))))
+    });
+
+    // the same point query on both compiled-and-loaded targets
+    let e = both(&standard_config(5_000));
+    let customers_fdm = e.fdm.relation("customers").unwrap();
+    g.bench_function("point_lookup_fdm", |b| {
+        b.iter(|| black_box(customers_fdm.lookup(black_box(&Value::Int(500)))))
+    });
+    g.bench_function("point_lookup_relational_scan", |b| {
+        b.iter(|| black_box(select(&e.rel.customers, col_eq("cid", Cell::Int(500)))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

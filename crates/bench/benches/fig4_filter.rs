@@ -1,0 +1,67 @@
+//! Fig. 4a — the six filter costumes vs the relational baseline: same
+//! query, costume overhead measured. Expectation (recorded in
+//! EXPERIMENTS.md): all FDM costumes within a small constant factor of
+//! each other; the parsed textual costume pays parse+bind once per query,
+//! which amortizes away.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_bench::{both, standard_config};
+use fdm_core::Value;
+use fdm_expr::{parse, Params, GT};
+use fdm_fql::prelude::*;
+use fdm_relational::{select, Cell};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_filter");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for orders in [1_000usize, 10_000] {
+        let e = both(&standard_config(orders));
+        let customers = e.fdm.relation("customers").unwrap();
+        let n = customers.len();
+
+        g.bench_with_input(BenchmarkId::new("costume1_closure", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42)).unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("costume3_kwargs", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(filter_kwargs(&customers, &[("age__gt", Value::Int(42))]).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("costume4_attr_op", n), &n, |b, _| {
+            b.iter(|| black_box(filter_attr(&customers, "age", GT, 42).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("costume5_textual", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    filter_expr(&customers, "age>$foo", Params::new().set("foo", 42)).unwrap(),
+                )
+            })
+        });
+        let bound = Params::new().set("foo", 42).bind(&parse("age>$foo").unwrap()).unwrap();
+        g.bench_with_input(BenchmarkId::new("costume6_prebound", n), &n, |b, _| {
+            b.iter(|| black_box(filter_bound(&customers, &bound).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("relational_select", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(select(&e.rel.customers, |s, r| {
+                    let i = s.index_of("age")?;
+                    r[i].sql_cmp(&Cell::Int(42))
+                        .map(|o| o == std::cmp::Ordering::Greater)
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

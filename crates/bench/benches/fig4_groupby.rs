@@ -1,0 +1,54 @@
+//! Fig. 4b/c — unrolled (group; aggregate; filter) vs fused
+//! (group_and_aggregate) vs the relational GROUP BY.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_bench::{both, standard_config};
+use fdm_expr::GT;
+use fdm_fql::prelude::*;
+use fdm_fql::{aggregate, group};
+use fdm_relational::{group_by, Agg};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_groupby");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for orders in [1_000usize, 10_000] {
+        let e = both(&standard_config(orders));
+        let customers = e.fdm.relation("customers").unwrap();
+        let n = customers.len();
+
+        g.bench_with_input(BenchmarkId::new("fdm_unrolled", n), &n, |b, _| {
+            b.iter(|| {
+                let groups = group(&customers, &["age"]).unwrap();
+                let aggs = aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
+                black_box(filter_attr(&aggs, "count", GT, 9).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fdm_fused", n), &n, |b, _| {
+            b.iter(|| {
+                let aggs =
+                    group_and_aggregate(&customers, &["age"], &[("count", AggSpec::Count)])
+                        .unwrap();
+                black_box(filter_attr(&aggs, "count", GT, 9).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fdm_groups_as_database", n), &n, |b, _| {
+            b.iter(|| {
+                // the paper's DB-of-relation-functions costume
+                let groups = group(&customers, &["age"]).unwrap();
+                black_box(groups.to_database())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("relational_group_by", n), &n, |b, _| {
+            b.iter(|| black_box(group_by(&e.rel.customers, &["age"], &[Agg::CountStar])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

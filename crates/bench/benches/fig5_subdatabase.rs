@@ -1,0 +1,44 @@
+//! Fig. 5 — subdatabase (reduce_DB) vs the denormalized join, swept over
+//! N:M fan-out. The paper's claim: the subdatabase result avoids the
+//! multiplicative blow-up of the single-table join; expect the reduce
+//! path to win increasingly with fan-out (crossover recorded in
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_bench::{both, fanout_config};
+use fdm_fql::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_subdatabase");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for fanout in [1usize, 4, 16] {
+        let e = both(&fanout_config(500, fanout));
+        g.bench_with_input(
+            BenchmarkId::new("denormalized_join", fanout),
+            &fanout,
+            |b, _| b.iter(|| black_box(join(&e.fdm).unwrap())),
+        );
+        g.bench_with_input(BenchmarkId::new("reduce_db", fanout), &fanout, |b, _| {
+            b.iter(|| black_box(reduce_db(&e.fdm).unwrap()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("subdatabase_then_reduce", fanout),
+            &fanout,
+            |b, _| {
+                b.iter(|| {
+                    let sub = subdatabase(&e.fdm, &["customers", "products", "order"]);
+                    black_box(reduce_db(&sub).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Fig. 6 — the n-ary schema-driven FDM join vs the relational chain of
+//! binary hash joins, plus the plan-optimizer ablation (declared order vs
+//! pushdown).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_bench::{both, standard_config};
+use fdm_expr::Params;
+use fdm_fql::prelude::*;
+use fdm_fql::Query;
+use fdm_relational::hash_join;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_join");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for orders in [1_000usize, 5_000] {
+        let e = both(&standard_config(orders));
+        let n = e.data.orders.len();
+        g.bench_with_input(BenchmarkId::new("fdm_schema_join", n), &n, |b, _| {
+            b.iter(|| black_box(join(&e.fdm).unwrap()))
+        });
+        // explicit-conditions costume
+        let order_rel = e.fdm.relationship("order").unwrap().to_relation().renamed("orders_rel");
+        let db2 = e.fdm.with_relation(order_rel);
+        g.bench_with_input(BenchmarkId::new("fdm_join_on", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    join_on(
+                        &db2,
+                        &[
+                            JoinOn::new("customers", "cid", "orders_rel", "cid"),
+                            JoinOn::new("orders_rel", "pid", "products", "pid"),
+                        ],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("relational_binary_joins", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(hash_join(
+                    &hash_join(&e.rel.orders, &e.rel.customers, "cid", "cid"),
+                    &e.rel.products,
+                    "pid",
+                    "pid",
+                ))
+            })
+        });
+
+        // ablation: pushdown vs declared order on a selective filter
+        let q = Query::scan("orders_rel")
+            .join("customers", "cid", "cid")
+            .filter("date > $d", Params::new().set("d", "2026-11"))
+            .unwrap();
+        let declared = q.clone();
+        let optimized = q.optimize();
+        g.bench_with_input(BenchmarkId::new("plan_declared_order", n), &n, |b, _| {
+            b.iter(|| black_box(declared.eval(&db2).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("plan_optimized_pushdown", n), &n, |b, _| {
+            b.iter(|| black_box(optimized.eval(&db2).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

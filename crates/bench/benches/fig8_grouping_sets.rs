@@ -1,0 +1,84 @@
+//! Fig. 8 — grouping sets: FDM's separate relation functions vs SQL's
+//! single NULL-filled output (plus rollup and cube variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_bench::{both, standard_config};
+use fdm_fql::prelude::*;
+use fdm_fql::{cube as fdm_cube, rollup as fdm_rollup};
+use fdm_relational::{cube as rel_cube, grouping_sets as rel_gsets, rollup as rel_rollup, Agg, GroupingSet};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_grouping_sets");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for orders in [1_000usize, 10_000] {
+        let e = both(&standard_config(orders));
+        let customers = e.fdm.relation("customers").unwrap();
+        let n = customers.len();
+
+        g.bench_with_input(BenchmarkId::new("fdm_grouping_sets", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    grouping_sets(
+                        &customers,
+                        &[
+                            GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
+                            GroupingSpec::new(
+                                "state_age_cc",
+                                &["state", "age"],
+                                &[("count", AggSpec::Count)],
+                            ),
+                            GroupingSpec::new(
+                                "global_min",
+                                &[],
+                                &[("min", AggSpec::Min("age".into()))],
+                            ),
+                        ],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sql_grouping_sets", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(rel_gsets(
+                    &e.rel.customers,
+                    &[
+                        GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+                        GroupingSet {
+                            by: vec!["state".into(), "age".into()],
+                            aggs: vec![Agg::CountStar],
+                        },
+                        GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+                    ],
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fdm_rollup", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fdm_rollup(&customers, &["state", "age"], &[("c", AggSpec::Count)]).unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sql_rollup", n), &n, |b, _| {
+            b.iter(|| black_box(rel_rollup(&e.rel.customers, &["state", "age"], &[Agg::CountStar])))
+        });
+        g.bench_with_input(BenchmarkId::new("fdm_cube", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(fdm_cube(&customers, &["state", "age"], &[("c", AggSpec::Count)]).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sql_cube", n), &n, |b, _| {
+            b.iter(|| black_box(rel_cube(&e.rel.customers, &["state", "age"], &[Agg::CountStar])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Fig. 9 — set operations on whole databases vs the per-relation loop
+//! an application writes against the relational engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_bench::{both, standard_config};
+use fdm_core::{TupleF, Value};
+use fdm_fql::prelude::*;
+use fdm_relational::{except, union as rel_union};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_db_setops");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    for orders in [1_000usize, 5_000] {
+        let e = both(&standard_config(orders));
+        let n = e.fdm.total_tuples();
+
+        // a changed copy: 50 extra customers
+        let mut changed = deep_copy(&e.fdm).unwrap();
+        for i in 0..50i64 {
+            changed = db_upsert(
+                &changed,
+                "customers",
+                Value::Int(1_000_000 + i),
+                TupleF::builder("c")
+                    .attr("name", format!("new{i}"))
+                    .attr("age", 20 + i)
+                    .attr("state", "NV")
+                    .build(),
+            )
+            .unwrap();
+        }
+        let mut rel_changed = e.rel.clone();
+        for i in 0..50i64 {
+            rel_changed.customers.push(vec![
+                fdm_relational::Cell::Int(1_000_000 + i),
+                fdm_relational::Cell::str(format!("new{i}")),
+                fdm_relational::Cell::Int(20 + i),
+                fdm_relational::Cell::str("NV"),
+            ]);
+        }
+
+        g.bench_with_input(BenchmarkId::new("fdm_deep_copy", n), &n, |b, _| {
+            b.iter(|| black_box(deep_copy(&e.fdm).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("fdm_difference_db", n), &n, |b, _| {
+            b.iter(|| black_box(difference(&e.fdm, &changed).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("fdm_union_db", n), &n, |b, _| {
+            b.iter(|| black_box(union(&e.fdm, &changed).unwrap()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("relational_per_relation_loop", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    // what the application must write by hand: one set op
+                    // per table, in both directions, plus the union
+                    let added_c = except(&rel_changed.customers, &e.rel.customers);
+                    let removed_c = except(&e.rel.customers, &rel_changed.customers);
+                    let added_p = except(&rel_changed.products, &e.rel.products);
+                    let removed_p = except(&e.rel.products, &rel_changed.products);
+                    let added_o = except(&rel_changed.orders, &e.rel.orders);
+                    let removed_o = except(&e.rel.orders, &rel_changed.orders);
+                    let u = rel_union(&e.rel.customers, &rel_changed.customers);
+                    black_box((added_c, removed_c, added_p, removed_p, added_o, removed_o, u))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

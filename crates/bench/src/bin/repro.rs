@@ -1,0 +1,37 @@
+//! Regenerates every EXPERIMENTS.md series in one run:
+//!
+//! ```text
+//! cargo run -p fdm-bench --bin repro --release            # full size
+//! cargo run -p fdm-bench --bin repro --release -- --quick # CI size
+//! ```
+
+use fdm_bench::report;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (orders, customers, sizes, threads): (usize, usize, Vec<usize>, Vec<usize>) = if quick {
+        (2_000, 500, vec![1_000, 10_000], vec![1, 4])
+    } else {
+        (10_000, 2_000, vec![1_000, 10_000, 100_000], vec![1, 2, 4, 8])
+    };
+    let fanouts: Vec<usize> = if quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16, 32] };
+
+    println!("# FDM/FQL reproduction report");
+    println!(
+        "\nmode: {} (orders = {orders}, fan-out sweep customers = {customers})",
+        if quick { "quick" } else { "full" }
+    );
+
+    report::fig1();
+    report::fig4_filter(orders);
+    report::fig4_groupby(orders);
+    report::fig5_fig6(customers, &fanouts);
+    report::fig6_ablation(orders);
+    report::fig7(customers, &fanouts);
+    report::fig8(orders);
+    report::fig9(orders);
+    report::fig10(&sizes);
+    report::fig11(64, &threads);
+
+    println!("\ndone.");
+}

@@ -1,0 +1,60 @@
+//! # fdm-bench — the reproduction's measurement harness
+//!
+//! One Criterion bench per paper figure (see `benches/`), all running the
+//! FDM/FQL engine and the from-scratch relational baseline on identical
+//! generated data, plus the [`report`] helpers used by the `repro` binary
+//! to print the EXPERIMENTS.md series (result footprints, NULL counts,
+//! crossover sweeps).
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+use fdm_workload::{generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational};
+
+/// The standard benchmark dataset sizes, smallest to largest.
+pub const SCALES: [usize; 3] = [1_000, 5_000, 20_000];
+
+/// Builds the standard retail workload at a given number of orders
+/// (customers = orders / 5, products = orders / 25, mild skew).
+pub fn standard_config(orders: usize) -> RetailConfig {
+    RetailConfig {
+        customers: (orders / 5).max(10),
+        products: (orders / 25).max(5),
+        orders,
+        product_skew: 1.0,
+        inactive_customers: 0.2,
+        seed: 0xFD17,
+    }
+}
+
+/// A fan-out-controlled config: `fanout` orders per active customer on
+/// average (the Fig. 5/6 sweep parameter).
+pub fn fanout_config(customers: usize, fanout: usize) -> RetailConfig {
+    RetailConfig {
+        customers,
+        products: (customers / 4).max(5),
+        orders: customers * fanout * 4 / 5, // active customers = 80%
+        product_skew: 1.0,
+        inactive_customers: 0.2,
+        seed: 0xFA0,
+    }
+}
+
+/// Generated data in both engine forms.
+pub struct BothEngines {
+    /// The raw rows.
+    pub data: RetailData,
+    /// FDM database function.
+    pub fdm: fdm_core::DatabaseF,
+    /// Relational tables.
+    pub rel: RetailRelational,
+}
+
+/// Generates a config in both forms.
+pub fn both(cfg: &RetailConfig) -> BothEngines {
+    let data = generate(cfg);
+    let fdm = to_fdm(&data);
+    let rel = to_relational(&data);
+    BothEngines { data, fdm, rel }
+}

@@ -1,0 +1,473 @@
+//! The `repro` report: per-figure measured series, printed as text
+//! tables. `cargo run -p fdm-bench --bin repro --release` regenerates
+//! everything EXPERIMENTS.md records.
+//!
+//! The paper is a vision paper and reports no absolute numbers; what each
+//! figure *claims* is a shape (separate streams avoid duplication and
+//! NULLs; updates are as expressive as reads; costumes are skins over one
+//! semantics). Each function here measures that shape.
+
+use crate::{both, fanout_config, standard_config};
+use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_expr::Params;
+use fdm_fql::prelude::*;
+use fdm_fql::Query;
+use fdm_relational::{
+    cube as rel_cube, group_by, grouping_sets as rel_gsets, outer_join, select, Agg,
+    Cell, GroupingSet, OuterSide,
+};
+use fdm_txn::Store;
+use std::time::Instant;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Prints one table header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n## {title}");
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Fig. 1: schema compilation — same ER schema to both targets.
+pub fn fig1() {
+    header("Fig. 1 — one ER schema, two targets", &["target", "artifacts", "fk mechanism"]);
+    let schema = fdm_erm::retail_schema();
+    let fdm = fdm_erm::compile_to_fdm(&schema);
+    let rel = fdm_erm::compile_to_relational(&schema);
+    println!(
+        "| FDM | {} entries ({} relations, {} relationship fns), {} shared domains | shared domains (by construction) |",
+        fdm.len(),
+        fdm.relations().count(),
+        fdm.relationships().count(),
+        fdm.shared_domains().count()
+    );
+    println!(
+        "| relational | {} tables | {} FK constraints (separate metadata) |",
+        rel.tables.len(),
+        rel.foreign_keys.len()
+    );
+}
+
+/// Fig. 4a: the six filter costumes — identical results, costume
+/// overhead measured.
+pub fn fig4_filter(orders: usize) {
+    let e = both(&standard_config(orders));
+    let customers = e.fdm.relation("customers").unwrap();
+    header(
+        &format!("Fig. 4a — filter costumes (customers = {})", customers.len()),
+        &["costume", "result", "time (ms)"],
+    );
+    let t = Instant::now();
+    let r1 = filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42)).unwrap();
+    println!("| closure | {} | {:.3} |", r1.len(), ms(t));
+    let t = Instant::now();
+    let r3 = filter_kwargs(&customers, &[("age__gt", Value::Int(42))]).unwrap();
+    println!("| kwargs (age__gt) | {} | {:.3} |", r3.len(), ms(t));
+    let t = Instant::now();
+    let r4 = filter_attr(&customers, "age", fdm_expr::GT, 42).unwrap();
+    println!("| attr+op+const | {} | {:.3} |", r4.len(), ms(t));
+    let t = Instant::now();
+    let r5 = filter_expr(&customers, "age>$foo", Params::new().set("foo", 42)).unwrap();
+    println!("| textual + $param | {} | {:.3} |", r5.len(), ms(t));
+    let t = Instant::now();
+    let sql = select(&e.rel.customers, |s, r| {
+        let i = s.index_of("age")?;
+        r[i].sql_cmp(&Cell::Int(42)).map(|o| o == std::cmp::Ordering::Greater)
+    });
+    println!("| relational σ | {} | {:.3} |", sql.len(), ms(t));
+    assert_eq!(r1.len(), sql.len());
+}
+
+/// Fig. 4b/c: unrolled vs fused grouping+aggregation vs SQL GROUP BY.
+pub fn fig4_groupby(orders: usize) {
+    let e = both(&standard_config(orders));
+    let customers = e.fdm.relation("customers").unwrap();
+    header(
+        &format!("Fig. 4b/c — grouping (customers = {})", customers.len()),
+        &["variant", "groups", "time (ms)"],
+    );
+    let t = Instant::now();
+    let groups = fdm_fql::group(&customers, &["age"]).unwrap();
+    let aggs = fdm_fql::aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
+    println!("| FDM unrolled (group; aggregate) | {} | {:.3} |", aggs.len(), ms(t));
+    let t = Instant::now();
+    let fused = group_and_aggregate(&customers, &["age"], &[("count", AggSpec::Count)]).unwrap();
+    println!("| FDM fused (group_and_aggregate) | {} | {:.3} |", fused.len(), ms(t));
+    let t = Instant::now();
+    let sql = group_by(&e.rel.customers, &["age"], &[Agg::CountStar]);
+    println!("| SQL GROUP BY | {} | {:.3} |", sql.len(), ms(t));
+    assert_eq!(fused.len(), sql.len());
+}
+
+/// Fig. 5 + Fig. 6: the central contrast — denormalized single-table
+/// join vs subdatabase, swept over fan-out.
+pub fn fig5_fig6(customers: usize, fanouts: &[usize]) {
+    header(
+        &format!("Fig. 5/6 — denormalized join vs subdatabase (customers = {customers}, fan-out sweep)"),
+        &[
+            "fan-out",
+            "orders",
+            "join rows",
+            "join values",
+            "subDB tuples",
+            "subDB values",
+            "blowup ×",
+            "join (ms)",
+            "reduce (ms)",
+        ],
+    );
+    for &f in fanouts {
+        let e = both(&fanout_config(customers, f));
+        let t = Instant::now();
+        let joined = join(&e.fdm).unwrap();
+        let t_join = ms(t);
+        let join_values: usize = joined
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.attr_count())
+            .sum();
+        let t = Instant::now();
+        let reduced = reduce_db(&e.fdm).unwrap();
+        let t_reduce = ms(t);
+        let sub_tuples = reduced.total_tuples();
+        // footprint: customers carry 3 attrs, products 3, orders 2 (+2 keys)
+        let c = reduced.relation("customers").unwrap().len();
+        let p = reduced.relation("products").unwrap().len();
+        let o = reduced.relationship("order").unwrap().len();
+        let sub_values = c * 4 + p * 4 + o * 4;
+        let blowup = join_values as f64 / sub_values.max(1) as f64;
+        println!(
+            "| {f} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} |",
+            e.data.orders.len(),
+            joined.len(),
+            join_values,
+            sub_tuples,
+            sub_values,
+            blowup,
+            t_join,
+            t_reduce
+        );
+    }
+}
+
+/// Fig. 6 ablation: optimizer pushdown on the planned join.
+pub fn fig6_ablation(orders: usize) {
+    let e = both(&standard_config(orders));
+    // flatten the relationship so the left-deep plan can scan it
+    let order_rel = e.fdm.relationship("order").unwrap().to_relation().renamed("orders_rel");
+    let db = e.fdm.with_relation(order_rel);
+    let q = Query::scan("orders_rel")
+        .join("customers", "cid", "cid")
+        .filter("date > $d", Params::new().set("d", "2026-09"))
+        .unwrap();
+    header(
+        &format!("Fig. 6 ablation — predicate pushdown (orders = {})", e.data.orders.len()),
+        &["plan", "intermediate rows", "time (ms)"],
+    );
+    let t = Instant::now();
+    let (r1, s1) = q.clone().eval_with_stats(&db).unwrap();
+    println!("| declared order | {} | {:.2} |", s1.total_intermediate(), ms(t));
+    let t = Instant::now();
+    let (r2, s2) = q.optimize().eval_with_stats(&db).unwrap();
+    println!("| optimized (pushdown) | {} | {:.2} |", s2.total_intermediate(), ms(t));
+    assert_eq!(r1.len(), r2.len());
+}
+
+/// Fig. 7: outer join — NULL-padded single stream vs inner/outer split.
+pub fn fig7(customers: usize, fanouts: &[usize]) {
+    header(
+        &format!("Fig. 7 — outer join shapes (customers = {customers})"),
+        &[
+            "fan-out",
+            "SQL rows",
+            "SQL NULLs",
+            "post-scan (ms)",
+            "FDM inner",
+            "FDM outer",
+            "FDM NULLs",
+            "FDM (ms)",
+        ],
+    );
+    for &f in fanouts {
+        let e = both(&fanout_config(customers, f));
+        // relational: LEFT OUTER JOIN then a second scan to separate the
+        // unmatched customers back out (what an application must do)
+        let t = Instant::now();
+        let sql = outer_join(&e.rel.customers, &e.rel.orders, "cid", "cid", OuterSide::Left);
+        let date_col = sql.schema().index_of("date").unwrap();
+        let (mut matched, mut unmatched) = (0usize, 0usize);
+        for row in sql.rows() {
+            if row[date_col].is_null() {
+                unmatched += 1;
+            } else {
+                matched += 1;
+            }
+        }
+        let t_sql = ms(t);
+        let _ = matched;
+        let t = Instant::now();
+        let out = outer(&e.fdm, &["customers"]).unwrap();
+        let inner_n = out.relation("customers.inner").unwrap().len();
+        let outer_n = out.relation("customers.outer").unwrap().len();
+        let t_fdm = ms(t);
+        assert_eq!(outer_n, unmatched);
+        println!(
+            "| {f} | {} | {} | {:.2} | {inner_n} | {outer_n} | 0 | {:.2} |",
+            sql.len(),
+            sql.null_count(),
+            t_sql,
+            t_fdm
+        );
+    }
+}
+
+/// Fig. 8: grouping sets — single NULL-filled relation vs separate
+/// relation functions.
+pub fn fig8(orders: usize) {
+    let e = both(&standard_config(orders));
+    let customers = e.fdm.relation("customers").unwrap();
+    header(
+        &format!("Fig. 8 — grouping sets (customers = {})", customers.len()),
+        &["engine", "output", "rows", "cells", "NULL cells", "time (ms)"],
+    );
+    let t = Instant::now();
+    let gset = grouping_sets(
+        &customers,
+        &[
+            GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new("state_age_cc", &["state", "age"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new("global_min", &[], &[("min", AggSpec::Min("age".into()))]),
+        ],
+    )
+    .unwrap();
+    let t_fdm = ms(t);
+    let mut rows = 0usize;
+    let mut cells = 0usize;
+    for (_, entry) in gset.iter() {
+        let r = entry.as_relation().unwrap();
+        rows += r.len();
+        cells += r
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.attr_count())
+            .sum::<usize>();
+    }
+    println!(
+        "| FDM | {} separate relation fns | {rows} | {cells} | 0 | {t_fdm:.2} |",
+        gset.len()
+    );
+    let t = Instant::now();
+    let sql = rel_gsets(
+        &e.rel.customers,
+        &[
+            GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+            GroupingSet {
+                by: vec!["state".into(), "age".into()],
+                aggs: vec![Agg::CountStar],
+            },
+            GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+        ],
+    );
+    let t_sql = ms(t);
+    println!(
+        "| SQL | 1 relation | {} | {} | {} | {t_sql:.2} |",
+        sql.len(),
+        sql.cell_count(),
+        sql.null_count()
+    );
+    let t = Instant::now();
+    let sql_cube = rel_cube(&e.rel.customers, &["state", "age"], &[Agg::CountStar]);
+    let t_cube = ms(t);
+    let t = Instant::now();
+    let fdm_cube = fdm_fql::cube(&customers, &["state", "age"], &[("c", AggSpec::Count)]).unwrap();
+    let t_fcube = ms(t);
+    println!(
+        "| SQL CUBE | 1 relation | {} | {} | {} | {t_cube:.2} |",
+        sql_cube.len(),
+        sql_cube.cell_count(),
+        sql_cube.null_count()
+    );
+    let fdm_cube_rows: usize = fdm_cube
+        .iter()
+        .map(|(_, e)| e.as_relation().map(|r| r.len()).unwrap_or(0))
+        .sum();
+    println!(
+        "| FDM cube | {} separate relation fns | {fdm_cube_rows} | — | 0 | {t_fcube:.2} |",
+        fdm_cube.len()
+    );
+}
+
+/// Fig. 9: database-level set operations.
+pub fn fig9(orders: usize) {
+    let e = both(&standard_config(orders));
+    header(
+        &format!("Fig. 9 — DB-level set operations (tuples = {})", e.fdm.total_tuples()),
+        &["operation", "result", "time (ms)"],
+    );
+    let t = Instant::now();
+    let copy = deep_copy(&e.fdm).unwrap();
+    println!("| deep_copy(DB) | {} tuples | {:.2} |", copy.total_tuples(), ms(t));
+    // mutate the copy a bit
+    let mut changed = copy.clone();
+    for i in 0..50i64 {
+        changed = db_upsert(
+            &changed,
+            "customers",
+            Value::Int(1_000_000 + i),
+            TupleF::builder("c")
+                .attr("name", format!("new{i}"))
+                .attr("age", 20 + i)
+                .attr("state", "NV")
+                .build(),
+        )
+        .unwrap();
+    }
+    let t = Instant::now();
+    let diff = difference(&e.fdm, &changed).unwrap();
+    println!(
+        "| difference(DB, DB') | {} changed relation(s), {} added tuples | {:.2} |",
+        diff.len(),
+        diff.relation("customers.added").map(|r| r.len()).unwrap_or(0),
+        ms(t)
+    );
+    let t = Instant::now();
+    let u = union(&e.fdm, &changed).unwrap();
+    println!("| union(DB, DB') | {} tuples | {:.2} |", u.total_tuples(), ms(t));
+    let t = Instant::now();
+    let i = intersect(&e.fdm, &changed).unwrap();
+    println!("| intersect(DB, DB') | {} tuples | {:.2} |", i.total_tuples(), ms(t));
+    let t = Instant::now();
+    let m = minus(&changed, &e.fdm).unwrap();
+    println!("| minus(DB', DB) | {} tuples | {:.2} |", m.total_tuples(), ms(t));
+}
+
+/// Fig. 10 + ablation: update throughput — persistent FDM updates vs
+/// copy-the-world, at several relation sizes.
+pub fn fig10(sizes: &[usize]) {
+    header(
+        "Fig. 10 — update mechanisms (1000 single-attribute updates each)",
+        &["relation size", "persistent (ms)", "copy-the-world (ms)", "speedup ×"],
+    );
+    for &n in sizes {
+        let mut rel = RelationF::new("accounts", &["id"]);
+        for i in 0..n as i64 {
+            rel = rel
+                .insert(
+                    Value::Int(i),
+                    TupleF::builder("a").attr("balance", 100i64).build(),
+                )
+                .unwrap();
+        }
+        let db = DatabaseF::new("bank").with_relation(rel);
+        const UPDATES: usize = 1000;
+        // persistent path (structural sharing)
+        let t = Instant::now();
+        let mut cur = db.clone();
+        for i in 0..UPDATES {
+            let key = Value::Int((i % n) as i64);
+            cur = db_update_attr(&cur, "accounts", &key, "balance", i as i64).unwrap();
+        }
+        let t_persist = ms(t);
+        // copy-the-world path: deep copy then update (what a naive
+        // immutable implementation without structural sharing pays)
+        let copies = (UPDATES / 50).max(1); // 50x fewer iterations, scaled
+        let t = Instant::now();
+        let mut cur = db.clone();
+        for i in 0..copies {
+            let key = Value::Int((i % n) as i64);
+            let copied = deep_copy(&cur).unwrap();
+            cur = db_update_attr(&copied, "accounts", &key, "balance", i as i64).unwrap();
+        }
+        let t_copy = ms(t) * (UPDATES as f64 / copies as f64);
+        println!(
+            "| {n} | {t_persist:.2} | {t_copy:.1} (extrapolated) | {:.0} |",
+            t_copy / t_persist.max(0.001)
+        );
+    }
+}
+
+/// Fig. 11: transaction throughput and conflict-rate sweep.
+pub fn fig11(accounts: usize, threads_list: &[usize]) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    header(
+        &format!("Fig. 11 — concurrent transfers ({accounts} accounts, 2000 txns total)"),
+        &["threads", "committed", "conflicted", "throughput (txn/ms)", "money conserved"],
+    );
+    for &threads in threads_list {
+        let mut rel = RelationF::new("accounts", &["id"]);
+        for i in 0..accounts as i64 {
+            rel = rel
+                .insert(Value::Int(i), TupleF::builder("a").attr("balance", 1000i64).build())
+                .unwrap();
+        }
+        let store = Store::new(DatabaseF::new("bank").with_relation(rel));
+        let total_txns = 2000usize;
+        let per_thread = total_txns / threads;
+        let committed = Arc::new(AtomicUsize::new(0));
+        let conflicted = Arc::new(AtomicUsize::new(0));
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let store = Arc::clone(&store);
+                let committed = Arc::clone(&committed);
+                let conflicted = Arc::clone(&conflicted);
+                s.spawn(move || {
+                    let mut x = (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    for _ in 0..per_thread {
+                        let from = (next() % accounts as u64) as i64;
+                        let mut to = (next() % accounts as u64) as i64;
+                        if to == from {
+                            to = (to + 1) % accounts as i64;
+                        }
+                        let mut txn = store.begin();
+                        txn.modify_attr("accounts", &Value::Int(from), "balance", |v| {
+                            v.sub(&Value::Int(1))
+                        })
+                        .unwrap();
+                        txn.modify_attr("accounts", &Value::Int(to), "balance", |v| {
+                            v.add(&Value::Int(1))
+                        })
+                        .unwrap();
+                        match txn.commit() {
+                            Ok(_) => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                conflicted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = ms(t);
+        let total: i64 = store
+            .snapshot()
+            .relation("accounts")
+            .unwrap()
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.get("balance").unwrap().as_int("b").unwrap())
+            .sum();
+        let conserved = total == (accounts as i64) * 1000;
+        println!(
+            "| {threads} | {} | {} | {:.1} | {conserved} |",
+            committed.load(Ordering::Relaxed),
+            conflicted.load(Ordering::Relaxed),
+            committed.load(Ordering::Relaxed) as f64 / elapsed,
+        );
+        assert!(conserved);
+    }
+}

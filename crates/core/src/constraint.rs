@@ -1,0 +1,120 @@
+//! Integrity constraints as first-class parts of the model (paper
+//! contribution 4: "FDM includes features of key, integrity constraints,
+//! and indexing as part of its conceptual definition already").
+//!
+//! Note that the *primary key* and its uniqueness are not constraints at
+//! all in FDM — they are the function definition itself (Definition 1
+//! guarantees at most one output per input). The constraints here are the
+//! *additional* ones: secondary uniqueness and attribute-domain checks.
+
+use crate::domain::Domain;
+use crate::error::Name;
+use crate::tuple::TupleF;
+use crate::value::Value;
+use std::fmt;
+
+/// An additional integrity constraint on a relation function.
+#[derive(Clone)]
+pub enum Constraint {
+    /// The named attributes must be unique across all tuples of the
+    /// relation (a secondary unique constraint; the engine maintains a
+    /// unique index to enforce it, which is the paper's observation that
+    /// a unique constraint *is* an alternative relation function).
+    Unique(Vec<Name>),
+    /// The attribute's value must lie in the given domain on every tuple.
+    AttrDomain {
+        /// Attribute being constrained.
+        attr: Name,
+        /// Admissible values.
+        domain: Domain,
+    },
+}
+
+impl Constraint {
+    /// Builds a unique constraint over the given attributes.
+    pub fn unique(attrs: &[&str]) -> Constraint {
+        Constraint::Unique(attrs.iter().map(|a| Name::from(*a)).collect())
+    }
+
+    /// Builds an attribute-domain constraint.
+    pub fn attr_domain(attr: &str, domain: Domain) -> Constraint {
+        Constraint::AttrDomain { attr: Name::from(attr), domain }
+    }
+
+    /// For a `Unique` constraint: extracts the composite value of its
+    /// attributes from `tuple` (used as the unique-index key).
+    pub(crate) fn unique_key(&self, tuple: &TupleF) -> Option<Value> {
+        match self {
+            Constraint::Unique(attrs) => {
+                let mut vals = Vec::with_capacity(attrs.len());
+                for a in attrs {
+                    vals.push(tuple.try_get(a)?);
+                }
+                Some(if vals.len() == 1 {
+                    vals.pop().expect("one element")
+                } else {
+                    Value::list(vals)
+                })
+            }
+            Constraint::AttrDomain { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Unique(attrs) => {
+                write!(f, "UNIQUE(")?;
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Constraint::AttrDomain { attr, domain } => {
+                write!(f, "{attr} ∈ {domain}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ValueType;
+
+    #[test]
+    fn unique_key_extraction() {
+        let c = Constraint::unique(&["email"]);
+        let t = TupleF::builder("t").attr("email", "a@b.c").build();
+        assert_eq!(c.unique_key(&t), Some(Value::str("a@b.c")));
+        let missing = TupleF::builder("t").attr("name", "x").build();
+        assert_eq!(c.unique_key(&missing), None);
+    }
+
+    #[test]
+    fn composite_unique_key_is_a_list() {
+        let c = Constraint::unique(&["a", "b"]);
+        let t = TupleF::builder("t").attr("a", 1).attr("b", 2).build();
+        assert_eq!(
+            c.unique_key(&t),
+            Some(Value::list([Value::Int(1), Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constraint::unique(&["x", "y"]).to_string(), "UNIQUE(x, y)");
+        let c = Constraint::attr_domain("age", Domain::Typed(ValueType::Int));
+        assert_eq!(c.to_string(), "age ∈ int");
+    }
+}

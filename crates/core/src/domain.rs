@@ -1,0 +1,374 @@
+//! Function domains: where a function is defined.
+//!
+//! FDM folds what the relational world scatters over keys, CHECK
+//! constraints, and foreign keys into *domains* (paper §2.4, §3):
+//!
+//! * the set of keys a relation function is defined at **is** the set of
+//!   tuples that exist;
+//! * constraining the domain **is** an integrity constraint;
+//! * two functions *sharing* a domain **is** a foreign-key relationship.
+//!
+//! A domain may be discrete and enumerable (`Enumerated`, `IntRange`,
+//! `BoolDomain`) or a *continuous subspace* (`FloatRange`, unbounded
+//! `Typed`, arbitrary `Predicate`) in which point lookups work but
+//! enumeration is a typed error.
+
+use crate::error::{FdmError, Result};
+use crate::types::ValueType;
+use crate::value::Value;
+use fdm_storage::PSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A predicate used to refine a domain.
+pub type DomainPredicate = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
+
+/// The domain (set of valid inputs) of an FDM function.
+#[derive(Clone)]
+pub enum Domain {
+    /// All values of a given type. Enumerable only for `Bool` and `Unit`.
+    Typed(ValueType),
+    /// An explicit finite set of values (e.g. `X = {1, 3}`, paper §2.4).
+    Enumerated(PSet<Value>),
+    /// The integer interval `[lo, hi]`, inclusive. Enumerable.
+    IntRange(i64, i64),
+    /// The continuous float interval `[lo, hi]`, inclusive. **Not**
+    /// enumerable — the paper's "continuous subspace of tuple functions".
+    FloatRange(f64, f64),
+    /// A refinement `{ x ∈ base | pred(x) }`. Enumerable iff `base` is
+    /// (enumeration filters by the predicate).
+    Predicate {
+        /// The domain being refined.
+        base: Box<Domain>,
+        /// The refining predicate.
+        pred: DomainPredicate,
+        /// Human-readable description, e.g. `"x > 0"`.
+        description: String,
+    },
+    /// A cartesian product of domains: the domain of a k-ary relationship
+    /// function (inputs are `Value::List` of length k). Enumerable iff all
+    /// components are.
+    Product(Vec<Domain>),
+}
+
+impl Domain {
+    /// Builds an enumerated domain from values.
+    pub fn enumerated(values: impl IntoIterator<Item = Value>) -> Domain {
+        Domain::Enumerated(PSet::from_iter(values))
+    }
+
+    /// Refines this domain with a predicate.
+    pub fn refine(
+        self,
+        description: impl Into<String>,
+        pred: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Domain {
+        Domain::Predicate {
+            base: Box::new(self),
+            pred: Arc::new(pred),
+            description: description.into(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::Typed(t) => v.value_type() == *t,
+            Domain::Enumerated(set) => set.contains(v),
+            Domain::IntRange(lo, hi) => match v {
+                Value::Int(i) => lo <= i && i <= hi,
+                _ => false,
+            },
+            Domain::FloatRange(lo, hi) => match v {
+                Value::Float(x) => lo <= x && x <= hi,
+                Value::Int(i) => *lo <= *i as f64 && (*i as f64) <= *hi,
+                _ => false,
+            },
+            Domain::Predicate { base, pred, .. } => base.contains(v) && pred(v),
+            Domain::Product(ds) => match v {
+                Value::List(items) => {
+                    items.len() == ds.len()
+                        && ds.iter().zip(items.iter()).all(|(d, x)| d.contains(x))
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// `true` if the domain's members can be enumerated.
+    pub fn is_enumerable(&self) -> bool {
+        match self {
+            Domain::Typed(ValueType::Bool) | Domain::Typed(ValueType::Unit) => true,
+            Domain::Typed(_) => false,
+            Domain::Enumerated(_) => true,
+            Domain::IntRange(_, _) => true,
+            Domain::FloatRange(_, _) => false,
+            Domain::Predicate { base, .. } => base.is_enumerable(),
+            Domain::Product(ds) => ds.iter().all(Domain::is_enumerable),
+        }
+    }
+
+    /// Number of members, if finite and cheaply known (predicate domains
+    /// report their base's bound, i.e. an upper bound).
+    pub fn cardinality_hint(&self) -> Option<usize> {
+        match self {
+            Domain::Typed(ValueType::Bool) => Some(2),
+            Domain::Typed(ValueType::Unit) => Some(1),
+            Domain::Typed(_) => None,
+            Domain::Enumerated(set) => Some(set.len()),
+            Domain::IntRange(lo, hi) => usize::try_from(hi.saturating_sub(*lo).saturating_add(1)).ok(),
+            Domain::FloatRange(_, _) => None,
+            Domain::Predicate { base, .. } => base.cardinality_hint(),
+            Domain::Product(ds) => {
+                let mut n: usize = 1;
+                for d in ds {
+                    n = n.checked_mul(d.cardinality_hint()?)?;
+                }
+                Some(n)
+            }
+        }
+    }
+
+    /// Enumerates the members in ascending order, or fails with
+    /// [`FdmError::NotEnumerable`].
+    pub fn enumerate(&self) -> Result<Vec<Value>> {
+        match self {
+            Domain::Typed(ValueType::Bool) => Ok(vec![Value::Bool(false), Value::Bool(true)]),
+            Domain::Typed(ValueType::Unit) => Ok(vec![Value::Unit]),
+            Domain::Typed(t) => Err(FdmError::NotEnumerable {
+                what: format!("domain of all {t} values"),
+            }),
+            Domain::Enumerated(set) => Ok(set.iter().cloned().collect()),
+            Domain::IntRange(lo, hi) => {
+                if hi < lo {
+                    return Ok(Vec::new());
+                }
+                let n = hi - lo;
+                if n > 10_000_000 {
+                    return Err(FdmError::NotEnumerable {
+                        what: format!("int range [{lo}; {hi}] (too large)"),
+                    });
+                }
+                Ok((*lo..=*hi).map(Value::Int).collect())
+            }
+            Domain::FloatRange(lo, hi) => Err(FdmError::NotEnumerable {
+                what: format!("continuous float range [{lo}; {hi}]"),
+            }),
+            Domain::Predicate { base, pred, .. } => Ok(base
+                .enumerate()?
+                .into_iter()
+                .filter(|v| pred(v))
+                .collect()),
+            Domain::Product(ds) => {
+                let parts: Vec<Vec<Value>> =
+                    ds.iter().map(Domain::enumerate).collect::<Result<_>>()?;
+                let mut out = vec![Vec::new()];
+                for part in &parts {
+                    let mut next = Vec::with_capacity(out.len() * part.len());
+                    for prefix in &out {
+                        for v in part {
+                            let mut row = prefix.clone();
+                            row.push(v.clone());
+                            next.push(row);
+                        }
+                    }
+                    out = next;
+                }
+                Ok(out.into_iter().map(Value::list).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Typed(t) => write!(f, "{t}"),
+            Domain::Enumerated(set) => {
+                write!(f, "{{")?;
+                for (i, v) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if i >= 8 {
+                        write!(f, "... ({} total)", set.len())?;
+                        break;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Domain::IntRange(lo, hi) => write!(f, "[{lo}; {hi}] ∩ int"),
+            Domain::FloatRange(lo, hi) => write!(f, "[{lo}; {hi}] ∩ float"),
+            Domain::Predicate { base, description, .. } => {
+                write!(f, "{{x ∈ {base} | {description}}}")
+            }
+            Domain::Product(ds) => {
+                for (i, d) in ds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " × ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A **named, shared** domain.
+///
+/// Paper §3: "we enforce these [foreign-key] constraints as a side effect
+/// by simply making functions share the same domains." A `SharedDomain` is
+/// an `Arc`-shared named domain; two function parameters referencing the
+/// *same* `SharedDomain` (pointer-equal) are in a foreign-key relationship
+/// by construction.
+#[derive(Clone)]
+pub struct SharedDomain {
+    inner: Arc<SharedDomainInner>,
+}
+
+struct SharedDomainInner {
+    name: String,
+    domain: Domain,
+}
+
+impl SharedDomain {
+    /// Creates a new shared domain with the given name.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        SharedDomain {
+            inner: Arc::new(SharedDomainInner { name: name.into(), domain }),
+        }
+    }
+
+    /// The domain's name (e.g. `"cid"`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The underlying domain.
+    pub fn domain(&self) -> &Domain {
+        &self.inner.domain
+    }
+
+    /// `true` if `self` and `other` are *the same* shared domain (pointer
+    /// identity) — the FDM notion of a foreign-key link.
+    pub fn same_as(&self, other: &SharedDomain) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Membership test, delegating to the underlying domain.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.inner.domain.contains(v)
+    }
+}
+
+impl fmt::Debug for SharedDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedDomain({}: {})", self.inner.name, self.inner.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_domain_membership() {
+        let d = Domain::Typed(ValueType::Int);
+        assert!(d.contains(&Value::Int(5)));
+        assert!(!d.contains(&Value::str("x")));
+        assert!(!d.is_enumerable());
+        assert!(d.enumerate().is_err());
+        assert!(Domain::Typed(ValueType::Bool).is_enumerable());
+        assert_eq!(Domain::Typed(ValueType::Bool).enumerate().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn enumerated_domain_from_paper_r_example() {
+        // R(bar : X) where X = {1, 3} ∩ N+   (paper §2.4)
+        let d = Domain::enumerated([Value::Int(1), Value::Int(3)]);
+        assert!(d.contains(&Value::Int(1)));
+        assert!(!d.contains(&Value::Int(2)));
+        assert_eq!(d.cardinality_hint(), Some(2));
+        assert_eq!(
+            d.enumerate().unwrap(),
+            vec![Value::Int(1), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn float_range_is_continuous_not_enumerable() {
+        // R(bar : X) where X = [7; 12] ∩ R+   (paper §2.4)
+        let d = Domain::FloatRange(7.0, 12.0);
+        assert!(d.contains(&Value::Float(7.5)));
+        assert!(d.contains(&Value::Int(9)), "ints embed in the reals");
+        assert!(!d.contains(&Value::Float(12.5)));
+        assert!(!d.is_enumerable());
+        let err = d.enumerate().unwrap_err();
+        assert!(err.to_string().contains("not enumerable"));
+    }
+
+    #[test]
+    fn int_range_enumerates_inclusively() {
+        let d = Domain::IntRange(2, 5);
+        assert_eq!(d.cardinality_hint(), Some(4));
+        assert_eq!(
+            d.enumerate().unwrap(),
+            vec![Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(5)]
+        );
+        assert!(Domain::IntRange(5, 2).enumerate().unwrap().is_empty());
+    }
+
+    #[test]
+    fn predicate_refinement() {
+        let d = Domain::IntRange(0, 10).refine("even", |v| {
+            matches!(v, Value::Int(i) if i % 2 == 0)
+        });
+        assert!(d.contains(&Value::Int(4)));
+        assert!(!d.contains(&Value::Int(3)));
+        assert!(!d.contains(&Value::Int(12)), "must still be in base");
+        assert_eq!(d.enumerate().unwrap().len(), 6);
+        assert!(d.to_string().contains("even"));
+    }
+
+    #[test]
+    fn product_domain_for_relationship_functions() {
+        // order(cid, pid) has domain cid × pid  (paper §3, Fig. 1)
+        let cid = Domain::enumerated([Value::Int(1), Value::Int(2)]);
+        let pid = Domain::enumerated([Value::Int(10), Value::Int(20)]);
+        let d = Domain::Product(vec![cid, pid]);
+        assert!(d.contains(&Value::list([Value::Int(1), Value::Int(20)])));
+        assert!(!d.contains(&Value::list([Value::Int(1), Value::Int(30)])));
+        assert!(!d.contains(&Value::Int(1)), "scalar is not a pair");
+        assert!(!d.contains(&Value::list([Value::Int(1)])), "wrong arity");
+        assert_eq!(d.cardinality_hint(), Some(4));
+        assert_eq!(d.enumerate().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn shared_domain_identity_is_the_fk_link() {
+        let cid = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
+        let cid2 = cid.clone();
+        let other = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
+        assert!(cid.same_as(&cid2), "clones share identity");
+        assert!(
+            !cid.same_as(&other),
+            "structurally equal but distinct domains are NOT the same FK link"
+        );
+        assert!(cid.contains(&Value::Int(7)));
+    }
+
+    #[test]
+    fn huge_int_range_refuses_enumeration() {
+        let d = Domain::IntRange(0, i64::MAX);
+        assert!(d.enumerate().is_err());
+        assert!(d.contains(&Value::Int(i64::MAX)));
+    }
+}

@@ -1,0 +1,160 @@
+//! The error type shared across the FDM engine.
+
+use crate::types::ValueType;
+use std::fmt;
+
+/// Name type used throughout the engine for attributes, relations, etc.
+pub type Name = std::sync::Arc<str>;
+
+/// Errors produced by FDM functions and the operators over them.
+///
+/// Note what is *not* here: there is no NULL value anywhere in the engine.
+/// A function that is "not defined" at an input (paper §2.4: "Calls to
+/// bar ∉ {1, 3} are not defined") reports [`FdmError::Undefined`] instead of
+/// producing a NULL that then propagates through expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdmError {
+    /// A function was applied to an input outside its domain.
+    Undefined {
+        /// Name of the function.
+        function: String,
+        /// Display form of the offending input.
+        input: String,
+    },
+    /// An operation required enumerating a function's domain, but the domain
+    /// is not enumerable (e.g. a continuous `FloatRange` or an unbounded
+    /// `Typed` domain, paper §2.4 "continuous subspace").
+    NotEnumerable {
+        /// What we tried to enumerate.
+        what: String,
+    },
+    /// A value had the wrong type for the operation.
+    TypeMismatch {
+        /// The type the operation required.
+        expected: ValueType,
+        /// The type actually found.
+        found: ValueType,
+        /// Where the mismatch occurred.
+        context: String,
+    },
+    /// A tuple function has no such attribute.
+    NoSuchAttribute {
+        /// The attribute that was requested.
+        attr: String,
+    },
+    /// A database function has no entry under this name.
+    NoSuchRelation {
+        /// The name that was requested.
+        name: String,
+    },
+    /// A database entry exists but is not the kind of function expected
+    /// (e.g. asked for a relation function, found a tuple function).
+    WrongFunctionKind {
+        /// The name of the entry.
+        name: String,
+        /// What was expected, e.g. "relation function".
+        expected: String,
+        /// What was found, e.g. "tuple function".
+        found: String,
+    },
+    /// A function was called with the wrong number of arguments.
+    ArityMismatch {
+        /// Name of the function.
+        function: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        found: usize,
+    },
+    /// An integrity constraint rejected a change.
+    ConstraintViolation {
+        /// Description of the violated constraint.
+        constraint: String,
+        /// Description of the offending data.
+        detail: String,
+    },
+    /// A key already exists in a unique relation function.
+    DuplicateKey {
+        /// The relation function.
+        relation: String,
+        /// Display form of the key.
+        key: String,
+    },
+    /// A transaction lost a first-committer-wins race.
+    TransactionConflict {
+        /// Human-readable description of the conflicting write.
+        detail: String,
+    },
+    /// Error raised by the expression sub-language (parse/bind/eval).
+    Expr(String),
+    /// Anything else (used sparingly, e.g. by user-defined computed
+    /// functions that fail).
+    Other(String),
+}
+
+impl fmt::Display for FdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdmError::Undefined { function, input } => {
+                write!(f, "function '{function}' is not defined at input {input}")
+            }
+            FdmError::NotEnumerable { what } => {
+                write!(f, "cannot enumerate {what}: domain is not enumerable")
+            }
+            FdmError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            FdmError::NoSuchAttribute { attr } => {
+                write!(f, "tuple function has no attribute '{attr}'")
+            }
+            FdmError::NoSuchRelation { name } => {
+                write!(f, "database function has no entry '{name}'")
+            }
+            FdmError::WrongFunctionKind { name, expected, found } => {
+                write!(f, "entry '{name}' is a {found}, expected a {expected}")
+            }
+            FdmError::ArityMismatch { function, expected, found } => {
+                write!(
+                    f,
+                    "function '{function}' called with {found} argument(s), expects {expected}"
+                )
+            }
+            FdmError::ConstraintViolation { constraint, detail } => {
+                write!(f, "constraint violation ({constraint}): {detail}")
+            }
+            FdmError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate key {key} in relation function '{relation}'")
+            }
+            FdmError::TransactionConflict { detail } => {
+                write!(f, "transaction conflict: {detail}")
+            }
+            FdmError::Expr(msg) => write!(f, "expression error: {msg}"),
+            FdmError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FdmError {}
+
+/// Convenience result alias used across the engine.
+pub type Result<T, E = FdmError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FdmError::Undefined { function: "R1".into(), input: "7".into() };
+        assert_eq!(e.to_string(), "function 'R1' is not defined at input 7");
+        let e = FdmError::NotEnumerable { what: "relation function 'R4'".into() };
+        assert!(e.to_string().contains("not enumerable"));
+        let e = FdmError::TypeMismatch {
+            expected: ValueType::Int,
+            found: ValueType::Str,
+            context: "filter predicate".into(),
+        };
+        assert!(e.to_string().contains("expected int"));
+        assert!(e.to_string().contains("found str"));
+    }
+}

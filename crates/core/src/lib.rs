@@ -1,0 +1,69 @@
+//! # fdm-core — the Functional Data Model
+//!
+//! An implementation of the data model proposed in *"A Functional Data
+//! Model and Query Language is All You Need"* (Dittrich, EDBT 2026 vision
+//! paper): **everything is a function** —
+//!
+//! | Abstraction | Relational model | FDM (this crate) |
+//! |---|---|---|
+//! | tuple | sequence of attribute/value pairs | [`TupleF`] |
+//! | relation | set of tuples | [`RelationF`] |
+//! | database | set of relations | [`DatabaseF`] |
+//! | set of databases | — | [`DatabaseF`] nested in [`DatabaseF`] |
+//! | relationship | foreign keys + junction tables | [`RelationshipF`] over [`SharedDomain`]s |
+//!
+//! All of them implement the single [`Function`] trait, so the same query
+//! constructs (see the `fdm-fql` crate) apply at every granularity. All of
+//! them are *persistent*: mutation returns a new value sharing structure
+//! with the old one, making snapshots (and therefore snapshot-isolation
+//! transactions) O(1).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use fdm_core::{DatabaseF, Domain, RelationF, TupleF, Value, ValueType};
+//!
+//! // tuples are functions: t1('foo') = 12
+//! let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+//! assert_eq!(t1.get("foo").unwrap(), Value::Int(12));
+//!
+//! // relations are functions: R1(1) = t1
+//! let r1 = RelationF::new("R1", &["bar"]).insert(Value::Int(1), t1).unwrap();
+//!
+//! // databases are functions: DB('Table1') = R1
+//! let db = DatabaseF::new("DB").with_entry("Table1", fdm_core::FnValue::from(r1));
+//! assert!(db.contains("Table1"));
+//!
+//! // computed data is indistinguishable from stored data:
+//! let squares = RelationF::computed("squares", &["n"], Domain::IntRange(1, 100), |k| {
+//!     let n = k.as_int("n")?;
+//!     Ok(Value::Fn(fdm_core::FnValue::from(
+//!         TupleF::builder("sq").attr("n", n).attr("sq", n * n).build(),
+//!     )))
+//! });
+//! assert_eq!(squares.lookup(&Value::Int(7)).unwrap().get("sq").unwrap(), Value::Int(49));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod database;
+pub mod domain;
+pub mod error;
+pub mod function;
+pub mod relation;
+pub mod relationship;
+pub mod tuple;
+pub mod types;
+pub mod value;
+
+pub use constraint::Constraint;
+pub use database::DatabaseF;
+pub use domain::{Domain, SharedDomain};
+pub use error::{FdmError, Name, Result};
+pub use function::{apply1, FnValue, Function, FunctionHandle, LambdaF};
+pub use relation::RelationF;
+pub use relationship::{Participant, RelationshipF};
+pub use tuple::{TupleBuilder, TupleF};
+pub use types::ValueType;
+pub use value::Value;

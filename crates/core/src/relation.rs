@@ -1,0 +1,975 @@
+//! Relation functions (paper §2.4).
+//!
+//! A relation function maps a key (primary key, candidate key, or row id)
+//! to a tuple function: `R1(1) = t1`. Four bodies realize the paper's
+//! spectrum:
+//!
+//! * [`stored`](RelationF::new) — a persistent map key → tuple (the classic
+//!   "relation", except it *is* a function);
+//! * **multi** ([`RelationF::index_by`]) — key → *set* of tuples, i.e. a
+//!   non-unique secondary index (the paper's `R3(foo) ↦ {TF}`);
+//! * **computed** ([`RelationF::computed`]) — a λ over a (possibly
+//!   continuous, non-enumerable) domain: data that was never inserted;
+//! * **hybrid** ([`RelationF::hybrid`]) — stored tuples with a computed
+//!   fallback (the paper's `R4`).
+//!
+//! All mutating operations are persistent: they return a new `RelationF`
+//! sharing structure with the old one, which is what makes snapshot
+//! transactions (Fig. 11) cheap.
+
+use crate::constraint::Constraint;
+use crate::domain::Domain;
+use crate::error::{FdmError, Name, Result};
+use crate::function::Function;
+use crate::tuple::TupleF;
+use crate::value::Value;
+use fdm_storage::PMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The body of a computed relation function.
+pub type ComputedRel = Arc<dyn Fn(&Value) -> Result<Value> + Send + Sync>;
+
+/// A group of tuples sharing a key (non-unique bodies).
+pub type TupleGroup = Arc<[Arc<TupleF>]>;
+
+#[derive(Clone)]
+enum Body {
+    /// Unique mapping key → tuple.
+    Unique(PMap<Value, Arc<TupleF>>),
+    /// Non-unique mapping key → tuples (a duplicate-admitting index).
+    Multi(PMap<Value, TupleGroup>),
+    /// Fully computed: λ over `domain`.
+    Computed {
+        domain: Domain,
+        f: ComputedRel,
+    },
+    /// Stored tuples with a computed fallback over `domain` (paper's R4).
+    Hybrid {
+        map: PMap<Value, Arc<TupleF>>,
+        domain: Domain,
+        fallback: ComputedRel,
+    },
+}
+
+/// A relation function.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::{RelationF, TupleF, Value};
+///
+/// // R1(bar: int) := t_bar with t1, t3 (paper §2.4)
+/// let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+/// let t3 = TupleF::builder("t3").attr("name", "Bob").attr("foo", 25).build();
+/// let r1 = RelationF::new("R1", &["bar"])
+///     .insert(Value::Int(1), t1).unwrap()
+///     .insert(Value::Int(3), t3).unwrap();
+///
+/// assert_eq!(r1.lookup(&Value::Int(1)).unwrap().get("name").unwrap(), Value::str("Alice"));
+/// assert!(r1.lookup(&Value::Int(2)).is_none(), "R1 is not defined at 2");
+/// ```
+#[derive(Clone)]
+pub struct RelationF {
+    name: Name,
+    key_attrs: Arc<[Name]>,
+    constraints: Arc<[Constraint]>,
+    /// One unique index per `Constraint::Unique`, mapping the constrained
+    /// attribute value(s) to the primary key that holds them.
+    unique_indexes: Arc<[PMap<Value, Value>]>,
+    body: Body,
+}
+
+impl RelationF {
+    /// Creates an empty stored (unique) relation function whose inputs are
+    /// named by `key_attrs` (e.g. `["cid"]`, or a synthetic `["id"]`).
+    pub fn new(name: impl AsRef<str>, key_attrs: &[&str]) -> RelationF {
+        RelationF {
+            name: Arc::from(name.as_ref()),
+            key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Unique(PMap::new()),
+        }
+    }
+
+    /// Creates a fully computed relation function over `domain`.
+    ///
+    /// `f` receives a key inside the domain and returns (usually) a
+    /// `Value::Fn` holding a tuple function. Point lookups always work;
+    /// enumeration works iff `domain.is_enumerable()` (paper §2.4).
+    pub fn computed(
+        name: impl AsRef<str>,
+        key_attrs: &[&str],
+        domain: Domain,
+        f: impl Fn(&Value) -> Result<Value> + Send + Sync + 'static,
+    ) -> RelationF {
+        RelationF {
+            name: Arc::from(name.as_ref()),
+            key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Computed { domain, f: Arc::new(f) },
+        }
+    }
+
+    /// Converts this stored relation into a hybrid: stored tuples win, and
+    /// any other key inside `domain` is answered by `fallback` (the paper's
+    /// `R4`: "if a predefined tuple function does not exist, return an
+    /// anonymous λ-tuple-function").
+    pub fn with_fallback(
+        &self,
+        domain: Domain,
+        fallback: impl Fn(&Value) -> Result<Value> + Send + Sync + 'static,
+    ) -> Result<RelationF> {
+        let map = match &self.body {
+            Body::Unique(map) => map.clone(),
+            Body::Hybrid { map, .. } => map.clone(),
+            _ => {
+                return Err(FdmError::Other(format!(
+                    "relation function '{}' cannot take a fallback (not a unique stored body)",
+                    self.name
+                )))
+            }
+        };
+        Ok(RelationF {
+            name: self.name.clone(),
+            key_attrs: self.key_attrs.clone(),
+            constraints: self.constraints.clone(),
+            unique_indexes: self.unique_indexes.clone(),
+            body: Body::Hybrid { map, domain, fallback: Arc::new(fallback) },
+        })
+    }
+
+    /// Adds an integrity constraint; for `Unique` constraints the unique
+    /// index is built (and validated) over the existing tuples.
+    pub fn with_constraint(&self, constraint: Constraint) -> Result<RelationF> {
+        let mut constraints: Vec<Constraint> = self.constraints.to_vec();
+        let mut indexes: Vec<PMap<Value, Value>> = self.unique_indexes.to_vec();
+        if let Constraint::Unique(_) = &constraint {
+            let mut idx = PMap::new();
+            for (key, tuple) in self.iter_stored() {
+                if let Some(uk) = constraint.unique_key(&tuple) {
+                    let (next, old) = idx.insert(uk.clone(), key.clone());
+                    if old.is_some() {
+                        return Err(FdmError::ConstraintViolation {
+                            constraint: constraint.to_string(),
+                            detail: format!("existing data has duplicate value {uk}"),
+                        });
+                    }
+                    idx = next;
+                }
+            }
+            indexes.push(idx);
+        } else {
+            // Validate existing data against the attribute domain.
+            if let Constraint::AttrDomain { attr, domain } = &constraint {
+                for (_, tuple) in self.iter_stored() {
+                    if let Some(v) = tuple.try_get(attr) {
+                        if !domain.contains(&v) {
+                            return Err(FdmError::ConstraintViolation {
+                                constraint: constraint.to_string(),
+                                detail: format!("existing value {v} outside domain"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        constraints.push(constraint);
+        Ok(RelationF {
+            name: self.name.clone(),
+            key_attrs: self.key_attrs.clone(),
+            constraints: constraints.into(),
+            unique_indexes: indexes.into(),
+            body: self.body.clone(),
+        })
+    }
+
+    /// The relation function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the relation function (cheap; shares the body).
+    pub fn renamed(&self, name: impl AsRef<str>) -> RelationF {
+        let mut r = self.clone();
+        r.name = Arc::from(name.as_ref());
+        r
+    }
+
+    /// The names of the input (key) attributes.
+    pub fn key_attrs(&self) -> &[Name] {
+        &self.key_attrs
+    }
+
+    /// The declared constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of *stored* tuples (0 for fully computed bodies; the
+    /// computed part of a hybrid is not counted).
+    pub fn len(&self) -> usize {
+        match &self.body {
+            Body::Unique(m) => m.len(),
+            Body::Multi(m) => m.values().map(|g| g.len()).sum(),
+            Body::Computed { .. } => 0,
+            Body::Hybrid { map, .. } => map.len(),
+        }
+    }
+
+    /// `true` if no stored tuples exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if this relation admits several tuples per key (an index on
+    /// a non-unique attribute).
+    pub fn is_multi(&self) -> bool {
+        matches!(self.body, Body::Multi(_))
+    }
+
+    /// `true` if all tuples of this relation can be enumerated.
+    pub fn is_enumerable(&self) -> bool {
+        match &self.body {
+            Body::Unique(_) | Body::Multi(_) => true,
+            Body::Computed { domain, .. } => domain.is_enumerable(),
+            // A hybrid enumerates its stored part plus the computed part if
+            // the domain is enumerable; the stored part alone is always
+            // reachable, so we report enumerable and document the subtlety.
+            Body::Hybrid { domain, .. } => domain.is_enumerable(),
+        }
+    }
+
+    /// Point lookup: the tuple(s) under `key`, or `None` if the function
+    /// is not defined there. For multi bodies, an arbitrary group member
+    /// would be ambiguous — use [`Self::lookup_all`]; this returns the
+    /// first.
+    pub fn lookup(&self, key: &Value) -> Option<Arc<TupleF>> {
+        match &self.body {
+            Body::Unique(m) => m.get(key).cloned(),
+            Body::Multi(m) => m.get(key).and_then(|g| g.first().cloned()),
+            Body::Computed { domain, f } => {
+                if domain.contains(key) {
+                    to_tuple(f(key).ok()?)
+                } else {
+                    None
+                }
+            }
+            Body::Hybrid { map, domain, fallback } => match map.get(key) {
+                Some(t) => Some(t.clone()),
+                None if domain.contains(key) => to_tuple(fallback(key).ok()?),
+                None => None,
+            },
+        }
+    }
+
+    /// Point lookup returning all tuples under `key`.
+    pub fn lookup_all(&self, key: &Value) -> Vec<Arc<TupleF>> {
+        match &self.body {
+            Body::Multi(m) => m.get(key).map(|g| g.to_vec()).unwrap_or_default(),
+            _ => self.lookup(key).into_iter().collect(),
+        }
+    }
+
+    /// `true` if the function is defined at `key`.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        match &self.body {
+            Body::Unique(m) => m.contains_key(key),
+            Body::Multi(m) => m.contains_key(key),
+            Body::Computed { domain, .. } => domain.contains(key),
+            Body::Hybrid { map, domain, .. } => map.contains_key(key) || domain.contains(key),
+        }
+    }
+
+    /// Iterates the *stored* `(key, tuple)` pairs in key order (multi
+    /// bodies flatten their groups). Computed bodies yield nothing — use
+    /// [`Self::tuples`] to include enumerable computed parts.
+    pub fn iter_stored(&self) -> Box<dyn Iterator<Item = (Value, Arc<TupleF>)> + '_> {
+        match &self.body {
+            Body::Unique(m) => Box::new(m.iter().map(|(k, t)| (k.clone(), t.clone()))),
+            Body::Multi(m) => Box::new(
+                m.iter()
+                    .flat_map(|(k, g)| g.iter().map(move |t| (k.clone(), t.clone()))),
+            ),
+            Body::Computed { .. } => Box::new(std::iter::empty()),
+            Body::Hybrid { map, .. } => {
+                Box::new(map.iter().map(|(k, t)| (k.clone(), t.clone())))
+            }
+        }
+    }
+
+    /// All `(key, tuple)` pairs, including computed ones when the domain is
+    /// enumerable. Fails with [`FdmError::NotEnumerable`] if the relation
+    /// has a computed part over a non-enumerable domain.
+    pub fn tuples(&self) -> Result<Vec<(Value, Arc<TupleF>)>> {
+        match &self.body {
+            Body::Unique(_) | Body::Multi(_) => Ok(self.iter_stored().collect()),
+            Body::Computed { domain, f } => {
+                let keys = domain.enumerate().map_err(|_| FdmError::NotEnumerable {
+                    what: format!("relation function '{}'", self.name),
+                })?;
+                let mut out = Vec::with_capacity(keys.len());
+                for k in keys {
+                    if let Some(t) = to_tuple(f(&k)?) {
+                        out.push((k, t));
+                    }
+                }
+                Ok(out)
+            }
+            Body::Hybrid { map, domain, fallback } => {
+                let keys = domain.enumerate().map_err(|_| FdmError::NotEnumerable {
+                    what: format!("relation function '{}' (computed part)", self.name),
+                })?;
+                let mut out = Vec::new();
+                let mut seen = std::collections::BTreeSet::new();
+                for (k, t) in map.iter() {
+                    out.push((k.clone(), t.clone()));
+                    seen.insert(k.clone());
+                }
+                for k in keys {
+                    if !seen.contains(&k) {
+                        if let Some(t) = to_tuple(fallback(&k)?) {
+                            out.push((k, t));
+                        }
+                    }
+                }
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                Ok(out)
+            }
+        }
+    }
+
+    /// The keys at which the function is (storedly) defined.
+    pub fn stored_keys(&self) -> Vec<Value> {
+        match &self.body {
+            Body::Unique(m) => m.keys().cloned().collect(),
+            Body::Multi(m) => m.keys().cloned().collect(),
+            Body::Computed { .. } => Vec::new(),
+            Body::Hybrid { map, .. } => map.keys().cloned().collect(),
+        }
+    }
+
+    fn check_constraints_for_insert(
+        &self,
+        key: &Value,
+        tuple: &TupleF,
+    ) -> Result<Vec<PMap<Value, Value>>> {
+        let mut new_indexes = Vec::with_capacity(self.unique_indexes.len());
+        let mut uniq_i = 0usize;
+        for c in self.constraints.iter() {
+            match c {
+                Constraint::Unique(_) => {
+                    let idx = &self.unique_indexes[uniq_i];
+                    uniq_i += 1;
+                    match c.unique_key(tuple) {
+                        Some(uk) => {
+                            if let Some(existing) = idx.get(&uk) {
+                                if existing != key {
+                                    return Err(FdmError::ConstraintViolation {
+                                        constraint: c.to_string(),
+                                        detail: format!(
+                                            "value {uk} already present under key {existing}"
+                                        ),
+                                    });
+                                }
+                            }
+                            new_indexes.push(idx.insert(uk, key.clone()).0);
+                        }
+                        None => new_indexes.push(idx.clone()),
+                    }
+                }
+                Constraint::AttrDomain { attr, domain } => {
+                    if let Some(v) = tuple.try_get(attr) {
+                        if !domain.contains(&v) {
+                            return Err(FdmError::ConstraintViolation {
+                                constraint: c.to_string(),
+                                detail: format!("value {v} outside domain"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(new_indexes)
+    }
+
+    fn rebuild(&self, body: Body, unique_indexes: Vec<PMap<Value, Value>>) -> RelationF {
+        RelationF {
+            name: self.name.clone(),
+            key_attrs: self.key_attrs.clone(),
+            constraints: self.constraints.clone(),
+            unique_indexes: unique_indexes.into(),
+            body,
+        }
+    }
+
+    /// Inserts a tuple under `key`. Fails on duplicate keys (the function
+    /// definition *is* the primary-key constraint) and on constraint
+    /// violations. Returns the new relation; the receiver is unchanged.
+    pub fn insert(&self, key: Value, tuple: TupleF) -> Result<RelationF> {
+        self.insert_arc(key, Arc::new(tuple))
+    }
+
+    /// [`Self::insert`] taking an already-shared tuple.
+    pub fn insert_arc(&self, key: Value, tuple: Arc<TupleF>) -> Result<RelationF> {
+        match &self.body {
+            Body::Unique(map) => {
+                if map.contains_key(&key) {
+                    return Err(FdmError::DuplicateKey {
+                        relation: self.name.to_string(),
+                        key: key.to_string(),
+                    });
+                }
+                let indexes = self.check_constraints_for_insert(&key, &tuple)?;
+                let map = map.insert(key, tuple).0;
+                Ok(self.rebuild(Body::Unique(map), indexes))
+            }
+            Body::Multi(map) => {
+                let group = map.get(&key).cloned().unwrap_or_else(|| Arc::from([]));
+                let mut g: Vec<Arc<TupleF>> = group.to_vec();
+                g.push(tuple);
+                let map = map.insert(key, g.into()).0;
+                Ok(self.rebuild(Body::Multi(map), self.unique_indexes.to_vec()))
+            }
+            Body::Computed { .. } => Err(FdmError::Other(format!(
+                "cannot insert into fully computed relation function '{}'",
+                self.name
+            ))),
+            Body::Hybrid { map, domain, fallback } => {
+                if map.contains_key(&key) {
+                    return Err(FdmError::DuplicateKey {
+                        relation: self.name.to_string(),
+                        key: key.to_string(),
+                    });
+                }
+                let indexes = self.check_constraints_for_insert(&key, &tuple)?;
+                let map = map.insert(key, tuple).0;
+                Ok(self.rebuild(
+                    Body::Hybrid {
+                        map,
+                        domain: domain.clone(),
+                        fallback: fallback.clone(),
+                    },
+                    indexes,
+                ))
+            }
+        }
+    }
+
+    /// Inserts a tuple under an automatically assigned integer key (paper
+    /// Fig. 10: `customers.add({...})`). Returns the new relation and the
+    /// assigned key.
+    pub fn insert_auto(&self, tuple: TupleF) -> Result<(RelationF, Value)> {
+        let next = match &self.body {
+            Body::Unique(map) | Body::Hybrid { map, .. } => match map.last() {
+                Some((Value::Int(i), _)) => Value::Int(i + 1),
+                Some((other, _)) => {
+                    return Err(FdmError::Other(format!(
+                        "auto-id insert needs integer keys, relation '{}' has key {other}",
+                        self.name
+                    )))
+                }
+                None => Value::Int(1),
+            },
+            _ => {
+                return Err(FdmError::Other(format!(
+                    "auto-id insert unsupported for this body of '{}'",
+                    self.name
+                )))
+            }
+        };
+        Ok((self.insert(next.clone(), tuple)?, next))
+    }
+
+    /// Replaces the tuple under `key` (paper Fig. 10:
+    /// `customers[3] = {...}`); inserts if absent (upsert, mirroring the
+    /// Python costume's assignment semantics).
+    pub fn upsert(&self, key: Value, tuple: TupleF) -> Result<RelationF> {
+        match &self.body {
+            Body::Unique(map) => {
+                let removed = self.delete(&key).unwrap_or_else(|_| self.clone());
+                let _ = map; // old map only needed for the delete path above
+                removed.insert(key, tuple)
+            }
+            Body::Hybrid { .. } => {
+                let removed = self.delete(&key).unwrap_or_else(|_| self.clone());
+                removed.insert(key, tuple)
+            }
+            _ => Err(FdmError::Other(format!(
+                "upsert unsupported for this body of '{}'",
+                self.name
+            ))),
+        }
+    }
+
+    /// Updates one attribute of the tuple under `key` (paper Fig. 10:
+    /// `customers[3]['age'] = 50`).
+    pub fn update_attr(
+        &self,
+        key: &Value,
+        attr: &str,
+        value: impl Into<Value>,
+    ) -> Result<RelationF> {
+        let tuple = self.lookup(key).ok_or_else(|| FdmError::Undefined {
+            function: self.name.to_string(),
+            input: key.to_string(),
+        })?;
+        self.upsert(key.clone(), tuple.with_attr(attr, value))
+    }
+
+    /// Applies `f` to the tuple under `key`, storing the result.
+    pub fn update_tuple(
+        &self,
+        key: &Value,
+        f: impl FnOnce(&TupleF) -> Result<TupleF>,
+    ) -> Result<RelationF> {
+        let tuple = self.lookup(key).ok_or_else(|| FdmError::Undefined {
+            function: self.name.to_string(),
+            input: key.to_string(),
+        })?;
+        self.upsert(key.clone(), f(&tuple)?)
+    }
+
+    /// Deletes the tuple under `key` (paper Fig. 10: `del customers[3]`).
+    /// Fails if the function is not defined there.
+    pub fn delete(&self, key: &Value) -> Result<RelationF> {
+        match &self.body {
+            Body::Unique(map) => {
+                let (map, old) = map.remove(key);
+                let old = old.ok_or_else(|| FdmError::Undefined {
+                    function: self.name.to_string(),
+                    input: key.to_string(),
+                })?;
+                let indexes = self.drop_from_unique_indexes(&old);
+                Ok(self.rebuild(Body::Unique(map), indexes))
+            }
+            Body::Multi(map) => {
+                let (map, old) = map.remove(key);
+                if old.is_none() {
+                    return Err(FdmError::Undefined {
+                        function: self.name.to_string(),
+                        input: key.to_string(),
+                    });
+                }
+                Ok(self.rebuild(Body::Multi(map), self.unique_indexes.to_vec()))
+            }
+            Body::Computed { .. } => Err(FdmError::Other(format!(
+                "cannot delete from fully computed relation function '{}'",
+                self.name
+            ))),
+            Body::Hybrid { map, domain, fallback } => {
+                let (map, old) = map.remove(key);
+                let old = old.ok_or_else(|| FdmError::Undefined {
+                    function: self.name.to_string(),
+                    input: key.to_string(),
+                })?;
+                let indexes = self.drop_from_unique_indexes(&old);
+                Ok(self.rebuild(
+                    Body::Hybrid {
+                        map,
+                        domain: domain.clone(),
+                        fallback: fallback.clone(),
+                    },
+                    indexes,
+                ))
+            }
+        }
+    }
+
+    fn drop_from_unique_indexes(&self, tuple: &TupleF) -> Vec<PMap<Value, Value>> {
+        let mut out = Vec::with_capacity(self.unique_indexes.len());
+        let mut uniq_i = 0;
+        for c in self.constraints.iter() {
+            if let Constraint::Unique(_) = c {
+                let idx = &self.unique_indexes[uniq_i];
+                uniq_i += 1;
+                match c.unique_key(tuple) {
+                    Some(uk) => out.push(idx.remove(&uk).0),
+                    None => out.push(idx.clone()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds an **alternative relation function** keyed by `attr` — the
+    /// paper's `R2(foo) := t_foo` / `R3(foo) ↦ {TF}` (§2.4): what a
+    /// relational DBMS calls a secondary index is, in FDM, simply another
+    /// relation function over the same tuples.
+    ///
+    /// The result is a multi body (duplicates allowed). If the attribute is
+    /// actually unique, every group has one member.
+    pub fn index_by(&self, attr: &str) -> Result<RelationF> {
+        let mut map: PMap<Value, TupleGroup> = PMap::new();
+        for (_, tuple) in self.tuples()? {
+            let k = tuple.get(attr)?;
+            let group = map.get(&k).cloned().unwrap_or_else(|| Arc::from([]));
+            let mut g: Vec<Arc<TupleF>> = group.to_vec();
+            g.push(tuple);
+            map = map.insert(k, g.into()).0;
+        }
+        Ok(RelationF {
+            name: Arc::from(format!("{}_by_{attr}", self.name)),
+            key_attrs: Arc::from([Name::from(attr)]),
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Multi(map),
+        })
+    }
+
+    /// Creates a multi-body relation directly from groups (used by FQL's
+    /// `group` operator).
+    pub fn from_groups(
+        name: impl AsRef<str>,
+        key_attrs: &[&str],
+        groups: impl IntoIterator<Item = (Value, Vec<Arc<TupleF>>)>,
+    ) -> RelationF {
+        let mut map: PMap<Value, TupleGroup> = PMap::new();
+        for (k, g) in groups {
+            map = map.insert(k, g.into()).0;
+        }
+        RelationF {
+            name: Arc::from(name.as_ref()),
+            key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Multi(map),
+        }
+    }
+}
+
+/// Interprets a computed result as a tuple function if possible.
+fn to_tuple(v: Value) -> Option<Arc<TupleF>> {
+    match v {
+        Value::Fn(f) => f.as_tuple().ok().cloned(),
+        _ => None,
+    }
+}
+
+impl Function for RelationF {
+    fn fn_name(&self) -> &str {
+        &self.name
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn domain(&self) -> Domain {
+        match &self.body {
+            Body::Unique(m) => Domain::enumerated(m.keys().cloned()),
+            Body::Multi(m) => Domain::enumerated(m.keys().cloned()),
+            Body::Computed { domain, .. } => domain.clone(),
+            Body::Hybrid { map, domain, .. } => {
+                // The hybrid is defined on the union of its stored keys and
+                // the fallback domain; the stored keys are usually inside
+                // the declared domain already, so report the declared one
+                // refined by "or stored".
+                let keys: Vec<Value> = map.keys().cloned().collect();
+                let d = domain.clone();
+                let keyset = fdm_storage::PSet::from_iter(keys);
+                Domain::Predicate {
+                    base: Box::new(Domain::Typed(crate::types::ValueType::Int)),
+                    pred: Arc::new(move |v| keyset.contains(v) || d.contains(v)),
+                    description: format!("stored keys ∪ {domain}"),
+                }
+            }
+        }
+    }
+
+    fn apply(&self, args: &[Value]) -> Result<Value> {
+        if args.len() != 1 {
+            return Err(FdmError::ArityMismatch {
+                function: self.name.to_string(),
+                expected: 1,
+                found: args.len(),
+            });
+        }
+        let key = &args[0];
+        match &self.body {
+            Body::Multi(m) => match m.get(key) {
+                Some(group) => Ok(Value::list(
+                    group
+                        .iter()
+                        .map(|t| Value::Fn(crate::function::FnValue::Tuple(t.clone()))),
+                )),
+                None => Err(FdmError::Undefined {
+                    function: self.name.to_string(),
+                    input: key.to_string(),
+                }),
+            },
+            Body::Computed { domain, f } => {
+                if !domain.contains(key) {
+                    return Err(FdmError::Undefined {
+                        function: self.name.to_string(),
+                        input: key.to_string(),
+                    });
+                }
+                f(key)
+            }
+            Body::Hybrid { map, domain, fallback } => match map.get(key) {
+                Some(t) => Ok(Value::Fn(crate::function::FnValue::Tuple(t.clone()))),
+                None if domain.contains(key) => fallback(key),
+                None => Err(FdmError::Undefined {
+                    function: self.name.to_string(),
+                    input: key.to_string(),
+                }),
+            },
+            Body::Unique(m) => match m.get(key) {
+                Some(t) => Ok(Value::Fn(crate::function::FnValue::Tuple(t.clone()))),
+                None => Err(FdmError::Undefined {
+                    function: self.name.to_string(),
+                    input: key.to_string(),
+                }),
+            },
+        }
+    }
+}
+
+impl fmt::Debug for RelationF {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.body {
+            Body::Unique(_) => "stored",
+            Body::Multi(_) => "multi",
+            Body::Computed { .. } => "computed",
+            Body::Hybrid { .. } => "hybrid",
+        };
+        write!(
+            f,
+            "RelationF({} [{kind}], key=({}), {} stored tuple(s))",
+            self.name,
+            self.key_attrs
+                .iter()
+                .map(|n| n.as_ref())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::apply1;
+    use crate::types::ValueType;
+
+    fn alice() -> TupleF {
+        TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build()
+    }
+
+    fn bob() -> TupleF {
+        TupleF::builder("t3").attr("name", "Bob").attr("foo", 25).build()
+    }
+
+    fn thomas() -> TupleF {
+        TupleF::builder("t4").attr("name", "Thomas").attr("foo", 25).build()
+    }
+
+    fn r1() -> RelationF {
+        RelationF::new("R1", &["bar"])
+            .insert(Value::Int(1), alice())
+            .unwrap()
+            .insert(Value::Int(3), bob())
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_r1_semantics() {
+        let r = r1();
+        // R1(1) returns t1; R1(3) returns t3; calls elsewhere are undefined.
+        assert_eq!(
+            r.lookup(&Value::Int(1)).unwrap().get("name").unwrap(),
+            Value::str("Alice")
+        );
+        assert!(r.lookup(&Value::Int(2)).is_none());
+        let err = apply1(&r, &Value::Int(2)).unwrap_err();
+        assert!(matches!(err, FdmError::Undefined { .. }));
+    }
+
+    #[test]
+    fn primary_key_unique_by_function_definition() {
+        let r = r1();
+        let err = r.insert(Value::Int(1), thomas()).unwrap_err();
+        assert!(matches!(err, FdmError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn persistence_on_all_mutations() {
+        let r = r1();
+        let r2 = r.upsert(Value::Int(1), thomas()).unwrap();
+        let r3 = r.delete(&Value::Int(3)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r3.len(), 1);
+        assert_eq!(
+            r.lookup(&Value::Int(1)).unwrap().get("name").unwrap(),
+            Value::str("Alice"),
+            "original snapshot unaffected"
+        );
+        assert_eq!(
+            r2.lookup(&Value::Int(1)).unwrap().get("name").unwrap(),
+            Value::str("Thomas")
+        );
+    }
+
+    #[test]
+    fn auto_id_insert() {
+        let (r, k) = r1().insert_auto(thomas()).unwrap();
+        assert_eq!(k, Value::Int(4), "max key 3 + 1");
+        assert_eq!(r.len(), 3);
+        let (r0, k0) = RelationF::new("empty", &["id"]).insert_auto(alice()).unwrap();
+        assert_eq!(k0, Value::Int(1));
+        assert_eq!(r0.len(), 1);
+    }
+
+    #[test]
+    fn update_attr_fig10() {
+        // customers[3]['age'] = 50
+        let r = r1().update_attr(&Value::Int(3), "foo", 26).unwrap();
+        assert_eq!(
+            r.lookup(&Value::Int(3)).unwrap().get("foo").unwrap(),
+            Value::Int(26)
+        );
+        let err = r.update_attr(&Value::Int(99), "foo", 1).unwrap_err();
+        assert!(matches!(err, FdmError::Undefined { .. }));
+    }
+
+    #[test]
+    fn delete_missing_is_undefined() {
+        let err = r1().delete(&Value::Int(42)).unwrap_err();
+        assert!(matches!(err, FdmError::Undefined { .. }));
+    }
+
+    #[test]
+    fn index_by_builds_alternative_relation_function() {
+        // R2(foo) organized by attribute foo (paper §2.4); with t4 added,
+        // foo=25 has duplicates — R3(foo) ↦ {TF}.
+        let r = r1().insert(Value::Int(4), thomas()).unwrap();
+        let by_foo = r.index_by("foo").unwrap();
+        assert!(by_foo.is_multi());
+        assert_eq!(by_foo.lookup_all(&Value::Int(25)).len(), 2);
+        assert_eq!(by_foo.lookup_all(&Value::Int(12)).len(), 1);
+        assert!(by_foo.lookup_all(&Value::Int(99)).is_empty());
+        // Through the Function interface a multi lookup returns a list of
+        // tuple functions.
+        let v = apply1(&by_foo, &Value::Int(25)).unwrap();
+        assert_eq!(v.as_list("index result").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn computed_relation_r4() {
+        // R4(bar): stored for bar ∈ {1,3}, λ elsewhere (paper §2.4):
+        // the λ returns {'name': rndStr(seed=bar), 'foo': 42·bar}.
+        let r4 = r1()
+            .with_fallback(Domain::Typed(ValueType::Int), |key| {
+                let bar = key.as_int("R4 fallback")?;
+                let t = TupleF::builder("λ")
+                    .attr("name", format!("rnd_{bar}"))
+                    .attr("foo", 42 * bar)
+                    .build();
+                Ok(Value::Fn(crate::function::FnValue::from(t)))
+            })
+            .unwrap();
+        // R4(10)('foo') = 420
+        assert_eq!(
+            r4.lookup(&Value::Int(10)).unwrap().get("foo").unwrap(),
+            Value::Int(420)
+        );
+        // R4(3)('foo') = 25 — stored tuple wins
+        assert_eq!(
+            r4.lookup(&Value::Int(3)).unwrap().get("foo").unwrap(),
+            Value::Int(25)
+        );
+        // the domain is all ints — not enumerable
+        assert!(!r4.is_enumerable());
+        assert!(matches!(r4.tuples(), Err(FdmError::NotEnumerable { .. })));
+    }
+
+    #[test]
+    fn computed_relation_with_enumerable_domain_enumerates() {
+        let r = RelationF::computed(
+            "squares",
+            &["n"],
+            Domain::IntRange(1, 5),
+            |key| {
+                let n = key.as_int("squares")?;
+                Ok(Value::Fn(crate::function::FnValue::from(
+                    TupleF::builder("sq").attr("n", n).attr("square", n * n).build(),
+                )))
+            },
+        );
+        let all = r.tuples().unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4].1.get("square").unwrap(), Value::Int(25));
+        assert!(r.lookup(&Value::Int(7)).is_none(), "outside domain");
+        assert!(r.insert(Value::Int(9), alice()).is_err(), "computed is read-only");
+    }
+
+    #[test]
+    fn unique_constraint_enforced_via_index() {
+        let r = r1()
+            .with_constraint(Constraint::unique(&["name"]))
+            .unwrap();
+        let dup = TupleF::builder("dup").attr("name", "Alice").attr("foo", 1).build();
+        let err = r.insert(Value::Int(9), dup).unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+        // deleting frees the value again
+        let r = r.delete(&Value::Int(1)).unwrap();
+        let ok = TupleF::builder("ok").attr("name", "Alice").attr("foo", 1).build();
+        assert!(r.insert(Value::Int(9), ok).is_ok());
+    }
+
+    #[test]
+    fn unique_constraint_rejects_existing_duplicates() {
+        let r = r1().insert(Value::Int(4), thomas()).unwrap();
+        // foo=25 occurs twice (bob, thomas)
+        let err = r.with_constraint(Constraint::unique(&["foo"])).unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+    }
+
+    #[test]
+    fn attr_domain_constraint() {
+        let r = RelationF::new("people", &["id"])
+            .with_constraint(Constraint::attr_domain("age", Domain::IntRange(0, 150)))
+            .unwrap();
+        let ok = TupleF::builder("p").attr("age", 30).build();
+        let r = r.insert(Value::Int(1), ok).unwrap();
+        let bad = TupleF::builder("p").attr("age", 200).build();
+        let err = r.insert(Value::Int(2), bad).unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+    }
+
+    #[test]
+    fn upsert_on_unique_updates_indexes() {
+        let r = r1().with_constraint(Constraint::unique(&["name"])).unwrap();
+        // rename Alice -> Zoe, then a new Alice must be allowed
+        let zoe = TupleF::builder("z").attr("name", "Zoe").attr("foo", 1).build();
+        let r = r.upsert(Value::Int(1), zoe).unwrap();
+        let alice2 = TupleF::builder("a").attr("name", "Alice").attr("foo", 2).build();
+        assert!(r.insert(Value::Int(7), alice2).is_ok());
+    }
+
+    #[test]
+    fn from_groups_roundtrip() {
+        let g = RelationF::from_groups(
+            "by_age",
+            &["age"],
+            [
+                (Value::Int(30), vec![Arc::new(alice())]),
+                (Value::Int(40), vec![Arc::new(bob()), Arc::new(thomas())]),
+            ],
+        );
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.lookup_all(&Value::Int(40)).len(), 2);
+    }
+
+    #[test]
+    fn renamed_shares_data() {
+        let r = r1().renamed("customers");
+        assert_eq!(r.name(), "customers");
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,411 @@
+//! Relationship functions (paper §3, Definition 3).
+//!
+//! A relationship among k functions is a function over their combined
+//! inputs: `order(cid, pid) ↦ {('date': ...), ...}` (Fig. 1). If the
+//! codomain is `bool` we call it a relationship *predicate*.
+//!
+//! Foreign keys need no separate mechanism: each parameter of a
+//! relationship function carries a [`SharedDomain`], and using *the same*
+//! shared domain as the participant function is the constraint (paper §3:
+//! "we enforce these constraints as a side effect by simply making
+//! functions share the same domains").
+//!
+//! Participants are not restricted to relation functions: Fig. 3 relates a
+//! *database* function to a relation function (`is_accessed_by(rel_name,
+//! uid)`), which classical ER modeling cannot express.
+
+use crate::domain::{Domain, SharedDomain};
+use crate::error::{FdmError, Name, Result};
+use crate::function::Function;
+use crate::tuple::TupleF;
+use crate::value::Value;
+use fdm_storage::PMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One parameter of a relationship function.
+#[derive(Clone)]
+pub struct Participant {
+    /// Name of the participating function (e.g. `"customers"`), used by
+    /// FQL's schema-driven join.
+    pub function: Name,
+    /// The key parameter's name (e.g. `"cid"`).
+    pub key: Name,
+    /// The shared domain — identity with the participant's own key domain
+    /// is the foreign-key link.
+    pub domain: SharedDomain,
+}
+
+impl Participant {
+    /// Creates a participant description.
+    pub fn new(function: impl AsRef<str>, key: impl AsRef<str>, domain: SharedDomain) -> Self {
+        Participant {
+            function: Arc::from(function.as_ref()),
+            key: Arc::from(key.as_ref()),
+            domain,
+        }
+    }
+}
+
+/// A k-ary relationship function over shared domains.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::{Domain, Participant, RelationshipF, SharedDomain, TupleF, Value, ValueType};
+///
+/// let cid = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
+/// let pid = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
+/// let order = RelationshipF::new("order", vec![
+///     Participant::new("customers", "cid", cid),
+///     Participant::new("products", "pid", pid),
+/// ]);
+/// let order = order.insert(
+///     &[Value::Int(1), Value::Int(7)],
+///     TupleF::builder("o").attr("date", "2026-01-01").build(),
+/// ).unwrap();
+/// assert!(order.relates(&[Value::Int(1), Value::Int(7)]));
+/// assert!(!order.relates(&[Value::Int(1), Value::Int(8)]));
+/// ```
+#[derive(Clone)]
+pub struct RelationshipF {
+    name: Name,
+    participants: Arc<[Participant]>,
+    /// Stored entries: composite key (Value::List of the k inputs) → the
+    /// relationship's own attributes (possibly an empty tuple for pure
+    /// predicates).
+    map: PMap<Value, Arc<TupleF>>,
+}
+
+impl RelationshipF {
+    /// Creates an empty relationship function among the given participants.
+    pub fn new(name: impl AsRef<str>, participants: Vec<Participant>) -> RelationshipF {
+        RelationshipF {
+            name: Arc::from(name.as_ref()),
+            participants: participants.into(),
+            map: PMap::new(),
+        }
+    }
+
+    /// The relationship function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The participants, in parameter order.
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// Number of stored relationship entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Arity (number of participating functions).
+    pub fn arity_k(&self) -> usize {
+        self.participants.len()
+    }
+
+    fn composite_key(&self, args: &[Value]) -> Result<Value> {
+        if args.len() != self.participants.len() {
+            return Err(FdmError::ArityMismatch {
+                function: self.name.to_string(),
+                expected: self.participants.len(),
+                found: args.len(),
+            });
+        }
+        for (p, v) in self.participants.iter().zip(args) {
+            if !p.domain.contains(v) {
+                return Err(FdmError::ConstraintViolation {
+                    constraint: format!("{}.{} ∈ shared domain '{}'", self.name, p.key, p.domain.name()),
+                    detail: format!("value {v} outside domain"),
+                });
+            }
+        }
+        Ok(Value::list(args.iter().cloned()))
+    }
+
+    /// Inserts a relationship entry with its own attributes. The key
+    /// values must lie in the participants' shared domains.
+    pub fn insert(&self, args: &[Value], attrs: TupleF) -> Result<RelationshipF> {
+        let key = self.composite_key(args)?;
+        if self.map.contains_key(&key) {
+            return Err(FdmError::DuplicateKey {
+                relation: self.name.to_string(),
+                key: key.to_string(),
+            });
+        }
+        Ok(RelationshipF {
+            name: self.name.clone(),
+            participants: self.participants.clone(),
+            map: self.map.insert(key, Arc::new(attrs)).0,
+        })
+    }
+
+    /// Inserts a pure-predicate entry (no attributes of its own).
+    pub fn insert_link(&self, args: &[Value]) -> Result<RelationshipF> {
+        self.insert(args, TupleF::builder(format!("{}_link", self.name)).build())
+    }
+
+    /// Removes a relationship entry.
+    pub fn remove(&self, args: &[Value]) -> Result<RelationshipF> {
+        let key = self.composite_key(args)?;
+        let (map, old) = self.map.remove(&key);
+        if old.is_none() {
+            return Err(FdmError::Undefined {
+                function: self.name.to_string(),
+                input: key.to_string(),
+            });
+        }
+        Ok(RelationshipF {
+            name: self.name.clone(),
+            participants: self.participants.clone(),
+            map,
+        })
+    }
+
+    /// The relationship **predicate** (paper Def. 3 with `Y == bool`):
+    /// does a relationship exist among these inputs?
+    pub fn relates(&self, args: &[Value]) -> bool {
+        match self.composite_key(args) {
+            Ok(key) => self.map.contains_key(&key),
+            Err(_) => false,
+        }
+    }
+
+    /// The relationship's own attributes for the given inputs.
+    pub fn attrs(&self, args: &[Value]) -> Option<Arc<TupleF>> {
+        let key = self.composite_key(args).ok()?;
+        self.map.get(&key).cloned()
+    }
+
+    /// Iterates all `(arg-list, attrs)` entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<Value>, Arc<TupleF>)> + '_ {
+        self.map.iter().map(|(k, t)| {
+            let args = match k {
+                Value::List(items) => items.to_vec(),
+                other => vec![other.clone()],
+            };
+            (args, t.clone())
+        })
+    }
+
+    /// All distinct values appearing in parameter position `i` — the image
+    /// of the relationship on that participant (used by FQL's semi-join
+    /// reduction).
+    pub fn key_values_at(&self, i: usize) -> Vec<Value> {
+        let mut out: Vec<Value> = self
+            .map
+            .keys()
+            .filter_map(|k| match k {
+                Value::List(items) => items.get(i).cloned(),
+                other if i == 0 => Some(other.clone()),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Finds the parameter position of a participant by its key name.
+    pub fn position_of(&self, key_name: &str) -> Option<usize> {
+        self.participants.iter().position(|p| p.key.as_ref() == key_name)
+    }
+
+    /// Converts the relationship into a plain relation function whose
+    /// tuples carry the key attributes inline (useful to hand to operators
+    /// that expect relation functions).
+    pub fn to_relation(&self) -> crate::relation::RelationF {
+        let key_names: Vec<&str> = self.participants.iter().map(|p| p.key.as_ref()).collect();
+        let mut rel = crate::relation::RelationF::new(self.name.as_ref(), &key_names);
+        for (args, attrs) in self.iter() {
+            let mut t = TupleF::builder(format!("{}_t", self.name));
+            for (p, v) in self.participants.iter().zip(&args) {
+                t = t.attr(p.key.as_ref(), v.clone());
+            }
+            let mut tuple = t.build();
+            // splice in the relationship's own attributes
+            for (n, v) in attrs.materialize().unwrap_or_default() {
+                tuple = tuple.with_attr(n.as_ref(), v);
+            }
+            rel = rel
+                .insert(Value::list(args.clone()), tuple)
+                .expect("keys unique by construction");
+        }
+        rel
+    }
+}
+
+impl Function for RelationshipF {
+    fn fn_name(&self) -> &str {
+        &self.name
+    }
+
+    fn arity(&self) -> usize {
+        self.participants.len()
+    }
+
+    fn domain(&self) -> Domain {
+        Domain::Product(
+            self.participants
+                .iter()
+                .map(|p| p.domain.domain().clone())
+                .collect(),
+        )
+    }
+
+    fn apply(&self, args: &[Value]) -> Result<Value> {
+        let key = self.composite_key(args)?;
+        match self.map.get(&key) {
+            Some(t) => Ok(Value::Fn(crate::function::FnValue::Tuple(t.clone()))),
+            None => Err(FdmError::Undefined {
+                function: self.name.to_string(),
+                input: key.to_string(),
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for RelationshipF {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelationshipF({}(", self.name)?;
+        for (i, p) in self.participants.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", p.key)?;
+        }
+        write!(f, "), {} entries)", self.map.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ValueType;
+
+    fn shared(name: &str) -> SharedDomain {
+        SharedDomain::new(name, Domain::Typed(ValueType::Int))
+    }
+
+    fn order() -> RelationshipF {
+        RelationshipF::new(
+            "order",
+            vec![
+                Participant::new("customers", "cid", shared("cid")),
+                Participant::new("products", "pid", shared("pid")),
+            ],
+        )
+    }
+
+    #[test]
+    fn fig1_order_relationship() {
+        let o = order()
+            .insert(
+                &[Value::Int(1), Value::Int(7)],
+                TupleF::builder("o").attr("date", "2026-01-01").build(),
+            )
+            .unwrap();
+        assert!(o.relates(&[Value::Int(1), Value::Int(7)]));
+        assert!(!o.relates(&[Value::Int(2), Value::Int(7)]));
+        assert_eq!(
+            o.attrs(&[Value::Int(1), Value::Int(7)])
+                .unwrap()
+                .get("date")
+                .unwrap(),
+            Value::str("2026-01-01")
+        );
+    }
+
+    #[test]
+    fn shared_domain_rejects_out_of_domain_keys() {
+        let cid = SharedDomain::new("cid", Domain::enumerated([Value::Int(1), Value::Int(2)]));
+        let pid = shared("pid");
+        let o = RelationshipF::new(
+            "order",
+            vec![
+                Participant::new("customers", "cid", cid),
+                Participant::new("products", "pid", pid),
+            ],
+        );
+        // cid=9 is not in the shared domain — the FK constraint, enforced
+        // as a side effect of domain sharing.
+        let err = o
+            .insert_link(&[Value::Int(9), Value::Int(7)])
+            .unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+        assert!(o.insert_link(&[Value::Int(2), Value::Int(7)]).is_ok());
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let o = order();
+        let err = o.insert_link(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, FdmError::ArityMismatch { .. }));
+        assert!(!o.relates(&[Value::Int(1)]));
+    }
+
+    #[test]
+    fn duplicate_relationship_entry_rejected() {
+        let o = order().insert_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        let err = o.insert_link(&[Value::Int(1), Value::Int(7)]).unwrap_err();
+        assert!(matches!(err, FdmError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn remove_and_persistence() {
+        let o = order().insert_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        let o2 = o.remove(&[Value::Int(1), Value::Int(7)]).unwrap();
+        assert!(o.relates(&[Value::Int(1), Value::Int(7)]), "snapshot intact");
+        assert!(!o2.relates(&[Value::Int(1), Value::Int(7)]));
+        assert!(o2.remove(&[Value::Int(1), Value::Int(7)]).is_err());
+    }
+
+    #[test]
+    fn key_values_at_deduplicates() {
+        let o = order()
+            .insert_link(&[Value::Int(1), Value::Int(7)])
+            .unwrap()
+            .insert_link(&[Value::Int(1), Value::Int(8)])
+            .unwrap()
+            .insert_link(&[Value::Int(2), Value::Int(7)])
+            .unwrap();
+        assert_eq!(o.key_values_at(0), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(o.key_values_at(1), vec![Value::Int(7), Value::Int(8)]);
+        assert_eq!(o.position_of("pid"), Some(1));
+        assert_eq!(o.position_of("nope"), None);
+    }
+
+    #[test]
+    fn to_relation_inlines_keys_and_attrs() {
+        let o = order()
+            .insert(
+                &[Value::Int(1), Value::Int(7)],
+                TupleF::builder("o").attr("date", "2026-05-01").build(),
+            )
+            .unwrap();
+        let rel = o.to_relation();
+        assert_eq!(rel.len(), 1);
+        let (_, t) = rel.tuples().unwrap().pop().unwrap();
+        assert_eq!(t.get("cid").unwrap(), Value::Int(1));
+        assert_eq!(t.get("pid").unwrap(), Value::Int(7));
+        assert_eq!(t.get("date").unwrap(), Value::str("2026-05-01"));
+    }
+
+    #[test]
+    fn function_interface_k_ary() {
+        let o = order().insert_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        assert_eq!(o.arity(), 2);
+        let v = o.apply(&[Value::Int(1), Value::Int(7)]).unwrap();
+        assert!(matches!(v, Value::Fn(_)));
+        assert!(o.apply(&[Value::Int(5), Value::Int(5)]).is_err());
+        assert!(matches!(o.domain(), Domain::Product(ds) if ds.len() == 2));
+    }
+}

@@ -1,0 +1,400 @@
+//! Tuple functions (paper §2.3).
+//!
+//! A tuple function maps attribute names to values:
+//! `t1('name') = 'Alice'`. Attributes may be **stored** (a constant) or
+//! **computed** (a closure over the tuple itself) — and the two are
+//! indistinguishable to callers, which is the paper's point (3): "the
+//! boundary between data that is stored and data that is computed is
+//! removed". Values may themselves be functions (nested tuples, relations;
+//! §2.6).
+
+use crate::domain::Domain;
+use crate::error::{FdmError, Name, Result};
+use crate::function::Function;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A computed attribute: a closure receiving the tuple it belongs to, so it
+/// can derive its value from other attributes (like the paper's
+/// `t('bar') = 42 · t1('foo')`).
+pub type ComputedAttr = Arc<dyn Fn(&TupleF) -> Result<Value> + Send + Sync>;
+
+/// One attribute definition.
+#[derive(Clone)]
+enum AttrDef {
+    Stored(Value),
+    Computed(ComputedAttr),
+}
+
+/// A tuple function: attribute name → value.
+///
+/// Construction goes through [`TupleBuilder`]; the result is immutable.
+/// "Updates" build new tuples ([`TupleF::with_attr`]) — persistence all the
+/// way down, so snapshots are free.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::{TupleF, Value};
+///
+/// // t1(attr) := {('name': 'Alice'), ('foo': 12)}            (paper §2.3)
+/// let t1 = TupleF::builder("t1")
+///     .attr("name", "Alice")
+///     .attr("foo", 12)
+///     .build();
+/// assert_eq!(t1.get("foo").unwrap(), Value::Int(12));
+///
+/// // computed attribute: t('bar') = 42 * t('foo')
+/// let t = TupleF::builder("t")
+///     .attr("name", "Alice")
+///     .attr("foo", 12)
+///     .computed("bar", |t| t.get("foo")?.mul(&Value::Int(42)))
+///     .build();
+/// assert_eq!(t.get("bar").unwrap(), Value::Int(504));
+/// ```
+#[derive(Clone)]
+pub struct TupleF {
+    name: Name,
+    /// Attribute definitions in declaration order (small: linear scan wins
+    /// over hashing for the typical < 32 attributes).
+    attrs: Arc<[(Name, AttrDef)]>,
+}
+
+impl TupleF {
+    /// Starts building a tuple function with the given name.
+    pub fn builder(name: impl AsRef<str>) -> TupleBuilder {
+        TupleBuilder {
+            name: Arc::from(name.as_ref()),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// The tuple function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (stored + computed).
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.attrs.iter().map(|(n, _)| n)
+    }
+
+    /// `true` if the tuple has this attribute.
+    pub fn has_attr(&self, attr: &str) -> bool {
+        self.attrs.iter().any(|(n, _)| n.as_ref() == attr)
+    }
+
+    /// `true` if the attribute exists and is computed (not stored).
+    pub fn is_computed(&self, attr: &str) -> bool {
+        self.attrs
+            .iter()
+            .any(|(n, d)| n.as_ref() == attr && matches!(d, AttrDef::Computed(_)))
+    }
+
+    /// Looks up an attribute value — calling the tuple function.
+    ///
+    /// Computed attributes are evaluated on demand; callers cannot tell the
+    /// difference.
+    pub fn get(&self, attr: &str) -> Result<Value> {
+        for (n, def) in self.attrs.iter() {
+            if n.as_ref() == attr {
+                return match def {
+                    AttrDef::Stored(v) => Ok(v.clone()),
+                    AttrDef::Computed(f) => f(self),
+                };
+            }
+        }
+        Err(FdmError::NoSuchAttribute { attr: attr.to_string() })
+    }
+
+    /// Like [`Self::get`] but returns `None` instead of an error for a
+    /// missing attribute.
+    pub fn try_get(&self, attr: &str) -> Option<Value> {
+        self.get(attr).ok()
+    }
+
+    /// Builds a new tuple with `attr` set to `value` (stored), replacing
+    /// any previous definition. This is the FQL update
+    /// `customers[3]['age'] = 50` (paper Fig. 10) at the tuple level.
+    pub fn with_attr(&self, attr: impl AsRef<str>, value: impl Into<Value>) -> TupleF {
+        let attr = attr.as_ref();
+        let mut attrs: Vec<(Name, AttrDef)> = self.attrs.to_vec();
+        let def = AttrDef::Stored(value.into());
+        match attrs.iter_mut().find(|(n, _)| n.as_ref() == attr) {
+            Some((_, slot)) => *slot = def,
+            None => attrs.push((Arc::from(attr), def)),
+        }
+        TupleF { name: self.name.clone(), attrs: attrs.into() }
+    }
+
+    /// Builds a new tuple without `attr`.
+    pub fn without_attr(&self, attr: &str) -> TupleF {
+        let attrs: Vec<(Name, AttrDef)> = self
+            .attrs
+            .iter()
+            .filter(|(n, _)| n.as_ref() != attr)
+            .cloned()
+            .collect();
+        TupleF { name: self.name.clone(), attrs: attrs.into() }
+    }
+
+    /// Builds a new tuple with only the named attributes, in the given
+    /// order (projection).
+    pub fn project(&self, attrs: &[&str]) -> Result<TupleF> {
+        let mut out = Vec::with_capacity(attrs.len());
+        for want in attrs {
+            let found = self
+                .attrs
+                .iter()
+                .find(|(n, _)| n.as_ref() == *want)
+                .ok_or_else(|| FdmError::NoSuchAttribute { attr: (*want).to_string() })?;
+            out.push(found.clone());
+        }
+        Ok(TupleF { name: self.name.clone(), attrs: out.into() })
+    }
+
+    /// Evaluates every attribute and returns `(name, value)` pairs in
+    /// declaration order. Computed attributes are materialized.
+    pub fn materialize(&self) -> Result<Vec<(Name, Value)>> {
+        self.attrs
+            .iter()
+            .map(|(n, _)| Ok((n.clone(), self.get(n)?)))
+            .collect()
+    }
+
+    /// Structural data equality: same attribute names (order-insensitive)
+    /// mapping to equal values, with computed attributes evaluated.
+    /// Evaluation failures compare as not-equal.
+    pub fn eq_data(&self, other: &TupleF) -> bool {
+        if self.attrs.len() != other.attrs.len() {
+            return false;
+        }
+        let (Ok(mut a), Ok(mut b)) = (self.materialize(), other.materialize()) else {
+            return false;
+        };
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        a == b
+    }
+
+    /// A canonical sort key over materialized attributes, used for
+    /// deterministic ordering and duplicate elimination in set operations.
+    pub fn data_key(&self) -> Result<Value> {
+        let mut pairs = self.materialize()?;
+        pairs.sort_by(|x, y| x.0.cmp(&y.0));
+        Ok(Value::list(pairs.into_iter().flat_map(|(n, v)| {
+            [Value::Str(n), v]
+        })))
+    }
+}
+
+impl Function for TupleF {
+    fn fn_name(&self) -> &str {
+        &self.name
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn domain(&self) -> Domain {
+        Domain::enumerated(self.attrs.iter().map(|(n, _)| Value::Str(n.clone())))
+    }
+
+    fn apply(&self, args: &[Value]) -> Result<Value> {
+        if args.len() != 1 {
+            return Err(FdmError::ArityMismatch {
+                function: self.name.to_string(),
+                expected: 1,
+                found: args.len(),
+            });
+        }
+        let attr = args[0].as_str("tuple function argument")?;
+        self.get(attr)
+    }
+}
+
+impl fmt::Debug for TupleF {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.name)?;
+        for (i, (n, def)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match def {
+                AttrDef::Stored(v) => write!(f, "'{n}': {v}")?,
+                AttrDef::Computed(_) => write!(f, "'{n}': <computed>")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`TupleF`].
+pub struct TupleBuilder {
+    name: Name,
+    attrs: Vec<(Name, AttrDef)>,
+}
+
+impl TupleBuilder {
+    /// Adds a stored attribute.
+    pub fn attr(mut self, name: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        self.attrs
+            .push((Arc::from(name.as_ref()), AttrDef::Stored(value.into())));
+        self
+    }
+
+    /// Adds a computed attribute: a closure over the finished tuple.
+    pub fn computed(
+        mut self,
+        name: impl AsRef<str>,
+        f: impl Fn(&TupleF) -> Result<Value> + Send + Sync + 'static,
+    ) -> Self {
+        self.attrs
+            .push((Arc::from(name.as_ref()), AttrDef::Computed(Arc::new(f))));
+        self
+    }
+
+    /// Adds a nested function-valued attribute (paper §2.6: `t5('foo') = R`).
+    pub fn function(mut self, name: impl AsRef<str>, f: impl Into<crate::function::FnValue>) -> Self {
+        self.attrs.push((
+            Arc::from(name.as_ref()),
+            AttrDef::Stored(Value::Fn(f.into())),
+        ));
+        self
+    }
+
+    /// Finishes the tuple function.
+    pub fn build(self) -> TupleF {
+        TupleF { name: self.name, attrs: self.attrs.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{apply1, FnValue};
+
+    fn t1() -> TupleF {
+        TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build()
+    }
+
+    #[test]
+    fn paper_t1_lookup() {
+        // t1('foo') = 12   (paper §2.3)
+        let t = t1();
+        assert_eq!(t.get("foo").unwrap(), Value::Int(12));
+        assert_eq!(t.get("name").unwrap(), Value::str("Alice"));
+        let err = t.get("bar").unwrap_err();
+        assert!(matches!(err, FdmError::NoSuchAttribute { .. }));
+    }
+
+    #[test]
+    fn computed_attr_indistinguishable_from_stored() {
+        // t('bar') = 42 · t1('foo') if attr = 'bar', else t1(attr)
+        let t = TupleF::builder("t")
+            .attr("name", "Alice")
+            .attr("foo", 12)
+            .computed("bar", |t| t.get("foo")?.mul(&Value::Int(42)))
+            .build();
+        assert_eq!(t.get("bar").unwrap(), Value::Int(504));
+        assert!(t.is_computed("bar"));
+        assert!(!t.is_computed("foo"));
+        // through the uniform Function interface there is no difference:
+        assert_eq!(
+            apply1(&t, &Value::str("bar")).unwrap(),
+            apply1(&t, &Value::str("foo")).unwrap().mul(&Value::Int(42)).unwrap()
+        );
+    }
+
+    #[test]
+    fn function_interface_domain_is_attr_names() {
+        let t = t1();
+        let d = t.domain();
+        assert!(d.contains(&Value::str("name")));
+        assert!(!d.contains(&Value::str("nope")));
+        let attrs = d.enumerate().unwrap();
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn nested_function_valued_attribute() {
+        // t3('foo') = t1 — a higher-order tuple (paper §2.6)
+        let inner = t1();
+        let t3 = TupleF::builder("t3")
+            .attr("name", "Bob")
+            .function("foo", inner)
+            .build();
+        let v = t3.get("foo").unwrap();
+        let f = v.as_fn("nested").unwrap();
+        let nested = f.as_tuple().unwrap();
+        assert_eq!(nested.get("name").unwrap(), Value::str("Alice"));
+    }
+
+    #[test]
+    fn with_attr_is_persistent() {
+        let t = t1();
+        let t2 = t.with_attr("foo", 99);
+        assert_eq!(t.get("foo").unwrap(), Value::Int(12), "original unchanged");
+        assert_eq!(t2.get("foo").unwrap(), Value::Int(99));
+        let t3 = t.with_attr("new", "x");
+        assert_eq!(t3.attr_count(), 3);
+        assert!(!t.has_attr("new"));
+    }
+
+    #[test]
+    fn without_attr_and_project() {
+        let t = t1();
+        let no_foo = t.without_attr("foo");
+        assert!(!no_foo.has_attr("foo"));
+        assert_eq!(no_foo.attr_count(), 1);
+        let proj = t.project(&["foo"]).unwrap();
+        assert_eq!(proj.attr_count(), 1);
+        assert!(t.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn eq_data_is_order_insensitive_and_evaluates_computed() {
+        let a = TupleF::builder("a").attr("x", 1).attr("y", 2).build();
+        let b = TupleF::builder("b").attr("y", 2).attr("x", 1).build();
+        assert!(a.eq_data(&b), "names differ but data equal");
+        let c = TupleF::builder("c")
+            .attr("y", 2)
+            .computed("x", |_| Ok(Value::Int(1)))
+            .build();
+        assert!(a.eq_data(&c), "computed 1 == stored 1");
+        let d = a.with_attr("x", 5);
+        assert!(!a.eq_data(&d));
+    }
+
+    #[test]
+    fn materialize_preserves_declaration_order() {
+        let t = TupleF::builder("t").attr("b", 2).attr("a", 1).build();
+        let m = t.materialize().unwrap();
+        assert_eq!(m[0].0.as_ref(), "b");
+        assert_eq!(m[1].0.as_ref(), "a");
+    }
+
+    #[test]
+    fn failing_computed_attr_propagates_error() {
+        let t = TupleF::builder("t")
+            .computed("boom", |_| Err(FdmError::Other("kaput".into())))
+            .build();
+        assert!(t.get("boom").is_err());
+        assert!(!t.eq_data(&t.clone()), "failing tuples are never data-equal");
+    }
+
+    #[test]
+    fn tuple_as_fnvalue_in_value() {
+        let v = Value::Fn(FnValue::from(t1()));
+        assert_eq!(v.value_type(), crate::types::ValueType::Function);
+        let s = v.to_string();
+        assert!(s.contains("tuple function"), "{s}");
+    }
+}

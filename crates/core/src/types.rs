@@ -1,0 +1,78 @@
+//! Value type tags and lightweight type checking.
+
+use std::fmt;
+
+/// The type of a [`crate::Value`].
+///
+/// FDM leans on the host language's type system (paper §4.2); this enum is
+/// the runtime reflection of it, used for domain constraints, expression
+/// type checking, and error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueType {
+    /// The unit value (used e.g. as codomain of pure relationship
+    /// predicates realized as stored key sets).
+    Unit,
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit IEEE-754 floats (compared by total order).
+    Float,
+    /// Immutable UTF-8 strings.
+    Str,
+    /// Finite lists of values (composite keys, multi-argument inputs).
+    List,
+    /// A function value: tuples, relations, databases, relationships, or
+    /// lambdas. This is what makes the model *higher-order*.
+    Function,
+}
+
+impl ValueType {
+    /// Short lowercase name as used in error messages and the textual
+    /// expression language.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::Unit => "unit",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::List => "list",
+            ValueType::Function => "function",
+        }
+    }
+
+    /// `true` if values of this type admit arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueType::Int | ValueType::Float)
+    }
+
+    /// `true` if two types can be compared with `<`/`>` ordering operators:
+    /// identical types, or the numeric pair int/float.
+    pub fn comparable_with(self, other: ValueType) -> bool {
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_predicates() {
+        assert_eq!(ValueType::Int.name(), "int");
+        assert_eq!(ValueType::Function.to_string(), "function");
+        assert!(ValueType::Int.is_numeric());
+        assert!(ValueType::Float.is_numeric());
+        assert!(!ValueType::Str.is_numeric());
+        assert!(ValueType::Int.comparable_with(ValueType::Float));
+        assert!(ValueType::Str.comparable_with(ValueType::Str));
+        assert!(!ValueType::Str.comparable_with(ValueType::Int));
+    }
+}

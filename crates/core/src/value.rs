@@ -1,0 +1,467 @@
+//! The universal value type.
+//!
+//! FDM is higher-order: a value may itself be a function (a tuple function
+//! nested in an attribute, a relation function stored under an attribute,
+//! a database nested in a database, ... — paper §2.6 "Blurring the lines").
+//! [`Value::Fn`] carries any of those via [`FnValue`].
+
+use crate::error::{FdmError, Result};
+use crate::function::FnValue;
+use crate::types::ValueType;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single FDM value.
+///
+/// `Value` has a **total order** so it can serve as the key of persistent
+/// maps (relation-function inputs). The order is: first by type rank
+/// (`Unit < Bool < Int/Float < Str < List < Fn`), then within the type.
+/// Ints and floats compare numerically with each other (so `1` and `1.0`
+/// are *equal* as keys); floats use IEEE total order for NaN stability.
+/// Function values compare by identity (pointer), which is stable within a
+/// process run — adequate because function values are never used as stored
+/// relation keys, only carried inside tuples.
+#[derive(Clone)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A list (composite keys, argument tuples of relationship functions).
+    List(Arc<[Value]>),
+    /// A function value — this is what makes FDM higher-order.
+    Fn(FnValue),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a list value.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Unit => ValueType::Unit,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::List(_) => ValueType::List,
+            Value::Fn(_) => ValueType::Function,
+        }
+    }
+
+    /// Extracts an `i64`, or reports a type mismatch in `context`.
+    pub fn as_int(&self, context: &str) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(FdmError::TypeMismatch {
+                expected: ValueType::Int,
+                found: other.value_type(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Extracts an `f64` (accepting ints, which widen), or reports a type
+    /// mismatch in `context`.
+    pub fn as_float(&self, context: &str) -> Result<f64> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(FdmError::TypeMismatch {
+                expected: ValueType::Float,
+                found: other.value_type(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Extracts a string slice, or reports a type mismatch in `context`.
+    pub fn as_str(&self, context: &str) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(FdmError::TypeMismatch {
+                expected: ValueType::Str,
+                found: other.value_type(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Extracts a bool, or reports a type mismatch in `context`.
+    pub fn as_bool(&self, context: &str) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(FdmError::TypeMismatch {
+                expected: ValueType::Bool,
+                found: other.value_type(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Extracts a list slice, or reports a type mismatch in `context`.
+    pub fn as_list(&self, context: &str) -> Result<&[Value]> {
+        match self {
+            Value::List(xs) => Ok(xs),
+            other => Err(FdmError::TypeMismatch {
+                expected: ValueType::List,
+                found: other.value_type(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Extracts a function value, or reports a type mismatch in `context`.
+    pub fn as_fn(&self, context: &str) -> Result<&FnValue> {
+        match self {
+            Value::Fn(f) => Ok(f),
+            other => Err(FdmError::TypeMismatch {
+                expected: ValueType::Function,
+                found: other.value_type(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Numeric addition with int/float promotion.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (a, b) if a.value_type().is_numeric() && b.value_type().is_numeric() => {
+                Ok(Value::Float(a.as_float("add")? + b.as_float("add")?))
+            }
+            (Value::Str(a), Value::Str(b)) => {
+                let mut s = String::with_capacity(a.len() + b.len());
+                s.push_str(a);
+                s.push_str(b);
+                Ok(Value::str(s))
+            }
+            (a, b) => Err(FdmError::TypeMismatch {
+                expected: a.value_type(),
+                found: b.value_type(),
+                context: "addition".to_string(),
+            }),
+        }
+    }
+
+    /// Numeric subtraction with int/float promotion.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            (a, b) if a.value_type().is_numeric() && b.value_type().is_numeric() => {
+                Ok(Value::Float(a.as_float("sub")? - b.as_float("sub")?))
+            }
+            (a, b) => Err(FdmError::TypeMismatch {
+                expected: a.value_type(),
+                found: b.value_type(),
+                context: "subtraction".to_string(),
+            }),
+        }
+    }
+
+    /// Numeric multiplication with int/float promotion.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            (a, b) if a.value_type().is_numeric() && b.value_type().is_numeric() => {
+                Ok(Value::Float(a.as_float("mul")? * b.as_float("mul")?))
+            }
+            (a, b) => Err(FdmError::TypeMismatch {
+                expected: a.value_type(),
+                found: b.value_type(),
+                context: "multiplication".to_string(),
+            }),
+        }
+    }
+
+    /// Numeric division; integer division for int/int (errors on zero).
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Int(_), Value::Int(0)) => {
+                Err(FdmError::Other("division by zero".to_string()))
+            }
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(*b))),
+            (a, b) if a.value_type().is_numeric() && b.value_type().is_numeric() => {
+                Ok(Value::Float(a.as_float("div")? / b.as_float("div")?))
+            }
+            (a, b) => Err(FdmError::TypeMismatch {
+                expected: a.value_type(),
+                found: b.value_type(),
+                context: "division".to_string(),
+            }),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+            Value::List(_) => 4,
+            Value::Fn(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Cross-numeric comparison: compare as floats, but make exact
+            // int-float ties deterministic.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (List(a), List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Fn(a), Fn(b)) => a.identity().cmp(&b.identity()),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Unit => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats must hash identically when equal as keys:
+            // hash the total-order bit pattern of the float form for floats
+            // and the integer for ints, except floats that are exact ints
+            // hash like the int.
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 {
+                    2u8.hash(state);
+                    (*x as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    x.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::List(xs) => {
+                5u8.hash(state);
+                xs.len().hash(state);
+                for x in xs.iter() {
+                    x.hash(state);
+                }
+            }
+            Value::Fn(f) => {
+                6u8.hash(state);
+                f.identity().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::List(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Fn(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let vals = [
+            Value::Unit,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Int(3),
+            Value::str("a"),
+            Value::list([Value::Int(1)]),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn int_float_cross_comparison() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        // equal keys must hash equal
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn list_ordering_is_lexicographic() {
+        let a = Value::list([Value::Int(1), Value::Int(2)]);
+        let b = Value::list([Value::Int(1), Value::Int(3)]);
+        let c = Value::list([Value::Int(1)]);
+        assert!(a < b);
+        assert!(c < a, "prefix sorts first");
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            Value::str("foo").add(&Value::str("bar")).unwrap(),
+            Value::str("foobar")
+        );
+        assert!(Value::Int(1).add(&Value::Bool(true)).is_err());
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Float(7.0).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn accessors_report_context() {
+        let err = Value::str("x").as_int("the test").unwrap_err();
+        assert!(err.to_string().contains("the test"));
+        assert_eq!(Value::Int(5).as_float("f").unwrap(), 5.0);
+        assert_eq!(Value::Bool(true).as_bool("b").unwrap(), true);
+        assert_eq!(
+            Value::list([Value::Int(1)]).as_list("l").unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::str("a")]).to_string(),
+            "(1, 'a')"
+        );
+        assert_eq!(Value::Unit.to_string(), "()");
+    }
+}

@@ -1,0 +1,29 @@
+//! # fdm-erm — entity-relationship schemas, compiled two ways
+//!
+//! The paper's Fig. 1 shows the same retail schema as a traditional ER
+//! diagram (compiled, classically, to relations + foreign keys) and as an
+//! FDM (relation functions + a relationship function over shared
+//! domains). This crate holds the ER schema ADT and both compilers, so
+//! the `fig1` benchmark and the examples can run the *same* declared
+//! schema against both worlds.
+//!
+//! ```
+//! use fdm_erm::{compile_to_fdm, compile_to_relational, retail_schema};
+//!
+//! let schema = retail_schema();
+//! let fdm_db = compile_to_fdm(&schema);
+//! assert!(fdm_db.relationship("order").is_ok());
+//!
+//! let rel = compile_to_relational(&schema);
+//! assert!(rel.table("order").is_some(), "N:M becomes a junction table");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod schema;
+pub mod to_fdm;
+pub mod to_relational;
+
+pub use schema::{retail_schema, Cardinality, Entity, ErAttr, ErError, ErRelationship, ErSchema, RelEnd};
+pub use to_fdm::compile_to_fdm;
+pub use to_relational::{compile_to_relational, RelationalTarget};

@@ -1,0 +1,290 @@
+//! Entity-relationship schemas (paper Fig. 1, and the CIDR'25 idea the
+//! paper builds on: keep the ER abstraction as the DDL interface and
+//! derive lower-level models from it instead of hand-coding them).
+
+use fdm_core::ValueType;
+use std::fmt;
+
+/// A typed attribute of an entity or relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErAttr {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: ValueType,
+}
+
+impl ErAttr {
+    /// Creates an attribute.
+    pub fn new(name: &str, ty: ValueType) -> Self {
+        ErAttr { name: name.to_string(), ty }
+    }
+}
+
+/// An entity set: a name, a key attribute, and non-key attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Entity set name (`"customers"`).
+    pub name: String,
+    /// The key attribute (`cid: int`).
+    pub key: ErAttr,
+    /// Non-key attributes.
+    pub attrs: Vec<ErAttr>,
+}
+
+/// Cardinality of one end of a relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cardinality {
+    /// At most one related instance.
+    One,
+    /// Any number of related instances.
+    Many,
+}
+
+/// One end of a relationship: which entity, with which cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelEnd {
+    /// The participating entity's name.
+    pub entity: String,
+    /// Cardinality at this end.
+    pub cardinality: Cardinality,
+}
+
+/// A relationship set among k entities, possibly with its own attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErRelationship {
+    /// Relationship name (`"order"`).
+    pub name: String,
+    /// The ends (k ≥ 2).
+    pub ends: Vec<RelEnd>,
+    /// The relationship's own attributes (`date`).
+    pub attrs: Vec<ErAttr>,
+}
+
+/// A complete ER schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErSchema {
+    /// Schema name.
+    pub name: String,
+    /// Entity sets.
+    pub entities: Vec<Entity>,
+    /// Relationship sets.
+    pub relationships: Vec<ErRelationship>,
+}
+
+/// A schema validation problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErError(pub String);
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ER schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ErError {}
+
+impl ErSchema {
+    /// Starts building a schema.
+    pub fn builder(name: &str) -> ErSchemaBuilder {
+        ErSchemaBuilder {
+            schema: ErSchema {
+                name: name.to_string(),
+                entities: Vec::new(),
+                relationships: Vec::new(),
+            },
+        }
+    }
+
+    /// Finds an entity by name.
+    pub fn entity(&self, name: &str) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// Finds a relationship by name.
+    pub fn relationship(&self, name: &str) -> Option<&ErRelationship> {
+        self.relationships.iter().find(|r| r.name == name)
+    }
+
+    /// Validates the schema: unique names, resolvable ends, arity ≥ 2,
+    /// unique attribute names within each entity/relationship.
+    pub fn validate(&self) -> Result<(), ErError> {
+        let mut names = std::collections::BTreeSet::new();
+        for e in &self.entities {
+            if !names.insert(e.name.as_str()) {
+                return Err(ErError(format!("duplicate entity '{}'", e.name)));
+            }
+            let mut attr_names = std::collections::BTreeSet::new();
+            attr_names.insert(e.key.name.as_str());
+            for a in &e.attrs {
+                if !attr_names.insert(a.name.as_str()) {
+                    return Err(ErError(format!(
+                        "duplicate attribute '{}' in entity '{}'",
+                        a.name, e.name
+                    )));
+                }
+            }
+        }
+        for r in &self.relationships {
+            if !names.insert(r.name.as_str()) {
+                return Err(ErError(format!(
+                    "relationship '{}' clashes with another name",
+                    r.name
+                )));
+            }
+            if r.ends.len() < 2 {
+                return Err(ErError(format!(
+                    "relationship '{}' needs at least two ends",
+                    r.name
+                )));
+            }
+            for end in &r.ends {
+                if self.entity(&end.entity).is_none() {
+                    return Err(ErError(format!(
+                        "relationship '{}' references unknown entity '{}'",
+                        r.name, end.entity
+                    )));
+                }
+            }
+            let mut attr_names = std::collections::BTreeSet::new();
+            for a in &r.attrs {
+                if !attr_names.insert(a.name.as_str()) {
+                    return Err(ErError(format!(
+                        "duplicate attribute '{}' in relationship '{}'",
+                        a.name, r.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ErSchema`].
+pub struct ErSchemaBuilder {
+    schema: ErSchema,
+}
+
+impl ErSchemaBuilder {
+    /// Adds an entity with a key and attributes.
+    pub fn entity(mut self, name: &str, key: ErAttr, attrs: &[ErAttr]) -> Self {
+        self.schema.entities.push(Entity {
+            name: name.to_string(),
+            key,
+            attrs: attrs.to_vec(),
+        });
+        self
+    }
+
+    /// Adds a relationship among entities.
+    pub fn relationship(
+        mut self,
+        name: &str,
+        ends: &[(&str, Cardinality)],
+        attrs: &[ErAttr],
+    ) -> Self {
+        self.schema.relationships.push(ErRelationship {
+            name: name.to_string(),
+            ends: ends
+                .iter()
+                .map(|(e, c)| RelEnd { entity: e.to_string(), cardinality: *c })
+                .collect(),
+            attrs: attrs.to_vec(),
+        });
+        self
+    }
+
+    /// Validates and returns the schema.
+    pub fn build(self) -> Result<ErSchema, ErError> {
+        self.schema.validate()?;
+        Ok(self.schema)
+    }
+}
+
+/// The paper's running example (Fig. 1): customers —(order)— products.
+pub fn retail_schema() -> ErSchema {
+    ErSchema::builder("shop")
+        .entity(
+            "customers",
+            ErAttr::new("cid", ValueType::Int),
+            &[
+                ErAttr::new("name", ValueType::Str),
+                ErAttr::new("age", ValueType::Int),
+            ],
+        )
+        .entity(
+            "products",
+            ErAttr::new("pid", ValueType::Int),
+            &[
+                ErAttr::new("name", ValueType::Str),
+                ErAttr::new("category", ValueType::Str),
+            ],
+        )
+        .relationship(
+            "order",
+            &[
+                ("customers", Cardinality::Many),
+                ("products", Cardinality::Many),
+            ],
+            &[
+                ErAttr::new("name", ValueType::Str),
+                ErAttr::new("date", ValueType::Str),
+            ],
+        )
+        .build()
+        .expect("the paper's schema validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_schema_builds() {
+        let s = retail_schema();
+        assert_eq!(s.entities.len(), 2);
+        assert_eq!(s.relationships.len(), 1);
+        assert_eq!(s.entity("customers").unwrap().key.name, "cid");
+        assert_eq!(s.relationship("order").unwrap().ends.len(), 2);
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_dangling_ends() {
+        let dup = ErSchema::builder("s")
+            .entity("a", ErAttr::new("id", ValueType::Int), &[])
+            .entity("a", ErAttr::new("id", ValueType::Int), &[])
+            .build();
+        assert!(dup.is_err());
+
+        let dangling = ErSchema::builder("s")
+            .entity("a", ErAttr::new("id", ValueType::Int), &[])
+            .relationship("r", &[("a", Cardinality::One), ("ghost", Cardinality::Many)], &[])
+            .build();
+        assert!(dangling.unwrap_err().to_string().contains("ghost"));
+
+        let unary = ErSchema::builder("s")
+            .entity("a", ErAttr::new("id", ValueType::Int), &[])
+            .relationship("r", &[("a", Cardinality::One)], &[])
+            .build();
+        assert!(unary.is_err());
+
+        let dup_attr = ErSchema::builder("s")
+            .entity(
+                "a",
+                ErAttr::new("id", ValueType::Int),
+                &[ErAttr::new("id", ValueType::Str)],
+            )
+            .build();
+        assert!(dup_attr.is_err());
+    }
+
+    #[test]
+    fn name_clash_between_entity_and_relationship() {
+        let s = ErSchema::builder("s")
+            .entity("a", ErAttr::new("id", ValueType::Int), &[])
+            .entity("b", ErAttr::new("id", ValueType::Int), &[])
+            .relationship("a", &[("a", Cardinality::One), ("b", Cardinality::One)], &[])
+            .build();
+        assert!(s.is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! ERM → FDM compilation (the right-hand side of the paper's Fig. 1).
+//!
+//! * each entity becomes a **relation function** keyed by its ER key,
+//!   with attribute-domain constraints from the declared types;
+//! * each entity key becomes a **shared domain**;
+//! * each relationship becomes a **relationship function** whose
+//!   parameters reuse the participants' shared domains — so foreign-key
+//!   enforcement falls out of domain sharing (paper §3), no separate FK
+//!   machinery exists.
+
+use crate::schema::{ErSchema, Entity};
+use fdm_core::{
+    Constraint, DatabaseF, Domain, Participant, RelationF, RelationshipF, SharedDomain,
+};
+
+/// Compiles an ER schema into an (empty) FDM database function with the
+/// derived relation functions, relationship functions, and shared
+/// domains.
+pub fn compile_to_fdm(schema: &ErSchema) -> DatabaseF {
+    let mut db = DatabaseF::new(&schema.name);
+
+    // one shared domain per entity key; the domain's name is
+    // "<entity>.<key>" to keep multi-entity schemas unambiguous
+    let mut domains: Vec<(String, SharedDomain)> = Vec::new();
+    for e in &schema.entities {
+        let d = SharedDomain::new(
+            format!("{}.{}", e.name, e.key.name),
+            Domain::Typed(e.key.ty),
+        );
+        db = db.with_domain(d.clone());
+        domains.push((e.name.clone(), d));
+    }
+
+    for e in &schema.entities {
+        db = db.with_relation(entity_relation(e));
+    }
+
+    for r in &schema.relationships {
+        let participants: Vec<Participant> = r
+            .ends
+            .iter()
+            .map(|end| {
+                let (_, d) = domains
+                    .iter()
+                    .find(|(ename, _)| ename == &end.entity)
+                    .expect("validated schema");
+                let key_name = schema
+                    .entity(&end.entity)
+                    .expect("validated schema")
+                    .key
+                    .name
+                    .clone();
+                Participant::new(&end.entity, &key_name, d.clone())
+            })
+            .collect();
+        db = db.with_relationship(RelationshipF::new(&r.name, participants));
+    }
+    db
+}
+
+fn entity_relation(e: &Entity) -> RelationF {
+    let mut rel = RelationF::new(&e.name, &[e.key.name.as_str()]);
+    for a in &e.attrs {
+        rel = rel
+            .with_constraint(Constraint::attr_domain(&a.name, Domain::Typed(a.ty)))
+            .expect("empty relation accepts any constraint");
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::retail_schema;
+    use fdm_core::{TupleF, Value};
+
+    #[test]
+    fn fig1_compiles_to_fdm() {
+        let db = compile_to_fdm(&retail_schema());
+        assert!(db.relation("customers").is_ok());
+        assert!(db.relation("products").is_ok());
+        let order = db.relationship("order").unwrap();
+        assert_eq!(order.arity_k(), 2);
+        assert_eq!(order.participants()[0].function.as_ref(), "customers");
+        // shared domains registered
+        assert!(db.shared_domain("customers.cid").is_some());
+        assert!(db.shared_domain("products.pid").is_some());
+        // the relationship's cid parameter IS the customers key domain
+        assert!(order.participants()[0]
+            .domain
+            .same_as(db.shared_domain("customers.cid").unwrap()));
+    }
+
+    #[test]
+    fn compiled_constraints_enforce_types() {
+        let db = compile_to_fdm(&retail_schema());
+        let customers = db.relation("customers").unwrap();
+        let bad = TupleF::builder("c").attr("age", "not a number").build();
+        assert!(customers.insert(Value::Int(1), bad).is_err());
+        let good = TupleF::builder("c").attr("name", "Alice").attr("age", 43).build();
+        assert!(customers.insert(Value::Int(1), good).is_ok());
+    }
+
+    #[test]
+    fn compiled_relationship_accepts_links() {
+        let db = compile_to_fdm(&retail_schema());
+        let order = db.relationship("order").unwrap();
+        let order2 = order
+            .insert(
+                &[Value::Int(1), Value::Int(7)],
+                TupleF::builder("o").attr("date", "2026-06-01").build(),
+            )
+            .unwrap();
+        assert!(order2.relates(&[Value::Int(1), Value::Int(7)]));
+        // wrong type rejected by the shared domain
+        assert!(order2
+            .insert_link(&[Value::str("x"), Value::Int(7)])
+            .is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! ERM → relational compilation (the classical path the paper's Fig. 1
+//! contrasts with): entities become tables; N:M relationships become
+//! junction tables carrying both foreign keys; 1:N relationships become a
+//! foreign-key column on the many side.
+
+use crate::schema::{Cardinality, ErSchema};
+use fdm_relational::{Relation, Schema};
+
+/// The relational schema produced from an ER schema: a set of empty
+/// relations plus the foreign-key metadata (which the relational engine
+/// cannot itself enforce — the usual afterthought the paper criticizes).
+#[derive(Debug, Clone)]
+pub struct RelationalTarget {
+    /// The tables, empty, in declaration order.
+    pub tables: Vec<Relation>,
+    /// Foreign keys: `(from_table, from_col, to_table, to_col)`.
+    pub foreign_keys: Vec<(String, String, String, String)>,
+}
+
+impl RelationalTarget {
+    /// Finds a table by name.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+}
+
+/// Compiles an ER schema into relational tables.
+///
+/// * entity → table `(key, attrs...)`;
+/// * N:M (or k-ary, or attributed) relationship → junction table
+///   `(end1_key, end2_key, ..., attrs...)` with one FK per end;
+/// * binary 1:N relationship without own attributes → FK column
+///   `"<rel>_<one-side-key>"` added to the many side (the classic
+///   physical-design shortcut);
+/// * 1:1 without attributes → FK on the first side.
+pub fn compile_to_relational(schema: &ErSchema) -> RelationalTarget {
+    let mut extra_cols: Vec<(String, String)> = Vec::new(); // (table, col)
+    let mut fks: Vec<(String, String, String, String)> = Vec::new();
+    let mut junctions: Vec<Relation> = Vec::new();
+
+    for r in &schema.relationships {
+        let binary_no_attrs = r.ends.len() == 2 && r.attrs.is_empty();
+        let one_side = r.ends.iter().position(|e| e.cardinality == Cardinality::One);
+        match (binary_no_attrs, one_side) {
+            (true, Some(one_idx)) => {
+                // 1:N (or 1:1): FK on the other (many/first) side
+                let many_idx = 1 - one_idx;
+                let many = &r.ends[many_idx].entity;
+                let one = &r.ends[one_idx].entity;
+                let one_key = &schema.entity(one).expect("validated").key.name;
+                let col = format!("{}_{}", r.name, one_key);
+                extra_cols.push((many.clone(), col.clone()));
+                fks.push((many.clone(), col, one.clone(), one_key.clone()));
+            }
+            _ => {
+                // junction table
+                let mut cols: Vec<String> = Vec::new();
+                for end in &r.ends {
+                    let key = &schema.entity(&end.entity).expect("validated").key.name;
+                    let col = format!("{}_{}", end.entity, key);
+                    fks.push((r.name.clone(), col.clone(), end.entity.clone(), key.clone()));
+                    cols.push(col);
+                }
+                for a in &r.attrs {
+                    cols.push(a.name.clone());
+                }
+                let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                junctions.push(Relation::new(&r.name, Schema::new(&col_refs)));
+            }
+        }
+    }
+
+    let mut tables = Vec::new();
+    for e in &schema.entities {
+        let mut cols: Vec<String> = vec![e.key.name.clone()];
+        cols.extend(e.attrs.iter().map(|a| a.name.clone()));
+        for (t, c) in &extra_cols {
+            if t == &e.name {
+                cols.push(c.clone());
+            }
+        }
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        tables.push(Relation::new(&e.name, Schema::new(&col_refs)));
+    }
+    tables.extend(junctions);
+
+    RelationalTarget { tables, foreign_keys: fks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{retail_schema, Cardinality, ErAttr, ErSchema};
+    use fdm_core::ValueType;
+
+    #[test]
+    fn fig1_nm_relationship_becomes_junction_table() {
+        let t = compile_to_relational(&retail_schema());
+        let order = t.table("order").expect("junction table exists");
+        let cols: Vec<&str> = order.schema().cols().iter().map(|c| c.as_ref()).collect();
+        assert_eq!(cols, vec!["customers_cid", "products_pid", "name", "date"]);
+        assert_eq!(t.foreign_keys.len(), 2);
+        assert!(t
+            .foreign_keys
+            .contains(&("order".into(), "customers_cid".into(), "customers".into(), "cid".into())));
+    }
+
+    #[test]
+    fn one_to_many_becomes_fk_column() {
+        let s = ErSchema::builder("s")
+            .entity("department", ErAttr::new("did", ValueType::Int), &[])
+            .entity("employee", ErAttr::new("eid", ValueType::Int), &[])
+            .relationship(
+                "works_in",
+                &[
+                    ("employee", Cardinality::Many),
+                    ("department", Cardinality::One),
+                ],
+                &[],
+            )
+            .build()
+            .unwrap();
+        let t = compile_to_relational(&s);
+        assert!(t.table("works_in").is_none(), "no junction for 1:N");
+        let emp = t.table("employee").unwrap();
+        let cols: Vec<&str> = emp.schema().cols().iter().map(|c| c.as_ref()).collect();
+        assert!(cols.contains(&"works_in_did"), "{cols:?}");
+        assert_eq!(t.foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn attributed_one_to_many_still_needs_junction() {
+        // a 1:N with its own attributes cannot live as a bare FK column
+        let s = ErSchema::builder("s")
+            .entity("department", ErAttr::new("did", ValueType::Int), &[])
+            .entity("employee", ErAttr::new("eid", ValueType::Int), &[])
+            .relationship(
+                "works_in",
+                &[
+                    ("employee", Cardinality::Many),
+                    ("department", Cardinality::One),
+                ],
+                &[ErAttr::new("since", ValueType::Str)],
+            )
+            .build()
+            .unwrap();
+        let t = compile_to_relational(&s);
+        assert!(t.table("works_in").is_some());
+    }
+
+    #[test]
+    fn ternary_relationship_becomes_wide_junction() {
+        let s = ErSchema::builder("s")
+            .entity("a", ErAttr::new("aid", ValueType::Int), &[])
+            .entity("b", ErAttr::new("bid", ValueType::Int), &[])
+            .entity("c", ErAttr::new("cid", ValueType::Int), &[])
+            .relationship(
+                "t",
+                &[
+                    ("a", Cardinality::Many),
+                    ("b", Cardinality::Many),
+                    ("c", Cardinality::Many),
+                ],
+                &[],
+            )
+            .build()
+            .unwrap();
+        let t = compile_to_relational(&s);
+        assert_eq!(t.table("t").unwrap().schema().width(), 3);
+        assert_eq!(t.foreign_keys.len(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parameter binding — the structural reason SQL injection is impossible
+//! (paper contribution 10).
+//!
+//! A textual predicate like `"age>$foo"` is parsed **once**, producing an
+//! AST with a [`crate::ast::Expr::Param`] hole. Binding replaces the hole
+//! with a [`Value`] — a runtime datum that is *never lexed or parsed*. An
+//! attacker-controlled string bound to `$name` can only ever become a
+//! string value compared against attributes; there is no code path by
+//! which it could extend the expression. Contrast `fdm-relational`'s
+//! deliberately string-spliced mini-SQL, which the integration tests
+//! demonstrate to be injectable.
+
+use crate::ast::Expr;
+use crate::error::ExprError;
+use fdm_core::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A set of named parameter bindings.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_expr::{parse, Params};
+///
+/// let expr = parse("age > $min").unwrap();
+/// let bound = Params::new().set("min", 42).bind(&expr).unwrap();
+/// assert_eq!(bound.to_string(), "(age > 42)");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: BTreeMap<Arc<str>, Value>,
+}
+
+impl Params {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Adds a binding (builder style).
+    pub fn set(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.values.insert(Arc::from(name), value.into());
+        self
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no bindings are present.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Substitutes every `$param` in `expr` with its bound value.
+    ///
+    /// Strict on both sides: an unbound parameter **and** an unused binding
+    /// are errors — silent partial binding is how injection-adjacent bugs
+    /// hide.
+    pub fn bind(&self, expr: &Expr) -> Result<Expr, ExprError> {
+        let mut used: Vec<Arc<str>> = Vec::new();
+        let bound = self.bind_inner(expr, &mut used)?;
+        for name in self.values.keys() {
+            if !used.iter().any(|u| u == name) {
+                return Err(ExprError::bind(format!(
+                    "parameter '${name}' was bound but never used"
+                )));
+            }
+        }
+        Ok(bound)
+    }
+
+    fn bind_inner(&self, expr: &Expr, used: &mut Vec<Arc<str>>) -> Result<Expr, ExprError> {
+        Ok(match expr {
+            Expr::Param(name) => match self.values.get(name) {
+                Some(v) => {
+                    used.push(name.clone());
+                    Expr::Lit(v.clone())
+                }
+                None => {
+                    return Err(ExprError::bind(format!(
+                        "no binding for parameter '${name}'"
+                    )))
+                }
+            },
+            Expr::Attr(_) | Expr::Lit(_) => expr.clone(),
+            Expr::Bin { op, lhs, rhs } => Expr::Bin {
+                op: *op,
+                lhs: Arc::new(self.bind_inner(lhs, used)?),
+                rhs: Arc::new(self.bind_inner(rhs, used)?),
+            },
+            Expr::Not(e) => Expr::Not(Arc::new(self.bind_inner(e, used)?)),
+            Expr::Neg(e) => Expr::Neg(Arc::new(self.bind_inner(e, used)?)),
+            Expr::Call { name, args } => Expr::Call {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| self.bind_inner(a, used).map(Arc::new))
+                    .collect::<Result<_, _>>()?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn binds_the_paper_example() {
+        let e = parse("age>$foo").unwrap();
+        let bound = Params::new().set("foo", 42).bind(&e).unwrap();
+        assert_eq!(bound.to_string(), "(age > 42)");
+        assert!(bound.unbound_params().is_empty());
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let e = parse("age > $foo").unwrap();
+        let err = Params::new().bind(&e).unwrap_err();
+        assert!(err.to_string().contains("$foo"), "{err}");
+    }
+
+    #[test]
+    fn unused_binding_is_an_error() {
+        let e = parse("age > 1").unwrap();
+        let err = Params::new().set("foo", 1).bind(&e).unwrap_err();
+        assert!(err.to_string().contains("never used"), "{err}");
+    }
+
+    #[test]
+    fn repeated_parameter_binds_everywhere() {
+        let e = parse("$x < age and age < $x + 10").unwrap();
+        let bound = Params::new().set("x", 30).bind(&e).unwrap();
+        assert_eq!(bound.to_string(), "((30 < age) and (age < (30 + 10)))");
+    }
+
+    #[test]
+    fn hostile_string_stays_a_string() {
+        // The classic payload. After binding it is a string *literal value*;
+        // it is never re-parsed, so it cannot alter the expression shape.
+        let payload = "' OR '1'='1";
+        let e = parse("name == $n").unwrap();
+        let bound = Params::new().set("n", payload).bind(&e).unwrap();
+        match &bound {
+            Expr::Bin { rhs, .. } => match rhs.as_ref() {
+                Expr::Lit(Value::Str(s)) => assert_eq!(s.as_ref(), payload),
+                other => panic!("expected string literal, got {other}"),
+            },
+            other => panic!("expected comparison, got {other}"),
+        }
+        // Structure is still a single comparison — no OR appeared.
+        let attrs = bound.referenced_attrs();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].as_ref(), "name");
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors of the expression sub-language.
+
+use std::fmt;
+
+/// An error from lexing, parsing, binding, or evaluating a predicate
+/// expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the source.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error at a byte offset.
+    Parse {
+        /// Byte offset in the source (or end of input).
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `$param` had no binding, or a binding was never used.
+    Bind {
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime evaluation error (type mismatch, missing attribute, ...).
+    Eval {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl ExprError {
+    pub(crate) fn lex(offset: usize, message: impl Into<String>) -> Self {
+        ExprError::Lex { offset, message: message.into() }
+    }
+
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        ExprError::Parse { offset, message: message.into() }
+    }
+
+    pub(crate) fn bind(message: impl Into<String>) -> Self {
+        ExprError::Bind { message: message.into() }
+    }
+
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        ExprError::Eval { message: message.into() }
+    }
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex { offset, message } => {
+                write!(f, "lex error at offset {offset}: {message}")
+            }
+            ExprError::Parse { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            ExprError::Bind { message } => write!(f, "bind error: {message}"),
+            ExprError::Eval { message } => write!(f, "eval error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl From<ExprError> for fdm_core::FdmError {
+    fn from(e: ExprError) -> Self {
+        fdm_core::FdmError::Expr(e.to_string())
+    }
+}

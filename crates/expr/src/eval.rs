@@ -1,0 +1,293 @@
+//! Evaluation of expressions against tuple functions.
+
+use crate::ast::{BinOp, Expr};
+use crate::error::ExprError;
+use crate::funcs::{default_registry, Registry};
+use fdm_core::{TupleF, Value, ValueType};
+use std::cmp::Ordering;
+
+/// Evaluates `expr` against the tuple function `t` (attribute references
+/// become `t('attr')` calls — stored or computed, indistinguishably).
+/// Scalar-function calls resolve against the default built-in registry;
+/// use [`eval_with`] to supply user-registered functions.
+pub fn eval(expr: &Expr, t: &TupleF) -> Result<Value, ExprError> {
+    eval_with(expr, t, default_registry())
+}
+
+/// Evaluates `expr` against `t`, resolving function calls in `registry`
+/// (paper contribution 8: user/library functions in queries).
+pub fn eval_with(expr: &Expr, t: &TupleF, registry: &Registry) -> Result<Value, ExprError> {
+    match expr {
+        Expr::Attr(a) => t
+            .get(a)
+            .map_err(|e| ExprError::eval(e.to_string())),
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Param(p) => Err(ExprError::eval(format!(
+            "unbound parameter '${p}' at evaluation time (bind it with Params first)"
+        ))),
+        Expr::Not(e) => {
+            let v = eval_with(e, t, registry)?;
+            let b = v
+                .as_bool("operand of 'not'")
+                .map_err(|e| ExprError::eval(e.to_string()))?;
+            Ok(Value::Bool(!b))
+        }
+        Expr::Neg(e) => {
+            let v = eval_with(e, t, registry)?;
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(x) => Ok(Value::Float(-x)),
+                other => Err(ExprError::eval(format!(
+                    "cannot negate a {} value",
+                    other.value_type()
+                ))),
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => match op {
+            BinOp::And => {
+                let l = eval_with(lhs, t, registry)?
+                    .as_bool("left operand of 'and'")
+                    .map_err(|e| ExprError::eval(e.to_string()))?;
+                if !l {
+                    return Ok(Value::Bool(false));
+                }
+                let r = eval_with(rhs, t, registry)?
+                    .as_bool("right operand of 'and'")
+                    .map_err(|e| ExprError::eval(e.to_string()))?;
+                Ok(Value::Bool(r))
+            }
+            BinOp::Or => {
+                let l = eval_with(lhs, t, registry)?
+                    .as_bool("left operand of 'or'")
+                    .map_err(|e| ExprError::eval(e.to_string()))?;
+                if l {
+                    return Ok(Value::Bool(true));
+                }
+                let r = eval_with(rhs, t, registry)?
+                    .as_bool("right operand of 'or'")
+                    .map_err(|e| ExprError::eval(e.to_string()))?;
+                Ok(Value::Bool(r))
+            }
+            BinOp::Add => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::add),
+            BinOp::Sub => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::sub),
+            BinOp::Mul => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::mul),
+            BinOp::Div => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::div),
+            cmp => {
+                let l = eval_with(lhs, t, registry)?;
+                let r = eval_with(rhs, t, registry)?;
+                Ok(Value::Bool(compare(*cmp, &l, &r)?))
+            }
+        },
+        Expr::Call { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_with(a, t, registry))
+                .collect::<Result<_, _>>()?;
+            registry.call(name, &vals)
+        }
+    }
+}
+
+fn arith(
+    l: Value,
+    r: Value,
+    f: impl Fn(&Value, &Value) -> fdm_core::Result<Value>,
+) -> Result<Value, ExprError> {
+    f(&l, &r).map_err(|e| ExprError::eval(e.to_string()))
+}
+
+/// Applies a comparison operator with type checking: equality works on any
+/// equal-typed pair (and int/float cross-numerically); ordering requires
+/// comparable types.
+pub fn compare(op: BinOp, l: &Value, r: &Value) -> Result<bool, ExprError> {
+    debug_assert!(op.is_comparison());
+    let lt = l.value_type();
+    let rt = r.value_type();
+    match op {
+        BinOp::Eq | BinOp::Ne => {
+            // equality across incomparable types is simply false/true, not
+            // an error — but comparing a function to a scalar is almost
+            // certainly a bug, so reject it.
+            if (lt == ValueType::Function) != (rt == ValueType::Function) {
+                return Err(ExprError::eval(format!(
+                    "cannot compare {lt} with {rt}"
+                )));
+            }
+            let eq = l == r;
+            Ok(if op == BinOp::Eq { eq } else { !eq })
+        }
+        _ => {
+            if !lt.comparable_with(rt) {
+                return Err(ExprError::eval(format!(
+                    "cannot order {lt} against {rt}"
+                )));
+            }
+            let ord = l.cmp(r);
+            Ok(match op {
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!("comparison op"),
+            })
+        }
+    }
+}
+
+/// Evaluates `expr` as a predicate: must produce a boolean.
+pub fn eval_predicate(expr: &Expr, t: &TupleF) -> Result<bool, ExprError> {
+    match eval(expr, t)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(ExprError::eval(format!(
+            "predicate evaluated to a {} value, expected bool",
+            other.value_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::Params;
+    use crate::parser::parse;
+
+    fn alice() -> TupleF {
+        TupleF::builder("t")
+            .attr("name", "Alice")
+            .attr("age", 43)
+            .attr("score", 1.5)
+            .attr("active", true)
+            .build()
+    }
+
+    fn check(src: &str, expect: bool) {
+        let e = parse(src).unwrap();
+        assert_eq!(eval_predicate(&e, &alice()).unwrap(), expect, "{src}");
+    }
+
+    #[test]
+    fn paper_filter_predicate() {
+        // customers older than 42 (Fig. 4a)
+        check("age > 42", true);
+        check("age > 43", false);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        check("age >= 43 and name == 'Alice'", true);
+        check("age < 43 or name != 'Alice'", false);
+        check("not (age < 43)", true);
+        check("age <= 43", true);
+        check("name <> 'Bob'", true);
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        check("age * 2 > 85", true);
+        check("age + 1 == 44", true);
+        check("age - 3 == 40", true);
+        check("age / 2 == 21", true, );
+        check("-age < 0", true);
+        check("score * 2.0 == 3.0", true);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        check("age > 42.5", true);
+        check("score < 2", true);
+    }
+
+    #[test]
+    fn computed_attrs_transparent_to_expressions() {
+        let t = TupleF::builder("t")
+            .attr("foo", 12)
+            .computed("bar", |t| t.get("foo")?.mul(&Value::Int(42)))
+            .build();
+        let e = parse("bar == 504").unwrap();
+        assert!(eval_predicate(&e, &t).unwrap());
+    }
+
+    #[test]
+    fn bound_parameters_evaluate() {
+        let e = parse("age > $min and age < $max").unwrap();
+        let bound = Params::new().set("min", 40).set("max", 50).bind(&e).unwrap();
+        assert!(eval_predicate(&bound, &alice()).unwrap());
+    }
+
+    #[test]
+    fn unbound_parameter_fails_at_eval() {
+        let e = parse("age > $min").unwrap();
+        let err = eval_predicate(&e, &alice()).unwrap_err();
+        assert!(err.to_string().contains("$min"));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let err = eval_predicate(&parse("name > 5").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("cannot order"), "{err}");
+        let err = eval_predicate(&parse("age + 'x'").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+        let err = eval_predicate(&parse("age").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("expected bool"), "{err}");
+        let err = eval_predicate(&parse("missing == 1").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("no attribute"), "{err}");
+    }
+
+    #[test]
+    fn equality_across_types_is_false_not_error() {
+        check("name == 5", false);
+        check("name != 5", true);
+        check("active == true", true);
+    }
+
+    #[test]
+    fn function_calls_in_predicates() {
+        check("len(name) == 5", true);
+        check("upper(name) == 'ALICE'", true);
+        check("contains(name, 'lic')", true);
+        check("starts_with(lower(name), 'al')", true);
+        check("abs(-age) == 43", true);
+        check("max2(age, 100) == 100", true);
+        check("len(concat(name, 'x')) == 6", true);
+    }
+
+    #[test]
+    fn user_registry_functions_via_eval_with() {
+        let mut reg = Registry::with_builtins();
+        reg.register("is_adult", 1, |args| {
+            let age = args[0]
+                .as_int("is_adult")
+                .map_err(|e| ExprError::eval(e.to_string()))?;
+            Ok(Value::Bool(age >= 18))
+        });
+        let e = parse("is_adult(age)").unwrap();
+        assert_eq!(eval_with(&e, &alice(), &reg).unwrap(), Value::Bool(true));
+        // unknown through the default registry
+        let err = eval(&e, &alice()).unwrap_err();
+        assert!(err.to_string().contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn call_errors() {
+        let err = eval_predicate(&parse("len()").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("expects 1"), "{err}");
+        let err = eval_predicate(&parse("nope(1)").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("unknown function"), "{err}");
+        let err = eval_predicate(&parse("len(age)").unwrap(), &alice()).unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn params_inside_calls_bind() {
+        let e = parse("contains(name, $needle)").unwrap();
+        let bound = Params::new().set("needle", "lic").bind(&e).unwrap();
+        assert!(eval_predicate(&bound, &alice()).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_prevents_spurious_errors() {
+        // `missing` would error, but the left side decides.
+        check("age > 100 and missing == 1", false);
+        check("age > 0 or missing == 1", true);
+    }
+}

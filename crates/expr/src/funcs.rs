@@ -1,0 +1,222 @@
+//! The scalar-function library and its **user-extensible registry**
+//! (paper contribution 8: "Extending the FQL is as loading a library in
+//! Python through an import-statement" — functions defined outside the
+//! realm of the database are first-class in queries).
+//!
+//! Textual predicates may call any registered function:
+//! `filter("len(name) > 4 and upper(state) == 'NY'", ...)`. The default
+//! registry ships the built-ins below; applications register their own
+//! with [`Registry::register`] — no engine changes needed.
+
+use crate::error::ExprError;
+use fdm_core::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// A scalar function callable from expressions.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value, ExprError> + Send + Sync>;
+
+/// A registry of named scalar functions.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_expr::funcs::Registry;
+/// use fdm_core::Value;
+///
+/// let mut reg = Registry::with_builtins();
+/// reg.register("double", 1, |args| {
+///     args[0].mul(&Value::Int(2)).map_err(|e| fdm_expr::ExprError::Eval { message: e.to_string() })
+/// });
+/// assert!(reg.get("double").is_some());
+/// assert!(reg.get("upper").is_some(), "builtins present");
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    fns: BTreeMap<String, (usize, ScalarFn)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry pre-loaded with the built-in function library.
+    pub fn with_builtins() -> Self {
+        let mut r = Registry::new();
+        r.register("upper", 1, |args| {
+            Ok(Value::str(str_arg(args, 0, "upper")?.to_uppercase()))
+        });
+        r.register("lower", 1, |args| {
+            Ok(Value::str(str_arg(args, 0, "lower")?.to_lowercase()))
+        });
+        r.register("len", 1, |args| {
+            Ok(Value::Int(str_arg(args, 0, "len")?.chars().count() as i64))
+        });
+        r.register("trim", 1, |args| {
+            Ok(Value::str(str_arg(args, 0, "trim")?.trim()))
+        });
+        r.register("contains", 2, |args| {
+            Ok(Value::Bool(
+                str_arg(args, 0, "contains")?.contains(str_arg(args, 1, "contains")?),
+            ))
+        });
+        r.register("starts_with", 2, |args| {
+            Ok(Value::Bool(
+                str_arg(args, 0, "starts_with")?.starts_with(str_arg(args, 1, "starts_with")?),
+            ))
+        });
+        r.register("ends_with", 2, |args| {
+            Ok(Value::Bool(
+                str_arg(args, 0, "ends_with")?.ends_with(str_arg(args, 1, "ends_with")?),
+            ))
+        });
+        r.register("concat", 2, |args| {
+            let mut s = String::new();
+            s.push_str(str_arg(args, 0, "concat")?);
+            s.push_str(str_arg(args, 1, "concat")?);
+            Ok(Value::str(s))
+        });
+        r.register("abs", 1, |args| match &args[0] {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Float(x) => Ok(Value::Float(x.abs())),
+            other => Err(ExprError::eval(format!(
+                "abs: expected a number, got {}",
+                other.value_type()
+            ))),
+        });
+        r.register("min2", 2, |args| {
+            Ok(if args[0] <= args[1] { args[0].clone() } else { args[1].clone() })
+        });
+        r.register("max2", 2, |args| {
+            Ok(if args[0] >= args[1] { args[0].clone() } else { args[1].clone() })
+        });
+        r.register("round", 1, |args| match &args[0] {
+            Value::Float(x) => Ok(Value::Int(x.round() as i64)),
+            Value::Int(i) => Ok(Value::Int(*i)),
+            other => Err(ExprError::eval(format!(
+                "round: expected a number, got {}",
+                other.value_type()
+            ))),
+        });
+        r
+    }
+
+    /// Registers (or replaces) a function with a fixed arity.
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[Value]) -> Result<Value, ExprError> + Send + Sync + 'static,
+    ) {
+        self.fns.insert(name.to_string(), (arity, Arc::new(f)));
+    }
+
+    /// Looks a function up.
+    pub fn get(&self, name: &str) -> Option<&(usize, ScalarFn)> {
+        self.fns.get(name)
+    }
+
+    /// Calls a registered function with arity checking.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, ExprError> {
+        let (arity, f) = self
+            .get(name)
+            .ok_or_else(|| ExprError::eval(format!("unknown function '{name}'")))?;
+        if args.len() != *arity {
+            return Err(ExprError::eval(format!(
+                "function '{name}' expects {arity} argument(s), got {}",
+                args.len()
+            )));
+        }
+        f(args)
+    }
+
+    /// Registered function names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.fns.keys().map(String::as_str).collect()
+    }
+}
+
+fn str_arg<'a>(args: &'a [Value], i: usize, f: &str) -> Result<&'a str, ExprError> {
+    args[i]
+        .as_str(f)
+        .map_err(|e| ExprError::eval(e.to_string()))
+}
+
+/// The process-wide default registry (builtins only). Evaluation uses
+/// this unless an explicit registry is supplied.
+pub fn default_registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(Registry::with_builtins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_work() {
+        let r = Registry::with_builtins();
+        assert_eq!(r.call("upper", &[Value::str("ab")]).unwrap(), Value::str("AB"));
+        assert_eq!(r.call("lower", &[Value::str("AB")]).unwrap(), Value::str("ab"));
+        assert_eq!(r.call("len", &[Value::str("héllo")]).unwrap(), Value::Int(5));
+        assert_eq!(r.call("trim", &[Value::str("  x ")]).unwrap(), Value::str("x"));
+        assert_eq!(
+            r.call("contains", &[Value::str("hello"), Value::str("ell")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            r.call("starts_with", &[Value::str("hello"), Value::str("he")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            r.call("ends_with", &[Value::str("hello"), Value::str("lo")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            r.call("concat", &[Value::str("a"), Value::str("b")]).unwrap(),
+            Value::str("ab")
+        );
+        assert_eq!(r.call("abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(r.call("abs", &[Value::Float(-1.5)]).unwrap(), Value::Float(1.5));
+        assert_eq!(
+            r.call("min2", &[Value::Int(2), Value::Int(1)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            r.call("max2", &[Value::Int(2), Value::Int(1)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(r.call("round", &[Value::Float(2.6)]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        let r = Registry::with_builtins();
+        let err = r.call("len", &[]).unwrap_err();
+        assert!(err.to_string().contains("expects 1"), "{err}");
+        let err = r.call("len", &[Value::Int(1)]).unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+        let err = r.call("nope", &[]).unwrap_err();
+        assert!(err.to_string().contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn user_registration_contribution_8() {
+        // "whether a function is defined by 'a user' or by 'a library',
+        // FQL allows for using functions defined outside the database"
+        let mut r = Registry::with_builtins();
+        r.register("tax", 1, |args| {
+            let x = args[0]
+                .as_float("tax")
+                .map_err(|e| ExprError::eval(e.to_string()))?;
+            Ok(Value::Float(x * 1.19))
+        });
+        let v = r.call("tax", &[Value::Float(100.0)]).unwrap();
+        assert_eq!(v, Value::Float(119.0));
+        // replacing a builtin is allowed (shadowing)
+        r.register("len", 1, |_| Ok(Value::Int(0)));
+        assert_eq!(r.call("len", &[Value::str("xyz")]).unwrap(), Value::Int(0));
+    }
+}

@@ -1,0 +1,93 @@
+//! The "broken-up predicate" costume (paper Fig. 4a):
+//! `filter(att='age', op=gt, c=42, customers)` — comparison operators as
+//! named, importable values, mirroring `from operators import *`.
+
+use crate::ast::BinOp;
+use crate::error::ExprError;
+use crate::eval::compare;
+use fdm_core::Value;
+use std::fmt;
+
+/// A named comparison operator usable as a plain value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpOp {
+    op: BinOp,
+    name: &'static str,
+}
+
+impl CmpOp {
+    /// Applies the operator to two values.
+    pub fn apply(&self, l: &Value, r: &Value) -> Result<bool, ExprError> {
+        compare(self.op, l, r)
+    }
+
+    /// The operator's name (`"gt"`, ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The underlying AST operator.
+    pub fn bin_op(&self) -> BinOp {
+        self.op
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// Greater-than.
+pub const GT: CmpOp = CmpOp { op: BinOp::Gt, name: "gt" };
+/// Greater-or-equal.
+pub const GE: CmpOp = CmpOp { op: BinOp::Ge, name: "ge" };
+/// Less-than.
+pub const LT: CmpOp = CmpOp { op: BinOp::Lt, name: "lt" };
+/// Less-or-equal.
+pub const LE: CmpOp = CmpOp { op: BinOp::Le, name: "le" };
+/// Equality.
+pub const EQ: CmpOp = CmpOp { op: BinOp::Eq, name: "eq" };
+/// Inequality.
+pub const NE: CmpOp = CmpOp { op: BinOp::Ne, name: "ne" };
+
+/// Looks an operator up by its Django-style suffix (`"gt"` in `age__gt`).
+pub fn by_suffix(suffix: &str) -> Option<CmpOp> {
+    Some(match suffix {
+        "gt" => GT,
+        "gte" | "ge" => GE,
+        "lt" => LT,
+        "lte" | "le" => LE,
+        "eq" | "exact" => EQ,
+        "ne" => NE,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_apply() {
+        assert!(GT.apply(&Value::Int(43), &Value::Int(42)).unwrap());
+        assert!(!LT.apply(&Value::Int(43), &Value::Int(42)).unwrap());
+        assert!(EQ.apply(&Value::str("a"), &Value::str("a")).unwrap());
+        assert!(NE.apply(&Value::str("a"), &Value::str("b")).unwrap());
+        assert!(GE.apply(&Value::Int(1), &Value::Int(1)).unwrap());
+        assert!(LE.apply(&Value::Int(1), &Value::Int(1)).unwrap());
+    }
+
+    #[test]
+    fn django_suffix_lookup() {
+        assert_eq!(by_suffix("gt"), Some(GT));
+        assert_eq!(by_suffix("gte"), Some(GE));
+        assert_eq!(by_suffix("exact"), Some(EQ));
+        assert_eq!(by_suffix("contains"), None);
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        assert!(GT.apply(&Value::str("a"), &Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Tokens and the hand-rolled lexer for the textual predicate costume
+//! (`filter("age>$foo", {foo: 42}, customers)` — paper Fig. 4a).
+
+use crate::error::ExprError;
+use std::fmt;
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// The kinds of token in the predicate language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An attribute name or keyword (`age`, `and`, `true`, ...).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal (escapes: `\'`, `\\`).
+    Str(String),
+    /// A named parameter `$name`. Parameters are the **only** way to get
+    /// runtime data into a predicate; they are bound to values after
+    /// parsing and never re-lexed — SQL injection is impossible by
+    /// construction (paper contribution 10).
+    Param(String),
+    /// `==` or `=`.
+    Eq,
+    /// `!=` or `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `,` (argument separator in function calls).
+    Comma,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Param(p) => write!(f, "${p}"),
+            TokenKind::Eq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+        }
+    }
+}
+
+/// Lexes `src` into tokens.
+pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '=' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::Eq, offset: start });
+            }
+            '!' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                } else {
+                    return Err(ExprError::lex(start, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    out.push(Token { kind: TokenKind::Le, offset: start });
+                } else if i < bytes.len() && bytes[i] == b'>' {
+                    i += 1;
+                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                }
+            }
+            '>' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                }
+            }
+            '$' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(ExprError::lex(start, "expected parameter name after '$'"));
+                }
+                out.push(Token {
+                    kind: TokenKind::Param(src[name_start..i].to_string()),
+                    offset: start,
+                });
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ExprError::lex(start, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= bytes.len() {
+                                return Err(ExprError::lex(start, "unterminated escape"));
+                            }
+                            match bytes[i] {
+                                b'\'' => s.push('\''),
+                                b'\\' => s.push('\\'),
+                                b'n' => s.push('\n'),
+                                b't' => s.push('\t'),
+                                other => {
+                                    return Err(ExprError::lex(
+                                        i,
+                                        format!("unknown escape '\\{}'", other as char),
+                                    ))
+                                }
+                            }
+                            i += 1;
+                        }
+                        _ => {
+                            // consume one UTF-8 scalar
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| ExprError::lex(start, "invalid float literal"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| ExprError::lex(start, "integer literal out of range"))?,
+                    )
+                };
+                out.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(ExprError::lex(start, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_example() {
+        // "age>$foo"  (Fig. 4a)
+        assert_eq!(
+            kinds("age>$foo"),
+            vec![
+                TokenKind::Ident("age".into()),
+                TokenKind::Gt,
+                TokenKind::Param("foo".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operator_spellings() {
+        assert_eq!(kinds("a = 1")[1], TokenKind::Eq);
+        assert_eq!(kinds("a == 1")[1], TokenKind::Eq);
+        assert_eq!(kinds("a != 1")[1], TokenKind::Ne);
+        assert_eq!(kinds("a <> 1")[1], TokenKind::Ne);
+        assert_eq!(kinds("a <= 1")[1], TokenKind::Le);
+        assert_eq!(kinds("a >= 1")[1], TokenKind::Ge);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("3.25"), vec![TokenKind::Float(3.25)]);
+        assert_eq!(kinds("'hi'"), vec![TokenKind::Str("hi".into())]);
+        assert_eq!(
+            kinds(r"'it\'s'"),
+            vec![TokenKind::Str("it's".into())]
+        );
+        assert_eq!(kinds(r"'a\nb'"), vec![TokenKind::Str("a\nb".into())]);
+    }
+
+    #[test]
+    fn lex_errors_carry_position() {
+        let err = lex("age > #").unwrap_err();
+        assert!(err.to_string().contains("offset 6"), "{err}");
+        assert!(lex("'open").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'"), vec![TokenKind::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn dangling_dot_is_an_error() {
+        // "1." followed by a non-digit is not a float; the stray '.' is
+        // rejected rather than silently skipped.
+        assert!(lex("1.x").is_err());
+        assert!(lex("1.").is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Aggregation (paper Fig. 4b/4c) and grouping sets (Fig. 8).
+//!
+//! FDM keeps semantically different groupings in **separate relation
+//! functions** — `grouping_sets` returns a database function with one
+//! entry per grouping condition, instead of SQL's single NULL-filled
+//! output relation. No NULLs are manufactured anywhere in this module.
+
+use crate::group::{group, Groups};
+use fdm_core::{DatabaseF, FdmError, FnValue, RelationF, Result, TupleF, Value};
+use std::sync::Arc;
+
+/// An aggregate over the tuples of one group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggSpec {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of a numeric attribute.
+    Sum(String),
+    /// Minimum of an attribute.
+    Min(String),
+    /// Maximum of an attribute.
+    Max(String),
+    /// Arithmetic mean of a numeric attribute.
+    Avg(String),
+}
+
+impl AggSpec {
+    /// Evaluates the aggregate over the group members.
+    ///
+    /// FDM has no NULLs: aggregating an attribute that is missing on some
+    /// tuple is a *typed error*, not a silent skip; `Min`/`Max`/`Avg` over
+    /// an empty group are likewise errors (`Count` is 0, `Sum` is 0 — the
+    /// mathematically natural identities).
+    pub fn eval(&self, members: &[Arc<TupleF>]) -> Result<Value> {
+        match self {
+            AggSpec::Count => Ok(Value::Int(members.len() as i64)),
+            AggSpec::Sum(attr) => {
+                let mut acc = Value::Int(0);
+                for t in members {
+                    acc = acc.add(&t.get(attr)?)?;
+                }
+                Ok(acc)
+            }
+            AggSpec::Min(attr) => {
+                let mut best: Option<Value> = None;
+                for t in members {
+                    let v = t.get(attr)?;
+                    best = Some(match best {
+                        None => v,
+                        Some(b) if v < b => v,
+                        Some(b) => b,
+                    });
+                }
+                best.ok_or_else(|| FdmError::Other(format!("min({attr}) over empty group")))
+            }
+            AggSpec::Max(attr) => {
+                let mut best: Option<Value> = None;
+                for t in members {
+                    let v = t.get(attr)?;
+                    best = Some(match best {
+                        None => v,
+                        Some(b) if v > b => v,
+                        Some(b) => b,
+                    });
+                }
+                best.ok_or_else(|| FdmError::Other(format!("max({attr}) over empty group")))
+            }
+            AggSpec::Avg(attr) => {
+                if members.is_empty() {
+                    return Err(FdmError::Other(format!("avg({attr}) over empty group")));
+                }
+                let mut sum = 0.0f64;
+                for t in members {
+                    sum += t.get(attr)?.as_float("avg input")?;
+                }
+                Ok(Value::Float(sum / members.len() as f64))
+            }
+        }
+    }
+}
+
+/// Computes named aggregates per group, returning a relation function
+/// keyed by the group key whose tuples carry the by-attributes plus one
+/// attribute per aggregate (paper Fig. 4b:
+/// `aggregate(count=Count(), groups)`).
+pub fn aggregate(groups: &Groups, aggs: &[(&str, AggSpec)]) -> Result<RelationF> {
+    let by = groups.by().to_vec();
+    let key_attrs: Vec<&str> = by.iter().map(|n| n.as_ref()).collect();
+    let mut out = RelationF::new("aggregates", &key_attrs);
+    for (key, members) in groups.iter() {
+        let mut t = TupleF::builder(format!("agg[{key}]"));
+        // carry the grouping attributes into the output tuple
+        match (&key, by.len()) {
+            (Value::List(parts), n) if n > 1 => {
+                for (name, v) in by.iter().zip(parts.iter()) {
+                    t = t.attr(name.as_ref(), v.clone());
+                }
+            }
+            (v, _) => {
+                t = t.attr(by[0].as_ref(), (*v).clone());
+            }
+        }
+        for (name, spec) in aggs {
+            t = t.attr(*name, spec.eval(&members)?);
+        }
+        out = out.insert(key, t.build())?;
+    }
+    Ok(out)
+}
+
+/// Fused grouping + aggregation (paper Fig. 4c, "corresponds to GROUP BY
+/// syntax in SQL").
+pub fn group_and_aggregate(
+    rel: &RelationF,
+    by: &[&str],
+    aggs: &[(&str, AggSpec)],
+) -> Result<RelationF> {
+    aggregate(&group(rel, by)?, aggs)
+}
+
+/// A global fold over the whole relation (no grouping): returns a single
+/// tuple function with one attribute per aggregate.
+pub fn aggregate_all(rel: &RelationF, aggs: &[(&str, AggSpec)]) -> Result<TupleF> {
+    let members: Vec<Arc<TupleF>> = rel.tuples()?.into_iter().map(|(_, t)| t).collect();
+    let mut t = TupleF::builder(format!("{}_aggregates", rel.name()));
+    for (name, spec) in aggs {
+        t = t.attr(*name, spec.eval(&members)?);
+    }
+    Ok(t.build())
+}
+
+/// One grouping condition of a grouping-sets query (paper Fig. 8):
+/// a name for the output relation, the by-attributes (empty = global),
+/// and the aggregates.
+#[derive(Debug, Clone)]
+pub struct GroupingSpec {
+    /// Name of the output relation function (`"age_cc"` in Fig. 8).
+    pub name: String,
+    /// Attributes to group by; empty means one global group.
+    pub by: Vec<String>,
+    /// Aggregates, with output attribute names.
+    pub aggs: Vec<(String, AggSpec)>,
+}
+
+impl GroupingSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, by: &[&str], aggs: &[(&str, AggSpec)]) -> Self {
+        GroupingSpec {
+            name: name.to_string(),
+            by: by.iter().map(|s| s.to_string()).collect(),
+            aggs: aggs.iter().map(|(n, a)| (n.to_string(), a.clone())).collect(),
+        }
+    }
+}
+
+/// Grouping sets, the FDM way (paper Fig. 8): **one output relation
+/// function per semantically different grouping**, collected in a database
+/// function — no NULL filling, no `GROUPING()` disambiguation functions.
+pub fn grouping_sets(rel: &RelationF, specs: &[GroupingSpec]) -> Result<DatabaseF> {
+    let mut db = DatabaseF::new(format!("{}_gsets", rel.name()));
+    for spec in specs {
+        let aggs: Vec<(&str, AggSpec)> = spec
+            .aggs
+            .iter()
+            .map(|(n, a)| (n.as_str(), a.clone()))
+            .collect();
+        if spec.by.is_empty() {
+            // global aggregate: a relation function with a single tuple
+            let t = aggregate_all(rel, &aggs)?;
+            let out = RelationF::new(&spec.name, &["i"]).insert(Value::Int(0), t)?;
+            db = db.with_entry(&spec.name, FnValue::from(out));
+        } else {
+            let by: Vec<&str> = spec.by.iter().map(String::as_str).collect();
+            let out = group_and_aggregate(rel, &by, &aggs)?.renamed(&spec.name);
+            db = db.with_entry(&spec.name, FnValue::from(out));
+        }
+    }
+    Ok(db)
+}
+
+/// ROLLUP as grouping sets with generated names
+/// (`rel_rollup_<cols>` ... `rel_rollup_total`).
+pub fn rollup(rel: &RelationF, by: &[&str], aggs: &[(&str, AggSpec)]) -> Result<DatabaseF> {
+    let mut specs = Vec::with_capacity(by.len() + 1);
+    for k in (0..=by.len()).rev() {
+        let cols = &by[..k];
+        let name = if cols.is_empty() {
+            "rollup_total".to_string()
+        } else {
+            format!("rollup_{}", cols.join("_"))
+        };
+        specs.push(GroupingSpec::new(&name, cols, aggs));
+    }
+    grouping_sets(rel, &specs)
+}
+
+/// CUBE as grouping sets over all 2^k subsets.
+pub fn cube(rel: &RelationF, by: &[&str], aggs: &[(&str, AggSpec)]) -> Result<DatabaseF> {
+    let k = by.len();
+    if k > 16 {
+        return Err(FdmError::Other("cube over more than 16 attributes".into()));
+    }
+    let mut specs = Vec::with_capacity(1 << k);
+    for mask in (0..(1usize << k)).rev() {
+        let cols: Vec<&str> = by
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        let name = if cols.is_empty() {
+            "cube_total".to_string()
+        } else {
+            format!("cube_{}", cols.join("_"))
+        };
+        specs.push(GroupingSpec::new(&name, &cols, aggs));
+    }
+    grouping_sets(rel, &specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::filter_attr;
+    use fdm_expr::GT;
+
+    fn customers() -> RelationF {
+        let mut rel = RelationF::new("customers", &["cid"]);
+        for (cid, name, age, state) in [
+            (1, "Alice", 43, "NY"),
+            (2, "Bob", 30, "NY"),
+            (3, "Carol", 43, "CA"),
+            (4, "Dave", 30, "CA"),
+            (5, "Eve", 43, "NY"),
+        ] {
+            rel = rel
+                .insert(
+                    Value::Int(cid),
+                    TupleF::builder(format!("c{cid}"))
+                        .attr("name", name)
+                        .attr("age", age)
+                        .attr("state", state)
+                        .build(),
+                )
+                .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn fig4b_unrolled_pipeline() {
+        // groups = group(by=["age"], customers)
+        // aggregates = aggregate(count=Count(), groups)
+        // large_groups = filter(g.count > 2, aggregates)
+        let groups = group(&customers(), &["age"]).unwrap();
+        let aggregates = aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
+        assert_eq!(aggregates.len(), 2);
+        let large = filter_attr(&aggregates, "count", GT, 2).unwrap();
+        assert_eq!(large.len(), 1);
+        let t = large.lookup(&Value::Int(43)).unwrap();
+        assert_eq!(t.get("age").unwrap(), Value::Int(43));
+        assert_eq!(t.get("count").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn fig4c_fused_equals_unrolled() {
+        let fused = group_and_aggregate(&customers(), &["age"], &[("count", AggSpec::Count)])
+            .unwrap();
+        let groups = group(&customers(), &["age"]).unwrap();
+        let unrolled = aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
+        assert_eq!(fused.len(), unrolled.len());
+        for key in fused.stored_keys() {
+            assert!(fused
+                .lookup(&key)
+                .unwrap()
+                .eq_data(&unrolled.lookup(&key).unwrap()));
+        }
+    }
+
+    #[test]
+    fn all_aggregate_kinds() {
+        let out = group_and_aggregate(
+            &customers(),
+            &["state"],
+            &[
+                ("count", AggSpec::Count),
+                ("sum_age", AggSpec::Sum("age".into())),
+                ("min_age", AggSpec::Min("age".into())),
+                ("max_age", AggSpec::Max("age".into())),
+                ("avg_age", AggSpec::Avg("age".into())),
+            ],
+        )
+        .unwrap();
+        let ny = out.lookup(&Value::str("NY")).unwrap();
+        assert_eq!(ny.get("count").unwrap(), Value::Int(3));
+        assert_eq!(ny.get("sum_age").unwrap(), Value::Int(116));
+        assert_eq!(ny.get("min_age").unwrap(), Value::Int(30));
+        assert_eq!(ny.get("max_age").unwrap(), Value::Int(43));
+        match ny.get("avg_age").unwrap() {
+            Value::Float(x) => assert!((x - 116.0 / 3.0).abs() < 1e-9),
+            other => panic!("avg is float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn multi_attr_grouping_carries_all_keys() {
+        let out = group_and_aggregate(
+            &customers(),
+            &["age", "state"],
+            &[("count", AggSpec::Count)],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        let k = Value::list([Value::Int(43), Value::str("NY")]);
+        let t = out.lookup(&k).unwrap();
+        assert_eq!(t.get("age").unwrap(), Value::Int(43));
+        assert_eq!(t.get("state").unwrap(), Value::str("NY"));
+        assert_eq!(t.get("count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn fig8_grouping_sets_separate_relations() {
+        // gset: by age (count), by (age,name) (count), global min
+        let gset = grouping_sets(
+            &customers(),
+            &[
+                GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
+                GroupingSpec::new(
+                    "age_name_cc",
+                    &["age", "name"],
+                    &[("count", AggSpec::Count)],
+                ),
+                GroupingSpec::new("global_min", &[], &[("min", AggSpec::Min("age".into()))]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(gset.len(), 3, "three semantically different outputs");
+        let age_cc = gset.relation("age_cc").unwrap();
+        assert_eq!(age_cc.len(), 2);
+        let age_name = gset.relation("age_name_cc").unwrap();
+        assert_eq!(age_name.len(), 5);
+        let global = gset.relation("global_min").unwrap();
+        assert_eq!(
+            global.lookup(&Value::Int(0)).unwrap().get("min").unwrap(),
+            Value::Int(30)
+        );
+        // And the FDM point: none of these tuples has any notion of NULL —
+        // each relation has exactly its own attributes.
+        for (_, t) in age_cc.tuples().unwrap() {
+            assert_eq!(t.attr_count(), 2, "age + count, nothing more");
+        }
+    }
+
+    #[test]
+    fn rollup_and_cube_cardinalities() {
+        let r = rollup(&customers(), &["state", "age"], &[("c", AggSpec::Count)]).unwrap();
+        // levels: (state,age), (state), ()
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.relation("rollup_state_age").unwrap().len(), 4);
+        assert_eq!(r.relation("rollup_state").unwrap().len(), 2);
+        assert_eq!(r.relation("rollup_total").unwrap().len(), 1);
+        let c = cube(&customers(), &["state", "age"], &[("c", AggSpec::Count)]).unwrap();
+        assert_eq!(c.len(), 4, "2^2 subsets");
+        assert_eq!(c.relation("cube_age").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn aggregate_errors_are_typed_not_null() {
+        // sum over a string attribute: type error, not NULL propagation
+        let err =
+            group_and_aggregate(&customers(), &["state"], &[("s", AggSpec::Sum("name".into()))])
+                .unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+        // min over empty global group: explicit error
+        let empty = RelationF::new("none", &["id"]);
+        let err = aggregate_all(&empty, &[("m", AggSpec::Min("x".into()))]).unwrap_err();
+        assert!(err.to_string().contains("empty group"), "{err}");
+        // count over empty is 0, sum is 0
+        let t = aggregate_all(
+            &empty,
+            &[("c", AggSpec::Count), ("s", AggSpec::Sum("x".into()))],
+        )
+        .unwrap();
+        assert_eq!(t.get("c").unwrap(), Value::Int(0));
+        assert_eq!(t.get("s").unwrap(), Value::Int(0));
+    }
+}

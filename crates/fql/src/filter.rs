@@ -1,0 +1,301 @@
+//! The `filter` operator and its six costumes (paper Fig. 4a).
+//!
+//! One FQL expression — "customers older than 42" — wearable six ways:
+//!
+//! | Paper (Python) | Here (Rust) |
+//! |---|---|
+//! | `filter(lambda prof: prof("age") > 42, customers)` | [`filter_fn`] with a closure |
+//! | `filter(lambda prof: prof.age > 42, customers)` | same closure, `t.get("age")` |
+//! | `filter(age__gt=42, customers)` | [`filter_kwargs`] (`"age__gt"`) |
+//! | `filter(att='age', op=gt, c=42, customers)` | [`filter_attr`] with [`fdm_expr::CmpOp`] |
+//! | `filter("age>$foo", {foo: 42}, customers)` | [`filter_expr`] with [`Params`] |
+//! | pre-parsed/bound expression | [`filter_bound`] |
+//!
+//! All six produce the *same* output relation function; the Fig. 4
+//! benchmark measures their relative costume overhead.
+//!
+//! `filter` is not specific to relations: [`filter_db`] filters a
+//! *database* function by entry name (the first step of the paper's
+//! Fig. 5 subdatabase query) — same operator concept, one level up.
+
+use fdm_core::{DatabaseF, FdmError, FnValue, Name, RelationF, Result, TupleF, Value};
+use fdm_expr::{by_suffix, eval_predicate, parse, CmpOp, Expr, Params};
+use std::sync::Arc;
+
+/// Costume 1/2: filter by a host-language closure over tuple functions.
+///
+/// The closure sees the full tuple function — computed attributes and
+/// nested functions included.
+pub fn filter_fn(
+    rel: &RelationF,
+    pred: impl Fn(&TupleF) -> Result<bool>,
+) -> Result<RelationF> {
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()? {
+        if pred(&tuple)? {
+            out = out.insert_arc(key, tuple)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Costume 4: broken-up predicate — `filter(att='age', op=gt, c=42, …)`.
+pub fn filter_attr(rel: &RelationF, attr: &str, op: CmpOp, c: impl Into<Value>) -> Result<RelationF> {
+    let c = c.into();
+    filter_fn(rel, |t| {
+        let v = t.get(attr)?;
+        op.apply(&v, &c).map_err(FdmError::from)
+    })
+}
+
+/// Costume 3: Django-ORM style kwargs — `filter(age__gt=42, …)`.
+///
+/// Each key is `attr__op` (plain `attr` means equality); multiple kwargs
+/// conjoin.
+pub fn filter_kwargs(
+    rel: &RelationF,
+    kwargs: &[(&str, Value)],
+) -> Result<RelationF> {
+    // Pre-resolve the kwarg specs once, not per tuple.
+    let mut specs: Vec<(Name, CmpOp)> = Vec::with_capacity(kwargs.len());
+    for (k, _) in kwargs {
+        let (attr, op) = match k.rsplit_once("__") {
+            Some((attr, suffix)) => {
+                let op = by_suffix(suffix).ok_or_else(|| {
+                    FdmError::Expr(format!("unknown filter operator suffix '{suffix}' in '{k}'"))
+                })?;
+                (attr, op)
+            }
+            None => (*k, fdm_expr::EQ),
+        };
+        specs.push((Name::from(attr), op));
+    }
+    filter_fn(rel, |t| {
+        for ((attr, op), (_, c)) in specs.iter().zip(kwargs) {
+            let v = t.get(attr)?;
+            if !op.apply(&v, c).map_err(FdmError::from)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    })
+}
+
+/// Costume 5: textual predicate with `$params` —
+/// `filter("age>$foo", {foo: 42}, customers)`.
+///
+/// Parsing happens once; parameters are bound as values (injection-proof,
+/// see `fdm-expr`).
+pub fn filter_expr(rel: &RelationF, src: &str, params: Params) -> Result<RelationF> {
+    let expr = parse(src).map_err(FdmError::from)?;
+    let bound = params.bind(&expr).map_err(FdmError::from)?;
+    filter_bound(rel, &bound)
+}
+
+/// Costume 6: an already-parsed, already-bound expression.
+pub fn filter_bound(rel: &RelationF, expr: &Expr) -> Result<RelationF> {
+    filter_fn(rel, |t| eval_predicate(expr, t).map_err(FdmError::from))
+}
+
+/// `filter` one level up: keep only the database entries whose
+/// `(name, entry)` pair satisfies the predicate (paper Fig. 5:
+/// `filter(lambda kv: kv[0] in relations, DB)`).
+pub fn filter_db(
+    db: &DatabaseF,
+    pred: impl Fn(&str, &FnValue) -> bool,
+) -> DatabaseF {
+    let mut out = DatabaseF::new(db.name());
+    for (name, entry) in db.iter() {
+        if pred(name, entry) {
+            out = out.with_entry(name.as_ref(), entry.clone());
+        }
+    }
+    // carry the schema's shared domains over
+    for (_, d) in db.shared_domains() {
+        out = out.with_domain(d.clone());
+    }
+    out
+}
+
+/// `filter` at the *tuple* level: keep only attributes satisfying the
+/// predicate — the same operator concept applied one level *down*
+/// (tears down the tuple/relation boundary, paper §2.2).
+pub fn filter_tuple(
+    t: &TupleF,
+    pred: impl Fn(&str, &Value) -> bool,
+) -> Result<TupleF> {
+    let keep: Vec<Arc<str>> = t
+        .materialize()?
+        .into_iter()
+        .filter(|(n, v)| pred(n, v))
+        .map(|(n, _)| n)
+        .collect();
+    let keep_refs: Vec<&str> = keep.iter().map(|n| n.as_ref()).collect();
+    t.project(&keep_refs)
+}
+
+pub(crate) fn key_attr_strs(rel: &RelationF) -> Vec<&str> {
+    rel.key_attrs().iter().map(|n| n.as_ref()).collect()
+}
+
+/// Inlines a relation's key into its tuples as ordinary attributes.
+///
+/// In FDM the key is the function *input*, not part of the returned
+/// attributes (paper Fig. 1). Operators that need to talk about the key —
+/// equi-joins on key attributes, plans projecting `cid` — call this to get
+/// a view where each tuple additionally carries its key attribute(s).
+/// Attributes the tuple already has are left alone.
+pub fn with_inlined_keys(rel: &RelationF) -> Result<RelationF> {
+    let key_names: Vec<Name> = rel.key_attrs().to_vec();
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()? {
+        let mut t = (*tuple).clone();
+        match (&key, key_names.len()) {
+            (Value::List(parts), n) if n > 1 && parts.len() == n => {
+                for (name, v) in key_names.iter().zip(parts.iter()) {
+                    if !t.has_attr(name) {
+                        t = t.with_attr(name.as_ref(), v.clone());
+                    }
+                }
+            }
+            (v, 1) if !t.has_attr(&key_names[0]) => {
+                t = t.with_attr(key_names[0].as_ref(), (*v).clone());
+            }
+            _ => {}
+        }
+        out = out.insert(key, t)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm_expr::GT;
+
+    fn customers() -> RelationF {
+        let mut rel = RelationF::new("customers", &["cid"]);
+        for (cid, name, age) in [
+            (1, "Alice", 43),
+            (2, "Bob", 30),
+            (3, "Carol", 55),
+            (4, "Dave", 42),
+        ] {
+            rel = rel
+                .insert(
+                    Value::Int(cid),
+                    TupleF::builder(format!("c{cid}"))
+                        .attr("name", name)
+                        .attr("age", age)
+                        .build(),
+                )
+                .unwrap();
+        }
+        rel
+    }
+
+    fn names(rel: &RelationF) -> Vec<String> {
+        rel.tuples()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.get("name").unwrap().as_str("name").unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn all_six_costumes_agree() {
+        let rel = customers();
+        let expect = vec!["Alice".to_string(), "Carol".to_string()];
+
+        // 1: closure, call syntax
+        let a = filter_fn(&rel, |t| Ok(t.get("age")?.as_int("age")? > 42)).unwrap();
+        // 2: closure, "dot" syntax — in Rust the same get()
+        let b = filter_fn(&rel, |t| {
+            Ok(matches!(t.get("age")?, Value::Int(i) if i > 42))
+        })
+        .unwrap();
+        // 3: Django kwargs
+        let c = filter_kwargs(&rel, &[("age__gt", Value::Int(42))]).unwrap();
+        // 4: broken-up predicate
+        let d = filter_attr(&rel, "age", GT, 42).unwrap();
+        // 5: textual predicate with params
+        let e = filter_expr(&rel, "age>$foo", Params::new().set("foo", 42)).unwrap();
+        // 6: pre-bound expression
+        let bound = Params::new()
+            .set("foo", 42)
+            .bind(&parse("age>$foo").unwrap())
+            .unwrap();
+        let f = filter_bound(&rel, &bound).unwrap();
+
+        for (i, r) in [&a, &b, &c, &d, &e, &f].iter().enumerate() {
+            assert_eq!(names(r), expect, "costume {}", i + 1);
+            assert_eq!(r.len(), 2, "costume {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn filter_preserves_keys() {
+        let rel = customers();
+        let out = filter_attr(&rel, "age", GT, 42).unwrap();
+        assert!(out.lookup(&Value::Int(1)).is_some());
+        assert!(out.lookup(&Value::Int(2)).is_none(), "Bob filtered out");
+        assert_eq!(out.key_attrs()[0].as_ref(), "cid");
+    }
+
+    #[test]
+    fn kwargs_conjoin_and_plain_attr_means_eq() {
+        let rel = customers();
+        let out = filter_kwargs(
+            &rel,
+            &[("age__gt", Value::Int(40)), ("name", Value::str("Dave"))],
+        )
+        .unwrap();
+        assert_eq!(names(&out), vec!["Dave"]);
+        let err = filter_kwargs(&rel, &[("age__within", Value::Int(1))]).unwrap_err();
+        assert!(err.to_string().contains("within"), "{err}");
+    }
+
+    #[test]
+    fn filter_expr_type_errors_surface() {
+        let rel = customers();
+        let err = filter_expr(&rel, "name > $x", Params::new().set("x", 5)).unwrap_err();
+        assert!(err.to_string().contains("cannot order"), "{err}");
+        let err = filter_expr(&rel, "age >", Params::new()).unwrap_err();
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn filter_db_selects_entries() {
+        let db = DatabaseF::new("shop")
+            .with_relation(customers())
+            .with_relation(RelationF::new("products", &["pid"]));
+        let keep = ["products"];
+        let sub = filter_db(&db, |name, _| keep.contains(&name));
+        assert_eq!(sub.len(), 1);
+        assert!(sub.contains("products"));
+        assert!(!sub.contains("customers"));
+    }
+
+    #[test]
+    fn filter_tuple_projects_by_predicate() {
+        let t = TupleF::builder("t")
+            .attr("name", "Alice")
+            .attr("age", 43)
+            .attr("tmp", 0)
+            .build();
+        let out = filter_tuple(&t, |n, _| n != "tmp").unwrap();
+        assert_eq!(out.attr_count(), 2);
+        assert!(!out.has_attr("tmp"));
+        // filter by value too
+        let out = filter_tuple(&t, |_, v| matches!(v, Value::Int(_))).unwrap();
+        assert_eq!(out.attr_count(), 2);
+        assert!(!out.has_attr("name"));
+    }
+
+    #[test]
+    fn empty_result_is_fine() {
+        let rel = customers();
+        let out = filter_attr(&rel, "age", GT, 1000).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! The `group` operator (paper Fig. 4b).
+//!
+//! `group(by=["age"], customers)` returns — in the paper's words — "a DB
+//! of relation functions representing age_groups": one relation function
+//! per distinct key, all wrapped in a database function. No relational
+//! grouping-into-one-table happens; each group stays a first-class
+//! function.
+
+use fdm_core::{DatabaseF, FdmError, FnValue, Name, RelationF, Result, TupleF, Value};
+use std::sync::Arc;
+
+/// The result of `group`: the groups, keyed by their grouping value.
+///
+/// Internally a multi-body relation function (key → set of tuples), which
+/// *is* the FDM representation of grouping (the same shape as a non-unique
+/// index, §2.4). [`Groups::to_database`] provides the paper's DB-of-
+/// relation-functions costume.
+#[derive(Clone, Debug)]
+pub struct Groups {
+    by: Arc<[Name]>,
+    /// multi relation: group key → member tuples
+    groups: RelationF,
+    source_name: Name,
+}
+
+impl Groups {
+    /// The grouping attributes.
+    pub fn by(&self) -> &[Name] {
+        &self.by
+    }
+
+    /// Number of distinct groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.stored_keys().len()
+    }
+
+    /// The distinct group keys in sorted order.
+    pub fn keys(&self) -> Vec<Value> {
+        self.groups.stored_keys()
+    }
+
+    /// The members of one group.
+    pub fn members(&self, key: &Value) -> Vec<Arc<TupleF>> {
+        self.groups.lookup_all(key)
+    }
+
+    /// Iterates `(key, members)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, Vec<Arc<TupleF>>)> + '_ {
+        self.keys().into_iter().map(|k| {
+            let m = self.members(&k);
+            (k, m)
+        })
+    }
+
+    /// The underlying multi-body relation function.
+    pub fn as_relation(&self) -> &RelationF {
+        &self.groups
+    }
+
+    /// The paper's costume: a database function with one relation function
+    /// per group, named `"<source>[<by>=<key>]"`.
+    pub fn to_database(&self) -> DatabaseF {
+        let mut db = DatabaseF::new(format!("{}_groups", self.source_name));
+        for (key, members) in self.iter() {
+            let name = format!("{}[{}={}]", self.source_name, self.by_label(), key);
+            let mut rel = RelationF::new(&name, &["i"]);
+            for (i, t) in members.into_iter().enumerate() {
+                rel = rel
+                    .insert_arc(Value::Int(i as i64), t)
+                    .expect("fresh sequential keys");
+            }
+            db = db.with_entry(&name, FnValue::from(rel));
+        }
+        db
+    }
+
+    fn by_label(&self) -> String {
+        self.by
+            .iter()
+            .map(|n| n.as_ref())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Groups a relation function by the named attributes
+/// (`group(by=["age"], customers)` — Fig. 4b).
+///
+/// Multi-attribute keys become `Value::List`s.
+pub fn group(rel: &RelationF, by: &[&str]) -> Result<Groups> {
+    if by.is_empty() {
+        return Err(FdmError::Other(
+            "group: 'by' must name at least one attribute (use aggregate for a global fold)"
+                .to_string(),
+        ));
+    }
+    group_fn_named(rel, by, |t| {
+        let mut vals = Vec::with_capacity(by.len());
+        for attr in by {
+            vals.push(t.get(attr)?);
+        }
+        Ok(if vals.len() == 1 {
+            vals.pop().expect("one")
+        } else {
+            Value::list(vals)
+        })
+    })
+}
+
+/// Groups by an arbitrary key function over tuple functions
+/// (`group(lambda prof: prof.age, customers)` — Fig. 4b, first variant).
+pub fn group_fn(rel: &RelationF, key: impl Fn(&TupleF) -> Result<Value>) -> Result<Groups> {
+    group_fn_named(rel, &["key"], key)
+}
+
+fn group_fn_named(
+    rel: &RelationF,
+    by: &[&str],
+    key: impl Fn(&TupleF) -> Result<Value>,
+) -> Result<Groups> {
+    let mut buckets: std::collections::BTreeMap<Value, Vec<Arc<TupleF>>> =
+        std::collections::BTreeMap::new();
+    for (_, tuple) in rel.tuples()? {
+        let k = key(&tuple)?;
+        buckets.entry(k).or_default().push(tuple);
+    }
+    let groups = RelationF::from_groups(format!("{}_groups", rel.name()), by, buckets);
+    Ok(Groups {
+        by: by.iter().map(|b| Name::from(*b)).collect(),
+        groups,
+        source_name: Name::from(rel.name()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> RelationF {
+        let mut rel = RelationF::new("customers", &["cid"]);
+        for (cid, name, age, state) in [
+            (1, "Alice", 43, "NY"),
+            (2, "Bob", 30, "NY"),
+            (3, "Carol", 43, "CA"),
+            (4, "Dave", 30, "CA"),
+            (5, "Eve", 43, "NY"),
+        ] {
+            rel = rel
+                .insert(
+                    Value::Int(cid),
+                    TupleF::builder(format!("c{cid}"))
+                        .attr("name", name)
+                        .attr("age", age)
+                        .attr("state", state)
+                        .build(),
+                )
+                .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn group_by_single_attribute() {
+        let g = group(&customers(), &["age"]).unwrap();
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(g.keys(), vec![Value::Int(30), Value::Int(43)]);
+        assert_eq!(g.members(&Value::Int(43)).len(), 3);
+        assert_eq!(g.members(&Value::Int(30)).len(), 2);
+        assert!(g.members(&Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn group_by_multiple_attributes() {
+        let g = group(&customers(), &["age", "state"]).unwrap();
+        assert_eq!(g.group_count(), 4);
+        let k = Value::list([Value::Int(43), Value::str("NY")]);
+        assert_eq!(g.members(&k).len(), 2, "Alice and Eve");
+    }
+
+    #[test]
+    fn group_fn_arbitrary_key() {
+        // group by age decade
+        let g = group_fn(&customers(), |t| {
+            let age = t.get("age")?.as_int("age")?;
+            Ok(Value::Int(age / 10))
+        })
+        .unwrap();
+        assert_eq!(g.keys(), vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn to_database_yields_one_relation_per_group() {
+        // the paper's "DB of relation functions representing age_groups"
+        let g = group(&customers(), &["age"]).unwrap();
+        let db = g.to_database();
+        assert_eq!(db.len(), 2);
+        let r43 = db.relation("customers[age=43]").unwrap();
+        assert_eq!(r43.len(), 3);
+        // each group is a full relation function, queryable like any other
+        let first = r43.lookup(&Value::Int(0)).unwrap();
+        assert_eq!(first.get("age").unwrap(), Value::Int(43));
+    }
+
+    #[test]
+    fn empty_by_is_an_error() {
+        assert!(group(&customers(), &[]).is_err());
+    }
+
+    #[test]
+    fn missing_attribute_errors() {
+        let err = group(&customers(), &["nope"]).unwrap_err();
+        assert!(err.to_string().contains("no attribute"), "{err}");
+    }
+
+    #[test]
+    fn groups_on_empty_relation() {
+        let empty = RelationF::new("none", &["id"]);
+        let g = group(&empty, &["x"]).unwrap();
+        assert_eq!(g.group_count(), 0);
+        assert!(g.to_database().is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! The n-ary `join` operator (paper Fig. 6).
+//!
+//! `join(subdatabase)` joins the relations of a database function **along
+//! the relationship functions in its schema** — the FDM analogue of
+//! "along the foreign key constraints" — and returns a single denormalized
+//! relation function. The paper notes the optimizer may choose any join
+//! strategy "including n-ary joins"; this implementation walks relationship
+//! entries and binds participant tuples hash-style, chaining relationships
+//! that share participants.
+//!
+//! Output attributes are qualified `relation.attr` (and
+//! `relationship.attr` for the relationship's own attributes) so that a
+//! denormalized row never has ambiguous names.
+
+use fdm_core::{
+    DatabaseF, FdmError, Name, RelationF, RelationshipF, Result, TupleF, Value,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One explicit equi-join condition between two relations' attributes
+/// (the `on=[[customers.id, order.c_id], ...]` costume of Fig. 6).
+#[derive(Debug, Clone)]
+pub struct JoinOn {
+    /// Left relation name.
+    pub left_rel: String,
+    /// Left attribute.
+    pub left_attr: String,
+    /// Right relation name.
+    pub right_rel: String,
+    /// Right attribute.
+    pub right_attr: String,
+}
+
+impl JoinOn {
+    /// Convenience constructor: `JoinOn::new("customers", "id", "order", "c_id")`.
+    pub fn new(left_rel: &str, left_attr: &str, right_rel: &str, right_attr: &str) -> Self {
+        JoinOn {
+            left_rel: left_rel.to_string(),
+            left_attr: left_attr.to_string(),
+            right_rel: right_rel.to_string(),
+            right_attr: right_attr.to_string(),
+        }
+    }
+}
+
+/// A partially joined row: which relation keys are bound, and the merged
+/// attribute list accumulated so far.
+#[derive(Clone)]
+struct JoinRow {
+    /// relation name → bound key
+    bound: BTreeMap<Name, Value>,
+    /// qualified attribute values accumulated so far
+    attrs: Vec<(Name, Value)>,
+}
+
+fn qualify(tuple: &TupleF, rel_name: &str, out: &mut Vec<(Name, Value)>) -> Result<()> {
+    for (attr, v) in tuple.materialize()? {
+        out.push((Name::from(format!("{rel_name}.{attr}").as_str()), v));
+    }
+    Ok(())
+}
+
+/// Joins the subdatabase along its relationship functions, producing one
+/// denormalized relation function (Fig. 6, first costume).
+///
+/// Every relationship function in `db` whose participants are all present
+/// as relations contributes; relationships sharing a participant chain
+/// (their bound keys must agree). Relations not reachable from any
+/// relationship are ignored (a join has nothing to say about them).
+pub fn join(db: &DatabaseF) -> Result<RelationF> {
+    let relationships: Vec<(Name, Arc<RelationshipF>)> = db
+        .relationships()
+        .map(|(n, r)| (n.clone(), r.clone()))
+        .collect();
+    if relationships.is_empty() {
+        return Err(FdmError::Other(
+            "join: database has no relationship functions; use join_on with explicit conditions"
+                .to_string(),
+        ));
+    }
+
+    let mut rows: Vec<JoinRow> = vec![JoinRow { bound: BTreeMap::new(), attrs: Vec::new() }];
+    let mut pending: Vec<(Name, Arc<RelationshipF>)> = relationships;
+    // Process relationships, preferring ones that share a participant with
+    // what is already bound (so chains connect instead of going cartesian).
+    while !pending.is_empty() {
+        let bound_rels: std::collections::BTreeSet<Name> = rows
+            .first()
+            .map(|r| r.bound.keys().cloned().collect())
+            .unwrap_or_default();
+        let idx = pending
+            .iter()
+            .position(|(_, rsf)| {
+                rsf.participants()
+                    .iter()
+                    .any(|p| bound_rels.contains(&p.function))
+            })
+            .unwrap_or(0);
+        let (rname, rsf) = pending.remove(idx);
+        rows = join_one_relationship(db, &rname, &rsf, rows)?;
+    }
+
+    let mut out = RelationF::new("join_result", &["row"]);
+    for (i, row) in rows.into_iter().enumerate() {
+        let mut b = TupleF::builder(format!("j{i}"));
+        for (n, v) in row.attrs {
+            b = b.attr(n.as_ref(), v);
+        }
+        out = out.insert(Value::Int(i as i64), b.build())?;
+    }
+    Ok(out)
+}
+
+fn join_one_relationship(
+    db: &DatabaseF,
+    rname: &str,
+    rsf: &RelationshipF,
+    rows: Vec<JoinRow>,
+) -> Result<Vec<JoinRow>> {
+    // Resolve participant relations.
+    let mut parts: Vec<(Name, Arc<RelationF>)> = Vec::with_capacity(rsf.participants().len());
+    for p in rsf.participants() {
+        let rel = db.relation(&p.function).map_err(|_| {
+            FdmError::Other(format!(
+                "join: relationship '{rname}' references '{}' which is not a relation in the database",
+                p.function
+            ))
+        })?;
+        parts.push((p.function.clone(), rel));
+    }
+
+    let mut next = Vec::new();
+    for row in &rows {
+        for (args, rattrs) in rsf.iter() {
+            // Shared participants must agree with already-bound keys.
+            let mut compatible = true;
+            for ((pname, _), arg) in parts.iter().zip(&args) {
+                if let Some(bound_key) = row.bound.get(pname) {
+                    if bound_key != arg {
+                        compatible = false;
+                        break;
+                    }
+                }
+            }
+            if !compatible {
+                continue;
+            }
+            // Bind the unbound participants (inner join: skip the entry if
+            // a participant tuple is missing).
+            let mut new_row = row.clone();
+            let mut ok = true;
+            for ((pname, prel), arg) in parts.iter().zip(&args) {
+                if new_row.bound.contains_key(pname) {
+                    continue;
+                }
+                match prel.lookup(arg) {
+                    Some(tuple) => {
+                        new_row.bound.insert(pname.clone(), arg.clone());
+                        // include the key itself under its participant name
+                        if let Some(p) = rsf.participants().iter().find(|p| &p.function == pname) {
+                            new_row
+                                .attrs
+                                .push((Name::from(format!("{pname}.{}", p.key).as_str()), arg.clone()));
+                        }
+                        qualify(&tuple, pname, &mut new_row.attrs)?;
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // The relationship's own attributes.
+            for (attr, v) in rattrs.materialize()? {
+                new_row
+                    .attrs
+                    .push((Name::from(format!("{rname}.{attr}").as_str()), v));
+            }
+            next.push(new_row);
+        }
+    }
+    Ok(next)
+}
+
+/// Joins relations by explicit equi-conditions (Fig. 6, second costume),
+/// left-to-right with hash lookups on the right side's attribute.
+pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
+    if conditions.is_empty() {
+        return Err(FdmError::Other("join_on: no conditions given".to_string()));
+    }
+    // working rows: qualified attrs + set of bound relation names
+    let mut bound: Vec<Name> = Vec::new();
+    let mut rows: Vec<Vec<(Name, Value)>> = Vec::new();
+
+    // seed with the first condition's left relation (keys inlined so
+    // conditions may reference key attributes like `customers.cid`)
+    let first = &conditions[0];
+    let left = crate::filter::with_inlined_keys(db.relation(&first.left_rel)?.as_ref())?;
+    for (_, t) in left.tuples()? {
+        let mut attrs = Vec::new();
+        qualify(&t, &first.left_rel, &mut attrs)?;
+        rows.push(attrs);
+    }
+    bound.push(Name::from(first.left_rel.as_str()));
+
+    for cond in conditions {
+        let (probe_rel, probe_attr, build_rel, build_attr) =
+            if bound.iter().any(|b| b.as_ref() == cond.left_rel) {
+                (&cond.left_rel, &cond.left_attr, &cond.right_rel, &cond.right_attr)
+            } else if bound.iter().any(|b| b.as_ref() == cond.right_rel) {
+                (&cond.right_rel, &cond.right_attr, &cond.left_rel, &cond.left_attr)
+            } else {
+                return Err(FdmError::Other(format!(
+                    "join_on: condition {}.{} = {}.{} is disconnected from the join so far",
+                    cond.left_rel, cond.left_attr, cond.right_rel, cond.right_attr
+                )));
+            };
+        if bound.iter().any(|b| b.as_ref() == build_rel.as_str()) {
+            // both sides already bound: apply as a post-filter
+            let lq = Name::from(format!("{}.{}", cond.left_rel, cond.left_attr).as_str());
+            let rq = Name::from(format!("{}.{}", cond.right_rel, cond.right_attr).as_str());
+            rows.retain(|attrs| {
+                let l = attrs.iter().find(|(n, _)| *n == lq).map(|(_, v)| v);
+                let r = attrs.iter().find(|(n, _)| *n == rq).map(|(_, v)| v);
+                matches!((l, r), (Some(a), Some(b)) if a == b)
+            });
+            continue;
+        }
+        // hash-build the new side by its join attribute (keys inlined)
+        let build = crate::filter::with_inlined_keys(db.relation(build_rel)?.as_ref())?;
+        let mut table: BTreeMap<Value, Vec<Arc<TupleF>>> = BTreeMap::new();
+        for (_, t) in build.tuples()? {
+            table.entry(t.get(build_attr)?).or_default().push(t);
+        }
+        let probe_q = Name::from(format!("{probe_rel}.{probe_attr}").as_str());
+        let mut next = Vec::new();
+        for attrs in &rows {
+            let Some((_, pv)) = attrs.iter().find(|(n, _)| *n == probe_q) else {
+                continue;
+            };
+            if let Some(matches) = table.get(pv) {
+                for t in matches {
+                    let mut merged = attrs.clone();
+                    qualify(t, build_rel, &mut merged)?;
+                    next.push(merged);
+                }
+            }
+        }
+        rows = next;
+        bound.push(Name::from(build_rel.as_str()));
+    }
+
+    let mut out = RelationF::new("join_result", &["row"]);
+    for (i, attrs) in rows.into_iter().enumerate() {
+        let mut b = TupleF::builder(format!("j{i}"));
+        for (n, v) in attrs {
+            b = b.attr(n.as_ref(), v);
+        }
+        out = out.insert(Value::Int(i as i64), b.build())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::retail_db;
+
+    #[test]
+    fn fig6_schema_driven_join() {
+        let db = retail_db();
+        let joined = join(&db).unwrap();
+        // orders: (1,10),(1,11),(2,10) → 3 denormalized rows
+        assert_eq!(joined.len(), 3);
+        let (_, t) = joined.tuples().unwrap().remove(0);
+        assert!(t.has_attr("customers.name"));
+        assert!(t.has_attr("products.name"));
+        assert!(t.has_attr("order.date"));
+        assert!(t.has_attr("customers.cid"));
+        // denormalization duplicates Alice (cid=1) across her two orders
+        let alice_rows = joined
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .filter(|(_, t)| t.get("customers.name").unwrap() == Value::str("Alice"))
+            .count();
+        assert_eq!(alice_rows, 2);
+    }
+
+    #[test]
+    fn schema_join_skips_dangling_entries() {
+        // add an order pointing at a product that does not exist
+        let db = retail_db();
+        let order = db.relationship("order").unwrap();
+        let order2 = order
+            .insert_link(&[Value::Int(2), Value::Int(999)])
+            .unwrap();
+        let db = db.with_relationship(order2);
+        let joined = join(&db).unwrap();
+        assert_eq!(joined.len(), 3, "dangling entry contributes nothing");
+    }
+
+    #[test]
+    fn fig6_explicit_on_join_matches_schema_join() {
+        let db = retail_db();
+        // express the order relationship as a plain relation and join on it
+        let order_rel = db.relationship("order").unwrap().to_relation();
+        let db2 = db.with_relation(order_rel.renamed("order_rel"));
+        let joined = join_on(
+            &db2,
+            &[
+                JoinOn::new("customers", "cid", "order_rel", "cid"),
+                JoinOn::new("order_rel", "pid", "products", "pid"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(joined.len(), 3);
+        let schema_joined = join(&db).unwrap();
+        assert_eq!(schema_joined.len(), joined.len());
+    }
+
+    #[test]
+    fn join_on_detects_disconnected_conditions() {
+        let db = retail_db();
+        let err = join_on(
+            &db,
+            &[JoinOn::new("products", "pid", "nonexistent", "x")],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn join_without_relationships_errors() {
+        let db = DatabaseF::new("empty").with_relation(RelationF::new("r", &["id"]));
+        assert!(join(&db).is_err());
+    }
+
+    #[test]
+    fn customers_cid_key_is_in_output() {
+        let db = retail_db();
+        let joined = join(&db).unwrap();
+        for (_, t) in joined.tuples().unwrap() {
+            let cid = t.get("customers.cid").unwrap();
+            assert!(matches!(cid, Value::Int(_)));
+            let pid = t.get("products.pid").unwrap();
+            assert!(matches!(pid, Value::Int(_)));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Pivot: the paper's footnote 2 (§2.2) — "for pivot tables [the natural
+//! input] may be the individual **data values** of an attribute of the
+//! underlying column".
+//!
+//! In FDM a pivot needs no special machinery: the distinct values of the
+//! pivot attribute simply *become the domain* of the output functions.
+//! `pivot(rel, row, col, agg)` returns a relation function keyed by the
+//! row attribute whose tuples have **one attribute per distinct column
+//! value** — data became schema, which is exactly the boundary the model
+//! tears down.
+//!
+//! Cells with no contributing tuples are *absent attributes* (the tuple
+//! function is not defined there), not NULLs.
+
+use crate::aggregate::AggSpec;
+use fdm_core::{FdmError, RelationF, Result, TupleF, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Pivots `rel`: one output tuple per distinct `row_attr` value, one
+/// output attribute per distinct `col_attr` value, each holding `agg`
+/// over the tuples in that (row, col) cell.
+///
+/// Column names are the display form of the column values (e.g. ages
+/// `30`, `43` become attributes `"30"`, `"43"`); the row value is kept
+/// under `row_attr`.
+pub fn pivot(
+    rel: &RelationF,
+    row_attr: &str,
+    col_attr: &str,
+    agg: &AggSpec,
+) -> Result<RelationF> {
+    if row_attr == col_attr {
+        return Err(FdmError::Other(
+            "pivot: row and column attribute must differ".to_string(),
+        ));
+    }
+    // bucket tuples by (row value, col value)
+    let mut cells: BTreeMap<Value, BTreeMap<Value, Vec<Arc<TupleF>>>> = BTreeMap::new();
+    let mut all_cols: Vec<Value> = Vec::new();
+    for (_, tuple) in rel.tuples()? {
+        let r = tuple.get(row_attr)?;
+        let c = tuple.get(col_attr)?;
+        if !all_cols.contains(&c) {
+            all_cols.push(c.clone());
+        }
+        cells.entry(r).or_default().entry(c).or_default().push(tuple);
+    }
+    all_cols.sort();
+
+    let mut out = RelationF::new(
+        format!("{}_pivot_{col_attr}", rel.name()),
+        &[row_attr],
+    );
+    for (row, cols) in cells {
+        let mut b = TupleF::builder(format!("pivot[{row}]"));
+        b = b.attr(row_attr, row.clone());
+        for col in &all_cols {
+            if let Some(members) = cols.get(col) {
+                // the column VALUE becomes the attribute NAME
+                let col_name = match col {
+                    Value::Str(s) => s.to_string(),
+                    other => other.to_string(),
+                };
+                b = b.attr(&col_name, agg.eval(members)?);
+            }
+            // absent cell: the tuple function is simply not defined at
+            // that attribute — no NULL exists to insert.
+        }
+        out = out.insert(row, b.build())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> RelationF {
+        let mut rel = RelationF::new("sales", &["id"]);
+        for (id, region, quarter, amount) in [
+            (1, "EU", "Q1", 100),
+            (2, "EU", "Q2", 150),
+            (3, "US", "Q1", 80),
+            (4, "US", "Q1", 20),
+            (5, "US", "Q3", 60),
+        ] {
+            rel = rel
+                .insert(
+                    Value::Int(id),
+                    TupleF::builder("s")
+                        .attr("region", region)
+                        .attr("quarter", quarter)
+                        .attr("amount", amount)
+                        .build(),
+                )
+                .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn pivot_data_values_become_attributes() {
+        let p = pivot(&sales(), "region", "quarter", &AggSpec::Sum("amount".into())).unwrap();
+        assert_eq!(p.len(), 2);
+        let eu = p.lookup(&Value::str("EU")).unwrap();
+        assert_eq!(eu.get("Q1").unwrap(), Value::Int(100));
+        assert_eq!(eu.get("Q2").unwrap(), Value::Int(150));
+        // EU never sold in Q3: the attribute is ABSENT, not NULL
+        assert!(!eu.has_attr("Q3"));
+        let us = p.lookup(&Value::str("US")).unwrap();
+        assert_eq!(us.get("Q1").unwrap(), Value::Int(100), "80 + 20 aggregated");
+        assert_eq!(us.get("Q3").unwrap(), Value::Int(60));
+        assert!(!us.has_attr("Q2"));
+    }
+
+    #[test]
+    fn pivot_with_count() {
+        let p = pivot(&sales(), "quarter", "region", &AggSpec::Count).unwrap();
+        assert_eq!(p.len(), 3);
+        let q1 = p.lookup(&Value::str("Q1")).unwrap();
+        assert_eq!(q1.get("EU").unwrap(), Value::Int(1));
+        assert_eq!(q1.get("US").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn numeric_column_values_stringify() {
+        let mut rel = RelationF::new("t", &["id"]);
+        for (id, age, grp) in [(1, 30, "a"), (2, 40, "a"), (3, 30, "b")] {
+            rel = rel
+                .insert(
+                    Value::Int(id),
+                    TupleF::builder("x").attr("age", age).attr("grp", grp).build(),
+                )
+                .unwrap();
+        }
+        let p = pivot(&rel, "grp", "age", &AggSpec::Count).unwrap();
+        let a = p.lookup(&Value::str("a")).unwrap();
+        assert_eq!(a.get("30").unwrap(), Value::Int(1));
+        assert_eq!(a.get("40").unwrap(), Value::Int(1));
+        let b = p.lookup(&Value::str("b")).unwrap();
+        assert!(!b.has_attr("40"));
+    }
+
+    #[test]
+    fn pivot_errors() {
+        assert!(pivot(&sales(), "region", "region", &AggSpec::Count).is_err());
+        assert!(pivot(&sales(), "nope", "region", &AggSpec::Count).is_err());
+        let empty = RelationF::new("e", &["id"]);
+        let p = pivot(&empty, "a", "b", &AggSpec::Count).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pivoted_output_is_an_ordinary_relation_function() {
+        // the output can be filtered, extended, joined — it's just a
+        // relation function whose schema came from data
+        let p = pivot(&sales(), "region", "quarter", &AggSpec::Sum("amount".into())).unwrap();
+        let big = crate::filter::filter_fn(&p, |t| {
+            Ok(t.try_get("Q1").map_or(false, |v| v > Value::Int(90)))
+        })
+        .unwrap();
+        assert_eq!(big.len(), 2);
+    }
+}

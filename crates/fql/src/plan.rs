@@ -1,0 +1,567 @@
+//! Lazy FQL expressions: logical plans and a small optimizer.
+//!
+//! Paper §4.2: "the entire FQL expression or any suitable part of it may
+//! be pushed down to the database system which can then optimize the
+//! expression". [`Query`] is that deferred expression: a tree of operators
+//! that *looks* like eager host-language calls but is only executed on
+//! [`Query::eval`] — and [`Query::optimize`] may rewrite it first
+//! (filter fusion, predicate pushdown through projections and joins).
+//!
+//! The executor is deliberately simple (left-deep hash joins); the point
+//! is the *optimization space*, which the `fig6` ablation bench measures
+//! (optimized vs. declared order).
+
+use crate::aggregate::{group_and_aggregate, AggSpec};
+use crate::filter::filter_bound;
+use fdm_core::{DatabaseF, FdmError, Name, RelationF, Result, TupleF, Value};
+use fdm_expr::{BinOp, Expr, Params};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A lazy, optimizable FQL expression producing a relation function.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_fql::plan::Query;
+/// use fdm_fql::testutil::retail_db;
+/// use fdm_expr::Params;
+///
+/// let q = Query::scan("customers")
+///     .filter("age > $min", Params::new().set("min", 42)).unwrap()
+///     .project(&["name"]);
+/// let out = q.optimize().eval(&retail_db()).unwrap();
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Scan a relation entry of the database.
+    Scan {
+        /// Entry name in the database function.
+        rel: String,
+    },
+    /// Keep tuples satisfying a bound predicate expression.
+    Filter {
+        /// Input plan.
+        input: Box<Query>,
+        /// Bound (parameter-free) predicate.
+        pred: Expr,
+    },
+    /// Keep only the named attributes.
+    Project {
+        /// Input plan.
+        input: Box<Query>,
+        /// Attributes to keep, in order.
+        attrs: Vec<String>,
+    },
+    /// Left-deep equi-join: extend each input tuple with the matching
+    /// tuples of `rel` (attributes prefixed `rel.`).
+    Join {
+        /// Input plan (left side).
+        input: Box<Query>,
+        /// Relation to join in (right side; must be a database entry).
+        rel: String,
+        /// Attribute of the input's output tuples.
+        input_attr: String,
+        /// Attribute of `rel`'s tuples.
+        rel_attr: String,
+    },
+    /// Group by attributes and aggregate.
+    GroupAgg {
+        /// Input plan.
+        input: Box<Query>,
+        /// Grouping attributes.
+        by: Vec<String>,
+        /// `(output name, aggregate)` pairs.
+        aggs: Vec<(String, AggSpec)>,
+    },
+    /// Order by an attribute; output is keyed by rank.
+    OrderBy {
+        /// Input plan.
+        input: Box<Query>,
+        /// Sort attribute.
+        attr: String,
+        /// Direction.
+        order: crate::transform::Order,
+    },
+    /// Keep the first k tuples (by key order; compose with [`Query::OrderBy`]
+    /// for top-k).
+    Limit {
+        /// Input plan.
+        input: Box<Query>,
+        /// Number of tuples to keep.
+        k: usize,
+    },
+}
+
+impl Query {
+    /// Starts a plan scanning a relation.
+    pub fn scan(rel: &str) -> Query {
+        Query::Scan { rel: rel.to_string() }
+    }
+
+    /// Adds a filter from a textual predicate with parameters (parsed and
+    /// bound now, at plan-construction time).
+    pub fn filter(self, src: &str, params: Params) -> Result<Query> {
+        let expr = fdm_expr::parse(src).map_err(FdmError::from)?;
+        let bound = params.bind(&expr).map_err(FdmError::from)?;
+        Ok(self.filter_expr(bound))
+    }
+
+    /// Adds a filter from an already-bound expression.
+    pub fn filter_expr(self, pred: Expr) -> Query {
+        Query::Filter { input: Box::new(self), pred }
+    }
+
+    /// Adds a projection.
+    pub fn project(self, attrs: &[&str]) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Adds a left-deep equi-join with a base relation.
+    pub fn join(self, rel: &str, input_attr: &str, rel_attr: &str) -> Query {
+        Query::Join {
+            input: Box::new(self),
+            rel: rel.to_string(),
+            input_attr: input_attr.to_string(),
+            rel_attr: rel_attr.to_string(),
+        }
+    }
+
+    /// Adds grouping + aggregation.
+    pub fn group_agg(self, by: &[&str], aggs: &[(&str, AggSpec)]) -> Query {
+        Query::GroupAgg {
+            input: Box::new(self),
+            by: by.iter().map(|s| s.to_string()).collect(),
+            aggs: aggs.iter().map(|(n, a)| (n.to_string(), a.clone())).collect(),
+        }
+    }
+
+    /// Adds an order-by (rank-keyed output).
+    pub fn order_by(self, attr: &str, order: crate::transform::Order) -> Query {
+        Query::OrderBy { input: Box::new(self), attr: attr.to_string(), order }
+    }
+
+    /// Adds a limit.
+    pub fn limit(self, k: usize) -> Query {
+        Query::Limit { input: Box::new(self), k }
+    }
+
+    /// Rewrites the plan: filter fusion, then predicate pushdown to
+    /// fixpoint.
+    pub fn optimize(self) -> Query {
+        let mut q = self;
+        loop {
+            let (next, changed) = q.push_down_once();
+            q = next;
+            if !changed {
+                return q;
+            }
+        }
+    }
+
+    fn push_down_once(self) -> (Query, bool) {
+        match self {
+            Query::Filter { input, pred } => match *input {
+                // fuse adjacent filters
+                Query::Filter { input: inner, pred: p2 } => (
+                    Query::Filter {
+                        input: inner,
+                        pred: Expr::bin(BinOp::And, p2, pred),
+                    },
+                    true,
+                ),
+                // push below project when the predicate only uses
+                // projected attributes
+                Query::Project { input: inner, attrs } => {
+                    let refs = pred.referenced_attrs();
+                    if refs.iter().all(|r| attrs.iter().any(|a| a == r.as_ref())) {
+                        (
+                            Query::Project {
+                                input: Box::new(Query::Filter { input: inner, pred }),
+                                attrs,
+                            },
+                            true,
+                        )
+                    } else {
+                        let (inner2, changed) =
+                            Query::Project { input: inner, attrs }.push_down_once();
+                        (Query::Filter { input: Box::new(inner2), pred }, changed)
+                    }
+                }
+                // push below join when the predicate never references the
+                // joined relation's (prefixed) attributes
+                Query::Join { input: inner, rel, input_attr, rel_attr } => {
+                    let prefix = format!("{rel}.");
+                    let refs = pred.referenced_attrs();
+                    if refs.iter().all(|r| !r.starts_with(&prefix)) {
+                        (
+                            Query::Join {
+                                input: Box::new(Query::Filter { input: inner, pred }),
+                                rel,
+                                input_attr,
+                                rel_attr,
+                            },
+                            true,
+                        )
+                    } else {
+                        let (inner2, changed) = Query::Join {
+                            input: inner,
+                            rel,
+                            input_attr,
+                            rel_attr,
+                        }
+                        .push_down_once();
+                        (Query::Filter { input: Box::new(inner2), pred }, changed)
+                    }
+                }
+                // NOTE: a filter is deliberately NOT pushed below an
+                // OrderBy. The sort assigns rank keys; filtering before
+                // vs after ranking yields different keys (contiguous vs
+                // gapped), and the optimizer must never change observable
+                // results — only their cost.
+                other => {
+                    let (inner2, changed) = other.push_down_once();
+                    (Query::Filter { input: Box::new(inner2), pred }, changed)
+                }
+            },
+            Query::Project { input, attrs } => {
+                let (inner, changed) = input.push_down_once();
+                (Query::Project { input: Box::new(inner), attrs }, changed)
+            }
+            Query::Join { input, rel, input_attr, rel_attr } => {
+                let (inner, changed) = input.push_down_once();
+                (
+                    Query::Join { input: Box::new(inner), rel, input_attr, rel_attr },
+                    changed,
+                )
+            }
+            Query::GroupAgg { input, by, aggs } => {
+                let (inner, changed) = input.push_down_once();
+                (Query::GroupAgg { input: Box::new(inner), by, aggs }, changed)
+            }
+            Query::OrderBy { input, attr, order } => {
+                let (inner, changed) = input.push_down_once();
+                (Query::OrderBy { input: Box::new(inner), attr, order }, changed)
+            }
+            Query::Limit { input, k } => {
+                let (inner, changed) = input.push_down_once();
+                (Query::Limit { input: Box::new(inner), k }, changed)
+            }
+            leaf @ Query::Scan { .. } => (leaf, false),
+        }
+    }
+
+    /// Executes the plan against a database function.
+    pub fn eval(&self, db: &DatabaseF) -> Result<RelationF> {
+        self.eval_with_stats(db).map(|(r, _)| r)
+    }
+
+    /// Executes the plan, also reporting per-operator output cardinalities
+    /// (innermost first) — the EXPLAIN ANALYZE of this engine.
+    pub fn eval_with_stats(&self, db: &DatabaseF) -> Result<(RelationF, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let rel = self.run(db, &mut stats)?;
+        Ok((rel, stats))
+    }
+
+    fn run(&self, db: &DatabaseF, stats: &mut QueryStats) -> Result<RelationF> {
+        let out = match self {
+            // Scans inline the key as an attribute so downstream operators
+            // can filter/project/join on it (`cid` etc.).
+            Query::Scan { rel } => crate::filter::with_inlined_keys(db.relation(rel)?.as_ref())?,
+            Query::Filter { input, pred } => {
+                let rel = input.run(db, stats)?;
+                filter_bound(&rel, pred)?
+            }
+            Query::Project { input, attrs } => {
+                let rel = input.run(db, stats)?;
+                let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let mut out = RelationF::new(rel.name(), &crate::filter::key_attr_strs(&rel));
+                for (key, tuple) in rel.tuples()? {
+                    out = out.insert(key, tuple.project(&keep)?)?;
+                }
+                out
+            }
+            Query::Join { input, rel, input_attr, rel_attr } => {
+                let left = input.run(db, stats)?;
+                let right = crate::filter::with_inlined_keys(db.relation(rel)?.as_ref())?;
+                // hash-build the right side
+                let mut table: BTreeMap<Value, Vec<Arc<TupleF>>> = BTreeMap::new();
+                for (_, t) in right.tuples()? {
+                    table.entry(t.get(rel_attr)?).or_default().push(t);
+                }
+                let mut out = RelationF::new("join", &["row"]);
+                let mut i = 0i64;
+                for (_, lt) in left.tuples()? {
+                    let key = lt.get(input_attr)?;
+                    if let Some(matches) = table.get(&key) {
+                        for rt in matches {
+                            let mut b = TupleF::builder(format!("j{i}"));
+                            for (n, v) in lt.materialize()? {
+                                b = b.attr(n.as_ref(), v);
+                            }
+                            for (n, v) in rt.materialize()? {
+                                let qual: Name = Name::from(format!("{rel}.{n}").as_str());
+                                b = b.attr(qual.as_ref(), v);
+                            }
+                            out = out.insert(Value::Int(i), b.build())?;
+                            i += 1;
+                        }
+                    }
+                }
+                out
+            }
+            Query::GroupAgg { input, by, aggs } => {
+                let rel = input.run(db, stats)?;
+                let by_refs: Vec<&str> = by.iter().map(String::as_str).collect();
+                let agg_refs: Vec<(&str, AggSpec)> =
+                    aggs.iter().map(|(n, a)| (n.as_str(), a.clone())).collect();
+                group_and_aggregate(&rel, &by_refs, &agg_refs)?
+            }
+            Query::OrderBy { input, attr, order } => {
+                let rel = input.run(db, stats)?;
+                crate::transform::order_by(&rel, attr, *order)?
+            }
+            Query::Limit { input, k } => {
+                let rel = input.run(db, stats)?;
+                crate::transform::limit(&rel, *k)?
+            }
+        };
+        stats.produced.push((self.describe(), out.len()));
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Query::Scan { rel } => format!("scan({rel})"),
+            Query::Filter { pred, .. } => format!("filter({pred})"),
+            Query::Project { attrs, .. } => format!("project({})", attrs.join(", ")),
+            Query::Join { rel, input_attr, rel_attr, .. } => {
+                format!("join({rel} on {input_attr}={rel_attr})")
+            }
+            Query::GroupAgg { by, aggs, .. } => format!(
+                "group_agg(by [{}], {} agg(s))",
+                by.join(", "),
+                aggs.len()
+            ),
+            Query::OrderBy { attr, order, .. } => format!("order_by({attr}, {order:?})"),
+            Query::Limit { k, .. } => format!("limit({k})"),
+        }
+    }
+
+    /// Pretty-prints the plan tree, one operator per line, leaves deepest.
+    pub fn explain(&self) -> String {
+        fn go(q: &Query, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&q.describe());
+            out.push('\n');
+            match q {
+                Query::Scan { .. } => {}
+                Query::Filter { input, .. }
+                | Query::Project { input, .. }
+                | Query::Join { input, .. }
+                | Query::GroupAgg { input, .. }
+                | Query::OrderBy { input, .. }
+                | Query::Limit { input, .. } => go(input, depth + 1, out),
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+/// Per-operator output cardinalities from [`Query::eval_with_stats`],
+/// innermost operator first.
+#[derive(Debug, Default, Clone)]
+pub struct QueryStats {
+    /// `(operator description, rows produced)` in execution order.
+    pub produced: Vec<(String, usize)>,
+}
+
+impl QueryStats {
+    /// Total intermediate rows produced across all operators — the
+    /// quantity predicate pushdown minimizes.
+    pub fn total_intermediate(&self) -> usize {
+        self.produced.iter().map(|(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::retail_db;
+
+    fn order_rel_db() -> DatabaseF {
+        // retail db with the order relationship flattened to a relation so
+        // the left-deep Join node can use it
+        let db = retail_db();
+        let order_rel = db.relationship("order").unwrap().to_relation().renamed("orders");
+        db.with_relation(order_rel)
+    }
+
+    #[test]
+    fn scan_filter_project_pipeline() {
+        let q = Query::scan("customers")
+            .filter("age > $min", Params::new().set("min", 40))
+            .unwrap()
+            .project(&["name"]);
+        let out = q.eval(&retail_db()).unwrap();
+        assert_eq!(out.len(), 2);
+        let (_, t) = out.tuples().unwrap().remove(0);
+        assert_eq!(t.attr_count(), 1);
+    }
+
+    #[test]
+    fn join_node_qualifies_right_side() {
+        let q = Query::scan("orders").join("customers", "cid", "cid");
+        let out = q.eval(&order_rel_db()).unwrap();
+        assert_eq!(out.len(), 3);
+        let (_, t) = out.tuples().unwrap().remove(0);
+        assert!(t.has_attr("customers.name"));
+        assert!(t.has_attr("date"), "left side unprefixed");
+    }
+
+    #[test]
+    fn optimize_fuses_filters() {
+        let q = Query::scan("customers")
+            .filter("age > 30", Params::new())
+            .unwrap()
+            .filter("age < 50", Params::new())
+            .unwrap();
+        let opt = q.clone().optimize();
+        let plan = opt.explain();
+        assert_eq!(plan.matches("filter").count(), 1, "fused: {plan}");
+        assert_eq!(
+            q.eval(&retail_db()).unwrap().len(),
+            opt.eval(&retail_db()).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn optimize_pushes_filter_below_join() {
+        let q = Query::scan("orders")
+            .join("customers", "cid", "cid")
+            .filter("date == '2026-01-05'", Params::new())
+            .unwrap();
+        let opt = q.clone().optimize();
+        let plan = opt.explain();
+        // filter mentions only the left side ("date") → below the join
+        let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
+        let join_line = plan.lines().position(|l| l.contains("join")).unwrap();
+        assert!(filter_line > join_line, "filter pushed below join:\n{plan}");
+
+        let db = order_rel_db();
+        let (r1, s1) = q.eval_with_stats(&db).unwrap();
+        let (r2, s2) = opt.eval_with_stats(&db).unwrap();
+        assert_eq!(r1.len(), r2.len(), "same result");
+        assert!(
+            s2.total_intermediate() < s1.total_intermediate(),
+            "pushdown reduces intermediates: {} vs {}",
+            s2.total_intermediate(),
+            s1.total_intermediate()
+        );
+    }
+
+    #[test]
+    fn filter_on_joined_attrs_stays_above_expr() {
+        use fdm_expr::{BinOp, Expr};
+        let pred = Expr::bin(
+            BinOp::Gt,
+            Expr::Attr(Arc::from("customers.age")),
+            Expr::lit(40),
+        );
+        let q = Query::scan("orders")
+            .join("customers", "cid", "cid")
+            .filter_expr(pred);
+        let opt = q.clone().optimize();
+        let plan = opt.explain();
+        let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
+        let join_line = plan.lines().position(|l| l.contains("join")).unwrap();
+        assert!(filter_line < join_line, "filter must stay above:\n{plan}");
+        let out = opt.eval(&order_rel_db()).unwrap();
+        assert_eq!(out.len(), 2, "only Alice's orders");
+    }
+
+    #[test]
+    fn optimize_pushes_filter_below_project() {
+        let q = Query::scan("customers")
+            .project(&["name", "age"])
+            .filter("age > 40", Params::new())
+            .unwrap();
+        let opt = q.clone().optimize();
+        let plan = opt.explain();
+        let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
+        let project_line = plan.lines().position(|l| l.contains("project")).unwrap();
+        assert!(filter_line > project_line, "{plan}");
+        assert_eq!(opt.eval(&retail_db()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn group_agg_node() {
+        let q = Query::scan("orders")
+            .join("products", "pid", "pid")
+            .group_agg(&["cid"], &[("n", AggSpec::Count)]);
+        let out = q.eval(&order_rel_db()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out.lookup(&Value::Int(1)).unwrap().get("n").unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn order_by_and_limit_nodes() {
+        use crate::transform::Order;
+        let q = Query::scan("customers")
+            .order_by("age", Order::Desc)
+            .limit(2);
+        let out = q.eval(&retail_db()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out.lookup(&Value::Int(0)).unwrap().get("age").unwrap(),
+            Value::Int(55)
+        );
+        assert_eq!(
+            out.lookup(&Value::Int(1)).unwrap().get("age").unwrap(),
+            Value::Int(43)
+        );
+    }
+
+    #[test]
+    fn filter_stays_above_order_by() {
+        // Pushing a filter below a sort would change the observable rank
+        // keys (gapped vs contiguous) — the optimizer must not do it.
+        use crate::transform::Order;
+        let q = Query::scan("customers")
+            .order_by("age", Order::Asc)
+            .filter("age > 30", Params::new())
+            .unwrap();
+        let opt = q.clone().optimize();
+        let plan = opt.explain();
+        let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
+        let sort_line = plan.lines().position(|l| l.contains("order_by")).unwrap();
+        assert!(filter_line < sort_line, "filter must stay above:\n{plan}");
+        // optimized and declared plans produce IDENTICAL keyed results:
+        // ages 30, 43, 55 rank as 0, 1, 2; the filter keeps ranks 1 and 2.
+        let a = q.eval(&retail_db()).unwrap();
+        let b = opt.eval(&retail_db()).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.stored_keys(), b.stored_keys());
+        assert_eq!(a.stored_keys(), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn explain_shows_tree() {
+        let q = Query::scan("customers")
+            .filter("age > 1", Params::new())
+            .unwrap();
+        let s = q.explain();
+        assert!(s.contains("filter"));
+        assert!(s.contains("scan(customers)"));
+    }
+}

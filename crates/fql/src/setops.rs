@@ -1,0 +1,358 @@
+//! Set operations on **entire databases** (paper Fig. 9).
+//!
+//! SQL's UNION/INTERSECT/EXCEPT work on single relations; FQL lifts them
+//! one level: `union(DB, DB_copy)` operates relation-wise over whole
+//! database functions, and [`difference`] computes a *differential
+//! database* showing, per relation, what was added and what was removed —
+//! the paper's "DB_diff just showing changes".
+//!
+//! Element identity for these operations is the **mapping**: a relation
+//! function is a set of `key → tuple` assignments, so two relations share
+//! an element when they map the *same key* to *data-equal tuples*
+//! ([`fdm_core::TupleF::data_key`] — evaluated attributes,
+//! order-insensitive, so stored vs computed stays invisible, as the model
+//! demands). Union is left-biased when the same key maps to different
+//! data in the two inputs (the result must stay a function: one output
+//! per input).
+
+use fdm_core::{DatabaseF, FnValue, RelationF, Result, TupleF, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deep copy of a database: every relation's tuples are materialized
+/// into fresh storage (paper Fig. 9 `deep_copy(DB)`, and §4.4's
+/// `copy(foo)` for materialized views). Computed attributes are evaluated
+/// and frozen — the copy is a snapshot of *values*, not of formulas.
+pub fn deep_copy(db: &DatabaseF) -> Result<DatabaseF> {
+    let mut out = DatabaseF::new(format!("{}_copy", db.name()));
+    for (name, entry) in db.iter() {
+        match entry {
+            FnValue::Relation(rel) => {
+                let mut copy = RelationF::new(rel.name(), &crate::filter::key_attr_strs(rel));
+                for (key, tuple) in rel.tuples()? {
+                    let mut b = TupleF::builder(tuple.name());
+                    for (n, v) in tuple.materialize()? {
+                        b = b.attr(n.as_ref(), v);
+                    }
+                    copy = copy.insert(key, b.build())?;
+                }
+                out = out.with_entry(name.as_ref(), FnValue::from(copy));
+            }
+            FnValue::Database(inner) => {
+                let copied = deep_copy(inner)?;
+                out = out.with_entry(name.as_ref(), FnValue::from(copied));
+            }
+            other => {
+                out = out.with_entry(name.as_ref(), other.clone());
+            }
+        }
+    }
+    for (_, d) in db.shared_domains() {
+        out = out.with_domain(d.clone());
+    }
+    Ok(out)
+}
+
+/// Indexes a relation's mappings: key → (data key, tuple).
+fn by_data(rel: &RelationF) -> Result<BTreeMap<Value, (Value, Arc<TupleF>)>> {
+    let mut out = BTreeMap::new();
+    for (key, tuple) in rel.tuples()? {
+        let dk = tuple.data_key()?;
+        out.insert(key, (dk, tuple));
+    }
+    Ok(out)
+}
+
+fn rebuild(name: &str, key_attrs: &[&str], entries: impl IntoIterator<Item = (Value, Arc<TupleF>)>) -> Result<RelationF> {
+    let mut out = RelationF::new(name, key_attrs);
+    let mut used = std::collections::BTreeSet::new();
+    let mut synthetic = 0i64;
+    for (key, tuple) in entries {
+        // keys from two databases may collide on different data; fall back
+        // to synthetic keys when they do
+        let key = if used.contains(&key) {
+            loop {
+                synthetic += 1;
+                let k = Value::list([Value::str("§"), Value::Int(synthetic)]);
+                if !used.contains(&k) {
+                    break k;
+                }
+            }
+        } else {
+            key
+        };
+        used.insert(key.clone());
+        out = out.insert_arc(key, tuple)?;
+    }
+    Ok(out)
+}
+
+/// Relation-wise set union of two databases: every relation name present
+/// in either input appears in the output with the union of its mappings.
+/// When both inputs map the same key (to equal or different data), the
+/// left input's tuple wins — the result must remain a function.
+pub fn union(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
+    binary_setop(a, b, "union", |da, db_| {
+        let mut merged: BTreeMap<Value, (Value, Arc<TupleF>)> = da.clone();
+        for (k, v) in db_ {
+            merged.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        merged
+            .into_iter()
+            .map(|(k, (_, t))| (k, t))
+            .collect()
+    })
+}
+
+/// Relation-wise intersection: only relation names present in both inputs
+/// appear, holding the tuples common to both.
+pub fn intersect(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
+    let mut out = DatabaseF::new(format!("({} ∩ {})", a.name(), b.name()));
+    for (name, entry) in a.iter() {
+        let FnValue::Relation(ra) = entry else { continue };
+        let Ok(rb) = b.relation(name) else { continue };
+        let da = by_data(ra)?;
+        let db_ = by_data(&rb)?;
+        // a mapping is shared when the same key maps to data-equal tuples
+        let keep: Vec<(Value, Arc<TupleF>)> = da
+            .iter()
+            .filter(|(key, (dk, _))| db_.get(*key).is_some_and(|(dk2, _)| dk2 == dk))
+            .map(|(key, (_, t))| (key.clone(), t.clone()))
+            .collect();
+        out = out.with_entry(
+            name.as_ref(),
+            FnValue::from(rebuild(ra.name(), &crate::filter::key_attr_strs(ra), keep)?),
+        );
+    }
+    Ok(out)
+}
+
+/// Relation-wise difference `a − b`: relations of `a` minus the tuples
+/// (by data equality) that also appear in `b`'s same-named relation.
+pub fn minus(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
+    let mut out = DatabaseF::new(format!("({} − {})", a.name(), b.name()));
+    for (name, entry) in a.iter() {
+        let FnValue::Relation(ra) = entry else { continue };
+        let da = by_data(ra)?;
+        let db_ = match b.relation(name) {
+            Ok(rb) => by_data(&rb)?,
+            Err(_) => BTreeMap::new(),
+        };
+        // keep mappings of `a` that are not (key, data)-present in `b`
+        let keep: Vec<(Value, Arc<TupleF>)> = da
+            .iter()
+            .filter(|(key, (dk, _))| db_.get(*key).is_none_or(|(dk2, _)| dk2 != dk))
+            .map(|(key, (_, t))| (key.clone(), t.clone()))
+            .collect();
+        out = out.with_entry(
+            name.as_ref(),
+            FnValue::from(rebuild(ra.name(), &crate::filter::key_attr_strs(ra), keep)?),
+        );
+    }
+    Ok(out)
+}
+
+/// The differential database (Fig. 9 `difference(DB, DB_copy)`): for every
+/// relation name in either input, two output entries —
+/// `"<rel>.added"` (in `b` but not `a`) and `"<rel>.removed"` (in `a` but
+/// not `b`). Unchanged tuples appear nowhere: the result "just shows
+/// changes".
+pub fn difference(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
+    let removed = minus(a, b)?;
+    let added = minus(b, a)?;
+    let mut out = DatabaseF::new(format!("diff({}, {})", a.name(), b.name()));
+    let mut names: Vec<&str> = Vec::new();
+    for (n, _) in a.iter() {
+        names.push(n.as_ref());
+    }
+    for (n, _) in b.iter() {
+        if !names.contains(&n.as_ref()) {
+            names.push(n.as_ref());
+        }
+    }
+    for name in names {
+        if let Ok(r) = added.relation(name) {
+            if !r.is_empty() {
+                out = out.with_entry(format!("{name}.added"), FnValue::from((*r).clone()));
+            }
+        }
+        if let Ok(r) = removed.relation(name) {
+            if !r.is_empty() {
+                out = out.with_entry(format!("{name}.removed"), FnValue::from((*r).clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn binary_setop(
+    a: &DatabaseF,
+    b: &DatabaseF,
+    opname: &str,
+    merge: impl Fn(
+        &BTreeMap<Value, (Value, Arc<TupleF>)>,
+        &BTreeMap<Value, (Value, Arc<TupleF>)>,
+    ) -> Vec<(Value, Arc<TupleF>)>,
+) -> Result<DatabaseF> {
+    let mut out = DatabaseF::new(format!("({} {} {})", a.name(), opname, b.name()));
+    let mut names: Vec<Name2> = Vec::new();
+    for (n, e) in a.iter() {
+        if matches!(e, FnValue::Relation(_)) {
+            names.push(Name2(n.clone()));
+        }
+    }
+    for (n, e) in b.iter() {
+        if matches!(e, FnValue::Relation(_)) && !names.iter().any(|x| x.0 == *n) {
+            names.push(Name2(n.clone()));
+        }
+    }
+    for Name2(name) in names {
+        let da = match a.relation(&name) {
+            Ok(r) => by_data(&r)?,
+            Err(_) => BTreeMap::new(),
+        };
+        let db_ = match b.relation(&name) {
+            Ok(r) => by_data(&r)?,
+            Err(_) => BTreeMap::new(),
+        };
+        let template = a
+            .relation(&name)
+            .or_else(|_| b.relation(&name))
+            .expect("name came from one of the inputs");
+        let merged = merge(&da, &db_);
+        out = out.with_entry(
+            name.as_ref(),
+            FnValue::from(rebuild(
+                template.name(),
+                &crate::filter::key_attr_strs(&template),
+                merged,
+            )?),
+        );
+    }
+    Ok(out)
+}
+
+struct Name2(fdm_core::Name);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{customers_relation, retail_db};
+
+    #[test]
+    fn fig9_deep_copy_then_diff() {
+        let db = retail_db();
+        let copy = deep_copy(&db).unwrap();
+        // untouched copy: empty diff
+        let diff = difference(&db, &copy).unwrap();
+        assert!(diff.is_empty(), "no changes yet: {diff:?}");
+
+        // change the copy: delete Bob, add Dave
+        let customers = copy.relation("customers").unwrap();
+        let customers = customers.delete(&Value::Int(2)).unwrap();
+        let customers = customers
+            .insert(
+                Value::Int(4),
+                TupleF::builder("c4").attr("name", "Dave").attr("age", 28).build(),
+            )
+            .unwrap();
+        let copy2 = copy.with_entry("customers", FnValue::from(customers));
+
+        let diff = difference(&db, &copy2).unwrap();
+        let added = diff.relation("customers.added").unwrap();
+        let removed = diff.relation("customers.removed").unwrap();
+        assert_eq!(added.len(), 1);
+        assert_eq!(removed.len(), 1);
+        let (_, t) = added.tuples().unwrap().remove(0);
+        assert_eq!(t.get("name").unwrap(), Value::str("Dave"));
+        let (_, t) = removed.tuples().unwrap().remove(0);
+        assert_eq!(t.get("name").unwrap(), Value::str("Bob"));
+        assert!(!diff.contains("products.added"), "unchanged relations absent");
+    }
+
+    #[test]
+    fn union_intersect_minus_databases() {
+        let db = retail_db();
+        let copy = deep_copy(&db).unwrap();
+        let customers = copy.relation("customers").unwrap();
+        let customers = customers
+            .insert(
+                Value::Int(4),
+                TupleF::builder("c4").attr("name", "Dave").attr("age", 28).build(),
+            )
+            .unwrap();
+        let copy2 = copy.with_entry("customers", FnValue::from(customers));
+
+        let u = union(&db, &copy2).unwrap();
+        assert_eq!(u.relation("customers").unwrap().len(), 4);
+        let i = intersect(&db, &copy2).unwrap();
+        assert_eq!(i.relation("customers").unwrap().len(), 3);
+        let m = minus(&copy2, &db).unwrap();
+        assert_eq!(m.relation("customers").unwrap().len(), 1);
+        let m2 = minus(&db, &copy2).unwrap();
+        assert_eq!(m2.relation("customers").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn union_handles_disjoint_relation_names() {
+        let a = DatabaseF::new("a").with_relation(customers_relation());
+        let b = DatabaseF::new("b").with_relation(customers_relation().renamed("clients"));
+        let u = union(&a, &b).unwrap();
+        assert!(u.contains("customers"));
+        assert!(u.contains("clients"));
+        let i = intersect(&a, &b).unwrap();
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn data_equality_sees_through_computed_attrs() {
+        // stored age 43 == computed age 43: copies compare equal
+        let stored = RelationF::new("r", &["id"])
+            .insert(
+                Value::Int(1),
+                TupleF::builder("t").attr("age", 43).build(),
+            )
+            .unwrap();
+        let computed = RelationF::new("r", &["id"])
+            .insert(
+                Value::Int(1),
+                TupleF::builder("t")
+                    .computed("age", |_| Ok(Value::Int(43)))
+                    .build(),
+            )
+            .unwrap();
+        let a = DatabaseF::new("a").with_relation(stored);
+        let b = DatabaseF::new("b").with_relation(computed);
+        let diff = difference(&a, &b).unwrap();
+        assert!(diff.is_empty(), "stored vs computed is invisible: {diff:?}");
+    }
+
+    #[test]
+    fn deep_copy_freezes_computed_attributes() {
+        let rel = RelationF::new("r", &["id"])
+            .insert(
+                Value::Int(1),
+                TupleF::builder("t")
+                    .attr("x", 2)
+                    .computed("sq", |t| t.get("x")?.mul(&Value::Int(2)))
+                    .build(),
+            )
+            .unwrap();
+        let db = DatabaseF::new("d").with_relation(rel);
+        let copy = deep_copy(&db).unwrap();
+        let t = copy.relation("r").unwrap().lookup(&Value::Int(1)).unwrap();
+        assert!(!t.is_computed("sq"), "materialized in the copy");
+        assert_eq!(t.get("sq").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn nested_databases_copy_recursively() {
+        let inner = DatabaseF::new("inner").with_relation(customers_relation());
+        let outerdb = DatabaseF::new("outer").with_entry("tenant", FnValue::from(inner));
+        let copy = deep_copy(&outerdb).unwrap();
+        assert_eq!(
+            copy.database("tenant").unwrap().relation("customers").unwrap().len(),
+            3
+        );
+    }
+}

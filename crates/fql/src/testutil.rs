@@ -1,0 +1,85 @@
+//! Shared fixtures: the paper's running retail example (Fig. 1) in FDM
+//! form. Public so examples, integration tests, and benches can reuse it.
+
+use fdm_core::{
+    DatabaseF, Domain, Participant, RelationF, RelationshipF, SharedDomain, TupleF, Value,
+    ValueType,
+};
+
+/// The customers relation of the running example: Alice, Bob, Carol.
+pub fn customers_relation() -> RelationF {
+    let mut rel = RelationF::new("customers", &["cid"]);
+    for (cid, name, age) in [(1, "Alice", 43), (2, "Bob", 30), (3, "Carol", 55)] {
+        rel = rel
+            .insert(
+                Value::Int(cid),
+                TupleF::builder(format!("c{cid}"))
+                    .attr("name", name)
+                    .attr("age", age)
+                    .build(),
+            )
+            .expect("unique cids");
+    }
+    rel
+}
+
+/// The products relation: three products, one of which (pid 12) is never
+/// ordered.
+pub fn products_relation() -> RelationF {
+    let mut rel = RelationF::new("products", &["pid"]);
+    for (pid, name, price) in [(10, "keyboard", 49.0), (11, "mouse", 19.0), (12, "webcam", 89.0)] {
+        rel = rel
+            .insert(
+                Value::Int(pid),
+                TupleF::builder(format!("p{pid}"))
+                    .attr("name", name)
+                    .attr("price", price)
+                    .build(),
+            )
+            .expect("unique pids");
+    }
+    rel
+}
+
+/// The Fig. 1 retail database: customers, products, and the `order(cid,
+/// pid)` relationship function over shared domains, with orders
+/// (1,10), (1,11), (2,10) — leaving Carol and the webcam unmatched.
+pub fn retail_db() -> DatabaseF {
+    let cid = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
+    let pid = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
+    let mut order = RelationshipF::new(
+        "order",
+        vec![
+            Participant::new("customers", "cid", cid.clone()),
+            Participant::new("products", "pid", pid.clone()),
+        ],
+    );
+    for (c, p, date) in [(1, 10, "2026-01-05"), (1, 11, "2026-02-11"), (2, 10, "2026-03-02")] {
+        order = order
+            .insert(
+                &[Value::Int(c), Value::Int(p)],
+                TupleF::builder("o").attr("date", date).build(),
+            )
+            .expect("unique order keys");
+    }
+    DatabaseF::new("shop")
+        .with_domain(cid)
+        .with_domain(pid)
+        .with_relation(customers_relation())
+        .with_relation(products_relation())
+        .with_relationship(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let db = retail_db();
+        assert_eq!(db.relation("customers").unwrap().len(), 3);
+        assert_eq!(db.relation("products").unwrap().len(), 3);
+        assert_eq!(db.relationship("order").unwrap().len(), 3);
+        assert!(db.shared_domain("cid").is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! Operators beyond SQL's usual repertoire (paper conclusion: "extending
+//! the list of FQL operators that allow functionality beyond SQL"):
+//! derived attributes, ordering as a relation function, top-k, attribute
+//! renaming, and semi/anti-joins against arbitrary key sets.
+//!
+//! Note how `order_by` stays inside the data model: the result is a
+//! relation function keyed by *rank* — ordering is not a presentation
+//! afterthought bolted onto a set, it is just another function.
+
+use crate::filter::key_attr_strs;
+use fdm_core::{FdmError, RelationF, Result, TupleF, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Adds a derived attribute to every tuple (an FQL `extend`/`map`): the
+/// new attribute is **computed**, not materialized — downstream readers
+/// cannot tell (paper §2.3). The closure receives the tuple.
+pub fn extend(
+    rel: &RelationF,
+    attr: &str,
+    f: impl Fn(&TupleF) -> Result<Value> + Send + Sync + 'static,
+) -> Result<RelationF> {
+    let f = Arc::new(f);
+    let attr_name: Arc<str> = Arc::from(attr);
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()? {
+        let f = Arc::clone(&f);
+        let base = Arc::clone(&tuple);
+        let derived = TupleF::builder(tuple.name())
+            .computed(attr_name.as_ref(), move |_| f(&base));
+        // keep all existing attributes (stored stay stored)
+        let mut b = derived;
+        for (n, v) in tuple.materialize()? {
+            if n != attr_name {
+                b = b.attr(n.as_ref(), v);
+            }
+        }
+        out = out.insert(key, b.build())?;
+    }
+    Ok(out)
+}
+
+/// Materializing variant of [`extend`]: computes the value now and stores
+/// it (useful before sorts on the derived attribute).
+pub fn extend_stored(
+    rel: &RelationF,
+    attr: &str,
+    f: impl Fn(&TupleF) -> Result<Value>,
+) -> Result<RelationF> {
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()? {
+        let v = f(&tuple)?;
+        out = out.insert(key, tuple.with_attr(attr, v))?;
+    }
+    Ok(out)
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Smallest first.
+    Asc,
+    /// Largest first.
+    Desc,
+}
+
+/// Orders the relation by an attribute, returning a relation function
+/// keyed by **rank** (`0..n`): the ordering is part of the function, not
+/// a cursor artifact. Ties keep the original key order (stable).
+pub fn order_by(rel: &RelationF, attr: &str, order: Order) -> Result<RelationF> {
+    let mut entries: Vec<(Value, Value, Arc<TupleF>)> = rel
+        .tuples()?
+        .into_iter()
+        .map(|(k, t)| Ok((t.get(attr)?, k, t)))
+        .collect::<Result<_>>()?;
+    entries.sort_by(|a, b| {
+        let ord = a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1));
+        match order {
+            Order::Asc => ord,
+            Order::Desc => ord.reverse(),
+        }
+    });
+    let mut out = RelationF::new(format!("{}_by_{attr}", rel.name()), &["rank"]);
+    for (rank, (_, _, tuple)) in entries.into_iter().enumerate() {
+        out = out.insert_arc(Value::Int(rank as i64), tuple)?;
+    }
+    Ok(out)
+}
+
+/// The first `k` tuples of a rank-keyed relation (compose with
+/// [`order_by`] for top-k).
+pub fn limit(rel: &RelationF, k: usize) -> Result<RelationF> {
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()?.into_iter().take(k) {
+        out = out.insert_arc(key, tuple)?;
+    }
+    Ok(out)
+}
+
+/// Top-k by attribute: `order_by` then `limit` in one call.
+pub fn top_k(rel: &RelationF, attr: &str, order: Order, k: usize) -> Result<RelationF> {
+    limit(&order_by(rel, attr, order)?, k)
+}
+
+/// Renames attributes (`(old, new)` pairs); unknown old names error.
+pub fn rename_attrs(rel: &RelationF, renames: &[(&str, &str)]) -> Result<RelationF> {
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()? {
+        let mut b = TupleF::builder(tuple.name());
+        for (n, v) in tuple.materialize()? {
+            let name = renames
+                .iter()
+                .find(|(old, _)| *old == n.as_ref())
+                .map(|(_, new)| *new)
+                .unwrap_or(n.as_ref());
+            b = b.attr(name, v);
+        }
+        out = out.insert(key, b.build())?;
+    }
+    // validate that every rename matched at least one tuple's attribute
+    if !rel.is_empty() {
+        let (_, probe) = rel.tuples()?.remove(0);
+        for (old, _) in renames {
+            if !probe.has_attr(old) {
+                return Err(FdmError::NoSuchAttribute { attr: (*old).to_string() });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Semi-join: tuples of `rel` whose value under `attr` appears in `keys`.
+/// (With `keys` taken from another function's image this is the classic
+/// `EXISTS` — and exactly the primitive `reduce_db` builds on.)
+pub fn semijoin(rel: &RelationF, attr: &str, keys: &BTreeSet<Value>) -> Result<RelationF> {
+    crate::filter::filter_fn(rel, |t| Ok(keys.contains(&t.get(attr)?)))
+}
+
+/// Anti-join: tuples of `rel` whose value under `attr` does **not**
+/// appear in `keys` (`NOT EXISTS` — without NULL pitfalls, because there
+/// are no NULLs).
+pub fn antijoin(rel: &RelationF, attr: &str, keys: &BTreeSet<Value>) -> Result<RelationF> {
+    crate::filter::filter_fn(rel, |t| Ok(!keys.contains(&t.get(attr)?)))
+}
+
+/// Semi-join on the relation's *key* rather than an attribute.
+pub fn semijoin_keys(rel: &RelationF, keys: &BTreeSet<Value>) -> Result<RelationF> {
+    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    for (key, tuple) in rel.tuples()? {
+        if keys.contains(&key) {
+            out = out.insert_arc(key, tuple)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::customers_relation;
+
+    #[test]
+    fn extend_adds_computed_attribute() {
+        let rel = customers_relation();
+        let out = extend(&rel, "age_in_months", |t| {
+            t.get("age")?.mul(&Value::Int(12))
+        })
+        .unwrap();
+        let t = out.lookup(&Value::Int(1)).unwrap();
+        assert_eq!(t.get("age_in_months").unwrap(), Value::Int(43 * 12));
+        assert!(t.is_computed("age_in_months"));
+        assert_eq!(t.get("name").unwrap(), Value::str("Alice"));
+        // the original is untouched
+        assert!(!rel
+            .lookup(&Value::Int(1))
+            .unwrap()
+            .has_attr("age_in_months"));
+    }
+
+    #[test]
+    fn extend_stored_materializes() {
+        let rel = customers_relation();
+        let out = extend_stored(&rel, "flag", |_| Ok(Value::Bool(true))).unwrap();
+        let t = out.lookup(&Value::Int(2)).unwrap();
+        assert!(!t.is_computed("flag"));
+        assert_eq!(t.get("flag").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn order_by_is_a_rank_keyed_function() {
+        let rel = customers_relation(); // ages 43, 30, 55
+        let by_age = order_by(&rel, "age", Order::Asc).unwrap();
+        assert_eq!(
+            by_age.lookup(&Value::Int(0)).unwrap().get("age").unwrap(),
+            Value::Int(30)
+        );
+        assert_eq!(
+            by_age.lookup(&Value::Int(2)).unwrap().get("age").unwrap(),
+            Value::Int(55)
+        );
+        let desc = order_by(&rel, "age", Order::Desc).unwrap();
+        assert_eq!(
+            desc.lookup(&Value::Int(0)).unwrap().get("age").unwrap(),
+            Value::Int(55)
+        );
+        assert_eq!(by_age.key_attrs()[0].as_ref(), "rank");
+    }
+
+    #[test]
+    fn top_k_composition() {
+        let rel = customers_relation();
+        let top2 = top_k(&rel, "age", Order::Desc, 2).unwrap();
+        assert_eq!(top2.len(), 2);
+        let names: Vec<Value> = top2
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.get("name").unwrap())
+            .collect();
+        assert_eq!(names, vec![Value::str("Carol"), Value::str("Alice")]);
+        // limit beyond size is a no-op
+        assert_eq!(limit(&rel, 100).unwrap().len(), 3);
+        assert_eq!(limit(&rel, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rename_attrs_works_and_validates() {
+        let rel = customers_relation();
+        let out = rename_attrs(&rel, &[("name", "full_name")]).unwrap();
+        let t = out.lookup(&Value::Int(1)).unwrap();
+        assert!(t.has_attr("full_name"));
+        assert!(!t.has_attr("name"));
+        let err = rename_attrs(&rel, &[("nope", "x")]).unwrap_err();
+        assert!(matches!(err, FdmError::NoSuchAttribute { .. }));
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition() {
+        let rel = customers_relation();
+        let keys: BTreeSet<Value> = [Value::Int(43), Value::Int(55)].into_iter().collect();
+        let semi = semijoin(&rel, "age", &keys).unwrap();
+        let anti = antijoin(&rel, "age", &keys).unwrap();
+        assert_eq!(semi.len(), 2);
+        assert_eq!(anti.len(), 1);
+        assert_eq!(semi.len() + anti.len(), rel.len());
+        let by_key: BTreeSet<Value> = [Value::Int(1)].into_iter().collect();
+        assert_eq!(semijoin_keys(&rel, &by_key).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stable_sort_breaks_ties_by_key() {
+        let rel = customers_relation()
+            .insert(
+                Value::Int(9),
+                TupleF::builder("c9").attr("name", "Zoe").attr("age", 43).build(),
+            )
+            .unwrap();
+        let by_age = order_by(&rel, "age", Order::Asc).unwrap();
+        // ties on 43: Alice (key 1) before Zoe (key 9)
+        assert_eq!(
+            by_age.lookup(&Value::Int(1)).unwrap().get("name").unwrap(),
+            Value::str("Alice")
+        );
+        assert_eq!(
+            by_age.lookup(&Value::Int(2)).unwrap().get("name").unwrap(),
+            Value::str("Zoe")
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Views (paper §4.4): dynamic by default, materialized on request.
+//!
+//! `DB('myAwesomeView') := foo` binds an FQL expression into a database.
+//! "We assume that all those assignments are dynamic unless explicitly
+//! marked with a copy-function" — so a [`DynamicView`] stores the *plan*
+//! and re-evaluates on every read, while [`materialize_view`] evaluates
+//! once (`copy(foo)`) and stores the frozen result, with the usual
+//! materialized-view trade-offs (storage, staleness).
+
+use crate::plan::Query;
+use crate::setops::deep_copy;
+use fdm_core::{DatabaseF, FnValue, RelationF, Result};
+
+/// A dynamic view: a named, stored FQL plan re-evaluated on demand
+/// against whatever database it is given.
+#[derive(Debug, Clone)]
+pub struct DynamicView {
+    name: String,
+    query: Query,
+}
+
+impl DynamicView {
+    /// Creates a view from a plan.
+    pub fn new(name: impl Into<String>, query: Query) -> Self {
+        DynamicView { name: name.into(), query }
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying plan.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Evaluates the view against `db` — always fresh.
+    pub fn eval(&self, db: &DatabaseF) -> Result<RelationF> {
+        Ok(self.query.clone().optimize().eval(db)?.renamed(&self.name))
+    }
+}
+
+/// `DB(name) := copy(view)` — evaluates the view *now* and stores the
+/// frozen result as an ordinary relation entry. Until re-materialized it
+/// will not reflect later base-data changes.
+pub fn materialize_view(db: &DatabaseF, view: &DynamicView) -> Result<DatabaseF> {
+    let rel = view.eval(db)?;
+    // freeze computed attributes too, exactly like deep_copy
+    let frozen_db = deep_copy(&DatabaseF::new("tmp").with_relation(rel))?;
+    let frozen = frozen_db.relation(view.name())?;
+    Ok(db.with_entry(view.name(), FnValue::from((*frozen).clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::retail_db;
+    use crate::update::db_upsert;
+    use fdm_core::{TupleF, Value};
+    use fdm_expr::Params;
+
+    fn old_customers_view() -> DynamicView {
+        DynamicView::new(
+            "old_customers",
+            Query::scan("customers")
+                .filter("age > $min", Params::new().set("min", 42))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn dynamic_view_tracks_base_changes() {
+        let db = retail_db();
+        let view = old_customers_view();
+        assert_eq!(view.eval(&db).unwrap().len(), 2);
+        // insert another old customer — the view sees it on next eval
+        let db2 = db_upsert(
+            &db,
+            "customers",
+            Value::Int(9),
+            TupleF::builder("c").attr("name", "Zoe").attr("age", 70).build(),
+        )
+        .unwrap();
+        assert_eq!(view.eval(&db2).unwrap().len(), 3, "dynamic: always fresh");
+    }
+
+    #[test]
+    fn materialized_view_is_frozen() {
+        let db = retail_db();
+        let view = old_customers_view();
+        let db_m = materialize_view(&db, &view).unwrap();
+        assert_eq!(db_m.relation("old_customers").unwrap().len(), 2);
+        // change the base inside the SAME database value
+        let db_m2 = db_upsert(
+            &db_m,
+            "customers",
+            Value::Int(9),
+            TupleF::builder("c").attr("name", "Zoe").attr("age", 70).build(),
+        )
+        .unwrap();
+        // the stored view entry did not move
+        assert_eq!(
+            db_m2.relation("old_customers").unwrap().len(),
+            2,
+            "materialized: stale until refreshed"
+        );
+        // refreshing re-materializes
+        let db_m3 = materialize_view(&db_m2, &view).unwrap();
+        assert_eq!(db_m3.relation("old_customers").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn view_is_named() {
+        let db = retail_db();
+        let view = old_customers_view();
+        assert_eq!(view.eval(&db).unwrap().name(), "old_customers");
+        assert_eq!(view.name(), "old_customers");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of FQL operator algebraic invariants on random
+//! relations: filters are idempotent and commute, grouping partitions,
+//! sorting permutes, set operations satisfy lattice laws.
+
+use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_fql::prelude::*;
+use fdm_fql::{aggregate, group, semijoin, Order};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random small relation of (id, score, tag) tuples.
+fn relation_strategy() -> impl Strategy<Value = RelationF> {
+    prop::collection::btree_map(0i64..200, (0i64..100, 0u8..4), 0..60).prop_map(|rows| {
+        let mut rel = RelationF::new("t", &["id"]);
+        for (id, (score, tag)) in rows {
+            rel = rel
+                .insert(
+                    Value::Int(id),
+                    TupleF::builder("r")
+                        .attr("score", score)
+                        .attr("tag", format!("tag{tag}"))
+                        .build(),
+                )
+                .expect("unique ids from btree_map");
+        }
+        rel
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// σ_p ∘ σ_p = σ_p (idempotence) and σ_p ∘ σ_q = σ_q ∘ σ_p.
+    #[test]
+    fn filter_idempotent_and_commutative(rel in relation_strategy(), a in 0i64..100, b in 0i64..100) {
+        let p = |r: &RelationF| filter_expr(r, "score > $a", Params::new().set("a", a)).unwrap();
+        let q = |r: &RelationF| filter_expr(r, "score < $b", Params::new().set("b", b)).unwrap();
+        let once = p(&rel);
+        let twice = p(&once);
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(once.stored_keys(), twice.stored_keys());
+        let pq = q(&p(&rel));
+        let qp = p(&q(&rel));
+        prop_assert_eq!(pq.stored_keys(), qp.stored_keys());
+    }
+
+    /// Grouping partitions: group sizes sum to the relation size, and
+    /// every member carries its group's key value.
+    #[test]
+    fn group_partitions(rel in relation_strategy()) {
+        prop_assume!(!rel.is_empty());
+        let g = group(&rel, &["tag"]).unwrap();
+        let total: usize = g.iter().map(|(_, members)| members.len()).sum();
+        prop_assert_eq!(total, rel.len());
+        for (key, members) in g.iter() {
+            for m in members {
+                prop_assert_eq!(m.get("tag").unwrap(), key.clone());
+            }
+        }
+        // count aggregate equals member count
+        let counts = aggregate(&g, &[("n", AggSpec::Count)]).unwrap();
+        for (key, members) in g.iter() {
+            let t = counts.lookup(&key).unwrap();
+            prop_assert_eq!(t.get("n").unwrap(), Value::Int(members.len() as i64));
+        }
+    }
+
+    /// order_by is a permutation: same multiset of tuples, ranks 0..n,
+    /// values monotone.
+    #[test]
+    fn order_by_permutes(rel in relation_strategy()) {
+        let sorted = order_by(&rel, "score", Order::Asc).unwrap();
+        prop_assert_eq!(sorted.len(), rel.len());
+        let ranks: Vec<Value> = sorted.stored_keys();
+        let expect: Vec<Value> = (0..rel.len() as i64).map(Value::Int).collect();
+        prop_assert_eq!(ranks, expect);
+        let scores: Vec<i64> = sorted
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.get("score").unwrap().as_int("s").unwrap())
+            .collect();
+        prop_assert!(scores.windows(2).all(|w| w[0] <= w[1]));
+        // multiset equality
+        let mut a: Vec<i64> = rel
+            .tuples().unwrap().iter()
+            .map(|(_, t)| t.get("score").unwrap().as_int("s").unwrap())
+            .collect();
+        a.sort_unstable();
+        prop_assert_eq!(scores, a);
+    }
+
+    /// limit(k) returns min(k, n) tuples, a prefix of the input keys.
+    #[test]
+    fn limit_is_a_prefix(rel in relation_strategy(), k in 0usize..80) {
+        let out = limit(&rel, k).unwrap();
+        prop_assert_eq!(out.len(), k.min(rel.len()));
+        let keys = rel.stored_keys();
+        let out_keys = out.stored_keys();
+        prop_assert_eq!(&keys[..out_keys.len()], &out_keys[..]);
+    }
+
+    /// semijoin + antijoin partition the relation for any key set.
+    #[test]
+    fn semi_anti_partition(rel in relation_strategy(), picks in prop::collection::btree_set(0i64..100, 0..20)) {
+        let keys: BTreeSet<Value> = picks.into_iter().map(Value::Int).collect();
+        let semi = semijoin(&rel, "score", &keys).unwrap();
+        let anti = antijoin(&rel, "score", &keys).unwrap();
+        prop_assert_eq!(semi.len() + anti.len(), rel.len());
+        for (k, _) in semi.tuples().unwrap() {
+            prop_assert!(!anti.contains_key(&k));
+        }
+    }
+
+    /// DB-level set ops satisfy lattice laws on random databases:
+    /// A∪A = A, A∩A = A, A−A = ∅, |A∪B| = |A| + |B−A|.
+    #[test]
+    fn db_setop_laws(a in relation_strategy(), b in relation_strategy()) {
+        let da = DatabaseF::new("a").with_relation(a);
+        let db_ = DatabaseF::new("b").with_relation(b.renamed("t"));
+        let aa = union(&da, &da).unwrap();
+        prop_assert_eq!(
+            aa.relation("t").unwrap().len(),
+            da.relation("t").unwrap().len()
+        );
+        let ii = intersect(&da, &da).unwrap();
+        prop_assert_eq!(
+            ii.relation("t").unwrap().len(),
+            da.relation("t").unwrap().len()
+        );
+        let mm = minus(&da, &da).unwrap();
+        prop_assert_eq!(mm.relation("t").unwrap().len(), 0);
+        // union is left-biased on key conflicts (the result must remain a
+        // function), so the size law counts B's keys absent from A:
+        let u = union(&da, &db_).unwrap();
+        let a_keys: BTreeSet<Value> = da.relation("t").unwrap().stored_keys().into_iter().collect();
+        let b_new = db_
+            .relation("t")
+            .unwrap()
+            .stored_keys()
+            .into_iter()
+            .filter(|k| !a_keys.contains(k))
+            .count();
+        prop_assert_eq!(
+            u.relation("t").unwrap().len(),
+            da.relation("t").unwrap().len() + b_new
+        );
+        // intersection is contained in both and disjoint from either minus
+        let i = intersect(&da, &db_).unwrap();
+        for (k, t) in i.relation("t").unwrap().tuples().unwrap() {
+            let in_a = da.relation("t").unwrap().lookup(&k).unwrap();
+            let in_b = db_.relation("t").unwrap().lookup(&k).unwrap();
+            prop_assert!(t.eq_data(&in_a) && t.eq_data(&in_b));
+        }
+        let m = minus(&da, &db_).unwrap();
+        for (k, t) in m.relation("t").unwrap().tuples().unwrap() {
+            let shared = i.relation("t").unwrap().lookup(&k);
+            prop_assert!(shared.is_none() || !shared.unwrap().eq_data(&t));
+        }
+    }
+
+    /// extend never changes cardinality or existing attributes, and the
+    /// derived attribute evaluates consistently.
+    #[test]
+    fn extend_preserves(rel in relation_strategy()) {
+        let out = extend(&rel, "double", |t| t.get("score")?.mul(&Value::Int(2))).unwrap();
+        prop_assert_eq!(out.len(), rel.len());
+        for (k, t) in out.tuples().unwrap() {
+            let orig = rel.lookup(&k).unwrap();
+            prop_assert_eq!(t.get("score").unwrap(), orig.get("score").unwrap());
+            prop_assert_eq!(
+                t.get("double").unwrap(),
+                orig.get("score").unwrap().mul(&Value::Int(2)).unwrap()
+            );
+        }
+    }
+
+    /// deep_copy round-trips: difference(db, copy) is empty.
+    #[test]
+    fn deep_copy_faithful(rel in relation_strategy()) {
+        let db = DatabaseF::new("d").with_relation(rel);
+        let copy = deep_copy(&db).unwrap();
+        prop_assert!(difference(&db, &copy).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! GROUP BY, aggregates, and GROUPING SETS / ROLLUP / CUBE with the
+//! single-NULL-filled-output shape of SQL — the behaviour the paper's
+//! Fig. 8 contrasts with FDM's separate relation functions per grouping.
+
+use crate::cell::Cell;
+use crate::relation::{Relation, Row, Schema};
+use std::collections::BTreeMap;
+
+/// An aggregate function over a column (or `*` for COUNT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Agg {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(col)` — non-NULL count.
+    Count(String),
+    /// `SUM(col)` — NULLs ignored; empty group yields NULL (SQL!).
+    Sum(String),
+    /// `MIN(col)`.
+    Min(String),
+    /// `MAX(col)`.
+    Max(String),
+    /// `AVG(col)`.
+    Avg(String),
+}
+
+impl Agg {
+    /// The output column name, SQL-style.
+    pub fn out_name(&self) -> String {
+        match self {
+            Agg::CountStar => "count".to_string(),
+            Agg::Count(c) => format!("count_{c}"),
+            Agg::Sum(c) => format!("sum_{c}"),
+            Agg::Min(c) => format!("min_{c}"),
+            Agg::Max(c) => format!("max_{c}"),
+            Agg::Avg(c) => format!("avg_{c}"),
+        }
+    }
+
+    /// Evaluates the aggregate over the rows of one group.
+    pub fn eval(&self, schema: &Schema, rows: &[&Row]) -> Cell {
+        match self {
+            Agg::CountStar => Cell::Int(rows.len() as i64),
+            Agg::Count(col) => {
+                let i = schema.index_of(col).expect("aggregate column");
+                Cell::Int(rows.iter().filter(|r| !r[i].is_null()).count() as i64)
+            }
+            Agg::Sum(col) => {
+                let i = schema.index_of(col).expect("aggregate column");
+                let vals: Vec<f64> = rows.iter().filter_map(|r| r[i].as_f64()).collect();
+                if vals.is_empty() {
+                    Cell::Null
+                } else {
+                    let s: f64 = vals.iter().sum();
+                    if s.fract() == 0.0 && rows.iter().all(|r| matches!(r[i], Cell::Int(_) | Cell::Null)) {
+                        Cell::Int(s as i64)
+                    } else {
+                        Cell::Float(s)
+                    }
+                }
+            }
+            Agg::Min(col) => {
+                let i = schema.index_of(col).expect("aggregate column");
+                rows.iter()
+                    .map(|r| &r[i])
+                    .filter(|c| !c.is_null())
+                    .min()
+                    .cloned()
+                    .unwrap_or(Cell::Null)
+            }
+            Agg::Max(col) => {
+                let i = schema.index_of(col).expect("aggregate column");
+                rows.iter()
+                    .map(|r| &r[i])
+                    .filter(|c| !c.is_null())
+                    .max()
+                    .cloned()
+                    .unwrap_or(Cell::Null)
+            }
+            Agg::Avg(col) => {
+                let i = schema.index_of(col).expect("aggregate column");
+                let vals: Vec<f64> = rows.iter().filter_map(|r| r[i].as_f64()).collect();
+                if vals.is_empty() {
+                    Cell::Null
+                } else {
+                    Cell::Float(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            }
+        }
+    }
+}
+
+/// `GROUP BY by_cols` computing `aggs`, producing one output relation with
+/// the grouping columns followed by one column per aggregate.
+pub fn group_by(input: &Relation, by_cols: &[&str], aggs: &[Agg]) -> Relation {
+    let by_idx: Vec<usize> = by_cols
+        .iter()
+        .map(|c| input.schema().index_of(c).expect("group-by column"))
+        .collect();
+    let mut groups: BTreeMap<Vec<Cell>, Vec<&Row>> = BTreeMap::new();
+    for row in input.rows() {
+        let key: Vec<Cell> = by_idx.iter().map(|&i| row[i].clone()).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    // SQL: a global aggregate (no GROUP BY) over an empty input still
+    // produces exactly one row (COUNT = 0, SUM = NULL).
+    if by_cols.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+    }
+    let mut cols: Vec<&str> = by_cols.to_vec();
+    let agg_names: Vec<String> = aggs.iter().map(Agg::out_name).collect();
+    for n in &agg_names {
+        cols.push(n);
+    }
+    let mut out = Relation::new(
+        format!("γ({})", input.name()),
+        Schema::new(&cols),
+    );
+    for (key, rows) in &groups {
+        let mut row = key.clone();
+        for a in aggs {
+            row.push(a.eval(input.schema(), rows));
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// One grouping condition inside a GROUPING SETS query.
+#[derive(Debug, Clone)]
+pub struct GroupingSet {
+    /// Columns to group by (may be empty: the grand total).
+    pub by: Vec<String>,
+    /// Aggregates to compute.
+    pub aggs: Vec<Agg>,
+}
+
+/// `GROUP BY GROUPING SETS (...)` — the SQL shape: **one** output relation
+/// whose schema is the union of all grouping columns plus all aggregates,
+/// with NULL filled into every column that does not apply to a row's
+/// grouping set (paper Fig. 8: "forcing the result into a single output
+/// relation and thus filling up the result with NULL-values").
+pub fn grouping_sets(input: &Relation, sets: &[GroupingSet]) -> Relation {
+    // union of all by-columns, in first-appearance order
+    let mut by_union: Vec<String> = Vec::new();
+    for s in sets {
+        for c in &s.by {
+            if !by_union.contains(c) {
+                by_union.push(c.clone());
+            }
+        }
+    }
+    // union of all aggregate outputs, in first-appearance order
+    let mut agg_union: Vec<Agg> = Vec::new();
+    for s in sets {
+        for a in &s.aggs {
+            if !agg_union.contains(a) {
+                agg_union.push(a.clone());
+            }
+        }
+    }
+    let mut cols: Vec<&str> = by_union.iter().map(String::as_str).collect();
+    let agg_names: Vec<String> = agg_union.iter().map(Agg::out_name).collect();
+    for n in &agg_names {
+        cols.push(n);
+    }
+    let mut out = Relation::new(
+        format!("grouping_sets({})", input.name()),
+        Schema::new(&cols),
+    );
+
+    for set in sets {
+        let by_refs: Vec<&str> = set.by.iter().map(String::as_str).collect();
+        let partial = group_by(input, &by_refs, &set.aggs);
+        for prow in partial.rows() {
+            let mut row: Row = Vec::with_capacity(out.schema().width());
+            for c in &by_union {
+                match set.by.iter().position(|b| b == c) {
+                    Some(i) => row.push(prow[i].clone()),
+                    None => row.push(Cell::Null), // the manufactured NULL
+                }
+            }
+            for a in &agg_union {
+                match set.aggs.iter().position(|x| x == a) {
+                    Some(i) => row.push(prow[set.by.len() + i].clone()),
+                    None => row.push(Cell::Null),
+                }
+            }
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// `ROLLUP(c1, c2, ..., ck)`: grouping sets (c1..ck), (c1..ck-1), ..., ().
+pub fn rollup(input: &Relation, by: &[&str], aggs: &[Agg]) -> Relation {
+    let sets: Vec<GroupingSet> = (0..=by.len())
+        .rev()
+        .map(|k| GroupingSet {
+            by: by[..k].iter().map(|s| s.to_string()).collect(),
+            aggs: aggs.to_vec(),
+        })
+        .collect();
+    grouping_sets(input, &sets)
+}
+
+/// `CUBE(c1, ..., ck)`: all 2^k subsets.
+pub fn cube(input: &Relation, by: &[&str], aggs: &[Agg]) -> Relation {
+    let k = by.len();
+    assert!(k <= 16, "cube over more than 16 columns is absurd");
+    let mut sets = Vec::with_capacity(1 << k);
+    for mask in (0..(1usize << k)).rev() {
+        let cols: Vec<String> = by
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c.to_string())
+            .collect();
+        sets.push(GroupingSet { by: cols, aggs: aggs.to_vec() });
+    }
+    grouping_sets(input, &sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> Relation {
+        let mut r = Relation::new("customers", Schema::new(&["name", "age", "state"]));
+        r.extend([
+            vec![Cell::str("Alice"), Cell::Int(43), Cell::str("NY")],
+            vec![Cell::str("Bob"), Cell::Int(30), Cell::str("NY")],
+            vec![Cell::str("Carol"), Cell::Int(43), Cell::str("CA")],
+            vec![Cell::str("Dave"), Cell::Null, Cell::str("CA")],
+        ]);
+        r
+    }
+
+    #[test]
+    fn group_by_with_count() {
+        let out = group_by(&customers(), &["age"], &[Agg::CountStar]);
+        // groups: NULL, 30, 43
+        assert_eq!(out.len(), 3);
+        // NULL groups together (SQL GROUP BY semantics) and sorts first
+        assert!(out.rows()[0][0].is_null());
+        assert_eq!(out.rows()[0][1], Cell::Int(1));
+        assert_eq!(out.rows()[2], vec![Cell::Int(43), Cell::Int(2)]);
+    }
+
+    #[test]
+    fn aggregates_ignore_nulls() {
+        let out = group_by(&customers(), &[], &[
+            Agg::Count("age".into()),
+            Agg::Sum("age".into()),
+            Agg::Min("age".into()),
+            Agg::Max("age".into()),
+            Agg::Avg("age".into()),
+        ]);
+        assert_eq!(out.len(), 1);
+        let r = &out.rows()[0];
+        assert_eq!(r[0], Cell::Int(3), "COUNT skips Dave's NULL");
+        assert_eq!(r[1], Cell::Int(116));
+        assert_eq!(r[2], Cell::Int(30));
+        assert_eq!(r[3], Cell::Int(43));
+        match &r[4] {
+            Cell::Float(x) => assert!((x - 116.0 / 3.0).abs() < 1e-9),
+            other => panic!("avg should be float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_group_sum_is_null() {
+        let empty = Relation::new("e", Schema::new(&["x"]));
+        let out = group_by(&empty, &[], &[Agg::Sum("x".into()), Agg::CountStar]);
+        assert_eq!(out.rows()[0][0], Cell::Null, "SUM over nothing is NULL in SQL");
+        assert_eq!(out.rows()[0][1], Cell::Int(0));
+    }
+
+    #[test]
+    fn grouping_sets_fill_nulls() {
+        // the paper's Fig. 8 shape: by age, by (age, name), and global min
+        let out = grouping_sets(
+            &customers(),
+            &[
+                GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+                GroupingSet {
+                    by: vec!["age".into(), "name".into()],
+                    aggs: vec![Agg::CountStar],
+                },
+                GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+            ],
+        );
+        // 3 age groups + 4 (age,name) groups + 1 global row
+        assert_eq!(out.len(), 8);
+        // the single-output shape manufactures NULLs:
+        assert!(out.null_count() > 0);
+        // the global row has NULL in both grouping columns and in count
+        let global: Vec<_> = out
+            .rows()
+            .iter()
+            .filter(|r| r[0].is_null() && r[1].is_null() && !r[3].is_null())
+            .collect();
+        assert_eq!(global.len(), 1);
+        assert_eq!(global[0][3], Cell::Int(30), "global MIN(age)");
+        // NOTE the ambiguity the paper points out: Dave's age IS NULL, so
+        // his by-age group row is indistinguishable from a rollup row
+        // without GROUPING() functions — we count the NULL-keyed rows to
+        // document it:
+        let null_age_count_rows = out
+            .rows()
+            .iter()
+            .filter(|r| r[0].is_null() && !r[2].is_null())
+            .count();
+        assert!(null_age_count_rows >= 2, "real NULL group + subtotal rows collide");
+    }
+
+    #[test]
+    fn rollup_produces_k_plus_one_levels() {
+        let out = rollup(&customers(), &["state", "age"], &[Agg::CountStar]);
+        // (state,age): NY43,NY30,CA43,CAnull = 4 rows
+        // (state): NY, CA = 2 rows; (): 1 row
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn cube_produces_all_subsets() {
+        let out = cube(&customers(), &["state", "age"], &[Agg::CountStar]);
+        // (state,age)=4, (state)=2, (age)=3, ()=1
+        assert_eq!(out.len(), 10);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cells — relational values *including NULL*.
+//!
+//! The FDM paper's central criticism of SQL result shaping is that forcing
+//! everything into one relation manufactures NULLs (outer joins, grouping
+//! sets). This baseline engine faithfully reproduces that behaviour,
+//! including SQL's three-valued logic, so the contrast benchmarks measure
+//! the real thing.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relational cell value.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// SQL NULL: absence of a value, infecting comparisons with UNKNOWN.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String.
+    Str(Arc<str>),
+}
+
+impl Cell {
+    /// Builds a string cell.
+    pub fn str(s: impl AsRef<str>) -> Cell {
+        Cell::Str(Arc::from(s.as_ref()))
+    }
+
+    /// `true` if this cell is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// SQL equality: `NULL = x` is UNKNOWN (`None`).
+    pub fn sql_eq(&self, other: &Cell) -> Option<bool> {
+        match (self, other) {
+            (Cell::Null, _) | (_, Cell::Null) => None,
+            _ => Some(self.total_cmp(other) == Ordering::Equal),
+        }
+    }
+
+    /// SQL ordering comparison: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Cell) -> Option<Ordering> {
+        match (self, other) {
+            (Cell::Null, _) | (_, Cell::Null) => None,
+            _ => Some(self.total_cmp(other)),
+        }
+    }
+
+    /// A total order used for sorting and grouping, where NULL sorts first
+    /// and NULLs group together (SQL GROUP BY treats NULLs as one group).
+    pub fn total_cmp(&self, other: &Cell) -> Ordering {
+        fn rank(c: &Cell) -> u8 {
+            match c {
+                Cell::Null => 0,
+                Cell::Bool(_) => 1,
+                Cell::Int(_) | Cell::Float(_) => 2,
+                Cell::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Cell::Null, Cell::Null) => Ordering::Equal,
+            (Cell::Bool(a), Cell::Bool(b)) => a.cmp(b),
+            (Cell::Int(a), Cell::Int(b)) => a.cmp(b),
+            (Cell::Float(a), Cell::Float(b)) => a.total_cmp(b),
+            (Cell::Int(a), Cell::Float(b)) => (*a as f64).total_cmp(b),
+            (Cell::Float(a), Cell::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Cell::Str(a), Cell::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Numeric view (ints widen); `None` for NULL or non-numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(*i as f64),
+            Cell::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Equality via the grouping order (NULL == NULL here — this is the
+/// *grouping* notion of equality, not SQL predicate equality; use
+/// [`Cell::sql_eq`] in predicates).
+impl PartialEq for Cell {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Cell {}
+
+impl PartialOrd for Cell {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cell {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Null => write!(f, "NULL"),
+            Cell::Bool(b) => write!(f, "{b}"),
+            Cell::Int(i) => write!(f, "{i}"),
+            Cell::Float(x) => write!(f, "{x}"),
+            Cell::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(i: i64) -> Self {
+        Cell::Int(i)
+    }
+}
+
+impl From<i32> for Cell {
+    fn from(i: i32) -> Self {
+        Cell::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Float(x)
+    }
+}
+
+impl From<bool> for Cell {
+    fn from(b: bool) -> Self {
+        Cell::Bool(b)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::str(s)
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_infects_sql_comparisons() {
+        assert_eq!(Cell::Null.sql_eq(&Cell::Int(1)), None);
+        assert_eq!(Cell::Null.sql_eq(&Cell::Null), None, "NULL = NULL is UNKNOWN");
+        assert_eq!(Cell::Int(1).sql_eq(&Cell::Int(1)), Some(true));
+        assert_eq!(Cell::Null.sql_cmp(&Cell::Int(1)), None);
+    }
+
+    #[test]
+    fn grouping_equality_groups_nulls() {
+        assert_eq!(Cell::Null, Cell::Null);
+        assert!(Cell::Null < Cell::Int(0), "NULL sorts first");
+    }
+
+    #[test]
+    fn cross_numeric() {
+        assert_eq!(Cell::Int(1), Cell::Float(1.0));
+        assert_eq!(Cell::Int(1).sql_cmp(&Cell::Float(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Cell::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Cell::Null.as_f64(), None);
+        assert_eq!(Cell::str("x").as_f64(), None);
+    }
+}

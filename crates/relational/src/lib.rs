@@ -1,0 +1,32 @@
+//! # fdm-relational — the classical baseline
+//!
+//! A small but faithful relational engine, built from scratch, embodying
+//! the semantics the FDM/FQL paper criticizes:
+//!
+//! * a relation is a **set (bag) of tuples**, not a function;
+//! * every query returns **one** output relation;
+//! * missing information is **NULL** with three-valued logic;
+//! * outer joins pad with NULLs ([`ops::outer_join`]);
+//! * GROUPING SETS/ROLLUP/CUBE fold semantically different groupings into
+//!   one NULL-filled relation ([`agg::grouping_sets`]);
+//! * textual SQL assembled by string concatenation is injectable
+//!   ([`sql::Catalog::query_where_name_equals_spliced`], used only to
+//!   demonstrate the contrast with FQL's structural immunity).
+//!
+//! Every Fig. 4–11 benchmark in `fdm-bench` runs the same workload on this
+//! engine and on the FDM/FQL engine and compares shapes (result footprint,
+//! NULL counts, time).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cell;
+pub mod ops;
+pub mod relation;
+pub mod sql;
+
+pub use agg::{cube, group_by, grouping_sets, rollup, Agg, GroupingSet};
+pub use cell::Cell;
+pub use ops::{col_eq, except, hash_join, intersect, outer_join, project, select, union, OuterSide};
+pub use relation::{ColName, Relation, Row, Schema};
+pub use sql::{Catalog, SqlError};

@@ -1,0 +1,351 @@
+//! Classical relational-algebra operators over [`Relation`].
+//!
+//! These are the baseline semantics the FDM paper contrasts against:
+//! every operator returns **one** relation; missing matches become NULLs
+//! (outer joins); everything else is post-processing on a single stream.
+
+use crate::cell::Cell;
+use crate::relation::{Relation, Row, Schema};
+use std::collections::HashMap;
+
+/// σ: keeps rows where `pred` returns `Some(true)` (SQL three-valued
+/// logic: UNKNOWN filters out, exactly like NULL comparisons in WHERE).
+pub fn select(input: &Relation, pred: impl Fn(&Schema, &Row) -> Option<bool>) -> Relation {
+    let mut out = Relation::new(format!("σ({})", input.name()), input.schema().clone());
+    for row in input.rows() {
+        if pred(input.schema(), row) == Some(true) {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+/// A convenience predicate: `col = lit` with SQL semantics.
+pub fn col_eq(col: &str, lit: Cell) -> impl Fn(&Schema, &Row) -> Option<bool> {
+    let col = col.to_string();
+    move |schema, row| {
+        let i = schema.index_of(&col)?;
+        row[i].sql_eq(&lit)
+    }
+}
+
+/// π: projects onto the named columns (panics on unknown columns —
+/// schema errors are programming errors in this engine).
+pub fn project(input: &Relation, cols: &[&str]) -> Relation {
+    let idx: Vec<usize> = cols
+        .iter()
+        .map(|c| {
+            input
+                .schema()
+                .index_of(c)
+                .unwrap_or_else(|| panic!("no column '{c}' in '{}'", input.name()))
+        })
+        .collect();
+    let mut out = Relation::new(format!("π({})", input.name()), Schema::new(cols));
+    for row in input.rows() {
+        out.push(idx.iter().map(|&i| row[i].clone()).collect());
+    }
+    out
+}
+
+/// Hash equi-join (inner): joins on `left.lcol = right.rcol`.
+pub fn hash_join(left: &Relation, right: &Relation, lcol: &str, rcol: &str) -> Relation {
+    let li = left
+        .schema()
+        .index_of(lcol)
+        .unwrap_or_else(|| panic!("no column '{lcol}' in '{}'", left.name()));
+    let ri = right
+        .schema()
+        .index_of(rcol)
+        .unwrap_or_else(|| panic!("no column '{rcol}' in '{}'", right.name()));
+
+    // Build side: smaller relation.
+    let schema = left.schema().join(right.schema(), right.name());
+    let mut out = Relation::new(
+        format!("({} ⋈ {})", left.name(), right.name()),
+        schema,
+    );
+
+    let mut table: HashMap<CellKey, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        if row[ri].is_null() {
+            continue; // NULL never joins
+        }
+        table.entry(CellKey(row[ri].clone())).or_default().push(i);
+    }
+    for lrow in left.rows() {
+        if lrow[li].is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&CellKey(lrow[li].clone())) {
+            for &m in matches {
+                let mut row = lrow.clone();
+                row.extend(right.rows()[m].iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Which sides of an outer join preserve unmatched rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OuterSide {
+    /// Preserve unmatched left rows (LEFT OUTER).
+    Left,
+    /// Preserve unmatched right rows (RIGHT OUTER).
+    Right,
+    /// Preserve both (FULL OUTER).
+    Full,
+}
+
+/// Outer hash join with NULL padding — the single-output-relation shape
+/// the paper's Fig. 7 argues against (inner and outer tuples are mixed in
+/// one stream, distinguishable only by scanning for NULLs).
+pub fn outer_join(
+    left: &Relation,
+    right: &Relation,
+    lcol: &str,
+    rcol: &str,
+    side: OuterSide,
+) -> Relation {
+    let li = left.schema().index_of(lcol).expect("left join column");
+    let ri = right.schema().index_of(rcol).expect("right join column");
+    let schema = left.schema().join(right.schema(), right.name());
+    let mut out = Relation::new(
+        format!("({} ⟗ {})", left.name(), right.name()),
+        schema,
+    );
+
+    let mut table: HashMap<CellKey, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        if !row[ri].is_null() {
+            table.entry(CellKey(row[ri].clone())).or_default().push(i);
+        }
+    }
+    let mut right_matched = vec![false; right.len()];
+    for lrow in left.rows() {
+        let matches = if lrow[li].is_null() {
+            None
+        } else {
+            table.get(&CellKey(lrow[li].clone()))
+        };
+        match matches {
+            Some(ms) if !ms.is_empty() => {
+                for &m in ms {
+                    right_matched[m] = true;
+                    let mut row = lrow.clone();
+                    row.extend(right.rows()[m].iter().cloned());
+                    out.push(row);
+                }
+            }
+            _ => {
+                if matches!(side, OuterSide::Left | OuterSide::Full) {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat_n(Cell::Null, right.schema().width()));
+                    out.push(row);
+                }
+            }
+        }
+    }
+    if matches!(side, OuterSide::Right | OuterSide::Full) {
+        for (i, rrow) in right.rows().iter().enumerate() {
+            if !right_matched[i] {
+                let mut row: Row = std::iter::repeat_n(Cell::Null, left.schema().width())
+                    .collect();
+                row.extend(rrow.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// ∪ with set semantics (schemas must be union-compatible by width).
+pub fn union(a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(a.schema().width(), b.schema().width(), "union compatibility");
+    let mut out = Relation::new(format!("({} ∪ {})", a.name(), b.name()), a.schema().clone());
+    out.extend(a.rows().iter().cloned());
+    out.extend(b.rows().iter().cloned());
+    out.distinct()
+}
+
+/// ∩ with set semantics.
+pub fn intersect(a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(a.schema().width(), b.schema().width(), "union compatibility");
+    let set: std::collections::BTreeSet<&Row> = b.rows().iter().collect();
+    let mut out = Relation::new(format!("({} ∩ {})", a.name(), b.name()), a.schema().clone());
+    for row in a.rows() {
+        if set.contains(row) {
+            out.push(row.clone());
+        }
+    }
+    out.distinct()
+}
+
+/// − (EXCEPT) with set semantics.
+pub fn except(a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(a.schema().width(), b.schema().width(), "union compatibility");
+    let set: std::collections::BTreeSet<&Row> = b.rows().iter().collect();
+    let mut out = Relation::new(format!("({} − {})", a.name(), b.name()), a.schema().clone());
+    for row in a.rows() {
+        if !set.contains(row) {
+            out.push(row.clone());
+        }
+    }
+    out.distinct()
+}
+
+/// A hashable wrapper around `Cell` using the grouping notion of equality.
+#[derive(PartialEq, Eq)]
+pub(crate) struct CellKey(pub(crate) Cell);
+
+impl std::hash::Hash for CellKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Cell::Null => 0u8.hash(state),
+            Cell::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Cell::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Cell::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 {
+                    2u8.hash(state);
+                    (*x as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    x.to_bits().hash(state);
+                }
+            }
+            Cell::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> Relation {
+        let mut r = Relation::new("customers", Schema::new(&["id", "name", "age"]));
+        r.extend([
+            vec![Cell::Int(1), Cell::str("Alice"), Cell::Int(43)],
+            vec![Cell::Int(2), Cell::str("Bob"), Cell::Int(30)],
+            vec![Cell::Int(3), Cell::str("Carol"), Cell::Null],
+        ]);
+        r
+    }
+
+    fn orders() -> Relation {
+        let mut r = Relation::new("orders", Schema::new(&["c_id", "p_id"]));
+        r.extend([
+            vec![Cell::Int(1), Cell::Int(10)],
+            vec![Cell::Int(1), Cell::Int(11)],
+            vec![Cell::Int(2), Cell::Int(10)],
+        ]);
+        r
+    }
+
+    #[test]
+    fn select_three_valued_logic() {
+        // age > 40 — Carol's NULL age is UNKNOWN, filtered out.
+        let out = select(&customers(), |s, r| {
+            let i = s.index_of("age")?;
+            r[i].sql_cmp(&Cell::Int(40)).map(|o| o == std::cmp::Ordering::Greater)
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "name"), Some(&Cell::str("Alice")));
+    }
+
+    #[test]
+    fn col_eq_helper() {
+        let out = select(&customers(), col_eq("name", Cell::str("Bob")));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let out = project(&customers(), &["name", "id"]);
+        assert_eq!(out.schema().cols()[0].as_ref(), "name");
+        assert_eq!(out.rows()[0][1], Cell::Int(1));
+    }
+
+    #[test]
+    fn inner_join_denormalizes() {
+        let out = hash_join(&customers(), &orders(), "id", "c_id");
+        // Alice×2 + Bob×1 = 3 rows; Carol unmatched, gone.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().width(), 5);
+        // Alice appears twice — the duplication the paper's subdatabase
+        // result avoids.
+        let alices = out
+            .rows()
+            .iter()
+            .filter(|r| r[1] == Cell::str("Alice"))
+            .count();
+        assert_eq!(alices, 2);
+    }
+
+    #[test]
+    fn left_outer_pads_with_nulls() {
+        let out = outer_join(&customers(), &orders(), "id", "c_id", OuterSide::Left);
+        assert_eq!(out.len(), 4);
+        let carol: Vec<_> = out
+            .rows()
+            .iter()
+            .filter(|r| r[1] == Cell::str("Carol"))
+            .collect();
+        assert_eq!(carol.len(), 1);
+        assert!(carol[0][3].is_null() && carol[0][4].is_null());
+        assert_eq!(out.null_count(), 3, "Carol's NULL age + 2 padded cells");
+    }
+
+    #[test]
+    fn full_outer_preserves_both_sides() {
+        let mut orphan_orders = orders();
+        orphan_orders.push(vec![Cell::Int(99), Cell::Int(12)]);
+        let out = outer_join(&customers(), &orphan_orders, "id", "c_id", OuterSide::Full);
+        // 3 matches + Carol padded + orphan order padded
+        assert_eq!(out.len(), 5);
+        let padded_left = out.rows().iter().filter(|r| r[0].is_null()).count();
+        assert_eq!(padded_left, 1);
+    }
+
+    #[test]
+    fn right_outer() {
+        let mut orphan_orders = orders();
+        orphan_orders.push(vec![Cell::Int(99), Cell::Int(12)]);
+        let out = outer_join(&customers(), &orphan_orders, "id", "c_id", OuterSide::Right);
+        assert_eq!(out.len(), 4, "3 matches + orphan; Carol dropped");
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut l = Relation::new("l", Schema::new(&["k"]));
+        l.push(vec![Cell::Null]);
+        let mut r = Relation::new("r", Schema::new(&["k"]));
+        r.push(vec![Cell::Null]);
+        assert_eq!(hash_join(&l, &r, "k", "k").len(), 0);
+        let out = outer_join(&l, &r, "k", "k", OuterSide::Full);
+        assert_eq!(out.len(), 2, "both preserved as unmatched");
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = Relation::new("a", Schema::new(&["x"]));
+        a.extend([vec![Cell::Int(1)], vec![Cell::Int(2)], vec![Cell::Int(2)]]);
+        let mut b = Relation::new("b", Schema::new(&["x"]));
+        b.extend([vec![Cell::Int(2)], vec![Cell::Int(3)]]);
+        assert_eq!(union(&a, &b).len(), 3);
+        assert_eq!(intersect(&a, &b).len(), 1);
+        assert_eq!(except(&a, &b).len(), 1);
+        assert_eq!(except(&b, &a).rows()[0][0], Cell::Int(3));
+    }
+}

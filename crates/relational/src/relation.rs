@@ -1,0 +1,247 @@
+//! Schemas, rows, and relations — "a relation is a set of tuples".
+
+use crate::cell::Cell;
+use std::fmt;
+use std::sync::Arc;
+
+/// A column name.
+pub type ColName = Arc<str>;
+
+/// A relation schema: ordered column names (types are dynamic, as cells).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    cols: Arc<[ColName]>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    pub fn new(cols: &[&str]) -> Schema {
+        Schema { cols: cols.iter().map(|c| ColName::from(*c)).collect() }
+    }
+
+    /// Builds a schema from owned names.
+    pub fn from_names(cols: Vec<ColName>) -> Schema {
+        Schema { cols: cols.into() }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column names in order.
+    pub fn cols(&self) -> &[ColName] {
+        &self.cols
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c.as_ref() == name)
+    }
+
+    /// Concatenates two schemas, prefixing clashing names from the right
+    /// with `prefix.` (classic join-output naming).
+    pub fn join(&self, other: &Schema, prefix: &str) -> Schema {
+        let mut cols: Vec<ColName> = self.cols.to_vec();
+        for c in other.cols.iter() {
+            if self.index_of(c).is_some() {
+                cols.push(ColName::from(format!("{prefix}.{c}").as_str()));
+            } else {
+                cols.push(c.clone());
+            }
+        }
+        Schema { cols: cols.into() }
+    }
+}
+
+/// A row: one cell per schema column.
+pub type Row = Vec<Cell>;
+
+/// A relation: a schema plus a bag of rows.
+///
+/// SQL's bag semantics are intentional here (baseline fidelity): use
+/// [`Relation::distinct`] for set semantics.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: Arc<str>,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl AsRef<str>, schema: Schema) -> Relation {
+        Relation { name: Arc::from(name.as_ref()), schema, rows: Vec::new() }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Appends a row; panics on arity mismatch (programming error).
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.len(),
+            self.schema.width(),
+            "row arity {} != schema width {} in '{}'",
+            row.len(),
+            self.schema.width(),
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Builder-style row append.
+    pub fn with_row(mut self, row: Row) -> Relation {
+        self.push(row);
+        self
+    }
+
+    /// Bulk-load rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) {
+        for r in rows {
+            self.push(r);
+        }
+    }
+
+    /// Reads the cell at (row, column name).
+    pub fn cell(&self, row: usize, col: &str) -> Option<&Cell> {
+        let i = self.schema.index_of(col)?;
+        self.rows.get(row).map(|r| &r[i])
+    }
+
+    /// Renames the relation.
+    pub fn renamed(&self, name: impl AsRef<str>) -> Relation {
+        let mut r = self.clone();
+        r.name = Arc::from(name.as_ref());
+        r
+    }
+
+    /// Total number of cells (rows × width): the *footprint* measure used
+    /// by the result-size benchmarks (Fig. 5/7/8 contrasts).
+    pub fn cell_count(&self) -> usize {
+        self.rows.len() * self.schema.width()
+    }
+
+    /// Number of NULL cells — what the paper's separate-streams results
+    /// avoid manufacturing.
+    pub fn null_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().filter(|c| c.is_null()).count())
+            .sum()
+    }
+
+    /// Sorts rows by the total order (deterministic output for tests).
+    pub fn sorted(&self) -> Relation {
+        let mut r = self.clone();
+        r.rows.sort();
+        r
+    }
+
+    /// Set-semantics view: sorted rows with duplicates removed.
+    pub fn distinct(&self) -> Relation {
+        let mut r = self.sorted();
+        r.rows.dedup();
+        r
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.schema.cols().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        writeln!(f, ") [{} rows]", self.rows.len())?;
+        for row in self.rows.iter().take(20) {
+            write!(f, "  ")?;
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Relation {
+        let mut r = Relation::new("people", Schema::new(&["id", "name", "age"]));
+        r.push(vec![Cell::Int(1), Cell::str("Alice"), Cell::Int(43)]);
+        r.push(vec![Cell::Int(2), Cell::str("Bob"), Cell::Null]);
+        r
+    }
+
+    #[test]
+    fn schema_lookup_and_join_naming() {
+        let s = Schema::new(&["id", "name"]);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        let joined = s.join(&Schema::new(&["id", "price"]), "p");
+        assert_eq!(
+            joined.cols().iter().map(|c| c.as_ref()).collect::<Vec<_>>(),
+            vec!["id", "name", "p.id", "price"]
+        );
+    }
+
+    #[test]
+    fn rows_and_cells() {
+        let r = people();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cell(0, "name"), Some(&Cell::str("Alice")));
+        assert_eq!(r.cell(1, "age"), Some(&Cell::Null));
+        assert_eq!(r.cell(5, "age"), None);
+        assert_eq!(r.cell_count(), 6);
+        assert_eq!(r.null_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = people();
+        r.push(vec![Cell::Int(3)]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let mut r = Relation::new("t", Schema::new(&["x"]));
+        r.extend([vec![Cell::Int(2)], vec![Cell::Int(1)], vec![Cell::Int(2)]]);
+        let d = r.distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.rows()[0][0], Cell::Int(1));
+    }
+}

@@ -1,0 +1,337 @@
+//! A deliberately tiny, deliberately *string-spliced* SQL-ish layer.
+//!
+//! Purpose: demonstrate, against a working implementation, why textual
+//! query assembly is injectable and why FQL's value-level parameter
+//! binding (see `fdm-expr`) is immune **by construction** (paper
+//! contribution 10). This is the classic textbook contrast — the
+//! vulnerable pattern below (`query_customers_unsafe`-style concatenation)
+//! is what real applications did before prepared statements.
+//!
+//! Supported grammar (enough for the demo and for baseline convenience):
+//!
+//! ```text
+//! SELECT * FROM <ident> WHERE <cond> ( OR <cond> )*
+//! cond := <ident> = <literal> | <literal> = <literal>
+//! literal := '<chars>' | integer
+//! ```
+
+use crate::cell::Cell;
+use crate::ops::select;
+use crate::relation::Relation;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from the mini-SQL layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError(pub String);
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sql error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// A catalog of named relations the mini-SQL layer can query.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a relation under its own name.
+    pub fn register(&mut self, rel: Relation) {
+        self.tables.insert(rel.name().to_string(), rel);
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// **The vulnerable pattern**: builds a query by splicing a raw,
+    /// attacker-controllable string into the WHERE clause, exactly like
+    /// `"... WHERE name = '" + user_input + "'"`. Provided so tests and
+    /// examples can demonstrate the injection the paper's design rules
+    /// out. Never do this.
+    pub fn query_where_name_equals_spliced(
+        &self,
+        table: &str,
+        user_input: &str,
+    ) -> Result<Relation, SqlError> {
+        let q = format!("SELECT * FROM {table} WHERE name = '{user_input}'");
+        self.execute(&q)
+    }
+
+    /// Executes a mini-SQL query string.
+    pub fn execute(&self, query: &str) -> Result<Relation, SqlError> {
+        let stmt = parse_select(query)?;
+        let rel = self
+            .tables
+            .get(&stmt.table)
+            .ok_or_else(|| SqlError(format!("no table '{}'", stmt.table)))?;
+        let out = select(rel, |schema, row| {
+            // No WHERE clause: every row qualifies.
+            if stmt.disjuncts.is_empty() {
+                return Some(true);
+            }
+            // OR over the disjuncts with SQL three-valued logic
+            let mut any_unknown = false;
+            for c in &stmt.disjuncts {
+                match c.eval(schema, row) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => any_unknown = true,
+                }
+            }
+            if any_unknown {
+                None
+            } else {
+                Some(false)
+            }
+        });
+        Ok(out.renamed(format!("result_of({})", stmt.table)))
+    }
+}
+
+/// One `lhs = rhs` condition; either side is a column or a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Operand {
+    Col(String),
+    Lit(Cell),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Cond {
+    lhs: Operand,
+    rhs: Operand,
+}
+
+impl Cond {
+    fn eval(&self, schema: &crate::relation::Schema, row: &crate::relation::Row) -> Option<bool> {
+        let l = self.resolve(&self.lhs, schema, row)?;
+        let r = self.resolve(&self.rhs, schema, row)?;
+        l.sql_eq(&r)
+    }
+
+    fn resolve<'a>(
+        &self,
+        op: &'a Operand,
+        schema: &crate::relation::Schema,
+        row: &'a crate::relation::Row,
+    ) -> Option<Cell> {
+        match op {
+            Operand::Col(c) => schema.index_of(c).map(|i| row[i].clone()),
+            Operand::Lit(c) => Some(c.clone()),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct SelectStmt {
+    table: String,
+    disjuncts: Vec<Cond>,
+}
+
+/// Parses `SELECT * FROM t WHERE a = 'x' OR 1 = 1 ...` the way a naive
+/// SQL engine would — which is precisely why splicing is dangerous: the
+/// payload `' OR '1'='1` *changes the parse tree*.
+pub(crate) fn parse_select(q: &str) -> Result<SelectStmt, SqlError> {
+    let toks = sql_lex(q)?;
+    let mut i = 0usize;
+    let expect_kw = |toks: &[SqlTok], i: &mut usize, kw: &str| -> Result<(), SqlError> {
+        match toks.get(*i) {
+            Some(SqlTok::Word(w)) if w.eq_ignore_ascii_case(kw) => {
+                *i += 1;
+                Ok(())
+            }
+            other => Err(SqlError(format!("expected {kw}, found {other:?}"))),
+        }
+    };
+    expect_kw(&toks, &mut i, "SELECT")?;
+    match toks.get(i) {
+        Some(SqlTok::Star) => i += 1,
+        other => return Err(SqlError(format!("expected *, found {other:?}"))),
+    }
+    expect_kw(&toks, &mut i, "FROM")?;
+    let table = match toks.get(i) {
+        Some(SqlTok::Word(w)) => {
+            i += 1;
+            w.clone()
+        }
+        other => return Err(SqlError(format!("expected table name, found {other:?}"))),
+    };
+    let mut disjuncts = Vec::new();
+    if i < toks.len() {
+        expect_kw(&toks, &mut i, "WHERE")?;
+        loop {
+            let lhs = parse_operand(&toks, &mut i)?;
+            match toks.get(i) {
+                Some(SqlTok::Eq) => i += 1,
+                other => return Err(SqlError(format!("expected '=', found {other:?}"))),
+            }
+            let rhs = parse_operand(&toks, &mut i)?;
+            disjuncts.push(Cond { lhs, rhs });
+            match toks.get(i) {
+                Some(SqlTok::Word(w)) if w.eq_ignore_ascii_case("OR") => {
+                    i += 1;
+                }
+                None => break,
+                other => return Err(SqlError(format!("expected OR or end, found {other:?}"))),
+            }
+        }
+    }
+    Ok(SelectStmt { table, disjuncts })
+}
+
+fn parse_operand(toks: &[SqlTok], i: &mut usize) -> Result<Operand, SqlError> {
+    match toks.get(*i) {
+        Some(SqlTok::Word(w)) => {
+            *i += 1;
+            Ok(Operand::Col(w.clone()))
+        }
+        Some(SqlTok::Str(s)) => {
+            *i += 1;
+            Ok(Operand::Lit(Cell::str(s.as_str())))
+        }
+        Some(SqlTok::Int(n)) => {
+            *i += 1;
+            Ok(Operand::Lit(Cell::Int(*n)))
+        }
+        other => Err(SqlError(format!("expected operand, found {other:?}"))),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SqlTok {
+    Word(String),
+    Str(String),
+    Int(i64),
+    Eq,
+    Star,
+}
+
+/// SQL-style lexer: `''` escapes a quote inside a string — and an
+/// unbalanced quote from spliced input silently re-shapes the token
+/// stream, which is the injection vector.
+fn sql_lex(q: &str) -> Result<Vec<SqlTok>, SqlError> {
+    let b = q.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        match b[i] as char {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '=' => {
+                out.push(SqlTok::Eq);
+                i += 1;
+            }
+            '*' => {
+                out.push(SqlTok::Star);
+                i += 1;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(SqlError("unterminated string".into()));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(SqlTok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                out.push(SqlTok::Int(
+                    q[start..i].parse().map_err(|_| SqlError("int overflow".into()))?,
+                ));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(SqlTok::Word(q[start..i].to_string()));
+            }
+            other => return Err(SqlError(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Schema;
+
+    fn catalog() -> Catalog {
+        let mut users = Relation::new("users", Schema::new(&["id", "name", "secret"]));
+        users.extend([
+            vec![Cell::Int(1), Cell::str("alice"), Cell::str("s3cr3t-a")],
+            vec![Cell::Int(2), Cell::str("bob"), Cell::str("s3cr3t-b")],
+        ]);
+        let mut c = Catalog::new();
+        c.register(users);
+        c
+    }
+
+    #[test]
+    fn honest_query_returns_one_row() {
+        let c = catalog();
+        let out = c.query_where_name_equals_spliced("users", "alice").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "name"), Some(&Cell::str("alice")));
+    }
+
+    #[test]
+    fn classic_payload_dumps_the_table() {
+        // The whole point of this module: `' OR '1'='1` reshapes the
+        // WHERE clause and returns every row, secrets included.
+        let c = catalog();
+        let out = c
+            .query_where_name_equals_spliced("users", "' OR '1'='1")
+            .unwrap();
+        assert_eq!(out.len(), 2, "injection succeeded against spliced SQL");
+    }
+
+    #[test]
+    fn direct_execute_and_errors() {
+        let c = catalog();
+        let out = c.execute("SELECT * FROM users WHERE id = 2").unwrap();
+        assert_eq!(out.len(), 1);
+        let out = c.execute("SELECT * FROM users").unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(c.execute("SELECT * FROM nope").is_err());
+        assert!(c.execute("DROP TABLE users").is_err());
+        assert!(c.execute("SELECT * FROM users WHERE name = 'open").is_err());
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        let c = catalog();
+        let out = c
+            .execute("SELECT * FROM users WHERE name = 'o''brien'")
+            .unwrap();
+        assert_eq!(out.len(), 0, "parses fine, matches nobody");
+    }
+}

@@ -1,0 +1,35 @@
+//! # fdm-storage
+//!
+//! Storage substrate for the FDM/FQL engine: **persistent** (immutable,
+//! structurally shared) ordered containers plus a versioned root cell.
+//!
+//! The paper's Figure 10/11 semantics — "changes are applied immediately to
+//! the snapshot of the transaction" — require that taking a snapshot of an
+//! arbitrarily large database is cheap and that updates do not disturb
+//! readers of older snapshots. Persistent balanced trees give exactly that:
+//! a snapshot is an `Arc` clone of a root pointer (O(1)), and every update
+//! produces a new root sharing all untouched subtrees (O(log n) allocation).
+//!
+//! Provided containers:
+//!
+//! * [`PMap`] — persistent ordered map (AVL tree with `Arc`-shared nodes,
+//!   order statistics, range scans).
+//! * [`PSet`] — persistent ordered set, a thin wrapper over [`PMap`].
+//! * [`PMultiMap`] — persistent ordered multimap (`PMap<K, PSet<V>>`),
+//!   the shape of a non-unique secondary index (the paper's `R3` relation
+//!   function returning a *set* of tuple functions, §2.4).
+//! * [`VersionedRoot`] — a concurrent cell holding the current committed
+//!   root, supporting lock-free-ish snapshot loads and atomic
+//!   compare-and-swap installs for first-committer-wins commit protocols.
+
+#![warn(missing_docs)]
+
+pub mod pmap;
+pub mod pmultimap;
+pub mod pset;
+pub mod version;
+
+pub use pmap::PMap;
+pub use pmultimap::PMultiMap;
+pub use pset::PSet;
+pub use version::{SharedRoot, Snapshot, Version, VersionConflict, VersionedRoot};

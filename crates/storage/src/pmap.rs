@@ -1,0 +1,625 @@
+//! A persistent ordered map implemented as an AVL tree with `Arc`-shared
+//! nodes.
+//!
+//! Every mutating operation (`insert`, `remove`, ...) returns a *new* map
+//! that shares all untouched subtrees with the original. Cloning a map is
+//! O(1). This is the backbone of FDM relation functions and database
+//! functions: a "snapshot" of a relation is just a clone of its root.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A node of the persistent AVL tree.
+///
+/// Nodes are immutable once created; rebalancing builds new nodes and reuses
+/// (via `Arc`) everything that did not change.
+struct Node<K, V> {
+    key: K,
+    val: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+    /// Height of the subtree rooted here (leaf = 1).
+    height: u8,
+    /// Number of entries in the subtree rooted here (order statistics).
+    size: usize,
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+fn height<K, V>(link: &Link<K, V>) -> u8 {
+    link.as_ref().map_or(0, |n| n.height)
+}
+
+fn size<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+impl<K: Clone, V: Clone> Node<K, V> {
+    fn new(key: K, val: V, left: Link<K, V>, right: Link<K, V>) -> Arc<Self> {
+        let height = 1 + height(&left).max(height(&right));
+        let size = 1 + size(&left) + size(&right);
+        Arc::new(Node { key, val, left, right, height, size })
+    }
+
+    fn balance_factor(&self) -> i16 {
+        height(&self.left) as i16 - height(&self.right) as i16
+    }
+}
+
+/// Rebuild a subtree with the given children, restoring the AVL invariant
+/// (|balance factor| <= 1) with at most two rotations.
+fn balance<K: Clone, V: Clone>(key: K, val: V, left: Link<K, V>, right: Link<K, V>) -> Arc<Node<K, V>> {
+    let bf = height(&left) as i16 - height(&right) as i16;
+    if bf > 1 {
+        let l = left.expect("bf > 1 implies left child");
+        if l.balance_factor() >= 0 {
+            // Left-left: single right rotation.
+            let new_right = Node::new(key, val, l.right.clone(), right);
+            Node::new(l.key.clone(), l.val.clone(), l.left.clone(), Some(new_right))
+        } else {
+            // Left-right: double rotation through l.right.
+            let lr = l.right.as_ref().expect("bf < 0 implies right child").clone();
+            let new_left = Node::new(l.key.clone(), l.val.clone(), l.left.clone(), lr.left.clone());
+            let new_right = Node::new(key, val, lr.right.clone(), right);
+            Node::new(lr.key.clone(), lr.val.clone(), Some(new_left), Some(new_right))
+        }
+    } else if bf < -1 {
+        let r = right.expect("bf < -1 implies right child");
+        if r.balance_factor() <= 0 {
+            // Right-right: single left rotation.
+            let new_left = Node::new(key, val, left, r.left.clone());
+            Node::new(r.key.clone(), r.val.clone(), Some(new_left), r.right.clone())
+        } else {
+            // Right-left: double rotation through r.left.
+            let rl = r.left.as_ref().expect("bf > 0 implies left child").clone();
+            let new_left = Node::new(key, val, left, rl.left.clone());
+            let new_right = Node::new(r.key.clone(), r.val.clone(), rl.right.clone(), r.right.clone());
+            Node::new(rl.key.clone(), rl.val.clone(), Some(new_left), Some(new_right))
+        }
+    } else {
+        Node::new(key, val, left, right)
+    }
+}
+
+/// A persistent (immutable, structurally shared) ordered map.
+///
+/// * `clone` is O(1) and shares the whole tree.
+/// * `insert` / `remove` are O(log n) time and allocation and return a new
+///   map; the receiver is unchanged.
+/// * Iteration is in key order.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_storage::PMap;
+///
+/// let m0: PMap<i64, &str> = PMap::new();
+/// let m1 = m0.insert(1, "one").0;
+/// let m2 = m1.insert(2, "two").0;
+/// // m1 is an unchanged snapshot:
+/// assert_eq!(m1.len(), 1);
+/// assert_eq!(m2.get(&2), Some(&"two"));
+/// assert_eq!(m1.get(&2), None);
+/// ```
+pub struct PMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap { root: self.root.clone() }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap { root: None }
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Height of the underlying tree (diagnostics; 0 for an empty map).
+    pub fn tree_height(&self) -> usize {
+        height(&self.root) as usize
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    /// Looks up `key`, returning a reference to its value if present.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+                Ordering::Equal => return Some(&n.val),
+            }
+        }
+        None
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Returns the entry with the smallest key.
+    pub fn first(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(l) = cur.left.as_deref() {
+            cur = l;
+        }
+        Some((&cur.key, &cur.val))
+    }
+
+    /// Returns the entry with the largest key.
+    pub fn last(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(r) = cur.right.as_deref() {
+            cur = r;
+        }
+        Some((&cur.key, &cur.val))
+    }
+
+    /// Returns the `i`-th entry in key order (0-based), using subtree sizes.
+    pub fn nth(&self, mut i: usize) -> Option<(&K, &V)> {
+        if i >= self.len() {
+            return None;
+        }
+        let mut cur = self.root.as_deref()?;
+        loop {
+            let ls = size(&cur.left);
+            match i.cmp(&ls) {
+                Ordering::Less => cur = cur.left.as_deref()?,
+                Ordering::Equal => return Some((&cur.key, &cur.val)),
+                Ordering::Greater => {
+                    i -= ls + 1;
+                    cur = cur.right.as_deref()?;
+                }
+            }
+        }
+    }
+
+    /// Returns the rank of `key`: the number of entries with keys strictly
+    /// smaller. If `key` is absent this is its insertion position.
+    pub fn rank<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        let mut r = 0usize;
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Equal => return r + size(&n.left),
+                Ordering::Greater => {
+                    r += size(&n.left) + 1;
+                    cur = n.right.as_deref();
+                }
+            }
+        }
+        r
+    }
+
+    /// Inserts `key -> val`, returning the new map and the previous value
+    /// for `key` if one existed. The receiver is unchanged.
+    pub fn insert(&self, key: K, val: V) -> (Self, Option<V>) {
+        fn go<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: K, val: V) -> (Arc<Node<K, V>>, Option<V>) {
+            match link {
+                None => (Node::new(key, val, None, None), None),
+                Some(n) => match key.cmp(&n.key) {
+                    Ordering::Less => {
+                        let (nl, old) = go(&n.left, key, val);
+                        (
+                            balance(n.key.clone(), n.val.clone(), Some(nl), n.right.clone()),
+                            old,
+                        )
+                    }
+                    Ordering::Greater => {
+                        let (nr, old) = go(&n.right, key, val);
+                        (
+                            balance(n.key.clone(), n.val.clone(), n.left.clone(), Some(nr)),
+                            old,
+                        )
+                    }
+                    Ordering::Equal => (
+                        Node::new(key, val, n.left.clone(), n.right.clone()),
+                        Some(n.val.clone()),
+                    ),
+                },
+            }
+        }
+        let (root, old) = go(&self.root, key, val);
+        (PMap { root: Some(root) }, old)
+    }
+
+    /// Removes `key`, returning the new map and the removed value if it was
+    /// present. The receiver is unchanged.
+    pub fn remove<Q>(&self, key: &Q) -> (Self, Option<V>)
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        /// Removes the minimum entry of a non-empty subtree, returning the
+        /// remaining subtree and the removed (key, value).
+        fn take_min<K: Ord + Clone, V: Clone>(n: &Arc<Node<K, V>>) -> (Link<K, V>, (K, V)) {
+            match &n.left {
+                None => (n.right.clone(), (n.key.clone(), n.val.clone())),
+                Some(l) => {
+                    let (rest, min) = take_min(l);
+                    (
+                        Some(balance(n.key.clone(), n.val.clone(), rest, n.right.clone())),
+                        min,
+                    )
+                }
+            }
+        }
+        fn go<K, V, Q>(link: &Link<K, V>, key: &Q) -> Option<(Link<K, V>, V)>
+        where
+            K: Ord + Clone + Borrow<Q>,
+            V: Clone,
+            Q: Ord + ?Sized,
+        {
+            let n = link.as_ref()?;
+            match key.cmp(n.key.borrow()) {
+                Ordering::Less => {
+                    let (nl, old) = go(&n.left, key)?;
+                    Some((
+                        Some(balance(n.key.clone(), n.val.clone(), nl, n.right.clone())),
+                        old,
+                    ))
+                }
+                Ordering::Greater => {
+                    let (nr, old) = go(&n.right, key)?;
+                    Some((
+                        Some(balance(n.key.clone(), n.val.clone(), n.left.clone(), nr)),
+                        old,
+                    ))
+                }
+                Ordering::Equal => {
+                    let old = n.val.clone();
+                    let merged = match (&n.left, &n.right) {
+                        (None, r) => r.clone(),
+                        (l, None) => l.clone(),
+                        (Some(_), Some(r)) => {
+                            let (rest, (sk, sv)) = take_min(r);
+                            Some(balance(sk, sv, n.left.clone(), rest))
+                        }
+                    };
+                    Some((merged, old))
+                }
+            }
+        }
+        match go(&self.root, key) {
+            None => (self.clone(), None),
+            Some((root, old)) => (PMap { root }, Some(old)),
+        }
+    }
+
+    /// Applies `f` to the value at `key` if present; returns the new map and
+    /// whether the key existed.
+    pub fn update_with<Q, F>(&self, key: &Q, f: F) -> (Self, bool)
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+        F: FnOnce(&V) -> V,
+    {
+        match self.get(key) {
+            None => (self.clone(), false),
+            Some(v) => {
+                // We need an owned key to reinsert; find it via iteration of
+                // the search path. `get_key_value` style:
+                let k = self.get_key(key).expect("present").clone();
+                (self.insert(k, f(v)).0, true)
+            }
+        }
+    }
+
+    fn get_key<Q>(&self, key: &Q) -> Option<&K>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+                Ordering::Equal => return Some(&n.key),
+            }
+        }
+        None
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter::new(&self.root, None, None)
+    }
+
+    /// Iterates the entries whose keys lie in `[lo, hi]` (inclusive bounds,
+    /// either side optional) in ascending key order.
+    pub fn range<'a>(&'a self, lo: Option<&'a K>, hi: Option<&'a K>) -> Iter<'a, K, V> {
+        Iter::new(&self.root, lo, hi)
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Builds a map from an iterator of pairs; later duplicates win.
+    pub fn from_iter<I: IntoIterator<Item = (K, V)>>(it: I) -> Self {
+        let mut m = PMap::new();
+        for (k, v) in it {
+            m = m.insert(k, v).0;
+        }
+        m
+    }
+
+    /// Checks the AVL and size invariants of the whole tree (test support).
+    pub fn check_invariants(&self) -> bool {
+        fn go<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> Option<(u8, usize)> {
+            match link {
+                None => Some((0, 0)),
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        if n.key <= *lo {
+                            return None;
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if n.key >= *hi {
+                            return None;
+                        }
+                    }
+                    let (lh, ls) = go(&n.left, lo, Some(&n.key))?;
+                    let (rh, rs) = go(&n.right, Some(&n.key), hi)?;
+                    if (lh as i16 - rh as i16).abs() > 1 {
+                        return None;
+                    }
+                    let h = 1 + lh.max(rh);
+                    let s = 1 + ls + rs;
+                    if h != n.height || s != n.size {
+                        return None;
+                    }
+                    Some((h, s))
+                }
+            }
+        }
+        go(&self.root, None, None).is_some()
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Eq> Eq for PMap<K, V> {}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(it: I) -> Self {
+        PMap::from_iter(it)
+    }
+}
+
+/// In-order iterator over a [`PMap`] with optional inclusive bounds.
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+    lo: Option<&'a K>,
+    hi: Option<&'a K>,
+}
+
+impl<'a, K: Ord, V> Iter<'a, K, V> {
+    fn new(root: &'a Link<K, V>, lo: Option<&'a K>, hi: Option<&'a K>) -> Self {
+        let mut it = Iter { stack: Vec::new(), lo, hi };
+        it.push_left(root.as_deref());
+        it
+    }
+
+    /// Pushes the left spine of `node`, skipping subtrees entirely below
+    /// the lower bound.
+    fn push_left(&mut self, mut node: Option<&'a Node<K, V>>) {
+        while let Some(n) = node {
+            match self.lo {
+                Some(lo) if n.key < *lo => node = n.right.as_deref(),
+                _ => {
+                    self.stack.push(n);
+                    node = n.left.as_deref();
+                }
+            }
+        }
+    }
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        if let Some(hi) = self.hi {
+            if n.key > *hi {
+                self.stack.clear();
+                return None;
+            }
+        }
+        self.push_left(n.right.as_deref());
+        Some((&n.key, &n.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_basics() {
+        let m: PMap<i32, i32> = PMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.first(), None);
+        assert_eq!(m.last(), None);
+        assert_eq!(m.nth(0), None);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let m = PMap::new().insert(1, "a").0;
+        let (m2, old) = m.insert(1, "b");
+        assert_eq!(old, Some("a"));
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m2.get(&1), Some(&"b"));
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_independent() {
+        let base = PMap::from_iter((0..100).map(|i| (i, i * 10)));
+        let snap = base.clone();
+        let (modified, _) = base.insert(50, 999);
+        let (removed, _) = modified.remove(&10);
+        assert_eq!(snap.get(&50), Some(&500));
+        assert_eq!(modified.get(&50), Some(&999));
+        assert_eq!(removed.get(&10), None);
+        assert_eq!(snap.get(&10), Some(&100));
+        assert_eq!(snap.len(), 100);
+        assert_eq!(removed.len(), 99);
+    }
+
+    #[test]
+    fn ascending_insert_stays_balanced() {
+        let m = PMap::from_iter((0..1024).map(|i| (i, ())));
+        assert!(m.check_invariants());
+        // AVL height bound: 1.44 * log2(n+2)
+        assert!(m.tree_height() <= 15, "height {} too large", m.tree_height());
+    }
+
+    #[test]
+    fn descending_insert_stays_balanced() {
+        let m = PMap::from_iter((0..1024).rev().map(|i| (i, ())));
+        assert!(m.check_invariants());
+        assert!(m.tree_height() <= 15);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let m = PMap::from_iter([(3, 'c'), (1, 'a'), (2, 'b')]);
+        let items: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(items, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let m = PMap::from_iter((0..100).map(|i| (i, ())));
+        let lo = 10;
+        let hi = 20;
+        let keys: Vec<_> = m.range(Some(&lo), Some(&hi)).map(|(k, _)| *k).collect();
+        assert_eq!(keys, (10..=20).collect::<Vec<_>>());
+        let open_lo: Vec<_> = m.range(None, Some(&3)).map(|(k, _)| *k).collect();
+        assert_eq!(open_lo, vec![0, 1, 2, 3]);
+        let open_hi: Vec<_> = m.range(Some(&97), None).map(|(k, _)| *k).collect();
+        assert_eq!(open_hi, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn remove_all_elements() {
+        let mut m = PMap::from_iter((0..200).map(|i| (i, i)));
+        for i in 0..200 {
+            let (next, old) = m.remove(&i);
+            assert_eq!(old, Some(i));
+            m = next;
+            assert!(m.check_invariants());
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let m = PMap::from_iter([(1, 'a')]);
+        let (m2, old) = m.remove(&42);
+        assert_eq!(old, None);
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn nth_and_rank_agree() {
+        let m = PMap::from_iter((0..50).map(|i| (i * 2, ())));
+        for i in 0..50 {
+            let (k, _) = m.nth(i).unwrap();
+            assert_eq!(m.rank(k), i);
+        }
+        // rank of an absent key = insertion position
+        assert_eq!(m.rank(&1), 1);
+        assert_eq!(m.rank(&-5), 0);
+        assert_eq!(m.rank(&1000), 50);
+    }
+
+    #[test]
+    fn update_with_applies_in_new_version_only() {
+        let m = PMap::from_iter([(7, 10)]);
+        let (m2, hit) = m.update_with(&7, |v| v + 1);
+        assert!(hit);
+        assert_eq!(m.get(&7), Some(&10));
+        assert_eq!(m2.get(&7), Some(&11));
+        let (m3, miss) = m.update_with(&8, |v| v + 1);
+        assert!(!miss);
+        assert_eq!(m3.len(), 1);
+    }
+
+    #[test]
+    fn borrowed_key_lookup() {
+        let m: PMap<String, i32> = PMap::from_iter([("alice".to_string(), 1)]);
+        assert_eq!(m.get("alice"), Some(&1));
+        assert!(m.contains_key("alice"));
+        assert!(!m.contains_key("bob"));
+    }
+
+    #[test]
+    fn equality_is_structural_on_contents() {
+        let a = PMap::from_iter([(1, 'x'), (2, 'y')]);
+        let b = PMap::from_iter([(2, 'y'), (1, 'x')]);
+        assert_eq!(a, b);
+        let c = b.insert(3, 'z').0;
+        assert_ne!(a, c);
+    }
+}

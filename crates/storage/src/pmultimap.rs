@@ -1,0 +1,189 @@
+//! A persistent ordered multimap: `PMap<K, PSet<V>>`.
+//!
+//! This is the shape of a non-unique secondary index. In the paper's terms
+//! (§2.4), a relation function `R3(foo) -> {TF}` mapping a non-key attribute
+//! to a *set* of tuple functions "is exactly what indexes on attributes with
+//! duplicates do" — the multimap realizes that conceptual structure.
+
+use crate::pmap::PMap;
+use crate::pset::PSet;
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A persistent multimap from keys to ordered sets of values.
+///
+/// `clone` is O(1); all mutating operations return a new multimap.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_storage::PMultiMap;
+///
+/// let m = PMultiMap::new().insert(25, "bob").0.insert(25, "thomas").0;
+/// assert_eq!(m.get(&25).map(|s| s.len()), Some(2));
+/// assert_eq!(m.total_len(), 2);
+/// ```
+pub struct PMultiMap<K, V> {
+    map: PMap<K, PSet<V>>,
+    total: usize,
+}
+
+impl<K, V> Clone for PMultiMap<K, V> {
+    fn clone(&self) -> Self {
+        PMultiMap { map: self.map.clone(), total: self.total }
+    }
+}
+
+impl<K, V> Default for PMultiMap<K, V> {
+    fn default() -> Self {
+        PMultiMap { map: PMap::default(), total: 0 }
+    }
+}
+
+impl<K, V> PMultiMap<K, V> {
+    /// Creates an empty multimap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of (key, value) pairs.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl<K: Ord + Clone, V: Ord + Clone> PMultiMap<K, V> {
+    /// The set of values under `key`, if any.
+    pub fn get<Q>(&self, key: &Q) -> Option<&PSet<V>>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.get(key)
+    }
+
+    /// Inserts a (key, value) pair; returns the new multimap and whether the
+    /// pair was new.
+    pub fn insert(&self, key: K, val: V) -> (Self, bool) {
+        let set = self.map.get(&key).cloned().unwrap_or_default();
+        let (set, was_new) = set.insert(val);
+        let map = self.map.insert(key, set).0;
+        (
+            PMultiMap { map, total: self.total + usize::from(was_new) },
+            was_new,
+        )
+    }
+
+    /// Removes a specific (key, value) pair; empty value sets are dropped.
+    pub fn remove(&self, key: &K, val: &V) -> (Self, bool) {
+        match self.map.get(key) {
+            None => (self.clone(), false),
+            Some(set) => {
+                let (set, removed) = set.remove(val);
+                if !removed {
+                    return (self.clone(), false);
+                }
+                let map = if set.is_empty() {
+                    self.map.remove(key).0
+                } else {
+                    self.map.insert(key.clone(), set).0
+                };
+                (PMultiMap { map, total: self.total - 1 }, true)
+            }
+        }
+    }
+
+    /// Removes all values under `key`; returns the new multimap and the
+    /// removed set, if any.
+    pub fn remove_key(&self, key: &K) -> (Self, Option<PSet<V>>) {
+        let (map, old) = self.map.remove(key);
+        match old {
+            None => (self.clone(), None),
+            Some(set) => (
+                PMultiMap { map, total: self.total - set.len() },
+                Some(set),
+            ),
+        }
+    }
+
+    /// Iterates `(key, value-set)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &PSet<V>)> + '_ {
+        self.map.iter()
+    }
+
+    /// Iterates all `(key, value)` pairs, keys ascending, values ascending
+    /// within each key.
+    pub fn iter_flat(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.map.iter().flat_map(|(k, set)| set.iter().map(move |v| (k, v)))
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for PMultiMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_keys_accumulate() {
+        let m = PMultiMap::new()
+            .insert("foo", 1).0
+            .insert("foo", 2).0
+            .insert("bar", 3).0;
+        assert_eq!(m.key_len(), 2);
+        assert_eq!(m.total_len(), 3);
+        let foos: Vec<_> = m.get("foo").unwrap().iter().copied().collect();
+        assert_eq!(foos, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_pair_is_noop() {
+        let m = PMultiMap::new().insert(1, 'a').0;
+        let (m2, was_new) = m.insert(1, 'a');
+        assert!(!was_new);
+        assert_eq!(m2.total_len(), 1);
+    }
+
+    #[test]
+    fn remove_pair_and_key() {
+        let m = PMultiMap::new().insert(1, 'a').0.insert(1, 'b').0;
+        let (m2, removed) = m.remove(&1, &'a');
+        assert!(removed);
+        assert_eq!(m2.total_len(), 1);
+        assert!(m2.get(&1).unwrap().contains(&'b'));
+        // removing the last value drops the key entirely
+        let (m3, removed) = m2.remove(&1, &'b');
+        assert!(removed);
+        assert_eq!(m3.key_len(), 0);
+        // snapshot semantics
+        assert_eq!(m.total_len(), 2);
+        // remove_key
+        let (m4, set) = m.remove_key(&1);
+        assert_eq!(set.unwrap().len(), 2);
+        assert!(m4.is_empty());
+    }
+
+    #[test]
+    fn iter_flat_orders_pairs() {
+        let m = PMultiMap::new()
+            .insert(2, 'x').0
+            .insert(1, 'b').0
+            .insert(1, 'a').0;
+        let pairs: Vec<_> = m.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 'a'), (1, 'b'), (2, 'x')]);
+    }
+}

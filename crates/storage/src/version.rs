@@ -1,0 +1,172 @@
+//! A versioned root cell for snapshot-based concurrency.
+//!
+//! [`VersionedRoot`] holds the *current committed version* of an arbitrary
+//! persistent value (in the engine: the database function root). Readers
+//! take O(1) snapshots; writers install new versions with an optimistic
+//! compare-and-swap keyed on the version number, which is exactly the
+//! primitive a first-committer-wins snapshot-isolation commit needs.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A monotonically increasing version number assigned at each commit.
+pub type Version = u64;
+
+/// A snapshot of the root at some version.
+#[derive(Debug, Clone)]
+pub struct Snapshot<T> {
+    /// Version at which this snapshot was taken.
+    pub version: Version,
+    /// The (persistent) value; cloning it is cheap by construction.
+    pub value: T,
+}
+
+/// The error returned when a conditional install loses the race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionConflict {
+    /// The version the caller expected to still be current.
+    pub expected: Version,
+    /// The version actually current at install time.
+    pub found: Version,
+}
+
+impl std::fmt::Display for VersionConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "version conflict: expected current version {}, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for VersionConflict {}
+
+/// A concurrent cell holding the current committed version of a value.
+///
+/// `T` is expected to be a persistent structure (e.g. [`crate::PMap`]) whose
+/// clone is O(1); `load` then costs a lock acquisition plus a pointer copy.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_storage::{PMap, VersionedRoot};
+///
+/// let root = VersionedRoot::new(PMap::<i64, i64>::new());
+/// let snap = root.load();
+/// let updated = snap.value.insert(1, 100).0;
+/// root.try_install(snap.version, updated).unwrap();
+/// assert_eq!(root.load().value.get(&1), Some(&100));
+/// ```
+#[derive(Debug)]
+pub struct VersionedRoot<T> {
+    inner: RwLock<Snapshot<T>>,
+}
+
+impl<T: Clone> VersionedRoot<T> {
+    /// Creates a root at version 0 holding `value`.
+    pub fn new(value: T) -> Self {
+        VersionedRoot { inner: RwLock::new(Snapshot { version: 0, value }) }
+    }
+
+    /// Takes a snapshot of the current version.
+    pub fn load(&self) -> Snapshot<T> {
+        self.inner.read().clone()
+    }
+
+    /// Current version number.
+    pub fn version(&self) -> Version {
+        self.inner.read().version
+    }
+
+    /// Unconditionally installs `value` as the next version and returns the
+    /// new version number.
+    pub fn install(&self, value: T) -> Version {
+        let mut guard = self.inner.write();
+        guard.version += 1;
+        guard.value = value;
+        guard.version
+    }
+
+    /// Installs `value` only if the current version is still `expected`
+    /// (optimistic concurrency / first-committer-wins). On success returns
+    /// the new version.
+    pub fn try_install(&self, expected: Version, value: T) -> Result<Version, VersionConflict> {
+        let mut guard = self.inner.write();
+        if guard.version != expected {
+            return Err(VersionConflict { expected, found: guard.version });
+        }
+        guard.version += 1;
+        guard.value = value;
+        Ok(guard.version)
+    }
+
+    /// Atomically applies `f` to the current value and installs the result;
+    /// returns the new version. Unlike [`Self::try_install`] this cannot
+    /// fail, because it holds the write lock across the transformation.
+    pub fn update<F: FnOnce(&T) -> T>(&self, f: F) -> Version {
+        let mut guard = self.inner.write();
+        let next = f(&guard.value);
+        guard.version += 1;
+        guard.value = next;
+        guard.version
+    }
+}
+
+/// Shared handle alias: the common way to pass a root between threads.
+pub type SharedRoot<T> = Arc<VersionedRoot<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PMap;
+
+    #[test]
+    fn load_install_roundtrip() {
+        let root = VersionedRoot::new(0i64);
+        assert_eq!(root.version(), 0);
+        let v1 = root.install(10);
+        assert_eq!(v1, 1);
+        assert_eq!(root.load().value, 10);
+    }
+
+    #[test]
+    fn try_install_detects_conflict() {
+        let root = VersionedRoot::new(0i64);
+        let snap = root.load();
+        root.install(1); // someone else commits
+        let err = root.try_install(snap.version, 2).unwrap_err();
+        assert_eq!(err.expected, 0);
+        assert_eq!(err.found, 1);
+        assert_eq!(root.load().value, 1, "losing install must not apply");
+    }
+
+    #[test]
+    fn snapshots_survive_installs() {
+        let root = VersionedRoot::new(PMap::from_iter([(1, "one")]));
+        let snap = root.load();
+        root.update(|m| m.insert(2, "two").0);
+        assert_eq!(snap.value.len(), 1, "old snapshot unchanged");
+        assert_eq!(root.load().value.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_all_apply() {
+        use std::sync::Arc;
+        let root = Arc::new(VersionedRoot::new(PMap::<i64, i64>::new()));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let root = Arc::clone(&root);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    root.update(|m| m.insert(t * 1000 + i, i).0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(root.load().value.len(), 8 * 50);
+        assert_eq!(root.version(), 8 * 50);
+    }
+}

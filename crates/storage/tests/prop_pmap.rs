@@ -1,0 +1,145 @@
+//! Property-based differential tests: `PMap` against `std::collections::BTreeMap`
+//! as the reference model, plus structural-sharing/snapshot properties.
+
+use fdm_storage::{PMap, PMultiMap, PSet};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A random operation applied to both the PMap and the model.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64),
+    UpdateWith(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i64>().prop_map(|k| k % 64), any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<i64>().prop_map(|k| k % 64)).prop_map(Op::Remove),
+        (any::<i64>().prop_map(|k| k % 64), any::<i64>()).prop_map(|(k, d)| Op::UpdateWith(k, d)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pmap_matches_btreemap(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut map: PMap<i64, i64> = PMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let (next, old) = map.insert(k, v);
+                    prop_assert_eq!(old, model.insert(k, v));
+                    map = next;
+                }
+                Op::Remove(k) => {
+                    let (next, old) = map.remove(&k);
+                    prop_assert_eq!(old, model.remove(&k));
+                    map = next;
+                }
+                Op::UpdateWith(k, d) => {
+                    let (next, hit) = map.update_with(&k, |v| v.wrapping_add(d));
+                    let model_hit = model.contains_key(&k);
+                    if model_hit {
+                        *model.get_mut(&k).unwrap() = model[&k].wrapping_add(d);
+                    }
+                    prop_assert_eq!(hit, model_hit);
+                    map = next;
+                }
+            }
+            prop_assert!(map.check_invariants());
+            prop_assert_eq!(map.len(), model.len());
+        }
+        let got: Vec<_> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pmap_range_matches_btreemap(
+        entries in prop::collection::btree_map(-100i64..100, any::<i64>(), 0..100),
+        lo in -120i64..120,
+        hi in -120i64..120,
+    ) {
+        let map = PMap::from_iter(entries.clone());
+        let got: Vec<_> = map.range(Some(&lo), Some(&hi)).map(|(k, _)| *k).collect();
+        if lo > hi {
+            // An inverted range is simply empty (BTreeMap::range would panic).
+            prop_assert!(got.is_empty());
+        } else {
+            let want: Vec<_> = entries.range(lo..=hi).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immutable(
+        base in prop::collection::btree_map(-50i64..50, any::<i64>(), 1..50),
+        ops in prop::collection::vec(op_strategy(), 1..50),
+    ) {
+        let snapshot = PMap::from_iter(base.clone());
+        let mut working = snapshot.clone();
+        for op in ops {
+            working = match op {
+                Op::Insert(k, v) => working.insert(k, v).0,
+                Op::Remove(k) => working.remove(&k).0,
+                Op::UpdateWith(k, d) => working.update_with(&k, |v| v.wrapping_add(d)).0,
+            };
+        }
+        // The original snapshot still equals the base model exactly.
+        let got: Vec<_> = snapshot.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = base.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pmap_nth_matches_sorted_order(
+        entries in prop::collection::btree_map(any::<i64>(), any::<i64>(), 0..80)
+    ) {
+        let map = PMap::from_iter(entries.clone());
+        let sorted: Vec<_> = entries.keys().copied().collect();
+        for (i, k) in sorted.iter().enumerate() {
+            prop_assert_eq!(map.nth(i).map(|(k, _)| *k), Some(*k));
+            prop_assert_eq!(map.rank(k), i);
+        }
+        prop_assert_eq!(map.nth(sorted.len()), None);
+    }
+
+    #[test]
+    fn pset_ops_match_btreeset(
+        a in prop::collection::btree_set(-40i64..40, 0..40),
+        b in prop::collection::btree_set(-40i64..40, 0..40),
+    ) {
+        let pa = PSet::from_iter(a.iter().copied());
+        let pb = PSet::from_iter(b.iter().copied());
+        let union: Vec<_> = pa.union(&pb).iter().copied().collect();
+        let inter: Vec<_> = pa.intersection(&pb).iter().copied().collect();
+        let diff: Vec<_> = pa.difference(&pb).iter().copied().collect();
+        prop_assert_eq!(union, a.union(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(inter, a.intersection(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(diff, a.difference(&b).copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pmultimap_matches_model(
+        pairs in prop::collection::vec(((-20i64..20), (-20i64..20)), 0..120)
+    ) {
+        let mut model: BTreeMap<i64, BTreeSet<i64>> = BTreeMap::new();
+        let mut mm: PMultiMap<i64, i64> = PMultiMap::new();
+        for (k, v) in pairs {
+            let (next, was_new) = mm.insert(k, v);
+            let model_new = model.entry(k).or_default().insert(v);
+            prop_assert_eq!(was_new, model_new);
+            mm = next;
+        }
+        let total: usize = model.values().map(|s| s.len()).sum();
+        prop_assert_eq!(mm.total_len(), total);
+        prop_assert_eq!(mm.key_len(), model.len());
+        for (k, set) in &model {
+            let got: Vec<_> = mm.get(k).unwrap().iter().copied().collect();
+            let want: Vec<_> = set.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

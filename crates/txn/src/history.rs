@@ -1,0 +1,160 @@
+//! Time travel: queries against past versions.
+//!
+//! Because the whole database function is a persistent value, *keeping
+//! history is free apart from the root pointers*: retaining version v's
+//! root shares all unchanged structure with version v+1. This module adds
+//! a bounded version history to [`crate::Store`]-like usage — an FDM
+//! extension the paper's model makes nearly trivial ("tears down the
+//! boundary between data that is stored and data that is computed" —
+//! here, between data that is *current* and data that is *past*).
+
+use fdm_core::{DatabaseF, FdmError, Result};
+use fdm_storage::Version;
+use parking_lot::RwLock;
+
+/// A bounded history of committed database versions.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::DatabaseF;
+/// use fdm_txn::History;
+///
+/// let h = History::new(8);
+/// h.record(0, DatabaseF::new("v0"));
+/// h.record(1, DatabaseF::new("v1"));
+/// assert_eq!(h.as_of(0).unwrap().name(), "v0");
+/// assert_eq!(h.latest().unwrap().0, 1);
+/// ```
+pub struct History {
+    inner: RwLock<Vec<(Version, DatabaseF)>>,
+    capacity: usize,
+}
+
+impl History {
+    /// Creates a history retaining up to `capacity` versions.
+    pub fn new(capacity: usize) -> History {
+        History { inner: RwLock::new(Vec::new()), capacity: capacity.max(1) }
+    }
+
+    /// Records a committed version (drops the oldest beyond capacity).
+    pub fn record(&self, version: Version, db: DatabaseF) {
+        let mut g = self.inner.write();
+        g.push((version, db));
+        if g.len() > self.capacity {
+            let excess = g.len() - self.capacity;
+            g.drain(..excess);
+        }
+    }
+
+    /// The snapshot that was current *at* `version`: the newest recorded
+    /// version ≤ `version`. Errors if that version has been evicted.
+    pub fn as_of(&self, version: Version) -> Result<DatabaseF> {
+        let g = self.inner.read();
+        g.iter()
+            .rev()
+            .find(|(v, _)| *v <= version)
+            .map(|(_, db)| db.clone())
+            .ok_or_else(|| FdmError::Other(format!(
+                "version {version} is no longer retained (history keeps {} entries)",
+                self.capacity
+            )))
+    }
+
+    /// The newest recorded version, if any.
+    pub fn latest(&self) -> Option<(Version, DatabaseF)> {
+        self.inner.read().last().cloned()
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` if no versions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// All retained `(version, db)` pairs, oldest first.
+    pub fn versions(&self) -> Vec<Version> {
+        self.inner.read().iter().map(|(v, _)| *v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Store;
+    use fdm_core::{RelationF, TupleF, Value};
+    use fdm_fql::difference;
+    use std::sync::Arc;
+
+    #[test]
+    fn as_of_finds_enclosing_version() {
+        let h = History::new(10);
+        h.record(0, DatabaseF::new("v0"));
+        h.record(3, DatabaseF::new("v3"));
+        h.record(7, DatabaseF::new("v7"));
+        assert_eq!(h.as_of(0).unwrap().name(), "v0");
+        assert_eq!(h.as_of(2).unwrap().name(), "v0");
+        assert_eq!(h.as_of(3).unwrap().name(), "v3");
+        assert_eq!(h.as_of(100).unwrap().name(), "v7");
+        assert_eq!(h.versions(), vec![0, 3, 7]);
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_reported() {
+        let h = History::new(2);
+        h.record(0, DatabaseF::new("v0"));
+        h.record(1, DatabaseF::new("v1"));
+        h.record(2, DatabaseF::new("v2"));
+        assert_eq!(h.len(), 2);
+        let err = h.as_of(0).unwrap_err();
+        assert!(err.to_string().contains("no longer retained"), "{err}");
+        assert_eq!(h.as_of(1).unwrap().name(), "v1");
+    }
+
+    #[test]
+    fn time_travel_with_a_store() {
+        // the intended usage: record each commit, then diff versions
+        let accounts = RelationF::new("accounts", &["id"])
+            .insert(Value::Int(1), TupleF::builder("a").attr("balance", 100).build())
+            .unwrap();
+        let store = Store::new(DatabaseF::new("bank").with_relation(accounts));
+        let history = Arc::new(History::new(16));
+        history.record(store.version(), store.snapshot());
+
+        for i in 0..5 {
+            let mut txn = store.begin();
+            txn.update_attr("accounts", &Value::Int(1), "balance", 100 + i)
+                .unwrap();
+            let v = txn.commit().unwrap();
+            history.record(v, store.snapshot());
+        }
+
+        // query the past
+        let past = history.as_of(2).unwrap();
+        assert_eq!(
+            past.relation("accounts")
+                .unwrap()
+                .lookup(&Value::Int(1))
+                .unwrap()
+                .get("balance")
+                .unwrap(),
+            Value::Int(101)
+        );
+        // and diff two points in time with Fig. 9 machinery
+        let diff = difference(&history.as_of(1).unwrap(), &history.as_of(5).unwrap()).unwrap();
+        assert_eq!(diff.relation("accounts.added").unwrap().len(), 1);
+        assert_eq!(diff.relation("accounts.removed").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new(4);
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+        assert!(h.as_of(0).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # fdm-txn — transactions over the Functional Data Model
+//!
+//! The paper's Fig. 10/11 semantics: changes apply immediately to *the
+//! snapshot of the transaction*, and `begin()`/`commit()` bracket
+//! multi-statement transactions. Because the whole database function is a
+//! persistent structure (see `fdm-storage`), a snapshot is O(1) and a
+//! transaction's working copy never disturbs readers.
+//!
+//! Isolation level: **snapshot isolation** with first-committer-wins
+//! write-write conflict detection. Transactions whose write sets are
+//! disjoint from every commit since their snapshot merge by replaying
+//! their recorded operations onto the newest root.
+//!
+//! ```
+//! use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+//! use fdm_txn::Store;
+//!
+//! let accounts = RelationF::new("accounts", &["id"])
+//!     .insert(Value::Int(1), TupleF::builder("a").attr("balance", 10).build()).unwrap();
+//! let store = Store::new(DatabaseF::new("bank").with_relation(accounts));
+//!
+//! let mut t = store.begin();
+//! t.update_attr("accounts", &Value::Int(1), "balance", 20).unwrap();
+//! t.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod store;
+pub mod txn;
+pub mod writeset;
+
+pub use history::History;
+pub use store::Store;
+pub use txn::Transaction;
+pub use writeset::{Op, WriteSet};

@@ -1,0 +1,409 @@
+//! The transaction object (paper Fig. 11).
+//!
+//! A transaction holds a snapshot of the database function and applies
+//! changes to it **immediately** — "note the absence of an explicit
+//! save()-method: changes are applied immediately to the snapshot"
+//! (Fig. 10 caption). Persistence makes this safe: the working copy
+//! shares structure with the committed root but never disturbs it.
+//!
+//! `commit()` validates the write set against everything committed since
+//! the snapshot: disjoint writers replay their recorded operations onto
+//! the newest root and win; overlapping writers get
+//! [`FdmError::TransactionConflict`] — first committer wins.
+
+use crate::store::Store;
+use crate::writeset::{Op, WriteSet};
+use fdm_core::{DatabaseF, FdmError, FnValue, Name, Result, TupleF, Value};
+use fdm_fql::{db_delete, db_upsert};
+use fdm_storage::Version;
+use std::sync::Arc;
+
+/// An in-flight transaction.
+pub struct Transaction {
+    store: Arc<Store>,
+    base_version: Version,
+    /// The working database: snapshot + own writes (read-your-writes).
+    working: DatabaseF,
+    writes: WriteSet,
+    ops: Vec<Op>,
+    finished: bool,
+}
+
+impl Transaction {
+    pub(crate) fn new(store: Arc<Store>, base_version: Version, snapshot: DatabaseF) -> Self {
+        Transaction {
+            store,
+            base_version,
+            working: snapshot,
+            writes: WriteSet::default(),
+            ops: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The version this transaction's snapshot was taken at.
+    pub fn base_version(&self) -> Version {
+        self.base_version
+    }
+
+    /// The transaction's current view: snapshot plus its own writes.
+    pub fn db(&self) -> &DatabaseF {
+        &self.working
+    }
+
+    /// Reads one tuple (from the transaction's own view).
+    pub fn get(&self, rel: &str, key: &Value) -> Result<Option<Arc<TupleF>>> {
+        Ok(self.working.relation(rel)?.lookup(key))
+    }
+
+    /// Reads one attribute of one tuple.
+    pub fn get_attr(&self, rel: &str, key: &Value, attr: &str) -> Result<Value> {
+        let t = self.get(rel, key)?.ok_or_else(|| FdmError::Undefined {
+            function: rel.to_string(),
+            input: key.to_string(),
+        })?;
+        t.get(attr)
+    }
+
+    /// `rel[key] = tuple` — insert-or-replace.
+    pub fn upsert(&mut self, rel: &str, key: Value, tuple: TupleF) -> Result<()> {
+        self.working = db_upsert(&self.working, rel, key.clone(), tuple.clone())?;
+        let rel_name = Name::from(rel);
+        self.writes.touch_key(&rel_name, &key);
+        self.ops.push(Op::Upsert { rel: rel_name, key, tuple: Arc::new(tuple) });
+        Ok(())
+    }
+
+    /// `del rel[key]`.
+    pub fn delete(&mut self, rel: &str, key: &Value) -> Result<()> {
+        self.working = db_delete(&self.working, rel, key)?;
+        let rel_name = Name::from(rel);
+        self.writes.touch_key(&rel_name, key);
+        self.ops.push(Op::Delete { rel: rel_name, key: key.clone() });
+        Ok(())
+    }
+
+    /// `rel[key][attr] = value`.
+    pub fn update_attr(
+        &mut self,
+        rel: &str,
+        key: &Value,
+        attr: &str,
+        value: impl Into<Value>,
+    ) -> Result<()> {
+        let t = self.get(rel, key)?.ok_or_else(|| FdmError::Undefined {
+            function: rel.to_string(),
+            input: key.to_string(),
+        })?;
+        self.upsert(rel, key.clone(), t.with_attr(attr, value))
+    }
+
+    /// `rel[key][attr] op= ...` — read-modify-write of one attribute
+    /// (the Fig. 11 `accounts[42]['balance'] -= 100`).
+    pub fn modify_attr(
+        &mut self,
+        rel: &str,
+        key: &Value,
+        attr: &str,
+        f: impl FnOnce(&Value) -> Result<Value>,
+    ) -> Result<()> {
+        let old = self.get_attr(rel, key, attr)?;
+        let new = f(&old)?;
+        self.update_attr(rel, key, attr, new)
+    }
+
+    /// Auto-id insert; returns the assigned key.
+    pub fn add(&mut self, rel: &str, tuple: TupleF) -> Result<Value> {
+        let r = self.working.relation(rel)?;
+        let (_, key) = r.insert_auto(tuple.clone())?;
+        self.upsert(rel, key.clone(), tuple)?;
+        Ok(key)
+    }
+
+    /// `DB(name) := f` — whole-entry assignment (in-place FQL, §4.4).
+    /// Conflicts with *any* concurrent write touching `name`.
+    pub fn assign(&mut self, name: &str, f: impl Into<FnValue>) -> Result<()> {
+        let fv = f.into();
+        self.working = self.working.with_entry(name, fv.clone());
+        let n = Name::from(name);
+        self.writes.touch_entry(&n);
+        self.ops.push(Op::Assign { name: n, value: fv });
+        Ok(())
+    }
+
+    /// Removes a whole entry.
+    pub fn drop_entry(&mut self, name: &str) -> Result<()> {
+        self.working = self.working.without_entry(name)?;
+        let n = Name::from(name);
+        self.writes.touch_entry(&n);
+        self.ops.push(Op::Drop { name: n });
+        Ok(())
+    }
+
+    /// Number of recorded write operations.
+    pub fn write_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Abandons the transaction; the committed database is untouched
+    /// (trivially so — the working copy was private all along).
+    pub fn rollback(mut self) {
+        self.finished = true;
+    }
+
+    /// Validates and commits. On success returns the new version.
+    ///
+    /// Read-only transactions commit without touching the root.
+    pub fn commit(mut self) -> Result<Version> {
+        self.finished = true;
+        if self.writes.is_empty() {
+            return Ok(self.base_version);
+        }
+        loop {
+            let current = self.store.root.load();
+            // Fast path: nothing committed since our snapshot.
+            if current.version == self.base_version {
+                match self
+                    .store
+                    .root
+                    .try_install(self.base_version, self.working.clone())
+                {
+                    Ok(v) => {
+                        self.append_log(v);
+                        return Ok(v);
+                    }
+                    Err(_) => continue, // raced; revalidate
+                }
+            }
+            // Slow path: validate against commits after our snapshot.
+            {
+                let log = self.store.log.lock();
+                let oldest = log.first().map(|(v, _)| *v).unwrap_or(current.version);
+                if self.base_version + 1 < oldest {
+                    return Err(FdmError::TransactionConflict {
+                        detail: format!(
+                            "snapshot v{} is older than the retained commit log (oldest v{oldest})",
+                            self.base_version
+                        ),
+                    });
+                }
+                for (v, ws) in log.iter() {
+                    if *v > self.base_version && self.writes.conflicts_with(ws) {
+                        return Err(FdmError::TransactionConflict {
+                            detail: format!(
+                                "write-write conflict with commit v{v} on {}",
+                                self.writes.describe_overlap(ws)
+                            ),
+                        });
+                    }
+                }
+            }
+            // Disjoint: replay our ops onto the latest root and try to
+            // install on top of it.
+            let merged = self.replay_onto(&current.value)?;
+            match self.store.root.try_install(current.version, merged) {
+                Ok(v) => {
+                    self.append_log(v);
+                    return Ok(v);
+                }
+                Err(_) => continue, // another commit landed; loop and revalidate
+            }
+        }
+    }
+
+    fn replay_onto(&self, base: &DatabaseF) -> Result<DatabaseF> {
+        let mut db = base.clone();
+        for op in &self.ops {
+            match op {
+                Op::Upsert { rel, key, tuple } => {
+                    db = db_upsert(&db, rel, key.clone(), (**tuple).clone())?;
+                }
+                Op::Delete { rel, key } => {
+                    db = db_delete(&db, rel, key)?;
+                }
+                Op::Assign { name, value } => {
+                    db = db.with_entry(name.as_ref(), value.clone());
+                }
+                Op::Drop { name } => {
+                    db = db.without_entry(name)?;
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    fn append_log(&self, version: Version) {
+        let mut log = self.store.log.lock();
+        log.push((version, self.writes.clone()));
+        let cap = self.store.log_cap;
+        if log.len() > cap {
+            let excess = log.len() - cap;
+            log.drain(..excess);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use fdm_core::RelationF;
+
+    fn bank() -> Arc<Store> {
+        let accounts = RelationF::new("accounts", &["id"])
+            .insert(Value::Int(42), TupleF::builder("a").attr("balance", 1000).build())
+            .unwrap()
+            .insert(Value::Int(84), TupleF::builder("a").attr("balance", 500).build())
+            .unwrap();
+        Store::new(DatabaseF::new("bank").with_relation(accounts))
+    }
+
+    fn balance(db: &DatabaseF, id: i64) -> i64 {
+        db.relation("accounts")
+            .unwrap()
+            .lookup(&Value::Int(id))
+            .unwrap()
+            .get("balance")
+            .unwrap()
+            .as_int("balance")
+            .unwrap()
+    }
+
+    #[test]
+    fn fig11_transfer() {
+        let store = bank();
+        let mut txn = store.begin();
+        txn.modify_attr("accounts", &Value::Int(42), "balance", |v| {
+            v.sub(&Value::Int(100))
+        })
+        .unwrap();
+        txn.modify_attr("accounts", &Value::Int(84), "balance", |v| {
+            v.add(&Value::Int(100))
+        })
+        .unwrap();
+        // before commit, the store sees nothing
+        assert_eq!(balance(&store.snapshot(), 42), 1000);
+        txn.commit().unwrap();
+        let db = store.snapshot();
+        assert_eq!(balance(&db, 42), 900);
+        assert_eq!(balance(&db, 84), 600);
+        assert_eq!(balance(&db, 42) + balance(&db, 84), 1500, "money conserved");
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let store = bank();
+        let mut txn = store.begin();
+        txn.update_attr("accounts", &Value::Int(42), "balance", 7).unwrap();
+        assert_eq!(
+            txn.get_attr("accounts", &Value::Int(42), "balance").unwrap(),
+            Value::Int(7)
+        );
+        txn.rollback();
+        assert_eq!(balance(&store.snapshot(), 42), 1000, "rollback discards");
+    }
+
+    #[test]
+    fn first_committer_wins_on_same_key() {
+        let store = bank();
+        let mut t1 = store.begin();
+        let mut t2 = store.begin();
+        t1.modify_attr("accounts", &Value::Int(42), "balance", |v| {
+            v.sub(&Value::Int(10))
+        })
+        .unwrap();
+        t2.modify_attr("accounts", &Value::Int(42), "balance", |v| {
+            v.sub(&Value::Int(20))
+        })
+        .unwrap();
+        t1.commit().unwrap();
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, FdmError::TransactionConflict { .. }), "{err}");
+        // the first committer's write survives; no lost update
+        assert_eq!(balance(&store.snapshot(), 42), 990);
+    }
+
+    #[test]
+    fn disjoint_writers_both_commit() {
+        let store = bank();
+        let mut t1 = store.begin();
+        let mut t2 = store.begin();
+        t1.update_attr("accounts", &Value::Int(42), "balance", 1).unwrap();
+        t2.update_attr("accounts", &Value::Int(84), "balance", 2).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        let db = store.snapshot();
+        assert_eq!(balance(&db, 42), 1);
+        assert_eq!(balance(&db, 84), 2);
+    }
+
+    #[test]
+    fn snapshot_isolation_reads_ignore_concurrent_commits() {
+        let store = bank();
+        let txn = store.begin();
+        // someone else commits mid-flight
+        store
+            .upsert_one(
+                "accounts",
+                Value::Int(99),
+                TupleF::builder("a").attr("balance", 1).build(),
+            )
+            .unwrap();
+        // our snapshot does not see it
+        assert!(txn.get("accounts", &Value::Int(99)).unwrap().is_none());
+        assert_eq!(txn.db().relation("accounts").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn entry_assignment_conflicts_with_key_write() {
+        let store = bank();
+        let mut t1 = store.begin();
+        let mut t2 = store.begin();
+        t1.assign("accounts", RelationF::new("accounts", &["id"])).unwrap();
+        t2.update_attr("accounts", &Value::Int(42), "balance", 0).unwrap();
+        t1.commit().unwrap();
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, FdmError::TransactionConflict { .. }));
+        assert_eq!(store.snapshot().relation("accounts").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn read_only_txn_commits_trivially() {
+        let store = bank();
+        let txn = store.begin();
+        let _ = txn.get("accounts", &Value::Int(42)).unwrap();
+        let v = txn.commit().unwrap();
+        assert_eq!(v, 0, "no version bump for read-only");
+    }
+
+    #[test]
+    fn add_assigns_sequential_keys_and_conflicts() {
+        let store = bank();
+        let mut t1 = store.begin();
+        let mut t2 = store.begin();
+        let k1 = t1.add("accounts", TupleF::builder("a").attr("balance", 0).build()).unwrap();
+        let k2 = t2.add("accounts", TupleF::builder("a").attr("balance", 0).build()).unwrap();
+        assert_eq!(k1, Value::Int(85));
+        assert_eq!(k2, Value::Int(85), "both reserved the same id from the same snapshot");
+        t1.commit().unwrap();
+        assert!(t2.commit().is_err(), "auto-id collision is a write-write conflict");
+    }
+
+    #[test]
+    fn delete_in_txn() {
+        let store = bank();
+        let mut txn = store.begin();
+        txn.delete("accounts", &Value::Int(84)).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(store.snapshot().relation("accounts").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_entry_in_txn() {
+        let store = bank();
+        let mut txn = store.begin();
+        txn.drop_entry("accounts").unwrap();
+        txn.commit().unwrap();
+        assert!(!store.snapshot().contains("accounts"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Write sets and recorded operations for snapshot-isolation commits.
+
+use fdm_core::{FnValue, Name, TupleF, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// What a transaction wrote: per-relation keys, or whole entries.
+///
+/// Two write sets **conflict** when they touch the same `(relation, key)`
+/// pair, or one of them replaced a whole entry the other touched at all.
+#[derive(Debug, Default, Clone)]
+pub struct WriteSet {
+    /// `(relation, key)` point writes.
+    keys: BTreeSet<(Name, Value)>,
+    /// Whole-entry replacements (`DB(name) := f`).
+    entries: BTreeSet<Name>,
+}
+
+impl WriteSet {
+    /// Records a point write.
+    pub fn touch_key(&mut self, rel: &Name, key: &Value) {
+        self.keys.insert((rel.clone(), key.clone()));
+    }
+
+    /// Records a whole-entry replacement.
+    pub fn touch_entry(&mut self, name: &Name) {
+        self.entries.insert(name.clone());
+    }
+
+    /// `true` if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty() && self.entries.is_empty()
+    }
+
+    /// Number of point writes plus entry replacements.
+    pub fn len(&self) -> usize {
+        self.keys.len() + self.entries.len()
+    }
+
+    /// Write-write conflict test.
+    pub fn conflicts_with(&self, other: &WriteSet) -> bool {
+        // entry-level vs anything touching that entry
+        for e in &self.entries {
+            if other.entries.contains(e) || other.keys.iter().any(|(r, _)| r == e) {
+                return true;
+            }
+        }
+        for e in &other.entries {
+            if self.keys.iter().any(|(r, _)| r == e) {
+                return true;
+            }
+        }
+        // key-level overlap (both sorted sets; intersect the smaller)
+        let (small, large) = if self.keys.len() <= other.keys.len() {
+            (&self.keys, &other.keys)
+        } else {
+            (&other.keys, &self.keys)
+        };
+        small.iter().any(|k| large.contains(k))
+    }
+
+    /// Human-readable description of the first overlap with `other`
+    /// (for conflict error messages).
+    pub fn describe_overlap(&self, other: &WriteSet) -> String {
+        for e in &self.entries {
+            if other.entries.contains(e) || other.keys.iter().any(|(r, _)| r == e) {
+                return format!("entry '{e}'");
+            }
+        }
+        for e in &other.entries {
+            if self.keys.iter().any(|(r, _)| r == e) {
+                return format!("entry '{e}'");
+            }
+        }
+        for k in &self.keys {
+            if other.keys.contains(k) {
+                return format!("{}[{}]", k.0, k.1);
+            }
+        }
+        "(no overlap)".to_string()
+    }
+}
+
+/// A recorded change, replayable onto a newer committed root when the
+/// write sets are disjoint (the snapshot-isolation merge path).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Insert-or-replace one tuple.
+    Upsert {
+        /// Relation entry name.
+        rel: Name,
+        /// Tuple key.
+        key: Value,
+        /// The final tuple value as of commit time.
+        tuple: Arc<TupleF>,
+    },
+    /// Delete one tuple.
+    Delete {
+        /// Relation entry name.
+        rel: Name,
+        /// Tuple key.
+        key: Value,
+    },
+    /// Replace (or create) a whole database entry.
+    Assign {
+        /// Entry name.
+        name: Name,
+        /// The new function bound under `name`.
+        value: FnValue,
+    },
+    /// Remove a whole database entry.
+    Drop {
+        /// Entry name.
+        name: Name,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::from(s)
+    }
+
+    #[test]
+    fn disjoint_key_writes_do_not_conflict() {
+        let mut a = WriteSet::default();
+        a.touch_key(&n("accounts"), &Value::Int(1));
+        let mut b = WriteSet::default();
+        b.touch_key(&n("accounts"), &Value::Int(2));
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn same_key_conflicts() {
+        let mut a = WriteSet::default();
+        a.touch_key(&n("accounts"), &Value::Int(1));
+        let mut b = WriteSet::default();
+        b.touch_key(&n("accounts"), &Value::Int(1));
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+        assert!(a.describe_overlap(&b).contains("accounts[1]"));
+    }
+
+    #[test]
+    fn entry_write_conflicts_with_key_write() {
+        let mut a = WriteSet::default();
+        a.touch_entry(&n("accounts"));
+        let mut b = WriteSet::default();
+        b.touch_key(&n("accounts"), &Value::Int(7));
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a), "symmetric");
+        let mut c = WriteSet::default();
+        c.touch_key(&n("other"), &Value::Int(7));
+        assert!(!a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn same_key_different_relations_no_conflict() {
+        let mut a = WriteSet::default();
+        a.touch_key(&n("accounts"), &Value::Int(1));
+        let mut b = WriteSet::default();
+        b.touch_key(&n("orders"), &Value::Int(1));
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn emptiness() {
+        let a = WriteSet::default();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert!(!a.conflicts_with(&a.clone()));
+    }
+}

@@ -1,0 +1,16 @@
+//! # fdm-workload — synthetic data for the reproduction benchmarks
+//!
+//! Generates the paper's Fig. 1 retail schema at configurable scale,
+//! fan-out, and Zipf skew, in **both** FDM and relational form from the
+//! same seed — so every figure's benchmark runs the two engines on
+//! byte-identical logical data.
+
+#![warn(missing_docs)]
+
+pub mod retail;
+pub mod zipf;
+
+pub use retail::{
+    generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational,
+};
+pub use zipf::Zipf;

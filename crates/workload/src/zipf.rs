@@ -1,0 +1,102 @@
+//! A Zipf-distributed sampler (implemented here: `rand` ships no
+//! distributions beyond uniform in its core crate, and the bench harness
+//! must not pull extra dependencies).
+//!
+//! Uses the classic inverse-CDF-over-precomputed-prefix-sums approach:
+//! O(n) setup, O(log n) sampling, exact distribution.
+
+use rand::Rng;
+
+/// A sampler drawing ranks `0..n` with probability ∝ `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probability masses, length n.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `s` (s = 0 is
+    /// uniform; s = 1 the classic Zipf; larger = more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s >= 0.0, "negative exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random::<f64>();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // rank 0 should get ~1/H(100) ≈ 19% of the mass
+        let frac = counts[0] as f64 / 50_000.0;
+        assert!((0.15..0.25).contains(&frac), "head frequency {frac}");
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Transactions with snapshot semantics (paper Fig. 11).
+//!
+//! The bank-accounts example: `begin()` ... `commit()`, immediate
+//! application to the transaction's snapshot, first-committer-wins
+//! conflicts, and a concurrent stress run that conserves money exactly.
+//!
+//! Run with: `cargo run -p fdm-examples --bin bank_transfer`
+
+use fdm_core::{DatabaseF, FdmError, RelationF, TupleF, Value};
+use fdm_txn::Store;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn main() -> fdm_core::Result<()> {
+    // accounts 0..16, 1000 each
+    let mut accounts = RelationF::new("accounts", &["id"]);
+    for id in 0..16i64 {
+        accounts = accounts.insert(
+            Value::Int(id),
+            TupleF::builder("a").attr("balance", 1000i64).build(),
+        )?;
+    }
+    let store = Store::new(DatabaseF::new("bank").with_relation(accounts));
+
+    // ── Fig. 11 verbatim ─────────────────────────────────────────────────
+    // begin(); accounts[42->0]['balance'] -= 100; accounts[84->1] += 100; commit()
+    let mut txn = store.begin();
+    txn.modify_attr("accounts", &Value::Int(0), "balance", |v| v.sub(&Value::Int(100)))?;
+    txn.modify_attr("accounts", &Value::Int(1), "balance", |v| v.add(&Value::Int(100)))?;
+    println!(
+        "inside txn  : acct0 = {}, acct1 = {} (immediately applied to the txn snapshot)",
+        txn.get_attr("accounts", &Value::Int(0), "balance")?,
+        txn.get_attr("accounts", &Value::Int(1), "balance")?,
+    );
+    println!(
+        "outside txn : acct0 = {} (committed state untouched before commit)",
+        store
+            .snapshot()
+            .relation("accounts")?
+            .lookup(&Value::Int(0))
+            .unwrap()
+            .get("balance")?
+    );
+    let v = txn.commit()?;
+    println!("committed as version {v}");
+
+    // ── conflicting writers: first committer wins ────────────────────────
+    let mut t1 = store.begin();
+    let mut t2 = store.begin();
+    t1.modify_attr("accounts", &Value::Int(5), "balance", |v| v.sub(&Value::Int(10)))?;
+    t1.modify_attr("accounts", &Value::Int(6), "balance", |v| v.add(&Value::Int(10)))?;
+    t2.modify_attr("accounts", &Value::Int(5), "balance", |v| v.sub(&Value::Int(20)))?;
+    t2.modify_attr("accounts", &Value::Int(7), "balance", |v| v.add(&Value::Int(20)))?;
+    t1.commit()?;
+    match t2.commit() {
+        Err(FdmError::TransactionConflict { detail }) => {
+            println!("\nsecond writer aborted: {detail}");
+        }
+        other => panic!("expected a conflict, got {other:?}"),
+    }
+
+    // ── concurrent stress: money is conserved exactly ────────────────────
+    const THREADS: usize = 8;
+    const TRANSFERS: usize = 200;
+    let committed = Arc::new(AtomicUsize::new(0));
+    let conflicted = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let store = Arc::clone(&store);
+            let committed = Arc::clone(&committed);
+            let conflicted = Arc::clone(&conflicted);
+            s.spawn(move || {
+                let mut x = (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut next = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for _ in 0..TRANSFERS {
+                    let from = (next() % 16) as i64;
+                    let to = ((from + 1 + (next() % 15) as i64) % 16).max(0);
+                    let amount = 1 + (next() % 20) as i64;
+                    let mut txn = store.begin();
+                    txn.modify_attr("accounts", &Value::Int(from), "balance", |v| {
+                        v.sub(&Value::Int(amount))
+                    })
+                    .unwrap();
+                    txn.modify_attr("accounts", &Value::Int(to), "balance", |v| {
+                        v.add(&Value::Int(amount))
+                    })
+                    .unwrap();
+                    match txn.commit() {
+                        Ok(_) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            conflicted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let total: i64 = store
+        .snapshot()
+        .relation("accounts")?
+        .tuples()?
+        .iter()
+        .map(|(_, t)| t.get("balance").unwrap().as_int("balance").unwrap())
+        .sum();
+    println!(
+        "\nstress: {} committed, {} conflicted (first-committer-wins), total balance = {total}",
+        committed.load(Ordering::Relaxed),
+        conflicted.load(Ordering::Relaxed),
+    );
+    assert_eq!(total, 16 * 1000, "money conserved exactly");
+    println!("invariant holds: 16 * 1000 = {total}");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the FDM in five minutes.
+//!
+//! Builds the paper's running example from scratch — tuples as functions,
+//! relations as functions, databases as functions — then runs the Fig. 4a
+//! filter in all six costumes.
+//!
+//! Run with: `cargo run -p fdm-examples --bin quickstart`
+
+use fdm_core::{DatabaseF, Domain, FnValue, RelationF, TupleF, Value};
+use fdm_expr::{parse, Params, GT};
+use fdm_fql::prelude::*;
+
+fn main() -> fdm_core::Result<()> {
+    // ── tuples are functions: t1('foo') = 12 ────────────────────────────
+    let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+    println!("t1('foo')  = {}", t1.get("foo")?);
+    println!("t1('name') = {}", t1.get("name")?);
+
+    // computed attributes are indistinguishable from stored ones:
+    let t = TupleF::builder("t")
+        .attr("name", "Alice")
+        .attr("foo", 12)
+        .computed("bar", |t| t.get("foo")?.mul(&Value::Int(42)))
+        .build();
+    println!("t('bar')   = {}  (computed: 42 * foo)", t.get("bar")?);
+
+    // ── relations are functions: R1(1) = t1 ─────────────────────────────
+    let customers = RelationF::new("customers", &["cid"])
+        .insert(Value::Int(1), TupleF::builder("c1").attr("name", "Alice").attr("age", 43).build())?
+        .insert(Value::Int(2), TupleF::builder("c2").attr("name", "Bob").attr("age", 30).build())?
+        .insert(Value::Int(3), TupleF::builder("c3").attr("name", "Carol").attr("age", 55).build())?;
+    println!("\ncustomers(1)('name') = {}", customers.lookup(&Value::Int(1)).unwrap().get("name")?);
+
+    // a computed relation: data that was never inserted (paper's R4)
+    let squares = RelationF::computed("squares", &["n"], Domain::IntRange(1, 1_000_000), |k| {
+        let n = k.as_int("n")?;
+        Ok(Value::Fn(FnValue::from(
+            TupleF::builder("sq").attr("n", n).attr("square", n * n).build(),
+        )))
+    });
+    println!("squares(731)('square') = {}", squares.lookup(&Value::Int(731)).unwrap().get("square")?);
+
+    // ── databases are functions: DB('customers') = customers ────────────
+    let db = DatabaseF::new("DB").with_relation(customers);
+    let customers = db.relation("customers")?;
+
+    // ── Fig. 4a: ONE query, SIX costumes ────────────────────────────────
+    println!("\ncustomers older than 42, six ways:");
+    // 1. closure, call syntax
+    let a = filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42))?;
+    // 2. closure, "dot" syntax (same thing in Rust)
+    let b = filter_fn(&customers, |t| Ok(matches!(t.get("age")?, Value::Int(i) if i > 42)))?;
+    // 3. Django-ORM style kwargs
+    let c = filter_kwargs(&customers, &[("age__gt", Value::Int(42))])?;
+    // 4. broken-up predicate with imported operators
+    let d = filter_attr(&customers, "age", GT, 42)?;
+    // 5. textual predicate with free parameters (injection-proof)
+    let e = filter_expr(&customers, "age>$foo", Params::new().set("foo", 42))?;
+    // 6. pre-parsed, pre-bound expression
+    let bound = Params::new().set("foo", 42).bind(&parse("age>$foo").unwrap())?;
+    let f = filter_bound(&customers, &bound)?;
+
+    for (i, r) in [&a, &b, &c, &d, &e, &f].iter().enumerate() {
+        let names: Vec<String> = r
+            .tuples()?
+            .into_iter()
+            .map(|(_, t)| t.get("name").unwrap().to_string())
+            .collect();
+        println!("  costume {}: {} -> {:?}", i + 1, r.len(), names);
+    }
+    assert_eq!(a.len(), 2);
+
+    // ── lazy plans + the optimizer (§4.2) ────────────────────────────────
+    let q = Query::scan("customers")
+        .filter("age > $min", Params::new().set("min", 42))?
+        .project(&["name"]);
+    println!("\nlazy plan:\n{}", q.explain());
+    let optimized = q.optimize();
+    let out = optimized.eval(&db)?;
+    println!("evaluates to {} tuple function(s)", out.len());
+
+    Ok(())
+}

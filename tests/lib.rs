@@ -1,0 +1,2 @@
+//! Shared helpers for the integration tests (the tests themselves live in
+//! `tests/tests/*.rs`).

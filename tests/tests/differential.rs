@@ -1,0 +1,208 @@
+//! Differential testing: the FDM/FQL engine against the from-scratch
+//! relational engine on identical generated data. Where the two models
+//! agree semantically (counts, group cardinalities, join sizes), their
+//! answers must match exactly — on many random configurations.
+
+use fdm_core::Value;
+use fdm_expr::Params;
+use fdm_fql::prelude::*;
+use fdm_relational::{
+    col_eq, group_by, hash_join, outer_join, select, Agg, Cell, OuterSide,
+};
+use fdm_workload::{generate, to_fdm, to_relational, RetailConfig};
+use proptest::prelude::*;
+
+fn configs() -> impl Strategy<Value = RetailConfig> {
+    (
+        5usize..60,
+        2usize..25,
+        0usize..150,
+        0u8..3,
+        any::<u64>(),
+    )
+        .prop_map(|(customers, products, orders, skew, seed)| RetailConfig {
+            customers,
+            products,
+            orders,
+            product_skew: skew as f64 * 0.7,
+            inactive_customers: 0.25,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Filter: FQL filter_expr vs relational select agree on cardinality
+    /// and on the selected key sets.
+    #[test]
+    fn filter_agrees(cfg in configs(), threshold in 18i64..80) {
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let rel = to_relational(&data);
+
+        let fql = filter_expr(
+            db.relation("customers").unwrap().as_ref(),
+            "age > $t",
+            Params::new().set("t", threshold),
+        ).unwrap();
+        let sql = select(&rel.customers, |s, r| {
+            let i = s.index_of("age")?;
+            r[i].sql_cmp(&Cell::Int(threshold)).map(|o| o == std::cmp::Ordering::Greater)
+        });
+        prop_assert_eq!(fql.len(), sql.len());
+
+        let mut fql_keys: Vec<i64> = fql
+            .stored_keys()
+            .into_iter()
+            .map(|k| k.as_int("cid").unwrap())
+            .collect();
+        fql_keys.sort_unstable();
+        let mut sql_keys: Vec<i64> = sql
+            .rows()
+            .iter()
+            .map(|r| match &r[0] { Cell::Int(i) => *i, _ => unreachable!() })
+            .collect();
+        sql_keys.sort_unstable();
+        prop_assert_eq!(fql_keys, sql_keys);
+    }
+
+    /// Equality filter via the injection-proof parameter path vs SQL's
+    /// col = lit.
+    #[test]
+    fn equality_filter_agrees(cfg in configs(), state_idx in 0usize..6) {
+        let states = ["NY", "CA", "TX", "WA", "MA", "IL"];
+        let state = states[state_idx];
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let rel = to_relational(&data);
+        let fql = filter_expr(
+            db.relation("customers").unwrap().as_ref(),
+            "state == $s",
+            Params::new().set("s", state),
+        ).unwrap();
+        let sql = select(&rel.customers, col_eq("state", Cell::str(state)));
+        prop_assert_eq!(fql.len(), sql.len());
+    }
+
+    /// Join: the FDM schema-driven n-ary join and the relational
+    /// two-step binary hash join produce the same number of denormalized
+    /// rows (every order pairs one customer and one product).
+    #[test]
+    fn join_cardinality_agrees(cfg in configs()) {
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let rel = to_relational(&data);
+        let fql = join(&db).unwrap();
+        let sql = hash_join(
+            &hash_join(&rel.orders, &rel.customers, "cid", "cid"),
+            &rel.products,
+            "pid",
+            "pid",
+        );
+        prop_assert_eq!(fql.len(), sql.len());
+        prop_assert_eq!(fql.len(), data.orders.len());
+    }
+
+    /// Group-by: group cardinalities and per-group counts agree.
+    #[test]
+    fn group_by_agrees(cfg in configs()) {
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let rel = to_relational(&data);
+        let fql = group_and_aggregate(
+            db.relation("customers").unwrap().as_ref(),
+            &["state"],
+            &[("count", AggSpec::Count)],
+        ).unwrap();
+        let sql = group_by(&rel.customers, &["state"], &[Agg::CountStar]);
+        prop_assert_eq!(fql.len(), sql.len());
+        for row in sql.rows() {
+            let (Cell::Str(state), Cell::Int(count)) = (&row[0], &row[1]) else {
+                prop_assert!(false, "unexpected cell types");
+                unreachable!()
+            };
+            let t = fql.lookup(&Value::str(state.as_ref())).unwrap();
+            prop_assert_eq!(t.get("count").unwrap(), Value::Int(*count));
+        }
+    }
+
+    /// Outer semantics: FDM's inner/outer split partitions exactly like
+    /// the NULL-padded left outer join classifies.
+    #[test]
+    fn outer_semantics_agree(cfg in configs()) {
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let rel = to_relational(&data);
+
+        let out = outer(&db, &["customers"]).unwrap();
+        let inner_n = out.relation("customers.inner").unwrap().len();
+        let outer_n = out.relation("customers.outer").unwrap().len();
+
+        let sql = outer_join(&rel.customers, &rel.orders, "cid", "cid", OuterSide::Left);
+        // padded rows = customers with no orders
+        let date_col = sql.schema().index_of("date").unwrap();
+        let padded = sql.rows().iter().filter(|r| r[date_col].is_null()).count();
+        let matched_customers: std::collections::BTreeSet<i64> = sql
+            .rows()
+            .iter()
+            .filter(|r| !r[date_col].is_null())
+            .map(|r| match &r[0] { Cell::Int(i) => *i, _ => unreachable!() })
+            .collect();
+
+        prop_assert_eq!(outer_n, padded);
+        prop_assert_eq!(inner_n, matched_customers.len());
+        prop_assert_eq!(inner_n + outer_n, data.customers.len());
+    }
+
+    /// Sum/min/max/avg agree (modulo int-vs-float representation).
+    #[test]
+    fn aggregates_agree(cfg in configs()) {
+        prop_assume!(cfg.customers > 0);
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let rel = to_relational(&data);
+        let fql = group_and_aggregate(
+            db.relation("customers").unwrap().as_ref(),
+            &["state"],
+            &[
+                ("sum_age", AggSpec::Sum("age".into())),
+                ("min_age", AggSpec::Min("age".into())),
+                ("max_age", AggSpec::Max("age".into())),
+            ],
+        ).unwrap();
+        let sql = group_by(
+            &rel.customers,
+            &["state"],
+            &[Agg::Sum("age".into()), Agg::Min("age".into()), Agg::Max("age".into())],
+        );
+        prop_assert_eq!(fql.len(), sql.len());
+        for row in sql.rows() {
+            let Cell::Str(state) = &row[0] else { unreachable!() };
+            let t = fql.lookup(&Value::str(state.as_ref())).unwrap();
+            for (i, attr) in ["sum_age", "min_age", "max_age"].iter().enumerate() {
+                let want = match &row[1 + i] {
+                    Cell::Int(v) => *v,
+                    other => panic!("expected int, got {other}"),
+                };
+                prop_assert_eq!(t.get(attr).unwrap(), Value::Int(want));
+            }
+        }
+    }
+
+    /// The reduced subdatabase holds exactly the participants of the
+    /// denormalized join, relation by relation.
+    #[test]
+    fn reduce_matches_join_participants(cfg in configs()) {
+        let data = generate(&cfg);
+        let db = to_fdm(&data);
+        let reduced = reduce_db(&db).unwrap();
+        let active_customers: std::collections::BTreeSet<i64> =
+            data.orders.iter().map(|(c, _, _, _)| *c).collect();
+        let active_products: std::collections::BTreeSet<i64> =
+            data.orders.iter().map(|(_, p, _, _)| *p).collect();
+        prop_assert_eq!(reduced.relation("customers").unwrap().len(), active_customers.len());
+        prop_assert_eq!(reduced.relation("products").unwrap().len(), active_products.len());
+        prop_assert_eq!(reduced.relationship("order").unwrap().len(), data.orders.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end: declare an ER schema, compile to FDM, load generated data
+//! through transactions, query with FQL (eager and planned), maintain
+//! views, and diff database versions — the full product surface in one
+//! flow.
+
+use fdm_core::{FnValue, TupleF, Value};
+use fdm_expr::Params;
+use fdm_fql::prelude::*;
+use fdm_fql::{DynamicView, Query};
+use fdm_txn::Store;
+use fdm_workload::{generate, RetailConfig};
+
+#[test]
+fn full_pipeline() {
+    // 1. schema: ERM → FDM
+    let schema = fdm_erm::retail_schema();
+    let empty_db = fdm_erm::compile_to_fdm(&schema);
+    let store = Store::new(empty_db);
+
+    // 2. load generated data transactionally
+    let data = generate(&RetailConfig {
+        customers: 120,
+        products: 30,
+        orders: 300,
+        product_skew: 1.0,
+        inactive_customers: 0.2,
+        seed: 99,
+    });
+    let mut txn = store.begin();
+    for (cid, name, age, _state) in &data.customers {
+        txn.upsert(
+            "customers",
+            Value::Int(*cid),
+            TupleF::builder(format!("c{cid}"))
+                .attr("name", name.as_str())
+                .attr("age", *age)
+                .build(),
+        )
+        .unwrap();
+    }
+    for (pid, name, _price, category) in &data.products {
+        txn.upsert(
+            "products",
+            Value::Int(*pid),
+            TupleF::builder(format!("p{pid}"))
+                .attr("name", name.as_str())
+                .attr("category", *category)
+                .build(),
+        )
+        .unwrap();
+    }
+    // orders through the relationship function (whole-entry assignment)
+    let mut order = store.snapshot().relationship("order").unwrap().as_ref().clone();
+    for (cid, pid, date, _qty) in &data.orders {
+        order = order
+            .insert(
+                &[Value::Int(*cid), Value::Int(*pid)],
+                TupleF::builder("o")
+                    .attr("name", format!("o_{cid}_{pid}"))
+                    .attr("date", date.as_str())
+                    .build(),
+            )
+            .unwrap();
+    }
+    txn.assign("order", FnValue::from(order)).unwrap();
+    let v1 = txn.commit().unwrap();
+    assert_eq!(v1, 1);
+
+    let before = store.snapshot();
+    assert_eq!(before.relation("customers").unwrap().len(), 120);
+    assert_eq!(before.relationship("order").unwrap().len(), data.orders.len());
+
+    // 3. query eagerly: the Fig. 5/6/7 trio
+    let joined = join(&before).unwrap();
+    assert_eq!(joined.len(), data.orders.len());
+    let reduced = reduce_db(&before).unwrap();
+    assert!(reduced.relation("customers").unwrap().len() <= 120);
+    let o = outer(&before, &["products"]).unwrap();
+    assert_eq!(
+        o.relation("products.inner").unwrap().len() + o.relation("products.outer").unwrap().len(),
+        30
+    );
+
+    // 4. query via plans with optimization
+    let q = Query::scan("customers")
+        .filter("age >= $a", Params::new().set("a", 60))
+        .unwrap()
+        .project(&["name", "age"]);
+    let opt = q.clone().optimize();
+    assert_eq!(
+        q.eval(&before).unwrap().len(),
+        opt.eval(&before).unwrap().len()
+    );
+
+    // 5. a dynamic view stays fresh across commits
+    let view = DynamicView::new(
+        "seniors",
+        Query::scan("customers")
+            .filter("age >= $a", Params::new().set("a", 60))
+            .unwrap(),
+    );
+    let seniors_before = view.eval(&store.snapshot()).unwrap().len();
+    store
+        .upsert_one(
+            "customers",
+            Value::Int(9999),
+            TupleF::builder("c").attr("name", "Methuselah").attr("age", 77).build(),
+        )
+        .unwrap();
+    let seniors_after = view.eval(&store.snapshot()).unwrap().len();
+    assert_eq!(seniors_after, seniors_before + 1);
+
+    // 6. the differential database between the two versions shows exactly
+    //    the one added customer
+    let after = store.snapshot();
+    let diff = difference(&before, &after).unwrap();
+    let added = diff.relation("customers.added").unwrap();
+    assert_eq!(added.len(), 1);
+    let (_, t) = added.tuples().unwrap().remove(0);
+    assert_eq!(t.get("name").unwrap(), Value::str("Methuselah"));
+    assert!(!diff.contains("products.added"));
+}
+
+#[test]
+fn queries_inside_transactions_see_their_own_writes() {
+    let schema = fdm_erm::retail_schema();
+    let store = Store::new(fdm_erm::compile_to_fdm(&schema));
+    let mut txn = store.begin();
+    for i in 0..10 {
+        txn.upsert(
+            "customers",
+            Value::Int(i),
+            TupleF::builder("c")
+                .attr("name", format!("c{i}"))
+                .attr("age", 20 + i)
+                .build(),
+        )
+        .unwrap();
+    }
+    // run a full FQL query against the transaction's own view
+    let result = filter_expr(
+        txn.db().relation("customers").unwrap().as_ref(),
+        "age >= $a",
+        Params::new().set("a", 25),
+    )
+    .unwrap();
+    assert_eq!(result.len(), 5);
+    txn.rollback();
+    assert_eq!(store.snapshot().relation("customers").unwrap().len(), 0);
+}
+
+#[test]
+fn erm_constraints_survive_the_pipeline() {
+    let store = Store::new(fdm_erm::compile_to_fdm(&fdm_erm::retail_schema()));
+    let mut txn = store.begin();
+    // age must be an int per the ER declaration
+    let err = txn.upsert(
+        "customers",
+        Value::Int(1),
+        TupleF::builder("c").attr("name", "x").attr("age", "NaN").build(),
+    );
+    assert!(err.is_err());
+    txn.rollback();
+}

@@ -1,0 +1,363 @@
+//! Every artifact of the paper — the §2.2 table and Figures 1–11 — as an
+//! executable, asserted scenario. This is the reproduction's ground
+//! truth: if a figure's semantics drifted, a test here breaks.
+
+use fdm_core::{
+    apply1, DatabaseF, Domain, FnValue, Function, Participant, RelationF, RelationshipF,
+    SharedDomain, TupleF, Value, ValueType,
+};
+use fdm_expr::Params;
+use fdm_fql::prelude::*;
+use fdm_fql::testutil::retail_db;
+use fdm_fql::{aggregate, group};
+use fdm_txn::Store;
+
+/// §2.2 table: tuple, relation, database, set-of-databases are all the
+/// same construct — a function — and can be called uniformly.
+#[test]
+fn t1_uniform_abstraction_across_levels() {
+    let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+    let r1 = RelationF::new("R1", &["bar"]).insert(Value::Int(1), t1.clone()).unwrap();
+    let db = DatabaseF::new("DB").with_relation(r1.clone());
+    let fleet = DatabaseF::new("fleet").with_entry("DB", FnValue::from(db.clone()));
+
+    // all four levels go through the SAME trait with the SAME call shape:
+    let levels: Vec<(&dyn Function, Value)> = vec![
+        (&t1, Value::str("foo")),
+        (&r1, Value::Int(1)),
+        (&db, Value::str("R1")),
+        (&fleet, Value::str("DB")),
+    ];
+    for (f, arg) in levels {
+        assert_eq!(f.arity(), 1);
+        assert!(f.domain().contains(&arg));
+        assert!(apply1(f, &arg).is_ok(), "{} must be defined at {arg}", f.fn_name());
+    }
+    // and the chain composes: fleet('DB')('R1')(1)('foo') = 12
+    let db_v = apply1(&fleet, &Value::str("DB")).unwrap();
+    let r_v = db_v.as_fn("db").unwrap().apply(&[Value::str("R1")]).unwrap();
+    let t_v = r_v.as_fn("rel").unwrap().apply(&[Value::Int(1)]).unwrap();
+    let foo = t_v.as_fn("tuple").unwrap().apply(&[Value::str("foo")]).unwrap();
+    assert_eq!(foo, Value::Int(12));
+}
+
+/// Fig. 1: the ER schema compiled to FDM has the relationship function
+/// `order(cid, pid)` whose parameters share the entity key domains.
+#[test]
+fn f1_erm_vs_fdm() {
+    let schema = fdm_erm::retail_schema();
+    let db = fdm_erm::compile_to_fdm(&schema);
+    let order = db.relationship("order").unwrap();
+    assert_eq!(order.arity_k(), 2);
+    assert!(order.participants()[0]
+        .domain
+        .same_as(db.shared_domain("customers.cid").unwrap()));
+    assert!(order.participants()[1]
+        .domain
+        .same_as(db.shared_domain("products.pid").unwrap()));
+
+    let rel = fdm_erm::compile_to_relational(&schema);
+    assert!(rel.table("order").is_some(), "classical: junction table");
+    assert_eq!(rel.foreign_keys.len(), 2, "classical: FKs as separate metadata");
+}
+
+/// Fig. 2: a k-ary relationship function over arbitrary functions.
+#[test]
+fn f2_relationship_function_general_idea() {
+    let dx = SharedDomain::new("x", Domain::Typed(ValueType::Int));
+    let dy = SharedDomain::new("y", Domain::Typed(ValueType::Int));
+    let dz = SharedDomain::new("z", Domain::Typed(ValueType::Int));
+    let rf = RelationshipF::new(
+        "rf",
+        vec![
+            Participant::new("fx", "x", dx),
+            Participant::new("fy", "y", dy),
+            Participant::new("fz", "z", dz),
+        ],
+    )
+    .insert_link(&[Value::Int(1), Value::Int(2), Value::Int(3)])
+    .unwrap();
+    assert!(rf.relates(&[Value::Int(1), Value::Int(2), Value::Int(3)]));
+    assert!(!rf.relates(&[Value::Int(1), Value::Int(2), Value::Int(4)]));
+    assert_eq!(rf.arity(), 3);
+}
+
+/// Fig. 3: a relationship between a *database* and a relation —
+/// `is_accessed_by(rel_name, uid)` — inexpressible in classical ERM.
+#[test]
+fn f3_relationship_between_database_and_relation() {
+    let db = retail_db();
+    let users = RelationF::new("users", &["uid"])
+        .insert(Value::Int(100), TupleF::builder("u").attr("login", "jens").build())
+        .unwrap();
+    // participants: the DATABASE function (keyed by rel_name) and users
+    let rel_name_dom = SharedDomain::new("rel_name", Domain::Typed(ValueType::Str));
+    let uid_dom = SharedDomain::new("uid", Domain::Typed(ValueType::Int));
+    let accessed = RelationshipF::new(
+        "is_accessed_by",
+        vec![
+            Participant::new("DB", "rel_name", rel_name_dom),
+            Participant::new("users", "uid", uid_dom),
+        ],
+    )
+    .insert(
+        &[Value::str("customers"), Value::Int(100)],
+        TupleF::builder("a").attr("date", "2026-06-12").build(),
+    )
+    .unwrap();
+    assert!(accessed.relates(&[Value::str("customers"), Value::Int(100)]));
+    // the relationship points at the RELATION (an entry of the DB
+    // function), not at metadata: we can follow it
+    let rel_v = apply1(&db, &Value::str("customers")).unwrap();
+    let rel = rel_v.as_fn("entry").unwrap().as_relation().unwrap();
+    assert_eq!(rel.len(), 3);
+    // and both participants + the relationship can live in one database
+    let db2 = db
+        .with_relation(users)
+        .with_relationship(accessed);
+    assert!(db2.relationship("is_accessed_by").is_ok());
+}
+
+/// Fig. 4a: six filter costumes, one semantics (details per costume are
+/// unit-tested in fdm-fql; here we assert the cross-crate path).
+#[test]
+fn f4a_filter_costumes() {
+    let db = retail_db();
+    let customers = db.relation("customers").unwrap();
+    let by_expr = filter_expr(&customers, "age>$foo", Params::new().set("foo", 42)).unwrap();
+    let by_fn = filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42)).unwrap();
+    let by_kwargs = filter_kwargs(&customers, &[("age__gt", Value::Int(42))]).unwrap();
+    assert_eq!(by_expr.len(), 2);
+    assert_eq!(by_fn.len(), by_expr.len());
+    assert_eq!(by_kwargs.len(), by_expr.len());
+}
+
+/// Fig. 4b/4c: group → DB of relation functions; aggregate; having.
+#[test]
+fn f4bc_group_aggregate_having() {
+    let db = retail_db();
+    let customers = db.relation("customers").unwrap();
+    let groups = group(&customers, &["age"]).unwrap();
+    // "a DB of relation functions representing age_groups"
+    let as_db = groups.to_database();
+    assert_eq!(as_db.len(), 3, "ages 30, 43, 55");
+    let aggregates = aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
+    let large = filter_expr(&aggregates, "count > $n", Params::new().set("n", 0)).unwrap();
+    assert_eq!(large.len(), 3);
+    let fused = group_and_aggregate(&customers, &["age"], &[("count", AggSpec::Count)]).unwrap();
+    assert_eq!(fused.len(), aggregates.len());
+}
+
+/// Fig. 5: subdatabase + reduce — the result is a database with the
+/// input's schema, holding only participating tuples.
+#[test]
+fn f5_subdatabase_reduce() {
+    let db = retail_db();
+    let sub = subdatabase(&db, &["order", "products", "customers"]);
+    let reduced = reduce_db(&sub).unwrap();
+    assert_eq!(reduced.relation("customers").unwrap().len(), 2, "Carol gone");
+    assert_eq!(reduced.relation("products").unwrap().len(), 2, "webcam gone");
+    assert_eq!(reduced.relationship("order").unwrap().len(), 3);
+    // normalized: nobody is duplicated
+    assert_eq!(reduced.total_tuples(), 7);
+}
+
+/// Fig. 6: join along the schema into one denormalized relation function.
+#[test]
+fn f6_join() {
+    let db = retail_db();
+    let joined = join(&db).unwrap();
+    assert_eq!(joined.len(), 3);
+    for (_, t) in joined.tuples().unwrap() {
+        assert!(t.has_attr("customers.name"));
+        assert!(t.has_attr("products.price"));
+        assert!(t.has_attr("order.date"));
+    }
+}
+
+/// Fig. 7: outer marking returns inner/outer as separate relation
+/// functions; no NULLs anywhere.
+#[test]
+fn f7_generalized_outer_join() {
+    let db = retail_db();
+    let out = outer(&db, &["products"]).unwrap();
+    let sold = out.relation("products.inner").unwrap();
+    let unsold = out.relation("products.outer").unwrap();
+    assert_eq!(sold.len() + unsold.len(), 3);
+    assert_eq!(unsold.len(), 1);
+    // every tuple keeps exactly the products schema — nothing padded
+    for (_, t) in unsold.tuples().unwrap() {
+        let names: Vec<_> = t.attr_names().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["name", "price"]);
+    }
+}
+
+/// Fig. 8: grouping sets yield one relation function per grouping.
+#[test]
+fn f8_grouping_sets() {
+    let db = retail_db();
+    let customers = db.relation("customers").unwrap();
+    let gset = grouping_sets(
+        &customers,
+        &[
+            GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new("age_name_cc", &["age", "name"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new("global_min", &[], &[("min", AggSpec::Min("age".into()))]),
+        ],
+    )
+    .unwrap();
+    assert_eq!(gset.len(), 3);
+    assert_eq!(gset.relation("age_cc").unwrap().len(), 3);
+    assert_eq!(gset.relation("age_name_cc").unwrap().len(), 3);
+    assert_eq!(
+        gset.relation("global_min")
+            .unwrap()
+            .lookup(&Value::Int(0))
+            .unwrap()
+            .get("min")
+            .unwrap(),
+        Value::Int(30)
+    );
+}
+
+/// Fig. 9: set operations on whole databases.
+#[test]
+fn f9_database_set_operations() {
+    let db = retail_db();
+    let copy = deep_copy(&db).unwrap();
+    assert!(difference(&db, &copy).unwrap().is_empty());
+
+    let changed = db_upsert(
+        &copy,
+        "customers",
+        Value::Int(9),
+        TupleF::builder("c").attr("name", "Zoe").attr("age", 21).build(),
+    )
+    .unwrap();
+    let diff = difference(&db, &changed).unwrap();
+    assert_eq!(diff.relation("customers.added").unwrap().len(), 1);
+    assert!(!diff.contains("customers.removed"));
+    assert_eq!(union(&db, &changed).unwrap().relation("customers").unwrap().len(), 4);
+    assert_eq!(intersect(&db, &changed).unwrap().relation("customers").unwrap().len(), 3);
+    assert_eq!(minus(&changed, &db).unwrap().relation("customers").unwrap().len(), 1);
+}
+
+/// Fig. 10: inserts, updates, deletes; immediate application; no save().
+#[test]
+fn f10_change_operations() {
+    let db = retail_db();
+    let db = db_upsert(
+        &db,
+        "customers",
+        Value::Int(7),
+        TupleF::builder("t").attr("name", "Tom").attr("age", 42).build(),
+    )
+    .unwrap();
+    let (db, key) = db_add(
+        &db,
+        "customers",
+        TupleF::builder("t").attr("name", "Stephen").attr("age", 28).build(),
+    )
+    .unwrap();
+    assert_eq!(key, Value::Int(8));
+    let db = db_update_attr(&db, "customers", &Value::Int(7), "age", 50).unwrap();
+    let db = db_delete(&db, "customers", &Value::Int(8)).unwrap();
+    let c = db.relation("customers").unwrap();
+    assert_eq!(c.len(), 4);
+    assert_eq!(c.lookup(&Value::Int(7)).unwrap().get("age").unwrap(), Value::Int(50));
+}
+
+/// Fig. 11: the transfer under begin/commit with snapshot semantics.
+#[test]
+fn f11_transaction() {
+    let accounts = RelationF::new("accounts", &["id"])
+        .insert(Value::Int(42), TupleF::builder("a").attr("balance", 1000).build())
+        .unwrap()
+        .insert(Value::Int(84), TupleF::builder("a").attr("balance", 500).build())
+        .unwrap();
+    let store = Store::new(DatabaseF::new("bank").with_relation(accounts));
+    let mut txn = store.begin();
+    txn.modify_attr("accounts", &Value::Int(42), "balance", |v| v.sub(&Value::Int(100)))
+        .unwrap();
+    txn.modify_attr("accounts", &Value::Int(84), "balance", |v| v.add(&Value::Int(100)))
+        .unwrap();
+    txn.commit().unwrap();
+    let db = store.snapshot();
+    let rel = db.relation("accounts").unwrap();
+    assert_eq!(
+        rel.lookup(&Value::Int(42)).unwrap().get("balance").unwrap(),
+        Value::Int(900)
+    );
+    assert_eq!(
+        rel.lookup(&Value::Int(84)).unwrap().get("balance").unwrap(),
+        Value::Int(600)
+    );
+}
+
+/// Contribution 10: the injection payload that owns the spliced-SQL
+/// baseline is inert in FQL.
+#[test]
+fn c10_injection_contrast() {
+    use fdm_relational::{Catalog, Cell, Relation, Schema};
+    let mut users = Relation::new("users", Schema::new(&["id", "name", "secret"]));
+    users.push(vec![Cell::Int(1), Cell::str("alice"), Cell::str("s1")]);
+    users.push(vec![Cell::Int(2), Cell::str("bob"), Cell::str("s2")]);
+    let mut catalog = Catalog::new();
+    catalog.register(users);
+    let payload = "' OR '1'='1";
+    let sql_result = catalog
+        .query_where_name_equals_spliced("users", payload)
+        .unwrap();
+    assert_eq!(sql_result.len(), 2, "spliced SQL is owned");
+
+    let users_fdm = RelationF::new("users", &["id"])
+        .insert(Value::Int(1), TupleF::builder("u").attr("name", "alice").build())
+        .unwrap()
+        .insert(Value::Int(2), TupleF::builder("u").attr("name", "bob").build())
+        .unwrap();
+    let fql_result =
+        filter_expr(&users_fdm, "name == $n", Params::new().set("n", payload)).unwrap();
+    assert_eq!(fql_result.len(), 0, "FQL treats the payload as data");
+}
+
+/// §2.6: blurring the lines — nested tuples, relations in tuples, tuples
+/// as database entries.
+#[test]
+fn s26_blurring_the_lines() {
+    let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+    // t3('foo') = t1 — a higher-order tuple
+    let t3 = TupleF::builder("t3").attr("name", "Bob").function("foo", t1).build();
+    let nested = t3.get("foo").unwrap();
+    let inner = nested.as_fn("nested").unwrap().as_tuple().unwrap();
+    assert_eq!(inner.get("foo").unwrap(), Value::Int(12));
+
+    // t5('foo') = R — a relation nested in a tuple
+    let r = RelationF::new("R", &["k"])
+        .insert(Value::Int(1), TupleF::builder("x").attr("v", 9).build())
+        .unwrap();
+    let t5 = TupleF::builder("t5").attr("name", "Tom").function("foo", r).build();
+    let rel_v = t5.get("foo").unwrap();
+    let rel = rel_v.as_fn("rel").unwrap().as_relation().unwrap();
+    assert_eq!(rel.lookup(&Value::Int(1)).unwrap().get("v").unwrap(), Value::Int(9));
+
+    // and t5 can be promoted into a database's codomain
+    let db = DatabaseF::new("DB").with_entry("myTab", FnValue::from(t5));
+    assert!(db.entry("myTab").unwrap().as_tuple().is_ok());
+}
+
+/// §4.4: in-place assignment of arbitrary FQL expressions, dynamic vs
+/// materialized.
+#[test]
+fn s44_views() {
+    use fdm_fql::{materialize_view, DynamicView, Query};
+    let db = retail_db();
+    let view = DynamicView::new(
+        "oldies",
+        Query::scan("customers")
+            .filter("age > $a", Params::new().set("a", 42))
+            .unwrap(),
+    );
+    assert_eq!(view.eval(&db).unwrap().len(), 2);
+    let db_m = materialize_view(&db, &view).unwrap();
+    assert_eq!(db_m.relation("oldies").unwrap().len(), 2);
+}
