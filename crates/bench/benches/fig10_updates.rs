@@ -13,7 +13,10 @@ fn fdm_db(n: usize) -> DatabaseF {
     let mut rel = RelationF::new("accounts", &["id"]);
     for i in 0..n as i64 {
         rel = rel
-            .insert(Value::Int(i), TupleF::builder("a").attr("balance", 100i64).build())
+            .insert(
+                Value::Int(i),
+                TupleF::builder("a").attr("balance", 100i64).build(),
+            )
             .unwrap();
     }
     DatabaseF::new("bank").with_relation(rel)
@@ -33,9 +36,7 @@ fn bench(c: &mut Criterion) {
             let mut i = 0i64;
             b.iter(|| {
                 i = (i + 7) % n as i64;
-                black_box(
-                    db_update_attr(&db, "accounts", &Value::Int(i), "balance", i).unwrap(),
-                )
+                black_box(db_update_attr(&db, "accounts", &Value::Int(i), "balance", i).unwrap())
             })
         });
 
@@ -62,8 +63,7 @@ fn bench(c: &mut Criterion) {
                     i = (i + 7) % n as i64;
                     let copied = deep_copy(&db).unwrap();
                     black_box(
-                        db_update_attr(&copied, "accounts", &Value::Int(i), "balance", i)
-                            .unwrap(),
+                        db_update_attr(&copied, "accounts", &Value::Int(i), "balance", i).unwrap(),
                     )
                 })
             });

@@ -6,14 +6,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdm_core::{DatabaseF, RelationF, TupleF, Value};
 use fdm_txn::Store;
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn store_with(n: usize) -> Arc<Store> {
     let mut rel = RelationF::new("accounts", &["id"]);
     for i in 0..n as i64 {
         rel = rel
-            .insert(Value::Int(i), TupleF::builder("a").attr("balance", 1_000i64).build())
+            .insert(
+                Value::Int(i),
+                TupleF::builder("a").attr("balance", 1_000i64).build(),
+            )
             .unwrap();
     }
     Store::new(DatabaseF::new("bank").with_relation(rel))
@@ -49,27 +52,31 @@ fn bench(c: &mut Criterion) {
             })
         });
 
-        g.bench_with_input(BenchmarkId::new("autocommit_two_statements", n), &n, |b, &n| {
-            let mut i = 0i64;
-            b.iter(|| {
-                i = (i + 13) % (n as i64 - 1);
-                store
-                    .autocommit(3, |txn| {
-                        txn.modify_attr("accounts", &Value::Int(i), "balance", |v| {
-                            v.sub(&Value::Int(1))
+        g.bench_with_input(
+            BenchmarkId::new("autocommit_two_statements", n),
+            &n,
+            |b, &n| {
+                let mut i = 0i64;
+                b.iter(|| {
+                    i = (i + 13) % (n as i64 - 1);
+                    store
+                        .autocommit(3, |txn| {
+                            txn.modify_attr("accounts", &Value::Int(i), "balance", |v| {
+                                v.sub(&Value::Int(1))
+                            })
                         })
-                    })
-                    .unwrap();
-                store
-                    .autocommit(3, |txn| {
-                        txn.modify_attr("accounts", &Value::Int(i + 1), "balance", |v| {
-                            v.add(&Value::Int(1))
+                        .unwrap();
+                    store
+                        .autocommit(3, |txn| {
+                            txn.modify_attr("accounts", &Value::Int(i + 1), "balance", |v| {
+                                v.add(&Value::Int(1))
+                            })
                         })
-                    })
-                    .unwrap();
-                black_box(store.version())
-            })
-        });
+                        .unwrap();
+                    black_box(store.version())
+                })
+            },
+        );
 
         // commit validation with a non-trivial concurrent history: the
         // transaction must scan the commit log since its snapshot

@@ -26,15 +26,11 @@ fn bench(c: &mut Criterion) {
 
         g.bench_with_input(BenchmarkId::new("costume1_closure", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42)).unwrap(),
-                )
+                black_box(filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42)).unwrap())
             })
         });
         g.bench_with_input(BenchmarkId::new("costume3_kwargs", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(filter_kwargs(&customers, &[("age__gt", Value::Int(42))]).unwrap())
-            })
+            b.iter(|| black_box(filter_kwargs(&customers, &[("age__gt", Value::Int(42))]).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("costume4_attr_op", n), &n, |b, _| {
             b.iter(|| black_box(filter_attr(&customers, "age", GT, 42).unwrap()))
@@ -46,7 +42,10 @@ fn bench(c: &mut Criterion) {
                 )
             })
         });
-        let bound = Params::new().set("foo", 42).bind(&parse("age>$foo").unwrap()).unwrap();
+        let bound = Params::new()
+            .set("foo", 42)
+            .bind(&parse("age>$foo").unwrap())
+            .unwrap();
         g.bench_with_input(BenchmarkId::new("costume6_prebound", n), &n, |b, _| {
             b.iter(|| black_box(filter_bound(&customers, &bound).unwrap()))
         });

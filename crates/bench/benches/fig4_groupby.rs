@@ -30,9 +30,8 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("fdm_fused", n), &n, |b, _| {
             b.iter(|| {
-                let aggs =
-                    group_and_aggregate(&customers, &["age"], &[("count", AggSpec::Count)])
-                        .unwrap();
+                let aggs = group_and_aggregate(&customers, &["age"], &[("count", AggSpec::Count)])
+                    .unwrap();
                 black_box(filter_attr(&aggs, "count", GT, 9).unwrap())
             })
         });

@@ -24,7 +24,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(join(&e.fdm).unwrap()))
         });
         // explicit-conditions costume
-        let order_rel = e.fdm.relationship("order").unwrap().to_relation().renamed("orders_rel");
+        let order_rel = e
+            .fdm
+            .relationship("order")
+            .unwrap()
+            .to_relation()
+            .renamed("orders_rel");
         let db2 = e.fdm.with_relation(order_rel);
         g.bench_with_input(BenchmarkId::new("fdm_join_on", n), &n, |b, _| {
             b.iter(|| {
@@ -40,16 +45,20 @@ fn bench(c: &mut Criterion) {
                 )
             })
         });
-        g.bench_with_input(BenchmarkId::new("relational_binary_joins", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(hash_join(
-                    &hash_join(&e.rel.orders, &e.rel.customers, "cid", "cid"),
-                    &e.rel.products,
-                    "pid",
-                    "pid",
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("relational_binary_joins", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(hash_join(
+                        &hash_join(&e.rel.orders, &e.rel.customers, "cid", "cid"),
+                        &e.rel.products,
+                        "pid",
+                        "pid",
+                    ))
+                })
+            },
+        );
 
         // ablation: pushdown vs declared order on a selective filter
         let q = Query::scan("orders_rel")
@@ -61,9 +70,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("plan_declared_order", n), &n, |b, _| {
             b.iter(|| black_box(declared.eval(&db2).unwrap()))
         });
-        g.bench_with_input(BenchmarkId::new("plan_optimized_pushdown", n), &n, |b, _| {
-            b.iter(|| black_box(optimized.eval(&db2).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("plan_optimized_pushdown", n),
+            &n,
+            |b, _| b.iter(|| black_box(optimized.eval(&db2).unwrap())),
+        );
     }
     g.finish();
 }

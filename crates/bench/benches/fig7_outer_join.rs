@@ -17,9 +17,11 @@ fn bench(c: &mut Criterion) {
 
     for fanout in [1usize, 4, 16] {
         let e = both(&fanout_config(500, fanout));
-        g.bench_with_input(BenchmarkId::new("fdm_outer_split", fanout), &fanout, |b, _| {
-            b.iter(|| black_box(outer(&e.fdm, &["customers", "products"]).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fdm_outer_split", fanout),
+            &fanout,
+            |b, _| b.iter(|| black_box(outer(&e.fdm, &["customers", "products"]).unwrap())),
+        );
         g.bench_with_input(
             BenchmarkId::new("relational_outer_plus_scan", fanout),
             &fanout,

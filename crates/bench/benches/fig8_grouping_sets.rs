@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdm_bench::{both, standard_config};
 use fdm_fql::prelude::*;
 use fdm_fql::{cube as fdm_cube, rollup as fdm_rollup};
-use fdm_relational::{cube as rel_cube, grouping_sets as rel_gsets, rollup as rel_rollup, Agg, GroupingSet};
+use fdm_relational::{
+    cube as rel_cube, grouping_sets as rel_gsets, rollup as rel_rollup, Agg, GroupingSet,
+};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -48,12 +50,18 @@ fn bench(c: &mut Criterion) {
                 black_box(rel_gsets(
                     &e.rel.customers,
                     &[
-                        GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+                        GroupingSet {
+                            by: vec!["age".into()],
+                            aggs: vec![Agg::CountStar],
+                        },
                         GroupingSet {
                             by: vec!["state".into(), "age".into()],
                             aggs: vec![Agg::CountStar],
                         },
-                        GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+                        GroupingSet {
+                            by: vec![],
+                            aggs: vec![Agg::Min("age".into())],
+                        },
                     ],
                 ))
             })
@@ -66,15 +74,29 @@ fn bench(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("sql_rollup", n), &n, |b, _| {
-            b.iter(|| black_box(rel_rollup(&e.rel.customers, &["state", "age"], &[Agg::CountStar])))
+            b.iter(|| {
+                black_box(rel_rollup(
+                    &e.rel.customers,
+                    &["state", "age"],
+                    &[Agg::CountStar],
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("fdm_cube", n), &n, |b, _| {
             b.iter(|| {
-                black_box(fdm_cube(&customers, &["state", "age"], &[("c", AggSpec::Count)]).unwrap())
+                black_box(
+                    fdm_cube(&customers, &["state", "age"], &[("c", AggSpec::Count)]).unwrap(),
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("sql_cube", n), &n, |b, _| {
-            b.iter(|| black_box(rel_cube(&e.rel.customers, &["state", "age"], &[Agg::CountStar])))
+            b.iter(|| {
+                black_box(rel_cube(
+                    &e.rel.customers,
+                    &["state", "age"],
+                    &[Agg::CountStar],
+                ))
+            })
         });
     }
     g.finish();

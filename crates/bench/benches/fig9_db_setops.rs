@@ -67,7 +67,9 @@ fn bench(c: &mut Criterion) {
                     let added_o = except(&rel_changed.orders, &e.rel.orders);
                     let removed_o = except(&e.rel.orders, &rel_changed.orders);
                     let u = rel_union(&e.rel.customers, &rel_changed.customers);
-                    black_box((added_c, removed_c, added_p, removed_p, added_o, removed_o, u))
+                    black_box((
+                        added_c, removed_c, added_p, removed_p, added_o, removed_o, u,
+                    ))
                 })
             },
         );

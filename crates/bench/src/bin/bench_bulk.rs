@@ -1,0 +1,209 @@
+//! Before/after measurement of the bulk-construction fast path
+//! (`BENCH_fig4_fig6.json`): the fig4 filter and fig6 join workloads at the
+//! 20k-order scale, each run through
+//!
+//! * **before** — the pre-builder idiom preserved verbatim below: output
+//!   assembled with per-tuple persistent `insert` (O(log n) time and `Arc`
+//!   allocation each), `format!`-per-tuple attribute qualification, and the
+//!   nested row × entry relationship scan;
+//! * **after** — the shipped operators (`RelationBuilder` bulk path,
+//!   interned qualified names, hash-indexed relationship binding).
+//!
+//! Medians are computed criterion-style (N timed samples, median reported).
+//!
+//! ```text
+//! cargo run -p fdm-bench --bin bench_bulk --release            # 20k scale
+//! cargo run -p fdm-bench --bin bench_bulk --release -- --quick # CI smoke
+//! ```
+
+use fdm_bench::standard_config;
+use fdm_core::{DatabaseF, FdmError, Name, RelationF, RelationshipF, Result, TupleF, Value};
+use fdm_workload::{generate, to_fdm};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ───────────────────────── legacy (before) path ─────────────────────────
+
+/// The old filter: per-tuple persistent inserts into a fresh relation.
+fn legacy_filter_fn(rel: &RelationF, pred: impl Fn(&TupleF) -> Result<bool>) -> Result<RelationF> {
+    let key_attrs: Vec<&str> = rel.key_attrs().iter().map(|n| n.as_ref()).collect();
+    let mut out = RelationF::new(rel.name(), &key_attrs);
+    for (key, tuple) in rel.tuples()? {
+        if pred(&tuple)? {
+            out = out.insert_arc(key, tuple)?;
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Clone)]
+struct JoinRow {
+    bound: BTreeMap<Name, Value>,
+    attrs: Vec<(Name, Value)>,
+}
+
+/// The old qualification: one `format!` per attribute per tuple.
+fn legacy_qualify(tuple: &TupleF, rel_name: &str, out: &mut Vec<(Name, Value)>) -> Result<()> {
+    for (attr, v) in tuple.materialize()? {
+        out.push((Name::from(format!("{rel_name}.{attr}").as_str()), v));
+    }
+    Ok(())
+}
+
+/// The old schema join: nested rows × entries scan with a compatibility
+/// check per pair, outputs built insert-by-insert.
+fn legacy_join(db: &DatabaseF) -> Result<RelationF> {
+    let relationships: Vec<(Name, Arc<RelationshipF>)> = db
+        .relationships()
+        .map(|(n, r)| (n.clone(), r.clone()))
+        .collect();
+    if relationships.is_empty() {
+        return Err(FdmError::Other("legacy_join: no relationships".into()));
+    }
+    let mut rows: Vec<JoinRow> = vec![JoinRow {
+        bound: BTreeMap::new(),
+        attrs: Vec::new(),
+    }];
+    for (rname, rsf) in relationships {
+        let mut parts: Vec<(Name, Arc<RelationF>)> = Vec::new();
+        for p in rsf.participants() {
+            parts.push((p.function.clone(), db.relation(&p.function)?));
+        }
+        let mut next = Vec::new();
+        for row in &rows {
+            for (args, rattrs) in rsf.iter() {
+                let mut compatible = true;
+                for ((pname, _), arg) in parts.iter().zip(&args) {
+                    if let Some(bound_key) = row.bound.get(pname) {
+                        if bound_key != arg {
+                            compatible = false;
+                            break;
+                        }
+                    }
+                }
+                if !compatible {
+                    continue;
+                }
+                let mut new_row = row.clone();
+                let mut ok = true;
+                for ((pname, prel), arg) in parts.iter().zip(&args) {
+                    if new_row.bound.contains_key(pname) {
+                        continue;
+                    }
+                    match prel.lookup(arg) {
+                        Some(tuple) => {
+                            new_row.bound.insert(pname.clone(), arg.clone());
+                            if let Some(p) =
+                                rsf.participants().iter().find(|p| &p.function == pname)
+                            {
+                                new_row.attrs.push((
+                                    Name::from(format!("{pname}.{}", p.key).as_str()),
+                                    arg.clone(),
+                                ));
+                            }
+                            legacy_qualify(&tuple, pname, &mut new_row.attrs)?;
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                for (attr, v) in rattrs.materialize()? {
+                    new_row
+                        .attrs
+                        .push((Name::from(format!("{rname}.{attr}").as_str()), v));
+                }
+                next.push(new_row);
+            }
+        }
+        rows = next;
+    }
+    let mut out = RelationF::new("join_result", &["row"]);
+    for (i, row) in rows.into_iter().enumerate() {
+        let mut b = TupleF::builder(format!("j{i}"));
+        for (n, v) in row.attrs {
+            b = b.attr(n.as_ref(), v);
+        }
+        out = out.insert(Value::Int(i as i64), b.build())?;
+    }
+    Ok(out)
+}
+
+// ───────────────────────── measurement harness ─────────────────────────
+
+/// Criterion-style median: `samples` timed runs, median per-run nanos.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    // one warm-up run outside the timings
+    f();
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (orders, samples, out_path) = if quick {
+        (2_000usize, 5usize, None)
+    } else {
+        (20_000, 15, Some("BENCH_fig4_fig6.json"))
+    };
+
+    let db = to_fdm(&generate(&standard_config(orders)));
+    let customers = db.relation("customers").unwrap();
+    println!(
+        "bench_bulk: {} orders, {} customers, {} samples per series",
+        orders,
+        customers.len(),
+        samples
+    );
+
+    // fig4 filter (costume 1 closure, so before/after differ only in
+    // output construction)
+    let pred = |t: &TupleF| Ok(t.get("age")?.as_int("age")? > 42);
+    let before_filter = median_ns(samples, || {
+        black_box(legacy_filter_fn(&customers, pred).unwrap());
+    });
+    let after_filter = median_ns(samples, || {
+        black_box(fdm_fql::filter_fn(&customers, pred).unwrap());
+    });
+
+    // fig6 schema join
+    let before_join = median_ns(samples, || {
+        black_box(legacy_join(&db).unwrap());
+    });
+    let after_join = median_ns(samples, || {
+        black_box(fdm_fql::join(&db).unwrap());
+    });
+
+    // sanity: both paths agree before we publish numbers
+    assert_eq!(
+        legacy_filter_fn(&customers, pred).unwrap().len(),
+        fdm_fql::filter_fn(&customers, pred).unwrap().len()
+    );
+    assert_eq!(
+        legacy_join(&db).unwrap().len(),
+        fdm_fql::join(&db).unwrap().len()
+    );
+
+    let report = format!(
+        "{{\n  \"scale_orders\": {orders},\n  \"samples\": {samples},\n  \"fig4_filter\": {{\n    \"before_median_ns\": {before_filter},\n    \"after_median_ns\": {after_filter},\n    \"speedup\": {:.2}\n  }},\n  \"fig6_join\": {{\n    \"before_median_ns\": {before_join},\n    \"after_median_ns\": {after_join},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        before_filter / after_filter,
+        before_join / after_join,
+    );
+    println!("{report}");
+    if let Some(path) = out_path {
+        std::fs::write(path, &report).expect("write BENCH_fig4_fig6.json");
+        println!("wrote {path}");
+    }
+}

@@ -12,9 +12,18 @@ fn main() {
     let (orders, customers, sizes, threads): (usize, usize, Vec<usize>, Vec<usize>) = if quick {
         (2_000, 500, vec![1_000, 10_000], vec![1, 4])
     } else {
-        (10_000, 2_000, vec![1_000, 10_000, 100_000], vec![1, 2, 4, 8])
+        (
+            10_000,
+            2_000,
+            vec![1_000, 10_000, 100_000],
+            vec![1, 2, 4, 8],
+        )
     };
-    let fanouts: Vec<usize> = if quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16, 32] };
+    let fanouts: Vec<usize> = if quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
 
     println!("# FDM/FQL reproduction report");
     println!(

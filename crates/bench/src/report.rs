@@ -13,8 +13,8 @@ use fdm_expr::Params;
 use fdm_fql::prelude::*;
 use fdm_fql::Query;
 use fdm_relational::{
-    cube as rel_cube, group_by, grouping_sets as rel_gsets, outer_join, select, Agg,
-    Cell, GroupingSet, OuterSide,
+    cube as rel_cube, group_by, grouping_sets as rel_gsets, outer_join, select, Agg, Cell,
+    GroupingSet, OuterSide,
 };
 use fdm_txn::Store;
 use std::time::Instant;
@@ -27,12 +27,18 @@ fn ms(start: Instant) -> f64 {
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n## {title}");
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Fig. 1: schema compilation — same ER schema to both targets.
 pub fn fig1() {
-    header("Fig. 1 — one ER schema, two targets", &["target", "artifacts", "fk mechanism"]);
+    header(
+        "Fig. 1 — one ER schema, two targets",
+        &["target", "artifacts", "fk mechanism"],
+    );
     let schema = fdm_erm::retail_schema();
     let fdm = fdm_erm::compile_to_fdm(&schema);
     let rel = fdm_erm::compile_to_relational(&schema);
@@ -56,7 +62,10 @@ pub fn fig4_filter(orders: usize) {
     let e = both(&standard_config(orders));
     let customers = e.fdm.relation("customers").unwrap();
     header(
-        &format!("Fig. 4a — filter costumes (customers = {})", customers.len()),
+        &format!(
+            "Fig. 4a — filter costumes (customers = {})",
+            customers.len()
+        ),
         &["costume", "result", "time (ms)"],
     );
     let t = Instant::now();
@@ -74,7 +83,8 @@ pub fn fig4_filter(orders: usize) {
     let t = Instant::now();
     let sql = select(&e.rel.customers, |s, r| {
         let i = s.index_of("age")?;
-        r[i].sql_cmp(&Cell::Int(42)).map(|o| o == std::cmp::Ordering::Greater)
+        r[i].sql_cmp(&Cell::Int(42))
+            .map(|o| o == std::cmp::Ordering::Greater)
     });
     println!("| relational σ | {} | {:.3} |", sql.len(), ms(t));
     assert_eq!(r1.len(), sql.len());
@@ -91,10 +101,18 @@ pub fn fig4_groupby(orders: usize) {
     let t = Instant::now();
     let groups = fdm_fql::group(&customers, &["age"]).unwrap();
     let aggs = fdm_fql::aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
-    println!("| FDM unrolled (group; aggregate) | {} | {:.3} |", aggs.len(), ms(t));
+    println!(
+        "| FDM unrolled (group; aggregate) | {} | {:.3} |",
+        aggs.len(),
+        ms(t)
+    );
     let t = Instant::now();
     let fused = group_and_aggregate(&customers, &["age"], &[("count", AggSpec::Count)]).unwrap();
-    println!("| FDM fused (group_and_aggregate) | {} | {:.3} |", fused.len(), ms(t));
+    println!(
+        "| FDM fused (group_and_aggregate) | {} | {:.3} |",
+        fused.len(),
+        ms(t)
+    );
     let t = Instant::now();
     let sql = group_by(&e.rel.customers, &["age"], &[Agg::CountStar]);
     println!("| SQL GROUP BY | {} | {:.3} |", sql.len(), ms(t));
@@ -105,7 +123,9 @@ pub fn fig4_groupby(orders: usize) {
 /// join vs subdatabase, swept over fan-out.
 pub fn fig5_fig6(customers: usize, fanouts: &[usize]) {
     header(
-        &format!("Fig. 5/6 — denormalized join vs subdatabase (customers = {customers}, fan-out sweep)"),
+        &format!(
+            "Fig. 5/6 — denormalized join vs subdatabase (customers = {customers}, fan-out sweep)"
+        ),
         &[
             "fan-out",
             "orders",
@@ -157,22 +177,38 @@ pub fn fig5_fig6(customers: usize, fanouts: &[usize]) {
 pub fn fig6_ablation(orders: usize) {
     let e = both(&standard_config(orders));
     // flatten the relationship so the left-deep plan can scan it
-    let order_rel = e.fdm.relationship("order").unwrap().to_relation().renamed("orders_rel");
+    let order_rel = e
+        .fdm
+        .relationship("order")
+        .unwrap()
+        .to_relation()
+        .renamed("orders_rel");
     let db = e.fdm.with_relation(order_rel);
     let q = Query::scan("orders_rel")
         .join("customers", "cid", "cid")
         .filter("date > $d", Params::new().set("d", "2026-09"))
         .unwrap();
     header(
-        &format!("Fig. 6 ablation — predicate pushdown (orders = {})", e.data.orders.len()),
+        &format!(
+            "Fig. 6 ablation — predicate pushdown (orders = {})",
+            e.data.orders.len()
+        ),
         &["plan", "intermediate rows", "time (ms)"],
     );
     let t = Instant::now();
     let (r1, s1) = q.clone().eval_with_stats(&db).unwrap();
-    println!("| declared order | {} | {:.2} |", s1.total_intermediate(), ms(t));
+    println!(
+        "| declared order | {} | {:.2} |",
+        s1.total_intermediate(),
+        ms(t)
+    );
     let t = Instant::now();
     let (r2, s2) = q.optimize().eval_with_stats(&db).unwrap();
-    println!("| optimized (pushdown) | {} | {:.2} |", s2.total_intermediate(), ms(t));
+    println!(
+        "| optimized (pushdown) | {} | {:.2} |",
+        s2.total_intermediate(),
+        ms(t)
+    );
     assert_eq!(r1.len(), r2.len());
 }
 
@@ -196,7 +232,13 @@ pub fn fig7(customers: usize, fanouts: &[usize]) {
         // relational: LEFT OUTER JOIN then a second scan to separate the
         // unmatched customers back out (what an application must do)
         let t = Instant::now();
-        let sql = outer_join(&e.rel.customers, &e.rel.orders, "cid", "cid", OuterSide::Left);
+        let sql = outer_join(
+            &e.rel.customers,
+            &e.rel.orders,
+            "cid",
+            "cid",
+            OuterSide::Left,
+        );
         let date_col = sql.schema().index_of("date").unwrap();
         let (mut matched, mut unmatched) = (0usize, 0usize);
         for row in sql.rows() {
@@ -231,14 +273,25 @@ pub fn fig8(orders: usize) {
     let customers = e.fdm.relation("customers").unwrap();
     header(
         &format!("Fig. 8 — grouping sets (customers = {})", customers.len()),
-        &["engine", "output", "rows", "cells", "NULL cells", "time (ms)"],
+        &[
+            "engine",
+            "output",
+            "rows",
+            "cells",
+            "NULL cells",
+            "time (ms)",
+        ],
     );
     let t = Instant::now();
     let gset = grouping_sets(
         &customers,
         &[
             GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
-            GroupingSpec::new("state_age_cc", &["state", "age"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new(
+                "state_age_cc",
+                &["state", "age"],
+                &[("count", AggSpec::Count)],
+            ),
             GroupingSpec::new("global_min", &[], &[("min", AggSpec::Min("age".into()))]),
         ],
     )
@@ -264,12 +317,18 @@ pub fn fig8(orders: usize) {
     let sql = rel_gsets(
         &e.rel.customers,
         &[
-            GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+            GroupingSet {
+                by: vec!["age".into()],
+                aggs: vec![Agg::CountStar],
+            },
             GroupingSet {
                 by: vec!["state".into(), "age".into()],
                 aggs: vec![Agg::CountStar],
             },
-            GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+            GroupingSet {
+                by: vec![],
+                aggs: vec![Agg::Min("age".into())],
+            },
         ],
     );
     let t_sql = ms(t);
@@ -305,12 +364,19 @@ pub fn fig8(orders: usize) {
 pub fn fig9(orders: usize) {
     let e = both(&standard_config(orders));
     header(
-        &format!("Fig. 9 — DB-level set operations (tuples = {})", e.fdm.total_tuples()),
+        &format!(
+            "Fig. 9 — DB-level set operations (tuples = {})",
+            e.fdm.total_tuples()
+        ),
         &["operation", "result", "time (ms)"],
     );
     let t = Instant::now();
     let copy = deep_copy(&e.fdm).unwrap();
-    println!("| deep_copy(DB) | {} tuples | {:.2} |", copy.total_tuples(), ms(t));
+    println!(
+        "| deep_copy(DB) | {} tuples | {:.2} |",
+        copy.total_tuples(),
+        ms(t)
+    );
     // mutate the copy a bit
     let mut changed = copy.clone();
     for i in 0..50i64 {
@@ -331,18 +397,32 @@ pub fn fig9(orders: usize) {
     println!(
         "| difference(DB, DB') | {} changed relation(s), {} added tuples | {:.2} |",
         diff.len(),
-        diff.relation("customers.added").map(|r| r.len()).unwrap_or(0),
+        diff.relation("customers.added")
+            .map(|r| r.len())
+            .unwrap_or(0),
         ms(t)
     );
     let t = Instant::now();
     let u = union(&e.fdm, &changed).unwrap();
-    println!("| union(DB, DB') | {} tuples | {:.2} |", u.total_tuples(), ms(t));
+    println!(
+        "| union(DB, DB') | {} tuples | {:.2} |",
+        u.total_tuples(),
+        ms(t)
+    );
     let t = Instant::now();
     let i = intersect(&e.fdm, &changed).unwrap();
-    println!("| intersect(DB, DB') | {} tuples | {:.2} |", i.total_tuples(), ms(t));
+    println!(
+        "| intersect(DB, DB') | {} tuples | {:.2} |",
+        i.total_tuples(),
+        ms(t)
+    );
     let t = Instant::now();
     let m = minus(&changed, &e.fdm).unwrap();
-    println!("| minus(DB', DB) | {} tuples | {:.2} |", m.total_tuples(), ms(t));
+    println!(
+        "| minus(DB', DB) | {} tuples | {:.2} |",
+        m.total_tuples(),
+        ms(t)
+    );
 }
 
 /// Fig. 10 + ablation: update throughput — persistent FDM updates vs
@@ -350,7 +430,12 @@ pub fn fig9(orders: usize) {
 pub fn fig10(sizes: &[usize]) {
     header(
         "Fig. 10 — update mechanisms (1000 single-attribute updates each)",
-        &["relation size", "persistent (ms)", "copy-the-world (ms)", "speedup ×"],
+        &[
+            "relation size",
+            "persistent (ms)",
+            "copy-the-world (ms)",
+            "speedup ×",
+        ],
     );
     for &n in sizes {
         let mut rel = RelationF::new("accounts", &["id"]);
@@ -396,13 +481,22 @@ pub fn fig11(accounts: usize, threads_list: &[usize]) {
     use std::sync::Arc;
     header(
         &format!("Fig. 11 — concurrent transfers ({accounts} accounts, 2000 txns total)"),
-        &["threads", "committed", "conflicted", "throughput (txn/ms)", "money conserved"],
+        &[
+            "threads",
+            "committed",
+            "conflicted",
+            "throughput (txn/ms)",
+            "money conserved",
+        ],
     );
     for &threads in threads_list {
         let mut rel = RelationF::new("accounts", &["id"]);
         for i in 0..accounts as i64 {
             rel = rel
-                .insert(Value::Int(i), TupleF::builder("a").attr("balance", 1000i64).build())
+                .insert(
+                    Value::Int(i),
+                    TupleF::builder("a").attr("balance", 1000i64).build(),
+                )
                 .unwrap();
         }
         let store = Store::new(DatabaseF::new("bank").with_relation(rel));

@@ -38,7 +38,10 @@ impl Constraint {
 
     /// Builds an attribute-domain constraint.
     pub fn attr_domain(attr: &str, domain: Domain) -> Constraint {
-        Constraint::AttrDomain { attr: Name::from(attr), domain }
+        Constraint::AttrDomain {
+            attr: Name::from(attr),
+            domain,
+        }
     }
 
     /// For a `Unique` constraint: extracts the composite value of its

@@ -79,7 +79,9 @@ impl DatabaseF {
     pub fn entry(&self, name: &str) -> Result<&FnValue> {
         self.entries
             .get(name)
-            .ok_or_else(|| FdmError::NoSuchRelation { name: name.to_string() })
+            .ok_or_else(|| FdmError::NoSuchRelation {
+                name: name.to_string(),
+            })
     }
 
     /// `true` if an entry exists under `name`.
@@ -136,7 +138,9 @@ impl DatabaseF {
     pub fn without_entry(&self, name: &str) -> Result<DatabaseF> {
         let (entries, old) = self.entries.remove(name);
         if old.is_none() {
-            return Err(FdmError::NoSuchRelation { name: name.to_string() });
+            return Err(FdmError::NoSuchRelation {
+                name: name.to_string(),
+            });
         }
         Ok(DatabaseF {
             name: self.name.clone(),
@@ -258,12 +262,18 @@ mod tests {
         RelationF::new("customers", &["cid"])
             .insert(
                 Value::Int(1),
-                TupleF::builder("c1").attr("name", "Alice").attr("age", 43).build(),
+                TupleF::builder("c1")
+                    .attr("name", "Alice")
+                    .attr("age", 43)
+                    .build(),
             )
             .unwrap()
             .insert(
                 Value::Int(2),
-                TupleF::builder("c2").attr("name", "Bob").attr("age", 30).build(),
+                TupleF::builder("c2")
+                    .attr("name", "Bob")
+                    .attr("age", 30)
+                    .build(),
             )
             .unwrap()
     }
@@ -271,7 +281,10 @@ mod tests {
     #[test]
     fn paper_db_example() {
         // DB('Table1') = R1 ; DB('myTab') = t4 (a tuple as DB entry, §2.5)
-        let t4 = TupleF::builder("t4").attr("name", "Thomas").attr("foo", 25).build();
+        let t4 = TupleF::builder("t4")
+            .attr("name", "Thomas")
+            .attr("foo", 25)
+            .build();
         let db = DatabaseF::new("DB")
             .with_relation(customers().renamed("Table1"))
             .with_entry("myTab", FnValue::from(t4));

@@ -116,7 +116,9 @@ impl Domain {
             Domain::Typed(ValueType::Unit) => Some(1),
             Domain::Typed(_) => None,
             Domain::Enumerated(set) => Some(set.len()),
-            Domain::IntRange(lo, hi) => usize::try_from(hi.saturating_sub(*lo).saturating_add(1)).ok(),
+            Domain::IntRange(lo, hi) => {
+                usize::try_from(hi.saturating_sub(*lo).saturating_add(1)).ok()
+            }
             Domain::FloatRange(_, _) => None,
             Domain::Predicate { base, .. } => base.cardinality_hint(),
             Domain::Product(ds) => {
@@ -154,11 +156,9 @@ impl Domain {
             Domain::FloatRange(lo, hi) => Err(FdmError::NotEnumerable {
                 what: format!("continuous float range [{lo}; {hi}]"),
             }),
-            Domain::Predicate { base, pred, .. } => Ok(base
-                .enumerate()?
-                .into_iter()
-                .filter(|v| pred(v))
-                .collect()),
+            Domain::Predicate { base, pred, .. } => {
+                Ok(base.enumerate()?.into_iter().filter(|v| pred(v)).collect())
+            }
             Domain::Product(ds) => {
                 let parts: Vec<Vec<Value>> =
                     ds.iter().map(Domain::enumerate).collect::<Result<_>>()?;
@@ -206,7 +206,9 @@ impl fmt::Display for Domain {
             }
             Domain::IntRange(lo, hi) => write!(f, "[{lo}; {hi}] ∩ int"),
             Domain::FloatRange(lo, hi) => write!(f, "[{lo}; {hi}] ∩ float"),
-            Domain::Predicate { base, description, .. } => {
+            Domain::Predicate {
+                base, description, ..
+            } => {
                 write!(f, "{{x ∈ {base} | {description}}}")
             }
             Domain::Product(ds) => {
@@ -243,7 +245,10 @@ impl SharedDomain {
     /// Creates a new shared domain with the given name.
     pub fn new(name: impl Into<String>, domain: Domain) -> Self {
         SharedDomain {
-            inner: Arc::new(SharedDomainInner { name: name.into(), domain }),
+            inner: Arc::new(SharedDomainInner {
+                name: name.into(),
+                domain,
+            }),
         }
     }
 
@@ -271,7 +276,11 @@ impl SharedDomain {
 
 impl fmt::Debug for SharedDomain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SharedDomain({}: {})", self.inner.name, self.inner.domain)
+        write!(
+            f,
+            "SharedDomain({}: {})",
+            self.inner.name, self.inner.domain
+        )
     }
 }
 
@@ -297,10 +306,7 @@ mod tests {
         assert!(d.contains(&Value::Int(1)));
         assert!(!d.contains(&Value::Int(2)));
         assert_eq!(d.cardinality_hint(), Some(2));
-        assert_eq!(
-            d.enumerate().unwrap(),
-            vec![Value::Int(1), Value::Int(3)]
-        );
+        assert_eq!(d.enumerate().unwrap(), vec![Value::Int(1), Value::Int(3)]);
     }
 
     #[test]
@@ -328,9 +334,8 @@ mod tests {
 
     #[test]
     fn predicate_refinement() {
-        let d = Domain::IntRange(0, 10).refine("even", |v| {
-            matches!(v, Value::Int(i) if i % 2 == 0)
-        });
+        let d =
+            Domain::IntRange(0, 10).refine("even", |v| matches!(v, Value::Int(i) if i % 2 == 0));
         assert!(d.contains(&Value::Int(4)));
         assert!(!d.contains(&Value::Int(3)));
         assert!(!d.contains(&Value::Int(12)), "must still be in base");

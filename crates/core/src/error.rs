@@ -101,8 +101,15 @@ impl fmt::Display for FdmError {
             FdmError::NotEnumerable { what } => {
                 write!(f, "cannot enumerate {what}: domain is not enumerable")
             }
-            FdmError::TypeMismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            FdmError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             FdmError::NoSuchAttribute { attr } => {
                 write!(f, "tuple function has no attribute '{attr}'")
@@ -110,10 +117,18 @@ impl fmt::Display for FdmError {
             FdmError::NoSuchRelation { name } => {
                 write!(f, "database function has no entry '{name}'")
             }
-            FdmError::WrongFunctionKind { name, expected, found } => {
+            FdmError::WrongFunctionKind {
+                name,
+                expected,
+                found,
+            } => {
                 write!(f, "entry '{name}' is a {found}, expected a {expected}")
             }
-            FdmError::ArityMismatch { function, expected, found } => {
+            FdmError::ArityMismatch {
+                function,
+                expected,
+                found,
+            } => {
                 write!(
                     f,
                     "function '{function}' called with {found} argument(s), expects {expected}"
@@ -145,9 +160,14 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = FdmError::Undefined { function: "R1".into(), input: "7".into() };
+        let e = FdmError::Undefined {
+            function: "R1".into(),
+            input: "7".into(),
+        };
         assert_eq!(e.to_string(), "function 'R1' is not defined at input 7");
-        let e = FdmError::NotEnumerable { what: "relation function 'R4'".into() };
+        let e = FdmError::NotEnumerable {
+            what: "relation function 'R4'".into(),
+        };
         assert!(e.to_string().contains("not enumerable"));
         let e = FdmError::TypeMismatch {
             expected: ValueType::Int,

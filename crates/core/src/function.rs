@@ -46,13 +46,16 @@ pub fn apply1(f: &dyn Function, arg: &Value) -> Result<Value> {
     f.apply(std::slice::from_ref(arg))
 }
 
+/// The body of a [`LambdaF`]: a shared n-ary closure over values.
+pub type LambdaBody = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
 /// An ad-hoc lambda function (paper §2.4's λ expressions): a named closure
 /// with an explicit domain.
 pub struct LambdaF {
     name: String,
     arity: usize,
     domain: Domain,
-    body: Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>,
+    body: LambdaBody,
 }
 
 impl LambdaF {
@@ -278,10 +281,7 @@ mod tests {
         let double = LambdaF::unary("double", Domain::Typed(ValueType::Int), |v| {
             v.mul(&Value::Int(2))
         });
-        assert_eq!(
-            double.apply(&[Value::Int(21)]).unwrap(),
-            Value::Int(42)
-        );
+        assert_eq!(double.apply(&[Value::Int(21)]).unwrap(), Value::Int(42));
         let err = double.apply(&[Value::Int(1), Value::Int(2)]).unwrap_err();
         assert!(matches!(err, FdmError::ArityMismatch { .. }));
     }

@@ -1,0 +1,103 @@
+//! A fast, non-cryptographic hasher for internal hot-path hash maps.
+//!
+//! The join fast path probes `Value`-keyed maps tens of thousands of times
+//! per operator call; `std`'s default SipHash is DoS-resistant but costs
+//! several times more per probe than needed for transient, process-local
+//! indexes built from already-validated data. This is the classic
+//! multiply-rotate "Fx" scheme (as used by rustc); use it via
+//! [`FxHashMap`] only for short-lived internal structures, never for maps
+//! holding untrusted external keys long-term.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc "Fx" hasher: one multiply and one rotate per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn distributes_and_is_deterministic() {
+        let mut m: FxHashMap<Value, i64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(Value::Int(i), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&Value::Int(i)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+        let mut s: FxHashSet<Value> = FxHashSet::default();
+        s.insert(Value::str("a"));
+        assert!(s.contains(&Value::str("a")));
+    }
+
+    #[test]
+    fn int_float_key_equivalence_survives() {
+        // Value hashes 1 and 1.0 identically; the hasher must preserve that
+        let mut m: FxHashMap<Value, &str> = FxHashMap::default();
+        m.insert(Value::Int(1), "one");
+        assert_eq!(m.get(&Value::Float(1.0)), Some(&"one"));
+    }
+}

@@ -18,6 +18,20 @@
 //! with the old one, making snapshots (and therefore snapshot-isolation
 //! transactions) O(1).
 //!
+//! ## Building relations in bulk
+//!
+//! [`RelationF::insert`] is the right tool for OLTP-style point writes; it
+//! is the wrong tool for assembling an operator's whole output, where it
+//! costs O(log n) time and `Arc` allocation per tuple. Operators use
+//! [`RelationBuilder`] instead: push `(key, tuple)` pairs (already-sorted
+//! input is detected and skips the sort entirely — the common case, since
+//! operators iterate their input in key order), then `build()` bulk-loads
+//! a balanced tree in O(n) via `fdm-storage`'s `from_sorted_vec`.
+//! [`RelationF::from_sorted`] is the direct constructor for callers that
+//! already hold a sorted run, and [`TupleF::from_parts`] builds a tuple
+//! from pre-interned attribute names without re-allocating them — the
+//! hot-path combination the FQL join uses.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -51,6 +65,7 @@ pub mod database;
 pub mod domain;
 pub mod error;
 pub mod function;
+pub mod fxhash;
 pub mod relation;
 pub mod relationship;
 pub mod tuple;
@@ -62,7 +77,8 @@ pub use database::DatabaseF;
 pub use domain::{Domain, SharedDomain};
 pub use error::{FdmError, Name, Result};
 pub use function::{apply1, FnValue, Function, FunctionHandle, LambdaF};
-pub use relation::RelationF;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use relation::{RelationBuilder, RelationF};
 pub use relationship::{Participant, RelationshipF};
 pub use tuple::{TupleBuilder, TupleF};
 pub use types::ValueType;

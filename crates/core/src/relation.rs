@@ -40,10 +40,7 @@ enum Body {
     /// Non-unique mapping key → tuples (a duplicate-admitting index).
     Multi(PMap<Value, TupleGroup>),
     /// Fully computed: λ over `domain`.
-    Computed {
-        domain: Domain,
-        f: ComputedRel,
-    },
+    Computed { domain: Domain, f: ComputedRel },
     /// Stored tuples with a computed fallback over `domain` (paper's R4).
     Hybrid {
         map: PMap<Value, Arc<TupleF>>,
@@ -109,7 +106,10 @@ impl RelationF {
             key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
-            body: Body::Computed { domain, f: Arc::new(f) },
+            body: Body::Computed {
+                domain,
+                f: Arc::new(f),
+            },
         }
     }
 
@@ -137,7 +137,11 @@ impl RelationF {
             key_attrs: self.key_attrs.clone(),
             constraints: self.constraints.clone(),
             unique_indexes: self.unique_indexes.clone(),
-            body: Body::Hybrid { map, domain, fallback: Arc::new(fallback) },
+            body: Body::Hybrid {
+                map,
+                domain,
+                fallback: Arc::new(fallback),
+            },
         })
     }
 
@@ -257,7 +261,11 @@ impl RelationF {
                     None
                 }
             }
-            Body::Hybrid { map, domain, fallback } => match map.get(key) {
+            Body::Hybrid {
+                map,
+                domain,
+                fallback,
+            } => match map.get(key) {
                 Some(t) => Some(t.clone()),
                 None if domain.contains(key) => to_tuple(fallback(key).ok()?),
                 None => None,
@@ -294,9 +302,7 @@ impl RelationF {
                     .flat_map(|(k, g)| g.iter().map(move |t| (k.clone(), t.clone()))),
             ),
             Body::Computed { .. } => Box::new(std::iter::empty()),
-            Body::Hybrid { map, .. } => {
-                Box::new(map.iter().map(|(k, t)| (k.clone(), t.clone())))
-            }
+            Body::Hybrid { map, .. } => Box::new(map.iter().map(|(k, t)| (k.clone(), t.clone()))),
         }
     }
 
@@ -318,7 +324,11 @@ impl RelationF {
                 }
                 Ok(out)
             }
-            Body::Hybrid { map, domain, fallback } => {
+            Body::Hybrid {
+                map,
+                domain,
+                fallback,
+            } => {
                 let keys = domain.enumerate().map_err(|_| FdmError::NotEnumerable {
                     what: format!("relation function '{}' (computed part)", self.name),
                 })?;
@@ -437,7 +447,11 @@ impl RelationF {
                 "cannot insert into fully computed relation function '{}'",
                 self.name
             ))),
-            Body::Hybrid { map, domain, fallback } => {
+            Body::Hybrid {
+                map,
+                domain,
+                fallback,
+            } => {
                 if map.contains_key(&key) {
                     return Err(FdmError::DuplicateKey {
                         relation: self.name.to_string(),
@@ -559,7 +573,11 @@ impl RelationF {
                 "cannot delete from fully computed relation function '{}'",
                 self.name
             ))),
-            Body::Hybrid { map, domain, fallback } => {
+            Body::Hybrid {
+                map,
+                domain,
+                fallback,
+            } => {
                 let (map, old) = map.remove(key);
                 let old = old.ok_or_else(|| FdmError::Undefined {
                     function: self.name.to_string(),
@@ -600,43 +618,206 @@ impl RelationF {
     /// relation function over the same tuples.
     ///
     /// The result is a multi body (duplicates allowed). If the attribute is
-    /// actually unique, every group has one member.
+    /// actually unique, every group has one member. The index is built in
+    /// one sort + one O(n) bulk construction (not n persistent inserts);
+    /// within a group, tuples keep the base relation's key order (the sort
+    /// is stable).
     pub fn index_by(&self, attr: &str) -> Result<RelationF> {
-        let mut map: PMap<Value, TupleGroup> = PMap::new();
+        let mut keyed: Vec<(Value, Arc<TupleF>)> = Vec::new();
         for (_, tuple) in self.tuples()? {
-            let k = tuple.get(attr)?;
-            let group = map.get(&k).cloned().unwrap_or_else(|| Arc::from([]));
-            let mut g: Vec<Arc<TupleF>> = group.to_vec();
-            g.push(tuple);
-            map = map.insert(k, g.into()).0;
+            keyed.push((tuple.get(attr)?, tuple));
         }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(RelationF {
             name: Arc::from(format!("{}_by_{attr}", self.name)),
             key_attrs: Arc::from([Name::from(attr)]),
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
-            body: Body::Multi(map),
+            body: Body::Multi(bulk_group_sorted(keyed)),
         })
     }
 
     /// Creates a multi-body relation directly from groups (used by FQL's
-    /// `group` operator).
+    /// `group` operator). Already-sorted group keys (e.g. from a
+    /// `BTreeMap`) take the O(n) bulk path; unsorted input is sorted first
+    /// and later duplicates win, matching the old insert-loop semantics.
     pub fn from_groups(
         name: impl AsRef<str>,
         key_attrs: &[&str],
         groups: impl IntoIterator<Item = (Value, Vec<Arc<TupleF>>)>,
     ) -> RelationF {
-        let mut map: PMap<Value, TupleGroup> = PMap::new();
-        for (k, g) in groups {
-            map = map.insert(k, g.into()).0;
+        let mut entries: Vec<(Value, TupleGroup)> =
+            groups.into_iter().map(|(k, g)| (k, g.into())).collect();
+        let sorted = entries.windows(2).all(|w| w[0].0 < w[1].0);
+        if !sorted {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            // stable sort → the last entry of a duplicate run wins
+            entries.reverse();
+            entries.dedup_by(|a, b| a.0 == b.0);
+            entries.reverse();
         }
         RelationF {
             name: Arc::from(name.as_ref()),
             key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
-            body: Body::Multi(map),
+            body: Body::Multi(PMap::from_sorted_vec(entries)),
         }
+    }
+
+    /// Creates a stored (unique) relation function in **O(n)** from entries
+    /// sorted by strictly ascending key — the bulk-construction fast path
+    /// every FQL operator builds its output through (via
+    /// [`RelationBuilder`]). The ordering contract is checked with a
+    /// `debug_assert` only.
+    pub fn from_sorted(
+        name: impl AsRef<str>,
+        key_attrs: &[&str],
+        entries: Vec<(Value, Arc<TupleF>)>,
+    ) -> RelationF {
+        RelationF {
+            name: Arc::from(name.as_ref()),
+            key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Unique(PMap::from_sorted_vec(entries)),
+        }
+    }
+
+    /// Starts a [`RelationBuilder`] with this relation's name and key
+    /// attributes — the usual way operators derive an output relation from
+    /// their input.
+    pub fn builder_like(&self) -> RelationBuilder {
+        RelationBuilder {
+            name: self.name.clone(),
+            key_attrs: self.key_attrs.clone(),
+            entries: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
+/// Groups `(key, tuple)` pairs sorted by key into a multi body in O(n).
+fn bulk_group_sorted(keyed: Vec<(Value, Arc<TupleF>)>) -> PMap<Value, TupleGroup> {
+    let mut groups: Vec<(Value, TupleGroup)> = Vec::new();
+    let mut keyed = keyed.into_iter().peekable();
+    while let Some((key, first)) = keyed.next() {
+        let mut g = vec![first];
+        while keyed.peek().is_some_and(|(k, _)| *k == key) {
+            g.push(keyed.next().expect("peeked").1);
+        }
+        groups.push((key, g.into()));
+    }
+    PMap::from_sorted_vec(groups)
+}
+
+/// Accumulates `(key, tuple)` pairs and bulk-builds a stored relation
+/// function.
+///
+/// This replaces the `out = out.insert(...)?` loop idiom: each persistent
+/// insert costs O(log n) time *and* O(log n) `Arc` allocations (the whole
+/// root-to-leaf path is rebuilt), so building an n-tuple result that way is
+/// O(n log n) with heavy allocator traffic. The builder appends to a plain
+/// `Vec`, detects already-sorted input (the common case — operators iterate
+/// their input in key order), sorts once otherwise, and hands the run to
+/// [`PMap::from_sorted_vec`] for an O(n) balanced build.
+///
+/// Duplicate keys fail [`RelationBuilder::build`] with
+/// [`FdmError::DuplicateKey`], exactly like the insert loop they replace.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::{RelationBuilder, TupleF, Value};
+///
+/// let mut b = RelationBuilder::new("evens", &["n"]);
+/// for n in [0i64, 2, 4] {
+///     b.push(Value::Int(n), TupleF::builder("t").attr("n", n).build());
+/// }
+/// let rel = b.build().unwrap();
+/// assert_eq!(rel.len(), 3);
+/// assert!(rel.lookup(&Value::Int(2)).is_some());
+/// ```
+#[derive(Clone)]
+pub struct RelationBuilder {
+    name: Name,
+    key_attrs: Arc<[Name]>,
+    entries: Vec<(Value, Arc<TupleF>)>,
+    /// `true` while pushed keys have been strictly ascending.
+    sorted: bool,
+}
+
+impl RelationBuilder {
+    /// Starts an empty builder for a relation named `name` with the given
+    /// key attributes.
+    pub fn new(name: impl AsRef<str>, key_attrs: &[&str]) -> RelationBuilder {
+        RelationBuilder {
+            name: Arc::from(name.as_ref()),
+            key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
+            entries: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Pre-allocates room for `n` entries.
+    pub fn with_capacity(mut self, n: usize) -> RelationBuilder {
+        self.entries.reserve(n);
+        self
+    }
+
+    /// Appends a tuple under `key`.
+    pub fn push(&mut self, key: Value, tuple: TupleF) {
+        self.push_arc(key, Arc::new(tuple));
+    }
+
+    /// [`Self::push`] taking an already-shared tuple.
+    pub fn push_arc(&mut self, key: Value, tuple: Arc<TupleF>) {
+        if self.sorted {
+            if let Some((last, _)) = self.entries.last() {
+                if *last >= key {
+                    self.sorted = false;
+                }
+            }
+        }
+        self.entries.push((key, tuple));
+    }
+
+    /// Number of entries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bulk-builds the relation: sorts if the input arrived out of order
+    /// (stable, so equal keys keep push order before the duplicate check),
+    /// rejects duplicate keys, and assembles the tree in O(n).
+    pub fn build(self) -> Result<RelationF> {
+        let RelationBuilder {
+            name,
+            key_attrs,
+            mut entries,
+            sorted,
+        } = self;
+        if !sorted {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            if let Some(w) = entries.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(FdmError::DuplicateKey {
+                    relation: name.to_string(),
+                    key: w[0].0.to_string(),
+                });
+            }
+        }
+        Ok(RelationF {
+            name,
+            key_attrs,
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Unique(PMap::from_sorted_vec(entries)),
+        })
     }
 }
 
@@ -690,11 +871,11 @@ impl Function for RelationF {
         let key = &args[0];
         match &self.body {
             Body::Multi(m) => match m.get(key) {
-                Some(group) => Ok(Value::list(
-                    group
-                        .iter()
-                        .map(|t| Value::Fn(crate::function::FnValue::Tuple(t.clone()))),
-                )),
+                Some(group) => {
+                    Ok(Value::list(group.iter().map(|t| {
+                        Value::Fn(crate::function::FnValue::Tuple(t.clone()))
+                    })))
+                }
                 None => Err(FdmError::Undefined {
                     function: self.name.to_string(),
                     input: key.to_string(),
@@ -709,7 +890,11 @@ impl Function for RelationF {
                 }
                 f(key)
             }
-            Body::Hybrid { map, domain, fallback } => match map.get(key) {
+            Body::Hybrid {
+                map,
+                domain,
+                fallback,
+            } => match map.get(key) {
                 Some(t) => Ok(Value::Fn(crate::function::FnValue::Tuple(t.clone()))),
                 None if domain.contains(key) => fallback(key),
                 None => Err(FdmError::Undefined {
@@ -757,15 +942,24 @@ mod tests {
     use crate::types::ValueType;
 
     fn alice() -> TupleF {
-        TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build()
+        TupleF::builder("t1")
+            .attr("name", "Alice")
+            .attr("foo", 12)
+            .build()
     }
 
     fn bob() -> TupleF {
-        TupleF::builder("t3").attr("name", "Bob").attr("foo", 25).build()
+        TupleF::builder("t3")
+            .attr("name", "Bob")
+            .attr("foo", 25)
+            .build()
     }
 
     fn thomas() -> TupleF {
-        TupleF::builder("t4").attr("name", "Thomas").attr("foo", 25).build()
+        TupleF::builder("t4")
+            .attr("name", "Thomas")
+            .attr("foo", 25)
+            .build()
     }
 
     fn r1() -> RelationF {
@@ -820,7 +1014,9 @@ mod tests {
         let (r, k) = r1().insert_auto(thomas()).unwrap();
         assert_eq!(k, Value::Int(4), "max key 3 + 1");
         assert_eq!(r.len(), 3);
-        let (r0, k0) = RelationF::new("empty", &["id"]).insert_auto(alice()).unwrap();
+        let (r0, k0) = RelationF::new("empty", &["id"])
+            .insert_auto(alice())
+            .unwrap();
         assert_eq!(k0, Value::Int(1));
         assert_eq!(r0.len(), 1);
     }
@@ -890,35 +1086,40 @@ mod tests {
 
     #[test]
     fn computed_relation_with_enumerable_domain_enumerates() {
-        let r = RelationF::computed(
-            "squares",
-            &["n"],
-            Domain::IntRange(1, 5),
-            |key| {
-                let n = key.as_int("squares")?;
-                Ok(Value::Fn(crate::function::FnValue::from(
-                    TupleF::builder("sq").attr("n", n).attr("square", n * n).build(),
-                )))
-            },
-        );
+        let r = RelationF::computed("squares", &["n"], Domain::IntRange(1, 5), |key| {
+            let n = key.as_int("squares")?;
+            Ok(Value::Fn(crate::function::FnValue::from(
+                TupleF::builder("sq")
+                    .attr("n", n)
+                    .attr("square", n * n)
+                    .build(),
+            )))
+        });
         let all = r.tuples().unwrap();
         assert_eq!(all.len(), 5);
         assert_eq!(all[4].1.get("square").unwrap(), Value::Int(25));
         assert!(r.lookup(&Value::Int(7)).is_none(), "outside domain");
-        assert!(r.insert(Value::Int(9), alice()).is_err(), "computed is read-only");
+        assert!(
+            r.insert(Value::Int(9), alice()).is_err(),
+            "computed is read-only"
+        );
     }
 
     #[test]
     fn unique_constraint_enforced_via_index() {
-        let r = r1()
-            .with_constraint(Constraint::unique(&["name"]))
-            .unwrap();
-        let dup = TupleF::builder("dup").attr("name", "Alice").attr("foo", 1).build();
+        let r = r1().with_constraint(Constraint::unique(&["name"])).unwrap();
+        let dup = TupleF::builder("dup")
+            .attr("name", "Alice")
+            .attr("foo", 1)
+            .build();
         let err = r.insert(Value::Int(9), dup).unwrap_err();
         assert!(matches!(err, FdmError::ConstraintViolation { .. }));
         // deleting frees the value again
         let r = r.delete(&Value::Int(1)).unwrap();
-        let ok = TupleF::builder("ok").attr("name", "Alice").attr("foo", 1).build();
+        let ok = TupleF::builder("ok")
+            .attr("name", "Alice")
+            .attr("foo", 1)
+            .build();
         assert!(r.insert(Value::Int(9), ok).is_ok());
     }
 
@@ -946,10 +1147,43 @@ mod tests {
     fn upsert_on_unique_updates_indexes() {
         let r = r1().with_constraint(Constraint::unique(&["name"])).unwrap();
         // rename Alice -> Zoe, then a new Alice must be allowed
-        let zoe = TupleF::builder("z").attr("name", "Zoe").attr("foo", 1).build();
+        let zoe = TupleF::builder("z")
+            .attr("name", "Zoe")
+            .attr("foo", 1)
+            .build();
         let r = r.upsert(Value::Int(1), zoe).unwrap();
-        let alice2 = TupleF::builder("a").attr("name", "Alice").attr("foo", 2).build();
+        let alice2 = TupleF::builder("a")
+            .attr("name", "Alice")
+            .attr("foo", 2)
+            .build();
         assert!(r.insert(Value::Int(7), alice2).is_ok());
+    }
+
+    #[test]
+    fn from_sorted_equals_insert_loop() {
+        let entries: Vec<(Value, Arc<TupleF>)> = (0..100)
+            .map(|i| {
+                (
+                    Value::Int(i),
+                    Arc::new(TupleF::builder("t").attr("x", i * 2).build()),
+                )
+            })
+            .collect();
+        let bulk = RelationF::from_sorted("nums", &["n"], entries.clone());
+        let mut reference = RelationF::new("nums", &["n"]);
+        for (k, t) in entries {
+            reference = reference.insert_arc(k, t).unwrap();
+        }
+        assert_eq!(bulk.len(), reference.len());
+        for (k, t) in bulk.iter_stored() {
+            assert!(t.eq_data(&reference.lookup(&k).unwrap()));
+        }
+        // bulk-built relations are first-class: point ops still work
+        let bulk2 = bulk.delete(&Value::Int(50)).unwrap();
+        assert_eq!(bulk2.len(), 99);
+        assert!(bulk
+            .insert(Value::Int(100), TupleF::builder("t").attr("x", 0).build())
+            .is_ok());
     }
 
     #[test]

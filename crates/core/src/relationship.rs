@@ -123,7 +123,12 @@ impl RelationshipF {
         for (p, v) in self.participants.iter().zip(args) {
             if !p.domain.contains(v) {
                 return Err(FdmError::ConstraintViolation {
-                    constraint: format!("{}.{} ∈ shared domain '{}'", self.name, p.key, p.domain.name()),
+                    constraint: format!(
+                        "{}.{} ∈ shared domain '{}'",
+                        self.name,
+                        p.key,
+                        p.domain.name()
+                    ),
                     detail: format!("value {v} outside domain"),
                 });
             }
@@ -196,6 +201,20 @@ impl RelationshipF {
         })
     }
 
+    /// Non-materializing variant of [`Self::iter`]: yields each entry's
+    /// argument slice and attribute tuple **by reference**, with no
+    /// per-entry allocation or clone. This is the bulk-operator fast path
+    /// (FQL's join walks every entry of a relationship exactly once).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&[Value], &Arc<TupleF>)> + '_ {
+        self.map.iter().map(|(k, t)| {
+            let args: &[Value] = match k {
+                Value::List(items) => items,
+                other => std::slice::from_ref(other),
+            };
+            (args, t)
+        })
+    }
+
     /// All distinct values appearing in parameter position `i` — the image
     /// of the relationship on that participant (used by FQL's semi-join
     /// reduction).
@@ -216,7 +235,9 @@ impl RelationshipF {
 
     /// Finds the parameter position of a participant by its key name.
     pub fn position_of(&self, key_name: &str) -> Option<usize> {
-        self.participants.iter().position(|p| p.key.as_ref() == key_name)
+        self.participants
+            .iter()
+            .position(|p| p.key.as_ref() == key_name)
     }
 
     /// Converts the relationship into a plain relation function whose
@@ -337,9 +358,7 @@ mod tests {
         );
         // cid=9 is not in the shared domain — the FK constraint, enforced
         // as a side effect of domain sharing.
-        let err = o
-            .insert_link(&[Value::Int(9), Value::Int(7)])
-            .unwrap_err();
+        let err = o.insert_link(&[Value::Int(9), Value::Int(7)]).unwrap_err();
         assert!(matches!(err, FdmError::ConstraintViolation { .. }));
         assert!(o.insert_link(&[Value::Int(2), Value::Int(7)]).is_ok());
     }
@@ -354,16 +373,23 @@ mod tests {
 
     #[test]
     fn duplicate_relationship_entry_rejected() {
-        let o = order().insert_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        let o = order()
+            .insert_link(&[Value::Int(1), Value::Int(7)])
+            .unwrap();
         let err = o.insert_link(&[Value::Int(1), Value::Int(7)]).unwrap_err();
         assert!(matches!(err, FdmError::DuplicateKey { .. }));
     }
 
     #[test]
     fn remove_and_persistence() {
-        let o = order().insert_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        let o = order()
+            .insert_link(&[Value::Int(1), Value::Int(7)])
+            .unwrap();
         let o2 = o.remove(&[Value::Int(1), Value::Int(7)]).unwrap();
-        assert!(o.relates(&[Value::Int(1), Value::Int(7)]), "snapshot intact");
+        assert!(
+            o.relates(&[Value::Int(1), Value::Int(7)]),
+            "snapshot intact"
+        );
         assert!(!o2.relates(&[Value::Int(1), Value::Int(7)]));
         assert!(o2.remove(&[Value::Int(1), Value::Int(7)]).is_err());
     }
@@ -401,7 +427,9 @@ mod tests {
 
     #[test]
     fn function_interface_k_ary() {
-        let o = order().insert_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        let o = order()
+            .insert_link(&[Value::Int(1), Value::Int(7)])
+            .unwrap();
         assert_eq!(o.arity(), 2);
         let v = o.apply(&[Value::Int(1), Value::Int(7)]).unwrap();
         assert!(matches!(v, Value::Fn(_)));

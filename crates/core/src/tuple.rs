@@ -70,6 +70,21 @@ impl TupleF {
         }
     }
 
+    /// Builds a stored-only tuple directly from already-interned
+    /// `(name, value)` pairs — the bulk-construction companion used by join
+    /// and projection hot paths, where re-allocating every attribute name
+    /// through [`TupleBuilder::attr`] would dominate.
+    pub fn from_parts(name: impl AsRef<str>, parts: Vec<(Name, Value)>) -> TupleF {
+        TupleF {
+            name: Arc::from(name.as_ref()),
+            attrs: parts
+                .into_iter()
+                .map(|(n, v)| (n, AttrDef::Stored(v)))
+                .collect::<Vec<_>>()
+                .into(),
+        }
+    }
+
     /// The tuple function's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -110,7 +125,9 @@ impl TupleF {
                 };
             }
         }
-        Err(FdmError::NoSuchAttribute { attr: attr.to_string() })
+        Err(FdmError::NoSuchAttribute {
+            attr: attr.to_string(),
+        })
     }
 
     /// Like [`Self::get`] but returns `None` instead of an error for a
@@ -130,7 +147,10 @@ impl TupleF {
             Some((_, slot)) => *slot = def,
             None => attrs.push((Arc::from(attr), def)),
         }
-        TupleF { name: self.name.clone(), attrs: attrs.into() }
+        TupleF {
+            name: self.name.clone(),
+            attrs: attrs.into(),
+        }
     }
 
     /// Builds a new tuple without `attr`.
@@ -141,7 +161,10 @@ impl TupleF {
             .filter(|(n, _)| n.as_ref() != attr)
             .cloned()
             .collect();
-        TupleF { name: self.name.clone(), attrs: attrs.into() }
+        TupleF {
+            name: self.name.clone(),
+            attrs: attrs.into(),
+        }
     }
 
     /// Builds a new tuple with only the named attributes, in the given
@@ -153,10 +176,15 @@ impl TupleF {
                 .attrs
                 .iter()
                 .find(|(n, _)| n.as_ref() == *want)
-                .ok_or_else(|| FdmError::NoSuchAttribute { attr: (*want).to_string() })?;
+                .ok_or_else(|| FdmError::NoSuchAttribute {
+                    attr: (*want).to_string(),
+                })?;
             out.push(found.clone());
         }
-        Ok(TupleF { name: self.name.clone(), attrs: out.into() })
+        Ok(TupleF {
+            name: self.name.clone(),
+            attrs: out.into(),
+        })
     }
 
     /// Evaluates every attribute and returns `(name, value)` pairs in
@@ -188,9 +216,9 @@ impl TupleF {
     pub fn data_key(&self) -> Result<Value> {
         let mut pairs = self.materialize()?;
         pairs.sort_by(|x, y| x.0.cmp(&y.0));
-        Ok(Value::list(pairs.into_iter().flat_map(|(n, v)| {
-            [Value::Str(n), v]
-        })))
+        Ok(Value::list(
+            pairs.into_iter().flat_map(|(n, v)| [Value::Str(n), v]),
+        ))
     }
 }
 
@@ -250,6 +278,13 @@ impl TupleBuilder {
         self
     }
 
+    /// Adds a stored attribute under an already-interned name (no name
+    /// re-allocation; see [`TupleF::from_parts`]).
+    pub fn attr_name(mut self, name: Name, value: Value) -> Self {
+        self.attrs.push((name, AttrDef::Stored(value)));
+        self
+    }
+
     /// Adds a computed attribute: a closure over the finished tuple.
     pub fn computed(
         mut self,
@@ -262,7 +297,11 @@ impl TupleBuilder {
     }
 
     /// Adds a nested function-valued attribute (paper §2.6: `t5('foo') = R`).
-    pub fn function(mut self, name: impl AsRef<str>, f: impl Into<crate::function::FnValue>) -> Self {
+    pub fn function(
+        mut self,
+        name: impl AsRef<str>,
+        f: impl Into<crate::function::FnValue>,
+    ) -> Self {
         self.attrs.push((
             Arc::from(name.as_ref()),
             AttrDef::Stored(Value::Fn(f.into())),
@@ -272,7 +311,10 @@ impl TupleBuilder {
 
     /// Finishes the tuple function.
     pub fn build(self) -> TupleF {
-        TupleF { name: self.name, attrs: self.attrs.into() }
+        TupleF {
+            name: self.name,
+            attrs: self.attrs.into(),
+        }
     }
 }
 
@@ -282,7 +324,10 @@ mod tests {
     use crate::function::{apply1, FnValue};
 
     fn t1() -> TupleF {
-        TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build()
+        TupleF::builder("t1")
+            .attr("name", "Alice")
+            .attr("foo", 12)
+            .build()
     }
 
     #[test]
@@ -309,7 +354,10 @@ mod tests {
         // through the uniform Function interface there is no difference:
         assert_eq!(
             apply1(&t, &Value::str("bar")).unwrap(),
-            apply1(&t, &Value::str("foo")).unwrap().mul(&Value::Int(42)).unwrap()
+            apply1(&t, &Value::str("foo"))
+                .unwrap()
+                .mul(&Value::Int(42))
+                .unwrap()
         );
     }
 
@@ -387,7 +435,10 @@ mod tests {
             .computed("boom", |_| Err(FdmError::Other("kaput".into())))
             .build();
         assert!(t.get("boom").is_err());
-        assert!(!t.eq_data(&t.clone()), "failing tuples are never data-equal");
+        assert!(
+            !t.eq_data(&t.clone()),
+            "failing tuples are never data-equal"
+        );
     }
 
     #[test]

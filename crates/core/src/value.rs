@@ -193,9 +193,7 @@ impl Value {
     /// Numeric division; integer division for int/int (errors on zero).
     pub fn div(&self, other: &Value) -> Result<Value> {
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(FdmError::Other("division by zero".to_string()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(FdmError::Other("division by zero".to_string())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(*b))),
             (a, b) if a.value_type().is_numeric() && b.value_type().is_numeric() => {
                 Ok(Value::Float(a.as_float("div")? / b.as_float("div")?))
@@ -279,7 +277,11 @@ impl Hash for Value {
                 i.hash(state);
             }
             Value::Float(x) => {
-                if x.fract() == 0.0 && x.is_finite() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 {
+                if x.fract() == 0.0
+                    && x.is_finite()
+                    && *x >= i64::MIN as f64
+                    && *x <= i64::MAX as f64
+                {
                     2u8.hash(state);
                     (*x as i64).hash(state);
                 } else {
@@ -448,11 +450,8 @@ mod tests {
         let err = Value::str("x").as_int("the test").unwrap_err();
         assert!(err.to_string().contains("the test"));
         assert_eq!(Value::Int(5).as_float("f").unwrap(), 5.0);
-        assert_eq!(Value::Bool(true).as_bool("b").unwrap(), true);
-        assert_eq!(
-            Value::list([Value::Int(1)]).as_list("l").unwrap().len(),
-            1
-        );
+        assert!(Value::Bool(true).as_bool("b").unwrap());
+        assert_eq!(Value::list([Value::Int(1)]).as_list("l").unwrap().len(), 1);
     }
 
     #[test]

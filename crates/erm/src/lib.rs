@@ -24,6 +24,8 @@ pub mod schema;
 pub mod to_fdm;
 pub mod to_relational;
 
-pub use schema::{retail_schema, Cardinality, Entity, ErAttr, ErError, ErRelationship, ErSchema, RelEnd};
+pub use schema::{
+    retail_schema, Cardinality, Entity, ErAttr, ErError, ErRelationship, ErSchema, RelEnd,
+};
 pub use to_fdm::compile_to_fdm;
 pub use to_relational::{compile_to_relational, RelationalTarget};

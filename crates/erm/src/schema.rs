@@ -17,7 +17,10 @@ pub struct ErAttr {
 impl ErAttr {
     /// Creates an attribute.
     pub fn new(name: &str, ty: ValueType) -> Self {
-        ErAttr { name: name.to_string(), ty }
+        ErAttr {
+            name: name.to_string(),
+            ty,
+        }
     }
 }
 
@@ -187,7 +190,10 @@ impl ErSchemaBuilder {
             name: name.to_string(),
             ends: ends
                 .iter()
-                .map(|(e, c)| RelEnd { entity: e.to_string(), cardinality: *c })
+                .map(|(e, c)| RelEnd {
+                    entity: e.to_string(),
+                    cardinality: *c,
+                })
                 .collect(),
             attrs: attrs.to_vec(),
         });
@@ -258,7 +264,11 @@ mod tests {
 
         let dangling = ErSchema::builder("s")
             .entity("a", ErAttr::new("id", ValueType::Int), &[])
-            .relationship("r", &[("a", Cardinality::One), ("ghost", Cardinality::Many)], &[])
+            .relationship(
+                "r",
+                &[("a", Cardinality::One), ("ghost", Cardinality::Many)],
+                &[],
+            )
             .build();
         assert!(dangling.unwrap_err().to_string().contains("ghost"));
 
@@ -283,7 +293,11 @@ mod tests {
         let s = ErSchema::builder("s")
             .entity("a", ErAttr::new("id", ValueType::Int), &[])
             .entity("b", ErAttr::new("id", ValueType::Int), &[])
-            .relationship("a", &[("a", Cardinality::One), ("b", Cardinality::One)], &[])
+            .relationship(
+                "a",
+                &[("a", Cardinality::One), ("b", Cardinality::One)],
+                &[],
+            )
             .build();
         assert!(s.is_err());
     }

@@ -8,7 +8,7 @@
 //!   enforcement falls out of domain sharing (paper §3), no separate FK
 //!   machinery exists.
 
-use crate::schema::{ErSchema, Entity};
+use crate::schema::{Entity, ErSchema};
 use fdm_core::{
     Constraint, DatabaseF, Domain, Participant, RelationF, RelationshipF, SharedDomain,
 };
@@ -97,7 +97,10 @@ mod tests {
         let customers = db.relation("customers").unwrap();
         let bad = TupleF::builder("c").attr("age", "not a number").build();
         assert!(customers.insert(Value::Int(1), bad).is_err());
-        let good = TupleF::builder("c").attr("name", "Alice").attr("age", 43).build();
+        let good = TupleF::builder("c")
+            .attr("name", "Alice")
+            .attr("age", 43)
+            .build();
         assert!(customers.insert(Value::Int(1), good).is_ok());
     }
 

@@ -40,7 +40,10 @@ pub fn compile_to_relational(schema: &ErSchema) -> RelationalTarget {
 
     for r in &schema.relationships {
         let binary_no_attrs = r.ends.len() == 2 && r.attrs.is_empty();
-        let one_side = r.ends.iter().position(|e| e.cardinality == Cardinality::One);
+        let one_side = r
+            .ends
+            .iter()
+            .position(|e| e.cardinality == Cardinality::One);
         match (binary_no_attrs, one_side) {
             (true, Some(one_idx)) => {
                 // 1:N (or 1:1): FK on the other (many/first) side
@@ -84,7 +87,10 @@ pub fn compile_to_relational(schema: &ErSchema) -> RelationalTarget {
     }
     tables.extend(junctions);
 
-    RelationalTarget { tables, foreign_keys: fks }
+    RelationalTarget {
+        tables,
+        foreign_keys: fks,
+    }
 }
 
 #[cfg(test)]
@@ -100,9 +106,12 @@ mod tests {
         let cols: Vec<&str> = order.schema().cols().iter().map(|c| c.as_ref()).collect();
         assert_eq!(cols, vec!["customers_cid", "products_pid", "name", "date"]);
         assert_eq!(t.foreign_keys.len(), 2);
-        assert!(t
-            .foreign_keys
-            .contains(&("order".into(), "customers_cid".into(), "customers".into(), "cid".into())));
+        assert!(t.foreign_keys.contains(&(
+            "order".into(),
+            "customers_cid".into(),
+            "customers".into(),
+            "cid".into()
+        )));
     }
 
     #[test]

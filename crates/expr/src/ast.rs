@@ -125,7 +125,11 @@ impl Expr {
 
     /// Convenience: binary node.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Arc::new(lhs), rhs: Arc::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Arc::new(lhs),
+            rhs: Arc::new(rhs),
+        }
     }
 
     /// All attribute names referenced by the expression (used by the FQL

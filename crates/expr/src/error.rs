@@ -34,19 +34,29 @@ pub enum ExprError {
 
 impl ExprError {
     pub(crate) fn lex(offset: usize, message: impl Into<String>) -> Self {
-        ExprError::Lex { offset, message: message.into() }
+        ExprError::Lex {
+            offset,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
-        ExprError::Parse { offset, message: message.into() }
+        ExprError::Parse {
+            offset,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn bind(message: impl Into<String>) -> Self {
-        ExprError::Bind { message: message.into() }
+        ExprError::Bind {
+            message: message.into(),
+        }
     }
 
     pub(crate) fn eval(message: impl Into<String>) -> Self {
-        ExprError::Eval { message: message.into() }
+        ExprError::Eval {
+            message: message.into(),
+        }
     }
 }
 

@@ -18,9 +18,7 @@ pub fn eval(expr: &Expr, t: &TupleF) -> Result<Value, ExprError> {
 /// (paper contribution 8: user/library functions in queries).
 pub fn eval_with(expr: &Expr, t: &TupleF, registry: &Registry) -> Result<Value, ExprError> {
     match expr {
-        Expr::Attr(a) => t
-            .get(a)
-            .map_err(|e| ExprError::eval(e.to_string())),
+        Expr::Attr(a) => t.get(a).map_err(|e| ExprError::eval(e.to_string())),
         Expr::Lit(v) => Ok(v.clone()),
         Expr::Param(p) => Err(ExprError::eval(format!(
             "unbound parameter '${p}' at evaluation time (bind it with Params first)"
@@ -68,10 +66,26 @@ pub fn eval_with(expr: &Expr, t: &TupleF, registry: &Registry) -> Result<Value, 
                     .map_err(|e| ExprError::eval(e.to_string()))?;
                 Ok(Value::Bool(r))
             }
-            BinOp::Add => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::add),
-            BinOp::Sub => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::sub),
-            BinOp::Mul => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::mul),
-            BinOp::Div => arith(eval_with(lhs, t, registry)?, eval_with(rhs, t, registry)?, Value::div),
+            BinOp::Add => arith(
+                eval_with(lhs, t, registry)?,
+                eval_with(rhs, t, registry)?,
+                Value::add,
+            ),
+            BinOp::Sub => arith(
+                eval_with(lhs, t, registry)?,
+                eval_with(rhs, t, registry)?,
+                Value::sub,
+            ),
+            BinOp::Mul => arith(
+                eval_with(lhs, t, registry)?,
+                eval_with(rhs, t, registry)?,
+                Value::mul,
+            ),
+            BinOp::Div => arith(
+                eval_with(lhs, t, registry)?,
+                eval_with(rhs, t, registry)?,
+                Value::div,
+            ),
             cmp => {
                 let l = eval_with(lhs, t, registry)?;
                 let r = eval_with(rhs, t, registry)?;
@@ -109,18 +123,14 @@ pub fn compare(op: BinOp, l: &Value, r: &Value) -> Result<bool, ExprError> {
             // an error — but comparing a function to a scalar is almost
             // certainly a bug, so reject it.
             if (lt == ValueType::Function) != (rt == ValueType::Function) {
-                return Err(ExprError::eval(format!(
-                    "cannot compare {lt} with {rt}"
-                )));
+                return Err(ExprError::eval(format!("cannot compare {lt} with {rt}")));
             }
             let eq = l == r;
             Ok(if op == BinOp::Eq { eq } else { !eq })
         }
         _ => {
             if !lt.comparable_with(rt) {
-                return Err(ExprError::eval(format!(
-                    "cannot order {lt} against {rt}"
-                )));
+                return Err(ExprError::eval(format!("cannot order {lt} against {rt}")));
             }
             let ord = l.cmp(r);
             Ok(match op {
@@ -186,7 +196,7 @@ mod tests {
         check("age * 2 > 85", true);
         check("age + 1 == 44", true);
         check("age - 3 == 40", true);
-        check("age / 2 == 21", true, );
+        check("age / 2 == 21", true);
         check("-age < 0", true);
         check("score * 2.0 == 3.0", true);
     }
@@ -210,7 +220,11 @@ mod tests {
     #[test]
     fn bound_parameters_evaluate() {
         let e = parse("age > $min and age < $max").unwrap();
-        let bound = Params::new().set("min", 40).set("max", 50).bind(&e).unwrap();
+        let bound = Params::new()
+            .set("min", 40)
+            .set("max", 50)
+            .bind(&e)
+            .unwrap();
         assert!(eval_predicate(&bound, &alice()).unwrap());
     }
 

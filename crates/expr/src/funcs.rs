@@ -87,10 +87,18 @@ impl Registry {
             ))),
         });
         r.register("min2", 2, |args| {
-            Ok(if args[0] <= args[1] { args[0].clone() } else { args[1].clone() })
+            Ok(if args[0] <= args[1] {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
         });
         r.register("max2", 2, |args| {
-            Ok(if args[0] >= args[1] { args[0].clone() } else { args[1].clone() })
+            Ok(if args[0] >= args[1] {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
         });
         r.register("round", 1, |args| match &args[0] {
             Value::Float(x) => Ok(Value::Int(x.round() as i64)),
@@ -158,28 +166,47 @@ mod tests {
     #[test]
     fn builtins_work() {
         let r = Registry::with_builtins();
-        assert_eq!(r.call("upper", &[Value::str("ab")]).unwrap(), Value::str("AB"));
-        assert_eq!(r.call("lower", &[Value::str("AB")]).unwrap(), Value::str("ab"));
-        assert_eq!(r.call("len", &[Value::str("héllo")]).unwrap(), Value::Int(5));
-        assert_eq!(r.call("trim", &[Value::str("  x ")]).unwrap(), Value::str("x"));
         assert_eq!(
-            r.call("contains", &[Value::str("hello"), Value::str("ell")]).unwrap(),
+            r.call("upper", &[Value::str("ab")]).unwrap(),
+            Value::str("AB")
+        );
+        assert_eq!(
+            r.call("lower", &[Value::str("AB")]).unwrap(),
+            Value::str("ab")
+        );
+        assert_eq!(
+            r.call("len", &[Value::str("héllo")]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            r.call("trim", &[Value::str("  x ")]).unwrap(),
+            Value::str("x")
+        );
+        assert_eq!(
+            r.call("contains", &[Value::str("hello"), Value::str("ell")])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            r.call("starts_with", &[Value::str("hello"), Value::str("he")]).unwrap(),
+            r.call("starts_with", &[Value::str("hello"), Value::str("he")])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            r.call("ends_with", &[Value::str("hello"), Value::str("lo")]).unwrap(),
+            r.call("ends_with", &[Value::str("hello"), Value::str("lo")])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            r.call("concat", &[Value::str("a"), Value::str("b")]).unwrap(),
+            r.call("concat", &[Value::str("a"), Value::str("b")])
+                .unwrap(),
             Value::str("ab")
         );
         assert_eq!(r.call("abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
-        assert_eq!(r.call("abs", &[Value::Float(-1.5)]).unwrap(), Value::Float(1.5));
+        assert_eq!(
+            r.call("abs", &[Value::Float(-1.5)]).unwrap(),
+            Value::Float(1.5)
+        );
         assert_eq!(
             r.call("min2", &[Value::Int(2), Value::Int(1)]).unwrap(),
             Value::Int(1)
@@ -188,7 +215,10 @@ mod tests {
             r.call("max2", &[Value::Int(2), Value::Int(1)]).unwrap(),
             Value::Int(2)
         );
-        assert_eq!(r.call("round", &[Value::Float(2.6)]).unwrap(), Value::Int(3));
+        assert_eq!(
+            r.call("round", &[Value::Float(2.6)]).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]

@@ -39,17 +39,35 @@ impl fmt::Display for CmpOp {
 }
 
 /// Greater-than.
-pub const GT: CmpOp = CmpOp { op: BinOp::Gt, name: "gt" };
+pub const GT: CmpOp = CmpOp {
+    op: BinOp::Gt,
+    name: "gt",
+};
 /// Greater-or-equal.
-pub const GE: CmpOp = CmpOp { op: BinOp::Ge, name: "ge" };
+pub const GE: CmpOp = CmpOp {
+    op: BinOp::Ge,
+    name: "ge",
+};
 /// Less-than.
-pub const LT: CmpOp = CmpOp { op: BinOp::Lt, name: "lt" };
+pub const LT: CmpOp = CmpOp {
+    op: BinOp::Lt,
+    name: "lt",
+};
 /// Less-or-equal.
-pub const LE: CmpOp = CmpOp { op: BinOp::Le, name: "le" };
+pub const LE: CmpOp = CmpOp {
+    op: BinOp::Le,
+    name: "le",
+};
 /// Equality.
-pub const EQ: CmpOp = CmpOp { op: BinOp::Eq, name: "eq" };
+pub const EQ: CmpOp = CmpOp {
+    op: BinOp::Eq,
+    name: "eq",
+};
 /// Inequality.
-pub const NE: CmpOp = CmpOp { op: BinOp::Ne, name: "ne" };
+pub const NE: CmpOp = CmpOp {
+    op: BinOp::Ne,
+    name: "ne",
+};
 
 /// Looks an operator up by its Django-style suffix (`"gt"` in `age__gt`).
 pub fn by_suffix(suffix: &str) -> Option<CmpOp> {

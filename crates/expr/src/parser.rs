@@ -30,7 +30,11 @@ use std::sync::Arc;
 /// ```
 pub fn parse(src: &str) -> Result<Expr, ExprError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let e = p.parse_expr(0)?;
     if let Some(t) = p.peek() {
         return Err(ExprError::parse(
@@ -86,7 +90,9 @@ impl Parser {
     fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, ExprError> {
         let mut lhs = self.parse_unary()?;
         while let Some(t) = self.peek() {
-            let Some(op) = Self::infix_op(&t.kind) else { break };
+            let Some(op) = Self::infix_op(&t.kind) else {
+                break;
+            };
             let prec = op.precedence();
             if prec < min_prec {
                 break;
@@ -127,20 +133,39 @@ impl Parser {
             TokenKind::Param(p) => Ok(Expr::Param(Arc::from(p.as_str()))),
             TokenKind::Ident(s) if s == "true" => Ok(Expr::Lit(Value::Bool(true))),
             TokenKind::Ident(s) if s == "false" => Ok(Expr::Lit(Value::Bool(false))),
-            TokenKind::Ident(s) if s == "and" || s == "or" || s == "not" => Err(
-                ExprError::parse(t.offset, format!("keyword '{s}' cannot start an expression")),
-            ),
+            TokenKind::Ident(s) if s == "and" || s == "or" || s == "not" => Err(ExprError::parse(
+                t.offset,
+                format!("keyword '{s}' cannot start an expression"),
+            )),
             TokenKind::Ident(s) => {
                 // function call if immediately followed by '('
-                if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+                if matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::LParen,
+                        ..
+                    })
+                ) {
                     self.next(); // consume '('
                     let mut args = Vec::new();
-                    if !matches!(self.peek(), Some(Token { kind: TokenKind::RParen, .. })) {
+                    if !matches!(
+                        self.peek(),
+                        Some(Token {
+                            kind: TokenKind::RParen,
+                            ..
+                        })
+                    ) {
                         loop {
                             args.push(Arc::new(self.parse_expr(0)?));
                             match self.next() {
-                                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                                Some(Token { kind: TokenKind::RParen, .. }) => break,
+                                Some(Token {
+                                    kind: TokenKind::Comma,
+                                    ..
+                                }) => continue,
+                                Some(Token {
+                                    kind: TokenKind::RParen,
+                                    ..
+                                }) => break,
                                 Some(t) => {
                                     return Err(ExprError::parse(
                                         t.offset,
@@ -158,19 +183,28 @@ impl Parser {
                     } else {
                         self.next(); // consume ')'
                     }
-                    return Ok(Expr::Call { name: Arc::from(s.as_str()), args });
+                    return Ok(Expr::Call {
+                        name: Arc::from(s.as_str()),
+                        args,
+                    });
                 }
                 Ok(Expr::attr(&s))
             }
             TokenKind::LParen => {
                 let inner = self.parse_expr(0)?;
                 match self.next() {
-                    Some(Token { kind: TokenKind::RParen, .. }) => Ok(inner),
+                    Some(Token {
+                        kind: TokenKind::RParen,
+                        ..
+                    }) => Ok(inner),
                     Some(t) => Err(ExprError::parse(
                         t.offset,
                         format!("expected ')', found '{}'", t.kind),
                     )),
-                    None => Err(ExprError::parse(self.src_len, "expected ')', found end of input")),
+                    None => Err(ExprError::parse(
+                        self.src_len,
+                        "expected ')', found end of input",
+                    )),
                 }
             }
             other => Err(ExprError::parse(

@@ -95,31 +95,52 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
@@ -127,13 +148,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
                 }
-                out.push(Token { kind: TokenKind::Eq, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
             }
             '!' => {
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
-                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                 } else {
                     return Err(ExprError::lex(start, "expected '=' after '!'"));
                 }
@@ -142,29 +169,42 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
-                    out.push(Token { kind: TokenKind::Le, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                 } else if i < bytes.len() && bytes[i] == b'>' {
                     i += 1;
-                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                 }
             }
             '>' => {
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
-                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                 }
             }
             '$' => {
                 i += 1;
                 let name_start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 if i == name_start {
@@ -215,7 +255,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -241,12 +284,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
                             .map_err(|_| ExprError::lex(start, "integer literal out of range"))?,
                     )
                 };
-                out.push(Token { kind, offset: start });
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {
@@ -255,7 +299,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
                 });
             }
             other => {
-                return Err(ExprError::lex(start, format!("unexpected character '{other}'")));
+                return Err(ExprError::lex(
+                    start,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -298,10 +345,7 @@ mod tests {
         assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
         assert_eq!(kinds("3.25"), vec![TokenKind::Float(3.25)]);
         assert_eq!(kinds("'hi'"), vec![TokenKind::Str("hi".into())]);
-        assert_eq!(
-            kinds(r"'it\'s'"),
-            vec![TokenKind::Str("it's".into())]
-        );
+        assert_eq!(kinds(r"'it\'s'"), vec![TokenKind::Str("it's".into())]);
         assert_eq!(kinds(r"'a\nb'"), vec![TokenKind::Str("a\nb".into())]);
     }
 

@@ -6,7 +6,7 @@
 //! output relation. No NULLs are manufactured anywhere in this module.
 
 use crate::group::{group, Groups};
-use fdm_core::{DatabaseF, FdmError, FnValue, RelationF, Result, TupleF, Value};
+use fdm_core::{DatabaseF, FdmError, FnValue, RelationBuilder, RelationF, Result, TupleF, Value};
 use std::sync::Arc;
 
 /// An aggregate over the tuples of one group.
@@ -86,7 +86,8 @@ impl AggSpec {
 pub fn aggregate(groups: &Groups, aggs: &[(&str, AggSpec)]) -> Result<RelationF> {
     let by = groups.by().to_vec();
     let key_attrs: Vec<&str> = by.iter().map(|n| n.as_ref()).collect();
-    let mut out = RelationF::new("aggregates", &key_attrs);
+    // group keys iterate in ascending order → no-sort bulk path
+    let mut out = RelationBuilder::new("aggregates", &key_attrs);
     for (key, members) in groups.iter() {
         let mut t = TupleF::builder(format!("agg[{key}]"));
         // carry the grouping attributes into the output tuple
@@ -103,9 +104,9 @@ pub fn aggregate(groups: &Groups, aggs: &[(&str, AggSpec)]) -> Result<RelationF>
         for (name, spec) in aggs {
             t = t.attr(*name, spec.eval(&members)?);
         }
-        out = out.insert(key, t.build())?;
+        out.push(key, t.build());
     }
-    Ok(out)
+    out.build()
 }
 
 /// Fused grouping + aggregation (paper Fig. 4c, "corresponds to GROUP BY
@@ -148,7 +149,10 @@ impl GroupingSpec {
         GroupingSpec {
             name: name.to_string(),
             by: by.iter().map(|s| s.to_string()).collect(),
-            aggs: aggs.iter().map(|(n, a)| (n.to_string(), a.clone())).collect(),
+            aggs: aggs
+                .iter()
+                .map(|(n, a)| (n.to_string(), a.clone()))
+                .collect(),
         }
     }
 }
@@ -264,8 +268,8 @@ mod tests {
 
     #[test]
     fn fig4c_fused_equals_unrolled() {
-        let fused = group_and_aggregate(&customers(), &["age"], &[("count", AggSpec::Count)])
-            .unwrap();
+        let fused =
+            group_and_aggregate(&customers(), &["age"], &[("count", AggSpec::Count)]).unwrap();
         let groups = group(&customers(), &["age"]).unwrap();
         let unrolled = aggregate(&groups, &[("count", AggSpec::Count)]).unwrap();
         assert_eq!(fused.len(), unrolled.len());
@@ -367,9 +371,12 @@ mod tests {
     #[test]
     fn aggregate_errors_are_typed_not_null() {
         // sum over a string attribute: type error, not NULL propagation
-        let err =
-            group_and_aggregate(&customers(), &["state"], &[("s", AggSpec::Sum("name".into()))])
-                .unwrap_err();
+        let err = group_and_aggregate(
+            &customers(),
+            &["state"],
+            &[("s", AggSpec::Sum("name".into()))],
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("type mismatch"), "{err}");
         // min over empty global group: explicit error
         let empty = RelationF::new("none", &["id"]);

@@ -26,21 +26,25 @@ use std::sync::Arc;
 ///
 /// The closure sees the full tuple function — computed attributes and
 /// nested functions included.
-pub fn filter_fn(
-    rel: &RelationF,
-    pred: impl Fn(&TupleF) -> Result<bool>,
-) -> Result<RelationF> {
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+pub fn filter_fn(rel: &RelationF, pred: impl Fn(&TupleF) -> Result<bool>) -> Result<RelationF> {
+    // Input tuples arrive in key order, so the builder takes the O(n)
+    // already-sorted bulk path — no per-tuple persistent insert.
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()? {
         if pred(&tuple)? {
-            out = out.insert_arc(key, tuple)?;
+            out.push_arc(key, tuple);
         }
     }
-    Ok(out)
+    out.build()
 }
 
 /// Costume 4: broken-up predicate — `filter(att='age', op=gt, c=42, …)`.
-pub fn filter_attr(rel: &RelationF, attr: &str, op: CmpOp, c: impl Into<Value>) -> Result<RelationF> {
+pub fn filter_attr(
+    rel: &RelationF,
+    attr: &str,
+    op: CmpOp,
+    c: impl Into<Value>,
+) -> Result<RelationF> {
     let c = c.into();
     filter_fn(rel, |t| {
         let v = t.get(attr)?;
@@ -52,17 +56,16 @@ pub fn filter_attr(rel: &RelationF, attr: &str, op: CmpOp, c: impl Into<Value>) 
 ///
 /// Each key is `attr__op` (plain `attr` means equality); multiple kwargs
 /// conjoin.
-pub fn filter_kwargs(
-    rel: &RelationF,
-    kwargs: &[(&str, Value)],
-) -> Result<RelationF> {
+pub fn filter_kwargs(rel: &RelationF, kwargs: &[(&str, Value)]) -> Result<RelationF> {
     // Pre-resolve the kwarg specs once, not per tuple.
     let mut specs: Vec<(Name, CmpOp)> = Vec::with_capacity(kwargs.len());
     for (k, _) in kwargs {
         let (attr, op) = match k.rsplit_once("__") {
             Some((attr, suffix)) => {
                 let op = by_suffix(suffix).ok_or_else(|| {
-                    FdmError::Expr(format!("unknown filter operator suffix '{suffix}' in '{k}'"))
+                    FdmError::Expr(format!(
+                        "unknown filter operator suffix '{suffix}' in '{k}'"
+                    ))
                 })?;
                 (attr, op)
             }
@@ -100,10 +103,7 @@ pub fn filter_bound(rel: &RelationF, expr: &Expr) -> Result<RelationF> {
 /// `filter` one level up: keep only the database entries whose
 /// `(name, entry)` pair satisfies the predicate (paper Fig. 5:
 /// `filter(lambda kv: kv[0] in relations, DB)`).
-pub fn filter_db(
-    db: &DatabaseF,
-    pred: impl Fn(&str, &FnValue) -> bool,
-) -> DatabaseF {
+pub fn filter_db(db: &DatabaseF, pred: impl Fn(&str, &FnValue) -> bool) -> DatabaseF {
     let mut out = DatabaseF::new(db.name());
     for (name, entry) in db.iter() {
         if pred(name, entry) {
@@ -120,10 +120,7 @@ pub fn filter_db(
 /// `filter` at the *tuple* level: keep only attributes satisfying the
 /// predicate — the same operator concept applied one level *down*
 /// (tears down the tuple/relation boundary, paper §2.2).
-pub fn filter_tuple(
-    t: &TupleF,
-    pred: impl Fn(&str, &Value) -> bool,
-) -> Result<TupleF> {
+pub fn filter_tuple(t: &TupleF, pred: impl Fn(&str, &Value) -> bool) -> Result<TupleF> {
     let keep: Vec<Arc<str>> = t
         .materialize()?
         .into_iter()
@@ -147,7 +144,7 @@ pub(crate) fn key_attr_strs(rel: &RelationF) -> Vec<&str> {
 /// Attributes the tuple already has are left alone.
 pub fn with_inlined_keys(rel: &RelationF) -> Result<RelationF> {
     let key_names: Vec<Name> = rel.key_attrs().to_vec();
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()? {
         let mut t = (*tuple).clone();
         match (&key, key_names.len()) {
@@ -163,9 +160,9 @@ pub fn with_inlined_keys(rel: &RelationF) -> Result<RelationF> {
             }
             _ => {}
         }
-        out = out.insert(key, t)?;
+        out.push(key, t);
     }
-    Ok(out)
+    out.build()
 }
 
 #[cfg(test)]

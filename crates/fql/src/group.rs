@@ -6,7 +6,9 @@
 //! grouping-into-one-table happens; each group stays a first-class
 //! function.
 
-use fdm_core::{DatabaseF, FdmError, FnValue, Name, RelationF, Result, TupleF, Value};
+use fdm_core::{
+    DatabaseF, FdmError, FnValue, Name, RelationBuilder, RelationF, Result, TupleF, Value,
+};
 use std::sync::Arc;
 
 /// The result of `group`: the groups, keyed by their grouping value.
@@ -63,12 +65,11 @@ impl Groups {
         let mut db = DatabaseF::new(format!("{}_groups", self.source_name));
         for (key, members) in self.iter() {
             let name = format!("{}[{}={}]", self.source_name, self.by_label(), key);
-            let mut rel = RelationF::new(&name, &["i"]);
+            let mut rel = RelationBuilder::new(&name, &["i"]);
             for (i, t) in members.into_iter().enumerate() {
-                rel = rel
-                    .insert_arc(Value::Int(i as i64), t)
-                    .expect("fresh sequential keys");
+                rel.push_arc(Value::Int(i as i64), t);
             }
+            let rel = rel.build().expect("fresh sequential keys");
             db = db.with_entry(&name, FnValue::from(rel));
         }
         db

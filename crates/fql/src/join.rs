@@ -4,18 +4,23 @@
 //! the relationship functions in its schema** — the FDM analogue of
 //! "along the foreign key constraints" — and returns a single denormalized
 //! relation function. The paper notes the optimizer may choose any join
-//! strategy "including n-ary joins"; this implementation walks relationship
-//! entries and binds participant tuples hash-style, chaining relationships
-//! that share participants.
+//! strategy "including n-ary joins"; this implementation binds participant
+//! tuples hash-style: each relationship's entries are indexed by the
+//! participants already bound in the working rows, so chaining a
+//! relationship costs O(rows + entries) instead of the nested
+//! O(rows × entries) scan.
 //!
 //! Output attributes are qualified `relation.attr` (and
 //! `relationship.attr` for the relationship's own attributes) so that a
-//! denormalized row never has ambiguous names.
+//! denormalized row never has ambiguous names. Qualified names are interned
+//! once per (relation, attribute) by [`Qualifier`] — not re-formatted per
+//! tuple — and results are assembled through [`fdm_core::RelationBuilder`]'s
+//! O(n) bulk path.
 
 use fdm_core::{
-    DatabaseF, FdmError, Name, RelationF, RelationshipF, Result, TupleF, Value,
+    DatabaseF, FdmError, FxHashMap, Name, RelationBuilder, RelationF, RelationshipF, Result,
+    TupleF, Value,
 };
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One explicit equi-join condition between two relations' attributes
@@ -44,21 +49,76 @@ impl JoinOn {
     }
 }
 
+/// A qualified attribute run shared across output rows.
+type AttrRun = Arc<[(Name, Value)]>;
+
 /// A partially joined row: which relation keys are bound, and the merged
-/// attribute list accumulated so far.
+/// attribute list accumulated so far. The bound set is a flat vec — join
+/// chains touch a handful of relations, and a linear scan beats a tree map
+/// (and its per-row node allocations) at that size.
 #[derive(Clone)]
 struct JoinRow {
-    /// relation name → bound key
-    bound: BTreeMap<Name, Value>,
+    /// `(relation name, bound key)` pairs
+    bound: Vec<(Name, Value)>,
     /// qualified attribute values accumulated so far
     attrs: Vec<(Name, Value)>,
 }
 
-fn qualify(tuple: &TupleF, rel_name: &str, out: &mut Vec<(Name, Value)>) -> Result<()> {
-    for (attr, v) in tuple.materialize()? {
-        out.push((Name::from(format!("{rel_name}.{attr}").as_str()), v));
+impl JoinRow {
+    fn bound_key(&self, rel: &Name) -> Option<&Value> {
+        self.bound.iter().find(|(n, _)| n == rel).map(|(_, v)| v)
     }
-    Ok(())
+}
+
+/// Interns `prefix.attr` qualified names once per distinct attribute, so
+/// qualification never re-formats per tuple. The cache is a flat vec with a
+/// linear scan: a relation has a handful of distinct attribute names, and a
+/// short-string compare beats a SipHash probe at that size.
+pub(crate) struct Qualifier {
+    prefix: String,
+    cache: Vec<(Name, Name)>,
+}
+
+impl Qualifier {
+    pub(crate) fn new(prefix: &str) -> Self {
+        Qualifier {
+            prefix: prefix.to_string(),
+            cache: Vec::new(),
+        }
+    }
+
+    /// The interned qualified name for `attr`.
+    pub(crate) fn name(&mut self, attr: &Name) -> Name {
+        if let Some((_, q)) = self.cache.iter().find(|(a, _)| a == attr) {
+            return q.clone();
+        }
+        let q = Name::from(format!("{}.{attr}", self.prefix).as_str());
+        self.cache.push((attr.clone(), q.clone()));
+        q
+    }
+
+    /// Qualifies every materialized attribute of `tuple` into `out`.
+    pub(crate) fn qualify(&mut self, tuple: &TupleF, out: &mut Vec<(Name, Value)>) -> Result<()> {
+        for (attr, v) in tuple.materialize()? {
+            out.push((self.name(&attr), v));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the `join_result` relation from denormalized attribute rows
+/// through the bulk fast path (row ids ascend, so no sort happens; the
+/// interned attribute names move straight into the tuples, unre-allocated).
+fn rows_to_relation(rows: impl IntoIterator<Item = Vec<(Name, Value)>>) -> Result<RelationF> {
+    let rows = rows.into_iter();
+    let mut out = RelationBuilder::new("join_result", &["row"]).with_capacity(rows.size_hint().0);
+    for (i, attrs) in rows.enumerate() {
+        out.push(
+            Value::Int(i as i64),
+            TupleF::from_parts(format!("j{i}"), attrs),
+        );
+    }
+    out.build()
 }
 
 /// Joins the subdatabase along its relationship functions, producing one
@@ -80,14 +140,17 @@ pub fn join(db: &DatabaseF) -> Result<RelationF> {
         ));
     }
 
-    let mut rows: Vec<JoinRow> = vec![JoinRow { bound: BTreeMap::new(), attrs: Vec::new() }];
+    let mut rows: Vec<JoinRow> = vec![JoinRow {
+        bound: Vec::new(),
+        attrs: Vec::new(),
+    }];
     let mut pending: Vec<(Name, Arc<RelationshipF>)> = relationships;
     // Process relationships, preferring ones that share a participant with
     // what is already bound (so chains connect instead of going cartesian).
     while !pending.is_empty() {
         let bound_rels: std::collections::BTreeSet<Name> = rows
             .first()
-            .map(|r| r.bound.keys().cloned().collect())
+            .map(|r| r.bound.iter().map(|(n, _)| n.clone()).collect())
             .unwrap_or_default();
         let idx = pending
             .iter()
@@ -98,25 +161,28 @@ pub fn join(db: &DatabaseF) -> Result<RelationF> {
             })
             .unwrap_or(0);
         let (rname, rsf) = pending.remove(idx);
-        rows = join_one_relationship(db, &rname, &rsf, rows)?;
+        // The bound set only exists to connect later relationships; the
+        // last one can skip maintaining it.
+        let need_bound = !pending.is_empty();
+        rows = join_one_relationship(db, &rname, &rsf, rows, need_bound)?;
     }
 
-    let mut out = RelationF::new("join_result", &["row"]);
-    for (i, row) in rows.into_iter().enumerate() {
-        let mut b = TupleF::builder(format!("j{i}"));
-        for (n, v) in row.attrs {
-            b = b.attr(n.as_ref(), v);
-        }
-        out = out.insert(Value::Int(i as i64), b.build())?;
-    }
-    Ok(out)
+    rows_to_relation(rows.into_iter().map(|r| r.attrs))
 }
 
+/// Extends each working row with the matching entries of one relationship.
+///
+/// Entries are indexed by the participants the rows have already bound
+/// (hash build over the relationship side), so each row probes once instead
+/// of scanning every entry; unbound participants are then bound by key
+/// lookup into their relations (inner join: a dangling key drops the
+/// entry).
 fn join_one_relationship(
     db: &DatabaseF,
     rname: &str,
     rsf: &RelationshipF,
     rows: Vec<JoinRow>,
+    need_bound: bool,
 ) -> Result<Vec<JoinRow>> {
     // Resolve participant relations.
     let mut parts: Vec<(Name, Arc<RelationF>)> = Vec::with_capacity(rsf.participants().len());
@@ -129,65 +195,185 @@ fn join_one_relationship(
         })?;
         parts.push((p.function.clone(), rel));
     }
+    if rows.is_empty() {
+        return Ok(rows);
+    }
 
-    let mut next = Vec::new();
+    // Which participant positions are already bound in the working rows?
+    // All rows share one bound set (they are built through the same
+    // relationship sequence), so the first row decides.
+    let bound_positions: Vec<usize> = parts
+        .iter()
+        .enumerate()
+        .filter(|(_, (pname, _))| rows[0].bound_key(pname).is_some())
+        .map(|(i, _)| i)
+        .collect();
+    // Each relation binds once: a second participant position backed by an
+    // already-seen relation contributes no further binding (matching the
+    // insert-era semantics) — resolving it again would emit duplicate
+    // qualified names that shadow each other in the output tuple.
+    let mut unbound_positions: Vec<usize> = Vec::new();
+    for i in 0..parts.len() {
+        if bound_positions.contains(&i) {
+            continue;
+        }
+        if unbound_positions.iter().any(|&j| parts[j].0 == parts[i].0) {
+            continue;
+        }
+        unbound_positions.push(i);
+    }
+
+    // One `Value` per probe: the single bound key directly, or a key list —
+    // both hash without a per-probe `Vec` allocation for the common
+    // single-shared-participant chain.
+    let probe_key = |keys: &mut dyn Iterator<Item = Value>| -> Value {
+        let first = keys.next().unwrap_or(Value::Unit);
+        match keys.next() {
+            None => first,
+            Some(second) => {
+                Value::list([first, second].into_iter().chain(keys.collect::<Vec<_>>()))
+            }
+        }
+    };
+
+    // Hash-index the relationship entries by their bound-position keys.
+    // With nothing bound yet (the first relationship) every row matches
+    // every entry, so the index would be one giant bucket — skip it.
+    let entries: Vec<(&[Value], &Arc<TupleF>)> = rsf.iter_entries().collect();
+    let all_entries: Vec<usize> = if bound_positions.is_empty() {
+        (0..entries.len()).collect()
+    } else {
+        Vec::new()
+    };
+    let mut index: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+    if !bound_positions.is_empty() {
+        index.reserve(entries.len());
+        for (ei, (args, _)) in entries.iter().enumerate() {
+            let probe = probe_key(&mut bound_positions.iter().map(|&i| args[i].clone()));
+            index.entry(probe).or_default().push(ei);
+        }
+    }
+
+    // Interned qualified names: one qualifier per participant plus one for
+    // the relationship's own attributes, and the participant key names
+    // (`customers.cid`) formatted once, not per row.
+    let mut part_quals: Vec<Qualifier> = parts
+        .iter()
+        .map(|(pname, _)| Qualifier::new(pname))
+        .collect();
+    let key_names: Vec<Name> = rsf
+        .participants()
+        .iter()
+        .map(|p| Name::from(format!("{}.{}", p.function, p.key).as_str()))
+        .collect();
+    let mut rel_qual = Qualifier::new(rname);
+
+    // Participant tuples are shared across many output rows (every order a
+    // customer places repeats that customer), so the qualified attribute
+    // run for each participant key is materialized once and shared;
+    // `None` caches a dangling key. The relationship's own attributes are
+    // qualified once per entry — eagerly in one cache-friendly pass when
+    // every entry will be visited, lazily when an index filters them.
+    let mut part_cache: Vec<FxHashMap<Value, Option<AttrRun>>> =
+        parts.iter().map(|_| FxHashMap::default()).collect();
+    let mut entry_attrs: Vec<Option<AttrRun>> = vec![None; entries.len()];
+    if bound_positions.is_empty() {
+        for (ei, (_, rattrs)) in entries.iter().enumerate() {
+            let mut attrs = Vec::new();
+            rel_qual.qualify(rattrs, &mut attrs)?;
+            entry_attrs[ei] = Some(Arc::from(attrs.into_boxed_slice()));
+        }
+    }
+
+    // Upper bound for the unfiltered case; later relationships grow on
+    // demand.
+    let mut next = Vec::with_capacity(if bound_positions.is_empty() {
+        entries.len()
+    } else {
+        rows.len()
+    });
+    let mut scratch: Vec<AttrRun> = Vec::with_capacity(unbound_positions.len());
     for row in &rows {
-        for (args, rattrs) in rsf.iter() {
-            // Shared participants must agree with already-bound keys.
-            let mut compatible = true;
-            for ((pname, _), arg) in parts.iter().zip(&args) {
-                if let Some(bound_key) = row.bound.get(pname) {
-                    if bound_key != arg {
-                        compatible = false;
-                        break;
-                    }
-                }
+        let matches = if bound_positions.is_empty() {
+            &all_entries
+        } else {
+            let probe = probe_key(&mut bound_positions.iter().map(|&i| {
+                row.bound_key(&parts[i].0)
+                    .expect("position is bound")
+                    .clone()
+            }));
+            match index.get(&probe) {
+                Some(m) => m,
+                None => continue,
             }
-            if !compatible {
-                continue;
-            }
-            // Bind the unbound participants (inner join: skip the entry if
-            // a participant tuple is missing).
-            let mut new_row = row.clone();
-            let mut ok = true;
-            for ((pname, prel), arg) in parts.iter().zip(&args) {
-                if new_row.bound.contains_key(pname) {
-                    continue;
-                }
-                match prel.lookup(arg) {
-                    Some(tuple) => {
-                        new_row.bound.insert(pname.clone(), arg.clone());
-                        // include the key itself under its participant name
-                        if let Some(p) = rsf.participants().iter().find(|p| &p.function == pname) {
-                            new_row
-                                .attrs
-                                .push((Name::from(format!("{pname}.{}", p.key).as_str()), arg.clone()));
-                        }
-                        qualify(&tuple, pname, &mut new_row.attrs)?;
-                    }
+        };
+        'entry: for &ei in matches {
+            let (args, rattrs) = &entries[ei];
+            // Resolve every unbound participant to its cached qualified
+            // attribute run first (inner join: a dangling key drops the
+            // entry before any row is allocated).
+            scratch.clear();
+            for &i in &unbound_positions {
+                let arg = &args[i];
+                let cached = match part_cache[i].get(arg) {
+                    Some(c) => c.clone(),
                     None => {
-                        ok = false;
-                        break;
+                        let computed = match parts[i].1.lookup(arg) {
+                            Some(tuple) => {
+                                let mut attrs = vec![(key_names[i].clone(), arg.clone())];
+                                part_quals[i].qualify(&tuple, &mut attrs)?;
+                                Some(AttrRun::from(attrs.into_boxed_slice()))
+                            }
+                            None => None,
+                        };
+                        part_cache[i].insert(arg.clone(), computed.clone());
+                        computed
                     }
+                };
+                match cached {
+                    Some(attrs) => scratch.push(attrs),
+                    None => continue 'entry,
                 }
             }
-            if !ok {
-                continue;
+            // The relationship's own attributes, qualified once per entry.
+            let rel_attrs = match &entry_attrs[ei] {
+                Some(a) => a.clone(),
+                None => {
+                    let mut attrs = Vec::new();
+                    rel_qual.qualify(rattrs, &mut attrs)?;
+                    let a: AttrRun = Arc::from(attrs.into_boxed_slice());
+                    entry_attrs[ei] = Some(a.clone());
+                    a
+                }
+            };
+            // Assemble the output row in one exact-capacity allocation.
+            let cap =
+                row.attrs.len() + scratch.iter().map(|r| r.len()).sum::<usize>() + rel_attrs.len();
+            let mut attrs = Vec::with_capacity(cap);
+            attrs.extend_from_slice(&row.attrs);
+            for run in &scratch {
+                attrs.extend(run.iter().cloned());
             }
-            // The relationship's own attributes.
-            for (attr, v) in rattrs.materialize()? {
-                new_row
-                    .attrs
-                    .push((Name::from(format!("{rname}.{attr}").as_str()), v));
-            }
-            next.push(new_row);
+            attrs.extend(rel_attrs.iter().cloned());
+            let bound = if need_bound {
+                let mut bound = Vec::with_capacity(row.bound.len() + unbound_positions.len());
+                bound.extend_from_slice(&row.bound);
+                for &i in &unbound_positions {
+                    bound.push((parts[i].0.clone(), args[i].clone()));
+                }
+                bound
+            } else {
+                Vec::new()
+            };
+            next.push(JoinRow { bound, attrs });
         }
     }
     Ok(next)
 }
 
 /// Joins relations by explicit equi-conditions (Fig. 6, second costume),
-/// left-to-right with hash lookups on the right side's attribute.
+/// left-to-right with a `HashMap` index built over each newly joined side's
+/// attribute.
 pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
     if conditions.is_empty() {
         return Err(FdmError::Other("join_on: no conditions given".to_string()));
@@ -200,9 +386,10 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
     // conditions may reference key attributes like `customers.cid`)
     let first = &conditions[0];
     let left = crate::filter::with_inlined_keys(db.relation(&first.left_rel)?.as_ref())?;
+    let mut left_qual = Qualifier::new(&first.left_rel);
     for (_, t) in left.tuples()? {
         let mut attrs = Vec::new();
-        qualify(&t, &first.left_rel, &mut attrs)?;
+        left_qual.qualify(&t, &mut attrs)?;
         rows.push(attrs);
     }
     bound.push(Name::from(first.left_rel.as_str()));
@@ -210,9 +397,19 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
     for cond in conditions {
         let (probe_rel, probe_attr, build_rel, build_attr) =
             if bound.iter().any(|b| b.as_ref() == cond.left_rel) {
-                (&cond.left_rel, &cond.left_attr, &cond.right_rel, &cond.right_attr)
+                (
+                    &cond.left_rel,
+                    &cond.left_attr,
+                    &cond.right_rel,
+                    &cond.right_attr,
+                )
             } else if bound.iter().any(|b| b.as_ref() == cond.right_rel) {
-                (&cond.right_rel, &cond.right_attr, &cond.left_rel, &cond.left_attr)
+                (
+                    &cond.right_rel,
+                    &cond.right_attr,
+                    &cond.left_rel,
+                    &cond.left_attr,
+                )
             } else {
                 return Err(FdmError::Other(format!(
                     "join_on: condition {}.{} = {}.{} is disconnected from the join so far",
@@ -230,11 +427,19 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
             });
             continue;
         }
-        // hash-build the new side by its join attribute (keys inlined)
+        // hash-build the new side by its join attribute (keys inlined),
+        // qualifying each build tuple once — probe hits just clone the
+        // prepared attribute run
         let build = crate::filter::with_inlined_keys(db.relation(build_rel)?.as_ref())?;
-        let mut table: BTreeMap<Value, Vec<Arc<TupleF>>> = BTreeMap::new();
+        let mut build_qual = Qualifier::new(build_rel);
+        let mut table: FxHashMap<Value, Vec<AttrRun>> = FxHashMap::default();
         for (_, t) in build.tuples()? {
-            table.entry(t.get(build_attr)?).or_default().push(t);
+            let mut attrs = Vec::new();
+            build_qual.qualify(&t, &mut attrs)?;
+            table
+                .entry(t.get(build_attr)?)
+                .or_default()
+                .push(Arc::from(attrs.into_boxed_slice()));
         }
         let probe_q = Name::from(format!("{probe_rel}.{probe_attr}").as_str());
         let mut next = Vec::new();
@@ -245,7 +450,7 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
             if let Some(matches) = table.get(pv) {
                 for t in matches {
                     let mut merged = attrs.clone();
-                    qualify(t, build_rel, &mut merged)?;
+                    merged.extend(t.iter().cloned());
                     next.push(merged);
                 }
             }
@@ -254,15 +459,7 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
         bound.push(Name::from(build_rel.as_str()));
     }
 
-    let mut out = RelationF::new("join_result", &["row"]);
-    for (i, attrs) in rows.into_iter().enumerate() {
-        let mut b = TupleF::builder(format!("j{i}"));
-        for (n, v) in attrs {
-            b = b.attr(n.as_ref(), v);
-        }
-        out = out.insert(Value::Int(i as i64), b.build())?;
-    }
-    Ok(out)
+    rows_to_relation(rows)
 }
 
 #[cfg(test)]
@@ -326,11 +523,7 @@ mod tests {
     #[test]
     fn join_on_detects_disconnected_conditions() {
         let db = retail_db();
-        let err = join_on(
-            &db,
-            &[JoinOn::new("products", "pid", "nonexistent", "x")],
-        )
-        .unwrap_err();
+        let err = join_on(&db, &[JoinOn::new("products", "pid", "nonexistent", "x")]).unwrap_err();
         assert!(err.to_string().contains("nonexistent"), "{err}");
     }
 
@@ -350,5 +543,61 @@ mod tests {
             let pid = t.get("products.pid").unwrap();
             assert!(matches!(pid, Value::Int(_)));
         }
+    }
+
+    #[test]
+    fn self_relationship_binds_each_relation_once() {
+        // manages(employee: people, manager: people) — both participants
+        // share one relation. The join must bind `people` once per entry:
+        // no duplicate `people.*` attribute names shadowing each other.
+        use fdm_core::{Domain, Participant, RelationshipF, SharedDomain, ValueType};
+        let people = RelationF::new("people", &["pid"])
+            .insert(
+                Value::Int(1),
+                fdm_core::TupleF::builder("p1")
+                    .attr("name", "Alice")
+                    .build(),
+            )
+            .unwrap()
+            .insert(
+                Value::Int(2),
+                fdm_core::TupleF::builder("p2").attr("name", "Bob").build(),
+            )
+            .unwrap();
+        let dom = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
+        let manages = RelationshipF::new(
+            "manages",
+            vec![
+                Participant::new("people", "eid", dom.clone()),
+                Participant::new("people", "mid", dom.clone()),
+            ],
+        )
+        .insert_link(&[Value::Int(2), Value::Int(1)])
+        .unwrap();
+        let db = DatabaseF::new("org")
+            .with_domain(dom)
+            .with_relation(people)
+            .with_relationship(manages);
+        let joined = join(&db).unwrap();
+        assert_eq!(joined.len(), 1);
+        let (_, t) = joined.tuples().unwrap().remove(0);
+        // exactly one people.name — the bound (first) participant's tuple
+        let name_count = t
+            .attr_names()
+            .filter(|n| n.as_ref() == "people.name")
+            .count();
+        assert_eq!(name_count, 1, "no shadowed duplicate names: {t:?}");
+        assert_eq!(t.get("people.eid").unwrap(), Value::Int(2));
+        assert_eq!(t.get("people.name").unwrap(), Value::str("Bob"));
+    }
+
+    #[test]
+    fn qualifier_interns_names() {
+        let mut q = Qualifier::new("r");
+        let a1 = q.name(&Name::from("x"));
+        let a2 = q.name(&Name::from("x"));
+        assert_eq!(a1.as_ref(), "r.x");
+        // same Arc, not merely equal strings
+        assert!(Arc::ptr_eq(&a1, &a2));
     }
 }

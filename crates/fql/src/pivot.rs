@@ -13,7 +13,7 @@
 //! function is not defined there), not NULLs.
 
 use crate::aggregate::AggSpec;
-use fdm_core::{FdmError, RelationF, Result, TupleF, Value};
+use fdm_core::{FdmError, RelationBuilder, RelationF, Result, TupleF, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -24,12 +24,7 @@ use std::sync::Arc;
 /// Column names are the display form of the column values (e.g. ages
 /// `30`, `43` become attributes `"30"`, `"43"`); the row value is kept
 /// under `row_attr`.
-pub fn pivot(
-    rel: &RelationF,
-    row_attr: &str,
-    col_attr: &str,
-    agg: &AggSpec,
-) -> Result<RelationF> {
+pub fn pivot(rel: &RelationF, row_attr: &str, col_attr: &str, agg: &AggSpec) -> Result<RelationF> {
     if row_attr == col_attr {
         return Err(FdmError::Other(
             "pivot: row and column attribute must differ".to_string(),
@@ -44,14 +39,17 @@ pub fn pivot(
         if !all_cols.contains(&c) {
             all_cols.push(c.clone());
         }
-        cells.entry(r).or_default().entry(c).or_default().push(tuple);
+        cells
+            .entry(r)
+            .or_default()
+            .entry(c)
+            .or_default()
+            .push(tuple);
     }
     all_cols.sort();
 
-    let mut out = RelationF::new(
-        format!("{}_pivot_{col_attr}", rel.name()),
-        &[row_attr],
-    );
+    // `cells` iterates in ascending row-key order → no-sort bulk path.
+    let mut out = RelationBuilder::new(format!("{}_pivot_{col_attr}", rel.name()), &[row_attr]);
     for (row, cols) in cells {
         let mut b = TupleF::builder(format!("pivot[{row}]"));
         b = b.attr(row_attr, row.clone());
@@ -67,9 +65,9 @@ pub fn pivot(
             // absent cell: the tuple function is simply not defined at
             // that attribute — no NULL exists to insert.
         }
-        out = out.insert(row, b.build())?;
+        out.push(row, b.build());
     }
-    Ok(out)
+    out.build()
 }
 
 #[cfg(test)]
@@ -101,7 +99,13 @@ mod tests {
 
     #[test]
     fn pivot_data_values_become_attributes() {
-        let p = pivot(&sales(), "region", "quarter", &AggSpec::Sum("amount".into())).unwrap();
+        let p = pivot(
+            &sales(),
+            "region",
+            "quarter",
+            &AggSpec::Sum("amount".into()),
+        )
+        .unwrap();
         assert_eq!(p.len(), 2);
         let eu = p.lookup(&Value::str("EU")).unwrap();
         assert_eq!(eu.get("Q1").unwrap(), Value::Int(100));
@@ -130,7 +134,10 @@ mod tests {
             rel = rel
                 .insert(
                     Value::Int(id),
-                    TupleF::builder("x").attr("age", age).attr("grp", grp).build(),
+                    TupleF::builder("x")
+                        .attr("age", age)
+                        .attr("grp", grp)
+                        .build(),
                 )
                 .unwrap();
         }
@@ -155,9 +162,15 @@ mod tests {
     fn pivoted_output_is_an_ordinary_relation_function() {
         // the output can be filtered, extended, joined — it's just a
         // relation function whose schema came from data
-        let p = pivot(&sales(), "region", "quarter", &AggSpec::Sum("amount".into())).unwrap();
+        let p = pivot(
+            &sales(),
+            "region",
+            "quarter",
+            &AggSpec::Sum("amount".into()),
+        )
+        .unwrap();
         let big = crate::filter::filter_fn(&p, |t| {
-            Ok(t.try_get("Q1").map_or(false, |v| v > Value::Int(90)))
+            Ok(t.try_get("Q1").is_some_and(|v| v > Value::Int(90)))
         })
         .unwrap();
         assert_eq!(big.len(), 2);

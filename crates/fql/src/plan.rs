@@ -13,9 +13,8 @@
 
 use crate::aggregate::{group_and_aggregate, AggSpec};
 use crate::filter::filter_bound;
-use fdm_core::{DatabaseF, FdmError, Name, RelationF, Result, TupleF, Value};
+use fdm_core::{DatabaseF, FdmError, RelationF, Result, TupleF, Value};
 use fdm_expr::{BinOp, Expr, Params};
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A lazy, optimizable FQL expression producing a relation function.
@@ -97,7 +96,9 @@ pub enum Query {
 impl Query {
     /// Starts a plan scanning a relation.
     pub fn scan(rel: &str) -> Query {
-        Query::Scan { rel: rel.to_string() }
+        Query::Scan {
+            rel: rel.to_string(),
+        }
     }
 
     /// Adds a filter from a textual predicate with parameters (parsed and
@@ -110,7 +111,10 @@ impl Query {
 
     /// Adds a filter from an already-bound expression.
     pub fn filter_expr(self, pred: Expr) -> Query {
-        Query::Filter { input: Box::new(self), pred }
+        Query::Filter {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Adds a projection.
@@ -136,18 +140,28 @@ impl Query {
         Query::GroupAgg {
             input: Box::new(self),
             by: by.iter().map(|s| s.to_string()).collect(),
-            aggs: aggs.iter().map(|(n, a)| (n.to_string(), a.clone())).collect(),
+            aggs: aggs
+                .iter()
+                .map(|(n, a)| (n.to_string(), a.clone()))
+                .collect(),
         }
     }
 
     /// Adds an order-by (rank-keyed output).
     pub fn order_by(self, attr: &str, order: crate::transform::Order) -> Query {
-        Query::OrderBy { input: Box::new(self), attr: attr.to_string(), order }
+        Query::OrderBy {
+            input: Box::new(self),
+            attr: attr.to_string(),
+            order,
+        }
     }
 
     /// Adds a limit.
     pub fn limit(self, k: usize) -> Query {
-        Query::Limit { input: Box::new(self), k }
+        Query::Limit {
+            input: Box::new(self),
+            k,
+        }
     }
 
     /// Rewrites the plan: filter fusion, then predicate pushdown to
@@ -167,7 +181,10 @@ impl Query {
         match self {
             Query::Filter { input, pred } => match *input {
                 // fuse adjacent filters
-                Query::Filter { input: inner, pred: p2 } => (
+                Query::Filter {
+                    input: inner,
+                    pred: p2,
+                } => (
                     Query::Filter {
                         input: inner,
                         pred: Expr::bin(BinOp::And, p2, pred),
@@ -176,7 +193,10 @@ impl Query {
                 ),
                 // push below project when the predicate only uses
                 // projected attributes
-                Query::Project { input: inner, attrs } => {
+                Query::Project {
+                    input: inner,
+                    attrs,
+                } => {
                     let refs = pred.referenced_attrs();
                     if refs.iter().all(|r| attrs.iter().any(|a| a == r.as_ref())) {
                         (
@@ -187,14 +207,28 @@ impl Query {
                             true,
                         )
                     } else {
-                        let (inner2, changed) =
-                            Query::Project { input: inner, attrs }.push_down_once();
-                        (Query::Filter { input: Box::new(inner2), pred }, changed)
+                        let (inner2, changed) = Query::Project {
+                            input: inner,
+                            attrs,
+                        }
+                        .push_down_once();
+                        (
+                            Query::Filter {
+                                input: Box::new(inner2),
+                                pred,
+                            },
+                            changed,
+                        )
                     }
                 }
                 // push below join when the predicate never references the
                 // joined relation's (prefixed) attributes
-                Query::Join { input: inner, rel, input_attr, rel_attr } => {
+                Query::Join {
+                    input: inner,
+                    rel,
+                    input_attr,
+                    rel_attr,
+                } => {
                     let prefix = format!("{rel}.");
                     let refs = pred.referenced_attrs();
                     if refs.iter().all(|r| !r.starts_with(&prefix)) {
@@ -215,7 +249,13 @@ impl Query {
                             rel_attr,
                         }
                         .push_down_once();
-                        (Query::Filter { input: Box::new(inner2), pred }, changed)
+                        (
+                            Query::Filter {
+                                input: Box::new(inner2),
+                                pred,
+                            },
+                            changed,
+                        )
                     }
                 }
                 // NOTE: a filter is deliberately NOT pushed below an
@@ -225,31 +265,73 @@ impl Query {
                 // results — only their cost.
                 other => {
                     let (inner2, changed) = other.push_down_once();
-                    (Query::Filter { input: Box::new(inner2), pred }, changed)
+                    (
+                        Query::Filter {
+                            input: Box::new(inner2),
+                            pred,
+                        },
+                        changed,
+                    )
                 }
             },
             Query::Project { input, attrs } => {
                 let (inner, changed) = input.push_down_once();
-                (Query::Project { input: Box::new(inner), attrs }, changed)
+                (
+                    Query::Project {
+                        input: Box::new(inner),
+                        attrs,
+                    },
+                    changed,
+                )
             }
-            Query::Join { input, rel, input_attr, rel_attr } => {
+            Query::Join {
+                input,
+                rel,
+                input_attr,
+                rel_attr,
+            } => {
                 let (inner, changed) = input.push_down_once();
                 (
-                    Query::Join { input: Box::new(inner), rel, input_attr, rel_attr },
+                    Query::Join {
+                        input: Box::new(inner),
+                        rel,
+                        input_attr,
+                        rel_attr,
+                    },
                     changed,
                 )
             }
             Query::GroupAgg { input, by, aggs } => {
                 let (inner, changed) = input.push_down_once();
-                (Query::GroupAgg { input: Box::new(inner), by, aggs }, changed)
+                (
+                    Query::GroupAgg {
+                        input: Box::new(inner),
+                        by,
+                        aggs,
+                    },
+                    changed,
+                )
             }
             Query::OrderBy { input, attr, order } => {
                 let (inner, changed) = input.push_down_once();
-                (Query::OrderBy { input: Box::new(inner), attr, order }, changed)
+                (
+                    Query::OrderBy {
+                        input: Box::new(inner),
+                        attr,
+                        order,
+                    },
+                    changed,
+                )
             }
             Query::Limit { input, k } => {
                 let (inner, changed) = input.push_down_once();
-                (Query::Limit { input: Box::new(inner), k }, changed)
+                (
+                    Query::Limit {
+                        input: Box::new(inner),
+                        k,
+                    },
+                    changed,
+                )
             }
             leaf @ Query::Scan { .. } => (leaf, false),
         }
@@ -280,40 +362,44 @@ impl Query {
             Query::Project { input, attrs } => {
                 let rel = input.run(db, stats)?;
                 let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                let mut out = RelationF::new(rel.name(), &crate::filter::key_attr_strs(&rel));
+                let mut out = rel.builder_like();
                 for (key, tuple) in rel.tuples()? {
-                    out = out.insert(key, tuple.project(&keep)?)?;
+                    out.push(key, tuple.project(&keep)?);
                 }
-                out
+                out.build()?
             }
-            Query::Join { input, rel, input_attr, rel_attr } => {
+            Query::Join {
+                input,
+                rel,
+                input_attr,
+                rel_attr,
+            } => {
                 let left = input.run(db, stats)?;
                 let right = crate::filter::with_inlined_keys(db.relation(rel)?.as_ref())?;
                 // hash-build the right side
-                let mut table: BTreeMap<Value, Vec<Arc<TupleF>>> = BTreeMap::new();
+                let mut table: fdm_core::FxHashMap<Value, Vec<Arc<TupleF>>> =
+                    fdm_core::FxHashMap::default();
                 for (_, t) in right.tuples()? {
                     table.entry(t.get(rel_attr)?).or_default().push(t);
                 }
-                let mut out = RelationF::new("join", &["row"]);
+                // qualified right-side names interned once per attribute
+                let mut qual = crate::join::Qualifier::new(rel);
+                let mut out = fdm_core::RelationBuilder::new("join", &["row"]);
                 let mut i = 0i64;
                 for (_, lt) in left.tuples()? {
                     let key = lt.get(input_attr)?;
                     if let Some(matches) = table.get(&key) {
                         for rt in matches {
-                            let mut b = TupleF::builder(format!("j{i}"));
-                            for (n, v) in lt.materialize()? {
-                                b = b.attr(n.as_ref(), v);
-                            }
+                            let mut attrs = lt.materialize()?;
                             for (n, v) in rt.materialize()? {
-                                let qual: Name = Name::from(format!("{rel}.{n}").as_str());
-                                b = b.attr(qual.as_ref(), v);
+                                attrs.push((qual.name(&n), v));
                             }
-                            out = out.insert(Value::Int(i), b.build())?;
+                            out.push(Value::Int(i), TupleF::from_parts(format!("j{i}"), attrs));
                             i += 1;
                         }
                     }
                 }
-                out
+                out.build()?
             }
             Query::GroupAgg { input, by, aggs } => {
                 let rel = input.run(db, stats)?;
@@ -340,14 +426,17 @@ impl Query {
             Query::Scan { rel } => format!("scan({rel})"),
             Query::Filter { pred, .. } => format!("filter({pred})"),
             Query::Project { attrs, .. } => format!("project({})", attrs.join(", ")),
-            Query::Join { rel, input_attr, rel_attr, .. } => {
+            Query::Join {
+                rel,
+                input_attr,
+                rel_attr,
+                ..
+            } => {
                 format!("join({rel} on {input_attr}={rel_attr})")
             }
-            Query::GroupAgg { by, aggs, .. } => format!(
-                "group_agg(by [{}], {} agg(s))",
-                by.join(", "),
-                aggs.len()
-            ),
+            Query::GroupAgg { by, aggs, .. } => {
+                format!("group_agg(by [{}], {} agg(s))", by.join(", "), aggs.len())
+            }
             Query::OrderBy { attr, order, .. } => format!("order_by({attr}, {order:?})"),
             Query::Limit { k, .. } => format!("limit({k})"),
         }
@@ -400,7 +489,11 @@ mod tests {
         // retail db with the order relationship flattened to a relation so
         // the left-deep Join node can use it
         let db = retail_db();
-        let order_rel = db.relationship("order").unwrap().to_relation().renamed("orders");
+        let order_rel = db
+            .relationship("order")
+            .unwrap()
+            .to_relation()
+            .renamed("orders");
         db.with_relation(order_rel)
     }
 

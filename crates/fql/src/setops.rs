@@ -15,7 +15,7 @@
 //! data in the two inputs (the result must stay a function: one output
 //! per input).
 
-use fdm_core::{DatabaseF, FnValue, RelationF, Result, TupleF, Value};
+use fdm_core::{DatabaseF, FnValue, RelationBuilder, RelationF, Result, TupleF, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -28,15 +28,16 @@ pub fn deep_copy(db: &DatabaseF) -> Result<DatabaseF> {
     for (name, entry) in db.iter() {
         match entry {
             FnValue::Relation(rel) => {
-                let mut copy = RelationF::new(rel.name(), &crate::filter::key_attr_strs(rel));
+                let mut copy = rel.builder_like();
                 for (key, tuple) in rel.tuples()? {
                     let mut b = TupleF::builder(tuple.name());
                     for (n, v) in tuple.materialize()? {
-                        b = b.attr(n.as_ref(), v);
+                        // names are already interned — no re-allocation
+                        b = b.attr_name(n, v);
                     }
-                    copy = copy.insert(key, b.build())?;
+                    copy.push(key, b.build());
                 }
-                out = out.with_entry(name.as_ref(), FnValue::from(copy));
+                out = out.with_entry(name.as_ref(), FnValue::from(copy.build()?));
             }
             FnValue::Database(inner) => {
                 let copied = deep_copy(inner)?;
@@ -63,8 +64,12 @@ fn by_data(rel: &RelationF) -> Result<BTreeMap<Value, (Value, Arc<TupleF>)>> {
     Ok(out)
 }
 
-fn rebuild(name: &str, key_attrs: &[&str], entries: impl IntoIterator<Item = (Value, Arc<TupleF>)>) -> Result<RelationF> {
-    let mut out = RelationF::new(name, key_attrs);
+fn rebuild(
+    name: &str,
+    key_attrs: &[&str],
+    entries: impl IntoIterator<Item = (Value, Arc<TupleF>)>,
+) -> Result<RelationF> {
+    let mut out = RelationBuilder::new(name, key_attrs);
     let mut used = std::collections::BTreeSet::new();
     let mut synthetic = 0i64;
     for (key, tuple) in entries {
@@ -82,9 +87,9 @@ fn rebuild(name: &str, key_attrs: &[&str], entries: impl IntoIterator<Item = (Va
             key
         };
         used.insert(key.clone());
-        out = out.insert_arc(key, tuple)?;
+        out.push_arc(key, tuple);
     }
-    Ok(out)
+    out.build()
 }
 
 /// Relation-wise set union of two databases: every relation name present
@@ -97,10 +102,7 @@ pub fn union(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
         for (k, v) in db_ {
             merged.entry(k.clone()).or_insert_with(|| v.clone());
         }
-        merged
-            .into_iter()
-            .map(|(k, (_, t))| (k, t))
-            .collect()
+        merged.into_iter().map(|(k, (_, t))| (k, t)).collect()
     })
 }
 
@@ -109,7 +111,9 @@ pub fn union(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
 pub fn intersect(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
     let mut out = DatabaseF::new(format!("({} ∩ {})", a.name(), b.name()));
     for (name, entry) in a.iter() {
-        let FnValue::Relation(ra) = entry else { continue };
+        let FnValue::Relation(ra) = entry else {
+            continue;
+        };
         let Ok(rb) = b.relation(name) else { continue };
         let da = by_data(ra)?;
         let db_ = by_data(&rb)?;
@@ -132,7 +136,9 @@ pub fn intersect(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
 pub fn minus(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
     let mut out = DatabaseF::new(format!("({} − {})", a.name(), b.name()));
     for (name, entry) in a.iter() {
-        let FnValue::Relation(ra) = entry else { continue };
+        let FnValue::Relation(ra) = entry else {
+            continue;
+        };
         let da = by_data(ra)?;
         let db_ = match b.relation(name) {
             Ok(rb) => by_data(&rb)?,
@@ -253,7 +259,10 @@ mod tests {
         let customers = customers
             .insert(
                 Value::Int(4),
-                TupleF::builder("c4").attr("name", "Dave").attr("age", 28).build(),
+                TupleF::builder("c4")
+                    .attr("name", "Dave")
+                    .attr("age", 28)
+                    .build(),
             )
             .unwrap();
         let copy2 = copy.with_entry("customers", FnValue::from(customers));
@@ -267,7 +276,10 @@ mod tests {
         assert_eq!(t.get("name").unwrap(), Value::str("Dave"));
         let (_, t) = removed.tuples().unwrap().remove(0);
         assert_eq!(t.get("name").unwrap(), Value::str("Bob"));
-        assert!(!diff.contains("products.added"), "unchanged relations absent");
+        assert!(
+            !diff.contains("products.added"),
+            "unchanged relations absent"
+        );
     }
 
     #[test]
@@ -278,7 +290,10 @@ mod tests {
         let customers = customers
             .insert(
                 Value::Int(4),
-                TupleF::builder("c4").attr("name", "Dave").attr("age", 28).build(),
+                TupleF::builder("c4")
+                    .attr("name", "Dave")
+                    .attr("age", 28)
+                    .build(),
             )
             .unwrap();
         let copy2 = copy.with_entry("customers", FnValue::from(customers));
@@ -308,10 +323,7 @@ mod tests {
     fn data_equality_sees_through_computed_attrs() {
         // stored age 43 == computed age 43: copies compare equal
         let stored = RelationF::new("r", &["id"])
-            .insert(
-                Value::Int(1),
-                TupleF::builder("t").attr("age", 43).build(),
-            )
+            .insert(Value::Int(1), TupleF::builder("t").attr("age", 43).build())
             .unwrap();
         let computed = RelationF::new("r", &["id"])
             .insert(
@@ -351,7 +363,11 @@ mod tests {
         let outerdb = DatabaseF::new("outer").with_entry("tenant", FnValue::from(inner));
         let copy = deep_copy(&outerdb).unwrap();
         assert_eq!(
-            copy.database("tenant").unwrap().relation("customers").unwrap().len(),
+            copy.database("tenant")
+                .unwrap()
+                .relation("customers")
+                .unwrap()
+                .len(),
             3
         );
     }

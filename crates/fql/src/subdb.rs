@@ -98,13 +98,14 @@ fn semi_join_fixpoint(db: &DatabaseF) -> Result<ActiveKeys> {
 }
 
 fn restrict_relation(rel: &RelationF, keep: &BTreeSet<Value>) -> Result<RelationF> {
-    let mut out = RelationF::new(rel.name(), &crate::filter::key_attr_strs(rel));
+    // iter_stored is key-ordered → the builder's no-sort bulk path
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.iter_stored() {
         if keep.contains(&key) {
-            out = out.insert_arc(key, tuple)?;
+            out.push_arc(key, tuple);
         }
     }
-    Ok(out)
+    out.build()
 }
 
 /// `reduce_DB` (Fig. 5): returns the subdatabase in which every relation
@@ -119,17 +120,16 @@ pub fn reduce_db(db: &DatabaseF) -> Result<DatabaseF> {
         match entry {
             FnValue::Relation(rel) => match active.keys.get(name) {
                 Some(keep) => {
-                    out = out.with_entry(name.as_ref(), FnValue::from(restrict_relation(rel, keep)?));
+                    out =
+                        out.with_entry(name.as_ref(), FnValue::from(restrict_relation(rel, keep)?));
                 }
                 None => {
                     out = out.with_entry(name.as_ref(), entry.clone());
                 }
             },
             FnValue::Relationship(rsf) => {
-                let mut reduced = fdm_core::RelationshipF::new(
-                    rsf.name(),
-                    rsf.participants().to_vec(),
-                );
+                let mut reduced =
+                    fdm_core::RelationshipF::new(rsf.name(), rsf.participants().to_vec());
                 for (args, attrs) in rsf.iter() {
                     let ok = rsf.participants().iter().zip(&args).all(|(p, arg)| {
                         active
@@ -167,19 +167,19 @@ pub fn outer(db: &DatabaseF, outer_marked: &[&str]) -> Result<DatabaseF> {
         match entry {
             FnValue::Relation(rel) if marked.contains(name.as_ref()) => {
                 let keep = active.keys.get(name).cloned().unwrap_or_default();
-                let inner = restrict_relation(rel, &keep)?
-                    .renamed(format!("{name}.inner"));
+                let inner = restrict_relation(rel, &keep)?.renamed(format!("{name}.inner"));
                 let all: BTreeSet<Value> = rel.stored_keys().into_iter().collect();
                 let outer_keys: BTreeSet<Value> = all.difference(&keep).cloned().collect();
-                let outer_rel = restrict_relation(rel, &outer_keys)?
-                    .renamed(format!("{name}.outer"));
+                let outer_rel =
+                    restrict_relation(rel, &outer_keys)?.renamed(format!("{name}.outer"));
                 out = out
                     .with_entry(format!("{name}.inner"), FnValue::from(inner))
                     .with_entry(format!("{name}.outer"), FnValue::from(outer_rel));
             }
             FnValue::Relation(rel) => match active.keys.get(name) {
                 Some(keep) => {
-                    out = out.with_entry(name.as_ref(), FnValue::from(restrict_relation(rel, keep)?));
+                    out =
+                        out.with_entry(name.as_ref(), FnValue::from(restrict_relation(rel, keep)?));
                 }
                 None => out = out.with_entry(name.as_ref(), entry.clone()),
             },
@@ -202,9 +202,15 @@ mod tests {
         let sub = subdatabase(&db, &["order", "products", "customers"]);
         assert!(sub.contains("products"));
         assert!(sub.contains("customers"));
-        assert!(sub.contains("order"), "relationship kept: participants present");
+        assert!(
+            sub.contains("order"),
+            "relationship kept: participants present"
+        );
         let sub2 = subdatabase(&db, &["products"]);
-        assert!(!sub2.contains("order"), "relationship dropped: customers missing");
+        assert!(
+            !sub2.contains("order"),
+            "relationship dropped: customers missing"
+        );
     }
 
     #[test]
@@ -215,7 +221,10 @@ mod tests {
         let reduced = reduce_db(&db).unwrap();
         let customers = reduced.relation("customers").unwrap();
         assert_eq!(customers.len(), 2);
-        assert!(customers.lookup(&Value::Int(3)).is_none(), "Carol reduced away");
+        assert!(
+            customers.lookup(&Value::Int(3)).is_none(),
+            "Carol reduced away"
+        );
         let products = reduced.relation("products").unwrap();
         assert_eq!(products.len(), 2);
         assert!(products.lookup(&Value::Int(12)).is_none());
@@ -237,8 +246,16 @@ mod tests {
         let order2 = order2.remove(&[Value::Int(2), Value::Int(10)]).unwrap();
         let db = db.with_relationship(order2);
         let reduced = reduce_db(&db).unwrap();
-        assert_eq!(reduced.relation("customers").unwrap().len(), 1, "only Alice");
-        assert_eq!(reduced.relation("products").unwrap().len(), 1, "only product 11");
+        assert_eq!(
+            reduced.relation("customers").unwrap().len(),
+            1,
+            "only Alice"
+        );
+        assert_eq!(
+            reduced.relation("products").unwrap().len(),
+            1,
+            "only product 11"
+        );
         assert_eq!(reduced.relationship("order").unwrap().len(), 1);
     }
 
@@ -257,7 +274,10 @@ mod tests {
         assert!(t.has_attr("name"));
         assert_eq!(t.attr_count(), 2, "name + price, nothing padded");
         // inner+outer partition the original
-        assert_eq!(sold.len() + unsold.len(), db.relation("products").unwrap().len());
+        assert_eq!(
+            sold.len() + unsold.len(),
+            db.relation("products").unwrap().len()
+        );
     }
 
     #[test]
@@ -273,8 +293,7 @@ mod tests {
 
     #[test]
     fn reduce_db_without_relationships_is_identity_on_relations() {
-        let db = DatabaseF::new("plain")
-            .with_relation(crate::testutil::customers_relation());
+        let db = DatabaseF::new("plain").with_relation(crate::testutil::customers_relation());
         let reduced = reduce_db(&db).unwrap();
         assert_eq!(
             reduced.relation("customers").unwrap().len(),

@@ -27,7 +27,11 @@ pub fn customers_relation() -> RelationF {
 /// ordered.
 pub fn products_relation() -> RelationF {
     let mut rel = RelationF::new("products", &["pid"]);
-    for (pid, name, price) in [(10, "keyboard", 49.0), (11, "mouse", 19.0), (12, "webcam", 89.0)] {
+    for (pid, name, price) in [
+        (10, "keyboard", 49.0),
+        (11, "mouse", 19.0),
+        (12, "webcam", 89.0),
+    ] {
         rel = rel
             .insert(
                 Value::Int(pid),
@@ -54,7 +58,11 @@ pub fn retail_db() -> DatabaseF {
             Participant::new("products", "pid", pid.clone()),
         ],
     );
-    for (c, p, date) in [(1, 10, "2026-01-05"), (1, 11, "2026-02-11"), (2, 10, "2026-03-02")] {
+    for (c, p, date) in [
+        (1, 10, "2026-01-05"),
+        (1, 11, "2026-02-11"),
+        (2, 10, "2026-03-02"),
+    ] {
         order = order
             .insert(
                 &[Value::Int(c), Value::Int(p)],

@@ -7,8 +7,7 @@
 //! relation function keyed by *rank* — ordering is not a presentation
 //! afterthought bolted onto a set, it is just another function.
 
-use crate::filter::key_attr_strs;
-use fdm_core::{FdmError, RelationF, Result, TupleF, Value};
+use fdm_core::{FdmError, RelationBuilder, RelationF, Result, TupleF, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -22,22 +21,21 @@ pub fn extend(
 ) -> Result<RelationF> {
     let f = Arc::new(f);
     let attr_name: Arc<str> = Arc::from(attr);
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()? {
         let f = Arc::clone(&f);
         let base = Arc::clone(&tuple);
-        let derived = TupleF::builder(tuple.name())
-            .computed(attr_name.as_ref(), move |_| f(&base));
+        let derived = TupleF::builder(tuple.name()).computed(attr_name.as_ref(), move |_| f(&base));
         // keep all existing attributes (stored stay stored)
         let mut b = derived;
         for (n, v) in tuple.materialize()? {
             if n != attr_name {
-                b = b.attr(n.as_ref(), v);
+                b = b.attr_name(n, v);
             }
         }
-        out = out.insert(key, b.build())?;
+        out.push(key, b.build());
     }
-    Ok(out)
+    out.build()
 }
 
 /// Materializing variant of [`extend`]: computes the value now and stores
@@ -47,12 +45,12 @@ pub fn extend_stored(
     attr: &str,
     f: impl Fn(&TupleF) -> Result<Value>,
 ) -> Result<RelationF> {
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()? {
         let v = f(&tuple)?;
-        out = out.insert(key, tuple.with_attr(attr, v))?;
+        out.push(key, tuple.with_attr(attr, v));
     }
-    Ok(out)
+    out.build()
 }
 
 /// Sort direction.
@@ -80,21 +78,22 @@ pub fn order_by(rel: &RelationF, attr: &str, order: Order) -> Result<RelationF> 
             Order::Desc => ord.reverse(),
         }
     });
-    let mut out = RelationF::new(format!("{}_by_{attr}", rel.name()), &["rank"]);
+    // Rank keys ascend, so this is the no-sort bulk path.
+    let mut out = RelationBuilder::new(format!("{}_by_{attr}", rel.name()), &["rank"]);
     for (rank, (_, _, tuple)) in entries.into_iter().enumerate() {
-        out = out.insert_arc(Value::Int(rank as i64), tuple)?;
+        out.push_arc(Value::Int(rank as i64), tuple);
     }
-    Ok(out)
+    out.build()
 }
 
 /// The first `k` tuples of a rank-keyed relation (compose with
 /// [`order_by`] for top-k).
 pub fn limit(rel: &RelationF, k: usize) -> Result<RelationF> {
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()?.into_iter().take(k) {
-        out = out.insert_arc(key, tuple)?;
+        out.push_arc(key, tuple);
     }
-    Ok(out)
+    out.build()
 }
 
 /// Top-k by attribute: `order_by` then `limit` in one call.
@@ -104,7 +103,7 @@ pub fn top_k(rel: &RelationF, attr: &str, order: Order, k: usize) -> Result<Rela
 
 /// Renames attributes (`(old, new)` pairs); unknown old names error.
 pub fn rename_attrs(rel: &RelationF, renames: &[(&str, &str)]) -> Result<RelationF> {
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()? {
         let mut b = TupleF::builder(tuple.name());
         for (n, v) in tuple.materialize()? {
@@ -115,18 +114,20 @@ pub fn rename_attrs(rel: &RelationF, renames: &[(&str, &str)]) -> Result<Relatio
                 .unwrap_or(n.as_ref());
             b = b.attr(name, v);
         }
-        out = out.insert(key, b.build())?;
+        out.push(key, b.build());
     }
     // validate that every rename matched at least one tuple's attribute
     if !rel.is_empty() {
         let (_, probe) = rel.tuples()?.remove(0);
         for (old, _) in renames {
             if !probe.has_attr(old) {
-                return Err(FdmError::NoSuchAttribute { attr: (*old).to_string() });
+                return Err(FdmError::NoSuchAttribute {
+                    attr: (*old).to_string(),
+                });
             }
         }
     }
-    Ok(out)
+    out.build()
 }
 
 /// Semi-join: tuples of `rel` whose value under `attr` appears in `keys`.
@@ -145,13 +146,13 @@ pub fn antijoin(rel: &RelationF, attr: &str, keys: &BTreeSet<Value>) -> Result<R
 
 /// Semi-join on the relation's *key* rather than an attribute.
 pub fn semijoin_keys(rel: &RelationF, keys: &BTreeSet<Value>) -> Result<RelationF> {
-    let mut out = RelationF::new(rel.name(), &key_attr_strs(rel));
+    let mut out = rel.builder_like();
     for (key, tuple) in rel.tuples()? {
         if keys.contains(&key) {
-            out = out.insert_arc(key, tuple)?;
+            out.push_arc(key, tuple);
         }
     }
-    Ok(out)
+    out.build()
 }
 
 #[cfg(test)]
@@ -252,7 +253,10 @@ mod tests {
         let rel = customers_relation()
             .insert(
                 Value::Int(9),
-                TupleF::builder("c9").attr("name", "Zoe").attr("age", 43).build(),
+                TupleF::builder("c9")
+                    .attr("name", "Zoe")
+                    .attr("age", 43)
+                    .build(),
             )
             .unwrap();
         let by_age = order_by(&rel, "age", Order::Asc).unwrap();

@@ -104,7 +104,10 @@ mod tests {
             &db,
             "customers",
             Value::Int(7),
-            TupleF::builder("t").attr("name", "Tom").attr("age", 42).build(),
+            TupleF::builder("t")
+                .attr("name", "Tom")
+                .attr("age", 42)
+                .build(),
         )
         .unwrap();
         assert_eq!(db1.relation("customers").unwrap().len(), 4);
@@ -113,7 +116,10 @@ mod tests {
         let (db2, key) = db_add(
             &db1,
             "customers",
-            TupleF::builder("t").attr("name", "Stephen").attr("age", 28).build(),
+            TupleF::builder("t")
+                .attr("name", "Stephen")
+                .attr("age", 28)
+                .build(),
         )
         .unwrap();
         assert_eq!(key, Value::Int(8), "max key 7 + 1");
@@ -123,7 +129,10 @@ mod tests {
             &db2,
             "customers",
             Value::Int(7),
-            TupleF::builder("t").attr("name", "Tom").attr("age", 49).build(),
+            TupleF::builder("t")
+                .attr("name", "Tom")
+                .attr("age", 49)
+                .build(),
         )
         .unwrap();
 
@@ -154,9 +163,15 @@ mod tests {
     #[test]
     fn fig11_balance_transfer_steps() {
         let accounts = RelationF::new("accounts", &["id"])
-            .insert(Value::Int(42), TupleF::builder("a").attr("balance", 1000).build())
+            .insert(
+                Value::Int(42),
+                TupleF::builder("a").attr("balance", 1000).build(),
+            )
             .unwrap()
-            .insert(Value::Int(84), TupleF::builder("a").attr("balance", 500).build())
+            .insert(
+                Value::Int(84),
+                TupleF::builder("a").attr("balance", 500).build(),
+            )
             .unwrap();
         let db = DatabaseF::new("bank").with_relation(accounts);
 

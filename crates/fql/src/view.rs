@@ -22,7 +22,10 @@ pub struct DynamicView {
 impl DynamicView {
     /// Creates a view from a plan.
     pub fn new(name: impl Into<String>, query: Query) -> Self {
-        DynamicView { name: name.into(), query }
+        DynamicView {
+            name: name.into(),
+            query,
+        }
     }
 
     /// The view's name.
@@ -79,7 +82,10 @@ mod tests {
             &db,
             "customers",
             Value::Int(9),
-            TupleF::builder("c").attr("name", "Zoe").attr("age", 70).build(),
+            TupleF::builder("c")
+                .attr("name", "Zoe")
+                .attr("age", 70)
+                .build(),
         )
         .unwrap();
         assert_eq!(view.eval(&db2).unwrap().len(), 3, "dynamic: always fresh");
@@ -96,7 +102,10 @@ mod tests {
             &db_m,
             "customers",
             Value::Int(9),
-            TupleF::builder("c").attr("name", "Zoe").attr("age", 70).build(),
+            TupleF::builder("c")
+                .attr("name", "Zoe")
+                .attr("age", 70)
+                .build(),
         )
         .unwrap();
         // the stored view entry did not move

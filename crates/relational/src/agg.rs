@@ -51,7 +51,11 @@ impl Agg {
                     Cell::Null
                 } else {
                     let s: f64 = vals.iter().sum();
-                    if s.fract() == 0.0 && rows.iter().all(|r| matches!(r[i], Cell::Int(_) | Cell::Null)) {
+                    if s.fract() == 0.0
+                        && rows
+                            .iter()
+                            .all(|r| matches!(r[i], Cell::Int(_) | Cell::Null))
+                    {
                         Cell::Int(s as i64)
                     } else {
                         Cell::Float(s)
@@ -111,10 +115,7 @@ pub fn group_by(input: &Relation, by_cols: &[&str], aggs: &[Agg]) -> Relation {
     for n in &agg_names {
         cols.push(n);
     }
-    let mut out = Relation::new(
-        format!("γ({})", input.name()),
-        Schema::new(&cols),
-    );
+    let mut out = Relation::new(format!("γ({})", input.name()), Schema::new(&cols));
     for (key, rows) in &groups {
         let mut row = key.clone();
         for a in aggs {
@@ -215,7 +216,10 @@ pub fn cube(input: &Relation, by: &[&str], aggs: &[Agg]) -> Relation {
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, c)| c.to_string())
             .collect();
-        sets.push(GroupingSet { by: cols, aggs: aggs.to_vec() });
+        sets.push(GroupingSet {
+            by: cols,
+            aggs: aggs.to_vec(),
+        });
     }
     grouping_sets(input, &sets)
 }
@@ -248,13 +252,17 @@ mod tests {
 
     #[test]
     fn aggregates_ignore_nulls() {
-        let out = group_by(&customers(), &[], &[
-            Agg::Count("age".into()),
-            Agg::Sum("age".into()),
-            Agg::Min("age".into()),
-            Agg::Max("age".into()),
-            Agg::Avg("age".into()),
-        ]);
+        let out = group_by(
+            &customers(),
+            &[],
+            &[
+                Agg::Count("age".into()),
+                Agg::Sum("age".into()),
+                Agg::Min("age".into()),
+                Agg::Max("age".into()),
+                Agg::Avg("age".into()),
+            ],
+        );
         assert_eq!(out.len(), 1);
         let r = &out.rows()[0];
         assert_eq!(r[0], Cell::Int(3), "COUNT skips Dave's NULL");
@@ -271,7 +279,11 @@ mod tests {
     fn empty_group_sum_is_null() {
         let empty = Relation::new("e", Schema::new(&["x"]));
         let out = group_by(&empty, &[], &[Agg::Sum("x".into()), Agg::CountStar]);
-        assert_eq!(out.rows()[0][0], Cell::Null, "SUM over nothing is NULL in SQL");
+        assert_eq!(
+            out.rows()[0][0],
+            Cell::Null,
+            "SUM over nothing is NULL in SQL"
+        );
         assert_eq!(out.rows()[0][1], Cell::Int(0));
     }
 
@@ -281,12 +293,18 @@ mod tests {
         let out = grouping_sets(
             &customers(),
             &[
-                GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+                GroupingSet {
+                    by: vec!["age".into()],
+                    aggs: vec![Agg::CountStar],
+                },
                 GroupingSet {
                     by: vec!["age".into(), "name".into()],
                     aggs: vec![Agg::CountStar],
                 },
-                GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+                GroupingSet {
+                    by: vec![],
+                    aggs: vec![Agg::Min("age".into())],
+                },
             ],
         );
         // 3 age groups + 4 (age,name) groups + 1 global row
@@ -310,7 +328,10 @@ mod tests {
             .iter()
             .filter(|r| r[0].is_null() && !r[2].is_null())
             .count();
-        assert!(null_age_count_rows >= 2, "real NULL group + subtotal rows collide");
+        assert!(
+            null_age_count_rows >= 2,
+            "real NULL group + subtotal rows collide"
+        );
     }
 
     #[test]

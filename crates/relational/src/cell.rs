@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn null_infects_sql_comparisons() {
         assert_eq!(Cell::Null.sql_eq(&Cell::Int(1)), None);
-        assert_eq!(Cell::Null.sql_eq(&Cell::Null), None, "NULL = NULL is UNKNOWN");
+        assert_eq!(
+            Cell::Null.sql_eq(&Cell::Null),
+            None,
+            "NULL = NULL is UNKNOWN"
+        );
         assert_eq!(Cell::Int(1).sql_eq(&Cell::Int(1)), Some(true));
         assert_eq!(Cell::Null.sql_cmp(&Cell::Int(1)), None);
     }
@@ -177,7 +181,10 @@ mod tests {
     #[test]
     fn cross_numeric() {
         assert_eq!(Cell::Int(1), Cell::Float(1.0));
-        assert_eq!(Cell::Int(1).sql_cmp(&Cell::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Cell::Int(1).sql_cmp(&Cell::Float(1.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod sql;
 
 pub use agg::{cube, group_by, grouping_sets, rollup, Agg, GroupingSet};
 pub use cell::Cell;
-pub use ops::{col_eq, except, hash_join, intersect, outer_join, project, select, union, OuterSide};
+pub use ops::{
+    col_eq, except, hash_join, intersect, outer_join, project, select, union, OuterSide,
+};
 pub use relation::{ColName, Relation, Row, Schema};
 pub use sql::{Catalog, SqlError};

@@ -61,10 +61,7 @@ pub fn hash_join(left: &Relation, right: &Relation, lcol: &str, rcol: &str) -> R
 
     // Build side: smaller relation.
     let schema = left.schema().join(right.schema(), right.name());
-    let mut out = Relation::new(
-        format!("({} ⋈ {})", left.name(), right.name()),
-        schema,
-    );
+    let mut out = Relation::new(format!("({} ⋈ {})", left.name(), right.name()), schema);
 
     let mut table: HashMap<CellKey, Vec<usize>> = HashMap::new();
     for (i, row) in right.rows().iter().enumerate() {
@@ -112,10 +109,7 @@ pub fn outer_join(
     let li = left.schema().index_of(lcol).expect("left join column");
     let ri = right.schema().index_of(rcol).expect("right join column");
     let schema = left.schema().join(right.schema(), right.name());
-    let mut out = Relation::new(
-        format!("({} ⟗ {})", left.name(), right.name()),
-        schema,
-    );
+    let mut out = Relation::new(format!("({} ⟗ {})", left.name(), right.name()), schema);
 
     let mut table: HashMap<CellKey, Vec<usize>> = HashMap::new();
     for (i, row) in right.rows().iter().enumerate() {
@@ -151,8 +145,7 @@ pub fn outer_join(
     if matches!(side, OuterSide::Right | OuterSide::Full) {
         for (i, rrow) in right.rows().iter().enumerate() {
             if !right_matched[i] {
-                let mut row: Row = std::iter::repeat_n(Cell::Null, left.schema().width())
-                    .collect();
+                let mut row: Row = std::iter::repeat_n(Cell::Null, left.schema().width()).collect();
                 row.extend(rrow.iter().cloned());
                 out.push(row);
             }
@@ -163,7 +156,11 @@ pub fn outer_join(
 
 /// ∪ with set semantics (schemas must be union-compatible by width).
 pub fn union(a: &Relation, b: &Relation) -> Relation {
-    assert_eq!(a.schema().width(), b.schema().width(), "union compatibility");
+    assert_eq!(
+        a.schema().width(),
+        b.schema().width(),
+        "union compatibility"
+    );
     let mut out = Relation::new(format!("({} ∪ {})", a.name(), b.name()), a.schema().clone());
     out.extend(a.rows().iter().cloned());
     out.extend(b.rows().iter().cloned());
@@ -172,7 +169,11 @@ pub fn union(a: &Relation, b: &Relation) -> Relation {
 
 /// ∩ with set semantics.
 pub fn intersect(a: &Relation, b: &Relation) -> Relation {
-    assert_eq!(a.schema().width(), b.schema().width(), "union compatibility");
+    assert_eq!(
+        a.schema().width(),
+        b.schema().width(),
+        "union compatibility"
+    );
     let set: std::collections::BTreeSet<&Row> = b.rows().iter().collect();
     let mut out = Relation::new(format!("({} ∩ {})", a.name(), b.name()), a.schema().clone());
     for row in a.rows() {
@@ -185,7 +186,11 @@ pub fn intersect(a: &Relation, b: &Relation) -> Relation {
 
 /// − (EXCEPT) with set semantics.
 pub fn except(a: &Relation, b: &Relation) -> Relation {
-    assert_eq!(a.schema().width(), b.schema().width(), "union compatibility");
+    assert_eq!(
+        a.schema().width(),
+        b.schema().width(),
+        "union compatibility"
+    );
     let set: std::collections::BTreeSet<&Row> = b.rows().iter().collect();
     let mut out = Relation::new(format!("({} − {})", a.name(), b.name()), a.schema().clone());
     for row in a.rows() {
@@ -213,7 +218,11 @@ impl std::hash::Hash for CellKey {
                 i.hash(state);
             }
             Cell::Float(x) => {
-                if x.fract() == 0.0 && x.is_finite() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 {
+                if x.fract() == 0.0
+                    && x.is_finite()
+                    && *x >= i64::MIN as f64
+                    && *x <= i64::MAX as f64
+                {
                     2u8.hash(state);
                     (*x as i64).hash(state);
                 } else {
@@ -258,7 +267,8 @@ mod tests {
         // age > 40 — Carol's NULL age is UNKNOWN, filtered out.
         let out = select(&customers(), |s, r| {
             let i = s.index_of("age")?;
-            r[i].sql_cmp(&Cell::Int(40)).map(|o| o == std::cmp::Ordering::Greater)
+            r[i].sql_cmp(&Cell::Int(40))
+                .map(|o| o == std::cmp::Ordering::Greater)
         });
         assert_eq!(out.len(), 1);
         assert_eq!(out.cell(0, "name"), Some(&Cell::str("Alice")));

@@ -16,7 +16,9 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema from column names.
     pub fn new(cols: &[&str]) -> Schema {
-        Schema { cols: cols.iter().map(|c| ColName::from(*c)).collect() }
+        Schema {
+            cols: cols.iter().map(|c| ColName::from(*c)).collect(),
+        }
     }
 
     /// Builds a schema from owned names.
@@ -71,7 +73,11 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation.
     pub fn new(name: impl AsRef<str>, schema: Schema) -> Relation {
-        Relation { name: Arc::from(name.as_ref()), schema, rows: Vec::new() }
+        Relation {
+            name: Arc::from(name.as_ref()),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The relation's name.

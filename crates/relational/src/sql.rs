@@ -263,7 +263,9 @@ fn sql_lex(q: &str) -> Result<Vec<SqlTok>, SqlError> {
                     i += 1;
                 }
                 out.push(SqlTok::Int(
-                    q[start..i].parse().map_err(|_| SqlError("int overflow".into()))?,
+                    q[start..i]
+                        .parse()
+                        .map_err(|_| SqlError("int overflow".into()))?,
                 ));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {

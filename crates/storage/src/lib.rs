@@ -21,6 +21,19 @@
 //! * [`VersionedRoot`] — a concurrent cell holding the current committed
 //!   root, supporting lock-free-ish snapshot loads and atomic
 //!   compare-and-swap installs for first-committer-wins commit protocols.
+//!
+//! ## Bulk construction fast path
+//!
+//! Point inserts are for point workloads. Building an n-entry container by
+//! repeated `insert` costs O(n log n) time and allocates a fresh
+//! root-to-leaf path per entry; query operators that emit whole results
+//! should instead hand a sorted run to `PMap::from_sorted_vec` /
+//! `PSet::from_sorted_vec` / `PMultiMap::from_sorted_vec` (or the
+//! `from_sorted_iter` variants), which assemble a height-balanced tree
+//! bottom-up in **O(n)** with exactly one node allocation per entry. The
+//! ordering contract is checked by `debug_assert` only, so release builds
+//! pay nothing. `fdm-core`'s `RelationBuilder` is the relation-level
+//! wrapper every FQL operator builds its output through.
 
 #![warn(missing_docs)]
 

@@ -40,7 +40,14 @@ impl<K: Clone, V: Clone> Node<K, V> {
     fn new(key: K, val: V, left: Link<K, V>, right: Link<K, V>) -> Arc<Self> {
         let height = 1 + height(&left).max(height(&right));
         let size = 1 + size(&left) + size(&right);
-        Arc::new(Node { key, val, left, right, height, size })
+        Arc::new(Node {
+            key,
+            val,
+            left,
+            right,
+            height,
+            size,
+        })
     }
 
     fn balance_factor(&self) -> i16 {
@@ -50,37 +57,93 @@ impl<K: Clone, V: Clone> Node<K, V> {
 
 /// Rebuild a subtree with the given children, restoring the AVL invariant
 /// (|balance factor| <= 1) with at most two rotations.
-fn balance<K: Clone, V: Clone>(key: K, val: V, left: Link<K, V>, right: Link<K, V>) -> Arc<Node<K, V>> {
+fn balance<K: Clone, V: Clone>(
+    key: K,
+    val: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Arc<Node<K, V>> {
     let bf = height(&left) as i16 - height(&right) as i16;
     if bf > 1 {
         let l = left.expect("bf > 1 implies left child");
         if l.balance_factor() >= 0 {
             // Left-left: single right rotation.
             let new_right = Node::new(key, val, l.right.clone(), right);
-            Node::new(l.key.clone(), l.val.clone(), l.left.clone(), Some(new_right))
+            Node::new(
+                l.key.clone(),
+                l.val.clone(),
+                l.left.clone(),
+                Some(new_right),
+            )
         } else {
             // Left-right: double rotation through l.right.
-            let lr = l.right.as_ref().expect("bf < 0 implies right child").clone();
-            let new_left = Node::new(l.key.clone(), l.val.clone(), l.left.clone(), lr.left.clone());
+            let lr = l
+                .right
+                .as_ref()
+                .expect("bf < 0 implies right child")
+                .clone();
+            let new_left = Node::new(
+                l.key.clone(),
+                l.val.clone(),
+                l.left.clone(),
+                lr.left.clone(),
+            );
             let new_right = Node::new(key, val, lr.right.clone(), right);
-            Node::new(lr.key.clone(), lr.val.clone(), Some(new_left), Some(new_right))
+            Node::new(
+                lr.key.clone(),
+                lr.val.clone(),
+                Some(new_left),
+                Some(new_right),
+            )
         }
     } else if bf < -1 {
         let r = right.expect("bf < -1 implies right child");
         if r.balance_factor() <= 0 {
             // Right-right: single left rotation.
             let new_left = Node::new(key, val, left, r.left.clone());
-            Node::new(r.key.clone(), r.val.clone(), Some(new_left), r.right.clone())
+            Node::new(
+                r.key.clone(),
+                r.val.clone(),
+                Some(new_left),
+                r.right.clone(),
+            )
         } else {
             // Right-left: double rotation through r.left.
             let rl = r.left.as_ref().expect("bf > 0 implies left child").clone();
             let new_left = Node::new(key, val, left, rl.left.clone());
-            let new_right = Node::new(r.key.clone(), r.val.clone(), rl.right.clone(), r.right.clone());
-            Node::new(rl.key.clone(), rl.val.clone(), Some(new_left), Some(new_right))
+            let new_right = Node::new(
+                r.key.clone(),
+                r.val.clone(),
+                rl.right.clone(),
+                r.right.clone(),
+            );
+            Node::new(
+                rl.key.clone(),
+                rl.val.clone(),
+                Some(new_left),
+                Some(new_right),
+            )
         }
     } else {
         Node::new(key, val, left, right)
     }
+}
+
+/// Builds a height-balanced subtree from the next `n` in-order entries of
+/// `it` (the O(n) half of [`PMap::from_sorted_vec`]). Splitting entries in
+/// half at every level bounds the height by `ceil(log2(n + 1))` and keeps
+/// every balance factor in `{-1, 0, 1}`.
+fn build_balanced<K: Clone, V: Clone, I: Iterator<Item = (K, V)>>(
+    it: &mut I,
+    n: usize,
+) -> Link<K, V> {
+    if n == 0 {
+        return None;
+    }
+    let left = build_balanced(it, n / 2);
+    let (key, val) = it.next().expect("iterator holds n entries");
+    let right = build_balanced(it, n - n / 2 - 1);
+    Some(Node::new(key, val, left, right))
 }
 
 /// A persistent (immutable, structurally shared) ordered map.
@@ -109,7 +172,9 @@ pub struct PMap<K, V> {
 
 impl<K, V> Clone for PMap<K, V> {
     fn clone(&self) -> Self {
-        PMap { root: self.root.clone() }
+        PMap {
+            root: self.root.clone(),
+        }
     }
 }
 
@@ -230,7 +295,11 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
     /// Inserts `key -> val`, returning the new map and the previous value
     /// for `key` if one existed. The receiver is unchanged.
     pub fn insert(&self, key: K, val: V) -> (Self, Option<V>) {
-        fn go<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: K, val: V) -> (Arc<Node<K, V>>, Option<V>) {
+        fn go<K: Ord + Clone, V: Clone>(
+            link: &Link<K, V>,
+            key: K,
+            val: V,
+        ) -> (Arc<Node<K, V>>, Option<V>) {
             match link {
                 None => (Node::new(key, val, None, None), None),
                 Some(n) => match key.cmp(&n.key) {
@@ -379,12 +448,42 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
     }
 
     /// Builds a map from an iterator of pairs; later duplicates win.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
     pub fn from_iter<I: IntoIterator<Item = (K, V)>>(it: I) -> Self {
         let mut m = PMap::new();
         for (k, v) in it {
             m = m.insert(k, v).0;
         }
         m
+    }
+
+    /// Builds a map in **O(n)** from entries sorted by strictly ascending
+    /// key.
+    ///
+    /// This is the bulk-construction fast path: instead of n root-to-leaf
+    /// insertions (O(n log n) time and `Arc` allocation), the balanced tree
+    /// is assembled bottom-up with exactly one node allocation per entry.
+    /// The resulting tree is height-balanced (every subtree splits its
+    /// entries in half), so all AVL invariants hold.
+    ///
+    /// Ordering is the caller's contract; it is checked with a
+    /// `debug_assert` so release builds pay nothing.
+    pub fn from_sorted_vec(entries: Vec<(K, V)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted_vec: keys must be strictly ascending"
+        );
+        let n = entries.len();
+        let mut it = entries.into_iter();
+        let root = build_balanced(&mut it, n);
+        debug_assert!(it.next().is_none());
+        PMap { root }
+    }
+
+    /// [`Self::from_sorted_vec`] from any iterator of strictly-ascending
+    /// entries (collected once, then built in O(n)).
+    pub fn from_sorted_iter<I: IntoIterator<Item = (K, V)>>(it: I) -> Self {
+        Self::from_sorted_vec(it.into_iter().collect())
     }
 
     /// Checks the AVL and size invariants of the whole tree (test support).
@@ -450,7 +549,11 @@ pub struct Iter<'a, K, V> {
 
 impl<'a, K: Ord, V> Iter<'a, K, V> {
     fn new(root: &'a Link<K, V>, lo: Option<&'a K>, hi: Option<&'a K>) -> Self {
-        let mut it = Iter { stack: Vec::new(), lo, hi };
+        let mut it = Iter {
+            stack: Vec::new(),
+            lo,
+            hi,
+        };
         it.push_left(root.as_deref());
         it
     }
@@ -531,7 +634,11 @@ mod tests {
         let m = PMap::from_iter((0..1024).map(|i| (i, ())));
         assert!(m.check_invariants());
         // AVL height bound: 1.44 * log2(n+2)
-        assert!(m.tree_height() <= 15, "height {} too large", m.tree_height());
+        assert!(
+            m.tree_height() <= 15,
+            "height {} too large",
+            m.tree_height()
+        );
     }
 
     #[test]

@@ -30,13 +30,19 @@ pub struct PMultiMap<K, V> {
 
 impl<K, V> Clone for PMultiMap<K, V> {
     fn clone(&self) -> Self {
-        PMultiMap { map: self.map.clone(), total: self.total }
+        PMultiMap {
+            map: self.map.clone(),
+            total: self.total,
+        }
     }
 }
 
 impl<K, V> Default for PMultiMap<K, V> {
     fn default() -> Self {
-        PMultiMap { map: PMap::default(), total: 0 }
+        PMultiMap {
+            map: PMap::default(),
+            total: 0,
+        }
     }
 }
 
@@ -79,7 +85,10 @@ impl<K: Ord + Clone, V: Ord + Clone> PMultiMap<K, V> {
         let (set, was_new) = set.insert(val);
         let map = self.map.insert(key, set).0;
         (
-            PMultiMap { map, total: self.total + usize::from(was_new) },
+            PMultiMap {
+                map,
+                total: self.total + usize::from(was_new),
+            },
             was_new,
         )
     }
@@ -98,7 +107,13 @@ impl<K: Ord + Clone, V: Ord + Clone> PMultiMap<K, V> {
                 } else {
                     self.map.insert(key.clone(), set).0
                 };
-                (PMultiMap { map, total: self.total - 1 }, true)
+                (
+                    PMultiMap {
+                        map,
+                        total: self.total - 1,
+                    },
+                    true,
+                )
             }
         }
     }
@@ -110,10 +125,49 @@ impl<K: Ord + Clone, V: Ord + Clone> PMultiMap<K, V> {
         match old {
             None => (self.clone(), None),
             Some(set) => (
-                PMultiMap { map, total: self.total - set.len() },
+                PMultiMap {
+                    map,
+                    total: self.total - set.len(),
+                },
                 Some(set),
             ),
         }
+    }
+
+    /// Builds a multimap in **O(n)** from `(key, value)` pairs sorted
+    /// ascending by key, then value. Duplicate pairs collapse (set
+    /// semantics, matching repeated [`Self::insert`]); ordering is checked
+    /// by `debug_assert` only.
+    pub fn from_sorted_vec(pairs: Vec<(K, V)>) -> Self {
+        debug_assert!(
+            pairs
+                .windows(2)
+                .all(|w| (&w[0].0, &w[0].1) <= (&w[1].0, &w[1].1)),
+            "from_sorted_vec: pairs must be sorted by (key, value)"
+        );
+        let mut groups: Vec<(K, PSet<V>)> = Vec::new();
+        let mut total = 0usize;
+        let mut pairs = pairs.into_iter().peekable();
+        while let Some((key, first)) = pairs.next() {
+            let mut vals = vec![first];
+            while pairs.peek().is_some_and(|(k, _)| *k == key) {
+                let (_, v) = pairs.next().expect("peeked");
+                if vals.last() != Some(&v) {
+                    vals.push(v);
+                }
+            }
+            total += vals.len();
+            groups.push((key, PSet::from_sorted_vec(vals)));
+        }
+        PMultiMap {
+            map: PMap::from_sorted_vec(groups),
+            total,
+        }
+    }
+
+    /// [`Self::from_sorted_vec`] from any iterator of sorted pairs.
+    pub fn from_sorted_iter<I: IntoIterator<Item = (K, V)>>(it: I) -> Self {
+        Self::from_sorted_vec(it.into_iter().collect())
     }
 
     /// Iterates `(key, value-set)` pairs in ascending key order.
@@ -124,7 +178,9 @@ impl<K: Ord + Clone, V: Ord + Clone> PMultiMap<K, V> {
     /// Iterates all `(key, value)` pairs, keys ascending, values ascending
     /// within each key.
     pub fn iter_flat(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
-        self.map.iter().flat_map(|(k, set)| set.iter().map(move |v| (k, v)))
+        self.map
+            .iter()
+            .flat_map(|(k, set)| set.iter().map(move |v| (k, v)))
     }
 }
 
@@ -141,9 +197,12 @@ mod tests {
     #[test]
     fn duplicate_keys_accumulate() {
         let m = PMultiMap::new()
-            .insert("foo", 1).0
-            .insert("foo", 2).0
-            .insert("bar", 3).0;
+            .insert("foo", 1)
+            .0
+            .insert("foo", 2)
+            .0
+            .insert("bar", 3)
+            .0;
         assert_eq!(m.key_len(), 2);
         assert_eq!(m.total_len(), 3);
         let foos: Vec<_> = m.get("foo").unwrap().iter().copied().collect();
@@ -180,9 +239,12 @@ mod tests {
     #[test]
     fn iter_flat_orders_pairs() {
         let m = PMultiMap::new()
-            .insert(2, 'x').0
-            .insert(1, 'b').0
-            .insert(1, 'a').0;
+            .insert(2, 'x')
+            .0
+            .insert(1, 'b')
+            .0
+            .insert(1, 'a')
+            .0;
         let pairs: Vec<_> = m.iter_flat().map(|(k, v)| (*k, *v)).collect();
         assert_eq!(pairs, vec![(1, 'a'), (1, 'b'), (2, 'x')]);
     }

@@ -25,13 +25,17 @@ pub struct PSet<T> {
 
 impl<T> Clone for PSet<T> {
     fn clone(&self) -> Self {
-        PSet { map: self.map.clone() }
+        PSet {
+            map: self.map.clone(),
+        }
     }
 }
 
 impl<T> Default for PSet<T> {
     fn default() -> Self {
-        PSet { map: PMap::default() }
+        PSet {
+            map: PMap::default(),
+        }
     }
 }
 
@@ -104,7 +108,11 @@ impl<T: Ord + Clone> PSet<T> {
 
     /// Set intersection (elements of both).
     pub fn intersection(&self, other: &Self) -> Self {
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut out = PSet::new();
         for item in small.iter() {
             if large.contains(item) {
@@ -126,8 +134,25 @@ impl<T: Ord + Clone> PSet<T> {
     }
 
     /// Builds a set from an iterator.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
     pub fn from_iter<I: IntoIterator<Item = T>>(it: I) -> Self {
-        PSet { map: PMap::from_iter(it.into_iter().map(|t| (t, ()))) }
+        PSet {
+            map: PMap::from_iter(it.into_iter().map(|t| (t, ()))),
+        }
+    }
+
+    /// Builds a set in **O(n)** from strictly ascending items (the bulk
+    /// fast path; ordering checked by `debug_assert` only).
+    pub fn from_sorted_vec(items: Vec<T>) -> Self {
+        PSet {
+            map: PMap::from_sorted_iter(items.into_iter().map(|t| (t, ()))),
+        }
+    }
+
+    /// [`Self::from_sorted_vec`] from any iterator of strictly ascending
+    /// items.
+    pub fn from_sorted_iter<I: IntoIterator<Item = T>>(it: I) -> Self {
+        Self::from_sorted_vec(it.into_iter().collect())
     }
 }
 
@@ -185,6 +210,16 @@ mod tests {
         assert_eq!(v, vec![1, 5, 9]);
         assert_eq!(s.first(), Some(&1));
         assert_eq!(s.last(), Some(&9));
+    }
+
+    #[test]
+    fn bulk_built_set_behaves_like_incremental() {
+        let s = PSet::from_sorted_vec((0..20).collect());
+        assert_eq!(s.len(), 20);
+        assert!(s.contains(&19));
+        let (s2, was_new) = s.insert(20);
+        assert!(was_new);
+        assert_eq!(s2.len(), 21);
     }
 
     #[test]

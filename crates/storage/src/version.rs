@@ -66,7 +66,9 @@ pub struct VersionedRoot<T> {
 impl<T: Clone> VersionedRoot<T> {
     /// Creates a root at version 0 holding `value`.
     pub fn new(value: T) -> Self {
-        VersionedRoot { inner: RwLock::new(Snapshot { version: 0, value }) }
+        VersionedRoot {
+            inner: RwLock::new(Snapshot { version: 0, value }),
+        }
     }
 
     /// Takes a snapshot of the current version.
@@ -94,7 +96,10 @@ impl<T: Clone> VersionedRoot<T> {
     pub fn try_install(&self, expected: Version, value: T) -> Result<Version, VersionConflict> {
         let mut guard = self.inner.write();
         if guard.version != expected {
-            return Err(VersionConflict { expected, found: guard.version });
+            return Err(VersionConflict {
+                expected,
+                found: guard.version,
+            });
         }
         guard.version += 1;
         guard.value = value;

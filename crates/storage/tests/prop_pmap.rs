@@ -122,6 +122,104 @@ proptest! {
     }
 
     #[test]
+    fn from_sorted_vec_equals_repeated_insert(
+        entries in prop::collection::btree_map(any::<i64>(), any::<i64>(), 0..200)
+    ) {
+        let sorted: Vec<(i64, i64)> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let bulk = PMap::from_sorted_vec(sorted.clone());
+        let incremental = PMap::from_iter(sorted.clone());
+        // same entries, in the same order, with the same len
+        prop_assert_eq!(bulk.len(), incremental.len());
+        let b: Vec<_> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let i: Vec<_> = incremental.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(&b, &i);
+        prop_assert_eq!(b, sorted);
+        prop_assert_eq!(bulk, incremental);
+        // AVL height/size invariants hold on the bulk-built tree, and its
+        // height respects the AVL bound
+        prop_assert!(bulk.check_invariants());
+        if !bulk.is_empty() {
+            let bound = (1.45 * ((bulk.len() + 2) as f64).log2()).ceil() as usize;
+            prop_assert!(bulk.tree_height() <= bound,
+                "height {} exceeds AVL bound {bound} for {} entries",
+                bulk.tree_height(), bulk.len());
+        }
+        // point lookups and order statistics agree
+        for (i, (k, v)) in bulk.iter().enumerate() {
+            prop_assert_eq!(incremental.get(k), Some(v));
+            prop_assert_eq!(bulk.nth(i), Some((k, v)));
+            prop_assert_eq!(bulk.rank(k), i);
+        }
+    }
+
+    #[test]
+    fn bulk_built_map_mutates_like_any_other(
+        entries in prop::collection::btree_map(-60i64..60, any::<i64>(), 0..80),
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        // a bulk-built tree must be a first-class PMap: inserts/removes on
+        // top of it keep all invariants and match the model
+        let mut model: BTreeMap<i64, i64> = entries.clone();
+        let mut map = PMap::from_sorted_vec(entries.into_iter().collect());
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let (next, old) = map.insert(k, v);
+                    prop_assert_eq!(old, model.insert(k, v));
+                    map = next;
+                }
+                Op::Remove(k) => {
+                    let (next, old) = map.remove(&k);
+                    prop_assert_eq!(old, model.remove(&k));
+                    map = next;
+                }
+                Op::UpdateWith(k, d) => {
+                    let (next, _) = map.update_with(&k, |v| v.wrapping_add(d));
+                    if let Some(v) = model.get_mut(&k) {
+                        *v = v.wrapping_add(d);
+                    }
+                    map = next;
+                }
+            }
+            prop_assert!(map.check_invariants());
+        }
+        let got: Vec<_> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pset_from_sorted_equals_inserts(
+        items in prop::collection::btree_set(any::<i64>(), 0..150)
+    ) {
+        let sorted: Vec<i64> = items.iter().copied().collect();
+        let bulk = PSet::from_sorted_vec(sorted.clone());
+        let incremental = PSet::from_iter(sorted.clone());
+        prop_assert_eq!(bulk.len(), incremental.len());
+        let b: Vec<_> = bulk.iter().copied().collect();
+        prop_assert_eq!(b, sorted);
+        prop_assert_eq!(bulk, incremental);
+    }
+
+    #[test]
+    fn pmultimap_from_sorted_equals_inserts(
+        pairs in prop::collection::btree_set(((-20i64..20), (-20i64..20)), 0..120)
+    ) {
+        let sorted: Vec<(i64, i64)> = pairs.iter().copied().collect();
+        let bulk = PMultiMap::from_sorted_vec(sorted.clone());
+        let mut incremental: PMultiMap<i64, i64> = PMultiMap::new();
+        for (k, v) in &sorted {
+            incremental = incremental.insert(*k, *v).0;
+        }
+        prop_assert_eq!(bulk.total_len(), incremental.total_len());
+        prop_assert_eq!(bulk.key_len(), incremental.key_len());
+        let b: Vec<_> = bulk.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        let i: Vec<_> = incremental.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(&b, &i);
+        prop_assert_eq!(b, sorted);
+    }
+
+    #[test]
     fn pmultimap_matches_model(
         pairs in prop::collection::vec(((-20i64..20), (-20i64..20)), 0..120)
     ) {

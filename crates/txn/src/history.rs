@@ -34,7 +34,10 @@ pub struct History {
 impl History {
     /// Creates a history retaining up to `capacity` versions.
     pub fn new(capacity: usize) -> History {
-        History { inner: RwLock::new(Vec::new()), capacity: capacity.max(1) }
+        History {
+            inner: RwLock::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Records a committed version (drops the oldest beyond capacity).
@@ -55,10 +58,12 @@ impl History {
             .rev()
             .find(|(v, _)| *v <= version)
             .map(|(_, db)| db.clone())
-            .ok_or_else(|| FdmError::Other(format!(
-                "version {version} is no longer retained (history keeps {} entries)",
-                self.capacity
-            )))
+            .ok_or_else(|| {
+                FdmError::Other(format!(
+                    "version {version} is no longer retained (history keeps {} entries)",
+                    self.capacity
+                ))
+            })
     }
 
     /// The newest recorded version, if any.
@@ -119,7 +124,10 @@ mod tests {
     fn time_travel_with_a_store() {
         // the intended usage: record each commit, then diff versions
         let accounts = RelationF::new("accounts", &["id"])
-            .insert(Value::Int(1), TupleF::builder("a").attr("balance", 100).build())
+            .insert(
+                Value::Int(1),
+                TupleF::builder("a").attr("balance", 100).build(),
+            )
             .unwrap();
         let store = Store::new(DatabaseF::new("bank").with_relation(accounts));
         let history = Arc::new(History::new(16));

@@ -70,7 +70,11 @@ impl Transaction {
         self.working = db_upsert(&self.working, rel, key.clone(), tuple.clone())?;
         let rel_name = Name::from(rel);
         self.writes.touch_key(&rel_name, &key);
-        self.ops.push(Op::Upsert { rel: rel_name, key, tuple: Arc::new(tuple) });
+        self.ops.push(Op::Upsert {
+            rel: rel_name,
+            key,
+            tuple: Arc::new(tuple),
+        });
         Ok(())
     }
 
@@ -79,7 +83,10 @@ impl Transaction {
         self.working = db_delete(&self.working, rel, key)?;
         let rel_name = Name::from(rel);
         self.writes.touch_key(&rel_name, key);
-        self.ops.push(Op::Delete { rel: rel_name, key: key.clone() });
+        self.ops.push(Op::Delete {
+            rel: rel_name,
+            key: key.clone(),
+        });
         Ok(())
     }
 
@@ -251,9 +258,15 @@ mod tests {
 
     fn bank() -> Arc<Store> {
         let accounts = RelationF::new("accounts", &["id"])
-            .insert(Value::Int(42), TupleF::builder("a").attr("balance", 1000).build())
+            .insert(
+                Value::Int(42),
+                TupleF::builder("a").attr("balance", 1000).build(),
+            )
             .unwrap()
-            .insert(Value::Int(84), TupleF::builder("a").attr("balance", 500).build())
+            .insert(
+                Value::Int(84),
+                TupleF::builder("a").attr("balance", 500).build(),
+            )
             .unwrap();
         Store::new(DatabaseF::new("bank").with_relation(accounts))
     }
@@ -294,9 +307,11 @@ mod tests {
     fn read_your_own_writes() {
         let store = bank();
         let mut txn = store.begin();
-        txn.update_attr("accounts", &Value::Int(42), "balance", 7).unwrap();
+        txn.update_attr("accounts", &Value::Int(42), "balance", 7)
+            .unwrap();
         assert_eq!(
-            txn.get_attr("accounts", &Value::Int(42), "balance").unwrap(),
+            txn.get_attr("accounts", &Value::Int(42), "balance")
+                .unwrap(),
             Value::Int(7)
         );
         txn.rollback();
@@ -328,8 +343,10 @@ mod tests {
         let store = bank();
         let mut t1 = store.begin();
         let mut t2 = store.begin();
-        t1.update_attr("accounts", &Value::Int(42), "balance", 1).unwrap();
-        t2.update_attr("accounts", &Value::Int(84), "balance", 2).unwrap();
+        t1.update_attr("accounts", &Value::Int(42), "balance", 1)
+            .unwrap();
+        t2.update_attr("accounts", &Value::Int(84), "balance", 2)
+            .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap();
         let db = store.snapshot();
@@ -359,8 +376,10 @@ mod tests {
         let store = bank();
         let mut t1 = store.begin();
         let mut t2 = store.begin();
-        t1.assign("accounts", RelationF::new("accounts", &["id"])).unwrap();
-        t2.update_attr("accounts", &Value::Int(42), "balance", 0).unwrap();
+        t1.assign("accounts", RelationF::new("accounts", &["id"]))
+            .unwrap();
+        t2.update_attr("accounts", &Value::Int(42), "balance", 0)
+            .unwrap();
         t1.commit().unwrap();
         let err = t2.commit().unwrap_err();
         assert!(matches!(err, FdmError::TransactionConflict { .. }));
@@ -381,12 +400,23 @@ mod tests {
         let store = bank();
         let mut t1 = store.begin();
         let mut t2 = store.begin();
-        let k1 = t1.add("accounts", TupleF::builder("a").attr("balance", 0).build()).unwrap();
-        let k2 = t2.add("accounts", TupleF::builder("a").attr("balance", 0).build()).unwrap();
+        let k1 = t1
+            .add("accounts", TupleF::builder("a").attr("balance", 0).build())
+            .unwrap();
+        let k2 = t2
+            .add("accounts", TupleF::builder("a").attr("balance", 0).build())
+            .unwrap();
         assert_eq!(k1, Value::Int(85));
-        assert_eq!(k2, Value::Int(85), "both reserved the same id from the same snapshot");
+        assert_eq!(
+            k2,
+            Value::Int(85),
+            "both reserved the same id from the same snapshot"
+        );
         t1.commit().unwrap();
-        assert!(t2.commit().is_err(), "auto-id collision is a write-write conflict");
+        assert!(
+            t2.commit().is_err(),
+            "auto-id collision is a write-write conflict"
+        );
     }
 
     #[test]

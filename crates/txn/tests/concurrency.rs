@@ -42,12 +42,12 @@ fn concurrent_transfers_conserve_money() {
     let committed = Arc::new(AtomicUsize::new(0));
     let conflicted = Arc::new(AtomicUsize::new(0));
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..THREADS {
             let store = Arc::clone(&store);
             let committed = Arc::clone(&committed);
             let conflicted = Arc::clone(&conflicted);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 // deterministic pseudo-random account pairs per thread
                 let mut x = (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
                 let mut next = move || {
@@ -86,8 +86,7 @@ fn concurrent_transfers_conserve_money() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let committed = committed.load(Ordering::Relaxed);
     let conflicted = conflicted.load(Ordering::Relaxed);
@@ -95,7 +94,11 @@ fn concurrent_transfers_conserve_money() {
     assert!(committed > 0, "some transfers must succeed");
     // The invariant: no lost updates, no partial transfers.
     assert_eq!(total(&store), ACCOUNTS * INITIAL, "money conserved exactly");
-    assert_eq!(store.version() as usize, committed, "one version per commit");
+    assert_eq!(
+        store.version() as usize,
+        committed,
+        "one version per commit"
+    );
 }
 
 #[test]
@@ -103,10 +106,10 @@ fn concurrent_disjoint_inserts_all_commit() {
     let store = bank(1, 0);
     const THREADS: usize = 8;
     const PER_THREAD: usize = 25;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..THREADS {
             let store = Arc::clone(&store);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..PER_THREAD {
                     // explicit disjoint keys per thread: no conflicts
                     let key = Value::Int(1000 + (tid * PER_THREAD + i) as i64);
@@ -131,8 +134,7 @@ fn concurrent_disjoint_inserts_all_commit() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(
         store.snapshot().relation("accounts").unwrap().len(),
         1 + THREADS * PER_THREAD
@@ -143,12 +145,12 @@ fn concurrent_disjoint_inserts_all_commit() {
 fn readers_never_block_and_see_consistent_states() {
     let store = bank(2, 100);
     let stop = Arc::new(AtomicUsize::new(0));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         // writer: transfers between the two accounts
         {
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for _ in 0..200 {
                     let _ = store.autocommit(10, |txn| {
                         txn.modify_attr("accounts", &Value::Int(0), "balance", |v| {
@@ -167,7 +169,7 @@ fn readers_never_block_and_see_consistent_states() {
         for _ in 0..4 {
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 while stop.load(Ordering::Acquire) == 0 {
                     let db = store.snapshot();
                     let rel = db.relation("accounts").unwrap();
@@ -189,7 +191,6 @@ fn readers_never_block_and_see_consistent_states() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(total(&store), 200);
 }

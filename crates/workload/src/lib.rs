@@ -10,7 +10,5 @@
 pub mod retail;
 pub mod zipf;
 
-pub use retail::{
-    generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational,
-};
+pub use retail::{generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational};
 pub use zipf::Zipf;

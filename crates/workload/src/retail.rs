@@ -11,6 +11,7 @@ use fdm_core::{
 use fdm_relational::{Cell, Relation, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Parameters of the retail generator.
 #[derive(Debug, Clone)]
@@ -116,7 +117,11 @@ pub fn generate(cfg: &RetailConfig) -> RetailData {
         );
         orders.push((cid, pid, date, rng.random_range(1..=5)));
     }
-    RetailData { customers, products, orders }
+    RetailData {
+        customers,
+        products,
+        orders,
+    }
 }
 
 /// Builds the FDM database (relation functions + the `order` relationship
@@ -125,32 +130,46 @@ pub fn to_fdm(data: &RetailData) -> DatabaseF {
     let cid_dom = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
     let pid_dom = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
 
-    let mut customers = RelationF::new("customers", &["cid"]);
-    for (cid, name, age, state) in &data.customers {
-        customers = customers
-            .insert(
-                Value::Int(*cid),
-                TupleF::builder(format!("c{cid}"))
-                    .attr("name", name.as_str())
-                    .attr("age", *age)
-                    .attr("state", *state)
-                    .build(),
-            )
-            .expect("generator emits unique cids");
-    }
-    let mut products = RelationF::new("products", &["pid"]);
-    for (pid, name, price, category) in &data.products {
-        products = products
-            .insert(
-                Value::Int(*pid),
-                TupleF::builder(format!("p{pid}"))
-                    .attr("name", name.as_str())
-                    .attr("price", *price)
-                    .attr("category", *category)
-                    .build(),
-            )
-            .expect("generator emits unique pids");
-    }
+    // The generator emits cids/pids in ascending order, so both relations
+    // take the O(n) bulk path instead of n persistent inserts.
+    let customers = RelationF::from_sorted(
+        "customers",
+        &["cid"],
+        data.customers
+            .iter()
+            .map(|(cid, name, age, state)| {
+                (
+                    Value::Int(*cid),
+                    Arc::new(
+                        TupleF::builder(format!("c{cid}"))
+                            .attr("name", name.as_str())
+                            .attr("age", *age)
+                            .attr("state", *state)
+                            .build(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let products = RelationF::from_sorted(
+        "products",
+        &["pid"],
+        data.products
+            .iter()
+            .map(|(pid, name, price, category)| {
+                (
+                    Value::Int(*pid),
+                    Arc::new(
+                        TupleF::builder(format!("p{pid}"))
+                            .attr("name", name.as_str())
+                            .attr("price", *price)
+                            .attr("category", *category)
+                            .build(),
+                    ),
+                )
+            })
+            .collect(),
+    );
     let mut order = RelationshipF::new(
         "order",
         vec![
@@ -199,8 +218,10 @@ pub fn to_relational(data: &RetailData) -> RetailRelational {
             Cell::str(*state),
         ]);
     }
-    let mut products =
-        Relation::new("products", Schema::new(&["pid", "name", "price", "category"]));
+    let mut products = Relation::new(
+        "products",
+        Schema::new(&["pid", "name", "price", "category"]),
+    );
     for (pid, name, price, category) in &data.products {
         products.push(vec![
             Cell::Int(*pid),
@@ -218,7 +239,11 @@ pub fn to_relational(data: &RetailData) -> RetailRelational {
             Cell::Int(*qty),
         ]);
     }
-    RetailRelational { customers, products, orders }
+    RetailRelational {
+        customers,
+        products,
+        orders,
+    }
 }
 
 #[cfg(test)]
@@ -278,7 +303,11 @@ mod tests {
             seed: 3,
         };
         let data = generate(&cfg);
-        let head = data.orders.iter().filter(|(_, pid, _, _)| *pid <= 10).count();
+        let head = data
+            .orders
+            .iter()
+            .filter(|(_, pid, _, _)| *pid <= 10)
+            .count();
         assert!(
             head as f64 > 0.3 * data.orders.len() as f64,
             "top-10 products draw a large share: {head}/{}",

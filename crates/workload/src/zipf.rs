@@ -45,7 +45,10 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random::<f64>();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -67,7 +70,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for c in counts {
-            assert!((c as f64 - 2000.0).abs() < 300.0, "roughly uniform: {counts:?}");
+            assert!(
+                (c as f64 - 2000.0).abs() < 300.0,
+                "roughly uniform: {counts:?}"
+            );
         }
     }
 

@@ -30,11 +30,18 @@ fn main() -> fdm_core::Result<()> {
         &customers,
         &[
             GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
-            GroupingSpec::new("state_age_cc", &["state", "age"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new(
+                "state_age_cc",
+                &["state", "age"],
+                &[("count", AggSpec::Count)],
+            ),
             GroupingSpec::new("global_min", &[], &[("min", AggSpec::Min("age".into()))]),
         ],
     )?;
-    println!("FDM grouping sets -> {} separate relation functions:", gset.len());
+    println!(
+        "FDM grouping sets -> {} separate relation functions:",
+        gset.len()
+    );
     for (name, entry) in gset.iter() {
         let r = entry.as_relation().unwrap();
         let attrs: Vec<String> = r
@@ -49,12 +56,18 @@ fn main() -> fdm_core::Result<()> {
     let sql_out = rel_grouping_sets(
         &rel.customers,
         &[
-            GroupingSet { by: vec!["age".into()], aggs: vec![Agg::CountStar] },
+            GroupingSet {
+                by: vec!["age".into()],
+                aggs: vec![Agg::CountStar],
+            },
             GroupingSet {
                 by: vec!["state".into(), "age".into()],
                 aggs: vec![Agg::CountStar],
             },
-            GroupingSet { by: vec![], aggs: vec![Agg::Min("age".into())] },
+            GroupingSet {
+                by: vec![],
+                aggs: vec![Agg::Min("age".into())],
+            },
         ],
     );
     println!(

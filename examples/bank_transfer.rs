@@ -25,8 +25,12 @@ fn main() -> fdm_core::Result<()> {
     // ── Fig. 11 verbatim ─────────────────────────────────────────────────
     // begin(); accounts[42->0]['balance'] -= 100; accounts[84->1] += 100; commit()
     let mut txn = store.begin();
-    txn.modify_attr("accounts", &Value::Int(0), "balance", |v| v.sub(&Value::Int(100)))?;
-    txn.modify_attr("accounts", &Value::Int(1), "balance", |v| v.add(&Value::Int(100)))?;
+    txn.modify_attr("accounts", &Value::Int(0), "balance", |v| {
+        v.sub(&Value::Int(100))
+    })?;
+    txn.modify_attr("accounts", &Value::Int(1), "balance", |v| {
+        v.add(&Value::Int(100))
+    })?;
     println!(
         "inside txn  : acct0 = {}, acct1 = {} (immediately applied to the txn snapshot)",
         txn.get_attr("accounts", &Value::Int(0), "balance")?,
@@ -47,10 +51,18 @@ fn main() -> fdm_core::Result<()> {
     // ── conflicting writers: first committer wins ────────────────────────
     let mut t1 = store.begin();
     let mut t2 = store.begin();
-    t1.modify_attr("accounts", &Value::Int(5), "balance", |v| v.sub(&Value::Int(10)))?;
-    t1.modify_attr("accounts", &Value::Int(6), "balance", |v| v.add(&Value::Int(10)))?;
-    t2.modify_attr("accounts", &Value::Int(5), "balance", |v| v.sub(&Value::Int(20)))?;
-    t2.modify_attr("accounts", &Value::Int(7), "balance", |v| v.add(&Value::Int(20)))?;
+    t1.modify_attr("accounts", &Value::Int(5), "balance", |v| {
+        v.sub(&Value::Int(10))
+    })?;
+    t1.modify_attr("accounts", &Value::Int(6), "balance", |v| {
+        v.add(&Value::Int(10))
+    })?;
+    t2.modify_attr("accounts", &Value::Int(5), "balance", |v| {
+        v.sub(&Value::Int(20))
+    })?;
+    t2.modify_attr("accounts", &Value::Int(7), "balance", |v| {
+        v.add(&Value::Int(20))
+    })?;
     t1.commit()?;
     match t2.commit() {
         Err(FdmError::TransactionConflict { detail }) => {

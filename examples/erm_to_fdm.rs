@@ -14,10 +14,7 @@ fn main() -> fdm_core::Result<()> {
     let schema = retail_schema();
     println!("ER schema '{}':", schema.name);
     for e in &schema.entities {
-        println!(
-            "  entity {} (key {}: {})",
-            e.name, e.key.name, e.key.ty
-        );
+        println!("  entity {} (key {}: {})", e.name, e.key.name, e.key.ty);
     }
     for r in &schema.relationships {
         let ends: Vec<String> = r
@@ -43,13 +40,19 @@ fn main() -> fdm_core::Result<()> {
     let customers = db.relation("customers")?;
     let customers = customers.insert(
         Value::Int(1),
-        TupleF::builder("c").attr("name", "Alice").attr("age", 43).build(),
+        TupleF::builder("c")
+            .attr("name", "Alice")
+            .attr("age", 43)
+            .build(),
     )?;
     let db = db.with_entry("customers", fdm_core::FnValue::from(customers));
     let order = db.relationship("order")?;
     let order = order.insert(
         &[Value::Int(1), Value::Int(7)],
-        TupleF::builder("o").attr("name", "o1").attr("date", "2026-06-12").build(),
+        TupleF::builder("o")
+            .attr("name", "o1")
+            .attr("date", "2026-06-12")
+            .build(),
     )?;
     println!(
         "\n  order.relates(1, 7) = {}   (relationship predicate, Def. 3)",
@@ -62,7 +65,10 @@ fn main() -> fdm_core::Result<()> {
     // the declared attribute types are constraints on the relation fn:
     let bad_age = db.relation("customers")?.insert(
         Value::Int(2),
-        TupleF::builder("c").attr("name", "Bob").attr("age", "thirty").build(),
+        TupleF::builder("c")
+            .attr("name", "Bob")
+            .attr("age", "thirty")
+            .build(),
     );
     println!("  inserting age='thirty': {}", bad_age.unwrap_err());
 

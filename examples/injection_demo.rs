@@ -25,10 +25,17 @@ fn main() -> fdm_core::Result<()> {
     catalog.register(users_rel);
 
     let mut users_fdm = RelationF::new("users", &["id"]);
-    for (id, name, secret) in [(1, "alice", "s3cr3t-a"), (2, "bob", "s3cr3t-b"), (3, "carol", "s3cr3t-c")] {
+    for (id, name, secret) in [
+        (1, "alice", "s3cr3t-a"),
+        (2, "bob", "s3cr3t-b"),
+        (3, "carol", "s3cr3t-c"),
+    ] {
         users_fdm = users_fdm.insert(
             Value::Int(id),
-            TupleF::builder("u").attr("name", name).attr("secret", secret).build(),
+            TupleF::builder("u")
+                .attr("name", name)
+                .attr("secret", secret)
+                .build(),
         )?;
     }
 
@@ -37,9 +44,13 @@ fn main() -> fdm_core::Result<()> {
 
     // ── the vulnerable pattern: string splicing ──────────────────────────
     println!("SQL (string splicing):");
-    let ok = catalog.query_where_name_equals_spliced("users", honest).unwrap();
+    let ok = catalog
+        .query_where_name_equals_spliced("users", honest)
+        .unwrap();
     println!("  input {honest:?}: {} row(s)", ok.len());
-    let owned = catalog.query_where_name_equals_spliced("users", payload).unwrap();
+    let owned = catalog
+        .query_where_name_equals_spliced("users", payload)
+        .unwrap();
     println!(
         "  input {payload:?}: {} row(s)  <-- INJECTED: whole table dumped, secrets included",
         owned.len()

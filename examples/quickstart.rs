@@ -12,7 +12,10 @@ use fdm_fql::prelude::*;
 
 fn main() -> fdm_core::Result<()> {
     // ── tuples are functions: t1('foo') = 12 ────────────────────────────
-    let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+    let t1 = TupleF::builder("t1")
+        .attr("name", "Alice")
+        .attr("foo", 12)
+        .build();
     println!("t1('foo')  = {}", t1.get("foo")?);
     println!("t1('name') = {}", t1.get("name")?);
 
@@ -26,19 +29,46 @@ fn main() -> fdm_core::Result<()> {
 
     // ── relations are functions: R1(1) = t1 ─────────────────────────────
     let customers = RelationF::new("customers", &["cid"])
-        .insert(Value::Int(1), TupleF::builder("c1").attr("name", "Alice").attr("age", 43).build())?
-        .insert(Value::Int(2), TupleF::builder("c2").attr("name", "Bob").attr("age", 30).build())?
-        .insert(Value::Int(3), TupleF::builder("c3").attr("name", "Carol").attr("age", 55).build())?;
-    println!("\ncustomers(1)('name') = {}", customers.lookup(&Value::Int(1)).unwrap().get("name")?);
+        .insert(
+            Value::Int(1),
+            TupleF::builder("c1")
+                .attr("name", "Alice")
+                .attr("age", 43)
+                .build(),
+        )?
+        .insert(
+            Value::Int(2),
+            TupleF::builder("c2")
+                .attr("name", "Bob")
+                .attr("age", 30)
+                .build(),
+        )?
+        .insert(
+            Value::Int(3),
+            TupleF::builder("c3")
+                .attr("name", "Carol")
+                .attr("age", 55)
+                .build(),
+        )?;
+    println!(
+        "\ncustomers(1)('name') = {}",
+        customers.lookup(&Value::Int(1)).unwrap().get("name")?
+    );
 
     // a computed relation: data that was never inserted (paper's R4)
     let squares = RelationF::computed("squares", &["n"], Domain::IntRange(1, 1_000_000), |k| {
         let n = k.as_int("n")?;
         Ok(Value::Fn(FnValue::from(
-            TupleF::builder("sq").attr("n", n).attr("square", n * n).build(),
+            TupleF::builder("sq")
+                .attr("n", n)
+                .attr("square", n * n)
+                .build(),
         )))
     });
-    println!("squares(731)('square') = {}", squares.lookup(&Value::Int(731)).unwrap().get("square")?);
+    println!(
+        "squares(731)('square') = {}",
+        squares.lookup(&Value::Int(731)).unwrap().get("square")?
+    );
 
     // ── databases are functions: DB('customers') = customers ────────────
     let db = DatabaseF::new("DB").with_relation(customers);
@@ -49,7 +79,9 @@ fn main() -> fdm_core::Result<()> {
     // 1. closure, call syntax
     let a = filter_fn(&customers, |t| Ok(t.get("age")?.as_int("age")? > 42))?;
     // 2. closure, "dot" syntax (same thing in Rust)
-    let b = filter_fn(&customers, |t| Ok(matches!(t.get("age")?, Value::Int(i) if i > 42)))?;
+    let b = filter_fn(&customers, |t| {
+        Ok(matches!(t.get("age")?, Value::Int(i) if i > 42))
+    })?;
     // 3. Django-ORM style kwargs
     let c = filter_kwargs(&customers, &[("age__gt", Value::Int(42))])?;
     // 4. broken-up predicate with imported operators
@@ -57,7 +89,9 @@ fn main() -> fdm_core::Result<()> {
     // 5. textual predicate with free parameters (injection-proof)
     let e = filter_expr(&customers, "age>$foo", Params::new().set("foo", 42))?;
     // 6. pre-parsed, pre-bound expression
-    let bound = Params::new().set("foo", 42).bind(&parse("age>$foo").unwrap())?;
+    let bound = Params::new()
+        .set("foo", 42)
+        .bind(&parse("age>$foo").unwrap())?;
     let f = filter_bound(&customers, &bound)?;
 
     for (i, r) in [&a, &b, &c, &d, &e, &f].iter().enumerate() {

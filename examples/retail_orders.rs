@@ -34,11 +34,7 @@ fn main() -> fdm_core::Result<()> {
     let joined = join(&db)?;
     println!("\nFig. 6  join(subdatabase) -> single relation function");
     println!("  denormalized rows: {}", joined.len());
-    let footprint: usize = joined
-        .tuples()?
-        .iter()
-        .map(|(_, t)| t.attr_count())
-        .sum();
+    let footprint: usize = joined.tuples()?.iter().map(|(_, t)| t.attr_count()).sum();
     println!("  total attribute values materialized: {footprint}");
 
     // ── Fig. 5: the subdatabase result instead ───────────────────────────
@@ -89,7 +85,10 @@ fn main() -> fdm_core::Result<()> {
     let per_customer = group_and_aggregate(
         &join(&db)?,
         &["customers.name"],
-        &[("orders", AggSpec::Count), ("total_qty", AggSpec::Sum("order.quantity".into()))],
+        &[
+            ("orders", AggSpec::Count),
+            ("total_qty", AggSpec::Sum("order.quantity".into())),
+        ],
     )?;
     let top = filter_expr(&per_customer, "orders >= $n", Params::new().set("n", 8))?;
     println!(

@@ -14,8 +14,20 @@ use std::sync::Arc;
 
 fn main() -> fdm_core::Result<()> {
     let products = RelationF::new("products", &["pid"])
-        .insert(Value::Int(1), TupleF::builder("p").attr("name", "keyboard").attr("price", 49.0).build())?
-        .insert(Value::Int(2), TupleF::builder("p").attr("name", "mouse").attr("price", 19.0).build())?;
+        .insert(
+            Value::Int(1),
+            TupleF::builder("p")
+                .attr("name", "keyboard")
+                .attr("price", 49.0)
+                .build(),
+        )?
+        .insert(
+            Value::Int(2),
+            TupleF::builder("p")
+                .attr("name", "mouse")
+                .attr("price", 19.0)
+                .build(),
+        )?;
     let store = Store::new(DatabaseF::new("shop").with_relation(products));
     let history = Arc::new(History::new(64));
     history.record(store.version(), store.snapshot());
@@ -35,7 +47,10 @@ fn main() -> fdm_core::Result<()> {
             txn.upsert(
                 "products",
                 Value::Int(3),
-                TupleF::builder("p").attr("name", "webcam").attr("price", 89.0).build(),
+                TupleF::builder("p")
+                    .attr("name", "webcam")
+                    .attr("price", 89.0)
+                    .build(),
             )?;
         }
         let v = txn.commit()?;

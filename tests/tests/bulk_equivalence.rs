@@ -1,0 +1,351 @@
+//! The bulk-construction fast path must be **observably invisible**: every
+//! migrated FQL operator has to produce results identical to the old
+//! per-tuple `insert` idiom on the retail workload.
+//!
+//! Each reference below re-implements the pre-builder idiom (`out =
+//! out.insert(...)?` into a fresh `RelationF`, or the nested relationship
+//! scan for `join`) and compares fingerprints: the exact key sequence plus
+//! every tuple's materialized, name-sorted attribute list.
+
+use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_expr::Params;
+use fdm_fql::prelude::*;
+use fdm_fql::{aggregate, group, join_on, pivot, JoinOn, Query};
+use fdm_workload::{generate, to_fdm, RetailConfig};
+use std::sync::Arc;
+
+fn shop() -> DatabaseF {
+    to_fdm(&generate(&RetailConfig {
+        customers: 400,
+        products: 60,
+        orders: 1500,
+        product_skew: 0.8,
+        inactive_customers: 0.2,
+        seed: 20260730,
+    }))
+}
+
+/// A relation's full observable content: keys in iteration order, each with
+/// the tuple's materialized attributes sorted by name.
+fn fingerprint(rel: &RelationF) -> Vec<(Value, Vec<(String, Value)>)> {
+    rel.tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(k, t)| {
+            let mut attrs: Vec<(String, Value)> = t
+                .materialize()
+                .unwrap()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect();
+            attrs.sort_by(|a, b| a.0.cmp(&b.0));
+            (k, attrs)
+        })
+        .collect()
+}
+
+fn assert_same(bulk: &RelationF, reference: &RelationF, what: &str) {
+    assert_eq!(bulk.len(), reference.len(), "{what}: cardinality");
+    assert_eq!(
+        fingerprint(bulk),
+        fingerprint(reference),
+        "{what}: keys or tuple data diverge"
+    );
+}
+
+/// The old idiom: rebuild a relation one persistent insert at a time.
+fn insert_loop(
+    name: &str,
+    key_attrs: &[&str],
+    entries: impl IntoIterator<Item = (Value, Arc<TupleF>)>,
+) -> RelationF {
+    let mut out = RelationF::new(name, key_attrs);
+    for (k, t) in entries {
+        out = out.insert_arc(k, t).expect("reference insert");
+    }
+    out
+}
+
+#[test]
+fn filter_matches_insert_loop() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let bulk = filter_expr(&customers, "age > $min", Params::new().set("min", 42)).unwrap();
+    let reference = insert_loop(
+        "customers",
+        &["cid"],
+        customers
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .filter(|(_, t)| t.get("age").unwrap() > Value::Int(42)),
+    );
+    assert_same(&bulk, &reference, "filter");
+}
+
+#[test]
+fn order_by_and_limit_match_insert_loop() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let bulk = order_by(&customers, "age", Order::Asc).unwrap();
+    let mut entries: Vec<(Value, Value, Arc<TupleF>)> = customers
+        .tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(k, t)| (t.get("age").unwrap(), k, t))
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let reference = insert_loop(
+        bulk.name(),
+        &["rank"],
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, _, t))| (Value::Int(i as i64), t)),
+    );
+    assert_same(&bulk, &reference, "order_by");
+    assert_same(
+        &limit(&bulk, 50).unwrap(),
+        &insert_loop(
+            bulk.name(),
+            &["rank"],
+            reference.tuples().unwrap().into_iter().take(50),
+        ),
+        "limit",
+    );
+}
+
+#[test]
+fn group_aggregate_matches_insert_loop() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let groups = group(&customers, &["state"]).unwrap();
+    let bulk = aggregate(
+        &groups,
+        &[("n", AggSpec::Count), ("avg", AggSpec::Avg("age".into()))],
+    )
+    .unwrap();
+    let mut reference = RelationF::new("aggregates", &["state"]);
+    for (key, members) in groups.iter() {
+        let mut sum = 0.0;
+        for m in &members {
+            sum += m.get("age").unwrap().as_float("age").unwrap();
+        }
+        let t = TupleF::builder(format!("agg[{key}]"))
+            .attr("state", key.clone())
+            .attr("n", members.len() as i64)
+            .attr("avg", sum / members.len() as f64)
+            .build();
+        reference = reference.insert(key, t).unwrap();
+    }
+    assert_same(&bulk, &reference, "aggregate");
+}
+
+#[test]
+fn pivot_matches_insert_loop() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let bulk = pivot(&customers, "state", "age", &AggSpec::Count).unwrap();
+    // reference: bucket by (state, age) with per-tuple inserts
+    use std::collections::BTreeMap;
+    let mut cells: BTreeMap<Value, BTreeMap<Value, i64>> = BTreeMap::new();
+    for (_, t) in customers.tuples().unwrap() {
+        *cells
+            .entry(t.get("state").unwrap())
+            .or_default()
+            .entry(t.get("age").unwrap())
+            .or_default() += 1;
+    }
+    let mut reference = RelationF::new(bulk.name(), &["state"]);
+    for (state, cols) in cells {
+        let mut b = TupleF::builder(format!("pivot[{state}]")).attr("state", state.clone());
+        for (age, n) in cols {
+            b = b.attr(age.to_string(), n);
+        }
+        reference = reference.insert(state, b.build()).unwrap();
+    }
+    assert_same(&bulk, &reference, "pivot");
+}
+
+#[test]
+fn schema_join_matches_nested_scan_reference() {
+    let db = shop();
+    let bulk = fdm_fql::join(&db).unwrap();
+    // The old algorithm on this schema: one seed row, then for every
+    // relationship entry in key order, bind customer and product by lookup
+    // (inner join: dangling keys drop the entry).
+    let customers = db.relation("customers").unwrap();
+    let products = db.relation("products").unwrap();
+    let order = db.relationship("order").unwrap();
+    let mut reference = RelationF::new("join_result", &["row"]);
+    let mut i = 0i64;
+    for (args, rattrs) in order.iter() {
+        let (Some(c), Some(p)) = (customers.lookup(&args[0]), products.lookup(&args[1])) else {
+            continue;
+        };
+        let mut b = TupleF::builder(format!("j{i}"));
+        b = b.attr("customers.cid", args[0].clone());
+        for (n, v) in c.materialize().unwrap() {
+            b = b.attr(format!("customers.{n}"), v);
+        }
+        b = b.attr("products.pid", args[1].clone());
+        for (n, v) in p.materialize().unwrap() {
+            b = b.attr(format!("products.{n}"), v);
+        }
+        for (n, v) in rattrs.materialize().unwrap() {
+            b = b.attr(format!("order.{n}"), v);
+        }
+        reference = reference.insert(Value::Int(i), b.build()).unwrap();
+        i += 1;
+    }
+    assert_same(&bulk, &reference, "schema join");
+}
+
+#[test]
+fn join_on_matches_schema_join_cardinality_and_data() {
+    let db = shop();
+    let order_rel = db
+        .relationship("order")
+        .unwrap()
+        .to_relation()
+        .renamed("orders");
+    let db2 = db.with_relation(order_rel);
+    let on = join_on(
+        &db2,
+        &[
+            JoinOn::new("customers", "cid", "orders", "cid"),
+            JoinOn::new("orders", "pid", "products", "pid"),
+        ],
+    )
+    .unwrap();
+    let schema = fdm_fql::join(&db).unwrap();
+    assert_eq!(on.len(), schema.len(), "both join strategies agree on size");
+    // every schema-join row has a data-equal counterpart in the on-join
+    // (modulo the qualifier prefix of the flattened relationship)
+    let mut schema_dates: Vec<Value> = schema
+        .tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(_, t)| t.get("order.date").unwrap())
+        .collect();
+    let mut on_dates: Vec<Value> = on
+        .tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(_, t)| t.get("orders.date").unwrap())
+        .collect();
+    schema_dates.sort();
+    on_dates.sort();
+    assert_eq!(schema_dates, on_dates);
+}
+
+#[test]
+fn reduce_db_matches_insert_loop_restriction() {
+    let db = shop();
+    let reduced = reduce_db(&db).unwrap();
+    // reference restriction: keys that appear in any order entry
+    let order = db.relationship("order").unwrap();
+    let customers = db.relation("customers").unwrap();
+    let active: std::collections::BTreeSet<Value> =
+        order.iter().map(|(args, _)| args[0].clone()).collect();
+    let reference = insert_loop(
+        "customers",
+        &["cid"],
+        customers
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .filter(|(k, _)| active.contains(k)),
+    );
+    assert_same(
+        &reduced.relation("customers").unwrap(),
+        &reference,
+        "reduce_db",
+    );
+}
+
+#[test]
+fn setops_match_insert_loop() {
+    let db = shop();
+    let copy = deep_copy(&db).unwrap();
+    assert_same(
+        &copy.relation("customers").unwrap(),
+        &db.relation("customers").unwrap(),
+        "deep_copy",
+    );
+    // mutate the copy, then union/minus must match key-by-key references
+    let customers = copy.relation("customers").unwrap();
+    let customers = customers.delete(&Value::Int(1)).unwrap();
+    let copy2 = copy.with_entry("customers", fdm_core::FnValue::from(customers));
+    let u = union(&db, &copy2).unwrap();
+    assert_same(
+        &u.relation("customers").unwrap(),
+        &db.relation("customers").unwrap(),
+        "union with subset",
+    );
+    let m = minus(&db, &copy2).unwrap();
+    assert_eq!(m.relation("customers").unwrap().len(), 1);
+    let i = intersect(&db, &copy2).unwrap();
+    assert_eq!(
+        i.relation("customers").unwrap().len(),
+        db.relation("customers").unwrap().len() - 1
+    );
+}
+
+#[test]
+fn plan_pipeline_matches_eager_operators() {
+    let db = shop();
+    let order_rel = db
+        .relationship("order")
+        .unwrap()
+        .to_relation()
+        .renamed("orders");
+    let db = db.with_relation(order_rel);
+    let q = Query::scan("orders")
+        .join("customers", "cid", "cid")
+        .filter("quantity > 2", Params::new())
+        .unwrap()
+        .group_agg(&["customers.state"], &[("n", AggSpec::Count)]);
+    let lazy = q.clone().eval(&db).unwrap();
+    let optimized = q.optimize().eval(&db).unwrap();
+    assert_same(&lazy, &optimized, "optimizer must not change results");
+}
+
+#[test]
+fn index_by_matches_per_tuple_grouping() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let by_state = customers.index_by("state").unwrap();
+    assert!(by_state.is_multi());
+    let mut total = 0usize;
+    for key in by_state.stored_keys() {
+        let members = by_state.lookup_all(&key);
+        total += members.len();
+        for m in &members {
+            assert_eq!(m.get("state").unwrap(), key);
+        }
+    }
+    assert_eq!(total, customers.len(), "index_by partitions the relation");
+    // group order within a key follows base key order (stable sort)
+    let ny = by_state.lookup_all(&Value::str("NY"));
+    let mut last = i64::MIN;
+    for m in &ny {
+        // tuple names are c<cid>, so recover cid ordering via the name
+        let cid: i64 = m.name().trim_start_matches('c').parse().unwrap();
+        assert!(cid > last, "stable grouping preserves base order");
+        last = cid;
+    }
+}
+
+#[test]
+fn builder_duplicate_keys_error_like_insert() {
+    let mut b = fdm_core::RelationBuilder::new("dup", &["id"]);
+    b.push(Value::Int(2), TupleF::builder("t").attr("x", 1).build());
+    b.push(Value::Int(1), TupleF::builder("t").attr("x", 2).build());
+    b.push(Value::Int(2), TupleF::builder("t").attr("x", 3).build());
+    let err = b.build().unwrap_err();
+    assert!(
+        matches!(err, fdm_core::FdmError::DuplicateKey { .. }),
+        "builder mirrors insert's duplicate-key error, got {err}"
+    );
+}

@@ -6,28 +6,21 @@
 use fdm_core::Value;
 use fdm_expr::Params;
 use fdm_fql::prelude::*;
-use fdm_relational::{
-    col_eq, group_by, hash_join, outer_join, select, Agg, Cell, OuterSide,
-};
+use fdm_relational::{col_eq, group_by, hash_join, outer_join, select, Agg, Cell, OuterSide};
 use fdm_workload::{generate, to_fdm, to_relational, RetailConfig};
 use proptest::prelude::*;
 
 fn configs() -> impl Strategy<Value = RetailConfig> {
-    (
-        5usize..60,
-        2usize..25,
-        0usize..150,
-        0u8..3,
-        any::<u64>(),
-    )
-        .prop_map(|(customers, products, orders, skew, seed)| RetailConfig {
+    (5usize..60, 2usize..25, 0usize..150, 0u8..3, any::<u64>()).prop_map(
+        |(customers, products, orders, skew, seed)| RetailConfig {
             customers,
             products,
             orders,
             product_skew: skew as f64 * 0.7,
             inactive_customers: 0.25,
             seed,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -50,7 +50,12 @@ fn full_pipeline() {
         .unwrap();
     }
     // orders through the relationship function (whole-entry assignment)
-    let mut order = store.snapshot().relationship("order").unwrap().as_ref().clone();
+    let mut order = store
+        .snapshot()
+        .relationship("order")
+        .unwrap()
+        .as_ref()
+        .clone();
     for (cid, pid, date, _qty) in &data.orders {
         order = order
             .insert(
@@ -68,7 +73,10 @@ fn full_pipeline() {
 
     let before = store.snapshot();
     assert_eq!(before.relation("customers").unwrap().len(), 120);
-    assert_eq!(before.relationship("order").unwrap().len(), data.orders.len());
+    assert_eq!(
+        before.relationship("order").unwrap().len(),
+        data.orders.len()
+    );
 
     // 3. query eagerly: the Fig. 5/6/7 trio
     let joined = join(&before).unwrap();
@@ -104,7 +112,10 @@ fn full_pipeline() {
         .upsert_one(
             "customers",
             Value::Int(9999),
-            TupleF::builder("c").attr("name", "Methuselah").attr("age", 77).build(),
+            TupleF::builder("c")
+                .attr("name", "Methuselah")
+                .attr("age", 77)
+                .build(),
         )
         .unwrap();
     let seniors_after = view.eval(&store.snapshot()).unwrap().len();
@@ -157,7 +168,10 @@ fn erm_constraints_survive_the_pipeline() {
     let err = txn.upsert(
         "customers",
         Value::Int(1),
-        TupleF::builder("c").attr("name", "x").attr("age", "NaN").build(),
+        TupleF::builder("c")
+            .attr("name", "x")
+            .attr("age", "NaN")
+            .build(),
     );
     assert!(err.is_err());
     txn.rollback();

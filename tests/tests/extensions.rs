@@ -27,8 +27,12 @@ fn scalar_functions_inside_fql_filters() {
         assert!(s.starts_with("customer_1") && s.chars().count() > 9);
     }
     // upper/lower roundtrip as a predicate
-    let all = filter_expr(&customers, "lower(upper(state)) == lower(state)", Params::new())
-        .unwrap();
+    let all = filter_expr(
+        &customers,
+        "lower(upper(state)) == lower(state)",
+        Params::new(),
+    )
+    .unwrap();
     assert_eq!(all.len(), customers.len());
 }
 
@@ -44,12 +48,8 @@ fn top_k_pipeline_across_engines() {
     }));
     // top-3 customers by order count: join → group → aggregate → top_k
     let joined = join(&db).unwrap();
-    let per_customer = group_and_aggregate(
-        &joined,
-        &["customers.cid"],
-        &[("orders", AggSpec::Count)],
-    )
-    .unwrap();
+    let per_customer =
+        group_and_aggregate(&joined, &["customers.cid"], &[("orders", AggSpec::Count)]).unwrap();
     let top3 = top_k(&per_customer, "orders", Order::Desc, 3).unwrap();
     assert_eq!(top3.len(), 3);
     let counts: Vec<i64> = top3
@@ -58,7 +58,10 @@ fn top_k_pipeline_across_engines() {
         .iter()
         .map(|(_, t)| t.get("orders").unwrap().as_int("n").unwrap())
         .collect();
-    assert!(counts.windows(2).all(|w| w[0] >= w[1]), "descending: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] >= w[1]),
+        "descending: {counts:?}"
+    );
     // cross-check the winner against a manual count
     let max_manual = per_customer
         .tuples()
@@ -120,7 +123,11 @@ fn history_supports_as_of_queries_after_churn() {
     // each recorded version reflects exactly its commit point
     for (i, &size) in sizes.iter().enumerate() {
         let past = history.as_of(i as u64).unwrap();
-        assert_eq!(past.relation("customers").unwrap().len(), size, "version {i}");
+        assert_eq!(
+            past.relation("customers").unwrap().len(),
+            size,
+            "version {i}"
+        );
     }
     // a full FQL query against an old version
     let v3 = history.as_of(3).unwrap();

@@ -16,8 +16,13 @@ use fdm_txn::Store;
 /// same construct — a function — and can be called uniformly.
 #[test]
 fn t1_uniform_abstraction_across_levels() {
-    let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
-    let r1 = RelationF::new("R1", &["bar"]).insert(Value::Int(1), t1.clone()).unwrap();
+    let t1 = TupleF::builder("t1")
+        .attr("name", "Alice")
+        .attr("foo", 12)
+        .build();
+    let r1 = RelationF::new("R1", &["bar"])
+        .insert(Value::Int(1), t1.clone())
+        .unwrap();
     let db = DatabaseF::new("DB").with_relation(r1.clone());
     let fleet = DatabaseF::new("fleet").with_entry("DB", FnValue::from(db.clone()));
 
@@ -31,13 +36,25 @@ fn t1_uniform_abstraction_across_levels() {
     for (f, arg) in levels {
         assert_eq!(f.arity(), 1);
         assert!(f.domain().contains(&arg));
-        assert!(apply1(f, &arg).is_ok(), "{} must be defined at {arg}", f.fn_name());
+        assert!(
+            apply1(f, &arg).is_ok(),
+            "{} must be defined at {arg}",
+            f.fn_name()
+        );
     }
     // and the chain composes: fleet('DB')('R1')(1)('foo') = 12
     let db_v = apply1(&fleet, &Value::str("DB")).unwrap();
-    let r_v = db_v.as_fn("db").unwrap().apply(&[Value::str("R1")]).unwrap();
+    let r_v = db_v
+        .as_fn("db")
+        .unwrap()
+        .apply(&[Value::str("R1")])
+        .unwrap();
     let t_v = r_v.as_fn("rel").unwrap().apply(&[Value::Int(1)]).unwrap();
-    let foo = t_v.as_fn("tuple").unwrap().apply(&[Value::str("foo")]).unwrap();
+    let foo = t_v
+        .as_fn("tuple")
+        .unwrap()
+        .apply(&[Value::str("foo")])
+        .unwrap();
     assert_eq!(foo, Value::Int(12));
 }
 
@@ -58,7 +75,11 @@ fn f1_erm_vs_fdm() {
 
     let rel = fdm_erm::compile_to_relational(&schema);
     assert!(rel.table("order").is_some(), "classical: junction table");
-    assert_eq!(rel.foreign_keys.len(), 2, "classical: FKs as separate metadata");
+    assert_eq!(
+        rel.foreign_keys.len(),
+        2,
+        "classical: FKs as separate metadata"
+    );
 }
 
 /// Fig. 2: a k-ary relationship function over arbitrary functions.
@@ -88,7 +109,10 @@ fn f2_relationship_function_general_idea() {
 fn f3_relationship_between_database_and_relation() {
     let db = retail_db();
     let users = RelationF::new("users", &["uid"])
-        .insert(Value::Int(100), TupleF::builder("u").attr("login", "jens").build())
+        .insert(
+            Value::Int(100),
+            TupleF::builder("u").attr("login", "jens").build(),
+        )
         .unwrap();
     // participants: the DATABASE function (keyed by rel_name) and users
     let rel_name_dom = SharedDomain::new("rel_name", Domain::Typed(ValueType::Str));
@@ -112,9 +136,7 @@ fn f3_relationship_between_database_and_relation() {
     let rel = rel_v.as_fn("entry").unwrap().as_relation().unwrap();
     assert_eq!(rel.len(), 3);
     // and both participants + the relationship can live in one database
-    let db2 = db
-        .with_relation(users)
-        .with_relationship(accessed);
+    let db2 = db.with_relation(users).with_relationship(accessed);
     assert!(db2.relationship("is_accessed_by").is_ok());
 }
 
@@ -155,8 +177,16 @@ fn f5_subdatabase_reduce() {
     let db = retail_db();
     let sub = subdatabase(&db, &["order", "products", "customers"]);
     let reduced = reduce_db(&sub).unwrap();
-    assert_eq!(reduced.relation("customers").unwrap().len(), 2, "Carol gone");
-    assert_eq!(reduced.relation("products").unwrap().len(), 2, "webcam gone");
+    assert_eq!(
+        reduced.relation("customers").unwrap().len(),
+        2,
+        "Carol gone"
+    );
+    assert_eq!(
+        reduced.relation("products").unwrap().len(),
+        2,
+        "webcam gone"
+    );
     assert_eq!(reduced.relationship("order").unwrap().len(), 3);
     // normalized: nobody is duplicated
     assert_eq!(reduced.total_tuples(), 7);
@@ -201,7 +231,11 @@ fn f8_grouping_sets() {
         &customers,
         &[
             GroupingSpec::new("age_cc", &["age"], &[("count", AggSpec::Count)]),
-            GroupingSpec::new("age_name_cc", &["age", "name"], &[("count", AggSpec::Count)]),
+            GroupingSpec::new(
+                "age_name_cc",
+                &["age", "name"],
+                &[("count", AggSpec::Count)],
+            ),
             GroupingSpec::new("global_min", &[], &[("min", AggSpec::Min("age".into()))]),
         ],
     )
@@ -231,15 +265,39 @@ fn f9_database_set_operations() {
         &copy,
         "customers",
         Value::Int(9),
-        TupleF::builder("c").attr("name", "Zoe").attr("age", 21).build(),
+        TupleF::builder("c")
+            .attr("name", "Zoe")
+            .attr("age", 21)
+            .build(),
     )
     .unwrap();
     let diff = difference(&db, &changed).unwrap();
     assert_eq!(diff.relation("customers.added").unwrap().len(), 1);
     assert!(!diff.contains("customers.removed"));
-    assert_eq!(union(&db, &changed).unwrap().relation("customers").unwrap().len(), 4);
-    assert_eq!(intersect(&db, &changed).unwrap().relation("customers").unwrap().len(), 3);
-    assert_eq!(minus(&changed, &db).unwrap().relation("customers").unwrap().len(), 1);
+    assert_eq!(
+        union(&db, &changed)
+            .unwrap()
+            .relation("customers")
+            .unwrap()
+            .len(),
+        4
+    );
+    assert_eq!(
+        intersect(&db, &changed)
+            .unwrap()
+            .relation("customers")
+            .unwrap()
+            .len(),
+        3
+    );
+    assert_eq!(
+        minus(&changed, &db)
+            .unwrap()
+            .relation("customers")
+            .unwrap()
+            .len(),
+        1
+    );
 }
 
 /// Fig. 10: inserts, updates, deletes; immediate application; no save().
@@ -250,13 +308,19 @@ fn f10_change_operations() {
         &db,
         "customers",
         Value::Int(7),
-        TupleF::builder("t").attr("name", "Tom").attr("age", 42).build(),
+        TupleF::builder("t")
+            .attr("name", "Tom")
+            .attr("age", 42)
+            .build(),
     )
     .unwrap();
     let (db, key) = db_add(
         &db,
         "customers",
-        TupleF::builder("t").attr("name", "Stephen").attr("age", 28).build(),
+        TupleF::builder("t")
+            .attr("name", "Stephen")
+            .attr("age", 28)
+            .build(),
     )
     .unwrap();
     assert_eq!(key, Value::Int(8));
@@ -264,23 +328,36 @@ fn f10_change_operations() {
     let db = db_delete(&db, "customers", &Value::Int(8)).unwrap();
     let c = db.relation("customers").unwrap();
     assert_eq!(c.len(), 4);
-    assert_eq!(c.lookup(&Value::Int(7)).unwrap().get("age").unwrap(), Value::Int(50));
+    assert_eq!(
+        c.lookup(&Value::Int(7)).unwrap().get("age").unwrap(),
+        Value::Int(50)
+    );
 }
 
 /// Fig. 11: the transfer under begin/commit with snapshot semantics.
 #[test]
 fn f11_transaction() {
     let accounts = RelationF::new("accounts", &["id"])
-        .insert(Value::Int(42), TupleF::builder("a").attr("balance", 1000).build())
+        .insert(
+            Value::Int(42),
+            TupleF::builder("a").attr("balance", 1000).build(),
+        )
         .unwrap()
-        .insert(Value::Int(84), TupleF::builder("a").attr("balance", 500).build())
+        .insert(
+            Value::Int(84),
+            TupleF::builder("a").attr("balance", 500).build(),
+        )
         .unwrap();
     let store = Store::new(DatabaseF::new("bank").with_relation(accounts));
     let mut txn = store.begin();
-    txn.modify_attr("accounts", &Value::Int(42), "balance", |v| v.sub(&Value::Int(100)))
-        .unwrap();
-    txn.modify_attr("accounts", &Value::Int(84), "balance", |v| v.add(&Value::Int(100)))
-        .unwrap();
+    txn.modify_attr("accounts", &Value::Int(42), "balance", |v| {
+        v.sub(&Value::Int(100))
+    })
+    .unwrap();
+    txn.modify_attr("accounts", &Value::Int(84), "balance", |v| {
+        v.add(&Value::Int(100))
+    })
+    .unwrap();
     txn.commit().unwrap();
     let db = store.snapshot();
     let rel = db.relation("accounts").unwrap();
@@ -311,9 +388,15 @@ fn c10_injection_contrast() {
     assert_eq!(sql_result.len(), 2, "spliced SQL is owned");
 
     let users_fdm = RelationF::new("users", &["id"])
-        .insert(Value::Int(1), TupleF::builder("u").attr("name", "alice").build())
+        .insert(
+            Value::Int(1),
+            TupleF::builder("u").attr("name", "alice").build(),
+        )
         .unwrap()
-        .insert(Value::Int(2), TupleF::builder("u").attr("name", "bob").build())
+        .insert(
+            Value::Int(2),
+            TupleF::builder("u").attr("name", "bob").build(),
+        )
         .unwrap();
     let fql_result =
         filter_expr(&users_fdm, "name == $n", Params::new().set("n", payload)).unwrap();
@@ -324,9 +407,15 @@ fn c10_injection_contrast() {
 /// as database entries.
 #[test]
 fn s26_blurring_the_lines() {
-    let t1 = TupleF::builder("t1").attr("name", "Alice").attr("foo", 12).build();
+    let t1 = TupleF::builder("t1")
+        .attr("name", "Alice")
+        .attr("foo", 12)
+        .build();
     // t3('foo') = t1 — a higher-order tuple
-    let t3 = TupleF::builder("t3").attr("name", "Bob").function("foo", t1).build();
+    let t3 = TupleF::builder("t3")
+        .attr("name", "Bob")
+        .function("foo", t1)
+        .build();
     let nested = t3.get("foo").unwrap();
     let inner = nested.as_fn("nested").unwrap().as_tuple().unwrap();
     assert_eq!(inner.get("foo").unwrap(), Value::Int(12));
@@ -335,10 +424,16 @@ fn s26_blurring_the_lines() {
     let r = RelationF::new("R", &["k"])
         .insert(Value::Int(1), TupleF::builder("x").attr("v", 9).build())
         .unwrap();
-    let t5 = TupleF::builder("t5").attr("name", "Tom").function("foo", r).build();
+    let t5 = TupleF::builder("t5")
+        .attr("name", "Tom")
+        .function("foo", r)
+        .build();
     let rel_v = t5.get("foo").unwrap();
     let rel = rel_v.as_fn("rel").unwrap().as_relation().unwrap();
-    assert_eq!(rel.lookup(&Value::Int(1)).unwrap().get("v").unwrap(), Value::Int(9));
+    assert_eq!(
+        rel.lookup(&Value::Int(1)).unwrap().get("v").unwrap(),
+        Value::Int(9)
+    );
 
     // and t5 can be promoted into a database's codomain
     let db = DatabaseF::new("DB").with_entry("myTab", FnValue::from(t5));

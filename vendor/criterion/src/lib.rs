@@ -1,0 +1,317 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the Criterion API the `fdm-bench` benches use:
+//! `Criterion::benchmark_group`, group knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`), `bench_function` /
+//! `bench_with_input` with `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a wall-clock warm-up loop followed by
+//! `sample_size` samples, each timing a batch of iterations sized so the
+//! samples fit the measurement window. The median, mean, and min per-iter
+//! times are printed; when the `CRITERION_JSON` environment variable names
+//! a file, one JSON line per benchmark is appended —
+//! `{"group":…,"id":…,"median_ns":…,"mean_ns":…,"min_ns":…,"samples":…}` —
+//! which is what `BENCH_*.json` artifacts are generated from.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A named benchmark id, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sort", 1024)` → `sort/1024`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a bare function name.
+    pub fn from_name(name: impl Display) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The final id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+
+    /// A group-less benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, &mut f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run_one(&id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        self.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: Mode::Warmup {
+                until: Instant::now() + self.warm_up_time,
+                iters_done: 0,
+            },
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        // Warm-up pass: run until the clock expires, counting iterations to
+        // calibrate the batch size for measurement.
+        f(&mut b);
+        let rate = match b.mode {
+            Mode::Warmup { iters_done, .. } => {
+                (iters_done as f64 / self.warm_up_time.as_secs_f64()).max(1.0)
+            }
+            _ => 1.0,
+        };
+        let total_iters = (rate * self.measurement_time.as_secs_f64()).max(1.0);
+        let batch = (total_iters / self.sample_size as f64).ceil().max(1.0) as u64;
+        b.mode = Mode::Measure { batch };
+        b.samples_ns.clear();
+        f(&mut b);
+
+        let mut s = b.samples_ns;
+        if s.is_empty() {
+            return;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let min = s[0];
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!(
+            "{full:<60} time: [median {} mean {} min {}] ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            s.len()
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+                    let _ = writeln!(
+                        file,
+                        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{median},\"mean_ns\":{mean},\"min_ns\":{min},\"samples\":{}}}",
+                        self.name,
+                        id,
+                        s.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    Warmup { until: Instant, iters_done: u64 },
+    Measure { batch: u64 },
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            Mode::Warmup { until, iters_done } => {
+                let until = *until;
+                let mut n = 0u64;
+                loop {
+                    black_box(routine());
+                    n += 1;
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+                *iters_done = n;
+            }
+            Mode::Measure { batch } => {
+                let batch = *batch;
+                let deadline = Instant::now() + self.measurement_time * 2;
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples_ns
+                        .push(elapsed.as_nanos() as f64 / batch as f64);
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        g.measurement_time(Duration::from_millis(20));
+        g.warm_up_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}
