@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(1));
     g.warm_up_time(Duration::from_millis(300));
 
-    for orders in [1_000usize, 10_000] {
+    for orders in fdm_bench::SCALES {
         let e = both(&standard_config(orders));
         let customers = e.fdm.relation("customers").unwrap();
         let n = customers.len();

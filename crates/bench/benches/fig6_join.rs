@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(1));
     g.warm_up_time(Duration::from_millis(300));
 
-    for orders in [1_000usize, 5_000] {
+    for orders in fdm_bench::SCALES {
         let e = both(&standard_config(orders));
         let n = e.data.orders.len();
         g.bench_with_input(BenchmarkId::new("fdm_schema_join", n), &n, |b, _| {

@@ -1,23 +1,29 @@
-//! Before/after measurement of the bulk-construction fast path
-//! (`BENCH_fig4_fig6.json`): the fig4 filter and fig6 join workloads at the
-//! 20k-order scale, each run through
+//! Before/after measurements of the engine's fast paths, recorded as the
+//! `BENCH_fig4_fig6.json` trajectory (one entry per PR that moved them):
 //!
-//! * **before** — the pre-builder idiom preserved verbatim below: output
-//!   assembled with per-tuple persistent `insert` (O(log n) time and `Arc`
-//!   allocation each), `format!`-per-tuple attribute qualification, and the
-//!   nested row × entry relationship scan;
-//! * **after** — the shipped operators (`RelationBuilder` bulk path,
-//!   interned qualified names, hash-indexed relationship binding).
+//! * **PR 1 (bulk construction)** — the pre-builder idiom preserved
+//!   verbatim below: output assembled with per-tuple persistent `insert`
+//!   (O(log n) time and `Arc` allocation each), `format!`-per-tuple
+//!   attribute qualification, and the nested row × entry relationship
+//!   scan; vs the shipped `RelationBuilder` operators.
+//! * **PR 2 (parallel operators + merge setops)** — the PR 1 sequential
+//!   operators vs the thread-chunked path (`THREADS` env toggles it), and
+//!   the PR 1 per-element `by_data`/`BTreeMap` DB setops (preserved
+//!   verbatim below) vs the O(n) sorted-merge setops. Measured at the 20k
+//!   scale *and* at 1k, where the sequential cutoff must keep the
+//!   parallel path disabled (no small-input regression).
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
 //! ```text
-//! cargo run -p fdm-bench --bin bench_bulk --release            # 20k scale
+//! cargo run -p fdm-bench --bin bench_bulk --release            # full scales
 //! cargo run -p fdm-bench --bin bench_bulk --release -- --quick # CI smoke
 //! ```
 
 use fdm_bench::standard_config;
-use fdm_core::{DatabaseF, FdmError, Name, RelationF, RelationshipF, Result, TupleF, Value};
+use fdm_core::{
+    DatabaseF, FdmError, FnValue, Name, RelationF, RelationshipF, Result, TupleF, Value,
+};
 use fdm_workload::{generate, to_fdm};
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -135,6 +141,104 @@ fn legacy_join(db: &DatabaseF) -> Result<RelationF> {
     Ok(out)
 }
 
+// ─────────────────── legacy (PR 1) DB setops path ───────────────────
+//
+// The per-element idiom the merge setops replaced: index every relation's
+// mappings into a `BTreeMap` keyed by primary key (computing every
+// tuple's data key up front), merge/filter per element with point
+// lookups, then rebuild the output relation entry by entry.
+
+fn legacy_by_data(rel: &RelationF) -> Result<BTreeMap<Value, (Value, Arc<TupleF>)>> {
+    let mut out = BTreeMap::new();
+    for (key, tuple) in rel.tuples()? {
+        let dk = tuple.data_key()?;
+        out.insert(key, (dk, tuple));
+    }
+    Ok(out)
+}
+
+fn legacy_rebuild(
+    name: &str,
+    key_attrs: &[&str],
+    entries: impl IntoIterator<Item = (Value, Arc<TupleF>)>,
+) -> Result<RelationF> {
+    let mut out = fdm_core::RelationBuilder::new(name, key_attrs);
+    for (key, tuple) in entries {
+        out.push_arc(key, tuple);
+    }
+    out.build()
+}
+
+fn key_attr_strs(rel: &RelationF) -> Vec<&str> {
+    rel.key_attrs().iter().map(|n| n.as_ref()).collect()
+}
+
+fn legacy_union(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
+    let mut out = DatabaseF::new(format!("({} union {})", a.name(), b.name()));
+    let mut names: Vec<Name> = Vec::new();
+    for (n, e) in a.iter() {
+        if matches!(e, FnValue::Relation(_)) {
+            names.push(n.clone());
+        }
+    }
+    for (n, e) in b.iter() {
+        if matches!(e, FnValue::Relation(_)) && !names.contains(n) {
+            names.push(n.clone());
+        }
+    }
+    for name in names {
+        let da = match a.relation(&name) {
+            Ok(r) => legacy_by_data(&r)?,
+            Err(_) => BTreeMap::new(),
+        };
+        let db_ = match b.relation(&name) {
+            Ok(r) => legacy_by_data(&r)?,
+            Err(_) => BTreeMap::new(),
+        };
+        let template = a
+            .relation(&name)
+            .or_else(|_| b.relation(&name))
+            .expect("name came from one of the inputs");
+        let mut merged: BTreeMap<Value, (Value, Arc<TupleF>)> = da.clone();
+        for (k, v) in &db_ {
+            merged.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        out = out.with_entry(
+            name.as_ref(),
+            FnValue::from(legacy_rebuild(
+                template.name(),
+                &key_attr_strs(&template),
+                merged.into_iter().map(|(k, (_, t))| (k, t)),
+            )?),
+        );
+    }
+    Ok(out)
+}
+
+fn legacy_minus(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
+    let mut out = DatabaseF::new(format!("({} − {})", a.name(), b.name()));
+    for (name, entry) in a.iter() {
+        let FnValue::Relation(ra) = entry else {
+            continue;
+        };
+        let da = legacy_by_data(ra)?;
+        let db_ = match b.relation(name) {
+            Ok(rb) => legacy_by_data(&rb)?,
+            Err(_) => BTreeMap::new(),
+        };
+        let keep: Vec<(Value, Arc<TupleF>)> = da
+            .iter()
+            .filter(|(key, (dk, _))| db_.get(*key).is_none_or(|(dk2, _)| dk2 != dk))
+            .map(|(key, (_, t))| (key.clone(), t.clone()))
+            .collect();
+        out = out.with_entry(
+            name.as_ref(),
+            FnValue::from(legacy_rebuild(ra.name(), &key_attr_strs(ra), keep)?),
+        );
+    }
+    Ok(out)
+}
+
 // ───────────────────────── measurement harness ─────────────────────────
 
 /// Criterion-style median: `samples` timed runs, median per-run nanos.
@@ -151,14 +255,21 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (orders, samples, out_path) = if quick {
-        (2_000usize, 5usize, None)
-    } else {
-        (20_000, 15, Some("BENCH_fig4_fig6.json"))
-    };
+/// Runs `f` with the `THREADS` override set (the parallel layer reads it
+/// per call), restoring the previous value afterwards.
+fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("THREADS").ok();
+    std::env::set_var("THREADS", n);
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("THREADS", v),
+        None => std::env::remove_var("THREADS"),
+    }
+    out
+}
 
+/// One scale's PR 2 measurements, as a JSON object string.
+fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> String {
     let db = to_fdm(&generate(&standard_config(orders)));
     let customers = db.relation("customers").unwrap();
     println!(
@@ -168,42 +279,142 @@ fn main() {
         samples
     );
 
-    // fig4 filter (costume 1 closure, so before/after differ only in
-    // output construction)
+    // PR 1 comparison (kept so the trajectory tracks it over time): the
+    // per-tuple-insert idiom vs the sequential builder path.
     let pred = |t: &TupleF| Ok(t.get("age")?.as_int("age")? > 42);
-    let before_filter = median_ns(samples, || {
-        black_box(legacy_filter_fn(&customers, pred).unwrap());
+    let before_filter = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(legacy_filter_fn(&customers, pred).unwrap());
+        })
     });
-    let after_filter = median_ns(samples, || {
-        black_box(fdm_fql::filter_fn(&customers, pred).unwrap());
+    let seq_filter = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(fdm_fql::filter_fn(&customers, pred).unwrap());
+        })
+    });
+    let par_filter = with_threads(par_threads, || {
+        median_ns(samples, || {
+            black_box(fdm_fql::filter_fn(&customers, pred).unwrap());
+        })
     });
 
-    // fig6 schema join
-    let before_join = median_ns(samples, || {
-        black_box(legacy_join(&db).unwrap());
+    let before_join = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(legacy_join(&db).unwrap());
+        })
     });
-    let after_join = median_ns(samples, || {
-        black_box(fdm_fql::join(&db).unwrap());
+    let seq_join = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(fdm_fql::join(&db).unwrap());
+        })
+    });
+    let par_join = with_threads(par_threads, || {
+        median_ns(samples, || {
+            black_box(fdm_fql::join(&db).unwrap());
+        })
     });
 
-    // sanity: both paths agree before we publish numbers
+    // PR 2 merge setops: a changed copy (50 extra customers, like the
+    // fig9 criterion bench), then DB-level union and difference through
+    // the PR 1 per-element path vs the sorted-merge path.
+    let changed = {
+        let mut changed = fdm_fql::deep_copy(&db).unwrap();
+        for i in 0..50i64 {
+            changed = fdm_fql::db_upsert(
+                &changed,
+                "customers",
+                Value::Int(1_000_000 + i),
+                TupleF::builder("c")
+                    .attr("name", format!("new{i}"))
+                    .attr("age", 20 + i)
+                    .attr("state", "NV")
+                    .build(),
+            )
+            .unwrap();
+        }
+        changed
+    };
+    let union_insert = median_ns(samples, || {
+        black_box(legacy_union(&db, &changed).unwrap());
+    });
+    let union_merge = median_ns(samples, || {
+        black_box(fdm_fql::union(&db, &changed).unwrap());
+    });
+    let minus_insert = median_ns(samples, || {
+        black_box(legacy_minus(&db, &changed).unwrap());
+    });
+    let minus_merge = median_ns(samples, || {
+        black_box(fdm_fql::minus(&db, &changed).unwrap());
+    });
+
+    // sanity: every path agrees before we publish numbers
     assert_eq!(
         legacy_filter_fn(&customers, pred).unwrap().len(),
-        fdm_fql::filter_fn(&customers, pred).unwrap().len()
+        with_threads(par_threads, || fdm_fql::filter_fn(&customers, pred)
+            .unwrap()
+            .len())
     );
     assert_eq!(
         legacy_join(&db).unwrap().len(),
-        fdm_fql::join(&db).unwrap().len()
+        with_threads(par_threads, || fdm_fql::join(&db).unwrap().len())
     );
+    let lu = legacy_union(&db, &changed).unwrap();
+    let mu = fdm_fql::union(&db, &changed).unwrap();
+    let lm = legacy_minus(&changed, &db).unwrap();
+    let mm = fdm_fql::minus(&changed, &db).unwrap();
+    for name in ["customers", "products", "orders_flat"] {
+        if let (Ok(lr), Ok(mr)) = (lu.relation(name), mu.relation(name)) {
+            assert_eq!(lr.len(), mr.len(), "union diverges on {name}");
+        }
+        if let (Ok(lr), Ok(mr)) = (lm.relation(name), mm.relation(name)) {
+            assert_eq!(lr.len(), mr.len(), "minus diverges on {name}");
+        }
+    }
 
-    let report = format!(
-        "{{\n  \"scale_orders\": {orders},\n  \"samples\": {samples},\n  \"fig4_filter\": {{\n    \"before_median_ns\": {before_filter},\n    \"after_median_ns\": {after_filter},\n    \"speedup\": {:.2}\n  }},\n  \"fig6_join\": {{\n    \"before_median_ns\": {before_join},\n    \"after_median_ns\": {after_join},\n    \"speedup\": {:.2}\n  }}\n}}\n",
-        before_filter / after_filter,
-        before_join / after_join,
+    format!(
+        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"merge_median_ns\": {minus_merge}, \"speedup\": {:.2} }}\n    }}",
+        before_filter / seq_filter,
+        before_join / seq_join,
+        seq_filter / par_filter,
+        seq_join / par_join,
+        union_insert / union_merge,
+        minus_insert / minus_merge,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scales, samples, out_path): (Vec<usize>, usize, Option<&str>) = if quick {
+        (vec![2_000], 3, None)
+    } else {
+        (vec![1_000, 20_000], 15, Some("BENCH_fig4_fig6.json"))
+    };
+    let par_threads = "4";
+
+    let mut scale_reports = Vec::new();
+    for orders in scales {
+        scale_reports.push(measure_scale(orders, samples, par_threads));
+    }
+    let entry = format!(
+        "{{\n  \"entry\": \"pr2_parallel_operators_merge_setops\",\n  \"scales\": [\n{}\n  ]\n}}",
+        scale_reports.join(",\n")
     );
-    println!("{report}");
+    println!("{entry}");
+
     if let Some(path) = out_path {
-        std::fs::write(path, &report).expect("write BENCH_fig4_fig6.json");
+        // The file is a trajectory: append this entry to the recorded
+        // series (wrapping a legacy single-object file into an array).
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let trimmed = existing.trim();
+        let combined = if trimmed.is_empty() {
+            format!("[\n{entry}\n]\n")
+        } else if let Some(body) = trimmed.strip_prefix('[') {
+            let body = body.strip_suffix(']').expect("well-formed JSON array");
+            format!("[{},\n{entry}\n]\n", body.trim_end().trim_end_matches(','))
+        } else {
+            format!("[\n{trimmed},\n{entry}\n]\n")
+        };
+        std::fs::write(path, combined).expect("write BENCH_fig4_fig6.json");
         println!("wrote {path}");
     }
 }

@@ -66,6 +66,7 @@ pub mod domain;
 pub mod error;
 pub mod function;
 pub mod fxhash;
+pub mod par;
 pub mod relation;
 pub mod relationship;
 pub mod tuple;
@@ -78,6 +79,7 @@ pub use domain::{Domain, SharedDomain};
 pub use error::{FdmError, Name, Result};
 pub use function::{apply1, FnValue, Function, FunctionHandle, LambdaF};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use par::{par_map_chunks, ParConfig, ParallelBuilder};
 pub use relation::{RelationBuilder, RelationF};
 pub use relationship::{Participant, RelationshipF};
 pub use tuple::{TupleBuilder, TupleF};

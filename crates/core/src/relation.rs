@@ -234,6 +234,41 @@ impl RelationF {
         matches!(self.body, Body::Multi(_))
     }
 
+    /// `true` if the body is a plain stored unique map — no duplicate
+    /// groups, no computed part. Only such bodies expose
+    /// [`Self::stored_map`] and qualify for copy-free pass-throughs.
+    pub fn is_plain_stored(&self) -> bool {
+        matches!(self.body, Body::Unique(_))
+    }
+
+    /// The underlying persistent key → tuple map of a plain stored body
+    /// (`None` for multi/computed/hybrid bodies). This is what lets
+    /// DB-level set operations run as O(n) structural merges instead of
+    /// re-enumerating and re-inserting every tuple.
+    pub fn stored_map(&self) -> Option<&PMap<Value, Arc<TupleF>>> {
+        match &self.body {
+            Body::Unique(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Wraps an already-built persistent map as a stored relation function
+    /// (unconstrained, like every operator output). The map's key order
+    /// *is* the relation's key order; no per-entry work happens.
+    pub fn from_stored_map(
+        name: impl AsRef<str>,
+        key_attrs: &[&str],
+        map: PMap<Value, Arc<TupleF>>,
+    ) -> RelationF {
+        RelationF {
+            name: Arc::from(name.as_ref()),
+            key_attrs: key_attrs.iter().map(|k| Name::from(*k)).collect(),
+            constraints: Arc::from([]),
+            unique_indexes: Arc::from([]),
+            body: Body::Unique(map),
+        }
+    }
+
     /// `true` if all tuples of this relation can be enumerated.
     pub fn is_enumerable(&self) -> bool {
         match &self.body {

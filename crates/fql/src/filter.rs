@@ -18,7 +18,10 @@
 //! *database* function by entry name (the first step of the paper's
 //! Fig. 5 subdatabase query) — same operator concept, one level up.
 
-use fdm_core::{DatabaseF, FdmError, FnValue, Name, RelationF, Result, TupleF, Value};
+use fdm_core::{
+    par_map_chunks, DatabaseF, FdmError, FnValue, Name, ParConfig, ParallelBuilder, RelationF,
+    Result, TupleF, Value,
+};
 use fdm_expr::{by_suffix, eval_predicate, parse, CmpOp, Expr, Params};
 use std::sync::Arc;
 
@@ -26,11 +29,37 @@ use std::sync::Arc;
 ///
 /// The closure sees the full tuple function — computed attributes and
 /// nested functions included.
-pub fn filter_fn(rel: &RelationF, pred: impl Fn(&TupleF) -> Result<bool>) -> Result<RelationF> {
+///
+/// Large inputs are chunked across threads (`fdm_core::par`): each chunk
+/// evaluates the predicate over its key-ordered slice and the sorted runs
+/// merge into one O(n) bulk build. Output (and any error) is byte-identical
+/// to the sequential path; small inputs skip the threads entirely.
+pub fn filter_fn(
+    rel: &RelationF,
+    pred: impl Fn(&TupleF) -> Result<bool> + Sync,
+) -> Result<RelationF> {
+    let entries = rel.tuples()?;
+    let cfg = ParConfig::from_env();
+    if cfg.should_parallelize(entries.len()) {
+        let runs = par_map_chunks(&entries, cfg.threads, |chunk| -> Result<Vec<_>> {
+            let mut keep = Vec::new();
+            for (key, tuple) in chunk {
+                if pred(tuple)? {
+                    keep.push((key.clone(), tuple.clone()));
+                }
+            }
+            Ok(keep)
+        });
+        let mut out = ParallelBuilder::for_relation(rel);
+        for run in runs {
+            out.push_run(run?);
+        }
+        return out.build();
+    }
     // Input tuples arrive in key order, so the builder takes the O(n)
     // already-sorted bulk path — no per-tuple persistent insert.
     let mut out = rel.builder_like();
-    for (key, tuple) in rel.tuples()? {
+    for (key, tuple) in entries {
         if pred(&tuple)? {
             out.push_arc(key, tuple);
         }
@@ -142,12 +171,32 @@ pub(crate) fn key_attr_strs(rel: &RelationF) -> Vec<&str> {
 /// equi-joins on key attributes, plans projecting `cid` — call this to get
 /// a view where each tuple additionally carries its key attribute(s).
 /// Attributes the tuple already has are left alone.
+///
+/// When every stored tuple already carries all key attributes (e.g. a scan
+/// output being re-scanned), the relation is returned **unchanged** — an
+/// O(1) structural share instead of an O(n) copy of every tuple.
 pub fn with_inlined_keys(rel: &RelationF) -> Result<RelationF> {
     let key_names: Vec<Name> = rel.key_attrs().to_vec();
-    let mut out = rel.builder_like();
-    for (key, tuple) in rel.tuples()? {
-        let mut t = (*tuple).clone();
-        match (&key, key_names.len()) {
+    // Pass-through: a plain stored body whose tuples all have the key
+    // attributes inline needs no rebuild — share the map O(1), rewrapped
+    // unconstrained so both paths produce the same output shape.
+    // (Multi/computed bodies always rebuild — their enumeration is what
+    // materializes the output.)
+    if let Some(map) = rel.stored_map() {
+        if rel
+            .iter_stored()
+            .all(|(_, t)| key_names.iter().all(|n| t.has_attr(n)))
+        {
+            return Ok(RelationF::from_stored_map(
+                rel.name(),
+                &key_attr_strs(rel),
+                map.clone(),
+            ));
+        }
+    }
+    let inline = |key: &Value, tuple: &Arc<TupleF>| -> TupleF {
+        let mut t = (**tuple).clone();
+        match (key, key_names.len()) {
             (Value::List(parts), n) if n > 1 && parts.len() == n => {
                 for (name, v) in key_names.iter().zip(parts.iter()) {
                     if !t.has_attr(name) {
@@ -156,10 +205,30 @@ pub fn with_inlined_keys(rel: &RelationF) -> Result<RelationF> {
                 }
             }
             (v, 1) if !t.has_attr(&key_names[0]) => {
-                t = t.with_attr(key_names[0].as_ref(), (*v).clone());
+                t = t.with_attr(key_names[0].as_ref(), v.clone());
             }
             _ => {}
         }
+        t
+    };
+    let entries = rel.tuples()?;
+    let cfg = ParConfig::from_env();
+    if cfg.should_parallelize(entries.len()) {
+        let runs = par_map_chunks(&entries, cfg.threads, |chunk| {
+            chunk
+                .iter()
+                .map(|(key, tuple)| (key.clone(), Arc::new(inline(key, tuple))))
+                .collect::<Vec<_>>()
+        });
+        let mut out = ParallelBuilder::for_relation(rel);
+        for run in runs {
+            out.push_run(run);
+        }
+        return out.build();
+    }
+    let mut out = rel.builder_like();
+    for (key, tuple) in entries {
+        let t = inline(&key, &tuple);
         out.push(key, t);
     }
     out.build()
@@ -294,5 +363,20 @@ mod tests {
         let rel = customers();
         let out = filter_attr(&rel, "age", GT, 1000).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn inlined_keys_pass_through_when_already_inline() {
+        let rel = customers();
+        let once = with_inlined_keys(&rel).unwrap();
+        let t = once.lookup(&Value::Int(1)).unwrap();
+        assert_eq!(t.get("cid").unwrap(), Value::Int(1));
+        // second application: every tuple already carries `cid`, so the
+        // relation comes back structurally shared, not rebuilt
+        let twice = with_inlined_keys(&once).unwrap();
+        let a = once.lookup(&Value::Int(1)).unwrap();
+        let b = twice.lookup(&Value::Int(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "pass-through shares tuples");
+        assert_eq!(twice.len(), once.len());
     }
 }

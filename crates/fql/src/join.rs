@@ -18,8 +18,8 @@
 //! O(n) bulk path.
 
 use fdm_core::{
-    DatabaseF, FdmError, FxHashMap, Name, RelationBuilder, RelationF, RelationshipF, Result,
-    TupleF, Value,
+    par_map_chunks, DatabaseF, FdmError, FxHashMap, Name, ParConfig, RelationBuilder, RelationF,
+    RelationshipF, Result, TupleF, Value,
 };
 use std::sync::Arc;
 
@@ -146,20 +146,36 @@ pub fn join(db: &DatabaseF) -> Result<RelationF> {
     }];
     let mut pending: Vec<(Name, Arc<RelationshipF>)> = relationships;
     // Process relationships, preferring ones that share a participant with
-    // what is already bound (so chains connect instead of going cartesian).
+    // what is already bound (so chains connect instead of going cartesian),
+    // and among those the one with the fewest entries — joining the most
+    // selective relationship first keeps the working row set small for
+    // every later probe. Ties keep declaration order (stable `min_by_key`).
     while !pending.is_empty() {
         let bound_rels: std::collections::BTreeSet<Name> = rows
             .first()
             .map(|r| r.bound.iter().map(|(n, _)| n.clone()).collect())
             .unwrap_or_default();
+        let connected = |rsf: &RelationshipF| {
+            rsf.participants()
+                .iter()
+                .any(|p| bound_rels.contains(&p.function))
+        };
         let idx = pending
             .iter()
-            .position(|(_, rsf)| {
-                rsf.participants()
+            .enumerate()
+            .filter(|(_, (_, rsf))| connected(rsf))
+            .min_by_key(|(_, (_, rsf))| rsf.len())
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                // nothing connects (the first pick, or a disconnected
+                // component): start from the smallest relationship
+                pending
                     .iter()
-                    .any(|p| bound_rels.contains(&p.function))
-            })
-            .unwrap_or(0);
+                    .enumerate()
+                    .min_by_key(|(_, (_, rsf))| rsf.len())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            });
         let (rname, rsf) = pending.remove(idx);
         // The bound set only exists to connect later relationships; the
         // last one can skip maintaining it.
@@ -254,28 +270,132 @@ fn join_one_relationship(
         }
     }
 
-    // Interned qualified names: one qualifier per participant plus one for
-    // the relationship's own attributes, and the participant key names
-    // (`customers.cid`) formatted once, not per row.
-    let mut part_quals: Vec<Qualifier> = parts
-        .iter()
-        .map(|(pname, _)| Qualifier::new(pname))
-        .collect();
+    // Participant key names (`customers.cid`) formatted once, not per row.
     let key_names: Vec<Name> = rsf
         .participants()
         .iter()
         .map(|p| Name::from(format!("{}.{}", p.function, p.key).as_str()))
         .collect();
-    let mut rel_qual = Qualifier::new(rname);
 
-    // Participant tuples are shared across many output rows (every order a
-    // customer places repeats that customer), so the qualified attribute
-    // run for each participant key is materialized once and shared;
-    // `None` caches a dangling key. The relationship's own attributes are
-    // qualified once per entry — eagerly in one cache-friendly pass when
-    // every entry will be visited, lazily when an index filters them.
-    let mut part_cache: Vec<FxHashMap<Value, Option<AttrRun>>> =
-        parts.iter().map(|_| FxHashMap::default()).collect();
+    /// Per-worker mutable state: one qualifier per participant (interned
+    /// qualified names) and the participant-tuple attribute-run cache
+    /// (participant tuples repeat across many output rows; `None` caches a
+    /// dangling key). Each thread owns its own — the caches are pure
+    /// memoization, so duplicating them across chunks changes cost, never
+    /// content.
+    struct Worker {
+        part_quals: Vec<Qualifier>,
+        part_cache: Vec<FxHashMap<Value, Option<AttrRun>>>,
+        scratch: Vec<AttrRun>,
+    }
+
+    impl Worker {
+        fn new(parts: &[(Name, Arc<RelationF>)]) -> Worker {
+            Worker {
+                part_quals: parts.iter().map(|(p, _)| Qualifier::new(p)).collect(),
+                part_cache: parts.iter().map(|_| FxHashMap::default()).collect(),
+                scratch: Vec::new(),
+            }
+        }
+    }
+
+    /// Extends one working row with its matching entries — the shared body
+    /// of the sequential and parallel paths. `entry_attrs` supplies the
+    /// relationship's own qualified attributes per entry index (lazy in the
+    /// sequential path, precomputed in the parallel one).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_rows_for(
+        row: &JoinRow,
+        matches: &[usize],
+        entries: &[(&[Value], &Arc<TupleF>)],
+        parts: &[(Name, Arc<RelationF>)],
+        unbound_positions: &[usize],
+        key_names: &[Name],
+        need_bound: bool,
+        entry_attrs: &mut dyn FnMut(usize) -> Result<AttrRun>,
+        w: &mut Worker,
+        next: &mut Vec<JoinRow>,
+    ) -> Result<()> {
+        'entry: for &ei in matches {
+            let (args, _) = &entries[ei];
+            // Resolve every unbound participant to its cached qualified
+            // attribute run first (inner join: a dangling key drops the
+            // entry before any row is allocated).
+            w.scratch.clear();
+            for &i in unbound_positions {
+                let arg = &args[i];
+                let cached = match w.part_cache[i].get(arg) {
+                    Some(c) => c.clone(),
+                    None => {
+                        let computed = match parts[i].1.lookup(arg) {
+                            Some(tuple) => {
+                                let mut attrs = vec![(key_names[i].clone(), arg.clone())];
+                                w.part_quals[i].qualify(&tuple, &mut attrs)?;
+                                Some(AttrRun::from(attrs.into_boxed_slice()))
+                            }
+                            None => None,
+                        };
+                        w.part_cache[i].insert(arg.clone(), computed.clone());
+                        computed
+                    }
+                };
+                match cached {
+                    Some(attrs) => w.scratch.push(attrs),
+                    None => continue 'entry,
+                }
+            }
+            let rel_attrs = entry_attrs(ei)?;
+            // Assemble the output row in one exact-capacity allocation.
+            let cap = row.attrs.len()
+                + w.scratch.iter().map(|r| r.len()).sum::<usize>()
+                + rel_attrs.len();
+            let mut attrs = Vec::with_capacity(cap);
+            attrs.extend_from_slice(&row.attrs);
+            for run in &w.scratch {
+                attrs.extend(run.iter().cloned());
+            }
+            attrs.extend(rel_attrs.iter().cloned());
+            let bound = if need_bound {
+                let mut bound = Vec::with_capacity(row.bound.len() + unbound_positions.len());
+                bound.extend_from_slice(&row.bound);
+                for &i in unbound_positions {
+                    bound.push((parts[i].0.clone(), args[i].clone()));
+                }
+                bound
+            } else {
+                Vec::new()
+            };
+            next.push(JoinRow { bound, attrs });
+        }
+        Ok(())
+    }
+
+    /// Which entries does a working row match? With nothing bound, all of
+    /// them; otherwise the hash index filters by the bound keys.
+    fn matches_for<'a>(
+        row: &JoinRow,
+        bound_positions: &[usize],
+        parts: &[(Name, Arc<RelationF>)],
+        all_entries: &'a [usize],
+        index: &'a FxHashMap<Value, Vec<usize>>,
+        probe_key: &dyn Fn(&mut dyn Iterator<Item = Value>) -> Value,
+    ) -> Option<&'a [usize]> {
+        if bound_positions.is_empty() {
+            Some(all_entries)
+        } else {
+            let probe = probe_key(&mut bound_positions.iter().map(|&i| {
+                row.bound_key(&parts[i].0)
+                    .expect("position is bound")
+                    .clone()
+            }));
+            index.get(&probe).map(Vec::as_slice)
+        }
+    }
+
+    // The relationship's own attributes are qualified once per entry —
+    // eagerly in one cache-friendly pass when every entry will be visited,
+    // lazily when an index filters them.
+    let mut rel_qual = Qualifier::new(rname);
     let mut entry_attrs: Vec<Option<AttrRun>> = vec![None; entries.len()];
     if bound_positions.is_empty() {
         for (ei, (_, rattrs)) in entries.iter().enumerate() {
@@ -285,88 +405,113 @@ fn join_one_relationship(
         }
     }
 
-    // Upper bound for the unfiltered case; later relationships grow on
-    // demand.
+    let cfg = ParConfig::from_env();
+    if cfg.should_parallelize(rows.len()) {
+        // Probing is pure per-row work over read-only state (index, entry
+        // table, participant relations), so chunk the working rows across
+        // threads; concatenating the chunk outputs in order reproduces the
+        // sequential row order exactly. Entry attrs pre-qualified in the
+        // visit-everything case are shared read-only; when an index
+        // filters, each chunk memoizes lazily (like the sequential path —
+        // unmatched entries are never qualified, just at worst once per
+        // chunk instead of once).
+        let entry_attrs = entry_attrs; // frozen, shared across chunks
+        let chunk_outputs = par_map_chunks(&rows, cfg.threads, |chunk| -> Result<Vec<JoinRow>> {
+            let mut w = Worker::new(&parts);
+            let mut out = Vec::with_capacity(chunk.len());
+            let mut rel_qual = Qualifier::new(rname);
+            let mut local_attrs: FxHashMap<usize, AttrRun> = FxHashMap::default();
+            let mut get_attrs = |ei: usize| -> Result<AttrRun> {
+                if let Some(a) = &entry_attrs[ei] {
+                    return Ok(a.clone());
+                }
+                if let Some(a) = local_attrs.get(&ei) {
+                    return Ok(a.clone());
+                }
+                let (_, rattrs) = &entries[ei];
+                let mut attrs = Vec::new();
+                rel_qual.qualify(rattrs, &mut attrs)?;
+                let a: AttrRun = Arc::from(attrs.into_boxed_slice());
+                local_attrs.insert(ei, a.clone());
+                Ok(a)
+            };
+            for row in chunk {
+                let Some(matches) = matches_for(
+                    row,
+                    &bound_positions,
+                    &parts,
+                    &all_entries,
+                    &index,
+                    &probe_key,
+                ) else {
+                    continue;
+                };
+                emit_rows_for(
+                    row,
+                    matches,
+                    &entries,
+                    &parts,
+                    &unbound_positions,
+                    &key_names,
+                    need_bound,
+                    &mut get_attrs,
+                    &mut w,
+                    &mut out,
+                )?;
+            }
+            Ok(out)
+        });
+        let mut next = Vec::new();
+        for out in chunk_outputs {
+            next.extend(out?);
+        }
+        return Ok(next);
+    }
+
+    // Sequential path. Upper bound for the unfiltered case; later
+    // relationships grow on demand.
     let mut next = Vec::with_capacity(if bound_positions.is_empty() {
         entries.len()
     } else {
         rows.len()
     });
-    let mut scratch: Vec<AttrRun> = Vec::with_capacity(unbound_positions.len());
+    let mut w = Worker::new(&parts);
     for row in &rows {
-        let matches = if bound_positions.is_empty() {
-            &all_entries
-        } else {
-            let probe = probe_key(&mut bound_positions.iter().map(|&i| {
-                row.bound_key(&parts[i].0)
-                    .expect("position is bound")
-                    .clone()
-            }));
-            match index.get(&probe) {
-                Some(m) => m,
-                None => continue,
-            }
+        let Some(matches) = matches_for(
+            row,
+            &bound_positions,
+            &parts,
+            &all_entries,
+            &index,
+            &probe_key,
+        ) else {
+            continue;
         };
-        'entry: for &ei in matches {
-            let (args, rattrs) = &entries[ei];
-            // Resolve every unbound participant to its cached qualified
-            // attribute run first (inner join: a dangling key drops the
-            // entry before any row is allocated).
-            scratch.clear();
-            for &i in &unbound_positions {
-                let arg = &args[i];
-                let cached = match part_cache[i].get(arg) {
-                    Some(c) => c.clone(),
-                    None => {
-                        let computed = match parts[i].1.lookup(arg) {
-                            Some(tuple) => {
-                                let mut attrs = vec![(key_names[i].clone(), arg.clone())];
-                                part_quals[i].qualify(&tuple, &mut attrs)?;
-                                Some(AttrRun::from(attrs.into_boxed_slice()))
-                            }
-                            None => None,
-                        };
-                        part_cache[i].insert(arg.clone(), computed.clone());
-                        computed
-                    }
-                };
-                match cached {
-                    Some(attrs) => scratch.push(attrs),
-                    None => continue 'entry,
-                }
-            }
-            // The relationship's own attributes, qualified once per entry.
-            let rel_attrs = match &entry_attrs[ei] {
-                Some(a) => a.clone(),
+        let mut get_attrs = |ei: usize| -> Result<AttrRun> {
+            match &entry_attrs[ei] {
+                Some(a) => Ok(a.clone()),
                 None => {
+                    let (_, rattrs) = &entries[ei];
                     let mut attrs = Vec::new();
                     rel_qual.qualify(rattrs, &mut attrs)?;
                     let a: AttrRun = Arc::from(attrs.into_boxed_slice());
                     entry_attrs[ei] = Some(a.clone());
-                    a
+                    Ok(a)
                 }
-            };
-            // Assemble the output row in one exact-capacity allocation.
-            let cap =
-                row.attrs.len() + scratch.iter().map(|r| r.len()).sum::<usize>() + rel_attrs.len();
-            let mut attrs = Vec::with_capacity(cap);
-            attrs.extend_from_slice(&row.attrs);
-            for run in &scratch {
-                attrs.extend(run.iter().cloned());
             }
-            attrs.extend(rel_attrs.iter().cloned());
-            let bound = if need_bound {
-                let mut bound = Vec::with_capacity(row.bound.len() + unbound_positions.len());
-                bound.extend_from_slice(&row.bound);
-                for &i in &unbound_positions {
-                    bound.push((parts[i].0.clone(), args[i].clone()));
-                }
-                bound
-            } else {
-                Vec::new()
-            };
-            next.push(JoinRow { bound, attrs });
-        }
+        };
+        emit_rows_for(
+            row,
+            matches,
+            &entries,
+            &parts,
+            &unbound_positions,
+            &key_names,
+            need_bound,
+            &mut get_attrs,
+            &mut w,
+            &mut next,
+        )?;
     }
     Ok(next)
 }
@@ -442,20 +587,34 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
                 .push(Arc::from(attrs.into_boxed_slice()));
         }
         let probe_q = Name::from(format!("{probe_rel}.{probe_attr}").as_str());
-        let mut next = Vec::new();
-        for attrs in &rows {
-            let Some((_, pv)) = attrs.iter().find(|(n, _)| *n == probe_q) else {
-                continue;
-            };
-            if let Some(matches) = table.get(pv) {
-                for t in matches {
-                    let mut merged = attrs.clone();
-                    merged.extend(t.iter().cloned());
-                    next.push(merged);
+        let probe_rows = |chunk: &[Vec<(Name, Value)>]| {
+            let mut out = Vec::with_capacity(chunk.len());
+            for attrs in chunk {
+                let Some((_, pv)) = attrs.iter().find(|(n, _)| *n == probe_q) else {
+                    continue;
+                };
+                if let Some(matches) = table.get(pv) {
+                    for t in matches {
+                        let mut merged = attrs.clone();
+                        merged.extend(t.iter().cloned());
+                        out.push(merged);
+                    }
                 }
             }
-        }
-        rows = next;
+            out
+        };
+        // The probe side is pure per-row work against the read-only hash
+        // table — chunk it across threads on large inputs; chunk outputs
+        // concatenate back in row order.
+        let cfg = ParConfig::from_env();
+        rows = if cfg.should_parallelize(rows.len()) {
+            par_map_chunks(&rows, cfg.threads, probe_rows)
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            probe_rows(&rows)
+        };
         bound.push(Name::from(build_rel.as_str()));
     }
 

@@ -362,11 +362,34 @@ impl Query {
             Query::Project { input, attrs } => {
                 let rel = input.run(db, stats)?;
                 let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                let mut out = rel.builder_like();
-                for (key, tuple) in rel.tuples()? {
-                    out.push(key, tuple.project(&keep)?);
+                let entries = rel.tuples()?;
+                let cfg = fdm_core::ParConfig::from_env();
+                if cfg.should_parallelize(entries.len()) {
+                    // per-tuple projection is pure — chunk it across threads
+                    let runs = fdm_core::par_map_chunks(
+                        &entries,
+                        cfg.threads,
+                        |chunk| -> Result<Vec<_>> {
+                            chunk
+                                .iter()
+                                .map(|(key, tuple)| {
+                                    Ok((key.clone(), Arc::new(tuple.project(&keep)?)))
+                                })
+                                .collect()
+                        },
+                    );
+                    let mut out = fdm_core::ParallelBuilder::for_relation(&rel);
+                    for run in runs {
+                        out.push_run(run?);
+                    }
+                    out.build()?
+                } else {
+                    let mut out = rel.builder_like();
+                    for (key, tuple) in entries {
+                        out.push(key, tuple.project(&keep)?);
+                    }
+                    out.build()?
                 }
-                out.build()?
             }
             Query::Join {
                 input,

@@ -15,8 +15,18 @@
 //! data in the two inputs (the result must stay a function: one output
 //! per input).
 
-use fdm_core::{DatabaseF, FnValue, RelationBuilder, RelationF, Result, TupleF, Value};
-use std::collections::BTreeMap;
+//! Implementation note: each relation's mappings are (or become) a
+//! persistent key-ordered map, and the set operations run as **O(n + m)
+//! sorted two-pointer merges** ([`fdm_storage::PMap::merge_union`] and
+//! friends) feeding one bulk tree build — not a per-element
+//! insert/lookup loop. For plain stored relations the input map is shared
+//! O(1) from the relation body; data keys (the expensive part: a
+//! materialized, order-insensitive attribute fingerprint) are computed
+//! only for the keys both inputs share, where data equality actually
+//! decides something.
+
+use fdm_core::{DatabaseF, FdmError, FnValue, Name, RelationF, Result, TupleF, Value};
+use fdm_storage::PMap;
 use std::sync::Arc;
 
 /// A deep copy of a database: every relation's tuples are materialized
@@ -54,42 +64,50 @@ pub fn deep_copy(db: &DatabaseF) -> Result<DatabaseF> {
     Ok(out)
 }
 
-/// Indexes a relation's mappings: key → (data key, tuple).
-fn by_data(rel: &RelationF) -> Result<BTreeMap<Value, (Value, Arc<TupleF>)>> {
-    let mut out = BTreeMap::new();
-    for (key, tuple) in rel.tuples()? {
-        let dk = tuple.data_key()?;
-        out.insert(key, (dk, tuple));
+/// A relation's mappings as a persistent key → tuple map: shared O(1)
+/// from a plain stored body, bulk-built O(n) from the (key-ordered)
+/// enumerated tuples otherwise. Multi bodies collapse duplicate keys to
+/// the last tuple, matching the old `BTreeMap::insert` indexing.
+fn key_map(rel: &RelationF) -> Result<PMap<Value, Arc<TupleF>>> {
+    if let Some(m) = rel.stored_map() {
+        return Ok(m.clone());
     }
-    Ok(out)
+    let mut entries = rel.tuples()?;
+    if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        // stable sort → the last tuple of a duplicate-key run wins
+        entries.reverse();
+        entries.dedup_by(|a, b| a.0 == b.0);
+        entries.reverse();
+    }
+    Ok(PMap::from_sorted_vec(entries))
 }
 
-fn rebuild(
-    name: &str,
-    key_attrs: &[&str],
-    entries: impl IntoIterator<Item = (Value, Arc<TupleF>)>,
-) -> Result<RelationF> {
-    let mut out = RelationBuilder::new(name, key_attrs);
-    let mut used = std::collections::BTreeSet::new();
-    let mut synthetic = 0i64;
-    for (key, tuple) in entries {
-        // keys from two databases may collide on different data; fall back
-        // to synthetic keys when they do
-        let key = if used.contains(&key) {
-            loop {
-                synthetic += 1;
-                let k = Value::list([Value::str("§"), Value::Int(synthetic)]);
-                if !used.contains(&k) {
-                    break k;
-                }
-            }
-        } else {
-            key
-        };
-        used.insert(key.clone());
-        out.push_arc(key, tuple);
+/// Wraps a merged map as an output relation shaped like `template`
+/// (same name and key attributes, unconstrained like every operator
+/// output).
+fn from_merged(template: &RelationF, map: PMap<Value, Arc<TupleF>>) -> RelationF {
+    RelationF::from_stored_map(
+        template.name(),
+        &crate::filter::key_attr_strs(template),
+        map,
+    )
+}
+
+/// Compares two same-key tuples by data key, reporting the first
+/// materialization error through `err` (the merge combiners cannot return
+/// `Result` themselves).
+fn data_equal(ta: &TupleF, tb: &TupleF, err: &mut Option<FdmError>) -> bool {
+    if err.is_some() {
+        return false;
     }
-    out.build()
+    match (ta.data_key(), tb.data_key()) {
+        (Ok(da), Ok(db_)) => da == db_,
+        (Err(e), _) | (_, Err(e)) => {
+            *err = Some(e);
+            false
+        }
+    }
 }
 
 /// Relation-wise set union of two databases: every relation name present
@@ -97,17 +115,43 @@ fn rebuild(
 /// When both inputs map the same key (to equal or different data), the
 /// left input's tuple wins — the result must remain a function.
 pub fn union(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
-    binary_setop(a, b, "union", |da, db_| {
-        let mut merged: BTreeMap<Value, (Value, Arc<TupleF>)> = da.clone();
-        for (k, v) in db_ {
-            merged.entry(k.clone()).or_insert_with(|| v.clone());
+    let mut out = DatabaseF::new(format!("({} union {})", a.name(), b.name()));
+    let mut names: Vec<Name> = Vec::new();
+    for (n, e) in a.iter() {
+        if matches!(e, FnValue::Relation(_)) {
+            names.push(n.clone());
         }
-        merged.into_iter().map(|(k, (_, t))| (k, t)).collect()
-    })
+    }
+    for (n, e) in b.iter() {
+        if matches!(e, FnValue::Relation(_)) && !names.contains(n) {
+            names.push(n.clone());
+        }
+    }
+    for name in names {
+        let template = a
+            .relation(&name)
+            .or_else(|_| b.relation(&name))
+            .expect("name came from one of the inputs");
+        let ma = match a.relation(&name) {
+            Ok(r) => key_map(&r)?,
+            Err(_) => PMap::new(),
+        };
+        let mb = match b.relation(&name) {
+            Ok(r) => key_map(&r)?,
+            Err(_) => PMap::new(),
+        };
+        // left-biased key merge; no data keys needed — the key decides
+        out = out.with_entry(
+            name.as_ref(),
+            FnValue::from(from_merged(&template, ma.merge_union(&mb))),
+        );
+    }
+    Ok(out)
 }
 
 /// Relation-wise intersection: only relation names present in both inputs
-/// appear, holding the tuples common to both.
+/// appear, holding the tuples common to both (same key, data-equal
+/// tuples).
 pub fn intersect(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
     let mut out = DatabaseF::new(format!("({} ∩ {})", a.name(), b.name()));
     for (name, entry) in a.iter() {
@@ -115,18 +159,16 @@ pub fn intersect(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
             continue;
         };
         let Ok(rb) = b.relation(name) else { continue };
-        let da = by_data(ra)?;
-        let db_ = by_data(&rb)?;
-        // a mapping is shared when the same key maps to data-equal tuples
-        let keep: Vec<(Value, Arc<TupleF>)> = da
-            .iter()
-            .filter(|(key, (dk, _))| db_.get(*key).is_some_and(|(dk2, _)| dk2 == dk))
-            .map(|(key, (_, t))| (key.clone(), t.clone()))
-            .collect();
-        out = out.with_entry(
-            name.as_ref(),
-            FnValue::from(rebuild(ra.name(), &crate::filter::key_attr_strs(ra), keep)?),
-        );
+        let ma = key_map(ra)?;
+        let mb = key_map(&rb)?;
+        let mut err = None;
+        let merged = ma.merge_intersection_with(&mb, |_, ta, tb| {
+            data_equal(ta, tb, &mut err).then(|| ta.clone())
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        out = out.with_entry(name.as_ref(), FnValue::from(from_merged(ra, merged)));
     }
     Ok(out)
 }
@@ -139,21 +181,20 @@ pub fn minus(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
         let FnValue::Relation(ra) = entry else {
             continue;
         };
-        let da = by_data(ra)?;
-        let db_ = match b.relation(name) {
-            Ok(rb) => by_data(&rb)?,
-            Err(_) => BTreeMap::new(),
+        let ma = key_map(ra)?;
+        let mb = match b.relation(name) {
+            Ok(rb) => key_map(&rb)?,
+            Err(_) => PMap::new(),
         };
+        let mut err = None;
         // keep mappings of `a` that are not (key, data)-present in `b`
-        let keep: Vec<(Value, Arc<TupleF>)> = da
-            .iter()
-            .filter(|(key, (dk, _))| db_.get(*key).is_none_or(|(dk2, _)| dk2 != dk))
-            .map(|(key, (_, t))| (key.clone(), t.clone()))
-            .collect();
-        out = out.with_entry(
-            name.as_ref(),
-            FnValue::from(rebuild(ra.name(), &crate::filter::key_attr_strs(ra), keep)?),
-        );
+        let merged = ma.merge_difference_with(&mb, |_, ta, tb| {
+            (!data_equal(ta, tb, &mut err) && err.is_none()).then(|| ta.clone())
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        out = out.with_entry(name.as_ref(), FnValue::from(from_merged(ra, merged)));
     }
     Ok(out)
 }
@@ -190,55 +231,6 @@ pub fn difference(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
     }
     Ok(out)
 }
-
-fn binary_setop(
-    a: &DatabaseF,
-    b: &DatabaseF,
-    opname: &str,
-    merge: impl Fn(
-        &BTreeMap<Value, (Value, Arc<TupleF>)>,
-        &BTreeMap<Value, (Value, Arc<TupleF>)>,
-    ) -> Vec<(Value, Arc<TupleF>)>,
-) -> Result<DatabaseF> {
-    let mut out = DatabaseF::new(format!("({} {} {})", a.name(), opname, b.name()));
-    let mut names: Vec<Name2> = Vec::new();
-    for (n, e) in a.iter() {
-        if matches!(e, FnValue::Relation(_)) {
-            names.push(Name2(n.clone()));
-        }
-    }
-    for (n, e) in b.iter() {
-        if matches!(e, FnValue::Relation(_)) && !names.iter().any(|x| x.0 == *n) {
-            names.push(Name2(n.clone()));
-        }
-    }
-    for Name2(name) in names {
-        let da = match a.relation(&name) {
-            Ok(r) => by_data(&r)?,
-            Err(_) => BTreeMap::new(),
-        };
-        let db_ = match b.relation(&name) {
-            Ok(r) => by_data(&r)?,
-            Err(_) => BTreeMap::new(),
-        };
-        let template = a
-            .relation(&name)
-            .or_else(|_| b.relation(&name))
-            .expect("name came from one of the inputs");
-        let merged = merge(&da, &db_);
-        out = out.with_entry(
-            name.as_ref(),
-            FnValue::from(rebuild(
-                template.name(),
-                &crate::filter::key_attr_strs(&template),
-                merged,
-            )?),
-        );
-    }
-    Ok(out)
-}
-
-struct Name2(fdm_core::Name);
 
 #[cfg(test)]
 mod tests {

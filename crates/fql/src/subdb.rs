@@ -15,6 +15,7 @@
 
 use crate::filter::filter_db;
 use fdm_core::{DatabaseF, FnValue, Name, RelationF, Result, Value};
+use fdm_storage::PSet;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -35,8 +36,10 @@ pub fn subdatabase(db: &DatabaseF, names: &[&str]) -> DatabaseF {
 #[derive(Debug)]
 struct ActiveKeys {
     /// relation name → surviving keys (None = relation not constrained by
-    /// any relationship, keep everything)
-    keys: BTreeMap<Name, BTreeSet<Value>>,
+    /// any relationship, keep everything). Persistent sets so each
+    /// fixpoint round shrinks them with an O(n) merge intersection
+    /// instead of a per-element retain.
+    keys: BTreeMap<Name, PSet<Value>>,
 }
 
 /// Computes the semi-join fixpoint over all relationship functions in
@@ -46,7 +49,7 @@ struct ActiveKeys {
 /// relationship that touches its relation.
 fn semi_join_fixpoint(db: &DatabaseF) -> Result<ActiveKeys> {
     // start: every stored key of every participating relation is active
-    let mut active: BTreeMap<Name, BTreeSet<Value>> = BTreeMap::new();
+    let mut active: BTreeMap<Name, PSet<Value>> = BTreeMap::new();
     let relationships: Vec<(Name, Arc<fdm_core::RelationshipF>)> = db
         .relationships()
         .map(|(n, r)| (n.clone(), r.clone()))
@@ -54,9 +57,10 @@ fn semi_join_fixpoint(db: &DatabaseF) -> Result<ActiveKeys> {
     for (_, rsf) in &relationships {
         for p in rsf.participants() {
             if let Ok(rel) = db.relation(&p.function) {
+                // stored_keys is key-ordered: the O(n) bulk set build
                 active
                     .entry(p.function.clone())
-                    .or_insert_with(|| rel.stored_keys().into_iter().collect());
+                    .or_insert_with(|| PSet::from_sorted_vec(rel.stored_keys()));
             }
         }
     }
@@ -79,11 +83,13 @@ fn semi_join_fixpoint(db: &DatabaseF) -> Result<ActiveKeys> {
                     }
                 }
             }
-            // restrict each participant to keys seen in surviving entries
+            // restrict each participant to keys seen in surviving entries:
+            // an O(n) two-pointer merge intersection per participant
             for (i, p) in rsf.participants().iter().enumerate() {
                 if let Some(keys) = active.get_mut(&p.function) {
                     let before = keys.len();
-                    keys.retain(|k| per_participant[i].contains(k));
+                    let seen = PSet::from_sorted_iter(per_participant[i].iter().cloned());
+                    *keys = keys.merge_intersection(&seen);
                     if keys.len() != before {
                         changed = true;
                     }
@@ -97,7 +103,7 @@ fn semi_join_fixpoint(db: &DatabaseF) -> Result<ActiveKeys> {
     Ok(ActiveKeys { keys: active })
 }
 
-fn restrict_relation(rel: &RelationF, keep: &BTreeSet<Value>) -> Result<RelationF> {
+fn restrict_relation(rel: &RelationF, keep: &PSet<Value>) -> Result<RelationF> {
     // iter_stored is key-ordered → the builder's no-sort bulk path
     let mut out = rel.builder_like();
     for (key, tuple) in rel.iter_stored() {
@@ -168,8 +174,8 @@ pub fn outer(db: &DatabaseF, outer_marked: &[&str]) -> Result<DatabaseF> {
             FnValue::Relation(rel) if marked.contains(name.as_ref()) => {
                 let keep = active.keys.get(name).cloned().unwrap_or_default();
                 let inner = restrict_relation(rel, &keep)?.renamed(format!("{name}.inner"));
-                let all: BTreeSet<Value> = rel.stored_keys().into_iter().collect();
-                let outer_keys: BTreeSet<Value> = all.difference(&keep).cloned().collect();
+                let all = PSet::from_sorted_vec(rel.stored_keys());
+                let outer_keys = all.merge_difference(&keep);
                 let outer_rel =
                     restrict_relation(rel, &outer_keys)?.renamed(format!("{name}.outer"));
                 out = out

@@ -486,6 +486,148 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
         Self::from_sorted_vec(it.into_iter().collect())
     }
 
+    /// O(n + m) **merge union**: every key of either map, with `self`'s
+    /// value winning when a key appears in both (left bias).
+    ///
+    /// This is the merge-style counterpart of inserting `other`'s entries
+    /// one by one (O(m log n) time and allocation): both trees are walked
+    /// in key order with two pointers and the result is bulk-built via
+    /// [`Self::from_sorted_vec`].
+    pub fn merge_union(&self, other: &Self) -> Self {
+        self.merge_union_with(other, |_, a, _| a.clone())
+    }
+
+    /// [`Self::merge_union`] with an explicit combiner for keys present in
+    /// both maps: `combine(key, self_value, other_value)` produces the
+    /// value stored under the shared key.
+    pub fn merge_union_with(&self, other: &Self, mut combine: impl FnMut(&K, &V, &V) -> V) -> Self {
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut out: Vec<(K, V)> = Vec::with_capacity(self.len() + other.len());
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((ka, _)), Some((kb, _))) => match ka.cmp(kb) {
+                    Ordering::Less => {
+                        let (k, v) = a.next().expect("peeked");
+                        out.push((k.clone(), v.clone()));
+                    }
+                    Ordering::Greater => {
+                        let (k, v) = b.next().expect("peeked");
+                        out.push((k.clone(), v.clone()));
+                    }
+                    Ordering::Equal => {
+                        let (k, va) = a.next().expect("peeked");
+                        let (_, vb) = b.next().expect("peeked");
+                        out.push((k.clone(), combine(k, va, vb)));
+                    }
+                },
+                (Some(_), None) => {
+                    let (k, v) = a.next().expect("peeked");
+                    out.push((k.clone(), v.clone()));
+                }
+                (None, Some(_)) => {
+                    let (k, v) = b.next().expect("peeked");
+                    out.push((k.clone(), v.clone()));
+                }
+                (None, None) => break,
+            }
+        }
+        Self::from_sorted_vec(out)
+    }
+
+    /// O(n + m) **merge intersection**: the keys present in both maps,
+    /// carrying `self`'s values.
+    pub fn merge_intersection(&self, other: &Self) -> Self {
+        self.merge_intersection_with(other, |_, a, _| Some(a.clone()))
+    }
+
+    /// [`Self::merge_intersection`] with a per-key decision:
+    /// `combine(key, self_value, other_value)` returns the value to keep,
+    /// or `None` to drop the key (e.g. when the two values are not
+    /// considered equal by the caller's notion of identity).
+    pub fn merge_intersection_with(
+        &self,
+        other: &Self,
+        mut combine: impl FnMut(&K, &V, &V) -> Option<V>,
+    ) -> Self {
+        let mut out: Vec<(K, V)> = Vec::new();
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        while let (Some((ka, _)), Some((kb, _))) = (a.peek(), b.peek()) {
+            match ka.cmp(kb) {
+                Ordering::Less => {
+                    a.next();
+                }
+                Ordering::Greater => {
+                    b.next();
+                }
+                Ordering::Equal => {
+                    let (k, va) = a.next().expect("peeked");
+                    let (_, vb) = b.next().expect("peeked");
+                    if let Some(v) = combine(k, va, vb) {
+                        out.push((k.clone(), v));
+                    }
+                }
+            }
+        }
+        Self::from_sorted_vec(out)
+    }
+
+    /// O(n + m) **merge difference**: the entries of `self` whose keys are
+    /// absent from `other`.
+    pub fn merge_difference(&self, other: &Self) -> Self {
+        self.merge_difference_with(other, |_, _, _| None)
+    }
+
+    /// [`Self::merge_difference`] with a per-key decision for keys present
+    /// in both maps: `combine(key, self_value, other_value)` returns
+    /// `Some(value)` to keep the key anyway (e.g. a residual after a
+    /// value-level difference) or `None` to drop it.
+    pub fn merge_difference_with(
+        &self,
+        other: &Self,
+        mut combine: impl FnMut(&K, &V, &V) -> Option<V>,
+    ) -> Self {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out: Vec<(K, V)> = Vec::new();
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((ka, _)), Some((kb, _))) => match ka.cmp(kb) {
+                    Ordering::Less => {
+                        let (k, v) = a.next().expect("peeked");
+                        out.push((k.clone(), v.clone()));
+                    }
+                    Ordering::Greater => {
+                        b.next();
+                    }
+                    Ordering::Equal => {
+                        let (k, va) = a.next().expect("peeked");
+                        let (_, vb) = b.next().expect("peeked");
+                        if let Some(v) = combine(k, va, vb) {
+                            out.push((k.clone(), v));
+                        }
+                    }
+                },
+                (Some(_), None) => {
+                    let (k, v) = a.next().expect("peeked");
+                    out.push((k.clone(), v.clone()));
+                }
+                (None, _) => break,
+            }
+        }
+        Self::from_sorted_vec(out)
+    }
+
     /// Checks the AVL and size invariants of the whole tree (test support).
     pub fn check_invariants(&self) -> bool {
         fn go<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> Option<(u8, usize)> {
@@ -719,6 +861,62 @@ mod tests {
         assert_eq!(m.get("alice"), Some(&1));
         assert!(m.contains_key("alice"));
         assert!(!m.contains_key("bob"));
+    }
+
+    #[test]
+    fn merge_union_is_left_biased() {
+        let a = PMap::from_iter([(1, 'a'), (3, 'a'), (5, 'a')]);
+        let b = PMap::from_iter([(2, 'b'), (3, 'b'), (6, 'b')]);
+        let u = a.merge_union(&b);
+        assert!(u.check_invariants());
+        let items: Vec<_> = u.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(
+            items,
+            vec![(1, 'a'), (2, 'b'), (3, 'a'), (5, 'a'), (6, 'b')],
+            "shared key 3 takes the left value"
+        );
+        // empty shortcuts
+        let e: PMap<i32, char> = PMap::new();
+        assert_eq!(a.merge_union(&e), a);
+        assert_eq!(e.merge_union(&b), b);
+    }
+
+    #[test]
+    fn merge_intersection_and_difference() {
+        let a = PMap::from_iter([(1, 'a'), (3, 'a'), (5, 'a')]);
+        let b = PMap::from_iter([(3, 'b'), (5, 'b'), (7, 'b')]);
+        let i = a.merge_intersection(&b);
+        assert_eq!(
+            i.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            vec![(3, 'a'), (5, 'a')],
+            "self's values survive"
+        );
+        let d = a.merge_difference(&b);
+        assert_eq!(
+            d.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            vec![(1, 'a')]
+        );
+        assert!(i.check_invariants() && d.check_invariants());
+    }
+
+    #[test]
+    fn merge_with_variants_decide_per_key() {
+        let a = PMap::from_iter([(1, 10), (2, 20), (3, 30)]);
+        let b = PMap::from_iter([(2, 2), (3, 300)]);
+        let u = a.merge_union_with(&b, |_, x, y| x + y);
+        assert_eq!(u.get(&2), Some(&22));
+        assert_eq!(u.get(&1), Some(&10));
+        let i = a.merge_intersection_with(&b, |_, x, y| (*x > *y).then_some(*x));
+        assert_eq!(
+            i.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![2],
+            "3 dropped: 30 < 300"
+        );
+        let d = a.merge_difference_with(&b, |_, x, y| (*x > *y).then(|| x - y));
+        assert_eq!(
+            d.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            vec![(1, 10), (2, 18)]
+        );
     }
 
     #[test]

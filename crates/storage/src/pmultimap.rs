@@ -165,6 +165,46 @@ impl<K: Ord + Clone, V: Ord + Clone> PMultiMap<K, V> {
         }
     }
 
+    /// O(n + m) **merge union**: every key of either multimap, with the
+    /// value sets of shared keys merged set-union-wise — equivalent to
+    /// inserting every `(key, value)` pair of `other`, without the
+    /// per-pair persistent-insert cost.
+    pub fn merge_union(&self, other: &Self) -> Self {
+        let map = self
+            .map
+            .merge_union_with(&other.map, |_, a, b| a.merge_union(b));
+        Self::from_merged(map)
+    }
+
+    /// O(n + m) **merge intersection**: keys present in both multimaps,
+    /// holding the intersection of their value sets; keys whose value sets
+    /// share nothing are dropped.
+    pub fn merge_intersection(&self, other: &Self) -> Self {
+        let map = self.map.merge_intersection_with(&other.map, |_, a, b| {
+            let s = a.merge_intersection(b);
+            (!s.is_empty()).then_some(s)
+        });
+        Self::from_merged(map)
+    }
+
+    /// O(n + m) **merge difference**: the `(key, value)` pairs of `self`
+    /// not present in `other`; keys whose value sets empty out are
+    /// dropped (matching repeated [`Self::remove`]).
+    pub fn merge_difference(&self, other: &Self) -> Self {
+        let map = self.map.merge_difference_with(&other.map, |_, a, b| {
+            let s = a.merge_difference(b);
+            (!s.is_empty()).then_some(s)
+        });
+        Self::from_merged(map)
+    }
+
+    /// Wraps a merged key map, recounting `total` (each set's `len` is
+    /// O(1), so this is O(distinct keys)).
+    fn from_merged(map: PMap<K, PSet<V>>) -> Self {
+        let total = map.values().map(|s| s.len()).sum();
+        PMultiMap { map, total }
+    }
+
     /// [`Self::from_sorted_vec`] from any iterator of sorted pairs.
     pub fn from_sorted_iter<I: IntoIterator<Item = (K, V)>>(it: I) -> Self {
         Self::from_sorted_vec(it.into_iter().collect())
@@ -234,6 +274,32 @@ mod tests {
         let (m4, set) = m.remove_key(&1);
         assert_eq!(set.unwrap().len(), 2);
         assert!(m4.is_empty());
+    }
+
+    #[test]
+    fn merge_setops_on_value_sets() {
+        let a = PMultiMap::from_sorted_vec(vec![(1, 'a'), (1, 'b'), (2, 'x')]);
+        let b = PMultiMap::from_sorted_vec(vec![(1, 'b'), (1, 'c'), (3, 'z')]);
+        let u = a.merge_union(&b);
+        assert_eq!(u.total_len(), 5, "a,b,c under 1; x under 2; z under 3");
+        assert_eq!(u.get(&1).unwrap().len(), 3);
+        let i = a.merge_intersection(&b);
+        assert_eq!(i.key_len(), 1);
+        assert!(i.get(&1).unwrap().contains(&'b'));
+        assert_eq!(i.total_len(), 1);
+        let d = a.merge_difference(&b);
+        assert_eq!(d.total_len(), 2, "1→a survives, 2→x survives");
+        assert!(d.get(&1).unwrap().contains(&'a'));
+        assert!(!d.get(&1).unwrap().contains(&'b'));
+        // equivalence with the per-pair insert path
+        let mut ref_union = a.clone();
+        for (k, v) in b.iter_flat() {
+            ref_union = ref_union.insert(*k, *v).0;
+        }
+        assert_eq!(u.total_len(), ref_union.total_len());
+        let pairs: Vec<_> = u.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        let ref_pairs: Vec<_> = ref_union.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, ref_pairs);
     }
 
     #[test]

@@ -220,6 +220,107 @@ proptest! {
     }
 
     #[test]
+    fn pset_merge_setops_match_per_element(
+        a in prop::collection::btree_set(-60i64..60, 0..60),
+        b in prop::collection::btree_set(-60i64..60, 0..60),
+    ) {
+        let pa = PSet::from_iter(a.iter().copied());
+        let pb = PSet::from_iter(b.iter().copied());
+        // the O(n) two-pointer merges must be observably identical to the
+        // per-element insert/lookup versions
+        prop_assert_eq!(pa.merge_union(&pb), pa.union(&pb));
+        prop_assert_eq!(pa.merge_intersection(&pb), pa.intersection(&pb));
+        prop_assert_eq!(pa.merge_difference(&pb), pa.difference(&pb));
+        prop_assert_eq!(pb.merge_union(&pa), pb.union(&pa));
+        prop_assert_eq!(pb.merge_intersection(&pa), pb.intersection(&pa));
+        prop_assert_eq!(pb.merge_difference(&pa), pb.difference(&pa));
+    }
+
+    #[test]
+    fn pmap_merge_setops_match_model(
+        a in prop::collection::btree_map(-40i64..40, any::<i64>(), 0..50),
+        b in prop::collection::btree_map(-40i64..40, any::<i64>(), 0..50),
+    ) {
+        let pa = PMap::from_iter(a.clone());
+        let pb = PMap::from_iter(b.clone());
+        // union: left value wins on shared keys
+        let mut want_union = b.clone();
+        want_union.extend(a.clone());
+        let got: Vec<_> = pa.merge_union(&pb).iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want_union.into_iter().collect::<Vec<_>>());
+        // intersection: shared keys, left values
+        let got: Vec<_> = pa
+            .merge_intersection(&pb)
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let want: Vec<_> = a
+            .iter()
+            .filter(|(k, _)| b.contains_key(k))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(got, want);
+        // difference: left keys absent from right
+        let got: Vec<_> = pa
+            .merge_difference(&pb)
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let want: Vec<_> = a
+            .iter()
+            .filter(|(k, _)| !b.contains_key(k))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(pa.merge_union(&pb).check_invariants());
+        prop_assert!(pa.merge_intersection(&pb).check_invariants());
+        prop_assert!(pa.merge_difference(&pb).check_invariants());
+    }
+
+    #[test]
+    fn pmultimap_merge_setops_match_per_pair(
+        pa in prop::collection::vec(((-15i64..15), (-15i64..15)), 0..80),
+        pb in prop::collection::vec(((-15i64..15), (-15i64..15)), 0..80),
+    ) {
+        let mut a: PMultiMap<i64, i64> = PMultiMap::new();
+        for (k, v) in pa.iter().copied() {
+            a = a.insert(k, v).0;
+        }
+        let mut b: PMultiMap<i64, i64> = PMultiMap::new();
+        for (k, v) in pb.iter().copied() {
+            b = b.insert(k, v).0;
+        }
+        // union ≡ inserting every pair of b into a
+        let mut want_union = a.clone();
+        for (k, v) in b.iter_flat() {
+            want_union = want_union.insert(*k, *v).0;
+        }
+        let u = a.merge_union(&b);
+        prop_assert_eq!(u.total_len(), want_union.total_len());
+        prop_assert_eq!(
+            u.iter_flat().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            want_union.iter_flat().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        );
+        // intersection / difference ≡ pair-level set semantics
+        let a_pairs: BTreeSet<(i64, i64)> = a.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        let b_pairs: BTreeSet<(i64, i64)> = b.iter_flat().map(|(k, v)| (*k, *v)).collect();
+        let i = a.merge_intersection(&b);
+        prop_assert_eq!(
+            i.iter_flat().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            a_pairs.intersection(&b_pairs).copied().collect::<Vec<_>>()
+        );
+        let d = a.merge_difference(&b);
+        prop_assert_eq!(
+            d.iter_flat().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            a_pairs.difference(&b_pairs).copied().collect::<Vec<_>>()
+        );
+        let itotal: usize = i.iter().map(|(_, s)| s.len()).sum();
+        prop_assert_eq!(i.total_len(), itotal);
+        let dtotal: usize = d.iter().map(|(_, s)| s.len()).sum();
+        prop_assert_eq!(d.total_len(), dtotal);
+    }
+
+    #[test]
     fn pmultimap_matches_model(
         pairs in prop::collection::vec(((-20i64..20), (-20i64..20)), 0..120)
     ) {
