@@ -1,0 +1,142 @@
+//! CI bench-regression gate.
+//!
+//! Compares the speedup ratios of a fresh `bench_bulk --quick` run (the
+//! flat `bench_quick.json` summary) against the **last committed entry**
+//! of the `BENCH_fig4_fig6.json` trajectory and fails the job when any
+//! gated ratio regressed by more than the tolerance (default 25%).
+//!
+//! Ratios — not absolute times — are gated: both sides of every ratio are
+//! measured in the same process on the same machine, so host speed
+//! cancels out and the gate tracks *algorithmic* regressions (a lost fast
+//! path, an accidentally uncached data key), not runner weather.
+//!
+//! ```text
+//! bench_gate <quick_summary.json> <trajectory.json> [--tolerance 0.25]
+//! ```
+//!
+//! Parsing note: both inputs are written by `bench_bulk` with one
+//! `"<metric>_speedup": <number>` pair per gated metric, so the gate
+//! scans for the **last occurrence** of each key instead of dragging a
+//! JSON dependency into the workspace. In the trajectory that last
+//! occurrence is the `quick_gate_baseline` object a full `bench_bulk`
+//! run deliberately appends after its scales — measured at the *quick*
+//! scale (2k orders), i.e. exactly the configuration the CI quick run
+//! reproduces.
+
+use std::process::ExitCode;
+
+/// The ratios the gate tracks, matching the `*_speedup` keys `bench_bulk`
+/// emits.
+const METRICS: [&str; 4] = [
+    "union_speedup",
+    "minus_speedup",
+    "intersect_speedup",
+    "deep_copy_speedup",
+];
+
+/// Finds the number following the last `"key":` occurrence in `text`.
+fn last_value(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.rfind(&needle)?;
+    let rest = &text[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (quick_path, trajectory_path) = match (args.get(1), args.get(2)) {
+        (Some(q), Some(t)) => (q.clone(), t.clone()),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <quick_summary.json> <trajectory.json> [--tolerance 0.25]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    let quick = match std::fs::read_to_string(&quick_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {quick_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trajectory = match std::fs::read_to_string(&trajectory_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {trajectory_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_gate: current ({quick_path}) vs committed ({trajectory_path}), tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<20} {:>10} {:>10} {:>8}  verdict",
+        "metric", "committed", "current", "ratio"
+    );
+    let mut failed = false;
+    for metric in METRICS {
+        let (Some(committed), Some(current)) =
+            (last_value(&trajectory, metric), last_value(&quick, metric))
+        else {
+            println!("{metric:<20} {:>10} {:>10} {:>8}  MISSING", "-", "-", "-");
+            failed = true;
+            continue;
+        };
+        let ratio = current / committed;
+        let ok = ratio >= 1.0 - tolerance;
+        println!(
+            "{metric:<20} {committed:>9.2}x {current:>9.2}x {ratio:>8.2}  {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: FAILED — a gated speedup regressed by more than {:.0}% \
+             (or a metric is missing from an input)",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: ok");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_finds_the_newest_entry() {
+        let text = r#"[
+  { "union_speedup": 2.0, "scales": [ { "minus_speedup": 1.1 } ] },
+  { "scales": [ { "union_speedup": 13.55 }, { "minus_speedup": 4.5, "union_speedup": 12.0 } ] }
+]"#;
+        assert_eq!(last_value(text, "union_speedup"), Some(12.0));
+        assert_eq!(last_value(text, "minus_speedup"), Some(4.5));
+        assert_eq!(last_value(text, "missing"), None);
+    }
+
+    #[test]
+    fn last_value_parses_number_shapes() {
+        assert_eq!(last_value(r#"{"x": 1.5}"#, "x"), Some(1.5));
+        assert_eq!(last_value(r#"{"x":3}"#, "x"), Some(3.0));
+        assert_eq!(last_value(r#"{"x": 0.73, "y": 2}"#, "x"), Some(0.73));
+    }
+}

@@ -82,6 +82,6 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use par::{par_map_chunks, ParConfig, ParallelBuilder};
 pub use relation::{RelationBuilder, RelationF};
 pub use relationship::{Participant, RelationshipF};
-pub use tuple::{TupleBuilder, TupleF};
+pub use tuple::{DataKey, TupleBuilder, TupleF};
 pub use types::ValueType;
 pub use value::Value;

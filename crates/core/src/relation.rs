@@ -10,8 +10,8 @@
 //!   non-unique secondary index (the paper's `R3(foo) ↦ {TF}`);
 //! * **computed** ([`RelationF::computed`]) — a λ over a (possibly
 //!   continuous, non-enumerable) domain: data that was never inserted;
-//! * **hybrid** ([`RelationF::hybrid`]) — stored tuples with a computed
-//!   fallback (the paper's `R4`).
+//! * **hybrid** ([`RelationF::with_fallback`]) — stored tuples with a
+//!   computed fallback (the paper's `R4`).
 //!
 //! All mutating operations are persistent: they return a new `RelationF`
 //! sharing structure with the old one, which is what makes snapshot
@@ -854,6 +854,78 @@ impl RelationBuilder {
             body: Body::Unique(PMap::from_sorted_vec(entries)),
         })
     }
+
+    /// Bulk-builds the relation **with** integrity constraints — the
+    /// constraint-aware companion of [`Self::build`], for loaders that
+    /// know their schema up front (`to_fdm`-style bulk ingest).
+    ///
+    /// Where `build()` + [`RelationF::with_constraint`] per constraint
+    /// would re-scan the relation once per constraint *after* paying the
+    /// tree build, this validates every `AttrDomain` constraint and
+    /// collects every `Unique` constraint's index pairs in **one pass**
+    /// over the sorted entries, then bulk-builds each unique index with
+    /// the same O(n) `from_sorted_vec` path the body itself uses.
+    /// Violations report with the same error type and message format as
+    /// the incremental path ([`FdmError::ConstraintViolation`]); when the
+    /// input violates *several* constraints at once, **which** violation
+    /// surfaces first can differ (the single pass checks per tuple in key
+    /// order and defers duplicate-unique-value detection to after the
+    /// scan, where the incremental path checks per constraint in
+    /// declaration order).
+    pub fn build_with_constraints(self, constraints: &[Constraint]) -> Result<RelationF> {
+        let rel = self.build()?;
+        let Body::Unique(map) = &rel.body else {
+            unreachable!("RelationBuilder always builds a unique body")
+        };
+        // one pass over the entries, all constraints checked per tuple
+        let uniques: Vec<&Constraint> = constraints
+            .iter()
+            .filter(|c| matches!(c, Constraint::Unique(_)))
+            .collect();
+        let mut index_pairs: Vec<Vec<(Value, Value)>> = uniques
+            .iter()
+            .map(|_| Vec::with_capacity(map.len()))
+            .collect();
+        for (key, tuple) in map.iter() {
+            let mut uniq_i = 0usize;
+            for c in constraints {
+                match c {
+                    Constraint::Unique(_) => {
+                        if let Some(uk) = c.unique_key(tuple) {
+                            index_pairs[uniq_i].push((uk, key.clone()));
+                        }
+                        uniq_i += 1;
+                    }
+                    Constraint::AttrDomain { attr, domain } => {
+                        if let Some(v) = tuple.try_get(attr) {
+                            if !domain.contains(&v) {
+                                return Err(FdmError::ConstraintViolation {
+                                    constraint: c.to_string(),
+                                    detail: format!("existing value {v} outside domain"),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut indexes: Vec<PMap<Value, Value>> = Vec::with_capacity(uniques.len());
+        for (c, mut pairs) in uniques.into_iter().zip(index_pairs) {
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            if let Some(w) = pairs.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(FdmError::ConstraintViolation {
+                    constraint: c.to_string(),
+                    detail: format!("existing data has duplicate value {}", w[0].0),
+                });
+            }
+            indexes.push(PMap::from_sorted_vec(pairs));
+        }
+        Ok(RelationF {
+            constraints: constraints.to_vec().into(),
+            unique_indexes: indexes.into(),
+            ..rel
+        })
+    }
 }
 
 /// Interprets a computed result as a tuple function if possible.
@@ -1219,6 +1291,78 @@ mod tests {
         assert!(bulk
             .insert(Value::Int(100), TupleF::builder("t").attr("x", 0).build())
             .is_ok());
+    }
+
+    #[test]
+    fn build_with_constraints_validates_and_indexes_in_one_pass() {
+        let mut b = RelationBuilder::new("people", &["id"]);
+        b.push(Value::Int(1), alice());
+        b.push(Value::Int(3), bob());
+        let rel = b
+            .build_with_constraints(&[
+                Constraint::unique(&["name"]),
+                Constraint::attr_domain("foo", Domain::IntRange(0, 100)),
+            ])
+            .unwrap();
+        assert_eq!(rel.constraints().len(), 2);
+        // the bulk-built unique index enforces exactly like with_constraint
+        let dup = TupleF::builder("dup")
+            .attr("name", "Alice")
+            .attr("foo", 1)
+            .build();
+        let err = rel.insert(Value::Int(9), dup).unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+        // and deleting releases the indexed value
+        let rel2 = rel.delete(&Value::Int(1)).unwrap();
+        let ok = TupleF::builder("ok")
+            .attr("name", "Alice")
+            .attr("foo", 1)
+            .build();
+        assert!(rel2.insert(Value::Int(9), ok).is_ok());
+
+        // equivalent to the incremental path
+        let incremental = RelationF::new("people", &["id"])
+            .insert(Value::Int(1), alice())
+            .unwrap()
+            .insert(Value::Int(3), bob())
+            .unwrap()
+            .with_constraint(Constraint::unique(&["name"]))
+            .unwrap();
+        let bad = TupleF::builder("b").attr("name", "Bob").build();
+        assert_eq!(
+            rel.insert(Value::Int(8), bad.clone())
+                .unwrap_err()
+                .to_string(),
+            incremental
+                .insert(Value::Int(8), bad)
+                .unwrap_err()
+                .to_string()
+        );
+    }
+
+    #[test]
+    fn build_with_constraints_rejects_violations() {
+        // duplicate unique value in the loaded data
+        let mut b = RelationBuilder::new("people", &["id"]);
+        b.push(Value::Int(1), bob());
+        b.push(Value::Int(2), thomas()); // same foo=25
+        let err = b
+            .build_with_constraints(&[Constraint::unique(&["foo"])])
+            .unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+        // domain violation in the loaded data
+        let mut b = RelationBuilder::new("people", &["id"]);
+        b.push(Value::Int(1), alice());
+        let err = b
+            .build_with_constraints(&[Constraint::attr_domain("foo", Domain::IntRange(100, 200))])
+            .unwrap_err();
+        assert!(matches!(err, FdmError::ConstraintViolation { .. }));
+        // duplicate primary keys still fail exactly like build()
+        let mut b = RelationBuilder::new("people", &["id"]);
+        b.push(Value::Int(1), alice());
+        b.push(Value::Int(1), bob());
+        let err = b.build_with_constraints(&[]).unwrap_err();
+        assert!(matches!(err, FdmError::DuplicateKey { .. }));
     }
 
     #[test]

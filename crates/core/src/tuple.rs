@@ -7,13 +7,72 @@
 //! boundary between data that is stored and data that is computed is
 //! removed". Values may themselves be functions (nested tuples, relations;
 //! §2.6).
+//!
+//! # The data-key fingerprint cache
+//!
+//! Database-level set operations (`minus`/`intersect`, the §4.4
+//! differential-database path) compare tuples by their **canonical data
+//! key**: every attribute materialized, sorted by name — an O(a log a)
+//! computation with allocations, paid per comparison if done naively.
+//! Each tuple therefore carries a lazily computed [`DataKey`] (the
+//! canonical key plus a cheap 64-bit hash for O(1) inequality rejection)
+//! in a [`OnceLock`]: the first [`TupleF::data_key`] /
+//! [`TupleF::fingerprint`] / [`TupleF::eq_data`] call pays the
+//! materialization, every later one is a lock-free read.
+//!
+//! **Invalidation contract.** A `TupleF` is immutable: every "mutation"
+//! (`with_attr`, `without_attr`, `project`, the builders) constructs a
+//! *new* tuple — and every construction site starts with an **empty**
+//! cache. Staleness is therefore impossible by construction: there is no
+//! code path that changes a tuple's attributes while keeping its cache.
+//! Cloning a tuple copies the cache, which is sound because the clone has
+//! identical attributes. The one assumption is that computed attributes
+//! are **deterministic** (pure functions of the tuple, as the paper's
+//! model demands); a computed attribute reading ambient mutable state
+//! would make any caching — and the paper's stored/computed equivalence
+//! itself — unsound. Failed computations are never cached: a tuple whose
+//! computed attribute errors recomputes (and re-errors) on every call.
 
 use crate::domain::Domain;
 use crate::error::{FdmError, Name, Result};
 use crate::function::Function;
+use crate::fxhash::FxHasher;
 use crate::value::Value;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// A tuple's canonical data fingerprint: the sorted-attribute data key
+/// (see [`TupleF::data_key`]) together with a precomputed [`FxHasher`]
+/// hash of it. Two fingerprints are equal iff the data keys are equal;
+/// the hash makes the (overwhelmingly common) *unequal* case a single
+/// integer comparison.
+#[derive(Clone, Debug)]
+pub struct DataKey {
+    hash: u64,
+    key: Value,
+}
+
+impl DataKey {
+    /// The 64-bit hash of the canonical key.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical key itself: a flat list
+    /// `[name1, value1, name2, value2, ...]` sorted by attribute name.
+    pub fn value(&self) -> &Value {
+        &self.key
+    }
+}
+
+impl PartialEq for DataKey {
+    fn eq(&self, other: &DataKey) -> bool {
+        self.hash == other.hash && self.key == other.key
+    }
+}
+
+impl Eq for DataKey {}
 
 /// A computed attribute: a closure receiving the tuple it belongs to, so it
 /// can derive its value from other attributes (like the paper's
@@ -59,6 +118,12 @@ pub struct TupleF {
     /// Attribute definitions in declaration order (small: linear scan wins
     /// over hashing for the typical < 32 attributes).
     attrs: Arc<[(Name, AttrDef)]>,
+    /// Lazily computed canonical fingerprint (see the module docs for the
+    /// invalidation contract: fresh and empty at every construction site,
+    /// so it can never outlive the attribute list it describes). `Clone`
+    /// carries a filled cache over, which is sound — the clone's
+    /// attributes are identical.
+    data_key_cache: OnceLock<DataKey>,
 }
 
 impl TupleF {
@@ -82,6 +147,7 @@ impl TupleF {
                 .map(|(n, v)| (n, AttrDef::Stored(v)))
                 .collect::<Vec<_>>()
                 .into(),
+            data_key_cache: OnceLock::new(),
         }
     }
 
@@ -150,6 +216,7 @@ impl TupleF {
         TupleF {
             name: self.name.clone(),
             attrs: attrs.into(),
+            data_key_cache: OnceLock::new(),
         }
     }
 
@@ -164,6 +231,7 @@ impl TupleF {
         TupleF {
             name: self.name.clone(),
             attrs: attrs.into(),
+            data_key_cache: OnceLock::new(),
         }
     }
 
@@ -184,6 +252,7 @@ impl TupleF {
         Ok(TupleF {
             name: self.name.clone(),
             attrs: out.into(),
+            data_key_cache: OnceLock::new(),
         })
     }
 
@@ -199,21 +268,52 @@ impl TupleF {
     /// Structural data equality: same attribute names (order-insensitive)
     /// mapping to equal values, with computed attributes evaluated.
     /// Evaluation failures compare as not-equal.
+    ///
+    /// Runs on the cached [`fingerprint`](Self::fingerprint): after the
+    /// first comparison involving a tuple, further comparisons cost one
+    /// hash check (plus a full key comparison only on hash equality).
     pub fn eq_data(&self, other: &TupleF) -> bool {
         if self.attrs.len() != other.attrs.len() {
             return false;
         }
-        let (Ok(mut a), Ok(mut b)) = (self.materialize(), other.materialize()) else {
-            return false;
-        };
-        a.sort_by(|x, y| x.0.cmp(&y.0));
-        b.sort_by(|x, y| x.0.cmp(&y.0));
-        a == b
+        match (self.fingerprint(), other.fingerprint()) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        }
     }
 
     /// A canonical sort key over materialized attributes, used for
     /// deterministic ordering and duplicate elimination in set operations.
+    /// Cached: the first call materializes and sorts (see
+    /// [`Self::compute_data_key`]); later calls clone the cached value.
     pub fn data_key(&self) -> Result<Value> {
+        Ok(self.fingerprint()?.value().clone())
+    }
+
+    /// The cached canonical fingerprint (data key + hash), computing and
+    /// caching it on first use. Errors (a failing computed attribute) are
+    /// never cached, so they surface on every call.
+    pub fn fingerprint(&self) -> Result<&DataKey> {
+        if self.data_key_cache.get().is_none() {
+            let key = self.compute_data_key()?;
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            // a racing thread may have set it first — identical value,
+            // so losing the race is fine
+            let _ = self.data_key_cache.set(DataKey {
+                hash: h.finish(),
+                key,
+            });
+        }
+        Ok(self.data_key_cache.get().expect("set above"))
+    }
+
+    /// Computes the canonical data key **without** consulting or filling
+    /// the cache: every attribute materialized, pairs sorted by name,
+    /// flattened into a list. This is the raw O(a log a) computation that
+    /// [`Self::data_key`] amortizes; it stays public so benchmarks can
+    /// measure the uncached path and tests can cross-check the cache.
+    pub fn compute_data_key(&self) -> Result<Value> {
         let mut pairs = self.materialize()?;
         pairs.sort_by(|x, y| x.0.cmp(&y.0));
         Ok(Value::list(
@@ -314,6 +414,7 @@ impl TupleBuilder {
         TupleF {
             name: self.name,
             attrs: self.attrs.into(),
+            data_key_cache: OnceLock::new(),
         }
     }
 }
@@ -439,6 +540,88 @@ mod tests {
             !t.eq_data(&t.clone()),
             "failing tuples are never data-equal"
         );
+    }
+
+    #[test]
+    fn data_key_is_cached_and_matches_uncached() {
+        let t = TupleF::builder("t")
+            .attr("b", 2)
+            .attr("a", 1)
+            .computed("c", |t| t.get("a")?.add(&Value::Int(10)))
+            .build();
+        let cached = t.data_key().unwrap();
+        assert_eq!(cached, t.compute_data_key().unwrap());
+        // second call returns the cached value (same answer, no recompute)
+        assert_eq!(t.data_key().unwrap(), cached);
+        let fp = t.fingerprint().unwrap();
+        assert_eq!(fp.value(), &cached);
+    }
+
+    #[test]
+    fn fingerprint_invalidated_by_every_mutation_path() {
+        let t = t1();
+        let base = t.data_key().unwrap(); // cache filled
+                                          // with_attr (value change)
+        let m = t.with_attr("foo", 99);
+        assert_eq!(m.data_key().unwrap(), m.compute_data_key().unwrap());
+        assert_ne!(m.data_key().unwrap(), base, "stale cache would be equal");
+        // with_attr (new attribute)
+        let m = t.with_attr("extra", 1);
+        assert_eq!(m.data_key().unwrap(), m.compute_data_key().unwrap());
+        assert_ne!(m.data_key().unwrap(), base);
+        // without_attr
+        let m = t.without_attr("foo");
+        assert_eq!(m.data_key().unwrap(), m.compute_data_key().unwrap());
+        assert_ne!(m.data_key().unwrap(), base);
+        // project
+        let m = t.project(&["name"]).unwrap();
+        assert_eq!(m.data_key().unwrap(), m.compute_data_key().unwrap());
+        assert_ne!(m.data_key().unwrap(), base);
+        // computed-attr rebinding: replace a stored attr by a computed one
+        // with a different value
+        let m = TupleF::builder(t.name())
+            .attr("name", "Alice")
+            .computed("foo", |_| Ok(Value::Int(13)))
+            .build();
+        assert_eq!(m.data_key().unwrap(), m.compute_data_key().unwrap());
+        assert_ne!(m.data_key().unwrap(), base);
+        // the original's cache still answers for the original
+        assert_eq!(t.data_key().unwrap(), base);
+    }
+
+    #[test]
+    fn clone_carries_cache_soundly() {
+        let t = t1();
+        let dk = t.data_key().unwrap();
+        let c = t.clone();
+        assert_eq!(c.data_key().unwrap(), dk, "same attrs, same key");
+        // mutating the clone still invalidates
+        let c2 = c.with_attr("foo", 0);
+        assert_ne!(c2.data_key().unwrap(), dk);
+    }
+
+    #[test]
+    fn fingerprint_hash_rejects_unequal_fast() {
+        let a = TupleF::builder("a").attr("x", 1).build();
+        let b = TupleF::builder("b").attr("x", 2).build();
+        let fa = a.fingerprint().unwrap().clone();
+        let fb = b.fingerprint().unwrap().clone();
+        assert_ne!(fa, fb);
+        assert_ne!(fa.hash(), fb.hash(), "FxHash separates 1 from 2");
+        // equal data, different declaration order → same fingerprint
+        let c = TupleF::builder("c").attr("y", 2).attr("x", 1).build();
+        let d = TupleF::builder("d").attr("x", 1).attr("y", 2).build();
+        assert_eq!(c.fingerprint().unwrap(), d.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn failing_computed_attr_is_never_cached() {
+        let t = TupleF::builder("t")
+            .computed("boom", |_| Err(FdmError::Other("kaput".into())))
+            .build();
+        assert!(t.fingerprint().is_err());
+        assert!(t.fingerprint().is_err(), "error re-surfaces every call");
+        assert!(t.data_key().is_err());
     }
 
     #[test]

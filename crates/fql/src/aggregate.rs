@@ -6,7 +6,10 @@
 //! output relation. No NULLs are manufactured anywhere in this module.
 
 use crate::group::{group, Groups};
-use fdm_core::{DatabaseF, FdmError, FnValue, RelationBuilder, RelationF, Result, TupleF, Value};
+use fdm_core::{
+    par_map_chunks, DatabaseF, FdmError, FnValue, ParConfig, ParallelBuilder, RelationBuilder,
+    RelationF, Result, TupleF, Value,
+};
 use std::sync::Arc;
 
 /// An aggregate over the tuples of one group.
@@ -82,29 +85,54 @@ impl AggSpec {
 /// Computes named aggregates per group, returning a relation function
 /// keyed by the group key whose tuples carry the by-attributes plus one
 /// attribute per aggregate (paper Fig. 4b:
-/// `aggregate(count=Count(), groups)`).
+/// `aggregate(count=Count(), groups)`). Above the parallel cutoff the
+/// per-group folds run in chunks across threads, byte-identical to the
+/// sequential pass.
 pub fn aggregate(groups: &Groups, aggs: &[(&str, AggSpec)]) -> Result<RelationF> {
     let by = groups.by().to_vec();
     let key_attrs: Vec<&str> = by.iter().map(|n| n.as_ref()).collect();
-    // group keys iterate in ascending order → no-sort bulk path
-    let mut out = RelationBuilder::new("aggregates", &key_attrs);
-    for (key, members) in groups.iter() {
+    // evaluating the aggregates of one group is pure per-group work
+    let agg_tuple = |key: &Value, members: &[Arc<TupleF>]| -> Result<TupleF> {
         let mut t = TupleF::builder(format!("agg[{key}]"));
         // carry the grouping attributes into the output tuple
-        match (&key, by.len()) {
+        match (key, by.len()) {
             (Value::List(parts), n) if n > 1 => {
                 for (name, v) in by.iter().zip(parts.iter()) {
                     t = t.attr(name.as_ref(), v.clone());
                 }
             }
             (v, _) => {
-                t = t.attr(by[0].as_ref(), (*v).clone());
+                t = t.attr(by[0].as_ref(), v.clone());
             }
         }
         for (name, spec) in aggs {
-            t = t.attr(*name, spec.eval(&members)?);
+            t = t.attr(*name, spec.eval(members)?);
         }
-        out.push(key, t.build());
+        Ok(t.build())
+    };
+    let cfg = ParConfig::from_env();
+    if cfg.should_parallelize(groups.group_count()) {
+        // only the parallel path materializes all member vectors at once
+        // (chunks need `&[T]`); the sequential path below stays
+        // one-group-at-a-time
+        let entries: Vec<(Value, Vec<Arc<TupleF>>)> = groups.iter().collect();
+        let runs = par_map_chunks(&entries, cfg.threads, |chunk| -> Result<Vec<_>> {
+            chunk
+                .iter()
+                .map(|(key, members)| Ok((key.clone(), Arc::new(agg_tuple(key, members)?))))
+                .collect()
+        });
+        let mut out = ParallelBuilder::new("aggregates", &key_attrs);
+        for run in runs {
+            out.push_run(run?);
+        }
+        return out.build();
+    }
+    // group keys iterate in ascending order → no-sort bulk path
+    let mut out = RelationBuilder::new("aggregates", &key_attrs);
+    for (key, members) in groups.iter() {
+        let t = agg_tuple(&key, &members)?;
+        out.push(key, t);
     }
     out.build()
 }

@@ -7,7 +7,8 @@
 //! function.
 
 use fdm_core::{
-    DatabaseF, FdmError, FnValue, Name, RelationBuilder, RelationF, Result, TupleF, Value,
+    par_map_chunks, DatabaseF, FdmError, FnValue, Name, ParConfig, RelationBuilder, RelationF,
+    Result, TupleF, Value,
 };
 use std::sync::Arc;
 
@@ -110,20 +111,46 @@ pub fn group(rel: &RelationF, by: &[&str]) -> Result<Groups> {
 
 /// Groups by an arbitrary key function over tuple functions
 /// (`group(lambda prof: prof.age, customers)` — Fig. 4b, first variant).
-pub fn group_fn(rel: &RelationF, key: impl Fn(&TupleF) -> Result<Value>) -> Result<Groups> {
+/// `key` must be `Sync`: large inputs evaluate it in parallel chunks.
+pub fn group_fn(rel: &RelationF, key: impl Fn(&TupleF) -> Result<Value> + Sync) -> Result<Groups> {
     group_fn_named(rel, &["key"], key)
 }
 
 fn group_fn_named(
     rel: &RelationF,
     by: &[&str],
-    key: impl Fn(&TupleF) -> Result<Value>,
+    key: impl Fn(&TupleF) -> Result<Value> + Sync,
 ) -> Result<Groups> {
+    let entries = rel.tuples()?;
+    let cfg = ParConfig::from_env();
     let mut buckets: std::collections::BTreeMap<Value, Vec<Arc<TupleF>>> =
         std::collections::BTreeMap::new();
-    for (_, tuple) in rel.tuples()? {
-        let k = key(&tuple)?;
-        buckets.entry(k).or_default().push(tuple);
+    if cfg.should_parallelize(entries.len()) {
+        // Key evaluation is the per-entry work; bucket membership order
+        // must stay the relation's key order, so chunks (contiguous, in
+        // order) compute (group_key, tuple) pairs and the buckets fill in
+        // chunk order — byte-identical to the sequential pass, including
+        // which error surfaces first.
+        let runs = par_map_chunks(
+            &entries,
+            cfg.threads,
+            |chunk| -> Result<Vec<(Value, Arc<TupleF>)>> {
+                chunk
+                    .iter()
+                    .map(|(_, tuple)| Ok((key(tuple)?, tuple.clone())))
+                    .collect()
+            },
+        );
+        for run in runs {
+            for (k, tuple) in run? {
+                buckets.entry(k).or_default().push(tuple);
+            }
+        }
+    } else {
+        for (_, tuple) in entries {
+            let k = key(&tuple)?;
+            buckets.entry(k).or_default().push(tuple);
+        }
     }
     let groups = RelationF::from_groups(format!("{}_groups", rel.name()), by, buckets);
     Ok(Groups {

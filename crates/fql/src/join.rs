@@ -13,7 +13,7 @@
 //! Output attributes are qualified `relation.attr` (and
 //! `relationship.attr` for the relationship's own attributes) so that a
 //! denormalized row never has ambiguous names. Qualified names are interned
-//! once per (relation, attribute) by [`Qualifier`] — not re-formatted per
+//! once per (relation, attribute) by the internal `Qualifier` — not re-formatted per
 //! tuple — and results are assembled through [`fdm_core::RelationBuilder`]'s
 //! O(n) bulk path.
 

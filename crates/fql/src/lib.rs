@@ -8,9 +8,9 @@
 //! | Paper artifact | Module |
 //! |---|---|
 //! | Fig. 4a — six filter costumes | [`filter`] |
-//! | Fig. 4b/4c — grouping & aggregation | [`group`], [`aggregate`] |
+//! | Fig. 4b/4c — grouping & aggregation | [`group`](mod@group), [`aggregate`](mod@aggregate) |
 //! | Fig. 5 — subdatabase / ResultDB | [`subdb`] |
-//! | Fig. 6 — n-ary join | [`join`] |
+//! | Fig. 6 — n-ary join | [`join`](mod@join) |
 //! | Fig. 7 — generalized outer join | [`subdb::outer`] |
 //! | Fig. 8 — grouping sets as separate relations | [`aggregate::grouping_sets`] |
 //! | Fig. 9 — set operations on databases | [`setops`] |
@@ -59,7 +59,7 @@ pub use group::{group, group_fn, Groups};
 pub use join::{join, join_on, JoinOn};
 pub use pivot::pivot;
 pub use plan::{Query, QueryStats};
-pub use setops::{deep_copy, difference, intersect, minus, union};
+pub use setops::{deep_copy, deep_copy_relation, difference, intersect, minus, union};
 pub use subdb::{outer, reduce_db, subdatabase};
 pub use transform::{
     antijoin, extend, extend_stored, limit, order_by, rename_attrs, semijoin, semijoin_keys, top_k,
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::join::{join, join_on, JoinOn};
     pub use crate::pivot::pivot;
     pub use crate::plan::Query;
-    pub use crate::setops::{deep_copy, difference, intersect, minus, union};
+    pub use crate::setops::{deep_copy, deep_copy_relation, difference, intersect, minus, union};
     pub use crate::subdb::{outer, reduce_db, subdatabase};
     pub use crate::transform::{
         antijoin, extend, extend_stored, limit, order_by, rename_attrs, semijoin, top_k, Order,

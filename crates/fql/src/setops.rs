@@ -21,33 +21,67 @@
 //! friends) feeding one bulk tree build — not a per-element
 //! insert/lookup loop. For plain stored relations the input map is shared
 //! O(1) from the relation body; data keys (the expensive part: a
-//! materialized, order-insensitive attribute fingerprint) are computed
-//! only for the keys both inputs share, where data equality actually
-//! decides something.
+//! materialized, order-insensitive attribute fingerprint) are needed only
+//! for the keys both inputs share, where data equality actually decides
+//! something — and they come from each tuple's **cached fingerprint**
+//! ([`fdm_core::TupleF::fingerprint`]): the first differential over a
+//! database pays the materialization once per shared tuple, every later
+//! one compares two precomputed hashes.
 
-use fdm_core::{DatabaseF, FdmError, FnValue, Name, RelationF, Result, TupleF, Value};
+use fdm_core::{
+    par_map_chunks, DatabaseF, FdmError, FnValue, Name, ParConfig, ParallelBuilder, RelationF,
+    Result, TupleF, Value,
+};
 use fdm_storage::PMap;
 use std::sync::Arc;
+
+/// Deep-copies one relation function: every tuple is re-materialized into
+/// fresh storage, computed attributes evaluated and frozen (§4.4's
+/// `copy(foo)` at relation granularity — what
+/// [`materialize_view`](crate::view::materialize_view) stores, instead of
+/// wrapping the relation in a throwaway database). The per-tuple re-build is
+/// pure per-entry work, so large relations copy in parallel chunks
+/// ([`par_map_chunks`]) k-way-merged back in key order — byte-identical
+/// to the sequential copy.
+pub fn deep_copy_relation(rel: &RelationF) -> Result<RelationF> {
+    let copy_tuple = |tuple: &Arc<TupleF>| -> Result<TupleF> {
+        // names are already interned — no re-allocation
+        Ok(TupleF::from_parts(tuple.name(), tuple.materialize()?))
+    };
+    let entries = rel.tuples()?;
+    let cfg = ParConfig::from_env();
+    if cfg.should_parallelize(entries.len()) {
+        let runs = par_map_chunks(&entries, cfg.threads, |chunk| -> Result<Vec<_>> {
+            chunk
+                .iter()
+                .map(|(key, tuple)| Ok((key.clone(), Arc::new(copy_tuple(tuple)?))))
+                .collect()
+        });
+        let mut out = ParallelBuilder::for_relation(rel);
+        for run in runs {
+            out.push_run(run?);
+        }
+        return out.build();
+    }
+    let mut out = rel.builder_like();
+    for (key, tuple) in entries {
+        out.push(key, copy_tuple(&tuple)?);
+    }
+    out.build()
+}
 
 /// A deep copy of a database: every relation's tuples are materialized
 /// into fresh storage (paper Fig. 9 `deep_copy(DB)`, and §4.4's
 /// `copy(foo)` for materialized views). Computed attributes are evaluated
 /// and frozen — the copy is a snapshot of *values*, not of formulas.
+/// Each relation copies through [`deep_copy_relation`] (parallel above
+/// the cutoff).
 pub fn deep_copy(db: &DatabaseF) -> Result<DatabaseF> {
     let mut out = DatabaseF::new(format!("{}_copy", db.name()));
     for (name, entry) in db.iter() {
         match entry {
             FnValue::Relation(rel) => {
-                let mut copy = rel.builder_like();
-                for (key, tuple) in rel.tuples()? {
-                    let mut b = TupleF::builder(tuple.name());
-                    for (n, v) in tuple.materialize()? {
-                        // names are already interned — no re-allocation
-                        b = b.attr_name(n, v);
-                    }
-                    copy.push(key, b.build());
-                }
-                out = out.with_entry(name.as_ref(), FnValue::from(copy.build()?));
+                out = out.with_entry(name.as_ref(), FnValue::from(deep_copy_relation(rel)?));
             }
             FnValue::Database(inner) => {
                 let copied = deep_copy(inner)?;
@@ -94,14 +128,15 @@ fn from_merged(template: &RelationF, map: PMap<Value, Arc<TupleF>>) -> RelationF
     )
 }
 
-/// Compares two same-key tuples by data key, reporting the first
+/// Compares two same-key tuples by their cached data-key fingerprints
+/// (hash first, full key only on hash equality), reporting the first
 /// materialization error through `err` (the merge combiners cannot return
 /// `Result` themselves).
 fn data_equal(ta: &TupleF, tb: &TupleF, err: &mut Option<FdmError>) -> bool {
     if err.is_some() {
         return false;
     }
-    match (ta.data_key(), tb.data_key()) {
+    match (ta.fingerprint(), tb.fingerprint()) {
         (Ok(da), Ok(db_)) => da == db_,
         (Err(e), _) | (_, Err(e)) => {
             *err = Some(e);

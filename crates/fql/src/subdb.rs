@@ -5,7 +5,8 @@
 //! denormalized stream, FQL returns a **subdatabase**: the input relations
 //! restricted to the tuples that participate in the join result, each as
 //! its own relation function. [`reduce_db`] performs that restriction
-//! (a semi-join reduction to fixpoint, the [35] RESULTDB semantics).
+//! (a semi-join reduction to fixpoint, the paper's \[35\] RESULTDB
+//! semantics).
 //!
 //! [`outer`] generalizes outer joins: relations marked "outer" come back
 //! as **two** relation functions — `rel.inner` (participating tuples) and

@@ -8,7 +8,7 @@
 //! materialized-view trade-offs (storage, staleness).
 
 use crate::plan::Query;
-use crate::setops::deep_copy;
+use crate::setops::deep_copy_relation;
 use fdm_core::{DatabaseF, FnValue, RelationF, Result};
 
 /// A dynamic view: a named, stored FQL plan re-evaluated on demand
@@ -49,10 +49,10 @@ impl DynamicView {
 /// will not reflect later base-data changes.
 pub fn materialize_view(db: &DatabaseF, view: &DynamicView) -> Result<DatabaseF> {
     let rel = view.eval(db)?;
-    // freeze computed attributes too, exactly like deep_copy
-    let frozen_db = deep_copy(&DatabaseF::new("tmp").with_relation(rel))?;
-    let frozen = frozen_db.relation(view.name())?;
-    Ok(db.with_entry(view.name(), FnValue::from((*frozen).clone())))
+    // freeze computed attributes too, exactly like deep_copy — directly at
+    // relation granularity, no throwaway database wrapper
+    let frozen = deep_copy_relation(&rel)?;
+    Ok(db.with_entry(view.name(), FnValue::from(frozen)))
 }
 
 #[cfg(test)]

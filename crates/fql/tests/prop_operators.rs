@@ -182,4 +182,27 @@ proptest! {
         let copy = deep_copy(&db).unwrap();
         prop_assert!(difference(&db, &copy).unwrap().is_empty());
     }
+
+    /// The cached data-key fingerprint is indistinguishable from a
+    /// from-scratch recomputation — on fresh tuples, on warmed caches,
+    /// and after every random chain of attribute mutations.
+    #[test]
+    fn fingerprint_cache_invisible(
+        rel in relation_strategy(),
+        edits in prop::collection::vec((0i64..100, 0i64..100), 0..8)
+    ) {
+        for (key, t) in rel.tuples().unwrap() {
+            // cold cache, then warm cache: both equal the uncached path
+            prop_assert_eq!(t.data_key().unwrap(), t.compute_data_key().unwrap());
+            prop_assert_eq!(t.data_key().unwrap(), t.compute_data_key().unwrap());
+            prop_assert!(t.eq_data(&t), "reflexive at {}", key);
+            // a random mutation chain never leaves a stale cache behind
+            let mut cur = (*t).clone();
+            for (score, extra) in &edits {
+                let _ = cur.data_key(); // warm before mutating
+                cur = cur.with_attr("score", *score).with_attr("extra", *extra);
+                prop_assert_eq!(cur.data_key().unwrap(), cur.compute_data_key().unwrap());
+            }
+        }
+    }
 }

@@ -5,8 +5,8 @@
 
 use crate::zipf::Zipf;
 use fdm_core::{
-    DatabaseF, Domain, Participant, RelationF, RelationshipF, SharedDomain, TupleF, Value,
-    ValueType,
+    Constraint, DatabaseF, Domain, Participant, RelationBuilder, RelationshipF, SharedDomain,
+    TupleF, Value, ValueType,
 };
 use fdm_relational::{Cell, Relation, Schema};
 use rand::rngs::StdRng;
@@ -131,45 +131,50 @@ pub fn to_fdm(data: &RetailData) -> DatabaseF {
     let pid_dom = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
 
     // The generator emits cids/pids in ascending order, so both relations
-    // take the O(n) bulk path instead of n persistent inserts.
-    let customers = RelationF::from_sorted(
-        "customers",
-        &["cid"],
-        data.customers
-            .iter()
-            .map(|(cid, name, age, state)| {
-                (
-                    Value::Int(*cid),
-                    Arc::new(
-                        TupleF::builder(format!("c{cid}"))
-                            .attr("name", name.as_str())
-                            .attr("age", *age)
-                            .attr("state", *state)
-                            .build(),
-                    ),
-                )
-            })
-            .collect(),
-    );
-    let products = RelationF::from_sorted(
-        "products",
-        &["pid"],
-        data.products
-            .iter()
-            .map(|(pid, name, price, category)| {
-                (
-                    Value::Int(*pid),
-                    Arc::new(
-                        TupleF::builder(format!("p{pid}"))
-                            .attr("name", name.as_str())
-                            .attr("price", *price)
-                            .attr("category", *category)
-                            .build(),
-                    ),
-                )
-            })
-            .collect(),
-    );
+    // take the O(n) bulk path instead of n persistent inserts — and the
+    // schema's attribute-domain constraints are validated in the same
+    // single pass that builds the tree (`build_with_constraints`), not by
+    // re-scanning per constraint afterwards.
+    let mut customers = RelationBuilder::new("customers", &["cid"]);
+    for (cid, name, age, state) in &data.customers {
+        customers.push_arc(
+            Value::Int(*cid),
+            Arc::new(
+                TupleF::builder(format!("c{cid}"))
+                    .attr("name", name.as_str())
+                    .attr("age", *age)
+                    .attr("state", *state)
+                    .build(),
+            ),
+        );
+    }
+    let customers = customers
+        .build_with_constraints(&[
+            Constraint::attr_domain("name", Domain::Typed(ValueType::Str)),
+            Constraint::attr_domain("age", Domain::Typed(ValueType::Int)),
+            Constraint::attr_domain("state", Domain::Typed(ValueType::Str)),
+        ])
+        .expect("generated customers satisfy the retail schema");
+    let mut products = RelationBuilder::new("products", &["pid"]);
+    for (pid, name, price, category) in &data.products {
+        products.push_arc(
+            Value::Int(*pid),
+            Arc::new(
+                TupleF::builder(format!("p{pid}"))
+                    .attr("name", name.as_str())
+                    .attr("price", *price)
+                    .attr("category", *category)
+                    .build(),
+            ),
+        );
+    }
+    let products = products
+        .build_with_constraints(&[
+            Constraint::unique(&["name"]),
+            Constraint::attr_domain("price", Domain::Typed(ValueType::Float)),
+            Constraint::attr_domain("category", Domain::Typed(ValueType::Str)),
+        ])
+        .expect("generated products satisfy the retail schema");
     let mut order = RelationshipF::new(
         "order",
         vec![

@@ -1,0 +1,209 @@
+//! The data-key fingerprint cache must be **impossible to observe**
+//! except as speed: every FQL write path (`update`), every transforming
+//! operator (`transform`), and every computed-attribute rebinding must
+//! yield tuples whose cached `data_key()` equals a from-scratch
+//! `compute_data_key()` — i.e. stale-cache reuse cannot happen, because
+//! every mutation constructs a new tuple with an empty cache (see the
+//! invalidation contract in `fdm_core::tuple`).
+
+use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_fql::{
+    db_modify_attr, db_update_attr, db_upsert, deep_copy, difference, extend, extend_stored,
+    intersect, minus, rename_attrs,
+};
+use fdm_workload::{generate, to_fdm, RetailConfig};
+
+/// Every stored tuple's cached data key must agree with an uncached
+/// recomputation.
+fn assert_caches_fresh(rel: &RelationF, what: &str) {
+    for (key, tuple) in rel.tuples().unwrap() {
+        assert_eq!(
+            tuple.data_key().unwrap(),
+            tuple.compute_data_key().unwrap(),
+            "{what}: stale fingerprint at key {key}"
+        );
+    }
+}
+
+fn shop() -> DatabaseF {
+    to_fdm(&generate(&RetailConfig::small()))
+}
+
+#[test]
+fn update_paths_recompute_fingerprints() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    // warm every cache first, so staleness would be observable
+    assert_caches_fresh(&customers, "warm-up");
+    let old_dk = customers
+        .lookup(&Value::Int(1))
+        .unwrap()
+        .data_key()
+        .unwrap();
+
+    // customers[1]['age'] = 99
+    let db2 = db_update_attr(&db, "customers", &Value::Int(1), "age", 99).unwrap();
+    let updated = db2.relation("customers").unwrap();
+    let t = updated.lookup(&Value::Int(1)).unwrap();
+    assert_ne!(t.data_key().unwrap(), old_dk, "update must change the key");
+    assert_caches_fresh(&updated, "db_update_attr");
+
+    // read-modify-write
+    let db3 = db_modify_attr(&db2, "customers", &Value::Int(1), "age", |v| {
+        v.add(&Value::Int(1))
+    })
+    .unwrap();
+    assert_caches_fresh(&db3.relation("customers").unwrap(), "db_modify_attr");
+
+    // whole-tuple replacement
+    let db4 = db_upsert(
+        &db3,
+        "customers",
+        Value::Int(1),
+        TupleF::builder("c1")
+            .attr("name", "Replaced")
+            .attr("age", 1)
+            .attr("state", "ZZ")
+            .build(),
+    )
+    .unwrap();
+    let t4 = db4
+        .relation("customers")
+        .unwrap()
+        .lookup(&Value::Int(1))
+        .unwrap();
+    assert_eq!(t4.data_key().unwrap(), t4.compute_data_key().unwrap());
+    assert_ne!(t4.data_key().unwrap(), old_dk);
+}
+
+#[test]
+fn transform_paths_recompute_fingerprints() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    assert_caches_fresh(&customers, "warm-up");
+
+    // extend: adds a *computed* attribute — the rebuilt tuple's key must
+    // include it
+    let extended = extend(&customers, "age_months", |t| {
+        t.get("age")?.mul(&Value::Int(12))
+    })
+    .unwrap();
+    assert_caches_fresh(&extended, "extend");
+    let (k, t) = extended.tuples().unwrap().remove(0);
+    let base = customers.lookup(&k).unwrap();
+    assert_ne!(
+        t.data_key().unwrap(),
+        base.data_key().unwrap(),
+        "computed attribute participates in the key"
+    );
+
+    // extend_stored
+    let stored = extend_stored(&customers, "flag", |_| Ok(Value::Bool(true))).unwrap();
+    assert_caches_fresh(&stored, "extend_stored");
+
+    // rename_attrs: the attribute *name* is part of the canonical key
+    let renamed = rename_attrs(&customers, &[("age", "years")]).unwrap();
+    assert_caches_fresh(&renamed, "rename_attrs");
+    let (k, t) = renamed.tuples().unwrap().remove(0);
+    assert_ne!(
+        t.data_key().unwrap(),
+        customers.lookup(&k).unwrap().data_key().unwrap()
+    );
+}
+
+#[test]
+fn computed_attr_rebinding_recomputes() {
+    let rel = RelationF::new("r", &["id"])
+        .insert(
+            Value::Int(1),
+            TupleF::builder("t")
+                .attr("x", 2)
+                .computed("doubled", |t| t.get("x")?.mul(&Value::Int(2)))
+                .build(),
+        )
+        .unwrap();
+    let t = rel.lookup(&Value::Int(1)).unwrap();
+    let dk1 = t.data_key().unwrap(); // caches [doubled=4, x=2]
+                                     // rebinding x: the computed attribute now evaluates differently
+    let rel2 = rel.update_attr(&Value::Int(1), "x", 5).unwrap();
+    let t2 = rel2.lookup(&Value::Int(1)).unwrap();
+    assert_eq!(t2.data_key().unwrap(), t2.compute_data_key().unwrap());
+    assert_ne!(t2.data_key().unwrap(), dk1, "doubled=10 now");
+    assert_eq!(t2.get("doubled").unwrap(), Value::Int(10));
+}
+
+#[test]
+fn setops_see_fresh_fingerprints_after_mutation() {
+    // The fig9 flow with caches deliberately warmed at every step: if any
+    // setop consumed a stale fingerprint, the differential would miss the
+    // change or invent one.
+    let db = shop();
+    let copy = deep_copy(&db).unwrap();
+    for rel in ["customers", "products"] {
+        assert_caches_fresh(&copy.relation(rel).unwrap(), "deep_copy output");
+    }
+    // identical copy: warm both sides' caches through a full differential
+    assert!(difference(&db, &copy).unwrap().is_empty());
+
+    // now mutate one attribute of one tuple in the copy
+    let copy2 = db_update_attr(&copy, "customers", &Value::Int(7), "age", 999).unwrap();
+    let diff = difference(&db, &copy2).unwrap();
+    let added = diff.relation("customers.added").unwrap();
+    let removed = diff.relation("customers.removed").unwrap();
+    assert_eq!(added.len(), 1, "exactly the mutated tuple appears");
+    assert_eq!(removed.len(), 1);
+    assert_eq!(
+        added.lookup(&Value::Int(7)).unwrap().get("age").unwrap(),
+        Value::Int(999)
+    );
+
+    // intersect/minus agree: the mutated key is in neither intersection side
+    let i = intersect(&db, &copy2).unwrap();
+    assert!(i
+        .relation("customers")
+        .unwrap()
+        .lookup(&Value::Int(7))
+        .is_none());
+    let m = minus(&db, &copy2).unwrap();
+    assert_eq!(m.relation("customers").unwrap().len(), 1);
+
+    // and un-mutating restores emptiness (no stale "changed" verdict)
+    let back = db_update_attr(
+        &copy2,
+        "customers",
+        &Value::Int(7),
+        "age",
+        db.relation("customers")
+            .unwrap()
+            .lookup(&Value::Int(7))
+            .unwrap()
+            .get("age")
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(difference(&db, &back).unwrap().is_empty());
+}
+
+#[test]
+fn eq_data_matches_materialized_comparison() {
+    // eq_data now runs on fingerprints; pin it against the definitional
+    // comparison (sorted materialized pairs) on a real workload.
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let shifted = db_update_attr(&db, "customers", &Value::Int(3), "age", 0)
+        .unwrap()
+        .relation("customers")
+        .unwrap()
+        .clone();
+    for (key, a) in customers.tuples().unwrap() {
+        let b = shifted.lookup(&key).unwrap();
+        let reference = {
+            let mut pa = a.materialize().unwrap();
+            let mut pb = b.materialize().unwrap();
+            pa.sort_by(|x, y| x.0.cmp(&y.0));
+            pb.sort_by(|x, y| x.0.cmp(&y.0));
+            pa == pb
+        };
+        assert_eq!(a.eq_data(&b), reference, "diverges at key {key}");
+    }
+}

@@ -189,6 +189,89 @@ fn duplicate_key_error_is_identical() {
 }
 
 #[test]
+fn deep_copy_parallel_matches_sequential() {
+    let db = shop();
+    // relation granularity: the chunked copy must be byte-identical
+    let customers = db.relation("customers").unwrap();
+    assert_par_equal("deep_copy_relation", || {
+        fdm_fql::deep_copy_relation(&customers).unwrap()
+    });
+    // database granularity: every relation of the copy agrees
+    let seq = with_threads("1", || deep_copy(&db).unwrap());
+    let par = with_threads("4", || deep_copy(&db).unwrap());
+    for name in ["customers", "products"] {
+        assert_eq!(
+            fingerprint(&seq.relation(name).unwrap()),
+            fingerprint(&par.relation(name).unwrap()),
+            "deep_copy diverges on {name}"
+        );
+    }
+}
+
+#[test]
+fn group_parallel_matches_sequential() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    // the Groups' underlying multi relation carries keys, member sets,
+    // and within-group order — all must match
+    assert_par_equal("group by age", || {
+        group(&customers, &["age"]).unwrap().as_relation().clone()
+    });
+    assert_par_equal("group by (state, age)", || {
+        group(&customers, &["state", "age"])
+            .unwrap()
+            .as_relation()
+            .clone()
+    });
+    assert_par_equal("group_fn (decade)", || {
+        group_fn(&customers, |t| {
+            Ok(Value::Int(t.get("age")?.as_int("age")? / 10))
+        })
+        .unwrap()
+        .as_relation()
+        .clone()
+    });
+}
+
+#[test]
+fn aggregate_parallel_matches_sequential() {
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    assert_par_equal("aggregate over age groups", || {
+        let groups = group(&customers, &["age"]).unwrap();
+        aggregate(
+            &groups,
+            &[
+                ("count", AggSpec::Count),
+                ("min_age", AggSpec::Min("age".into())),
+                ("avg_age", AggSpec::Avg("age".into())),
+            ],
+        )
+        .unwrap()
+    });
+    assert_par_equal("group_and_aggregate (state, age)", || {
+        group_and_aggregate(
+            &customers,
+            &["state", "age"],
+            &[("c", AggSpec::Count), ("s", AggSpec::Sum("age".into()))],
+        )
+        .unwrap()
+    });
+}
+
+#[test]
+fn group_error_is_identical_across_threads() {
+    // a missing grouping attribute must surface the same first error on
+    // both paths
+    let db = shop();
+    let customers = db.relation("customers").unwrap();
+    let op = || group(&customers, &["nope"]).unwrap_err();
+    let seq = with_threads("1", op);
+    let par = with_threads("4", op);
+    assert_eq!(seq.to_string(), par.to_string());
+}
+
+#[test]
 fn setops_merge_path_agrees_across_threads() {
     // DB-level setops are merge-based (not thread-chunked), but they sit
     // downstream of parallelized operators; pin the whole pipeline.

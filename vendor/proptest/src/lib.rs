@@ -1,7 +1,8 @@
 //! Offline vendored stand-in for the `proptest` crate.
 //!
 //! The build environment has no registry access, so this crate implements
-//! the subset of proptest this workspace uses: the [`Strategy`] trait with
+//! the subset of proptest this workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with
 //! `prop_map`, tuple/range/`any` strategies, `prop::collection::{vec,
 //! btree_map, btree_set}`, the `proptest!`/`prop_oneof!` macros, and the
 //! `prop_assert*`/`prop_assume!` assertion macros.
