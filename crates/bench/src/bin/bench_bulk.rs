@@ -20,6 +20,12 @@
 //!   steady-state cost — caches warmed by the warm-up run — which is the
 //!   differential-database usage pattern (§4.4: the same base DB diffed
 //!   again and again).
+//! * **PR 4 (cost-modeled join planning + hash grouping)** — the PR 3
+//!   `BTreeMap` grouping (full-`Value` ordered compares per tuple;
+//!   preserved verbatim below) vs the shipped fingerprint-hash bucketing,
+//!   and the schema join on a fan-out-skewed multi-relationship database
+//!   under the old raw-entry-count ordering (`FDM_JOIN_COST=entries`) vs
+//!   the statistics-driven ordering (`fdm_core::stats`).
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
@@ -338,6 +344,117 @@ fn pr2_intersect(a: &DatabaseF, b: &DatabaseF) -> Result<DatabaseF> {
     Ok(out)
 }
 
+// ─────────────────── legacy (PR 3) BTreeMap grouping ───────────────────
+
+/// The old grouping: a `BTreeMap` bucket per distinct key, paying
+/// O(log g) full-`Value` ordered comparisons per tuple (preserved
+/// verbatim; the shipped `group_fn` buckets by fingerprint hash and
+/// compares full values only on hash collision).
+fn legacy_group_fn(rel: &RelationF, key: impl Fn(&TupleF) -> Result<Value>) -> Result<RelationF> {
+    let mut buckets: BTreeMap<Value, Vec<Arc<TupleF>>> = BTreeMap::new();
+    for (_, tuple) in rel.tuples()? {
+        let k = key(&tuple)?;
+        buckets.entry(k).or_default().push(tuple);
+    }
+    Ok(RelationF::from_groups(
+        format!("{}_groups", rel.name()),
+        &["key"],
+        buckets,
+    ))
+}
+
+// ──────────────── PR 4 join-ordering measurement input ────────────────
+
+/// A database where raw-entry-count relationship ordering and the
+/// fan-out-aware cost model disagree (the `join_planning` test scenario,
+/// scaled): after the seed relationship `r1(a, b)` binds, `r2(b, c)` has
+/// `n` entries at fan-out 1 while `r3(b, d)` has `n/2` entries piled onto
+/// few `b` keys at fan-out 10. Entry count binds `r3` first and multiplies
+/// the working rows tenfold before the expensive extension; the cost model
+/// binds `r2` first.
+fn join_order_db(n: usize) -> DatabaseF {
+    use fdm_core::{Domain, Participant, RelationBuilder, RelationshipBuilder, SharedDomain};
+    let n = n.max(100) as i64;
+    let seeds = n / 20;
+    let dom = |name: &str| SharedDomain::new(name, Domain::Typed(fdm_core::ValueType::Int));
+    let (aid, bid, cid, did) = (dom("aid"), dom("bid"), dom("cid"), dom("did"));
+    let int_rel = |name: &str, key: &str, rows: i64| {
+        let mut b = RelationBuilder::new(name, &[key]);
+        for i in 1..=rows {
+            b.push(
+                Value::Int(i),
+                TupleF::builder(format!("{name}{i}"))
+                    .attr("tag", format!("{name}_{i}"))
+                    .build(),
+            );
+        }
+        b.build().expect("ascending keys")
+    };
+    let mut r1 = RelationshipBuilder::new(
+        "r1",
+        vec![
+            Participant::new("a", "aid", aid.clone()),
+            Participant::new("b", "bid", bid.clone()),
+        ],
+    );
+    for i in 1..=seeds {
+        r1.push_link(&[Value::Int(i % 100 + 1), Value::Int(i)])
+            .expect("in domain");
+    }
+    let mut r2 = RelationshipBuilder::new(
+        "r2",
+        vec![
+            Participant::new("b", "bid", bid.clone()),
+            Participant::new("c", "cid", cid.clone()),
+        ],
+    );
+    for i in 1..=n {
+        r2.push_link(&[Value::Int(i), Value::Int(i)])
+            .expect("in domain");
+    }
+    let mut r3 = RelationshipBuilder::new(
+        "r3",
+        vec![
+            Participant::new("b", "bid", bid.clone()),
+            Participant::new("d", "did", did.clone()),
+        ],
+    );
+    for b in 1..=seeds {
+        for d in 1..=10 {
+            r3.push_link(&[Value::Int(b), Value::Int(d)])
+                .expect("in domain");
+        }
+    }
+    DatabaseF::new("fanout")
+        .with_domain(aid)
+        .with_domain(bid)
+        .with_domain(cid)
+        .with_domain(did)
+        .with_relation(int_rel("a", "aid", 100))
+        .with_relation(int_rel("b", "bid", n))
+        .with_relation(int_rel("c", "cid", n))
+        .with_relation(int_rel("d", "did", 10))
+        .with_relationship(r1.build().expect("unique"))
+        .with_relationship(r2.build().expect("unique"))
+        .with_relationship(r3.build().expect("unique"))
+}
+
+/// Runs `f` with `FDM_JOIN_COST` pinned (the join planner reads it per
+/// call), restoring the previous value afterwards.
+fn with_join_cost<T>(mode: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("FDM_JOIN_COST").ok();
+    match mode {
+        Some(v) => std::env::set_var("FDM_JOIN_COST", v),
+        None => std::env::remove_var("FDM_JOIN_COST"),
+    }
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("FDM_JOIN_COST", v),
+        None => std::env::remove_var("FDM_JOIN_COST"),
+    }
+    out
+}
+
 // ───────────────────────── measurement harness ─────────────────────────
 
 /// Criterion-style median: `samples` timed runs, median per-run nanos.
@@ -382,12 +499,15 @@ fn with_threads_cutoff<T>(n: &str, cutoff: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// The speedup ratios the CI regression gate (`bench_gate`) tracks.
+/// The speedup ratios the CI regression gate (`bench_gate`) tracks, plus
+/// the reported-but-ungated join-ordering ratio.
 struct GateMetrics {
     union_speedup: f64,
     minus_speedup: f64,
     intersect_speedup: f64,
     deep_copy_speedup: f64,
+    group_speedup: f64,
+    join_order_speedup: f64,
 }
 
 /// One scale's measurements, as a JSON object string plus the gate ratios.
@@ -483,6 +603,48 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         black_box(fdm_fql::intersect(&db, &changed).unwrap());
     });
 
+    // PR 4: BTreeMap bucketing vs fingerprint-hash bucketing, THREADS=1 on
+    // both sides so the comparison isolates the bucketing structure (the
+    // parallel layer only chunks key evaluation, identically for both).
+    // The workload is the canonical grouping shape — many tuples per
+    // group, string keys: the flattened order entries grouped by date
+    // (~336 distinct `"2026-mm-dd"` strings). Placing a tuple costs the
+    // BTreeMap O(log g) prefix-heavy string compares; the hash path pays
+    // one FxHash plus a single equality against its (singleton) hash
+    // bucket. (With all-distinct keys the two converge: the hash path's
+    // final deterministic key sort re-pays what the tree paid up front.)
+    let orders_flat = db.relationship("order").unwrap().to_relation();
+    let group_key = |t: &TupleF| t.get("date");
+    let group_btree = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(legacy_group_fn(&orders_flat, group_key).unwrap());
+        })
+    });
+    let group_hash = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(fdm_fql::group_fn(&orders_flat, group_key).unwrap());
+        })
+    });
+
+    // PR 4: schema join under raw-entry-count relationship ordering vs the
+    // fan-out-aware cost model, on the multi-relationship database where
+    // the two plans differ.
+    let fan_db = join_order_db(orders);
+    let join_by_entries = with_threads("1", || {
+        with_join_cost(Some("entries"), || {
+            median_ns(samples, || {
+                black_box(fdm_fql::join(&fan_db).unwrap());
+            })
+        })
+    });
+    let join_by_stats = with_threads("1", || {
+        with_join_cost(None, || {
+            median_ns(samples, || {
+                black_box(fdm_fql::join(&fan_db).unwrap());
+            })
+        })
+    });
+
     // PR 3: deep_copy sequential vs thread-chunked. The cutoff is pinned
     // low so the chunked path is exercised at every scale (the CI smoke
     // scale sits below the production cutoff).
@@ -535,15 +697,37 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         fdm_fql::difference(&dc_seq, &dc_par).unwrap().is_empty(),
         "parallel deep_copy diverges from sequential"
     );
+    // hash-bucketed grouping must reproduce the BTreeMap output exactly
+    let lg = legacy_group_fn(&orders_flat, group_key).unwrap();
+    let hg = fdm_fql::group_fn(&orders_flat, group_key).unwrap();
+    assert_eq!(lg.stored_keys(), hg.as_relation().stored_keys());
+    assert_eq!(lg.len(), hg.as_relation().len());
+    // both join orderings must produce identical denormalized data
+    let je = with_join_cost(Some("entries"), || fdm_fql::join(&fan_db).unwrap());
+    let js = with_join_cost(None, || fdm_fql::join(&fan_db).unwrap());
+    assert_eq!(je.len(), js.len(), "join plans diverge in cardinality");
+    let data_keys = |rel: &RelationF| {
+        let mut keys: Vec<Value> = rel
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.data_key().unwrap())
+            .collect();
+        keys.sort();
+        keys
+    };
+    assert_eq!(data_keys(&je), data_keys(&js), "join plans diverge in data");
 
     let gate = GateMetrics {
         union_speedup: union_insert / union_merge,
         minus_speedup: minus_uncached / minus_cached,
         intersect_speedup: intersect_uncached / intersect_cached,
         deep_copy_speedup: deep_copy_seq / deep_copy_par,
+        group_speedup: group_btree / group_hash,
+        join_order_speedup: join_by_entries / join_by_stats,
     };
     let json = format!(
-        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }}\n    }}",
+        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }}\n    }}",
         before_filter / seq_filter,
         before_join / seq_join,
         seq_filter / par_filter,
@@ -552,6 +736,8 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         gate.minus_speedup,
         gate.intersect_speedup,
         gate.deep_copy_speedup,
+        gate.group_speedup,
+        gate.join_order_speedup,
     );
     (json, gate)
 }
@@ -581,7 +767,7 @@ fn main() {
     }
     let entry = if quick {
         format!(
-            "{{\n  \"entry\": \"pr3_fingerprint_cache_parallel_differential\",\n  \"scales\": [\n{}\n  ]\n}}",
+            "{{\n  \"entry\": \"pr4_join_cost_model_hash_grouping\",\n  \"scales\": [\n{}\n  ]\n}}",
             scale_reports.join(",\n")
         )
     } else {
@@ -592,7 +778,7 @@ fn main() {
         // the CI quick run reproduces.
         let (baseline, _) = measure_scale(2_000, samples, par_threads);
         format!(
-            "{{\n  \"entry\": \"pr3_fingerprint_cache_parallel_differential\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
+            "{{\n  \"entry\": \"pr4_join_cost_model_hash_grouping\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
             scale_reports.join(",\n")
         )
     };
@@ -603,8 +789,13 @@ fn main() {
         // object, one `<metric>_speedup` key per gated ratio.
         let g = last_gate.expect("at least one scale ran");
         let summary = format!(
-            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3}\n}}\n",
-            g.union_speedup, g.minus_speedup, g.intersect_speedup, g.deep_copy_speedup,
+            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3}\n}}\n",
+            g.union_speedup,
+            g.minus_speedup,
+            g.intersect_speedup,
+            g.deep_copy_speedup,
+            g.group_speedup,
+            g.join_order_speedup,
         );
         std::fs::write(quick_out, summary).expect("write quick summary");
         println!("wrote {quick_out}");

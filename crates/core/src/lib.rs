@@ -69,6 +69,7 @@ pub mod fxhash;
 pub mod par;
 pub mod relation;
 pub mod relationship;
+pub mod stats;
 pub mod tuple;
 pub mod types;
 pub mod value;
@@ -81,7 +82,8 @@ pub use function::{apply1, FnValue, Function, FunctionHandle, LambdaF};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use par::{par_map_chunks, ParConfig, ParallelBuilder};
 pub use relation::{RelationBuilder, RelationF};
-pub use relationship::{Participant, RelationshipF};
+pub use relationship::{Participant, RelationshipBuilder, RelationshipF};
+pub use stats::{estimate_distinct, RelationStats, RelationshipStats};
 pub use tuple::{DataKey, TupleBuilder, TupleF};
 pub use types::ValueType;
 pub use value::Value;

@@ -341,6 +341,28 @@ impl RelationF {
         }
     }
 
+    /// Iterates the *stored* `(key, tuple-group)` pairs in key order:
+    /// multi bodies yield each group in O(1) (structural share, no
+    /// per-member clone), unique/hybrid bodies yield singleton groups,
+    /// computed bodies yield nothing. This is the grouped-consumption fast
+    /// path (`fql`'s `Groups::iter`/`aggregate` walk every group exactly
+    /// once) — the per-key `lookup_all` alternative pays O(log n) per
+    /// group.
+    pub fn iter_groups(&self) -> Box<dyn Iterator<Item = (Value, TupleGroup)> + '_> {
+        match &self.body {
+            Body::Unique(m) => Box::new(
+                m.iter()
+                    .map(|(k, t)| (k.clone(), TupleGroup::from([t.clone()]))),
+            ),
+            Body::Multi(m) => Box::new(m.iter().map(|(k, g)| (k.clone(), g.clone()))),
+            Body::Computed { .. } => Box::new(std::iter::empty()),
+            Body::Hybrid { map, .. } => Box::new(
+                map.iter()
+                    .map(|(k, t)| (k.clone(), TupleGroup::from([t.clone()]))),
+            ),
+        }
+    }
+
     /// All `(key, tuple)` pairs, including computed ones when the domain is
     /// enumerable. Fails with [`FdmError::NotEnumerable`] if the relation
     /// has a computed part over a non-enumerable domain.

@@ -17,6 +17,7 @@
 use crate::domain::{Domain, SharedDomain};
 use crate::error::{FdmError, Name, Result};
 use crate::function::Function;
+use crate::stats::RelationshipStats;
 use crate::tuple::TupleF;
 use crate::value::Value;
 use fdm_storage::PMap;
@@ -75,16 +76,63 @@ pub struct RelationshipF {
     /// relationship's own attributes (possibly an empty tuple for pure
     /// predicates).
     map: PMap<Value, Arc<TupleF>>,
+    /// Cardinality/fan-out statistics, rebuilt alongside `map` by every
+    /// construction and mutation path (freshness by construction — see
+    /// [`crate::stats`]).
+    stats: RelationshipStats,
 }
 
 impl RelationshipF {
     /// Creates an empty relationship function among the given participants.
     pub fn new(name: impl AsRef<str>, participants: Vec<Participant>) -> RelationshipF {
+        let stats = RelationshipStats::empty(participants.len());
         RelationshipF {
             name: Arc::from(name.as_ref()),
             participants: participants.into(),
             map: PMap::new(),
+            stats,
         }
+    }
+
+    /// Creates a relationship function in **O(n log n)** from entries whose
+    /// argument lists are sorted in strictly ascending lexicographic order
+    /// — the bulk-construction companion of
+    /// [`RelationF::from_sorted`](crate::RelationF::from_sorted).
+    /// Domain membership and arity are
+    /// validated per entry exactly like [`Self::insert`]; the ordering
+    /// contract is checked with a `debug_assert` only (the sort-detecting
+    /// [`RelationshipBuilder`] is the usual front door). The per-position
+    /// statistics are counted in the same pass.
+    pub fn from_sorted(
+        name: impl AsRef<str>,
+        participants: Vec<Participant>,
+        entries: Vec<(Vec<Value>, Arc<TupleF>)>,
+    ) -> Result<RelationshipF> {
+        let proto = RelationshipF::new(name, participants);
+        let mut keyed: Vec<(Value, Arc<TupleF>)> = Vec::with_capacity(entries.len());
+        for (args, attrs) in &entries {
+            keyed.push((proto.composite_key(args)?, attrs.clone()));
+        }
+        debug_assert!(
+            keyed.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted: argument lists must be strictly ascending"
+        );
+        let stats = RelationshipStats::from_entries(
+            proto.participants.len(),
+            entries.iter().map(|(a, _)| a.as_slice()),
+        );
+        Ok(RelationshipF {
+            map: PMap::from_sorted_vec(keyed),
+            stats,
+            ..proto
+        })
+    }
+
+    /// The relationship's cardinality/fan-out statistics (entry count,
+    /// distinct keys per participant position) — planner input, kept
+    /// current by construction.
+    pub fn stats(&self) -> &RelationshipStats {
+        &self.stats
     }
 
     /// The relationship function's name.
@@ -150,6 +198,7 @@ impl RelationshipF {
             name: self.name.clone(),
             participants: self.participants.clone(),
             map: self.map.insert(key, Arc::new(attrs)).0,
+            stats: self.stats.with_inserted(args),
         })
     }
 
@@ -172,6 +221,7 @@ impl RelationshipF {
             name: self.name.clone(),
             participants: self.participants.clone(),
             map,
+            stats: self.stats.with_removed(args),
         })
     }
 
@@ -261,6 +311,141 @@ impl RelationshipF {
                 .expect("keys unique by construction");
         }
         rel
+    }
+}
+
+/// Accumulates relationship entries and bulk-builds a [`RelationshipF`] —
+/// the relationship-side companion of
+/// [`RelationBuilder`](crate::RelationBuilder), closing the bulk-load
+/// story: loaders (`workload::to_fdm`-style ingest) push every entry, the
+/// builder validates domains/arity on push, detects already-sorted input,
+/// sorts once otherwise, and assembles the persistent map in O(n) with the
+/// statistics counted in the same pass — instead of n persistent inserts
+/// each paying O(log n) tree and stats updates.
+///
+/// Duplicate composite keys fail [`RelationshipBuilder::build`] with
+/// exactly the [`FdmError::DuplicateKey`] the insert loop would raise.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::{Domain, Participant, RelationshipBuilder, SharedDomain, TupleF, Value, ValueType};
+///
+/// let cid = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
+/// let pid = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
+/// let mut b = RelationshipBuilder::new("order", vec![
+///     Participant::new("customers", "cid", cid),
+///     Participant::new("products", "pid", pid),
+/// ]);
+/// b.push(&[Value::Int(1), Value::Int(7)], TupleF::builder("o").attr("q", 2).build()).unwrap();
+/// b.push(&[Value::Int(1), Value::Int(9)], TupleF::builder("o").attr("q", 1).build()).unwrap();
+/// let order = b.build().unwrap();
+/// assert_eq!(order.len(), 2);
+/// assert!(order.relates(&[Value::Int(1), Value::Int(9)]));
+/// ```
+pub struct RelationshipBuilder {
+    proto: RelationshipF,
+    entries: Vec<(Value, Arc<TupleF>)>,
+    /// `true` while pushed composite keys have been strictly ascending.
+    sorted: bool,
+    /// The shared empty attribute tuple [`Self::push_link`] entries reuse
+    /// (every link tuple is identical, so one allocation serves them all).
+    link_tuple: Option<Arc<TupleF>>,
+}
+
+impl RelationshipBuilder {
+    /// Starts an empty builder for a relationship named `name` among the
+    /// given participants.
+    pub fn new(name: impl AsRef<str>, participants: Vec<Participant>) -> RelationshipBuilder {
+        RelationshipBuilder {
+            proto: RelationshipF::new(name, participants),
+            entries: Vec::new(),
+            sorted: true,
+            link_tuple: None,
+        }
+    }
+
+    /// Pre-allocates room for `n` entries.
+    pub fn with_capacity(mut self, n: usize) -> RelationshipBuilder {
+        self.entries.reserve(n);
+        self
+    }
+
+    /// Appends an entry with its own attributes. Arity and shared-domain
+    /// membership are validated now, with the same errors as
+    /// [`RelationshipF::insert`]; duplicate detection is deferred to
+    /// [`Self::build`].
+    pub fn push(&mut self, args: &[Value], attrs: TupleF) -> Result<()> {
+        self.push_arc(args, Arc::new(attrs))
+    }
+
+    /// [`Self::push`] taking an already-shared attribute tuple.
+    pub fn push_arc(&mut self, args: &[Value], attrs: Arc<TupleF>) -> Result<()> {
+        let key = self.proto.composite_key(args)?;
+        if self.sorted {
+            if let Some((last, _)) = self.entries.last() {
+                if *last >= key {
+                    self.sorted = false;
+                }
+            }
+        }
+        self.entries.push((key, attrs));
+        Ok(())
+    }
+
+    /// Appends a pure-predicate entry (no attributes of its own). All
+    /// link entries share one empty tuple.
+    pub fn push_link(&mut self, args: &[Value]) -> Result<()> {
+        let tuple = self
+            .link_tuple
+            .get_or_insert_with(|| {
+                Arc::new(TupleF::builder(format!("{}_link", self.proto.name)).build())
+            })
+            .clone();
+        self.push_arc(args, tuple)
+    }
+
+    /// Number of entries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bulk-builds the relationship: sorts if the input arrived out of
+    /// order, rejects duplicate composite keys, assembles the tree in O(n),
+    /// and counts the statistics in one pass.
+    pub fn build(self) -> Result<RelationshipF> {
+        let RelationshipBuilder {
+            proto,
+            mut entries,
+            sorted,
+            ..
+        } = self;
+        if !sorted {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            if let Some(w) = entries.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(FdmError::DuplicateKey {
+                    relation: proto.name.to_string(),
+                    key: w[0].0.to_string(),
+                });
+            }
+        }
+        let stats = RelationshipStats::from_entries(
+            proto.participants.len(),
+            entries.iter().map(|(k, _)| match k {
+                Value::List(items) => &items[..],
+                other => std::slice::from_ref(other),
+            }),
+        );
+        Ok(RelationshipF {
+            map: PMap::from_sorted_vec(entries),
+            stats,
+            ..proto
+        })
     }
 }
 
@@ -423,6 +608,92 @@ mod tests {
         assert_eq!(t.get("cid").unwrap(), Value::Int(1));
         assert_eq!(t.get("pid").unwrap(), Value::Int(7));
         assert_eq!(t.get("date").unwrap(), Value::str("2026-05-01"));
+    }
+
+    #[test]
+    fn from_sorted_equals_insert_loop() {
+        let entries: Vec<(Vec<Value>, Arc<TupleF>)> = (0..40)
+            .map(|i| {
+                (
+                    vec![Value::Int(i / 4), Value::Int(i % 4)],
+                    Arc::new(TupleF::builder("o").attr("n", i).build()),
+                )
+            })
+            .collect();
+        let participants = order().participants().to_vec();
+        let bulk =
+            RelationshipF::from_sorted("order", participants.clone(), entries.clone()).unwrap();
+        let mut reference = RelationshipF::new("order", participants);
+        for (args, attrs) in &entries {
+            reference = reference.insert(args, (**attrs).clone()).unwrap();
+        }
+        assert_eq!(bulk.len(), reference.len());
+        for ((a_args, a_t), (b_args, b_t)) in bulk.iter().zip(reference.iter()) {
+            assert_eq!(a_args, b_args);
+            assert!(a_t.eq_data(&b_t));
+        }
+        // statistics match the incremental path too
+        assert_eq!(bulk.stats().entries(), reference.stats().entries());
+        for pos in 0..2 {
+            assert_eq!(bulk.stats().distinct(pos), reference.stats().distinct(pos));
+        }
+        // bulk-built relationships are first-class: point ops still work
+        let bulk2 = bulk.remove(&[Value::Int(0), Value::Int(0)]).unwrap();
+        assert_eq!(bulk2.len(), 39);
+    }
+
+    #[test]
+    fn builder_sorts_validates_and_rejects_duplicates() {
+        // unsorted pushes: the builder sorts once at build
+        let mut b = RelationshipBuilder::new("order", order().participants().to_vec());
+        b.push_link(&[Value::Int(2), Value::Int(7)]).unwrap();
+        b.push_link(&[Value::Int(1), Value::Int(9)]).unwrap();
+        b.push_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        assert_eq!(b.len(), 3);
+        let o = b.build().unwrap();
+        assert_eq!(o.len(), 3);
+        assert!(o.relates(&[Value::Int(1), Value::Int(9)]));
+        assert_eq!(o.stats().distinct(0), 2);
+        assert_eq!(o.stats().distinct(1), 2);
+
+        // duplicate composite key: same error as the insert loop
+        let mut b = RelationshipBuilder::new("order", order().participants().to_vec());
+        b.push_link(&[Value::Int(2), Value::Int(7)]).unwrap();
+        b.push_link(&[Value::Int(1), Value::Int(7)]).unwrap();
+        b.push_link(&[Value::Int(2), Value::Int(7)]).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, FdmError::DuplicateKey { .. }));
+
+        // arity and domain failures surface at push, like insert
+        let mut b = RelationshipBuilder::new("order", order().participants().to_vec());
+        assert!(matches!(
+            b.push_link(&[Value::Int(1)]).unwrap_err(),
+            FdmError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            b.push_link(&[Value::str("x"), Value::Int(7)]).unwrap_err(),
+            FdmError::ConstraintViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_track_every_mutation_path() {
+        let o = order()
+            .insert_link(&[Value::Int(1), Value::Int(7)])
+            .unwrap()
+            .insert_link(&[Value::Int(1), Value::Int(8)])
+            .unwrap()
+            .insert_link(&[Value::Int(2), Value::Int(7)])
+            .unwrap();
+        assert_eq!(o.stats().entries(), 3);
+        assert_eq!(o.stats().distinct(0), 2, "cids 1, 2");
+        assert_eq!(o.stats().distinct(1), 2, "pids 7, 8");
+        assert!((o.stats().avg_fanout(0) - 1.5).abs() < 1e-12);
+        let o2 = o.remove(&[Value::Int(2), Value::Int(7)]).unwrap();
+        assert_eq!(o2.stats().entries(), 2);
+        assert_eq!(o2.stats().distinct(0), 1);
+        // persistence: the snapshot's stats are untouched
+        assert_eq!(o.stats().entries(), 3);
     }
 
     #[test]

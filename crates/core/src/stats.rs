@@ -1,0 +1,342 @@
+//! Cardinality and fan-out statistics for cost-based operator planning.
+//!
+//! FQL's schema-driven `join` must decide **which relationship function to
+//! bind next**. Picking by raw entry count (the PR 2 heuristic) ignores
+//! participant fan-out: a relationship with many entries but one entry per
+//! bound key (fan-out 1) extends the working rows without growing them,
+//! while a small relationship whose entries pile onto few keys multiplies
+//! the row set. This module provides the statistics that distinguish the
+//! two, cheaply enough to consult on every operator call.
+//!
+//! # What is tracked
+//!
+//! * **Per relation** — the stored cardinality ([`RelationStats::rows`])
+//!   and an O(1) distinct-count estimate for a named attribute
+//!   ([`estimate_distinct`]): exact for key attributes and single-attribute
+//!   `Unique` constraints (both imply one distinct value per row), a
+//!   documented magic fraction otherwise.
+//! * **Per relationship** — the entry count, and for every participant
+//!   position the number of **distinct key values** appearing there
+//!   ([`RelationshipStats::distinct`]). Average fan-out falls out as
+//!   `entries / distinct` ([`RelationshipStats::avg_fanout`]).
+//!
+//! # The cost formula
+//!
+//! [`RelationshipStats::estimate_join_rows`] estimates the working-row
+//! count after binding a relationship, given `bound_rows` current rows and
+//! the participant positions already bound:
+//!
+//! ```text
+//! no position bound:   est = bound_rows × entries
+//! positions B bound:   est = bound_rows × entries / min(entries, max_{p∈B} distinct(p))
+//! ```
+//!
+//! i.e. each row probes the relationship through its bound keys and
+//! matches `entries / distinct` entries on average (uniformity assumption;
+//! with several bound positions the distinct count of the *combination* is
+//! at least the per-position maximum, so the maximum gives a conservative
+//! upper estimate of the fan-out). The estimate is a planning heuristic
+//! only — plan choice never changes which rows a join produces, just the
+//! order work happens in (pinned by `tests/tests/join_planning.rs`).
+//!
+//! # Staleness and update rules
+//!
+//! Relationship statistics live **inside** [`RelationshipF`] and follow
+//! the same freshness-by-construction contract as the tuple fingerprint
+//! cache (`fdm_core::tuple`): every construction and mutation path builds
+//! the matching statistics in the same expression that builds the entry
+//! map —
+//!
+//! * `RelationshipF::new` starts with [`RelationshipStats::empty`];
+//! * `insert`/`insert_link` advance them with [`RelationshipStats::with_inserted`];
+//! * `remove` reverses with [`RelationshipStats::with_removed`];
+//! * the bulk paths (`RelationshipF::from_sorted`, `RelationshipBuilder`)
+//!   count everything in one pass via [`RelationshipStats::from_entries`].
+//!
+//! There is no code path that changes the entry map while keeping the old
+//! statistics, so stale stats are impossible by design; the per-position
+//! count maps are persistent (`PMap`), so snapshots share them like they
+//! share the entries. [`RelationStats`] is computed on demand from the
+//! relation's O(1) length — nothing to keep fresh.
+//!
+//! [`RelationshipF`]: crate::RelationshipF
+
+use crate::constraint::Constraint;
+use crate::relation::RelationF;
+use crate::value::Value;
+use fdm_storage::PMap;
+use std::sync::Arc;
+
+/// Cardinality statistics of a relation function, read on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Number of stored tuples (computed parts are not counted — they are
+    /// not enumerable in general, so no planner should rely on them).
+    pub rows: usize,
+}
+
+impl RelationStats {
+    /// Reads the statistics of `rel` (O(1): the persistent map tracks its
+    /// length).
+    pub fn of(rel: &RelationF) -> RelationStats {
+        RelationStats { rows: rel.len() }
+    }
+}
+
+/// The distinct-value fraction assumed for attributes with no exact
+/// source (not a key, not uniquely constrained): `distinct ≈ rows / 10`.
+/// A deliberate, documented magic number in the System-R tradition —
+/// wrong in general, but it only biases *cost estimates*, never results.
+pub const DEFAULT_DISTINCT_FRACTION: usize = 10;
+
+/// The fraction of rows a predicate of unknown selectivity is assumed to
+/// keep (the System-R 1/3). Used by `fql`'s plan-cost estimator; like
+/// every number in this module it steers cost, never results.
+pub const DEFAULT_FILTER_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// O(1) estimate of the number of distinct values attribute `attr` takes
+/// across the stored tuples of `rel`:
+///
+/// * a key attribute or a single-attribute `Unique` constraint → exactly
+///   `rel.len()` (one distinct value per row);
+/// * otherwise `max(1, rows / DEFAULT_DISTINCT_FRACTION)`.
+///
+/// Never scans tuples — this is planner input, not an answer.
+pub fn estimate_distinct(rel: &RelationF, attr: &str) -> usize {
+    let rows = rel.len();
+    if rows == 0 {
+        return 0;
+    }
+    let exact = rel.key_attrs().iter().any(|k| k.as_ref() == attr)
+        || rel.constraints().iter().any(
+            |c| matches!(c, Constraint::Unique(attrs) if attrs.len() == 1 && attrs[0].as_ref() == attr),
+        );
+    if exact {
+        rows
+    } else {
+        (rows / DEFAULT_DISTINCT_FRACTION).max(1)
+    }
+}
+
+/// Per-relationship cardinality and fan-out statistics, maintained
+/// incrementally by every [`RelationshipF`](crate::RelationshipF)
+/// construction and mutation path (see the module docs for the freshness
+/// contract).
+///
+/// Internally one persistent count map per participant position: key value
+/// → number of entries carrying it. Distinct counts are the map lengths;
+/// the maps are needed (rather than bare counters) so `remove` can tell a
+/// "last entry of this key" decrement from an ordinary one.
+#[derive(Clone, Debug)]
+pub struct RelationshipStats {
+    entries: usize,
+    counts: Arc<[PMap<Value, usize>]>,
+}
+
+impl RelationshipStats {
+    /// Statistics of an empty k-ary relationship.
+    pub fn empty(k: usize) -> RelationshipStats {
+        RelationshipStats {
+            entries: 0,
+            counts: (0..k).map(|_| PMap::new()).collect::<Vec<_>>().into(),
+        }
+    }
+
+    /// Bulk-counts statistics from entry argument lists in one pass
+    /// (the `from_sorted` companion): per position, keys are collected,
+    /// sorted, and run-length counted into an O(n) bulk map build.
+    pub fn from_entries<'a>(k: usize, entries: impl Iterator<Item = &'a [Value]> + Clone) -> Self {
+        let total = entries.clone().count();
+        let mut counts = Vec::with_capacity(k);
+        for pos in 0..k {
+            let mut keys: Vec<Value> = entries
+                .clone()
+                .filter_map(|args| args.get(pos).cloned())
+                .collect();
+            keys.sort();
+            let mut runs: Vec<(Value, usize)> = Vec::new();
+            for key in keys {
+                match runs.last_mut() {
+                    Some((last, n)) if *last == key => *n += 1,
+                    _ => runs.push((key, 1)),
+                }
+            }
+            counts.push(PMap::from_sorted_vec(runs));
+        }
+        RelationshipStats {
+            entries: total,
+            counts: counts.into(),
+        }
+    }
+
+    /// Number of stored relationship entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Number of distinct key values at participant position `pos`.
+    pub fn distinct(&self, pos: usize) -> usize {
+        self.counts.get(pos).map_or(0, PMap::len)
+    }
+
+    /// Average entries per distinct key at position `pos` (0.0 when
+    /// empty) — how many entries a bound key matches on average.
+    pub fn avg_fanout(&self, pos: usize) -> f64 {
+        let d = self.distinct(pos);
+        if d == 0 {
+            0.0
+        } else {
+            self.entries as f64 / d as f64
+        }
+    }
+
+    /// The statistics after inserting an entry with these argument values
+    /// (persistent: the receiver is unchanged).
+    pub fn with_inserted(&self, args: &[Value]) -> RelationshipStats {
+        let counts: Vec<PMap<Value, usize>> = self
+            .counts
+            .iter()
+            .zip(args)
+            .map(|(m, v)| {
+                let n = m.get(v).copied().unwrap_or(0);
+                m.insert(v.clone(), n + 1).0
+            })
+            .collect();
+        RelationshipStats {
+            entries: self.entries + 1,
+            counts: counts.into(),
+        }
+    }
+
+    /// The statistics after removing an entry with these argument values
+    /// (persistent: the receiver is unchanged).
+    pub fn with_removed(&self, args: &[Value]) -> RelationshipStats {
+        let counts: Vec<PMap<Value, usize>> = self
+            .counts
+            .iter()
+            .zip(args)
+            .map(|(m, v)| match m.get(v).copied() {
+                Some(n) if n > 1 => m.insert(v.clone(), n - 1).0,
+                Some(_) => m.remove(v).0,
+                None => m.clone(),
+            })
+            .collect();
+        RelationshipStats {
+            entries: self.entries.saturating_sub(1),
+            counts: counts.into(),
+        }
+    }
+
+    /// Estimated working-row count after binding this relationship from
+    /// `bound_rows` current rows with the given participant positions
+    /// already bound — the module-level cost formula. With nothing bound
+    /// the relationship is a generator: every row pairs with every entry.
+    pub fn estimate_join_rows(&self, bound_rows: usize, bound_positions: &[usize]) -> f64 {
+        if self.entries == 0 {
+            return 0.0;
+        }
+        let rows = bound_rows as f64;
+        let entries = self.entries as f64;
+        let max_distinct = bound_positions
+            .iter()
+            .map(|&p| self.distinct(p))
+            .max()
+            .unwrap_or(0);
+        if max_distinct == 0 {
+            rows * entries
+        } else {
+            rows * entries / (max_distinct.min(self.entries) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::tuple::TupleF;
+
+    fn args(a: i64, b: i64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    #[test]
+    fn incremental_counts_match_bulk() {
+        let entries = [args(1, 7), args(1, 8), args(2, 7), args(3, 9)];
+        let mut inc = RelationshipStats::empty(2);
+        for e in &entries {
+            inc = inc.with_inserted(e);
+        }
+        let bulk = RelationshipStats::from_entries(2, entries.iter().map(Vec::as_slice));
+        assert_eq!(inc.entries(), 4);
+        assert_eq!(bulk.entries(), 4);
+        for pos in 0..2 {
+            assert_eq!(inc.distinct(pos), bulk.distinct(pos), "position {pos}");
+        }
+        assert_eq!(inc.distinct(0), 3, "cids 1, 2, 3");
+        assert_eq!(inc.distinct(1), 3, "pids 7, 8, 9");
+    }
+
+    #[test]
+    fn remove_reverses_insert() {
+        let s = RelationshipStats::empty(2)
+            .with_inserted(&args(1, 7))
+            .with_inserted(&args(1, 8));
+        assert_eq!(s.distinct(0), 1);
+        let s2 = s.with_removed(&args(1, 8));
+        assert_eq!(s2.entries(), 1);
+        assert_eq!(s2.distinct(0), 1, "key 1 still present once");
+        assert_eq!(s2.distinct(1), 1, "pid 8 gone");
+        let s3 = s2.with_removed(&args(1, 7));
+        assert_eq!(s3.entries(), 0);
+        assert_eq!(s3.distinct(0), 0);
+    }
+
+    #[test]
+    fn fanout_and_estimates() {
+        // 6 entries over 3 distinct cids (fan-out 2), 6 distinct pids
+        // (fan-out 1)
+        let mut s = RelationshipStats::empty(2);
+        for (c, p) in [(1, 1), (1, 2), (2, 3), (2, 4), (3, 5), (3, 6)] {
+            s = s.with_inserted(&args(c, p));
+        }
+        assert_eq!(s.avg_fanout(0), 2.0);
+        assert_eq!(s.avg_fanout(1), 1.0);
+        // 100 rows bound on position 0: each matches ~2 entries
+        assert_eq!(s.estimate_join_rows(100, &[0]), 200.0);
+        // bound on position 1: fan-out 1
+        assert_eq!(s.estimate_join_rows(100, &[1]), 100.0);
+        // both bound: the larger distinct count wins (combination is at
+        // least as selective)
+        assert_eq!(s.estimate_join_rows(100, &[0, 1]), 100.0);
+        // nothing bound: generator
+        assert_eq!(s.estimate_join_rows(10, &[]), 60.0);
+        // empty stats estimate zero
+        assert_eq!(RelationshipStats::empty(2).estimate_join_rows(5, &[0]), 0.0);
+    }
+
+    #[test]
+    fn relation_stats_and_distinct_estimates() {
+        let rel = RelationF::new("r", &["id"])
+            .insert(
+                Value::Int(1),
+                TupleF::builder("t").attr("name", "a").attr("x", 1).build(),
+            )
+            .unwrap()
+            .insert(
+                Value::Int(2),
+                TupleF::builder("t").attr("name", "b").attr("x", 1).build(),
+            )
+            .unwrap();
+        assert_eq!(RelationStats::of(&rel).rows, 2);
+        // key attribute: exact
+        assert_eq!(estimate_distinct(&rel, "id"), 2);
+        // unconstrained attribute: magic fraction, floored at 1
+        assert_eq!(estimate_distinct(&rel, "x"), 1);
+        // unique constraint: exact
+        let uniq = rel.with_constraint(Constraint::unique(&["name"])).unwrap();
+        assert_eq!(estimate_distinct(&uniq, "name"), 2);
+        // empty relation
+        assert_eq!(estimate_distinct(&RelationF::new("e", &["id"]), "id"), 0);
+    }
+}

@@ -268,26 +268,22 @@ impl Hash for Value {
                 1u8.hash(state);
                 b.hash(state);
             }
-            // Ints and floats must hash identically when equal as keys:
-            // hash the total-order bit pattern of the float form for floats
-            // and the integer for ints, except floats that are exact ints
-            // hash like the int.
+            // Every numeric hashes through the total-order bit pattern of
+            // its f64 form. `Int(a)` can compare equal to `Float(b)` only
+            // when `a as f64` is bit-identical to `b` (the Ord
+            // cross-numeric arm), so hashing the *rounded* bits — not the
+            // exact integer — is what keeps Eq ⟹ equal-hash beyond 2^53
+            // too. Distinct large ints that round to the same float share
+            // a hash bucket; the full equality compare still separates
+            // them, and `-0.0` vs `0.0` (unequal under `total_cmp`) hash
+            // apart, which is allowed.
             Value::Int(i) => {
                 2u8.hash(state);
-                i.hash(state);
+                (*i as f64).to_bits().hash(state);
             }
             Value::Float(x) => {
-                if x.fract() == 0.0
-                    && x.is_finite()
-                    && *x >= i64::MIN as f64
-                    && *x <= i64::MAX as f64
-                {
-                    2u8.hash(state);
-                    (*x as i64).hash(state);
-                } else {
-                    3u8.hash(state);
-                    x.to_bits().hash(state);
-                }
+                2u8.hash(state);
+                x.to_bits().hash(state);
             }
             Value::Str(s) => {
                 4u8.hash(state);
@@ -407,6 +403,24 @@ mod tests {
         assert!(Value::Float(0.5) < Value::Int(1));
         // equal keys must hash equal
         assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn eq_implies_equal_hash_beyond_f64_precision() {
+        // 2^53 + 1 rounds to 2^53 as f64, so this int and float compare
+        // equal through the cross-numeric arm — they must hash equal too
+        // (hash-bucketed consumers would otherwise drop data).
+        let i = Value::Int((1i64 << 53) + 1);
+        let f = Value::Float((1i64 << 53) as f64);
+        assert_eq!(i, f);
+        assert_eq!(hash_of(&i), hash_of(&f));
+        // the exact int is equal to the same-valued float as well
+        let i0 = Value::Int(1i64 << 53);
+        assert_eq!(i0, f);
+        assert_eq!(hash_of(&i0), hash_of(&f));
+        // -0.0 and 0.0 are distinct under total_cmp, so they may (and do)
+        // hash apart — and neither breaks the Eq ⟹ equal-hash rule
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
     }
 
     #[test]

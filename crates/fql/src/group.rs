@@ -5,11 +5,27 @@
 //! per distinct key, all wrapped in a database function. No relational
 //! grouping-into-one-table happens; each group stays a first-class
 //! function.
+//!
+//! # Hash bucketing
+//!
+//! Bucketing runs on the same fingerprint-hash machinery as the tuple
+//! [`DataKey`](fdm_core::DataKey) cache: group keys land in an
+//! [`FxHashMap`] keyed by their 64-bit `FxHash`, so placing a tuple costs
+//! one hash + one integer probe instead of the O(log g) full-`Value`
+//! comparisons the previous `BTreeMap` paid per tuple. Full `Value`
+//! equality is consulted **only within a hash bucket** (i.e. on hash
+//! collision), so colliding-but-unequal keys still get separate groups —
+//! forced and pinned by the collision tests, which stub the hash
+//! constant. Output stays deterministic: groups are sorted by key once at
+//! the end, reproducing the `BTreeMap` iteration order byte for byte, and
+//! members keep the relation's key order.
 
+use fdm_core::fxhash::FxHasher;
 use fdm_core::{
-    par_map_chunks, DatabaseF, FdmError, FnValue, Name, ParConfig, RelationBuilder, RelationF,
-    Result, TupleF, Value,
+    par_map_chunks, DatabaseF, FdmError, FnValue, FxHashMap, Name, ParConfig, RelationBuilder,
+    RelationF, Result, TupleF, Value,
 };
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// The result of `group`: the groups, keyed by their grouping value.
@@ -47,12 +63,10 @@ impl Groups {
         self.groups.lookup_all(key)
     }
 
-    /// Iterates `(key, members)` pairs in key order.
+    /// Iterates `(key, members)` pairs in key order (one O(n) walk over
+    /// the stored groups; no per-key lookup).
     pub fn iter(&self) -> impl Iterator<Item = (Value, Vec<Arc<TupleF>>)> + '_ {
-        self.keys().into_iter().map(|k| {
-            let m = self.members(&k);
-            (k, m)
-        })
+        self.groups.iter_groups().map(|(k, g)| (k, g.to_vec()))
     }
 
     /// The underlying multi-body relation function.
@@ -116,15 +130,61 @@ pub fn group_fn(rel: &RelationF, key: impl Fn(&TupleF) -> Result<Value> + Sync) 
     group_fn_named(rel, &["key"], key)
 }
 
+/// The default bucket hash: `FxHash` over the group-key `Value` — the same
+/// hash family the tuple fingerprint cache uses for O(1) inequality
+/// rejection.
+fn fx_hash_value(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// [`group_fn`] with an explicit bucket-hash function.
+///
+/// Exists so tests can **force hash collisions** (e.g. `|_| 0`) and prove
+/// the bucketing still separates unequal keys purely by `Value` equality;
+/// production callers always go through [`group_fn`], which uses `FxHash`.
+#[doc(hidden)]
+pub fn group_fn_with_hasher(
+    rel: &RelationF,
+    key: impl Fn(&TupleF) -> Result<Value> + Sync,
+    hash: impl Fn(&Value) -> u64,
+) -> Result<Groups> {
+    group_fn_hashed(rel, &["key"], key, hash)
+}
+
 fn group_fn_named(
     rel: &RelationF,
     by: &[&str],
     key: impl Fn(&TupleF) -> Result<Value> + Sync,
 ) -> Result<Groups> {
+    group_fn_hashed(rel, by, key, fx_hash_value)
+}
+
+/// One grouping bucket: a distinct key with its members in input order.
+type KeyedGroup = (Value, Vec<Arc<TupleF>>);
+
+fn group_fn_hashed(
+    rel: &RelationF,
+    by: &[&str],
+    key: impl Fn(&TupleF) -> Result<Value> + Sync,
+    hash: impl Fn(&Value) -> u64,
+) -> Result<Groups> {
     let entries = rel.tuples()?;
     let cfg = ParConfig::from_env();
-    let mut buckets: std::collections::BTreeMap<Value, Vec<Arc<TupleF>>> =
-        std::collections::BTreeMap::new();
+    // hash → the distinct keys sharing it (almost always exactly one),
+    // each with its members in input order. Placement costs one hash and
+    // one integer probe; the full `Value` compare runs only against keys
+    // in the same (usually singleton) bucket.
+    let mut buckets: FxHashMap<u64, Vec<KeyedGroup>> =
+        FxHashMap::with_capacity_and_hasher(entries.len().min(1024), Default::default());
+    let mut place = |k: Value, tuple: Arc<TupleF>| {
+        let bucket = buckets.entry(hash(&k)).or_default();
+        match bucket.iter_mut().find(|(bk, _)| *bk == k) {
+            Some((_, members)) => members.push(tuple),
+            None => bucket.push((k, vec![tuple])),
+        }
+    };
     if cfg.should_parallelize(entries.len()) {
         // Key evaluation is the per-entry work; bucket membership order
         // must stay the relation's key order, so chunks (contiguous, in
@@ -143,16 +203,20 @@ fn group_fn_named(
         );
         for run in runs {
             for (k, tuple) in run? {
-                buckets.entry(k).or_default().push(tuple);
+                place(k, tuple);
             }
         }
     } else {
         for (_, tuple) in entries {
             let k = key(&tuple)?;
-            buckets.entry(k).or_default().push(tuple);
+            place(k, tuple);
         }
     }
-    let groups = RelationF::from_groups(format!("{}_groups", rel.name()), by, buckets);
+    // one final sort over the (few) distinct keys restores the
+    // deterministic key order the BTreeMap used to provide
+    let mut groups: Vec<(Value, Vec<Arc<TupleF>>)> = buckets.into_values().flatten().collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    let groups = RelationF::from_groups(format!("{}_groups", rel.name()), by, groups);
     Ok(Groups {
         by: by.iter().map(|b| Name::from(*b)).collect(),
         groups,
@@ -246,5 +310,82 @@ mod tests {
         let g = group(&empty, &["x"]).unwrap();
         assert_eq!(g.group_count(), 0);
         assert!(g.to_database().is_empty());
+    }
+
+    /// The `BTreeMap` idiom hash bucketing replaced, kept as the oracle.
+    fn btreemap_baseline(
+        rel: &RelationF,
+        key: impl Fn(&TupleF) -> Result<Value>,
+    ) -> Vec<(Value, Vec<Arc<TupleF>>)> {
+        let mut buckets: std::collections::BTreeMap<Value, Vec<Arc<TupleF>>> = Default::default();
+        for (_, t) in rel.tuples().unwrap() {
+            buckets.entry(key(&t).unwrap()).or_default().push(t);
+        }
+        buckets.into_iter().collect()
+    }
+
+    fn assert_matches_baseline(g: &Groups, baseline: &[(Value, Vec<Arc<TupleF>>)]) {
+        let got: Vec<(Value, Vec<Arc<TupleF>>)> = g.iter().collect();
+        assert_eq!(got.len(), baseline.len(), "group count");
+        for ((gk, gm), (bk, bm)) in got.iter().zip(baseline) {
+            assert_eq!(gk, bk, "key order");
+            assert_eq!(gm.len(), bm.len(), "member count under {gk}");
+            for (a, b) in gm.iter().zip(bm) {
+                assert!(Arc::ptr_eq(a, b), "member identity and order under {gk}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_bucketing_matches_btreemap_baseline() {
+        let rel = customers();
+        let key = |t: &TupleF| t.get("age");
+        let g = group_fn(&rel, key).unwrap();
+        assert_matches_baseline(&g, &btreemap_baseline(&rel, key));
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_group_together() {
+        // Int(2^53 + 1) and Float(2^53) compare equal as `Value`s (the
+        // int rounds to the float in the cross-numeric arm); the hash
+        // buckets must agree with that equality and produce ONE group
+        // with both members, exactly like the BTreeMap baseline.
+        let rel = RelationF::new("r", &["id"])
+            .insert(
+                Value::Int(1),
+                TupleF::builder("a")
+                    .attr("k", Value::Int((1i64 << 53) + 1))
+                    .build(),
+            )
+            .unwrap()
+            .insert(
+                Value::Int(2),
+                TupleF::builder("b")
+                    .attr("k", Value::Float((1i64 << 53) as f64))
+                    .build(),
+            )
+            .unwrap();
+        let key = |t: &TupleF| t.get("k");
+        let g = group_fn(&rel, key).unwrap();
+        assert_eq!(g.group_count(), 1, "Eq-equal keys share a group");
+        assert_eq!(g.iter().next().unwrap().1.len(), 2, "no member dropped");
+        assert_matches_baseline(&g, &btreemap_baseline(&rel, key));
+    }
+
+    #[test]
+    fn forced_hash_collisions_still_separate_unequal_keys() {
+        // A constant hash lands every key in one bucket: separation now
+        // rests entirely on the full-`Value` compare inside the bucket.
+        let rel = customers();
+        let key = |t: &TupleF| t.get("age");
+        let collided = group_fn_with_hasher(&rel, key, |_| 0).unwrap();
+        assert_eq!(collided.group_count(), 2, "30 and 43 stay separate");
+        assert_matches_baseline(&collided, &btreemap_baseline(&rel, key));
+        // and the collided output is identical to the production FxHash one
+        let normal = group_fn(&rel, key).unwrap();
+        assert_eq!(collided.keys(), normal.keys());
+        for k in collided.keys() {
+            assert_eq!(collided.members(&k).len(), normal.members(&k).len());
+        }
     }
 }

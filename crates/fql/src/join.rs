@@ -16,6 +16,16 @@
 //! once per (relation, attribute) by the internal `Qualifier` — not re-formatted per
 //! tuple — and results are assembled through [`fdm_core::RelationBuilder`]'s
 //! O(n) bulk path.
+//!
+//! **Join order** is cost-modeled: among the relationships connected to
+//! the already-bound relations, [`join`] binds the one with the smallest
+//! estimated output-row count, computed from the per-relationship
+//! fan-out statistics every [`RelationshipF`] maintains
+//! ([`fdm_core::stats`]) — not from raw entry counts, which ignore how
+//! many working rows each entry multiplies into. The chosen order affects
+//! cost only: the produced denormalized rows are identical for every
+//! order (pinned by `tests/tests/join_planning.rs`), with row numbering
+//! and attribute order following the executed order.
 
 use fdm_core::{
     par_map_chunks, DatabaseF, FdmError, FxHashMap, Name, ParConfig, RelationBuilder, RelationF,
@@ -147,9 +157,15 @@ pub fn join(db: &DatabaseF) -> Result<RelationF> {
     let mut pending: Vec<(Name, Arc<RelationshipF>)> = relationships;
     // Process relationships, preferring ones that share a participant with
     // what is already bound (so chains connect instead of going cartesian),
-    // and among those the one with the fewest entries — joining the most
-    // selective relationship first keeps the working row set small for
-    // every later probe. Ties keep declaration order (stable `min_by_key`).
+    // and among those the one with the smallest **estimated output rows**
+    // (working rows × average fan-out of the bound side, from the
+    // relationship's maintained `fdm_core::stats`) — joining the cheapest
+    // relationship first keeps the working row set small for every later
+    // probe. `FDM_JOIN_COST=entries` falls back to the PR 2 raw-entry-count
+    // heuristic (the pinning tests drive both and prove the produced rows
+    // are identical either way). Ties keep declaration order (`min_by`
+    // returns the first minimum).
+    let cost_by_entries = std::env::var("FDM_JOIN_COST").is_ok_and(|v| v == "entries");
     while !pending.is_empty() {
         let bound_rels: std::collections::BTreeSet<Name> = rows
             .first()
@@ -160,22 +176,46 @@ pub fn join(db: &DatabaseF) -> Result<RelationF> {
                 .iter()
                 .any(|p| bound_rels.contains(&p.function))
         };
-        let idx = pending
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, rsf))| connected(rsf))
-            .min_by_key(|(_, (_, rsf))| rsf.len())
-            .map(|(i, _)| i)
-            .unwrap_or_else(|| {
-                // nothing connects (the first pick, or a disconnected
-                // component): start from the smallest relationship
-                pending
+        // Estimated rows after binding this relationship: bound positions
+        // are the participants backed by an already-bound relation. With
+        // nothing bound the estimate degenerates to rows × entries, so the
+        // disconnected fallback still starts from the smallest relationship.
+        let estimate = |rsf: &RelationshipF| -> f64 {
+            if cost_by_entries {
+                return rsf.len() as f64;
+            }
+            let bound_positions: Vec<usize> = rsf
+                .participants()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| bound_rels.contains(&p.function))
+                .map(|(i, _)| i)
+                .collect();
+            rsf.stats().estimate_join_rows(rows.len(), &bound_positions)
+        };
+        let cheapest = |candidates: &mut dyn Iterator<Item = (usize, f64)>| {
+            candidates
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"))
+                .map(|(i, _)| i)
+        };
+        let idx = cheapest(
+            &mut pending
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, rsf))| connected(rsf))
+                .map(|(i, (_, rsf))| (i, estimate(rsf))),
+        )
+        .unwrap_or_else(|| {
+            // nothing connects (the first pick, or a disconnected
+            // component): start from the cheapest generator
+            cheapest(
+                &mut pending
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, (_, rsf))| rsf.len())
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            });
+                    .map(|(i, (_, rsf))| (i, estimate(rsf))),
+            )
+            .unwrap_or(0)
+        });
         let (rname, rsf) = pending.remove(idx);
         // The bound set only exists to connect later relationships; the
         // last one can skip maintaining it.
@@ -577,7 +617,13 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
         // prepared attribute run
         let build = crate::filter::with_inlined_keys(db.relation(build_rel)?.as_ref())?;
         let mut build_qual = Qualifier::new(build_rel);
-        let mut table: FxHashMap<Value, Vec<AttrRun>> = FxHashMap::default();
+        // pre-size the hash table from the stats layer's distinct-count
+        // estimate — the table holds one entry per distinct join-attribute
+        // value, not one per row (exact for key/unique attrs)
+        let mut table: FxHashMap<Value, Vec<AttrRun>> = FxHashMap::with_capacity_and_hasher(
+            fdm_core::estimate_distinct(&build, build_attr),
+            Default::default(),
+        );
         for (_, t) in build.tuples()? {
             let mut attrs = Vec::new();
             build_qual.qualify(&t, &mut attrs)?;

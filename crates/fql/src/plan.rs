@@ -465,6 +465,79 @@ impl Query {
         }
     }
 
+    /// Estimated output cardinality of this plan against `db`, from
+    /// [`fdm_core::stats`] — O(plan size), never touching a tuple:
+    ///
+    /// * `Scan` — the relation's stored cardinality;
+    /// * `Filter` — input × [`fdm_core::stats::DEFAULT_FILTER_SELECTIVITY`];
+    /// * `Project` / `OrderBy` — pass-through;
+    /// * `Join` — input × right rows / distinct(right attr), with the
+    ///   distinct count from [`fdm_core::estimate_distinct`] (exact for key
+    ///   and uniquely constrained attributes);
+    /// * `GroupAgg` — one row per estimated distinct key;
+    /// * `Limit` — min(k, input).
+    ///
+    /// Estimates steer cost comparisons (see
+    /// [`Self::explain_with_cost`]); they never change what a plan
+    /// produces.
+    pub fn estimated_rows(&self, db: &DatabaseF) -> Result<f64> {
+        use fdm_core::stats::{DEFAULT_DISTINCT_FRACTION, DEFAULT_FILTER_SELECTIVITY};
+        Ok(match self {
+            Query::Scan { rel } => {
+                fdm_core::RelationStats::of(db.relation(rel)?.as_ref()).rows as f64
+            }
+            Query::Filter { input, .. } => input.estimated_rows(db)? * DEFAULT_FILTER_SELECTIVITY,
+            Query::Project { input, .. } | Query::OrderBy { input, .. } => {
+                input.estimated_rows(db)?
+            }
+            Query::Join {
+                input,
+                rel,
+                rel_attr,
+                ..
+            } => {
+                let left = input.estimated_rows(db)?;
+                let right = db.relation(rel)?;
+                let rows = fdm_core::RelationStats::of(&right).rows;
+                let distinct = fdm_core::estimate_distinct(&right, rel_attr).max(1);
+                left * rows as f64 / distinct as f64
+            }
+            Query::GroupAgg { input, .. } => {
+                let rows = input.estimated_rows(db)?;
+                if rows <= 1.0 {
+                    rows
+                } else {
+                    (rows / DEFAULT_DISTINCT_FRACTION as f64).max(1.0)
+                }
+            }
+            Query::Limit { input, k } => input.estimated_rows(db)?.min(*k as f64),
+        })
+    }
+
+    /// [`Self::explain`] with the estimated cardinality annotated per
+    /// operator (`~N rows`) — the cost-model view of the plan, next to
+    /// [`Self::eval_with_stats`]'s measured one.
+    pub fn explain_with_cost(&self, db: &DatabaseF) -> Result<String> {
+        fn go(q: &Query, db: &DatabaseF, depth: usize, out: &mut String) -> Result<()> {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&q.describe());
+            out.push_str(&format!("  ~{:.0} rows\n", q.estimated_rows(db)?));
+            match q {
+                Query::Scan { .. } => {}
+                Query::Filter { input, .. }
+                | Query::Project { input, .. }
+                | Query::Join { input, .. }
+                | Query::GroupAgg { input, .. }
+                | Query::OrderBy { input, .. }
+                | Query::Limit { input, .. } => go(input, db, depth + 1, out)?,
+            }
+            Ok(())
+        }
+        let mut s = String::new();
+        go(self, db, 0, &mut s)?;
+        Ok(s)
+    }
+
     /// Pretty-prints the plan tree, one operator per line, leaves deepest.
     pub fn explain(&self) -> String {
         fn go(q: &Query, depth: usize, out: &mut String) {
@@ -669,6 +742,39 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.stored_keys(), b.stored_keys());
         assert_eq!(a.stored_keys(), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn cost_estimates_from_stats() {
+        let db = order_rel_db();
+        // scan estimate is the exact cardinality
+        let scan = Query::scan("customers");
+        assert_eq!(scan.estimated_rows(&db).unwrap(), 3.0);
+        // joining through a key attribute has fan-out 1: estimate equals
+        // the left side
+        let join = Query::scan("orders").join("customers", "cid", "cid");
+        assert_eq!(join.estimated_rows(&db).unwrap(), 3.0);
+        // a filter shrinks the estimate; pushdown therefore estimates
+        // cheaper intermediate work than the declared order measures
+        let q = join
+            .clone()
+            .filter("date == '2026-01-05'", Params::new())
+            .unwrap();
+        let opt = q.clone().optimize();
+        let declared_join_est = join.estimated_rows(&db).unwrap();
+        // in the optimized plan the join sits above the filter
+        let Query::Join { input, .. } = &opt else {
+            panic!("optimized plan should be a join on top: {}", opt.explain());
+        };
+        assert!(
+            input.estimated_rows(&db).unwrap() < declared_join_est,
+            "filter below the join shrinks its input estimate"
+        );
+        // estimation never changes results
+        assert_eq!(q.eval(&db).unwrap().len(), opt.eval(&db).unwrap().len());
+        let annotated = opt.explain_with_cost(&db).unwrap();
+        assert!(annotated.contains("~"), "{annotated}");
+        assert!(annotated.contains("rows"), "{annotated}");
     }
 
     #[test]

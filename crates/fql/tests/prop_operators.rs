@@ -2,11 +2,15 @@
 //! relations: filters are idempotent and commute, grouping partitions,
 //! sorting permutes, set operations satisfy lattice laws.
 
-use fdm_core::{DatabaseF, RelationF, TupleF, Value};
+use fdm_core::{
+    DatabaseF, Domain, Participant, RelationF, RelationshipBuilder, RelationshipF, SharedDomain,
+    TupleF, Value, ValueType,
+};
 use fdm_fql::prelude::*;
 use fdm_fql::{aggregate, group, semijoin, Order};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A random small relation of (id, score, tag) tuples.
 fn relation_strategy() -> impl Strategy<Value = RelationF> {
@@ -181,6 +185,59 @@ proptest! {
         let db = DatabaseF::new("d").with_relation(rel);
         let copy = deep_copy(&db).unwrap();
         prop_assert!(difference(&db, &copy).unwrap().is_empty());
+    }
+
+    /// Relationship bulk construction ≡ the insert loop, mirroring the
+    /// relation-side `from_sorted_equals_insert_loop`: same entries, same
+    /// iteration order, same statistics — from sorted input
+    /// (`RelationshipF::from_sorted`), from shuffled input (the
+    /// sort-detecting `RelationshipBuilder`), and from one persistent
+    /// insert at a time.
+    #[test]
+    fn relationship_from_sorted_equals_insert(
+        pairs in prop::collection::btree_map((0i64..20, 0i64..20), 1i64..100, 0..40)
+    ) {
+        let participants = || {
+            vec![
+                Participant::new("customers", "cid", SharedDomain::new("cid", Domain::Typed(ValueType::Int))),
+                Participant::new("products", "pid", SharedDomain::new("pid", Domain::Typed(ValueType::Int))),
+            ]
+        };
+        let entries: Vec<(Vec<Value>, Arc<TupleF>)> = pairs
+            .iter()
+            .map(|(&(c, p), &q)| {
+                (
+                    vec![Value::Int(c), Value::Int(p)],
+                    Arc::new(TupleF::builder("o").attr("quantity", q).build()),
+                )
+            })
+            .collect();
+
+        let mut reference = RelationshipF::new("order", participants());
+        for (args, attrs) in &entries {
+            reference = reference.insert(args, (**attrs).clone()).unwrap();
+        }
+        // btree_map iterates keys ascending → entries satisfy from_sorted's
+        // strict ordering contract
+        let bulk = RelationshipF::from_sorted("order", participants(), entries.clone()).unwrap();
+        // the builder sees the entries in reversed (worst-case) order
+        let mut b = RelationshipBuilder::new("order", participants());
+        for (args, attrs) in entries.iter().rev() {
+            b.push_arc(args, attrs.clone()).unwrap();
+        }
+        let built = b.build().unwrap();
+
+        for other in [&bulk, &built] {
+            prop_assert_eq!(other.len(), reference.len());
+            for ((a_args, a_t), (b_args, b_t)) in other.iter().zip(reference.iter()) {
+                prop_assert_eq!(&a_args, &b_args);
+                prop_assert!(a_t.eq_data(&b_t));
+            }
+            prop_assert_eq!(other.stats().entries(), reference.stats().entries());
+            for pos in 0..2 {
+                prop_assert_eq!(other.stats().distinct(pos), reference.stats().distinct(pos));
+            }
+        }
     }
 
     /// The cached data-key fingerprint is indistinguishable from a

@@ -5,7 +5,7 @@
 
 use crate::zipf::Zipf;
 use fdm_core::{
-    Constraint, DatabaseF, Domain, Participant, RelationBuilder, RelationshipF, SharedDomain,
+    Constraint, DatabaseF, Domain, Participant, RelationBuilder, RelationshipBuilder, SharedDomain,
     TupleF, Value, ValueType,
 };
 use fdm_relational::{Cell, Relation, Schema};
@@ -175,24 +175,30 @@ pub fn to_fdm(data: &RetailData) -> DatabaseF {
             Constraint::attr_domain("category", Domain::Typed(ValueType::Str)),
         ])
         .expect("generated products satisfy the retail schema");
-    let mut order = RelationshipF::new(
+    // Orders arrive in generation (random) order; the relationship
+    // builder sorts once and bulk-builds the entry map and its fan-out
+    // statistics in one pass, instead of one persistent insert (plus one
+    // stats update) per entry.
+    let mut order = RelationshipBuilder::new(
         "order",
         vec![
             Participant::new("customers", "cid", cid_dom.clone()),
             Participant::new("products", "pid", pid_dom.clone()),
         ],
-    );
+    )
+    .with_capacity(data.orders.len());
     for (cid, pid, date, qty) in &data.orders {
-        order = order
-            .insert(
+        order
+            .push(
                 &[Value::Int(*cid), Value::Int(*pid)],
                 TupleF::builder("o")
                     .attr("date", date.as_str())
                     .attr("quantity", *qty)
                     .build(),
             )
-            .expect("generator emits unique (cid, pid)");
+            .expect("generated keys lie in the shared domains");
     }
+    let order = order.build().expect("generator emits unique (cid, pid)");
     DatabaseF::new("shop")
         .with_domain(cid_dom)
         .with_domain(pid_dom)

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Markdown link-liveness check for the repo's narrative docs.
+#
+# Extracts every inline markdown link target from the listed files and
+# verifies that relative targets exist in the working tree (anchors and
+# external URLs are skipped — the build environment is offline). Fails
+# with a list of dead links, so CI catches a renamed crate directory or a
+# moved pinning test the moment a doc goes stale.
+#
+#   scripts/check_links.sh [file.md ...]   # defaults to the repo's docs
+
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md ROADMAP.md CHANGES.md)
+fi
+
+fail=0
+for f in "${files[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "check_links: missing doc file $f"
+        fail=1
+        continue
+    fi
+    # inline links: [text](target) — tolerate several per line
+    targets=$(grep -o '\](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;   # external: offline env
+            \#*) continue ;;                            # intra-doc anchor
+        esac
+        path="${target%%#*}"                            # strip anchors
+        [ -z "$path" ] && continue
+        if [ ! -e "$path" ]; then
+            echo "check_links: $f → dead link: $target"
+            fail=1
+        fi
+    done <<< "$targets"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_links: FAILED"
+    exit 1
+fi
+echo "check_links: ok (${files[*]})"
