@@ -26,6 +26,11 @@
 //!   and the schema join on a fan-out-skewed multi-relationship database
 //!   under the old raw-entry-count ordering (`FDM_JOIN_COST=entries`) vs
 //!   the statistics-driven ordering (`fdm_core::stats`).
+//! * **PR 5 (plan-level join reordering)** — a lazy `Query` with two
+//!   chained joins on a fan-out-skewed relation database, executed in
+//!   declared order vs the order `Query::optimize_for` picks from the
+//!   distinct-count sketches (canonical row ids make the two plans
+//!   produce identical keyed data; the sanity block asserts it).
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
@@ -439,6 +444,50 @@ fn join_order_db(n: usize) -> DatabaseF {
         .with_relationship(r3.build().expect("unique"))
 }
 
+/// A relation database where the declared plan-level join order is the
+/// expensive one (the `plan_reordering` test scenario, scaled): `base`
+/// rows fan out 10× into `wide.k` (a non-key attribute whose distinct
+/// count only the sketch can see) but exactly 1× into `narrow.k2`. The
+/// declared query binds `wide` first and multiplies the working rows
+/// tenfold before the cheap extension; `Query::optimize_for` swaps the
+/// two joins.
+fn plan_reorder_db(n: usize) -> fdm_core::DatabaseF {
+    use fdm_core::RelationBuilder;
+    let seeds = (n / 10).max(50) as i64;
+    let mut base = RelationBuilder::new("base", &["id"]);
+    for i in 1..=seeds {
+        base.push(
+            Value::Int(i),
+            TupleF::builder("b").attr("wk", i).attr("nk", i).build(),
+        );
+    }
+    let mut wide = RelationBuilder::new("wide", &["wid"]);
+    let mut wid = 0i64;
+    for k in 1..=seeds {
+        for _ in 0..10 {
+            wid += 1;
+            wide.push(
+                Value::Int(wid),
+                TupleF::builder("w").attr("k", k).attr("wv", wid).build(),
+            );
+        }
+    }
+    let mut narrow = RelationBuilder::new("narrow", &["nid"]);
+    for k in 1..=seeds {
+        narrow.push(
+            Value::Int(k),
+            TupleF::builder("nr")
+                .attr("k2", k)
+                .attr("nv", k * 7)
+                .build(),
+        );
+    }
+    DatabaseF::new("plan_reorder")
+        .with_relation(base.build().expect("ascending keys"))
+        .with_relation(wide.build().expect("ascending keys"))
+        .with_relation(narrow.build().expect("ascending keys"))
+}
+
 /// Runs `f` with `FDM_JOIN_COST` pinned (the join planner reads it per
 /// call), restoring the previous value afterwards.
 fn with_join_cost<T>(mode: Option<&str>, f: impl FnOnce() -> T) -> T {
@@ -508,6 +557,7 @@ struct GateMetrics {
     deep_copy_speedup: f64,
     group_speedup: f64,
     join_order_speedup: f64,
+    plan_reorder_speedup: f64,
 }
 
 /// One scale's measurements, as a JSON object string plus the gate ratios.
@@ -645,6 +695,25 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         })
     });
 
+    // PR 5: lazy-plan joins in declared order vs the sketch-driven order
+    // `optimize_for` picks (both plans computed once, outside the
+    // timings; canonical row ids make the outputs identical keyed data).
+    let reorder_db = plan_reorder_db(orders);
+    let plan_q = fdm_fql::plan::Query::scan("base")
+        .join("wide", "wk", "k")
+        .join("narrow", "nk", "k2");
+    let plan_reordered = plan_q.clone().optimize_for(&reorder_db);
+    let reorder_declared = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(plan_q.eval(&reorder_db).unwrap());
+        })
+    });
+    let reorder_optimized = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(plan_reordered.eval(&reorder_db).unwrap());
+        })
+    });
+
     // PR 3: deep_copy sequential vs thread-chunked. The cutoff is pinned
     // low so the chunked path is exercised at every scale (the CI smoke
     // scale sits below the production cutoff).
@@ -717,6 +786,21 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         keys
     };
     assert_eq!(data_keys(&je), data_keys(&js), "join plans diverge in data");
+    // the reordered lazy plan must genuinely differ from the declared one
+    // and still produce identical keyed data (canonical row ids)
+    assert_ne!(
+        plan_q.explain(),
+        plan_reordered.explain(),
+        "optimize_for should reorder the skewed plan"
+    );
+    let pd = plan_q.eval(&reorder_db).unwrap();
+    let po = plan_reordered.eval(&reorder_db).unwrap();
+    assert_eq!(pd.stored_keys(), po.stored_keys(), "canonical ids agree");
+    assert_eq!(
+        data_keys(&pd),
+        data_keys(&po),
+        "plan reorder diverges in data"
+    );
 
     let gate = GateMetrics {
         union_speedup: union_insert / union_merge,
@@ -725,9 +809,10 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         deep_copy_speedup: deep_copy_seq / deep_copy_par,
         group_speedup: group_btree / group_hash,
         join_order_speedup: join_by_entries / join_by_stats,
+        plan_reorder_speedup: reorder_declared / reorder_optimized,
     };
     let json = format!(
-        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }}\n    }}",
+        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }}\n    }}",
         before_filter / seq_filter,
         before_join / seq_join,
         seq_filter / par_filter,
@@ -738,6 +823,7 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         gate.deep_copy_speedup,
         gate.group_speedup,
         gate.join_order_speedup,
+        gate.plan_reorder_speedup,
     );
     (json, gate)
 }
@@ -767,7 +853,7 @@ fn main() {
     }
     let entry = if quick {
         format!(
-            "{{\n  \"entry\": \"pr4_join_cost_model_hash_grouping\",\n  \"scales\": [\n{}\n  ]\n}}",
+            "{{\n  \"entry\": \"pr5_plan_reorder_distinct_sketch\",\n  \"scales\": [\n{}\n  ]\n}}",
             scale_reports.join(",\n")
         )
     } else {
@@ -778,7 +864,7 @@ fn main() {
         // the CI quick run reproduces.
         let (baseline, _) = measure_scale(2_000, samples, par_threads);
         format!(
-            "{{\n  \"entry\": \"pr4_join_cost_model_hash_grouping\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
+            "{{\n  \"entry\": \"pr5_plan_reorder_distinct_sketch\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
             scale_reports.join(",\n")
         )
     };
@@ -789,13 +875,14 @@ fn main() {
         // object, one `<metric>_speedup` key per gated ratio.
         let g = last_gate.expect("at least one scale ran");
         let summary = format!(
-            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3}\n}}\n",
+            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3}\n}}\n",
             g.union_speedup,
             g.minus_speedup,
             g.intersect_speedup,
             g.deep_copy_speedup,
             g.group_speedup,
             g.join_order_speedup,
+            g.plan_reorder_speedup,
         );
         std::fs::write(quick_out, summary).expect("write quick summary");
         println!("wrote {quick_out}");

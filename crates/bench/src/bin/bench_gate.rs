@@ -38,6 +38,26 @@ const METRICS: [&str; 5] = [
     "group_speedup",
 ];
 
+/// Ratios gated only once the committed trajectory has **two or more
+/// entries** recording them: a single entry is the ratio's own birth
+/// measurement, with no independent baseline to regress against.
+/// `plan_reorder_speedup` (declared vs `optimize_for` join order, PR 5)
+/// is recorded in its introducing PR and arms — under the same tolerance
+/// as everything else — the first time a later full run re-records it.
+const ARMED_METRICS: [&str; 1] = ["plan_reorder_speedup"];
+
+/// Number of trajectory entries (objects carrying an `"entry"` tag) that
+/// record `key`. An entry's `quick_gate_baseline` counts toward the same
+/// entry, not a separate one.
+fn entries_recording(trajectory: &str, key: &str) -> usize {
+    let needle = format!("\"{key}\"");
+    trajectory
+        .split("\"entry\"")
+        .skip(1)
+        .filter(|segment| segment.contains(&needle))
+        .count()
+}
+
 /// Finds the number following the last `"key":` occurrence in `text`.
 fn last_value(text: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\"");
@@ -110,6 +130,32 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    for metric in ARMED_METRICS {
+        let recorded = entries_recording(&trajectory, metric);
+        if recorded < 2 {
+            println!(
+                "{metric:<20} {:>10} {:>10} {:>8}  recorded ({recorded}/2 entries; gate arms at 2)",
+                "-", "-", "-"
+            );
+            continue;
+        }
+        let (Some(committed), Some(current)) =
+            (last_value(&trajectory, metric), last_value(&quick, metric))
+        else {
+            println!("{metric:<20} {:>10} {:>10} {:>8}  MISSING", "-", "-", "-");
+            failed = true;
+            continue;
+        };
+        let ratio = current / committed;
+        let ok = ratio >= 1.0 - tolerance;
+        println!(
+            "{metric:<20} {committed:>9.2}x {current:>9.2}x {ratio:>8.2}  {} (armed)",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failed = true;
+        }
+    }
     if failed {
         eprintln!(
             "bench_gate: FAILED — a gated speedup regressed by more than {:.0}% \
@@ -142,5 +188,26 @@ mod tests {
         assert_eq!(last_value(r#"{"x": 1.5}"#, "x"), Some(1.5));
         assert_eq!(last_value(r#"{"x":3}"#, "x"), Some(3.0));
         assert_eq!(last_value(r#"{"x": 0.73, "y": 2}"#, "x"), Some(0.73));
+    }
+
+    #[test]
+    fn armed_metrics_count_recording_entries() {
+        // one entry records the metric (its quick_gate_baseline repeats it
+        // inside the *same* entry) → not yet armed
+        let one = r#"[
+  { "entry": "pr4", "scales": [ { "union_speedup": 2.0 } ] },
+  { "entry": "pr5", "scales": [ { "plan_reorder_speedup": 1.4 } ],
+    "quick_gate_baseline": { "plan_reorder_speedup": 1.5 } }
+]"#;
+        assert_eq!(entries_recording(one, "plan_reorder_speedup"), 1);
+        assert_eq!(entries_recording(one, "union_speedup"), 1);
+        // a second full run re-records it → armed
+        let two = format!(
+            "{},\n{}",
+            one.trim_end_matches(']'),
+            r#"{ "entry": "pr6", "scales": [ { "plan_reorder_speedup": 1.6 } ] } ]"#
+        );
+        assert_eq!(entries_recording(&two, "plan_reorder_speedup"), 2);
+        assert_eq!(entries_recording(&two, "missing"), 0);
     }
 }

@@ -83,7 +83,10 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use par::{par_map_chunks, ParConfig, ParallelBuilder};
 pub use relation::{RelationBuilder, RelationF};
 pub use relationship::{Participant, RelationshipBuilder, RelationshipF};
-pub use stats::{estimate_distinct, RelationStats, RelationshipStats};
+pub use stats::{
+    distinct_hint, estimate_distinct, AttrSketches, DistinctSketch, RelationStats,
+    RelationshipStats,
+};
 pub use tuple::{DataKey, TupleBuilder, TupleF};
 pub use types::ValueType;
 pub use value::Value;

@@ -21,11 +21,12 @@ use crate::constraint::Constraint;
 use crate::domain::Domain;
 use crate::error::{FdmError, Name, Result};
 use crate::function::Function;
+use crate::stats::AttrSketches;
 use crate::tuple::TupleF;
 use crate::value::Value;
 use fdm_storage::PMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The body of a computed relation function.
 pub type ComputedRel = Arc<dyn Fn(&Value) -> Result<Value> + Send + Sync>;
@@ -75,6 +76,13 @@ pub struct RelationF {
     /// attribute value(s) to the primary key that holds them.
     unique_indexes: Arc<[PMap<Value, Value>]>,
     body: Body,
+    /// Lazily computed per-attribute distinct-count sketches
+    /// ([`AttrSketches`]), under the same freshness-by-construction
+    /// contract as the tuple fingerprint cache: every construction and
+    /// mutation path starts a fresh empty cell, so a filled cache always
+    /// describes exactly this value's stored tuples. `Clone` carries a
+    /// filled cache over, which is sound — the clone's body is identical.
+    sketches: OnceLock<Arc<AttrSketches>>,
 }
 
 impl RelationF {
@@ -87,6 +95,7 @@ impl RelationF {
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
             body: Body::Unique(PMap::new()),
+            sketches: OnceLock::new(),
         }
     }
 
@@ -110,6 +119,7 @@ impl RelationF {
                 domain,
                 f: Arc::new(f),
             },
+            sketches: OnceLock::new(),
         }
     }
 
@@ -142,6 +152,7 @@ impl RelationF {
                 domain,
                 fallback: Arc::new(fallback),
             },
+            sketches: OnceLock::new(),
         })
     }
 
@@ -187,6 +198,7 @@ impl RelationF {
             constraints: constraints.into(),
             unique_indexes: indexes.into(),
             body: self.body.clone(),
+            sketches: OnceLock::new(),
         })
     }
 
@@ -210,6 +222,27 @@ impl RelationF {
     /// The declared constraints.
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
+    }
+
+    /// The per-attribute distinct-count sketches of this relation value,
+    /// computing them on first use from the stored tuples' cached
+    /// fingerprints (an O(n) scan, amortized: every later call on this
+    /// value — and on any clone sharing the cache — is O(1)). Mutations
+    /// never see a stale cache: each mutation path constructs a new
+    /// `RelationF` with a fresh empty cell (freshness by construction,
+    /// exactly like the tuple fingerprint cache). Computed bodies have no
+    /// enumerable stored part and sketch empty.
+    pub fn attr_sketches(&self) -> &AttrSketches {
+        self.sketches
+            .get_or_init(|| Arc::new(AttrSketches::from_stored(self.iter_stored())))
+    }
+
+    /// The sketches if they have already been computed for this value
+    /// (`None` otherwise) — the strictly-O(1) read used by capacity-hint
+    /// callers that must never trigger the analyze scan
+    /// ([`crate::stats::distinct_hint`]).
+    pub fn attr_sketches_cached(&self) -> Option<&AttrSketches> {
+        self.sketches.get().map(|s| s.as_ref())
     }
 
     /// Number of *stored* tuples (0 for fully computed bodies; the
@@ -266,6 +299,7 @@ impl RelationF {
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
             body: Body::Unique(map),
+            sketches: OnceLock::new(),
         }
     }
 
@@ -469,6 +503,7 @@ impl RelationF {
             constraints: self.constraints.clone(),
             unique_indexes: unique_indexes.into(),
             body,
+            sketches: OnceLock::new(),
         }
     }
 
@@ -691,6 +726,7 @@ impl RelationF {
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
             body: Body::Multi(bulk_group_sorted(keyed)),
+            sketches: OnceLock::new(),
         })
     }
 
@@ -719,6 +755,7 @@ impl RelationF {
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
             body: Body::Multi(PMap::from_sorted_vec(entries)),
+            sketches: OnceLock::new(),
         }
     }
 
@@ -738,6 +775,7 @@ impl RelationF {
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
             body: Body::Unique(PMap::from_sorted_vec(entries)),
+            sketches: OnceLock::new(),
         }
     }
 
@@ -874,6 +912,7 @@ impl RelationBuilder {
             constraints: Arc::from([]),
             unique_indexes: Arc::from([]),
             body: Body::Unique(PMap::from_sorted_vec(entries)),
+            sketches: OnceLock::new(),
         })
     }
 

@@ -36,15 +36,13 @@
 use crate::domain::Domain;
 use crate::error::{FdmError, Name, Result};
 use crate::function::Function;
-use crate::fxhash::FxHasher;
 use crate::value::Value;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
 /// A tuple's canonical data fingerprint: the sorted-attribute data key
-/// (see [`TupleF::data_key`]) together with a precomputed [`FxHasher`]
-/// hash of it. Two fingerprints are equal iff the data keys are equal;
+/// (see [`TupleF::data_key`]) together with its precomputed
+/// [`Value::fx_hash`]. Two fingerprints are equal iff the data keys are equal;
 /// the hash makes the (overwhelmingly common) *unequal* case a single
 /// integer comparison.
 #[derive(Clone, Debug)]
@@ -296,14 +294,10 @@ impl TupleF {
     pub fn fingerprint(&self) -> Result<&DataKey> {
         if self.data_key_cache.get().is_none() {
             let key = self.compute_data_key()?;
-            let mut h = FxHasher::default();
-            key.hash(&mut h);
+            let hash = key.fx_hash();
             // a racing thread may have set it first — identical value,
             // so losing the race is fine
-            let _ = self.data_key_cache.set(DataKey {
-                hash: h.finish(),
-                key,
-            });
+            let _ = self.data_key_cache.set(DataKey { hash, key });
         }
         Ok(self.data_key_cache.get().expect("set above"))
     }

@@ -42,6 +42,17 @@ pub enum Value {
 }
 
 impl Value {
+    /// The value's 64-bit [`FxHasher`](crate::fxhash::FxHasher) hash —
+    /// **the** hash every internal consumer must share (the tuple
+    /// fingerprint cache, hash-bucketed grouping, the distinct-count
+    /// sketches), so a value hashes identically everywhere. Honors this
+    /// type's cross-type numeric `Eq`: `Eq ⟹ equal hash`.
+    pub fn fx_hash(&self) -> u64 {
+        let mut h = crate::fxhash::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// Builds a string value.
     pub fn str(s: impl AsRef<str>) -> Value {
         Value::Str(Arc::from(s.as_ref()))

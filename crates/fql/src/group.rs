@@ -20,12 +20,10 @@
 //! the end, reproducing the `BTreeMap` iteration order byte for byte, and
 //! members keep the relation's key order.
 
-use fdm_core::fxhash::FxHasher;
 use fdm_core::{
     par_map_chunks, DatabaseF, FdmError, FnValue, FxHashMap, Name, ParConfig, RelationBuilder,
     RelationF, Result, TupleF, Value,
 };
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// The result of `group`: the groups, keyed by their grouping value.
@@ -130,13 +128,10 @@ pub fn group_fn(rel: &RelationF, key: impl Fn(&TupleF) -> Result<Value> + Sync) 
     group_fn_named(rel, &["key"], key)
 }
 
-/// The default bucket hash: `FxHash` over the group-key `Value` — the same
-/// hash family the tuple fingerprint cache uses for O(1) inequality
-/// rejection.
+/// The default bucket hash: [`Value::fx_hash`] — the one shared hash the
+/// tuple fingerprint cache and the distinct-count sketches also use.
 fn fx_hash_value(v: &Value) -> u64 {
-    let mut h = FxHasher::default();
-    v.hash(&mut h);
-    h.finish()
+    v.fx_hash()
 }
 
 /// [`group_fn`] with an explicit bucket-hash function.

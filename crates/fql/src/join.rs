@@ -615,13 +615,19 @@ pub fn join_on(db: &DatabaseF, conditions: &[JoinOn]) -> Result<RelationF> {
         // hash-build the new side by its join attribute (keys inlined),
         // qualifying each build tuple once — probe hits just clone the
         // prepared attribute run
-        let build = crate::filter::with_inlined_keys(db.relation(build_rel)?.as_ref())?;
+        let build_src = db.relation(build_rel)?;
+        let build = crate::filter::with_inlined_keys(build_src.as_ref())?;
         let mut build_qual = Qualifier::new(build_rel);
         // pre-size the hash table from the stats layer's distinct-count
-        // estimate — the table holds one entry per distinct join-attribute
-        // value, not one per row (exact for key/unique attrs)
+        // *hint* — the table holds one entry per distinct join-attribute
+        // value, not one per row (exact for key/unique attrs). The hint
+        // is read off the database's own relation value (same rows, same
+        // distinct counts as the inlined working copy — whose caches are
+        // always fresh-empty) so it can see sketches a planner already
+        // computed there; it never triggers the O(n) sketch build itself,
+        // because a capacity guess is not worth an analyze scan per join.
         let mut table: FxHashMap<Value, Vec<AttrRun>> = FxHashMap::with_capacity_and_hasher(
-            fdm_core::estimate_distinct(&build, build_attr),
+            fdm_core::distinct_hint(&build_src, build_attr),
             Default::default(),
         );
         for (_, t) in build.tuples()? {

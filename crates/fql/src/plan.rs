@@ -4,12 +4,32 @@
 //! be pushed down to the database system which can then optimize the
 //! expression". [`Query`] is that deferred expression: a tree of operators
 //! that *looks* like eager host-language calls but is only executed on
-//! [`Query::eval`] — and [`Query::optimize`] may rewrite it first
-//! (filter fusion, predicate pushdown through projections and joins).
+//! [`Query::eval`] — and [`Query::optimize`] / [`Query::optimize_for`]
+//! may rewrite it first (filter fusion, predicate pushdown through
+//! projections and joins, and — with database statistics in hand —
+//! reordering of adjacent joins by estimated output rows).
 //!
 //! The executor is deliberately simple (left-deep hash joins); the point
-//! is the *optimization space*, which the `fig6` ablation bench measures
-//! (optimized vs. declared order).
+//! is the *optimization space*, which the `fig6` ablation bench and the
+//! `bench_bulk` `fig6_plan_reorder` series measure (optimized vs.
+//! declared order).
+//!
+//! # Canonical row ids
+//!
+//! What makes join reordering *legal* here is the canonical-row-id
+//! scheme: a [`Query::Join`] keys each output row by its tuple's cached
+//! `DataKey` fingerprint — `[hash, rank]`, where `rank` disambiguates
+//! hash collisions by canonical data-key order — instead of by emission
+//! order. Row identity is then a function of the row's **data**, not of
+//! the order the executor happened to produce it in, so two join orders
+//! that produce the same data produce the same keyed relation. The
+//! pinned contract (`tests/tests/plan_reordering.rs`): an optimized plan
+//! yields the **same keys** mapping to **data-identical tuples** as the
+//! declared plan; only attribute declaration order (and therefore
+//! nothing [`fdm_core::TupleF::eq_data`] can see) may reflect the
+//! executed order. `FDM_PLAN_REORDER=off` pins the declared left-deep
+//! order for A/B runs, exactly like `FDM_JOIN_COST=entries` does for the
+//! schema-level join. See `docs/OPTIMIZER.md` for the full cost model.
 
 use crate::aggregate::{group_and_aggregate, AggSpec};
 use crate::filter::filter_bound;
@@ -55,6 +75,11 @@ pub enum Query {
     },
     /// Left-deep equi-join: extend each input tuple with the matching
     /// tuples of `rel` (attributes prefixed `rel.`).
+    ///
+    /// Output rows are keyed **canonically**: `[fingerprint hash, rank]`
+    /// derived from each row's cached `DataKey`, never from emission
+    /// order — the invariant that lets the optimizer reorder adjacent
+    /// joins without changing observable results (see the module docs).
     Join {
         /// Input plan (left side).
         input: Box<Query>,
@@ -164,8 +189,10 @@ impl Query {
         }
     }
 
-    /// Rewrites the plan: filter fusion, then predicate pushdown to
-    /// fixpoint.
+    /// Rewrites the plan without database statistics: filter fusion, then
+    /// predicate pushdown to fixpoint. Join order is left exactly as
+    /// declared — reordering needs cardinality estimates, which need a
+    /// database; use [`Self::optimize_for`] when one is at hand.
     pub fn optimize(self) -> Query {
         let mut q = self;
         loop {
@@ -174,6 +201,210 @@ impl Query {
             if !changed {
                 return q;
             }
+        }
+    }
+
+    /// The full optimizer: [`Self::optimize`]'s statistics-free rewrites,
+    /// then **join reordering** against `db`'s statistics — adjacent
+    /// [`Query::Join`] nodes are reordered (bubble-sort style, to
+    /// fixpoint) so the join with the smaller [`Self::estimated_rows`]
+    /// runs first, shrinking every intermediate the outer joins consume.
+    ///
+    /// A pair of adjacent joins is **pinned** (never swapped) when the
+    /// rewrite could change observable results or lose a dependency:
+    ///
+    /// * the upper join's `input_attr` references the lower join's
+    ///   qualified output (`"{lower_rel}.…"`) — the upper join *needs*
+    ///   the lower one underneath it;
+    /// * both joins bind the same relation — duplicate qualified names
+    ///   would change the canonical data key with the executed order;
+    /// * either side's estimate is unavailable (a relation missing from
+    ///   `db`) or not strictly better — ties keep declared order.
+    ///
+    /// Setting the environment variable `FDM_PLAN_REORDER=off` skips the
+    /// reordering phase entirely (the declared left-deep order is kept),
+    /// mirroring `FDM_JOIN_COST=entries` on the schema join; the
+    /// equivalence tests drive both settings and prove the produced
+    /// relations are key- and data-identical either way.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fdm_fql::plan::Query;
+    /// use fdm_fql::testutil::retail_db;
+    ///
+    /// let db = retail_db();
+    /// let q = Query::scan("customers").project(&["name"]);
+    /// // no joins to reorder: optimize_for degenerates to optimize
+    /// assert_eq!(q.clone().optimize_for(&db).explain(), q.optimize().explain());
+    /// ```
+    pub fn optimize_for(self, db: &DatabaseF) -> Query {
+        let q = self.optimize();
+        if std::env::var("FDM_PLAN_REORDER").is_ok_and(|v| v == "off") {
+            return q;
+        }
+        let mut q = q;
+        loop {
+            let (next, changed) = q.reorder_once(db);
+            q = next;
+            if !changed {
+                return q;
+            }
+        }
+    }
+
+    /// One bottom-up pass of adjacent-join reordering; returns the
+    /// (possibly) rewritten plan and whether anything moved. Repeated to
+    /// fixpoint by [`Self::optimize_for`]; terminates because every swap
+    /// strictly decreases the inner join's estimate and estimates are
+    /// fixed per (relation, attribute) pair.
+    fn reorder_once(self, db: &DatabaseF) -> (Query, bool) {
+        match self {
+            Query::Join {
+                input,
+                rel,
+                input_attr,
+                rel_attr,
+            } => {
+                let (inner, changed) = input.reorder_once(db);
+                if changed {
+                    return (
+                        Query::Join {
+                            input: Box::new(inner),
+                            rel,
+                            input_attr,
+                            rel_attr,
+                        },
+                        true,
+                    );
+                }
+                if let Query::Join {
+                    input: lower_input,
+                    rel: lower_rel,
+                    input_attr: lower_input_attr,
+                    rel_attr: lower_rel_attr,
+                } = inner
+                {
+                    let independent = rel != lower_rel
+                        && !input_attr.starts_with(&format!("{lower_rel}."))
+                        && !lower_input_attr.starts_with(&format!("{rel}."));
+                    if independent {
+                        let swapped_lower = Query::Join {
+                            input: lower_input.clone(),
+                            rel: rel.clone(),
+                            input_attr: input_attr.clone(),
+                            rel_attr: rel_attr.clone(),
+                        };
+                        let declared_lower = Query::Join {
+                            input: lower_input,
+                            rel: lower_rel.clone(),
+                            input_attr: lower_input_attr.clone(),
+                            rel_attr: lower_rel_attr.clone(),
+                        };
+                        if let (Ok(declared_est), Ok(swapped_est)) = (
+                            declared_lower.estimated_rows(db),
+                            swapped_lower.estimated_rows(db),
+                        ) {
+                            if swapped_est < declared_est {
+                                return (
+                                    Query::Join {
+                                        input: Box::new(swapped_lower),
+                                        rel: lower_rel,
+                                        input_attr: lower_input_attr,
+                                        rel_attr: lower_rel_attr,
+                                    },
+                                    true,
+                                );
+                            }
+                        }
+                        return (
+                            Query::Join {
+                                input: Box::new(declared_lower),
+                                rel,
+                                input_attr,
+                                rel_attr,
+                            },
+                            false,
+                        );
+                    }
+                    return (
+                        Query::Join {
+                            input: Box::new(Query::Join {
+                                input: lower_input,
+                                rel: lower_rel,
+                                input_attr: lower_input_attr,
+                                rel_attr: lower_rel_attr,
+                            }),
+                            rel,
+                            input_attr,
+                            rel_attr,
+                        },
+                        false,
+                    );
+                }
+                (
+                    Query::Join {
+                        input: Box::new(inner),
+                        rel,
+                        input_attr,
+                        rel_attr,
+                    },
+                    false,
+                )
+            }
+            Query::Filter { input, pred } => {
+                let (inner, changed) = input.reorder_once(db);
+                (
+                    Query::Filter {
+                        input: Box::new(inner),
+                        pred,
+                    },
+                    changed,
+                )
+            }
+            Query::Project { input, attrs } => {
+                let (inner, changed) = input.reorder_once(db);
+                (
+                    Query::Project {
+                        input: Box::new(inner),
+                        attrs,
+                    },
+                    changed,
+                )
+            }
+            Query::GroupAgg { input, by, aggs } => {
+                let (inner, changed) = input.reorder_once(db);
+                (
+                    Query::GroupAgg {
+                        input: Box::new(inner),
+                        by,
+                        aggs,
+                    },
+                    changed,
+                )
+            }
+            Query::OrderBy { input, attr, order } => {
+                let (inner, changed) = input.reorder_once(db);
+                (
+                    Query::OrderBy {
+                        input: Box::new(inner),
+                        attr,
+                        order,
+                    },
+                    changed,
+                )
+            }
+            Query::Limit { input, k } => {
+                let (inner, changed) = input.reorder_once(db);
+                (
+                    Query::Limit {
+                        input: Box::new(inner),
+                        k,
+                    },
+                    changed,
+                )
+            }
+            leaf @ Query::Scan { .. } => (leaf, false),
         }
     }
 
@@ -407,8 +638,7 @@ impl Query {
                 }
                 // qualified right-side names interned once per attribute
                 let mut qual = crate::join::Qualifier::new(rel);
-                let mut out = fdm_core::RelationBuilder::new("join", &["row"]);
-                let mut i = 0i64;
+                let mut rows: Vec<TupleF> = Vec::new();
                 for (_, lt) in left.tuples()? {
                     let key = lt.get(input_attr)?;
                     if let Some(matches) = table.get(&key) {
@@ -417,12 +647,11 @@ impl Query {
                             for (n, v) in rt.materialize()? {
                                 attrs.push((qual.name(&n), v));
                             }
-                            out.push(Value::Int(i), TupleF::from_parts(format!("j{i}"), attrs));
-                            i += 1;
+                            rows.push(TupleF::from_parts("j", attrs));
                         }
                     }
                 }
-                out.build()?
+                canonical_keyed(rows)?
             }
             Query::GroupAgg { input, by, aggs } => {
                 let rel = input.run(db, stats)?;
@@ -466,20 +695,30 @@ impl Query {
     }
 
     /// Estimated output cardinality of this plan against `db`, from
-    /// [`fdm_core::stats`] — O(plan size), never touching a tuple:
+    /// [`fdm_core::stats`] — O(plan size), never touching a tuple beyond
+    /// the amortized once-per-relation-value sketch build:
     ///
     /// * `Scan` — the relation's stored cardinality;
     /// * `Filter` — input × [`fdm_core::stats::DEFAULT_FILTER_SELECTIVITY`];
     /// * `Project` / `OrderBy` — pass-through;
     /// * `Join` — input × right rows / distinct(right attr), with the
-    ///   distinct count from [`fdm_core::estimate_distinct`] (exact for key
-    ///   and uniquely constrained attributes);
-    /// * `GroupAgg` — one row per estimated distinct key;
+    ///   distinct count from [`fdm_core::estimate_distinct`]: exact for
+    ///   key and uniquely constrained attributes, a
+    ///   [`fdm_core::DistinctSketch`] estimate for every other stored
+    ///   attribute — no magic fraction on this path anymore;
+    /// * `GroupAgg` — one row per estimated distinct grouping key: when
+    ///   the input chain bottoms out in a `Scan` (through
+    ///   filters/projections/sorts/limits), the product of the base
+    ///   relation's per-attribute distinct estimates, capped at the input
+    ///   estimate. Only when the input is itself a join or aggregation —
+    ///   an intermediate no maintained statistic describes — does the
+    ///   documented [`fdm_core::stats::DEFAULT_DISTINCT_FRACTION`]
+    ///   fallback apply;
     /// * `Limit` — min(k, input).
     ///
-    /// Estimates steer cost comparisons (see
-    /// [`Self::explain_with_cost`]); they never change what a plan
-    /// produces.
+    /// Estimates steer cost comparisons ([`Self::explain_with_cost`],
+    /// [`Self::optimize_for`]'s join reordering); they never change what
+    /// a plan produces.
     pub fn estimated_rows(&self, db: &DatabaseF) -> Result<f64> {
         use fdm_core::stats::{DEFAULT_DISTINCT_FRACTION, DEFAULT_FILTER_SELECTIVITY};
         Ok(match self {
@@ -502,16 +741,44 @@ impl Query {
                 let distinct = fdm_core::estimate_distinct(&right, rel_attr).max(1);
                 left * rows as f64 / distinct as f64
             }
-            Query::GroupAgg { input, .. } => {
+            Query::GroupAgg { input, by, .. } => {
                 let rows = input.estimated_rows(db)?;
                 if rows <= 1.0 {
                     rows
+                } else if let Some(base) = input.base_scan() {
+                    // distinct keys of the base relation bound the group
+                    // count: independence-assumption product of the
+                    // per-attribute estimates, capped at the input rows
+                    let rel = db.relation(base)?;
+                    let mut groups = 1.0f64;
+                    for attr in by {
+                        groups *= fdm_core::estimate_distinct(&rel, attr).max(1) as f64;
+                    }
+                    groups.min(rows).max(1.0)
                 } else {
+                    // the input is an intermediate (join/aggregation
+                    // output) no maintained statistic describes — the one
+                    // place the System-R magic fraction still stands in
                     (rows / DEFAULT_DISTINCT_FRACTION as f64).max(1.0)
                 }
             }
             Query::Limit { input, k } => input.estimated_rows(db)?.min(*k as f64),
         })
+    }
+
+    /// The base relation this plan scans, if the chain down to the leaf
+    /// preserves rows' attribute values (filters, projections, sorts,
+    /// limits — not joins or aggregations, whose outputs are new shapes).
+    /// Lets `GroupAgg` estimates consult the base relation's sketches.
+    fn base_scan(&self) -> Option<&str> {
+        match self {
+            Query::Scan { rel } => Some(rel),
+            Query::Filter { input, .. }
+            | Query::Project { input, .. }
+            | Query::OrderBy { input, .. }
+            | Query::Limit { input, .. } => input.base_scan(),
+            Query::Join { .. } | Query::GroupAgg { .. } => None,
+        }
     }
 
     /// [`Self::explain`] with the estimated cardinality annotated per
@@ -558,6 +825,56 @@ impl Query {
         go(self, 0, &mut s);
         s
     }
+}
+
+/// Keys join output rows by their **canonical row id** and bulk-builds
+/// the result relation.
+///
+/// The id of a row is `[hash, rank]`: the 64-bit hash of the tuple's
+/// cached `DataKey` fingerprint, plus a rank that disambiguates rows
+/// whose hashes collide — assigned by canonical data-key order within
+/// the collision group, so it too is independent of emission order (rows
+/// with *identical* data are interchangeable by definition; rows with
+/// merely colliding hashes order by their full canonical keys). Ids are
+/// therefore a pure function of the produced row **data**: every join
+/// order that yields the same rows yields the same keyed relation, which
+/// is the contract `Query::optimize_for`'s reordering relies on.
+fn canonical_keyed(rows: Vec<TupleF>) -> Result<RelationF> {
+    // group row indices by fingerprint hash (computing — and caching on
+    // the tuple — each fingerprint exactly once)
+    let mut groups: fdm_core::FxHashMap<u64, Vec<usize>> = fdm_core::FxHashMap::default();
+    groups.reserve(rows.len());
+    for (i, t) in rows.iter().enumerate() {
+        groups.entry(t.fingerprint()?.hash()).or_default().push(i);
+    }
+    let mut ranks: Vec<i64> = vec![0; rows.len()];
+    for bucket in groups.values_mut() {
+        if bucket.len() > 1 {
+            bucket.sort_by(|&a, &b| {
+                let ka = rows[a].fingerprint().expect("cached above").value();
+                let kb = rows[b].fingerprint().expect("cached above").value();
+                ka.cmp(kb)
+            });
+            for (rank, &i) in bucket.iter().enumerate() {
+                ranks[i] = rank as i64;
+            }
+        }
+    }
+    // sort by the native (hash, rank) pair — the same order the
+    // `[Int, Int]` list keys compare in — so the builder sees strictly
+    // ascending keys and takes its presorted O(n) bulk path instead of
+    // re-sorting n Value::List keys with the generic comparator
+    let mut keyed: Vec<(i64, i64, TupleF)> = Vec::with_capacity(rows.len());
+    for (i, t) in rows.into_iter().enumerate() {
+        let hash = t.fingerprint()?.hash() as i64;
+        keyed.push((hash, ranks[i], t));
+    }
+    keyed.sort_unstable_by_key(|(hash, rank, _)| (*hash, *rank));
+    let mut out = fdm_core::RelationBuilder::new("join", &["row"]).with_capacity(keyed.len());
+    for (hash, rank, t) in keyed {
+        out.push(Value::list([Value::Int(hash), Value::Int(rank)]), t);
+    }
+    out.build()
 }
 
 /// Per-operator output cardinalities from [`Query::eval_with_stats`],
@@ -775,6 +1092,115 @@ mod tests {
         let annotated = opt.explain_with_cost(&db).unwrap();
         assert!(annotated.contains("~"), "{annotated}");
         assert!(annotated.contains("rows"), "{annotated}");
+    }
+
+    /// A database where the declared join order is the expensive one:
+    /// `base` rows fan out 4× into `wide.k` but exactly 1× into
+    /// `narrow.k2`.
+    fn skewed_db() -> DatabaseF {
+        let mut base = fdm_core::RelationBuilder::new("base", &["id"]);
+        for i in 1..=6i64 {
+            base.push(
+                Value::Int(i),
+                TupleF::builder("b").attr("wk", i).attr("nk", i).build(),
+            );
+        }
+        let mut wide = fdm_core::RelationBuilder::new("wide", &["wid"]);
+        let mut w = 0i64;
+        for k in 1..=6i64 {
+            for _ in 0..4 {
+                w += 1;
+                wide.push(
+                    Value::Int(w),
+                    TupleF::builder("w").attr("k", k).attr("wv", w).build(),
+                );
+            }
+        }
+        let mut narrow = fdm_core::RelationBuilder::new("narrow", &["nid"]);
+        for k in 1..=6i64 {
+            narrow.push(
+                Value::Int(k),
+                TupleF::builder("n")
+                    .attr("k2", k)
+                    .attr("nv", k * 10)
+                    .build(),
+            );
+        }
+        DatabaseF::new("skewed")
+            .with_relation(base.build().unwrap())
+            .with_relation(wide.build().unwrap())
+            .with_relation(narrow.build().unwrap())
+    }
+
+    #[test]
+    fn optimize_for_reorders_joins_without_changing_results() {
+        let db = skewed_db();
+        // declared: the fan-out-4 join first — the expensive order
+        let q = Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "nk", "k2");
+        let opt = q.clone().optimize_for(&db);
+        let plan = opt.explain();
+        let wide_line = plan.lines().position(|l| l.contains("wide")).unwrap();
+        let narrow_line = plan.lines().position(|l| l.contains("narrow")).unwrap();
+        // deeper line = executed earlier; narrow must now run first
+        assert!(narrow_line > wide_line, "narrow joined first:\n{plan}");
+
+        // ...and the keyed results are identical: same canonical row ids
+        // mapping to data-identical tuples
+        let declared = q.eval(&db).unwrap();
+        let reordered = opt.eval(&db).unwrap();
+        assert_eq!(declared.len(), 24, "6 base rows × 4 wide × 1 narrow");
+        assert_eq!(declared.stored_keys(), reordered.stored_keys());
+        for (key, t) in declared.tuples().unwrap() {
+            assert!(
+                t.eq_data(&reordered.lookup(&key).unwrap()),
+                "row {key} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_pins_dependent_and_self_joins() {
+        let db = skewed_db();
+        // the upper join keys off the lower join's output ("wide.wv"):
+        // swapping would orphan the attribute — pinned
+        let q = Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "wide.wv", "k2");
+        let opt = q.clone().optimize_for(&db);
+        assert_eq!(opt.explain(), q.explain(), "dependent joins keep order");
+        // two joins against the same relation are pinned too (duplicate
+        // qualified names would tie data keys to executed order)
+        let q = Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("wide", "nk", "k");
+        let opt = q.clone().optimize_for(&db);
+        assert_eq!(opt.explain(), q.explain(), "self-join pair keeps order");
+    }
+
+    #[test]
+    fn join_row_ids_are_canonical() {
+        let db = order_rel_db();
+        let q = Query::scan("orders").join("customers", "cid", "cid");
+        let out = q.eval(&db).unwrap();
+        // ids are [hash, rank] lists derived from row data, so re-running
+        // the identical plan reproduces them exactly
+        let again = q.eval(&db).unwrap();
+        assert_eq!(out.stored_keys(), again.stored_keys());
+        for key in out.stored_keys() {
+            assert!(matches!(key, Value::List(ref items) if items.len() == 2));
+        }
+        // each id's hash component is the tuple's own fingerprint hash
+        for (key, t) in out.tuples().unwrap() {
+            let Value::List(items) = key else {
+                panic!("list id")
+            };
+            let Value::Int(h) = items[0] else {
+                panic!("hash id")
+            };
+            assert_eq!(h, t.fingerprint().unwrap().hash() as i64);
+        }
     }
 
     #[test]

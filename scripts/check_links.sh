@@ -2,12 +2,15 @@
 # Markdown link-liveness check for the repo's narrative docs.
 #
 # Extracts every inline markdown link target from the listed files and
-# verifies that relative targets exist in the working tree (anchors and
-# external URLs are skipped — the build environment is offline). Fails
-# with a list of dead links, so CI catches a renamed crate directory or a
-# moved pinning test the moment a doc goes stale.
+# verifies that relative targets exist in the working tree, resolved
+# against the linking file's own directory — standard markdown semantics,
+# so docs under docs/ may link `../crates/...` (anchors and external URLs
+# are skipped — the build environment is offline). Fails with a list of
+# dead links, so CI catches a renamed crate directory or a moved pinning
+# test the moment a doc goes stale.
 #
-#   scripts/check_links.sh [file.md ...]   # defaults to the repo's docs
+#   scripts/check_links.sh [file.md ...]   # defaults to the repo's root
+#                                          # docs plus docs/ recursively
 
 set -u
 cd "$(dirname "$0")/.."
@@ -15,6 +18,9 @@ cd "$(dirname "$0")/.."
 files=("$@")
 if [ ${#files[@]} -eq 0 ]; then
     files=(README.md ARCHITECTURE.md ROADMAP.md CHANGES.md)
+    while IFS= read -r doc; do
+        files+=("$doc")
+    done < <(find docs -name '*.md' 2>/dev/null | sort)
 fi
 
 fail=0
@@ -34,7 +40,9 @@ for f in "${files[@]}"; do
         esac
         path="${target%%#*}"                            # strip anchors
         [ -z "$path" ] && continue
-        if [ ! -e "$path" ]; then
+        # resolve relative to the linking file's directory (for root-level
+        # docs this is the repo root, as before)
+        if [ ! -e "$(dirname "$f")/$path" ]; then
             echo "check_links: $f → dead link: $target"
             fail=1
         fi

@@ -1,0 +1,205 @@
+//! Pins the distinct-count sketch layer (`fdm_core::stats`):
+//!
+//! * **accuracy** — `estimate_distinct` on non-key attributes stays
+//!   within the documented [`DistinctSketch::RELATIVE_ERROR_BOUND`] of
+//!   the exact distinct count across the 1k and 20k loads, for both
+//!   integer- and string-valued attributes, on relations *and* on
+//!   relationship participant positions;
+//! * **path identity** — the sketch state produced by the bulk
+//!   construction paths (`RelationBuilder`/`from_sorted`,
+//!   `RelationshipBuilder`/`RelationshipF::from_sorted`) is
+//!   register-identical to the one produced by the equivalent incremental
+//!   insert chain (HyperLogLog registers are order-insensitive maxima);
+//! * **freshness and monotonicity** — relation mutations invalidate the
+//!   lazy sketch cache (freshness by construction), while relationship
+//!   sketches survive removals as documented upper bounds whose estimates
+//!   clamp to the live entry count.
+
+use fdm_core::{
+    estimate_distinct, DistinctSketch, Domain, Participant, RelationBuilder, RelationF,
+    RelationshipBuilder, RelationshipF, SharedDomain, TupleF, Value, ValueType,
+};
+use std::sync::Arc;
+
+const BOUND: f64 = DistinctSketch::RELATIVE_ERROR_BOUND;
+
+fn rel_err(estimate: usize, exact: usize) -> f64 {
+    (estimate as f64 - exact as f64).abs() / exact as f64
+}
+
+/// `rows` tuples with a string attribute cycling through `distinct`
+/// values and an integer attribute cycling through `distinct / 2` values.
+fn load(rows: i64, distinct: i64) -> Vec<(Value, Arc<TupleF>)> {
+    (0..rows)
+        .map(|i| {
+            (
+                Value::Int(i),
+                Arc::new(
+                    TupleF::builder("t")
+                        .attr("grp", format!("g{}", i % distinct))
+                        .attr("bucket", i % (distinct / 2).max(1))
+                        .build(),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn estimate_distinct_accuracy_at_1k_and_20k() {
+    for (rows, distinct) in [(1_000i64, 100i64), (20_000, 1_337)] {
+        let rel = RelationF::from_sorted("t", &["id"], load(rows, distinct));
+        // key attribute: exact, not sketched
+        assert_eq!(estimate_distinct(&rel, "id"), rows as usize);
+        // non-key string attribute: sketched within the documented bound
+        let grp = estimate_distinct(&rel, "grp");
+        assert!(
+            rel_err(grp, distinct as usize) < BOUND,
+            "{rows} rows: grp estimate {grp} vs exact {distinct}"
+        );
+        // non-key integer attribute too
+        let exact_buckets = (distinct / 2).max(1) as usize;
+        let bucket = estimate_distinct(&rel, "bucket");
+        assert!(
+            rel_err(bucket, exact_buckets) < BOUND,
+            "{rows} rows: bucket estimate {bucket} vs exact {exact_buckets}"
+        );
+        // estimates are planner input and must be cheap once computed:
+        // the second call hits the cached sketches
+        assert!(rel.attr_sketches_cached().is_some());
+        assert_eq!(estimate_distinct(&rel, "grp"), grp);
+    }
+}
+
+#[test]
+fn relation_sketches_identical_across_bulk_and_incremental_paths() {
+    let entries = load(1_000, 100);
+    // bulk: from_sorted
+    let bulk = RelationF::from_sorted("t", &["id"], entries.clone());
+    // bulk: builder
+    let mut b = RelationBuilder::new("t", &["id"]);
+    for (k, t) in &entries {
+        b.push_arc(k.clone(), t.clone());
+    }
+    let built = b.build().unwrap();
+    // incremental: insert loop
+    let mut inc = RelationF::new("t", &["id"]);
+    for (k, t) in &entries {
+        inc = inc.insert_arc(k.clone(), t.clone()).unwrap();
+    }
+    assert_eq!(bulk.attr_sketches(), built.attr_sketches());
+    assert_eq!(bulk.attr_sketches(), inc.attr_sketches());
+    // ...and the estimate is clamped by the live row count
+    for rel in [&bulk, &built, &inc] {
+        assert!(estimate_distinct(rel, "grp") <= rel.len());
+    }
+}
+
+#[test]
+fn relation_mutations_invalidate_the_sketch_cache() {
+    let rel = RelationF::from_sorted("t", &["id"], load(500, 50));
+    let before = estimate_distinct(&rel, "grp");
+    assert!(rel_err(before, 50) < BOUND);
+    // deleting the only row of a value must not leave a stale estimate:
+    // every mutation constructs a new value with a fresh (empty) cache
+    let mut shrunk = rel.clone();
+    for i in 0..450i64 {
+        shrunk = shrunk.delete(&Value::Int(i)).unwrap();
+    }
+    assert!(
+        shrunk.attr_sketches_cached().is_none(),
+        "mutation starts a fresh cache"
+    );
+    let after = estimate_distinct(&shrunk, "grp");
+    assert!(
+        rel_err(after, 50) < BOUND,
+        "rows 450..500 still cover all 50 groups: estimate {after}"
+    );
+    // the original snapshot's cache is untouched (persistence)
+    assert_eq!(estimate_distinct(&rel, "grp"), before);
+}
+
+fn order_participants() -> Vec<Participant> {
+    vec![
+        Participant::new(
+            "customers",
+            "cid",
+            SharedDomain::new("cid", Domain::Typed(ValueType::Int)),
+        ),
+        Participant::new(
+            "products",
+            "pid",
+            SharedDomain::new("pid", Domain::Typed(ValueType::Int)),
+        ),
+    ]
+}
+
+/// `n` relationship entries over `n / 20` distinct cids (fan-out 20) and
+/// `n` distinct pids, in strictly ascending lexicographic order.
+fn rel_entries(n: i64) -> Vec<(Vec<Value>, Arc<TupleF>)> {
+    let link = Arc::new(TupleF::builder("order_link").build());
+    (0..n)
+        .map(|i| (vec![Value::Int(i / 20), Value::Int(i)], link.clone()))
+        .collect()
+}
+
+#[test]
+fn relationship_sketches_identical_across_bulk_and_incremental_paths() {
+    let entries = rel_entries(1_000);
+    let bulk = RelationshipF::from_sorted("order", order_participants(), entries.clone()).unwrap();
+    let mut builder = RelationshipBuilder::new("order", order_participants());
+    for (args, attrs) in &entries {
+        builder.push_arc(args, attrs.clone()).unwrap();
+    }
+    let built = builder.build().unwrap();
+    let mut inc = RelationshipF::new("order", order_participants());
+    for (args, attrs) in &entries {
+        inc = inc.insert(args, (**attrs).clone()).unwrap();
+    }
+    for pos in 0..2 {
+        assert_eq!(
+            bulk.stats().sketch(pos),
+            built.stats().sketch(pos),
+            "pos {pos}"
+        );
+        assert_eq!(
+            bulk.stats().sketch(pos),
+            inc.stats().sketch(pos),
+            "pos {pos}"
+        );
+    }
+}
+
+#[test]
+fn relationship_sketch_accuracy_at_1k_and_20k() {
+    for n in [1_000i64, 20_000] {
+        let order =
+            RelationshipF::from_sorted("order", order_participants(), rel_entries(n)).unwrap();
+        let stats = order.stats();
+        for pos in 0..2 {
+            let exact = stats.distinct(pos);
+            let est = stats.distinct_estimate(pos);
+            assert!(
+                rel_err(est, exact) < BOUND,
+                "{n} entries, pos {pos}: sketch {est} vs exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn relationship_sketches_survive_removes_as_clamped_upper_bounds() {
+    let mut order =
+        RelationshipF::from_sorted("order", order_participants(), rel_entries(200)).unwrap();
+    let full_sketch = order.stats().sketch(0).unwrap().clone();
+    for i in 0..195i64 {
+        order = order.remove(&[Value::Int(i / 20), Value::Int(i)]).unwrap();
+    }
+    let stats = order.stats();
+    assert_eq!(stats.entries(), 5);
+    // the exact count map reversed; the sketch never forgets...
+    assert_eq!(stats.distinct(0), 1, "only cid 9 remains");
+    assert_eq!(stats.sketch(0), Some(&full_sketch));
+    // ...but its estimate clamps to the live entry count
+    assert!(stats.distinct_estimate(0) <= stats.entries());
+}
