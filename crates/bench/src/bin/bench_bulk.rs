@@ -31,6 +31,13 @@
 //!   declared order vs the order `Query::optimize_for` picks from the
 //!   distinct-count sketches (canonical row ids make the two plans
 //!   produce identical keyed data; the sanity block asserts it).
+//! * **PR 6 (hardened concurrent commit path)** — `fig11_txn_commit`:
+//!   Zipf-contended writer threads committing read-modify-writes through
+//!   `Store::run_with` (closure re-derivation on conflict, seeded-backoff
+//!   retries on CAS races). Reported as absolute commits/second plus the
+//!   mean attempts per commit. **Recorded, never gated** — it is an
+//!   absolute machine-dependent number, unlike the before/after ratios
+//!   above, so `bench_gate` ignores it by design.
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
@@ -558,6 +565,9 @@ struct GateMetrics {
     group_speedup: f64,
     join_order_speedup: f64,
     plan_reorder_speedup: f64,
+    /// Absolute commits/second — recorded in the summary for trend
+    /// visibility, never ratio-gated (machine-dependent).
+    txn_commit_throughput: f64,
 }
 
 /// One scale's measurements, as a JSON object string plus the gate ratios.
@@ -714,6 +724,26 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         })
     });
 
+    // PR 6: concurrent commit throughput over the retail store — 4 Zipf-
+    // contended writer threads of read-modify-write transactions through
+    // Store::run_with. One timed run (not median_ns: the store mutates, so
+    // every run starts from a fresh store and the op count amortizes the
+    // noise). Absolute number: recorded, never gated.
+    let txn_cfg = fdm_workload::MixedConfig {
+        threads: 4,
+        ops_per_thread: 250,
+        seed: 0xFD17,
+        skew: 0.8,
+    };
+    let txn_store = fdm_workload::retail_store(&standard_config(orders));
+    let txn_start = Instant::now();
+    let txn_records = fdm_workload::run_writers(&txn_store, &txn_cfg);
+    let txn_elapsed = txn_start.elapsed();
+    let txn_commits = txn_records.len();
+    let txn_throughput = txn_commits as f64 / txn_elapsed.as_secs_f64();
+    let txn_mean_attempts =
+        txn_records.iter().map(|r| r.attempts).sum::<usize>() as f64 / txn_commits.max(1) as f64;
+
     // PR 3: deep_copy sequential vs thread-chunked. The cutoff is pinned
     // low so the chunked path is exercised at every scale (the CI smoke
     // scale sits below the production cutoff).
@@ -802,6 +832,14 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         "plan reorder diverges in data"
     );
 
+    // the throughput run must have installed exactly one version per
+    // commit (no lost updates, no double-installs)
+    assert_eq!(
+        txn_store.version(),
+        txn_commits as u64,
+        "txn throughput run: one version per commit"
+    );
+
     let gate = GateMetrics {
         union_speedup: union_insert / union_merge,
         minus_speedup: minus_uncached / minus_cached,
@@ -810,9 +848,10 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         group_speedup: group_btree / group_hash,
         join_order_speedup: join_by_entries / join_by_stats,
         plan_reorder_speedup: reorder_declared / reorder_optimized,
+        txn_commit_throughput: txn_throughput,
     };
     let json = format!(
-        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }}\n    }}",
+        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }},\n      \"fig11_txn_commit\": {{ \"threads\": {}, \"commits\": {txn_commits}, \"elapsed_ms\": {:.1}, \"mean_attempts\": {txn_mean_attempts:.3}, \"txn_commit_throughput\": {txn_throughput:.0} }}\n    }}",
         before_filter / seq_filter,
         before_join / seq_join,
         seq_filter / par_filter,
@@ -824,6 +863,8 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         gate.group_speedup,
         gate.join_order_speedup,
         gate.plan_reorder_speedup,
+        txn_cfg.threads,
+        txn_elapsed.as_secs_f64() * 1_000.0,
     );
     (json, gate)
 }
@@ -853,7 +894,7 @@ fn main() {
     }
     let entry = if quick {
         format!(
-            "{{\n  \"entry\": \"pr5_plan_reorder_distinct_sketch\",\n  \"scales\": [\n{}\n  ]\n}}",
+            "{{\n  \"entry\": \"pr6_txn_hardening\",\n  \"scales\": [\n{}\n  ]\n}}",
             scale_reports.join(",\n")
         )
     } else {
@@ -864,7 +905,7 @@ fn main() {
         // the CI quick run reproduces.
         let (baseline, _) = measure_scale(2_000, samples, par_threads);
         format!(
-            "{{\n  \"entry\": \"pr5_plan_reorder_distinct_sketch\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
+            "{{\n  \"entry\": \"pr6_txn_hardening\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
             scale_reports.join(",\n")
         )
     };
@@ -872,10 +913,12 @@ fn main() {
 
     if quick {
         // Machine-readable summary for the CI regression gate: one flat
-        // object, one `<metric>_speedup` key per gated ratio.
+        // object, one `<metric>_speedup` key per gated ratio, plus the
+        // recorded-only absolute txn throughput (bench_gate never gates
+        // it — see ARMED_METRICS there).
         let g = last_gate.expect("at least one scale ran");
         let summary = format!(
-            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3}\n}}\n",
+            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0}\n}}\n",
             g.union_speedup,
             g.minus_speedup,
             g.intersect_speedup,
@@ -883,6 +926,7 @@ fn main() {
             g.group_speedup,
             g.join_order_speedup,
             g.plan_reorder_speedup,
+            g.txn_commit_throughput,
         );
         std::fs::write(quick_out, summary).expect("write quick summary");
         println!("wrote {quick_out}");

@@ -84,6 +84,36 @@ pub enum FdmError {
     TransactionConflict {
         /// Human-readable description of the conflicting write.
         detail: String,
+        /// The conflicting `(relation, key)` pairs in display form; a
+        /// whole-entry conflict is reported as `(entry, "*")`. Empty when
+        /// the conflict is not key-granular (e.g. the snapshot predates
+        /// the retained commit log).
+        keys: Vec<(String, String)>,
+    },
+    /// A commit exhausted its retry budget: every attempt hit a transient
+    /// conflict (a CAS race with concurrent committers, or an injected
+    /// fault) and the `CommitPolicy` allowed no further attempts.
+    TransactionRetriesExhausted {
+        /// Number of commit attempts made before giving up.
+        attempts: usize,
+        /// Human-readable description of the last transient conflict.
+        detail: String,
+    },
+    /// A commit gave up because its `CommitPolicy` timeout elapsed before
+    /// an attempt succeeded.
+    TransactionTimeout {
+        /// Number of commit attempts made before the deadline.
+        attempts: usize,
+        /// Elapsed wall-clock milliseconds when the commit gave up.
+        elapsed_ms: u64,
+    },
+    /// A time-travel read requested a version older than the retained
+    /// history (evicted by capacity or an explicit compaction).
+    VersionEvicted {
+        /// The requested version.
+        version: u64,
+        /// The oldest version still retained, if the history is non-empty.
+        oldest: Option<u64>,
     },
     /// Error raised by the expression sub-language (parse/bind/eval).
     Expr(String),
@@ -140,9 +170,39 @@ impl fmt::Display for FdmError {
             FdmError::DuplicateKey { relation, key } => {
                 write!(f, "duplicate key {key} in relation function '{relation}'")
             }
-            FdmError::TransactionConflict { detail } => {
-                write!(f, "transaction conflict: {detail}")
+            FdmError::TransactionConflict { detail, keys } => {
+                write!(f, "transaction conflict: {detail}")?;
+                if !keys.is_empty() {
+                    let list: Vec<String> = keys.iter().map(|(r, k)| format!("{r}[{k}]")).collect();
+                    write!(f, " (conflicting keys: {})", list.join(", "))?;
+                }
+                Ok(())
             }
+            FdmError::TransactionRetriesExhausted { attempts, detail } => {
+                write!(
+                    f,
+                    "transaction commit gave up after {attempts} attempt(s): {detail}"
+                )
+            }
+            FdmError::TransactionTimeout {
+                attempts,
+                elapsed_ms,
+            } => {
+                write!(
+                    f,
+                    "transaction commit timed out after {elapsed_ms} ms ({attempts} attempt(s))"
+                )
+            }
+            FdmError::VersionEvicted { version, oldest } => match oldest {
+                Some(o) => write!(
+                    f,
+                    "version {version} is no longer retained (oldest retained version: {o})"
+                ),
+                None => write!(
+                    f,
+                    "version {version} is no longer retained (history is empty)"
+                ),
+            },
             FdmError::Expr(msg) => write!(f, "expression error: {msg}"),
             FdmError::Other(msg) => write!(f, "{msg}"),
         }
@@ -176,5 +236,35 @@ mod tests {
         };
         assert!(e.to_string().contains("expected int"));
         assert!(e.to_string().contains("found str"));
+    }
+
+    #[test]
+    fn transaction_errors_carry_structure() {
+        let e = FdmError::TransactionConflict {
+            detail: "write-write conflict with commit v3".into(),
+            keys: vec![("accounts".into(), "42".into())],
+        };
+        assert!(e.to_string().contains("conflicting keys: accounts[42]"));
+        let e = FdmError::TransactionRetriesExhausted {
+            attempts: 8,
+            detail: "CAS race".into(),
+        };
+        assert!(e.to_string().contains("after 8 attempt(s)"));
+        let e = FdmError::TransactionTimeout {
+            attempts: 3,
+            elapsed_ms: 120,
+        };
+        assert!(e.to_string().contains("timed out after 120 ms"));
+        let e = FdmError::VersionEvicted {
+            version: 2,
+            oldest: Some(5),
+        };
+        assert!(e.to_string().contains("no longer retained"));
+        assert!(e.to_string().contains("oldest retained version: 5"));
+        let e = FdmError::VersionEvicted {
+            version: 2,
+            oldest: None,
+        };
+        assert!(e.to_string().contains("history is empty"));
     }
 }

@@ -45,4 +45,4 @@ pub mod version;
 pub use pmap::PMap;
 pub use pmultimap::PMultiMap;
 pub use pset::PSet;
-pub use version::{SharedRoot, Snapshot, Version, VersionConflict, VersionedRoot};
+pub use version::{Backoff, SharedRoot, Snapshot, Version, VersionConflict, VersionedRoot};

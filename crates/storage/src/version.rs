@@ -8,6 +8,85 @@
 
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic exponential backoff with seeded jitter.
+///
+/// The delay ceiling doubles each attempt (`base`, `2·base`, `4·base`, …
+/// capped at `max`); the actual delay is drawn uniformly from
+/// `[ceiling/2, ceiling]` by a seeded xorshift generator, so two
+/// `Backoff`s built from the same seed produce the **same** delay
+/// sequence — contention tests and fault-injection runs stay
+/// reproducible — while different seeds desynchronize contending
+/// committers (the point of jitter).
+///
+/// # Examples
+///
+/// ```
+/// use fdm_storage::Backoff;
+/// use std::time::Duration;
+///
+/// let mut a = Backoff::new(Duration::from_micros(10), Duration::from_millis(1), 7);
+/// let mut b = Backoff::new(Duration::from_micros(10), Duration::from_millis(1), 7);
+/// assert_eq!(a.next_delay(), b.next_delay(), "same seed, same jitter");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    state: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule starting at `base`, capped at `max`,
+    /// with jitter drawn from `seed`.
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Backoff {
+        // splitmix64 finalizer: nearby seeds yield unrelated streams
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Backoff {
+            base,
+            max,
+            state: (z ^ (z >> 31)) | 1, // non-zero: xorshift's fixed point is 0
+            attempt: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(16);
+        self.attempt += 1;
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.max)
+            .max(Duration::from_nanos(2));
+        let nanos = ceiling.as_nanos() as u64;
+        let jitter = self.next_u64() % (nanos / 2 + 1);
+        Duration::from_nanos(nanos - jitter)
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Sleeps for the next delay in the schedule.
+    pub fn sleep_next(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+}
 
 /// A monotonically increasing version number assigned at each commit.
 pub type Version = u64;
@@ -106,6 +185,46 @@ impl<T: Clone> VersionedRoot<T> {
         Ok(guard.version)
     }
 
+    /// Optimistic install with bounded, backoff-paced retries: each
+    /// attempt snapshots the current version, computes a candidate with
+    /// `next`, and CAS-installs it; on a lost race the thread sleeps the
+    /// backoff's next delay and recomputes from the fresh snapshot.
+    /// Returns `(new_version, attempts_used)` on success, or the last
+    /// [`VersionConflict`] once `max_attempts` (min 1) are spent.
+    ///
+    /// Unlike [`Self::update`] this never holds the write lock across the
+    /// computation, so `next` may be arbitrarily slow without blocking
+    /// readers or other writers.
+    pub fn install_with_retry<F>(
+        &self,
+        max_attempts: usize,
+        backoff: &mut Backoff,
+        mut next: F,
+    ) -> Result<(Version, usize), VersionConflict>
+    where
+        F: FnMut(&Snapshot<T>) -> T,
+    {
+        let max_attempts = max_attempts.max(1);
+        let mut last = VersionConflict {
+            expected: 0,
+            found: 0,
+        };
+        for attempt in 1..=max_attempts {
+            let snap = self.load();
+            let candidate = next(&snap);
+            match self.try_install(snap.version, candidate) {
+                Ok(v) => return Ok((v, attempt)),
+                Err(conflict) => {
+                    last = conflict;
+                    if attempt < max_attempts {
+                        backoff.sleep_next();
+                    }
+                }
+            }
+        }
+        Err(last)
+    }
+
     /// Atomically applies `f` to the current value and installs the result;
     /// returns the new version. Unlike [`Self::try_install`] this cannot
     /// fail, because it holds the write lock across the transformation.
@@ -153,6 +272,77 @@ mod tests {
         root.update(|m| m.insert(2, "two").0);
         assert_eq!(snap.value.len(), 1, "old snapshot unchanged");
         assert_eq!(root.load().value.len(), 2);
+    }
+
+    fn tiny_backoff(seed: u64) -> Backoff {
+        Backoff::new(Duration::from_nanos(10), Duration::from_nanos(100), seed)
+    }
+
+    #[test]
+    fn backoff_is_deterministic_under_a_fixed_seed() {
+        let mut a = Backoff::new(Duration::from_micros(20), Duration::from_millis(2), 0xFD17);
+        let mut b = Backoff::new(Duration::from_micros(20), Duration::from_millis(2), 0xFD17);
+        let seq_a: Vec<Duration> = (0..12).map(|_| a.next_delay()).collect();
+        let seq_b: Vec<Duration> = (0..12).map(|_| b.next_delay()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must replay the same schedule");
+        let mut c = Backoff::new(Duration::from_micros(20), Duration::from_millis(2), 0xFD18);
+        let seq_c: Vec<Duration> = (0..12).map(|_| c.next_delay()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds must desynchronize");
+    }
+
+    #[test]
+    fn backoff_delays_are_bounded_and_grow_to_the_cap() {
+        let base = Duration::from_micros(10);
+        let max = Duration::from_micros(500);
+        let mut b = Backoff::new(base, max, 1);
+        for i in 0..32 {
+            let d = b.next_delay();
+            // ceiling for attempt i is min(base << i, max); jitter keeps
+            // the draw within [ceiling/2, ceiling]
+            let ceiling = base.saturating_mul(1 << i.min(16)).min(max);
+            assert!(d <= ceiling, "attempt {i}: {d:?} above ceiling {ceiling:?}");
+            assert!(
+                d >= ceiling / 2,
+                "attempt {i}: {d:?} below half-ceiling {ceiling:?}"
+            );
+        }
+        assert_eq!(b.attempts(), 32);
+    }
+
+    #[test]
+    fn install_with_retry_is_bounded_under_permanent_contention() {
+        let root = VersionedRoot::new(0i64);
+        let mut calls = 0;
+        let err = root
+            .install_with_retry(5, &mut tiny_backoff(3), |snap| {
+                calls += 1;
+                // a contender always sneaks in between load and install
+                root.install(snap.value + 100);
+                snap.value + 1
+            })
+            .unwrap_err();
+        assert_eq!(calls, 5, "exactly max_attempts candidate computations");
+        assert!(err.found > err.expected);
+    }
+
+    #[test]
+    fn install_with_retry_recomputes_from_the_fresh_snapshot() {
+        let root = VersionedRoot::new(10i64);
+        let mut first = true;
+        let (v, attempts) = root
+            .install_with_retry(5, &mut tiny_backoff(4), |snap| {
+                if first {
+                    first = false;
+                    root.install(snap.value + 5); // lose exactly one race
+                }
+                snap.value * 2
+            })
+            .unwrap();
+        assert_eq!(attempts, 2);
+        assert_eq!(v, 2);
+        // the winning candidate saw the contender's value (15), not the
+        // original snapshot (10)
+        assert_eq!(root.load().value, 30);
     }
 
     #[test]

@@ -41,9 +41,24 @@ impl History {
     }
 
     /// Records a committed version (drops the oldest beyond capacity).
+    ///
+    /// Entries are kept sorted by version: two committers that install
+    /// versions `v` and `v+1` may reach the history in either order (the
+    /// record happens after the root CAS), so the insert position is
+    /// found from the rear rather than assumed to be the end. Recording
+    /// the same version twice replaces the earlier value.
     pub fn record(&self, version: Version, db: DatabaseF) {
         let mut g = self.inner.write();
-        g.push((version, db));
+        let at = g
+            .iter()
+            .rposition(|(v, _)| *v <= version)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if at > 0 && g[at - 1].0 == version {
+            g[at - 1].1 = db;
+        } else {
+            g.insert(at, (version, db));
+        }
         if g.len() > self.capacity {
             let excess = g.len() - self.capacity;
             g.drain(..excess);
@@ -51,19 +66,38 @@ impl History {
     }
 
     /// The snapshot that was current *at* `version`: the newest recorded
-    /// version ≤ `version`. Errors if that version has been evicted.
+    /// version ≤ `version`. Errors with [`FdmError::VersionEvicted`] if
+    /// that version is older than everything retained.
     pub fn as_of(&self, version: Version) -> Result<DatabaseF> {
         let g = self.inner.read();
         g.iter()
             .rev()
             .find(|(v, _)| *v <= version)
             .map(|(_, db)| db.clone())
-            .ok_or_else(|| {
-                FdmError::Other(format!(
-                    "version {version} is no longer retained (history keeps {} entries)",
-                    self.capacity
-                ))
+            .ok_or_else(|| FdmError::VersionEvicted {
+                version,
+                oldest: g.first().map(|(v, _)| *v),
             })
+    }
+
+    /// Drops everything but the newest `keep_last_n` versions (min 1),
+    /// bounding the log explicitly; returns how many entries were
+    /// evicted. Reads inside the kept window are unaffected; reads below
+    /// it error with [`FdmError::VersionEvicted`].
+    pub fn compact(&self, keep_last_n: usize) -> usize {
+        let mut g = self.inner.write();
+        let keep = keep_last_n.max(1);
+        if g.len() <= keep {
+            return 0;
+        }
+        let evicted = g.len() - keep;
+        g.drain(..evicted);
+        evicted
+    }
+
+    /// The oldest retained version, if any.
+    pub fn oldest(&self) -> Option<Version> {
+        self.inner.read().first().map(|(v, _)| *v)
     }
 
     /// The newest recorded version, if any.
@@ -117,7 +151,54 @@ mod tests {
         assert_eq!(h.len(), 2);
         let err = h.as_of(0).unwrap_err();
         assert!(err.to_string().contains("no longer retained"), "{err}");
+        assert!(
+            matches!(
+                err,
+                FdmError::VersionEvicted {
+                    version: 0,
+                    oldest: Some(1)
+                }
+            ),
+            "eviction is a typed error: {err:?}"
+        );
         assert_eq!(h.as_of(1).unwrap().name(), "v1");
+        assert_eq!(h.oldest(), Some(1));
+    }
+
+    #[test]
+    fn out_of_order_records_are_insert_sorted() {
+        let h = History::new(10);
+        h.record(2, DatabaseF::new("v2"));
+        h.record(0, DatabaseF::new("v0"));
+        h.record(1, DatabaseF::new("v1"));
+        assert_eq!(h.versions(), vec![0, 1, 2]);
+        assert_eq!(h.as_of(1).unwrap().name(), "v1");
+        // re-recording a version replaces it
+        h.record(1, DatabaseF::new("v1b"));
+        assert_eq!(h.versions(), vec![0, 1, 2]);
+        assert_eq!(h.as_of(1).unwrap().name(), "v1b");
+    }
+
+    #[test]
+    fn compact_keeps_the_newest_window() {
+        let h = History::new(64);
+        for v in 0..10 {
+            h.record(v, DatabaseF::new(format!("v{v}")));
+        }
+        assert_eq!(h.compact(3), 7);
+        assert_eq!(h.versions(), vec![7, 8, 9]);
+        assert_eq!(h.as_of(8).unwrap().name(), "v8");
+        let err = h.as_of(6).unwrap_err();
+        assert!(matches!(
+            err,
+            FdmError::VersionEvicted {
+                version: 6,
+                oldest: Some(7)
+            }
+        ));
+        assert_eq!(h.compact(3), 0, "already inside the window");
+        assert_eq!(h.compact(0), 2, "keep_last_n is clamped to 1");
+        assert_eq!(h.versions(), vec![9]);
     }
 
     #[test]

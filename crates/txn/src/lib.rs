@@ -11,6 +11,17 @@
 //! disjoint from every commit since their snapshot merge by replaying
 //! their recorded operations onto the newest root.
 //!
+//! The commit path is hardened for concurrency (see
+//! `docs/TRANSACTIONS.md` at the repo root): transient losses (CAS
+//! races) retry automatically under a [`CommitPolicy`] with
+//! deterministic seeded backoff, genuine write-write conflicts surface
+//! as typed errors carrying the conflicting keys, [`Store::run`]
+//! re-derives read-modify-write transactions from fresh snapshots, and
+//! every commit is recorded into a bounded [`History`] serving
+//! [`Store::as_of`] time-travel reads. Building with the
+//! `fault-injection` feature (or in tests) adds `FaultPlan` hooks that
+//! force conflicts, delays, and poisoned write sets at chosen versions.
+//!
 //! ```
 //! use fdm_core::{DatabaseF, RelationF, TupleF, Value};
 //! use fdm_txn::Store;
@@ -26,12 +37,17 @@
 
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
 pub mod history;
 pub mod store;
 pub mod txn;
 pub mod writeset;
 
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::FaultPlan;
+pub use fdm_storage::Version;
 pub use history::History;
-pub use store::Store;
+pub use store::{CommitOutcome, CommitPolicy, Store, StoreConfig};
 pub use txn::Transaction;
 pub use writeset::{Op, WriteSet};

@@ -1,13 +1,134 @@
 //! The transactional store: a versioned root holding the committed
-//! database function, plus the commit log used for snapshot-isolation
-//! validation.
+//! database function, the commit log used for snapshot-isolation
+//! validation, and the bounded version history behind time-travel reads.
 
+use crate::history::History;
 use crate::txn::Transaction;
 use crate::writeset::WriteSet;
 use fdm_core::{DatabaseF, FdmError, Result, TupleF, Value};
-use fdm_storage::{Version, VersionedRoot};
+use fdm_storage::VersionedRoot;
+use fdm_storage::{Backoff, Version};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::FaultPlan;
+
+/// How a commit behaves under contention: how many attempts it makes, how
+/// it paces them, and when it gives up.
+///
+/// The backoff between attempts is exponential with **deterministic
+/// seeded jitter** ([`fdm_storage::Backoff`]): a fixed `jitter_seed`
+/// replays the same delay schedule, so contention tests are reproducible,
+/// while different seeds desynchronize contending committers.
+#[derive(Debug, Clone)]
+pub struct CommitPolicy {
+    /// Total commit attempts, including the first (min 1).
+    pub max_attempts: usize,
+    /// First retry delay; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single retry delay.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Overall wall-clock budget; `None` = bounded by attempts only.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for CommitPolicy {
+    fn default() -> Self {
+        CommitPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 0xFD_C0FFEE,
+            timeout: None,
+        }
+    }
+}
+
+impl CommitPolicy {
+    /// A policy that makes exactly one attempt (the pre-hardening
+    /// behavior: any transient conflict surfaces immediately).
+    pub fn no_retry() -> Self {
+        CommitPolicy {
+            max_attempts: 1,
+            ..CommitPolicy::default()
+        }
+    }
+
+    /// Sets the attempt budget (min 1).
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the backoff range (first delay, ceiling).
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max;
+        self
+    }
+
+    /// Sets the jitter seed (deterministic schedules per seed).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// A fresh backoff schedule for one commit, per this policy.
+    pub(crate) fn backoff(&self) -> Backoff {
+        Backoff::new(self.base_backoff, self.max_backoff, self.jitter_seed)
+    }
+}
+
+/// What a successful commit reports, beyond the bare version number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The version this commit installed (the snapshot version for a
+    /// read-only transaction, which installs nothing).
+    pub version: Version,
+    /// Commit attempts spent, including the successful one (0 for a
+    /// read-only transaction, which never reaches the commit path).
+    pub attempts: usize,
+    /// Transient conflicts survived along the way, in display form:
+    /// `("<cas>", "v{expected}->v{found}")` for lost install races and
+    /// `("<injected>", "v{n}")` for injected faults. Genuine first-
+    /// committer-wins conflicts never appear here — they are terminal and
+    /// carry their keys on [`FdmError::TransactionConflict`] instead.
+    pub conflicts: Vec<(String, String)>,
+}
+
+/// Construction-time knobs for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Default policy used by [`Transaction::commit`] and
+    /// [`Store::run`].
+    pub policy: CommitPolicy,
+    /// Versions retained for [`Store::as_of`] time travel. Persistence
+    /// makes retention cheap — each entry is one root pointer sharing all
+    /// unchanged structure with its neighbors.
+    pub history_capacity: usize,
+    /// Commit-log entries retained for conflict validation.
+    pub log_cap: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            policy: CommitPolicy::default(),
+            history_capacity: 1024,
+            log_cap: 4096,
+        }
+    }
+}
 
 /// A transactional FDM store.
 ///
@@ -17,7 +138,12 @@ use std::sync::Arc;
 /// transaction that committed after the snapshot was taken. Disjoint
 /// writers merge (their recorded operations replay onto the latest root);
 /// overlapping writers lose with [`FdmError::TransactionConflict`] —
-/// first committer wins.
+/// first committer wins. Transient losses (CAS races, injected faults)
+/// are retried under the store's [`CommitPolicy`] with deterministic
+/// seeded backoff.
+///
+/// Every commit is also recorded into a bounded [`History`], so
+/// [`Store::as_of`] serves time-travel reads without blocking writers.
 ///
 /// # Examples
 ///
@@ -40,26 +166,64 @@ use std::sync::Arc;
 /// let bal = db.relation("accounts").unwrap().lookup(&Value::Int(42)).unwrap()
 ///     .get("balance").unwrap();
 /// assert_eq!(bal, Value::Int(900));
+///
+/// // time travel: the pre-transfer state is one as_of away
+/// let past = store.as_of(0).unwrap();
+/// let bal0 = past.relation("accounts").unwrap().lookup(&Value::Int(42)).unwrap()
+///     .get("balance").unwrap();
+/// assert_eq!(bal0, Value::Int(1000));
 /// ```
 pub struct Store {
     pub(crate) root: Arc<VersionedRoot<DatabaseF>>,
-    /// Commit log: `(version, write set)` of every commit, newest last.
-    /// Trimmed below the oldest version any conflict check can need would
-    /// require tracking active transactions; we keep a bounded tail
-    /// instead, which is correct as long as snapshots are not older than
-    /// the tail — enforced in `validate`.
+    /// Commit log: `(version, write set)` of every commit, version-sorted,
+    /// newest last. Trimming below the oldest version any conflict check
+    /// can need would require tracking active transactions; we keep a
+    /// bounded tail instead, which is correct as long as snapshots are not
+    /// older than the tail — enforced in commit validation.
     pub(crate) log: Mutex<Vec<(Version, WriteSet)>>,
     /// Maximum retained commit-log entries.
     pub(crate) log_cap: usize,
+    /// Default commit policy (see [`Transaction::commit_with`] to
+    /// override per commit).
+    pub(crate) policy: CommitPolicy,
+    /// Committed roots for time travel, recorded on every write commit.
+    pub(crate) history: History,
+    /// Injected faults, if a plan is installed (test/fault-injection
+    /// builds only).
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Store {
-    /// Creates a store with the given initial database (version 0).
+    /// Creates a store with the given initial database (version 0) and
+    /// default configuration.
     pub fn new(db: DatabaseF) -> Arc<Store> {
+        Store::with_config(db, StoreConfig::default())
+    }
+
+    /// Creates a store with an explicit default [`CommitPolicy`].
+    pub fn with_policy(db: DatabaseF, policy: CommitPolicy) -> Arc<Store> {
+        Store::with_config(
+            db,
+            StoreConfig {
+                policy,
+                ..StoreConfig::default()
+            },
+        )
+    }
+
+    /// Creates a store with full construction-time configuration.
+    pub fn with_config(db: DatabaseF, config: StoreConfig) -> Arc<Store> {
+        let history = History::new(config.history_capacity);
+        history.record(0, db.clone());
         Arc::new(Store {
             root: Arc::new(VersionedRoot::new(db)),
             log: Mutex::new(Vec::new()),
-            log_cap: 4096,
+            log_cap: config.log_cap.max(1),
+            policy: config.policy,
+            history,
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: Mutex::new(None),
         })
     }
 
@@ -73,11 +237,120 @@ impl Store {
         self.root.load().value
     }
 
+    /// An O(1) consistent snapshot together with the version it was taken
+    /// at (version and value read atomically).
+    pub fn snapshot_versioned(&self) -> (Version, DatabaseF) {
+        let snap = self.root.load();
+        (snap.version, snap.value)
+    }
+
+    /// The store's default commit policy.
+    pub fn policy(&self) -> &CommitPolicy {
+        &self.policy
+    }
+
+    /// The committed database as of `version`: the newest recorded
+    /// version ≤ `version`, replayed from the store's [`History`].
+    /// Errors with [`FdmError::VersionEvicted`] below the retained
+    /// window. Never blocks writers — the history read lock is held only
+    /// to clone one persistent root.
+    pub fn as_of(&self, version: Version) -> Result<DatabaseF> {
+        self.history.as_of(version)
+    }
+
+    /// The version history behind [`Store::as_of`].
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Bounds the time-travel log to the newest `keep_last_n` versions;
+    /// returns how many entries were evicted.
+    pub fn compact_history(&self, keep_last_n: usize) -> usize {
+        self.history.compact(keep_last_n)
+    }
+
     /// Begins a transaction on the current snapshot (paper Fig. 11
     /// `begin()`).
+    ///
+    /// Deliberately touches only the versioned root's read lock — never
+    /// the commit-log mutex — so a reader-heavy workload cannot stall
+    /// committers and a stalled committer cannot stall `begin()`. Pinned
+    /// by `begin_and_snapshot_never_take_the_commit_log_lock` below.
     pub fn begin(self: &Arc<Self>) -> Transaction {
         let snap = self.root.load();
         Transaction::new(Arc::clone(self), snap.version, snap.value)
+    }
+
+    /// Runs `f` as a transaction under the store's default policy; see
+    /// [`Store::run_with`].
+    pub fn run<T>(
+        self: &Arc<Self>,
+        f: impl FnMut(&mut Transaction) -> Result<T>,
+    ) -> Result<(T, CommitOutcome)> {
+        let policy = self.policy.clone();
+        self.run_with(&policy, f)
+    }
+
+    /// Runs `f` as a transaction, retrying the **whole closure** on
+    /// conflict: a fresh snapshot, a re-executed body, a new commit. This
+    /// is the safe retry for read-modify-write logic — replaying recorded
+    /// writes after a genuine conflict would lose the other committer's
+    /// update, so `commit` refuses to, and this re-derivation is the
+    /// correct discipline instead.
+    ///
+    /// Up to `policy.max_attempts` executions, paced by the policy's
+    /// seeded backoff; each inner commit also retries *transient* races
+    /// under the same policy. Returns the closure's value and the final
+    /// [`CommitOutcome`] (attempts = closure executions).
+    pub fn run_with<T>(
+        self: &Arc<Self>,
+        policy: &CommitPolicy,
+        mut f: impl FnMut(&mut Transaction) -> Result<T>,
+    ) -> Result<(T, CommitOutcome)> {
+        let start = std::time::Instant::now();
+        let mut backoff = policy.backoff();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut conflicts: Vec<(String, String)> = Vec::new();
+        for attempt in 1..=max_attempts {
+            let mut txn = self.begin();
+            let out = f(&mut txn)?;
+            match txn.commit_with(policy) {
+                Ok(mut outcome) => {
+                    outcome.attempts = attempt;
+                    conflicts.append(&mut outcome.conflicts);
+                    outcome.conflicts = conflicts;
+                    return Ok((out, outcome));
+                }
+                Err(FdmError::TransactionConflict { detail, mut keys }) => {
+                    conflicts.append(&mut keys);
+                    if attempt == max_attempts {
+                        return Err(FdmError::TransactionRetriesExhausted {
+                            attempts: attempt,
+                            detail,
+                        });
+                    }
+                }
+                Err(FdmError::TransactionRetriesExhausted { detail, .. }) => {
+                    if attempt == max_attempts {
+                        return Err(FdmError::TransactionRetriesExhausted {
+                            attempts: attempt,
+                            detail,
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            if let Some(t) = policy.timeout {
+                if start.elapsed() >= t {
+                    return Err(FdmError::TransactionTimeout {
+                        attempts: attempt,
+                        elapsed_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
+            }
+            backoff.sleep_next();
+        }
+        unreachable!("loop returns on the final attempt")
     }
 
     /// Per-statement autocommit (the paper's Fig. 10 note: "depending on
@@ -89,18 +362,8 @@ impl Store {
         retries: usize,
         f: impl Fn(&mut Transaction) -> Result<T>,
     ) -> Result<T> {
-        let mut attempt = 0;
-        loop {
-            let mut txn = self.begin();
-            let out = f(&mut txn)?;
-            match txn.commit() {
-                Ok(_) => return Ok(out),
-                Err(FdmError::TransactionConflict { .. }) if attempt < retries => {
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        let policy = self.policy.clone().with_max_attempts(retries + 1);
+        self.run_with(&policy, f).map(|(out, _)| out)
     }
 
     /// Convenience single-statement write: insert-or-replace one tuple.
@@ -114,12 +377,66 @@ impl Store {
     pub fn log_len(&self) -> usize {
         self.log.lock().len()
     }
+
+    /// Records a successful commit: the write set into the validation log
+    /// (version-sorted — concurrent winners may arrive out of order) and
+    /// the new root into the time-travel history.
+    pub(crate) fn record_commit(&self, version: Version, writes: WriteSet, db: DatabaseF) {
+        {
+            let mut log = self.log.lock();
+            let at = log
+                .iter()
+                .rposition(|(v, _)| *v <= version)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            log.insert(at, (version, writes));
+            if log.len() > self.log_cap {
+                let excess = log.len() - self.log_cap;
+                log.drain(..excess);
+            }
+        }
+        self.history.record(version, db);
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl Store {
+    /// Installs a fault plan; subsequent commits consult it. Replaces any
+    /// previous plan.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.faults.lock() = Some(plan);
+    }
+
+    /// Removes the installed fault plan, if any.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.lock() = None;
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
+    }
+
+    pub(crate) fn fault_take_conflict(&self, v: Version) -> bool {
+        self.fault_plan().is_some_and(|p| p.take_conflict(v))
+    }
+
+    pub(crate) fn fault_poisoned(&self, v: Version) -> bool {
+        self.fault_plan().is_some_and(|p| p.poisoned(v))
+    }
+
+    pub(crate) fn fault_delay_before_cas(&self, v: Version) {
+        if let Some(delay) = self.fault_plan().and_then(|p| p.delay_for(v)) {
+            std::thread::sleep(delay);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fdm_core::RelationF;
+    use std::sync::mpsc;
+    use std::time::Duration;
 
     fn bank() -> Arc<Store> {
         let accounts = RelationF::new("accounts", &["id"])
@@ -145,6 +462,9 @@ mod tests {
         assert_eq!(before.relation("accounts").unwrap().len(), 1);
         assert_eq!(store.snapshot().relation("accounts").unwrap().len(), 2);
         assert_eq!(store.version(), 1);
+        let (v, db) = store.snapshot_versioned();
+        assert_eq!(v, 1);
+        assert_eq!(db.relation("accounts").unwrap().len(), 2);
     }
 
     #[test]
@@ -159,5 +479,248 @@ mod tests {
             })
             .unwrap();
         assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn run_reports_a_commit_outcome() {
+        let store = bank();
+        let (out, outcome) = store
+            .run(|txn| {
+                txn.update_attr("accounts", &Value::Int(1), "balance", 7)?;
+                Ok("done")
+            })
+            .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(outcome.version, 1);
+        assert_eq!(outcome.attempts, 1);
+        assert!(outcome.conflicts.is_empty());
+    }
+
+    #[test]
+    fn run_rederives_after_a_genuine_conflict() {
+        // two closure-retried writers to the same key: both must land,
+        // and the loser's re-execution must see the winner's value (no
+        // lost update)
+        let store = bank();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        store
+                            .run(|txn| {
+                                txn.modify_attr("accounts", &Value::Int(1), "balance", |v| {
+                                    v.add(&Value::Int(1))
+                                })
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let bal = store
+            .snapshot()
+            .relation("accounts")
+            .unwrap()
+            .lookup(&Value::Int(1))
+            .unwrap()
+            .get("balance")
+            .unwrap();
+        assert_eq!(bal, Value::Int(140), "all 40 increments applied");
+    }
+
+    #[test]
+    fn as_of_replays_the_commit_history() {
+        let store = bank();
+        for i in 0..5i64 {
+            store
+                .run(|txn| txn.update_attr("accounts", &Value::Int(1), "balance", 100 + i))
+                .unwrap();
+        }
+        assert_eq!(store.version(), 5);
+        for v in 0..=5u64 {
+            let db = store.as_of(v).unwrap();
+            let bal = db
+                .relation("accounts")
+                .unwrap()
+                .lookup(&Value::Int(1))
+                .unwrap()
+                .get("balance")
+                .unwrap();
+            let expect = if v == 0 { 100 } else { 100 + v as i64 - 1 };
+            assert_eq!(bal, Value::Int(expect), "as_of({v})");
+        }
+        // compaction bounds the log and reports typed eviction below it
+        assert_eq!(store.compact_history(2), 4);
+        assert!(store.as_of(5).is_ok());
+        let err = store.as_of(1).unwrap_err();
+        assert!(matches!(
+            err,
+            FdmError::VersionEvicted {
+                version: 1,
+                oldest: Some(4)
+            }
+        ));
+    }
+
+    #[test]
+    fn forced_conflict_is_survived_by_the_default_policy() {
+        let store = bank();
+        let plan = FaultPlan::new();
+        plan.force_conflict_at(0);
+        store.install_fault_plan(Arc::clone(&plan));
+        // the old code surfaced the conflict immediately; the policy-driven
+        // commit replays and wins on the second attempt
+        let mut txn = store.begin();
+        txn.update_attr("accounts", &Value::Int(1), "balance", 1)
+            .unwrap();
+        let outcome = txn.commit_with(&CommitPolicy::default()).unwrap();
+        assert_eq!(outcome.version, 1);
+        assert_eq!(outcome.attempts, 2);
+        assert_eq!(
+            outcome.conflicts,
+            vec![("<injected>".to_string(), "v0".to_string())]
+        );
+        assert_eq!(plan.injected_conflicts(), 1);
+    }
+
+    #[test]
+    fn forced_conflict_fails_a_no_retry_policy() {
+        let store = bank();
+        let plan = FaultPlan::new();
+        plan.force_conflict_at(0);
+        store.install_fault_plan(plan);
+        let mut txn = store.begin();
+        txn.update_attr("accounts", &Value::Int(1), "balance", 1)
+            .unwrap();
+        let err = txn.commit_with(&CommitPolicy::no_retry()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FdmError::TransactionRetriesExhausted { attempts: 1, .. }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(store.version(), 0, "nothing installed");
+    }
+
+    #[test]
+    fn poisoned_writeset_exhausts_bounded_retries() {
+        let store = bank();
+        let plan = FaultPlan::new();
+        plan.poison_writeset_at(0);
+        store.install_fault_plan(Arc::clone(&plan));
+        let mut txn = store.begin();
+        txn.update_attr("accounts", &Value::Int(1), "balance", 1)
+            .unwrap();
+        let policy = CommitPolicy::default()
+            .with_max_attempts(4)
+            .with_backoff(Duration::from_micros(1), Duration::from_micros(10));
+        let err = txn.commit_with(&policy).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FdmError::TransactionRetriesExhausted { attempts: 4, .. }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(plan.injected_poisons(), 4, "every attempt was poisoned");
+        assert_eq!(store.version(), 0);
+        // clearing the plan restores normal commits
+        store.clear_fault_plan();
+        store
+            .run(|txn| txn.update_attr("accounts", &Value::Int(1), "balance", 2))
+            .unwrap();
+        assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn commit_timeout_is_enforced() {
+        let store = bank();
+        let plan = FaultPlan::new();
+        plan.poison_writeset_at(0);
+        store.install_fault_plan(plan);
+        let mut txn = store.begin();
+        txn.update_attr("accounts", &Value::Int(1), "balance", 1)
+            .unwrap();
+        let policy = CommitPolicy::default()
+            .with_max_attempts(1_000_000)
+            .with_backoff(Duration::from_micros(50), Duration::from_micros(200))
+            .with_timeout(Duration::from_millis(5));
+        let err = txn.commit_with(&policy).unwrap_err();
+        assert!(
+            matches!(err, FdmError::TransactionTimeout { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn delay_fault_widens_the_race_window_but_commit_still_lands() {
+        let store = bank();
+        let plan = FaultPlan::new();
+        plan.delay_before_cas_at(0, Duration::from_millis(1));
+        store.install_fault_plan(Arc::clone(&plan));
+        store
+            .run(|txn| txn.update_attr("accounts", &Value::Int(1), "balance", 5))
+            .unwrap();
+        assert!(plan.injected_delays() >= 1);
+        assert_eq!(store.version(), 1);
+    }
+
+    /// Regression pin for the commit-log locking discipline: `begin()`
+    /// and snapshot reads must never touch the commit-log mutex, so a
+    /// stalled committer (or anything else holding the log) cannot block
+    /// readers — and long-running readers, holding only persistent
+    /// clones, cannot block commits.
+    #[test]
+    fn begin_and_snapshot_never_take_the_commit_log_lock() {
+        let store = bank();
+        let guard = store.log.lock(); // a "stalled committer"
+        let (tx, rx) = mpsc::channel();
+        let reader_store = Arc::clone(&store);
+        let handle = std::thread::spawn(move || {
+            let txn = reader_store.begin();
+            let (v, db) = reader_store.snapshot_versioned();
+            let _ = reader_store.as_of(v);
+            tx.send((
+                txn.base_version(),
+                v,
+                db.relation("accounts").unwrap().len(),
+            ))
+            .unwrap();
+        });
+        let got = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("begin()/snapshot()/as_of() must not block on the commit-log mutex");
+        assert_eq!(got, (0, 0, 1));
+        drop(guard);
+        handle.join().unwrap();
+
+        // and the dual: a long-lived reader (open transaction + snapshot
+        // in hand) never blocks a commit
+        let long_reader = store.begin();
+        let held_snapshot = store.snapshot();
+        let (tx, rx) = mpsc::channel();
+        let writer_store = Arc::clone(&store);
+        let handle = std::thread::spawn(move || {
+            let v = writer_store
+                .upsert_one(
+                    "accounts",
+                    Value::Int(9),
+                    TupleF::builder("a").attr("balance", 1).build(),
+                )
+                .unwrap();
+            tx.send(v).unwrap();
+        });
+        let v = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("a commit must not block on open readers");
+        assert_eq!(v, 1);
+        handle.join().unwrap();
+        assert_eq!(held_snapshot.relation("accounts").unwrap().len(), 1);
+        assert!(long_reader
+            .get("accounts", &Value::Int(9))
+            .unwrap()
+            .is_none());
     }
 }

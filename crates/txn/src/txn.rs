@@ -11,12 +11,13 @@
 //! the newest root and win; overlapping writers get
 //! [`FdmError::TransactionConflict`] — first committer wins.
 
-use crate::store::Store;
+use crate::store::{CommitOutcome, CommitPolicy, Store};
 use crate::writeset::{Op, WriteSet};
 use fdm_core::{DatabaseF, FdmError, FnValue, Name, Result, TupleF, Value};
 use fdm_fql::{db_delete, db_upsert};
 use fdm_storage::Version;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An in-flight transaction.
 pub struct Transaction {
@@ -158,32 +159,69 @@ impl Transaction {
         self.finished = true;
     }
 
-    /// Validates and commits. On success returns the new version.
+    /// Validates and commits under the store's default [`CommitPolicy`].
+    /// On success returns the new version.
     ///
     /// Read-only transactions commit without touching the root.
-    pub fn commit(mut self) -> Result<Version> {
+    pub fn commit(self) -> Result<Version> {
+        let policy = self.store.policy().clone();
+        self.commit_with(&policy).map(|o| o.version)
+    }
+
+    /// Validates and commits under an explicit [`CommitPolicy`],
+    /// reporting a structured [`CommitOutcome`].
+    ///
+    /// Each attempt revalidates the write set against everything
+    /// committed since the snapshot. Two failure classes are treated
+    /// differently:
+    ///
+    /// * **Transient** losses — a CAS race lost to a concurrent
+    ///   committer whose writes were *disjoint* from ours, or an injected
+    ///   fault — are replayed automatically: the policy's seeded backoff
+    ///   paces up to `max_attempts` revalidate-and-install rounds, and
+    ///   the survived races are reported in
+    ///   [`CommitOutcome::conflicts`]. Exhausting the budget yields
+    ///   [`FdmError::TransactionRetriesExhausted`]; exceeding
+    ///   `policy.timeout` yields [`FdmError::TransactionTimeout`].
+    /// * **Genuine** write-write conflicts — another commit since our
+    ///   snapshot touched the same `(relation, key)` — are terminal:
+    ///   [`FdmError::TransactionConflict`] carries the conflicting keys
+    ///   and is returned on the *first* detection, never retried.
+    ///   Recorded operations hold final values (a read-modify-write's
+    ///   result, not its delta), so blindly replaying them over the
+    ///   other committer's version would silently lose its update. The
+    ///   safe retry is to re-derive the writes from a fresh snapshot —
+    ///   [`Store::run_with`] does exactly that.
+    pub fn commit_with(mut self, policy: &CommitPolicy) -> Result<CommitOutcome> {
         self.finished = true;
         if self.writes.is_empty() {
-            return Ok(self.base_version);
+            return Ok(CommitOutcome {
+                version: self.base_version,
+                attempts: 0,
+                conflicts: Vec::new(),
+            });
         }
+        let start = Instant::now();
+        let mut backoff = policy.backoff();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0usize;
+        let mut conflicts: Vec<(String, String)> = Vec::new();
         loop {
+            attempts += 1;
             let current = self.store.root.load();
-            // Fast path: nothing committed since our snapshot.
-            if current.version == self.base_version {
-                match self
-                    .store
-                    .root
-                    .try_install(self.base_version, self.working.clone())
-                {
-                    Ok(v) => {
-                        self.append_log(v);
-                        return Ok(v);
-                    }
-                    Err(_) => continue, // raced; revalidate
-                }
+
+            // Injected fault: pretend this attempt lost a transient race.
+            #[cfg(any(test, feature = "fault-injection"))]
+            if self.store.fault_take_conflict(current.version) {
+                conflicts.push(("<injected>".to_string(), format!("v{}", current.version)));
+                self.pace(policy, &mut backoff, attempts, max_attempts, start)?;
+                continue;
             }
-            // Slow path: validate against commits after our snapshot.
-            {
+
+            // Validate against commits after our snapshot. Genuine
+            // overlaps are terminal (see above); the log lock is scoped
+            // so it is never held across replay or install.
+            if current.version != self.base_version {
                 let log = self.store.log.lock();
                 let oldest = log.first().map(|(v, _)| *v).unwrap_or(current.version);
                 if self.base_version + 1 < oldest {
@@ -192,6 +230,7 @@ impl Transaction {
                             "snapshot v{} is older than the retained commit log (oldest v{oldest})",
                             self.base_version
                         ),
+                        keys: Vec::new(),
                     });
                 }
                 for (v, ws) in log.iter() {
@@ -201,21 +240,87 @@ impl Transaction {
                                 "write-write conflict with commit v{v} on {}",
                                 self.writes.describe_overlap(ws)
                             ),
+                            keys: self.writes.conflict_keys(ws),
                         });
                     }
                 }
             }
-            // Disjoint: replay our ops onto the latest root and try to
-            // install on top of it.
-            let merged = self.replay_onto(&current.value)?;
-            match self.store.root.try_install(current.version, merged) {
+
+            // Injected fault: validation "sees" a conflict storm — every
+            // attempt at this version loses, so bounded budgets exhaust.
+            #[cfg(any(test, feature = "fault-injection"))]
+            if self.store.fault_poisoned(current.version) {
+                conflicts.push(("<poisoned>".to_string(), format!("v{}", current.version)));
+                self.pace(policy, &mut backoff, attempts, max_attempts, start)?;
+                continue;
+            }
+
+            // Disjoint (or first): build the candidate root. The fast
+            // path installs the working copy as-is; the merge path
+            // replays our recorded ops onto the newest root.
+            let candidate = if current.version == self.base_version {
+                self.working.clone()
+            } else {
+                self.replay_onto(&current.value)?
+            };
+
+            // Injected fault: widen the validate→install race window.
+            #[cfg(any(test, feature = "fault-injection"))]
+            self.store.fault_delay_before_cas(current.version);
+
+            let installed = candidate.clone();
+            match self.store.root.try_install(current.version, candidate) {
                 Ok(v) => {
-                    self.append_log(v);
-                    return Ok(v);
+                    self.store.record_commit(v, self.writes.clone(), installed);
+                    return Ok(CommitOutcome {
+                        version: v,
+                        attempts,
+                        conflicts,
+                    });
                 }
-                Err(_) => continue, // another commit landed; loop and revalidate
+                Err(race) => {
+                    // another commit landed between load and install —
+                    // transient by definition; revalidate and retry
+                    conflicts.push((
+                        "<cas>".to_string(),
+                        format!("v{}->v{}", race.expected, race.found),
+                    ));
+                    self.pace(policy, &mut backoff, attempts, max_attempts, start)?;
+                }
             }
         }
+    }
+
+    /// Between-attempt bookkeeping for transient losses: errors out when
+    /// the attempt or wall-clock budget is spent, otherwise sleeps the
+    /// next backoff delay.
+    fn pace(
+        &self,
+        policy: &CommitPolicy,
+        backoff: &mut fdm_storage::Backoff,
+        attempts: usize,
+        max_attempts: usize,
+        start: Instant,
+    ) -> Result<()> {
+        if attempts >= max_attempts {
+            return Err(FdmError::TransactionRetriesExhausted {
+                attempts,
+                detail: format!(
+                    "transient commit conflicts persisted at v{}",
+                    self.store.version()
+                ),
+            });
+        }
+        if let Some(t) = policy.timeout {
+            if start.elapsed() >= t {
+                return Err(FdmError::TransactionTimeout {
+                    attempts,
+                    elapsed_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        backoff.sleep_next();
+        Ok(())
     }
 
     fn replay_onto(&self, base: &DatabaseF) -> Result<DatabaseF> {
@@ -237,16 +342,6 @@ impl Transaction {
             }
         }
         Ok(db)
-    }
-
-    fn append_log(&self, version: Version) {
-        let mut log = self.store.log.lock();
-        log.push((version, self.writes.clone()));
-        let cap = self.store.log_cap;
-        if log.len() > cap {
-            let excess = log.len() - cap;
-            log.drain(..excess);
-        }
     }
 }
 

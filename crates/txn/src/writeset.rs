@@ -59,6 +59,36 @@ impl WriteSet {
         small.iter().any(|k| large.contains(k))
     }
 
+    /// Every conflicting pair with `other`, in display form, for the
+    /// structured `keys` field of `FdmError::TransactionConflict`:
+    /// key-granular conflicts as `(relation, key)`, whole-entry conflicts
+    /// as `(entry, "*")`.
+    pub fn conflict_keys(&self, other: &WriteSet) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let mut push_entry = |e: &Name| {
+            let pair = (e.to_string(), "*".to_string());
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        };
+        for e in &self.entries {
+            if other.entries.contains(e) || other.keys.iter().any(|(r, _)| r == e) {
+                push_entry(e);
+            }
+        }
+        for e in &other.entries {
+            if self.keys.iter().any(|(r, _)| r == e) {
+                push_entry(e);
+            }
+        }
+        for k in &self.keys {
+            if other.keys.contains(k) {
+                out.push((k.0.to_string(), k.1.to_string()));
+            }
+        }
+        out
+    }
+
     /// Human-readable description of the first overlap with `other`
     /// (for conflict error messages).
     pub fn describe_overlap(&self, other: &WriteSet) -> String {
@@ -163,6 +193,39 @@ mod tests {
         let mut b = WriteSet::default();
         b.touch_key(&n("orders"), &Value::Int(1));
         assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn conflict_keys_enumerate_every_overlap() {
+        let mut a = WriteSet::default();
+        a.touch_key(&n("accounts"), &Value::Int(1));
+        a.touch_key(&n("accounts"), &Value::Int(2));
+        a.touch_key(&n("orders"), &Value::Int(9));
+        let mut b = WriteSet::default();
+        b.touch_key(&n("accounts"), &Value::Int(1));
+        b.touch_key(&n("accounts"), &Value::Int(2));
+        b.touch_key(&n("orders"), &Value::Int(8));
+        let keys = a.conflict_keys(&b);
+        assert_eq!(
+            keys,
+            vec![
+                ("accounts".to_string(), "1".to_string()),
+                ("accounts".to_string(), "2".to_string()),
+            ]
+        );
+
+        let mut e = WriteSet::default();
+        e.touch_entry(&n("accounts"));
+        assert_eq!(
+            e.conflict_keys(&a),
+            vec![("accounts".to_string(), "*".to_string())]
+        );
+        assert_eq!(
+            a.conflict_keys(&e),
+            vec![("accounts".to_string(), "*".to_string())],
+            "entry overlap is symmetric and not duplicated"
+        );
+        assert!(a.conflict_keys(&WriteSet::default()).is_empty());
     }
 
     #[test]

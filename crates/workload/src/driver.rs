@@ -1,0 +1,209 @@
+//! A concurrent transactional driver over the retail workload: the
+//! shared harness behind the txn stress tests and the commit-throughput
+//! benchmark series.
+//!
+//! Everything is deterministic from seeds — each writer thread derives
+//! its operation list from `seed + thread`, and commit retry pacing uses
+//! the seeded backoff of the store's `CommitPolicy` — so a failing run
+//! replays. Concurrency still interleaves nondeterministically; the
+//! point is that the *inputs* never vary.
+
+use crate::retail::{generate, to_fdm, RetailConfig};
+use crate::zipf::Zipf;
+use fdm_core::{RelationBuilder, Result, TupleF, Value};
+use fdm_txn::{CommitPolicy, Store, Transaction, Version};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Builds a transactional [`Store`] over the retail database, with every
+/// customer given a `credit` attribute (initially 0) for writers to
+/// contend on.
+pub fn retail_store(cfg: &RetailConfig) -> Arc<Store> {
+    let data = generate(cfg);
+    let db = to_fdm(&data);
+    let mut customers = RelationBuilder::new("customers", &["cid"]);
+    for (cid, name, age, state) in &data.customers {
+        customers.push_arc(
+            Value::Int(*cid),
+            Arc::new(
+                TupleF::builder(format!("c{cid}"))
+                    .attr("name", name.as_str())
+                    .attr("age", *age)
+                    .attr("state", *state)
+                    .attr("credit", 0i64)
+                    .build(),
+            ),
+        );
+    }
+    let customers = customers
+        .build()
+        .expect("generated cids are unique and sorted");
+    Store::new(db.with_relation(customers))
+}
+
+/// Parameters of a mixed read/write run.
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// Concurrent writer threads.
+    pub threads: usize,
+    /// Committed transactions per writer thread.
+    pub ops_per_thread: usize,
+    /// Base seed; thread t draws from `seed + t`.
+    pub seed: u64,
+    /// Zipf exponent for customer choice (0 = uniform; higher = more
+    /// write-write contention on head customers).
+    pub skew: f64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            threads: 4,
+            ops_per_thread: 50,
+            seed: 99,
+            skew: 0.8,
+        }
+    }
+}
+
+/// One writer operation: add `delta` to a customer's `credit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriterOp {
+    /// Target customer id.
+    pub customer: i64,
+    /// Credit delta (1..=9, always positive so sums are easy to audit).
+    pub delta: i64,
+}
+
+/// One committed transaction, as observed by the thread that ran it.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// The version the commit installed.
+    pub version: Version,
+    /// Which writer thread committed it.
+    pub thread: usize,
+    /// The operation it applied.
+    pub op: WriterOp,
+    /// Closure executions the commit took (1 = no conflict).
+    pub attempts: usize,
+}
+
+/// The deterministic operation list for one writer thread.
+pub fn writer_ops(cfg: &MixedConfig, n_customers: usize, thread: usize) -> Vec<WriterOp> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed + thread as u64);
+    let zipf = Zipf::new(n_customers.max(1), cfg.skew);
+    (0..cfg.ops_per_thread)
+        .map(|_| WriterOp {
+            customer: zipf.sample(&mut rng) as i64 + 1,
+            delta: rng.random_range(1..=9),
+        })
+        .collect()
+}
+
+/// Applies one writer op inside a transaction: a read-modify-write of the
+/// customer's `credit` (the shape that *must* be re-derived, not
+/// replayed, after a conflict).
+pub fn apply_writer_op(txn: &mut Transaction, op: &WriterOp) -> Result<()> {
+    txn.modify_attr("customers", &Value::Int(op.customer), "credit", |v| {
+        v.add(&Value::Int(op.delta))
+    })
+}
+
+/// Runs `cfg.threads` concurrent writers, each committing its
+/// deterministic op list via [`Store::run_with`] (closure re-derivation
+/// on conflict). Returns every commit, unordered.
+///
+/// Panics if any operation fails to commit — with the generous retry
+/// budget used here, that is a harness bug, not contention.
+pub fn run_writers(store: &Arc<Store>, cfg: &MixedConfig) -> Vec<CommitRecord> {
+    let n_customers = store
+        .snapshot()
+        .relation("customers")
+        .expect("retail store has customers")
+        .len();
+    let policy = CommitPolicy::default().with_max_attempts(256);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|thread| {
+                let store = Arc::clone(store);
+                let policy = policy.clone();
+                let ops = writer_ops(cfg, n_customers, thread);
+                s.spawn(move || {
+                    ops.into_iter()
+                        .map(|op| {
+                            let (_, outcome) = store
+                                .run_with(&policy, |txn| apply_writer_op(txn, &op))
+                                .expect("generous retry budget always lands");
+                            CommitRecord {
+                                version: outcome.version,
+                                thread,
+                                op,
+                                attempts: outcome.attempts,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("writer thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_ops_are_deterministic_per_thread() {
+        let cfg = MixedConfig::default();
+        assert_eq!(writer_ops(&cfg, 50, 1), writer_ops(&cfg, 50, 1));
+        assert_ne!(writer_ops(&cfg, 50, 1), writer_ops(&cfg, 50, 2));
+        assert!(writer_ops(&cfg, 50, 0)
+            .iter()
+            .all(|op| (1..=50).contains(&op.customer) && (1..=9).contains(&op.delta)));
+    }
+
+    #[test]
+    fn retail_store_has_zeroed_credit() {
+        let store = retail_store(&RetailConfig::small());
+        let db = store.snapshot();
+        let rel = db.relation("customers").unwrap();
+        assert_eq!(rel.len(), 50);
+        let t = rel.lookup(&Value::Int(1)).unwrap();
+        assert_eq!(t.get("credit").unwrap(), Value::Int(0));
+        assert!(t.get("name").is_ok(), "original attributes survive");
+    }
+
+    #[test]
+    fn run_writers_commits_every_op_exactly_once() {
+        let store = retail_store(&RetailConfig::small());
+        let cfg = MixedConfig {
+            threads: 2,
+            ops_per_thread: 10,
+            ..MixedConfig::default()
+        };
+        let records = run_writers(&store, &cfg);
+        assert_eq!(records.len(), 20);
+        let mut versions: Vec<_> = records.iter().map(|r| r.version).collect();
+        versions.sort_unstable();
+        assert_eq!(
+            versions,
+            (1..=20).collect::<Vec<_>>(),
+            "one version per commit"
+        );
+        let total: i64 = records.iter().map(|r| r.op.delta).sum();
+        let rel = store.snapshot();
+        let rel = rel.relation("customers").unwrap();
+        let credit: i64 = rel
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.get("credit").unwrap().as_int("credit").unwrap())
+            .sum();
+        assert_eq!(credit, total, "no lost updates");
+    }
+}

@@ -7,8 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod retail;
 pub mod zipf;
 
+pub use driver::{
+    apply_writer_op, retail_store, run_writers, writer_ops, CommitRecord, MixedConfig, WriterOp,
+};
 pub use retail::{generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational};
 pub use zipf::Zipf;

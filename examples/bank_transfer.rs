@@ -65,7 +65,7 @@ fn main() -> fdm_core::Result<()> {
     })?;
     t1.commit()?;
     match t2.commit() {
-        Err(FdmError::TransactionConflict { detail }) => {
+        Err(FdmError::TransactionConflict { detail, .. }) => {
             println!("\nsecond writer aborted: {detail}");
         }
         other => panic!("expected a conflict, got {other:?}"),

@@ -1,0 +1,169 @@
+//! Time-travel history: replay round-trips, compaction windows, and a
+//! property test that interleaved commit logs always replay to the live
+//! root.
+
+use fdm_core::{DatabaseF, Value};
+use fdm_fql::{db_upsert, difference};
+use fdm_txn::Store;
+use fdm_workload::{retail_store, run_writers, CommitRecord, MixedConfig, RetailConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn credit_of(db: &DatabaseF, cid: i64) -> i64 {
+    db.relation("customers")
+        .unwrap()
+        .lookup(&Value::Int(cid))
+        .unwrap()
+        .get("credit")
+        .unwrap()
+        .as_int("credit")
+        .unwrap()
+}
+
+fn replay_all(base: &DatabaseF, records: &[CommitRecord]) -> DatabaseF {
+    let mut sorted: Vec<&CommitRecord> = records.iter().collect();
+    sorted.sort_unstable_by_key(|r| r.version);
+    let mut db = base.clone();
+    for r in sorted {
+        let key = Value::Int(r.op.customer);
+        let old = credit_of(&db, r.op.customer);
+        let t = db
+            .relation("customers")
+            .unwrap()
+            .lookup(&key)
+            .unwrap()
+            .with_attr("credit", old + r.op.delta);
+        db = db_upsert(&db, "customers", key, t).unwrap();
+    }
+    db
+}
+
+#[test]
+fn as_of_round_trips_every_sequentially_committed_version() {
+    let store = retail_store(&RetailConfig::small());
+    // ten sequential commits, each changing one customer's credit
+    let mut expected: Vec<DatabaseF> = vec![store.as_of(0).unwrap()];
+    for i in 1..=10i64 {
+        store
+            .run(|txn| txn.update_attr("customers", &Value::Int(i % 5 + 1), "credit", i))
+            .unwrap();
+        expected.push(store.snapshot());
+    }
+    for (v, want) in expected.iter().enumerate() {
+        let got = store.as_of(v as u64).unwrap();
+        let diff = difference(want, &got).unwrap();
+        assert!(diff.is_empty(), "as_of({v}) round-trip: {diff:?}");
+    }
+    // asking beyond the newest version answers with the newest root
+    let ahead = store.as_of(1_000).unwrap();
+    assert!(difference(&ahead, &store.snapshot()).unwrap().is_empty());
+}
+
+#[test]
+fn compaction_preserves_the_window_and_evicts_the_rest() {
+    let store = retail_store(&RetailConfig::small());
+    for i in 1..=8i64 {
+        store
+            .run(|txn| txn.update_attr("customers", &Value::Int(1), "credit", i))
+            .unwrap();
+    }
+    assert_eq!(store.history().len(), 9, "v0..v8");
+    let inside_before = store.as_of(6).unwrap();
+
+    assert_eq!(store.compact_history(3), 6);
+    assert_eq!(store.history().versions(), vec![6, 7, 8]);
+
+    // inside the window: identical answers before and after compaction
+    let inside_after = store.as_of(6).unwrap();
+    assert!(difference(&inside_before, &inside_after)
+        .unwrap()
+        .is_empty());
+    // below the window: typed eviction
+    assert!(matches!(
+        store.as_of(2).unwrap_err(),
+        fdm_core::FdmError::VersionEvicted {
+            version: 2,
+            oldest: Some(6)
+        }
+    ));
+    // new commits keep recording into the compacted history
+    store
+        .run(|txn| txn.update_attr("customers", &Value::Int(1), "credit", 99))
+        .unwrap();
+    assert_eq!(store.history().versions(), vec![6, 7, 8, 9]);
+    assert_eq!(credit_of(&store.as_of(9).unwrap(), 1), 99);
+}
+
+#[test]
+fn history_capacity_is_respected_under_load() {
+    use fdm_txn::{CommitPolicy, StoreConfig};
+    let base = retail_store(&RetailConfig::small()).snapshot();
+    let store = Store::with_config(
+        base,
+        StoreConfig {
+            policy: CommitPolicy::default(),
+            history_capacity: 5,
+            log_cap: 4096,
+        },
+    );
+    for i in 1..=20i64 {
+        store
+            .run(|txn| txn.update_attr("customers", &Value::Int(1), "credit", i))
+            .unwrap();
+    }
+    assert_eq!(store.history().len(), 5);
+    assert_eq!(store.history().oldest(), Some(16));
+    assert!(store.as_of(10).is_err());
+    assert_eq!(credit_of(&store.as_of(18).unwrap(), 1), 18);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the interleaving, replaying the recorded commit log onto
+    /// the base snapshot reproduces the live root exactly.
+    #[test]
+    fn interleaved_commit_logs_replay_to_the_live_root(
+        threads in 1usize..4,
+        ops in 4usize..16,
+        seed in any::<u64>(),
+        skew in 0u8..3,
+    ) {
+        let store = retail_store(&RetailConfig::small());
+        let cfg = MixedConfig {
+            threads,
+            ops_per_thread: ops,
+            seed,
+            skew: skew as f64 * 0.6,
+        };
+        let records = run_writers(&store, &cfg);
+        prop_assert_eq!(records.len(), threads * ops);
+
+        let base = store.as_of(0).unwrap();
+        let replayed = replay_all(&base, &records);
+        let live = store.snapshot();
+        let diff = difference(&replayed, &live).unwrap();
+        prop_assert!(diff.is_empty(), "replayed log diverges from live root: {:?}", diff);
+
+        // and the history's newest entry is the live root
+        let (v, newest) = store.history().latest().unwrap();
+        prop_assert_eq!(v, store.version());
+        prop_assert!(difference(&newest, &live).unwrap().is_empty());
+    }
+}
+
+/// `Arc<Store>` keeps history shared: compaction through one handle is
+/// visible through the other (no hidden copies).
+#[test]
+fn history_is_shared_across_store_handles() {
+    let store = retail_store(&RetailConfig::small());
+    let other: Arc<Store> = Arc::clone(&store);
+    for i in 1..=4i64 {
+        store
+            .run(|txn| txn.update_attr("customers", &Value::Int(2), "credit", i))
+            .unwrap();
+    }
+    assert_eq!(other.history().len(), 5);
+    other.compact_history(2);
+    assert_eq!(store.history().versions(), vec![3, 4]);
+}

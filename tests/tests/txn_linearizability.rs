@@ -1,0 +1,256 @@
+//! Snapshot-isolation invariants under real concurrency: N writer
+//! threads and M reader threads over the retail workload, clean and with
+//! injected faults.
+//!
+//! Checked invariants:
+//!
+//! 1. **Monotone, gapless versions** — the committed versions across all
+//!    writers are exactly `1..=n_commits`, each installed once.
+//! 2. **No lost updates** — every customer's final `credit` equals the
+//!    sum of the deltas of the commits that targeted it.
+//! 3. **Readers only observe committed prefixes** — every concurrent
+//!    reader sample `(version, total)` satisfies `total == cumulative
+//!    delta sum at that version`, and versions are monotone per reader.
+//! 4. **Time travel agrees with history** — `as_of(v)` is byte-identical
+//!    (empty Fig. 9 `difference`) to replaying the recorded commit log
+//!    up to `v` onto `as_of(0)`.
+//!
+//! Thread count is `THREADS` from the environment (default 4), so CI can
+//! pin both a single-writer and a contended configuration.
+
+use fdm_core::{DatabaseF, Value};
+use fdm_fql::{db_upsert, difference};
+use fdm_txn::{CommitPolicy, FaultPlan, Store};
+use fdm_workload::{retail_store, run_writers, CommitRecord, MixedConfig, RetailConfig};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn threads() -> usize {
+    std::env::var("THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(4)
+}
+
+fn mixed_config() -> MixedConfig {
+    MixedConfig {
+        threads: threads(),
+        ops_per_thread: 200 / threads().max(1),
+        seed: 2026,
+        skew: 0.9,
+    }
+}
+
+fn total_credit(db: &DatabaseF) -> i64 {
+    db.relation("customers")
+        .expect("retail store has customers")
+        .tuples()
+        .unwrap()
+        .iter()
+        .map(|(_, t)| t.get("credit").unwrap().as_int("credit").unwrap())
+        .sum()
+}
+
+/// Replays `records` (any order) up to and including `upto` onto `base`,
+/// applying each op the way the writers did.
+fn replay(base: &DatabaseF, records: &[CommitRecord], upto: u64) -> DatabaseF {
+    let mut sorted: Vec<&CommitRecord> = records.iter().filter(|r| r.version <= upto).collect();
+    sorted.sort_unstable_by_key(|r| r.version);
+    let mut db = base.clone();
+    for r in sorted {
+        let key = Value::Int(r.op.customer);
+        let t = db.relation("customers").unwrap().lookup(&key).unwrap();
+        let old = t.get("credit").unwrap().as_int("credit").unwrap();
+        let t = t.with_attr("credit", old + r.op.delta);
+        db = db_upsert(&db, "customers", key, t).unwrap();
+    }
+    db
+}
+
+/// Runs the mixed workload with concurrent readers and checks every
+/// invariant. Returns the commit records for extra per-test assertions.
+fn run_and_check(store: &Arc<Store>, cfg: &MixedConfig) -> Vec<CommitRecord> {
+    let base = store.as_of(0).expect("version 0 is recorded at birth");
+    let stop = AtomicBool::new(false);
+    let (records, reader_samples) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..cfg.threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut samples: Vec<(u64, i64)> = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        let (v, db) = store.snapshot_versioned();
+                        samples.push((v, total_credit(&db)));
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let records = run_writers(store, cfg);
+        stop.store(true, Ordering::Release);
+        let samples: Vec<Vec<(u64, i64)>> =
+            readers.into_iter().map(|h| h.join().unwrap()).collect();
+        (records, samples)
+    });
+
+    let n_commits = cfg.threads * cfg.ops_per_thread;
+    assert_eq!(records.len(), n_commits);
+
+    // 1. monotone, gapless versions: exactly 1..=n, each exactly once
+    let mut versions: Vec<u64> = records.iter().map(|r| r.version).collect();
+    versions.sort_unstable();
+    assert_eq!(
+        versions,
+        (1..=n_commits as u64).collect::<Vec<_>>(),
+        "every commit installs exactly one fresh version"
+    );
+    assert_eq!(store.version(), n_commits as u64);
+
+    // 2. no lost updates, per customer
+    let mut expect: BTreeMap<i64, i64> = BTreeMap::new();
+    for r in &records {
+        *expect.entry(r.op.customer).or_default() += r.op.delta;
+    }
+    let live = store.snapshot();
+    for (k, t) in live.relation("customers").unwrap().tuples().unwrap() {
+        let cid = k.as_int("cid").unwrap();
+        let credit = t.get("credit").unwrap().as_int("credit").unwrap();
+        assert_eq!(
+            credit,
+            expect.get(&cid).copied().unwrap_or(0),
+            "customer {cid}: final credit must equal the sum of committed deltas"
+        );
+    }
+
+    // 3. readers observed only committed prefixes
+    let mut cumulative: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut running = 0i64;
+    cumulative.insert(0, 0);
+    let mut by_version: Vec<&CommitRecord> = records.iter().collect();
+    by_version.sort_unstable_by_key(|r| r.version);
+    for r in &by_version {
+        running += r.op.delta;
+        cumulative.insert(r.version, running);
+    }
+    for samples in &reader_samples {
+        let mut last = 0u64;
+        for &(v, total) in samples {
+            assert!(v >= last, "reader versions are monotone");
+            last = v;
+            assert_eq!(
+                total, cumulative[&v],
+                "a reader at v{v} must see exactly the committed prefix"
+            );
+        }
+    }
+
+    // 4. as_of(v) is byte-identical to the replayed history
+    let step = (n_commits / 16).max(1);
+    for v in (0..=n_commits as u64).step_by(step) {
+        let observed = store.as_of(v).unwrap();
+        let expected = replay(&base, &records, v);
+        let diff = difference(&expected, &observed).unwrap();
+        assert!(
+            diff.is_empty(),
+            "as_of({v}) diverges from the replayed commit log: {diff:?}"
+        );
+    }
+    records
+}
+
+#[test]
+fn concurrent_writers_and_readers_preserve_snapshot_isolation() {
+    let store = retail_store(&RetailConfig::small());
+    run_and_check(&store, &mixed_config());
+}
+
+#[test]
+fn invariants_hold_under_injected_faults() {
+    let store = retail_store(&RetailConfig::small());
+    let cfg = mixed_config();
+    let n_commits = (cfg.threads * cfg.ops_per_thread) as u64;
+
+    let plan = FaultPlan::new();
+    // a forced transient conflict roughly every third version, and a few
+    // stalls between validation and install to widen the race window
+    for v in (0..n_commits).step_by(3) {
+        plan.force_conflict_at(v);
+    }
+    for v in [1, 5, 11] {
+        plan.delay_before_cas_at(v, Duration::from_micros(200));
+    }
+    store.install_fault_plan(Arc::clone(&plan));
+
+    let records = run_and_check(&store, &cfg);
+
+    assert!(
+        plan.injected_conflicts() > 0,
+        "the fault plan must actually have fired"
+    );
+    assert!(
+        records.iter().all(|r| r.attempts >= 1),
+        "attempts are always counted"
+    );
+}
+
+#[test]
+fn forced_conflict_is_retried_where_old_code_gave_up() {
+    let store = retail_store(&RetailConfig::small());
+    let plan = FaultPlan::new();
+    plan.force_conflict_at(0);
+    store.install_fault_plan(plan);
+
+    // default policy: survives the injected conflict transparently
+    let mut txn = store.begin();
+    txn.update_attr("customers", &Value::Int(1), "credit", 10)
+        .unwrap();
+    let outcome = txn.commit_with(&CommitPolicy::default()).unwrap();
+    assert_eq!(outcome.version, 1);
+    assert!(outcome.attempts >= 2, "at least one replay happened");
+
+    // the pre-hardening behavior, pinned: one attempt, immediate error
+    let plan = FaultPlan::new();
+    plan.force_conflict_at(1);
+    store.install_fault_plan(plan);
+    let mut txn = store.begin();
+    txn.update_attr("customers", &Value::Int(1), "credit", 20)
+        .unwrap();
+    assert!(txn.commit_with(&CommitPolicy::no_retry()).is_err());
+}
+
+#[test]
+fn compaction_bounds_time_travel_but_keeps_the_window() {
+    let store = retail_store(&RetailConfig::small());
+    for i in 1..=10i64 {
+        store
+            .run(|txn| txn.update_attr("customers", &Value::Int(1), "credit", i))
+            .unwrap();
+    }
+    let evicted = store.compact_history(4);
+    assert_eq!(evicted, 7, "11 recorded roots (v0..v10), 4 kept");
+    assert_eq!(store.history().oldest(), Some(7));
+    for v in 7..=10 {
+        let db = store.as_of(v).unwrap();
+        let credit = db
+            .relation("customers")
+            .unwrap()
+            .lookup(&Value::Int(1))
+            .unwrap()
+            .get("credit")
+            .unwrap();
+        assert_eq!(credit, Value::Int(v as i64));
+    }
+    let err = store.as_of(3).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            fdm_core::FdmError::VersionEvicted {
+                version: 3,
+                oldest: Some(7)
+            }
+        ),
+        "{err:?}"
+    );
+}
