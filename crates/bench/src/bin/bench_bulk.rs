@@ -38,6 +38,12 @@
 //!   mean attempts per commit. **Recorded, never gated** — it is an
 //!   absolute machine-dependent number, unlike the before/after ratios
 //!   above, so `bench_gate` ignores it by design.
+//! * **PR 7 (durability subsystem)** — `fig12_recovery`: commit
+//!   throughput with the WAL off / group-commit (`EveryN(32)`) /
+//!   fsync-per-commit, and recovery time (`Store::open`) as a function
+//!   of WAL length. Both series are medium-dependent (fsync latency,
+//!   page-cache state), so like `fig11` they are **recorded, never
+//!   gated** — `bench_gate` prints them as recorded-only.
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
@@ -869,6 +875,131 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
     (json, gate)
 }
 
+// ──────────────── PR 7: durability / recovery measurement ────────────────
+
+/// Scratch directory for one durability measurement, wiped before use.
+fn recovery_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdm-bench-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Commits/second of the concurrent retail writer mix against `store`.
+fn writer_tps(store: &Arc<fdm_txn::Store>, cfg: &fdm_workload::MixedConfig) -> f64 {
+    let start = Instant::now();
+    let records = fdm_workload::run_writers(store, cfg);
+    records.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The `fig12_recovery` block: WAL commit overhead (throughput with the
+/// WAL off vs group-commit vs fsync-per-commit, same writer mix, fresh
+/// store each) and recovery time vs WAL length (`Store::open` on a log
+/// of `n` commits, no checkpoint to anchor closer than version 0).
+/// Returns `(json, wal_commit_overhead, recovery_replay_per_sec)`.
+fn measure_recovery(quick: bool) -> (String, f64, f64) {
+    use fdm_txn::{DurabilityConfig, Store, StoreConfig, SyncPolicy};
+
+    let retail = standard_config(2_000);
+    let txn_cfg = fdm_workload::MixedConfig {
+        threads: 4,
+        ops_per_thread: if quick { 100 } else { 250 },
+        seed: 0xFD17,
+        skew: 0.8,
+    };
+    let commits = txn_cfg.threads * txn_cfg.ops_per_thread;
+    println!("fig12_recovery: {commits} commits per throughput series");
+
+    let wal_off_tps = writer_tps(&fdm_workload::retail_store(&retail), &txn_cfg);
+    let durable = |tag: &str, sync: SyncPolicy| {
+        let dir = recovery_scratch(tag);
+        let dcfg = DurabilityConfig::new(&dir)
+            .with_sync(sync)
+            .with_checkpoint_every(None);
+        let store = fdm_workload::durable_retail_store(&retail, dcfg).expect("fresh scratch dir");
+        let tps = writer_tps(&store, &txn_cfg);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        tps
+    };
+    let wal_group_tps = durable("group", SyncPolicy::EveryN(32));
+    let wal_fsync_tps = durable("fsync", SyncPolicy::Always);
+    let wal_commit_overhead = wal_off_tps / wal_group_tps;
+
+    // recovery time vs WAL length: a plain kv store (tiny writesets, so
+    // the series tracks replay machinery, not tuple size), built with
+    // fsync off (setup speed; recovery cost does not depend on it) and
+    // auto-checkpointing disabled so every run replays the full log.
+    let lengths: &[u64] = if quick {
+        &[50, 200, 800]
+    } else {
+        &[200, 800, 3_200]
+    };
+    let mut series = Vec::new();
+    let mut replay_per_sec = 0.0;
+    for &n in lengths {
+        let dir = recovery_scratch(&format!("len{n}"));
+        let dcfg = DurabilityConfig::new(&dir)
+            .with_sync(SyncPolicy::Never)
+            .with_checkpoint_every(None);
+        let db = DatabaseF::new("ledger").with_relation(RelationF::new("kv", &["k"]));
+        let store = Store::create(
+            db,
+            StoreConfig {
+                durability: Some(dcfg),
+                ..StoreConfig::default()
+            },
+        )
+        .expect("fresh scratch dir");
+        for i in 1..=n as i64 {
+            store
+                .run(|txn| {
+                    txn.upsert(
+                        "kv",
+                        Value::Int(i % 64),
+                        TupleF::builder("t").attr("v", i).build(),
+                    )
+                })
+                .expect("uncontended commit");
+        }
+        drop(store);
+        let wal_bytes: u64 = std::fs::read_dir(&dir)
+            .expect("scratch dir exists")
+            .filter_map(|e| {
+                let e = e.expect("readable entry");
+                (e.path().extension().and_then(|s| s.to_str()) == Some("seg"))
+                    .then(|| e.metadata().expect("metadata").len())
+            })
+            .sum();
+        let mut opens: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let back = Store::open(&dir).expect("clean log reopens");
+                assert_eq!(back.version(), n, "recovery replays the whole log");
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        opens.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let open_s = opens[opens.len() / 2];
+        replay_per_sec = n as f64 / open_s;
+        println!(
+            "fig12_recovery: {n} commits, {wal_bytes} WAL bytes, open {:.1} ms ({replay_per_sec:.0} commits/s)",
+            open_s * 1_000.0
+        );
+        series.push(format!(
+            "      {{ \"commits\": {n}, \"wal_bytes\": {wal_bytes}, \"open_ms\": {:.2}, \"replay_per_sec\": {replay_per_sec:.0} }}",
+            open_s * 1_000.0
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let json = format!(
+        "  {{\n    \"txn_threads\": {},\n    \"commits\": {commits},\n    \"wal_off_tps\": {wal_off_tps:.0},\n    \"wal_group_commit_tps\": {wal_group_tps:.0},\n    \"wal_fsync_always_tps\": {wal_fsync_tps:.0},\n    \"wal_commit_overhead\": {wal_commit_overhead:.3},\n    \"recovery\": [\n{}\n    ],\n    \"recovery_replay_per_sec\": {replay_per_sec:.0}\n  }}",
+        txn_cfg.threads,
+        series.join(",\n")
+    );
+    (json, wal_commit_overhead, replay_per_sec)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -892,9 +1023,12 @@ fn main() {
         scale_reports.push(json);
         last_gate = Some(gate);
     }
+    // fig12 runs once per entry: its series are WAL-length-parameterized
+    // already, independent of the retail scale loop above.
+    let (fig12, wal_commit_overhead, recovery_replay_per_sec) = measure_recovery(quick);
     let entry = if quick {
         format!(
-            "{{\n  \"entry\": \"pr6_txn_hardening\",\n  \"scales\": [\n{}\n  ]\n}}",
+            "{{\n  \"entry\": \"pr7_durability\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12}\n}}",
             scale_reports.join(",\n")
         )
     } else {
@@ -902,10 +1036,11 @@ fn main() {
         // scale, placed last in the entry: `bench_gate` scans for the
         // last occurrence of each `*_speedup` key, so the committed
         // numbers it compares against are measured at exactly the scale
-        // the CI quick run reproduces.
+        // the CI quick run reproduces. (`fig12_recovery` carries no
+        // `*_speedup` keys, so its placement is inert to the gate.)
         let (baseline, _) = measure_scale(2_000, samples, par_threads);
         format!(
-            "{{\n  \"entry\": \"pr6_txn_hardening\",\n  \"scales\": [\n{}\n  ],\n  \"quick_gate_baseline\":\n{baseline}\n}}",
+            "{{\n  \"entry\": \"pr7_durability\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12},\n  \"quick_gate_baseline\":\n{baseline}\n}}",
             scale_reports.join(",\n")
         )
     };
@@ -918,7 +1053,7 @@ fn main() {
         // it — see ARMED_METRICS there).
         let g = last_gate.expect("at least one scale ran");
         let summary = format!(
-            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0}\n}}\n",
+            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0},\n  \"wal_commit_overhead\": {wal_commit_overhead:.3},\n  \"recovery_replay_per_sec\": {recovery_replay_per_sec:.0}\n}}\n",
             g.union_speedup,
             g.minus_speedup,
             g.intersect_speedup,

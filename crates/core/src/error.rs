@@ -114,6 +114,17 @@ pub enum FdmError {
         version: u64,
         /// The oldest version still retained, if the history is non-empty.
         oldest: Option<u64>,
+        /// The newest retained version — together with `oldest` this is
+        /// the full retention window, so the error message can say
+        /// exactly which reads would have succeeded.
+        newest: Option<u64>,
+    },
+    /// The durability layer (write-ahead log / checkpoint) failed during
+    /// a commit or store operation. Carries the display form of the
+    /// underlying typed durability error.
+    Durability {
+        /// What went wrong, in display form.
+        detail: String,
     },
     /// Error raised by the expression sub-language (parse/bind/eval).
     Expr(String),
@@ -193,16 +204,25 @@ impl fmt::Display for FdmError {
                     "transaction commit timed out after {elapsed_ms} ms ({attempts} attempt(s))"
                 )
             }
-            FdmError::VersionEvicted { version, oldest } => match oldest {
-                Some(o) => write!(
+            FdmError::VersionEvicted {
+                version,
+                oldest,
+                newest,
+            } => match (oldest, newest) {
+                (Some(o), Some(n)) => write!(
+                    f,
+                    "version {version} is no longer retained (retention window: v{o}..=v{n})"
+                ),
+                (Some(o), None) => write!(
                     f,
                     "version {version} is no longer retained (oldest retained version: {o})"
                 ),
-                None => write!(
+                _ => write!(
                     f,
                     "version {version} is no longer retained (history is empty)"
                 ),
             },
+            FdmError::Durability { detail } => write!(f, "durability error: {detail}"),
             FdmError::Expr(msg) => write!(f, "expression error: {msg}"),
             FdmError::Other(msg) => write!(f, "{msg}"),
         }
@@ -258,12 +278,24 @@ mod tests {
         let e = FdmError::VersionEvicted {
             version: 2,
             oldest: Some(5),
+            newest: Some(9),
         };
         assert!(e.to_string().contains("no longer retained"));
+        assert!(e.to_string().contains("retention window: v5..=v9"));
+        let e = FdmError::Durability {
+            detail: "torn tail in wal-0.seg at offset 8".to_string(),
+        };
+        assert!(e.to_string().starts_with("durability error: torn tail"));
+        let e = FdmError::VersionEvicted {
+            version: 2,
+            oldest: Some(5),
+            newest: None,
+        };
         assert!(e.to_string().contains("oldest retained version: 5"));
         let e = FdmError::VersionEvicted {
             version: 2,
             oldest: None,
+            newest: None,
         };
         assert!(e.to_string().contains("history is empty"));
     }

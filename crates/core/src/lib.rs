@@ -78,6 +78,7 @@ pub use constraint::Constraint;
 pub use database::DatabaseF;
 pub use domain::{Domain, SharedDomain};
 pub use error::{FdmError, Name, Result};
+pub use fdm_storage::splitmix64;
 pub use function::{apply1, FnValue, Function, FunctionHandle, LambdaF};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use par::{par_map_chunks, ParConfig, ParallelBuilder};

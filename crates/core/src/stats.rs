@@ -271,13 +271,11 @@ impl DistinctSketch {
     /// Splits a hash into (register index, rank candidate).
     #[inline]
     fn register_for(h: u64) -> (usize, u8) {
-        // splitmix64 finalizer: the raw FxHash of sequential keys is too
-        // regular for HLL's "first set bit" statistic; one multiply-xor
-        // avalanche restores bit uniformity at negligible cost.
-        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
+        // splitmix64 (the shared `fdm_storage` finalizer): the raw FxHash
+        // of sequential keys is too regular for HLL's "first set bit"
+        // statistic; one multiply-xor avalanche restores bit uniformity
+        // at negligible cost.
+        let z = fdm_storage::splitmix64(h);
         let idx = (z >> (64 - SKETCH_INDEX_BITS)) as usize;
         let rest = z << SKETCH_INDEX_BITS;
         let rank = (rest.leading_zeros() + 1).min(64 - SKETCH_INDEX_BITS + 1) as u8;
@@ -662,6 +660,32 @@ mod tests {
 
     fn args(a: i64, b: i64) -> Vec<Value> {
         vec![Value::Int(a), Value::Int(b)]
+    }
+
+    /// Register-identity regression for the splitmix64 deduplication:
+    /// `register_for` must place every hash in the same register with the
+    /// same rank as the pre-refactor private finalizer did, or every
+    /// persisted sketch estimate silently shifts.
+    #[test]
+    fn register_for_is_identical_to_the_inlined_finalizer() {
+        fn old_register_for(h: u64) -> (usize, u8) {
+            // the removed private copy, verbatim
+            let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let idx = (z >> (64 - SKETCH_INDEX_BITS)) as usize;
+            let rest = z << SKETCH_INDEX_BITS;
+            let rank = (rest.leading_zeros() + 1).min(64 - SKETCH_INDEX_BITS + 1) as u8;
+            (idx, rank)
+        }
+        for h in (0u64..10_000).chain([u64::MAX, 0xFD17, 0xDEAD_BEEF]) {
+            assert_eq!(
+                DistinctSketch::register_for(h),
+                old_register_for(h),
+                "register divergence at hash {h:#x}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Typed errors for the durability subsystem.
+//!
+//! Every anomaly recovery can meet has its own variant, because the
+//! correct *reaction* differs: a [`DurabilityError::TornTail`] is the
+//! expected signature of a crash mid-write and recovery repairs it by
+//! truncation; a [`DurabilityError::ChecksumMismatch`] in the middle of
+//! otherwise-valid data is media corruption and recovery must refuse
+//! rather than silently drop acknowledged commits.
+
+use std::fmt;
+
+/// Errors from the WAL, checkpoint, and recovery machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurabilityError {
+    /// The WAL ends in a partial or corrupt record with no valid record
+    /// after it — the signature of a crash mid-append. Recovery handles
+    /// this by truncating the tail; it is a hard error only when met
+    /// outside recovery (e.g. by `verify_integrity` in strict mode).
+    TornTail {
+        /// The segment file containing the torn record.
+        file: String,
+        /// Byte offset of the first invalid record.
+        offset: u64,
+    },
+    /// A record failed its CRC but a valid record follows it: mid-log
+    /// corruption (e.g. a flipped bit), not a torn tail. Truncating here
+    /// would drop acknowledged commits, so recovery refuses.
+    ChecksumMismatch {
+        /// The corrupt file.
+        file: String,
+        /// Byte offset of the corrupt record (or region).
+        offset: u64,
+    },
+    /// No valid checkpoint exists in the durability directory. A store
+    /// directory always carries at least the version-0 checkpoint written
+    /// at creation, so this means the directory is not a store (or the
+    /// checkpoints were deleted).
+    CheckpointMissing {
+        /// The directory that was searched.
+        dir: String,
+    },
+    /// The WAL records after the checkpoint are not a contiguous version
+    /// sequence (e.g. a middle segment was deleted). Replaying across a
+    /// gap would silently skip commits, so recovery refuses.
+    VersionGap {
+        /// The version recovery expected next.
+        expected: u64,
+        /// The version actually found.
+        found: u64,
+    },
+    /// A value cannot be serialized: it contains a closure (computed
+    /// attribute, computed/hybrid relation body, λ function, or predicate
+    /// domain). Raised *before* the commit installs, so an unserializable
+    /// write fails cleanly instead of committing in memory and then
+    /// failing to log.
+    Unserializable {
+        /// What was unserializable, e.g. `"computed attribute 'bar' of
+        /// tuple 't1'"`.
+        what: String,
+    },
+    /// Structurally invalid durable data that is not a checksum issue
+    /// (bad magic, impossible tag byte, truncated payload inside a
+    /// CRC-valid record).
+    Corrupt {
+        /// Description of the malformation.
+        detail: String,
+    },
+    /// An underlying I/O operation failed.
+    Io {
+        /// Description of the failed operation.
+        detail: String,
+    },
+    /// The writer hit an injected crash point (fault injection only):
+    /// the simulated machine is dead and every further durable operation
+    /// fails with this error until the store is re-opened.
+    Crashed,
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::TornTail { file, offset } => {
+                write!(f, "torn WAL tail in {file} at byte {offset}")
+            }
+            DurabilityError::ChecksumMismatch { file, offset } => {
+                write!(
+                    f,
+                    "checksum mismatch in {file} at byte {offset} (mid-log corruption)"
+                )
+            }
+            DurabilityError::CheckpointMissing { dir } => {
+                write!(f, "no valid checkpoint found in {dir}")
+            }
+            DurabilityError::VersionGap { expected, found } => {
+                write!(f, "WAL version gap: expected v{expected}, found v{found}")
+            }
+            DurabilityError::Unserializable { what } => {
+                write!(f, "cannot serialize {what}")
+            }
+            DurabilityError::Corrupt { detail } => write!(f, "corrupt durable data: {detail}"),
+            DurabilityError::Io { detail } => write!(f, "durability I/O error: {detail}"),
+            DurabilityError::Crashed => write!(f, "injected crash: writer is dead"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<fdm_core::FdmError> for DurabilityError {
+    fn from(e: fdm_core::FdmError) -> Self {
+        DurabilityError::Corrupt {
+            detail: format!("decoded value rejected by the model: {e}"),
+        }
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T, E = DurabilityError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DurabilityError::TornTail {
+            file: "wal-1.seg".into(),
+            offset: 42,
+        };
+        assert!(e.to_string().contains("torn WAL tail"));
+        assert!(e.to_string().contains("42"));
+        let e = DurabilityError::VersionGap {
+            expected: 5,
+            found: 7,
+        };
+        assert!(e.to_string().contains("expected v5"));
+        assert!(e.to_string().contains("found v7"));
+        let e = DurabilityError::Unserializable {
+            what: "λ function 'f'".into(),
+        };
+        assert!(e.to_string().contains("cannot serialize"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DurabilityError = io.into();
+        assert!(matches!(e, DurabilityError::Io { .. }));
+        assert!(e.to_string().contains("gone"));
+    }
+}

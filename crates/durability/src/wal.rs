@@ -1,0 +1,501 @@
+//! The append-only segmented write-ahead log.
+//!
+//! ## Record format
+//!
+//! Every committed writeset becomes one length-prefixed, CRC-guarded
+//! record:
+//!
+//! ```text
+//! u32 len   — payload length in bytes (little-endian)
+//! u32 crc   — CRC-32 (IEEE) of the payload
+//! payload   — u64 version (LE) ‖ canonical op encoding (codec::encode_ops)
+//! ```
+//!
+//! Records live in segment files `wal-<start-version, 20 digits>.seg`,
+//! each beginning with the 8-byte magic `FDMWAL01`; a segment is named
+//! after the first version written into it, so the segment list sorts by
+//! both name and version. Segments rotate when they exceed
+//! [`DurabilityConfig::segment_bytes`].
+//!
+//! ## Ordering and the pending buffer
+//!
+//! Commits reach the WAL in CAS-install order *per the commit-log lock*,
+//! but two committers that install versions `v` and `v+1` may call in
+//! either order. The WAL therefore buffers out-of-order arrivals and
+//! writes records in **strict version order** — the on-disk sequence is
+//! always gapless, which is what lets recovery equate "contiguous prefix
+//! of records" with "prefix of committed history".
+//!
+//! ## Group commit
+//!
+//! [`SyncPolicy`] decides when `fsync` runs: `Always` (every append —
+//! the strict-durability default), `EveryN(n)` (group commit: at most
+//! `n` appends ride on one fsync; a crash may lose the un-synced
+//! suffix), or `Never` (fsync only on rotation/close — benchmarking and
+//! bulk loads). The append acknowledgement reports the *durable
+//! watermark* so callers always know which versions survive a crash.
+
+use crate::codec::crc32;
+use crate::error::{DurabilityError, Result};
+use fdm_storage::Version;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::crash::CrashPlan;
+#[cfg(any(test, feature = "fault-injection"))]
+use std::sync::Arc;
+
+/// Magic bytes opening every WAL segment file.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"FDMWAL01";
+/// Byte length of a record header (`u32 len` + `u32 crc`).
+pub(crate) const RECORD_HEADER: usize = 8;
+/// Upper bound on a single record payload; a stated length above this is
+/// treated as corruption rather than attempted as an allocation.
+pub(crate) const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// When the WAL calls `fsync`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync after every append. Strict durability: an acknowledged
+    /// commit is on the medium. The default.
+    Always,
+    /// Group commit: fsync once per `n` appends (and on demand). A crash
+    /// can lose at most the un-synced suffix, never an fsynced commit.
+    EveryN(u64),
+    /// Fsync only on segment rotation and explicit [`Wal::sync`] — for
+    /// benchmarks and bulk loads where the tail is expendable.
+    Never,
+}
+
+/// Configuration of the durability subsystem for one store directory.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and checkpoints.
+    pub dir: PathBuf,
+    /// Fsync cadence.
+    pub sync: SyncPolicy,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// How many checkpoints to retain; WAL segments wholly below the
+    /// oldest retained checkpoint are pruned with it.
+    pub retain_checkpoints: usize,
+    /// Write an automatic checkpoint every this many commits
+    /// (`None` = only explicit checkpoints).
+    pub checkpoint_every: Option<u64>,
+}
+
+impl DurabilityConfig {
+    /// Defaults for `dir`: fsync always, 8 MiB segments, 2 retained
+    /// checkpoints, auto-checkpoint every 256 commits.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::Always,
+            segment_bytes: 8 * 1024 * 1024,
+            retain_checkpoints: 2,
+            checkpoint_every: Some(256),
+        }
+    }
+
+    /// Sets the fsync cadence.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Sets the segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(64);
+        self
+    }
+
+    /// Sets the checkpoint retention count (min 1).
+    pub fn with_retain_checkpoints(mut self, n: usize) -> Self {
+        self.retain_checkpoints = n.max(1);
+        self
+    }
+
+    /// Sets the auto-checkpoint cadence (`None` disables).
+    pub fn with_checkpoint_every(mut self, every: Option<u64>) -> Self {
+        self.checkpoint_every = every.map(|n| n.max(1));
+        self
+    }
+}
+
+/// Result of one [`Wal::append`]: where this commit stands relative to
+/// the durable watermark.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendAck {
+    /// The appended version.
+    pub version: Version,
+    /// `true` if this version is already on the medium (its fsync ran).
+    /// Under group commit, `false` means a later append or an explicit
+    /// [`Wal::sync`] will make it durable.
+    pub durable: bool,
+    /// The highest version known durable after this append.
+    pub synced_version: Version,
+}
+
+/// Path of the segment whose first record is `start`.
+pub(crate) fn segment_path(dir: &Path, start: Version) -> PathBuf {
+    dir.join(format!("wal-{start:020}.seg"))
+}
+
+/// Parses `wal-<v>.seg` back to its start version.
+pub(crate) fn parse_segment_name(name: &str) -> Option<Version> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Builds the on-disk bytes of one record.
+pub(crate) fn build_record(version: Version, ops_payload: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + ops_payload.len());
+    payload.extend_from_slice(&version.to_le_bytes());
+    payload.extend_from_slice(ops_payload);
+    let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// The live append half of the write-ahead log.
+///
+/// Owned behind a mutex by the transaction store; all methods take
+/// `&mut self`. Reading the log back is the recovery module's job.
+pub struct Wal {
+    cfg: DurabilityConfig,
+    file: File,
+    path: PathBuf,
+    /// Bytes written to the current segment (including magic).
+    file_bytes: u64,
+    /// The next version the on-disk sequence expects.
+    next_version: Version,
+    /// Out-of-order arrivals awaiting their turn, version → ops payload.
+    pending: BTreeMap<Version, Vec<u8>>,
+    /// Last version handed to the OS (written, not necessarily synced).
+    written_version: Version,
+    /// Last version the writer believes durable (see `drop_fsync` faults
+    /// for why "believes").
+    synced_version: Version,
+    /// Appends since the last fsync (drives `SyncPolicy::EveryN`).
+    unsynced: u64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    plan: Option<Arc<CrashPlan>>,
+}
+
+impl Wal {
+    /// Creates the WAL for a fresh store: first record will be version
+    /// `first` (normally 1; version 0 is the creation checkpoint).
+    pub fn create(cfg: &DurabilityConfig, first: Version) -> Result<Wal> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let path = segment_path(&cfg.dir, first);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        sync_dir(&cfg.dir)?;
+        Ok(Wal {
+            cfg: cfg.clone(),
+            file,
+            path,
+            file_bytes: WAL_MAGIC.len() as u64,
+            next_version: first,
+            pending: BTreeMap::new(),
+            written_version: first.saturating_sub(1),
+            synced_version: first.saturating_sub(1),
+            unsynced: 0,
+            #[cfg(any(test, feature = "fault-injection"))]
+            plan: None,
+        })
+    }
+
+    /// Resumes appending after recovery. `next` is the next version to
+    /// log; `tail` is the last valid segment and its valid byte length
+    /// (the recovery module's repair point). The tail segment is always
+    /// truncated to that length — repairing any torn suffix in place —
+    /// then appended to if it has room, otherwise a fresh segment starts.
+    pub fn resume(
+        cfg: &DurabilityConfig,
+        next: Version,
+        tail: Option<(PathBuf, u64)>,
+    ) -> Result<Wal> {
+        if let Some((path, valid_len)) = tail {
+            if valid_len < WAL_MAGIC.len() as u64 {
+                // not even a whole magic survived: the file is useless,
+                // drop it so a later scan doesn't trip over it
+                std::fs::remove_file(&path)?;
+                sync_dir(&cfg.dir)?;
+            } else {
+                let mut file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid_len)?;
+                file.sync_data()?;
+                if valid_len < cfg.segment_bytes {
+                    use std::io::Seek;
+                    file.seek(std::io::SeekFrom::Start(valid_len))?;
+                    return Ok(Wal {
+                        cfg: cfg.clone(),
+                        file,
+                        path,
+                        file_bytes: valid_len,
+                        next_version: next,
+                        pending: BTreeMap::new(),
+                        written_version: next.saturating_sub(1),
+                        synced_version: next.saturating_sub(1),
+                        unsynced: 0,
+                        #[cfg(any(test, feature = "fault-injection"))]
+                        plan: None,
+                    });
+                }
+            }
+        }
+        Wal::create(cfg, next)
+    }
+
+    /// Installs a crash plan on this writer (fault injection only).
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn install_crash_plan(&mut self, plan: Arc<CrashPlan>) {
+        self.plan = Some(plan);
+    }
+
+    /// The highest version the writer believes durable.
+    pub fn synced_version(&self) -> Version {
+        self.synced_version
+    }
+
+    /// Number of commits buffered waiting for a version-order gap to fill.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Appends the encoded writeset of `version`. Out-of-order versions
+    /// are buffered and written once their predecessors arrive; the
+    /// on-disk record sequence is always gapless and version-ordered.
+    pub fn append(&mut self, version: Version, ops_payload: &[u8]) -> Result<AppendAck> {
+        if version < self.next_version || self.pending.contains_key(&version) {
+            return Err(DurabilityError::Corrupt {
+                detail: format!("duplicate WAL append of v{version}"),
+            });
+        }
+        self.pending.insert(version, ops_payload.to_vec());
+        let mut wrote = 0u64;
+        while let Some(payload) = self.pending.remove(&self.next_version) {
+            let v = self.next_version;
+            self.write_record(v, &payload)?;
+            wrote += 1;
+        }
+        if wrote > 0 {
+            match self.cfg.sync {
+                SyncPolicy::Always => self.fsync()?,
+                SyncPolicy::EveryN(n) => {
+                    self.unsynced += wrote;
+                    if self.unsynced >= n.max(1) {
+                        self.fsync()?;
+                    }
+                }
+                SyncPolicy::Never => {
+                    self.unsynced += wrote;
+                }
+            }
+        }
+        Ok(AppendAck {
+            version,
+            durable: self.synced_version >= version,
+            synced_version: self.synced_version,
+        })
+    }
+
+    /// Forces an fsync, making every written record durable.
+    pub fn sync(&mut self) -> Result<()> {
+        self.fsync()
+    }
+
+    fn write_record(&mut self, version: Version, ops_payload: &[u8]) -> Result<()> {
+        let rec = build_record(version, ops_payload);
+        if self.file_bytes > WAL_MAGIC.len() as u64
+            && self.file_bytes + rec.len() as u64 > self.cfg.segment_bytes
+        {
+            self.rotate(version)?;
+        }
+        self.write_bytes(&rec)?;
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = self.plan.clone() {
+            if plan.take_duplicate() {
+                self.write_bytes(&rec)?;
+            }
+        }
+        self.written_version = version;
+        self.next_version = version + 1;
+        Ok(())
+    }
+
+    fn rotate(&mut self, next_start: Version) -> Result<()> {
+        self.fsync()?;
+        let path = segment_path(&self.cfg.dir, next_start);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        sync_dir(&self.cfg.dir)?;
+        self.file = file;
+        self.path = path;
+        self.file_bytes = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// Writes raw bytes through the (possibly faulty) medium.
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = self.plan.clone() {
+            let mut buf = bytes.to_vec();
+            let n = plan
+                .filter_write(&mut buf)
+                .ok_or(DurabilityError::Crashed)?;
+            self.file.write_all(&buf[..n])?;
+            self.file_bytes += n as u64;
+            if n < bytes.len() {
+                // torn write: flush what the OS got, then die
+                let _ = self.file.sync_data();
+                return Err(DurabilityError::Crashed);
+            }
+            return Ok(());
+        }
+        self.file.write_all(bytes)?;
+        self.file_bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> Result<()> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = self.plan.clone() {
+            match plan.filter_fsync() {
+                None => return Err(DurabilityError::Crashed),
+                Some(false) => {
+                    // swallowed: the writer is lied to and advances its
+                    // watermark; CrashPlan::durable_bytes keeps the truth
+                    self.synced_version = self.written_version;
+                    self.unsynced = 0;
+                    return Ok(());
+                }
+                Some(true) => {}
+            }
+        }
+        self.file.sync_data()?;
+        self.synced_version = self.written_version;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Fsyncs a directory so a freshly created/renamed file inside it
+/// survives a crash.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_ops;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fdm-wal-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn appends_are_written_in_version_order() {
+        let dir = scratch("order");
+        let cfg = DurabilityConfig::new(&dir);
+        let mut wal = Wal::create(&cfg, 1).unwrap();
+        let payload = encode_ops(&[]).unwrap();
+        // v2 arrives first: buffered, not durable
+        let ack = wal.append(2, &payload).unwrap();
+        assert!(!ack.durable);
+        assert_eq!(wal.pending_len(), 1);
+        // v1 arrives: both flush, v2 becomes durable
+        let ack = wal.append(1, &payload).unwrap();
+        assert!(ack.durable);
+        assert_eq!(ack.synced_version, 2);
+        assert_eq!(wal.pending_len(), 0);
+        // on-disk: magic, then records for v1, v2 in order
+        let bytes = std::fs::read(segment_path(&dir, 1)).unwrap();
+        assert_eq!(&bytes[..8], WAL_MAGIC);
+        let v_first = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        assert_eq!(v_first, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_appends_are_rejected() {
+        let dir = scratch("dup");
+        let cfg = DurabilityConfig::new(&dir);
+        let mut wal = Wal::create(&cfg, 1).unwrap();
+        let payload = encode_ops(&[]).unwrap();
+        wal.append(1, &payload).unwrap();
+        assert!(wal.append(1, &payload).is_err());
+        wal.append(3, &payload).unwrap();
+        assert!(wal.append(3, &payload).is_err(), "pending duplicate too");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let dir = scratch("group");
+        let cfg = DurabilityConfig::new(&dir).with_sync(SyncPolicy::EveryN(3));
+        let mut wal = Wal::create(&cfg, 1).unwrap();
+        let payload = encode_ops(&[]).unwrap();
+        assert!(!wal.append(1, &payload).unwrap().durable);
+        assert!(!wal.append(2, &payload).unwrap().durable);
+        let ack = wal.append(3, &payload).unwrap();
+        assert!(ack.durable, "third append triggers the group fsync");
+        assert_eq!(ack.synced_version, 3);
+        // explicit sync drains a partial group
+        assert!(!wal.append(4, &payload).unwrap().durable);
+        wal.sync().unwrap();
+        assert_eq!(wal.synced_version(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let dir = scratch("rotate");
+        let cfg = DurabilityConfig::new(&dir).with_segment_bytes(64);
+        let mut wal = Wal::create(&cfg, 1).unwrap();
+        let payload = encode_ops(&[]).unwrap();
+        for v in 1..=10 {
+            wal.append(v, &payload).unwrap();
+        }
+        let mut segs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| parse_segment_name(e.unwrap().file_name().to_str().unwrap()))
+            .collect();
+        segs.sort();
+        assert!(segs.len() > 1, "rotation happened: {segs:?}");
+        assert_eq!(segs[0], 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        let p = segment_path(Path::new("/x"), 42);
+        let name = p.file_name().unwrap().to_str().unwrap().to_string();
+        assert_eq!(parse_segment_name(&name), Some(42));
+        assert_eq!(parse_segment_name("wal-.seg"), None);
+        assert_eq!(parse_segment_name("checkpoint-1.ckpt"), None);
+    }
+}

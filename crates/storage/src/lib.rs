@@ -45,4 +45,6 @@ pub mod version;
 pub use pmap::PMap;
 pub use pmultimap::PMultiMap;
 pub use pset::PSet;
-pub use version::{Backoff, SharedRoot, Snapshot, Version, VersionConflict, VersionedRoot};
+pub use version::{
+    splitmix64, Backoff, SharedRoot, Snapshot, Version, VersionConflict, VersionedRoot,
+};

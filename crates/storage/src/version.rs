@@ -10,6 +10,21 @@ use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The splitmix64 finalizer: a fast, high-quality 64-bit avalanche.
+///
+/// This is the repo's **single** splitmix64 — [`Backoff`] seeds its jitter
+/// stream with it and `fdm_core`'s `DistinctSketch` (re-exported there as
+/// `fdm_core::splitmix64`) whitens FxHash outputs with it. The two used to
+/// carry private copies; they must keep producing bit-identical outputs,
+/// which the sketch's register-identity regression test pins.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic exponential backoff with seeded jitter.
 ///
 /// The delay ceiling doubles each attempt (`base`, `2·base`, `4·base`, …
@@ -42,14 +57,12 @@ impl Backoff {
     /// Creates a backoff schedule starting at `base`, capped at `max`,
     /// with jitter drawn from `seed`.
     pub fn new(base: Duration, max: Duration, seed: u64) -> Backoff {
-        // splitmix64 finalizer: nearby seeds yield unrelated streams
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         Backoff {
             base,
             max,
-            state: (z ^ (z >> 31)) | 1, // non-zero: xorshift's fixed point is 0
+            // splitmix64: nearby seeds yield unrelated streams; |1 keeps
+            // the state off xorshift's fixed point at 0
+            state: splitmix64(seed) | 1,
             attempt: 0,
         }
     }
@@ -150,6 +163,16 @@ impl<T: Clone> VersionedRoot<T> {
         }
     }
 
+    /// Creates a root at an explicit `version` holding `value` — the
+    /// recovery constructor: a store rebuilt from a checkpoint + log
+    /// replay must resume version numbering where the crashed process
+    /// stopped, not restart at 0.
+    pub fn with_version(value: T, version: Version) -> Self {
+        VersionedRoot {
+            inner: RwLock::new(Snapshot { version, value }),
+        }
+    }
+
     /// Takes a snapshot of the current version.
     pub fn load(&self) -> Snapshot<T> {
         self.inner.read().clone()
@@ -244,6 +267,34 @@ pub type SharedRoot<T> = Arc<VersionedRoot<T>>;
 mod tests {
     use super::*;
     use crate::PMap;
+
+    #[test]
+    fn splitmix64_matches_the_reference_finalizer() {
+        // the inlined copies this function replaced, kept verbatim as the
+        // reference: Backoff seeding and DistinctSketch whitening must
+        // keep observing these exact bits
+        fn reference(x: u64) -> u64 {
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        for x in [0u64, 1, 2, 0xFD17, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(splitmix64(x), reference(x), "diverged at {x:#x}");
+        }
+        // the canonical splitmix64 test vector (Vigna): state 0 steps to
+        // this first output
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn with_version_resumes_numbering() {
+        let root = VersionedRoot::with_version(7i64, 41);
+        assert_eq!(root.version(), 41);
+        let snap = root.load();
+        assert_eq!((snap.version, snap.value), (41, 7));
+        assert_eq!(root.try_install(41, 8).unwrap(), 42);
+    }
 
     #[test]
     fn load_install_roundtrip() {

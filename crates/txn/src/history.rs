@@ -77,6 +77,7 @@ impl History {
             .ok_or_else(|| FdmError::VersionEvicted {
                 version,
                 oldest: g.first().map(|(v, _)| *v),
+                newest: g.last().map(|(v, _)| *v),
             })
     }
 
@@ -152,11 +153,20 @@ mod tests {
         let err = h.as_of(0).unwrap_err();
         assert!(err.to_string().contains("no longer retained"), "{err}");
         assert!(
+            err.to_string().contains("version 0"),
+            "error names the evicted version: {err}"
+        );
+        assert!(
+            err.to_string().contains("v1..=v2"),
+            "error names the retention window: {err}"
+        );
+        assert!(
             matches!(
                 err,
                 FdmError::VersionEvicted {
                     version: 0,
-                    oldest: Some(1)
+                    oldest: Some(1),
+                    newest: Some(2)
                 }
             ),
             "eviction is a typed error: {err:?}"
@@ -193,12 +203,38 @@ mod tests {
             err,
             FdmError::VersionEvicted {
                 version: 6,
-                oldest: Some(7)
+                oldest: Some(7),
+                newest: Some(9)
             }
         ));
         assert_eq!(h.compact(3), 0, "already inside the window");
         assert_eq!(h.compact(0), 2, "keep_last_n is clamped to 1");
         assert_eq!(h.versions(), vec![9]);
+    }
+
+    #[test]
+    fn compact_edge_cases_are_pinned() {
+        // compact(0) clamps to keeping one version, never zero.
+        let h = History::new(16);
+        h.record(0, DatabaseF::new("v0"));
+        h.record(1, DatabaseF::new("v1"));
+        h.record(2, DatabaseF::new("v2"));
+        assert_eq!(h.compact(0), 2);
+        assert_eq!(h.versions(), vec![2]);
+        assert_eq!(h.compact(0), 0, "single entry survives repeated compact(0)");
+
+        // keep_last_n > len is a no-op, not an error or over-retention.
+        let h = History::new(16);
+        h.record(5, DatabaseF::new("v5"));
+        h.record(6, DatabaseF::new("v6"));
+        assert_eq!(h.compact(100), 0);
+        assert_eq!(h.versions(), vec![5, 6]);
+
+        // compacting an empty history is a no-op too.
+        let h = History::new(16);
+        assert_eq!(h.compact(0), 0);
+        assert_eq!(h.compact(8), 0);
+        assert!(h.is_empty());
     }
 
     #[test]

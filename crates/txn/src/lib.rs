@@ -22,6 +22,15 @@
 //! `fault-injection` feature (or in tests) adds `FaultPlan` hooks that
 //! force conflicts, delays, and poisoned write sets at chosen versions.
 //!
+//! Stores built with [`Store::create`] / [`Store::open`] are **durable**
+//! (see `docs/DURABILITY.md` at the repo root): every commit's writeset
+//! goes through a segmented write-ahead log before the commit is
+//! acknowledged, checkpoints bound replay, and `open` recovers the
+//! committed prefix after a crash — including a torn tail, which is
+//! truncated, never silently extended past acknowledged commits. The
+//! `fault-injection` feature adds `CrashPlan` hooks (torn writes, bit
+//! flips, dropped fsyncs) on the durability layer.
+//!
 //! ```
 //! use fdm_core::{DatabaseF, RelationF, TupleF, Value};
 //! use fdm_txn::Store;
@@ -46,6 +55,9 @@ pub mod writeset;
 
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::FaultPlan;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fdm_durability::CrashPlan;
+pub use fdm_durability::{DurabilityConfig, DurabilityError, IntegrityReport, SyncPolicy};
 pub use fdm_storage::Version;
 pub use history::History;
 pub use store::{CommitOutcome, CommitPolicy, Store, StoreConfig};

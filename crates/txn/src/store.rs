@@ -4,16 +4,23 @@
 
 use crate::history::History;
 use crate::txn::Transaction;
-use crate::writeset::WriteSet;
+use crate::writeset::{apply_ops, Op, WriteSet};
 use fdm_core::{DatabaseF, FdmError, Result, TupleF, Value};
+use fdm_durability::{
+    encode_ops, list_checkpoints, prune_checkpoints, recover, write_checkpoint, DurabilityConfig,
+    DurabilityError, IntegrityReport, Wal, WalOp,
+};
 use fdm_storage::VersionedRoot;
 use fdm_storage::{Backoff, Version};
 use parking_lot::Mutex;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::FaultPlan;
+#[cfg(any(test, feature = "fault-injection"))]
+use fdm_durability::{write_checkpoint_faulty, CrashPlan};
 
 /// How a commit behaves under contention: how many attempts it makes, how
 /// it paces them, and when it gives up.
@@ -118,6 +125,13 @@ pub struct StoreConfig {
     pub history_capacity: usize,
     /// Commit-log entries retained for conflict validation.
     pub log_cap: usize,
+    /// Durability section: directory, fsync cadence (group commit),
+    /// segment rotation, checkpoint retention. `None` (the default) is a
+    /// purely in-memory store. Durable stores are built with
+    /// [`Store::create`] / [`Store::open`] / [`Store::open_with`], which
+    /// are fallible; the infallible constructors reject a config that
+    /// sets this.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for StoreConfig {
@@ -126,8 +140,26 @@ impl Default for StoreConfig {
             policy: CommitPolicy::default(),
             history_capacity: 1024,
             log_cap: 4096,
+            durability: None,
         }
     }
+}
+
+/// The durability half of a store: the live WAL writer plus checkpoint
+/// bookkeeping. Present only on stores built by [`Store::create`] /
+/// [`Store::open`].
+pub(crate) struct Durable {
+    /// Directory, fsync cadence, retention — fixed at open time.
+    cfg: DurabilityConfig,
+    /// The append half of the write-ahead log.
+    wal: Mutex<Wal>,
+    /// Commits since the last checkpoint (drives
+    /// [`DurabilityConfig::checkpoint_every`]).
+    since_checkpoint: Mutex<u64>,
+    /// Crash plan for checkpoint writes; the WAL writer holds its own
+    /// copy (test/fault-injection builds only).
+    #[cfg(any(test, feature = "fault-injection"))]
+    plan: Mutex<Option<Arc<CrashPlan>>>,
 }
 
 /// A transactional FDM store.
@@ -188,6 +220,8 @@ pub struct Store {
     pub(crate) policy: CommitPolicy,
     /// Committed roots for time travel, recorded on every write commit.
     pub(crate) history: History,
+    /// The WAL + checkpoint machinery, when this store is durable.
+    pub(crate) durable: Option<Durable>,
     /// Injected faults, if a plan is installed (test/fault-injection
     /// builds only).
     #[cfg(any(test, feature = "fault-injection"))]
@@ -213,18 +247,143 @@ impl Store {
     }
 
     /// Creates a store with full construction-time configuration.
+    ///
+    /// # Panics
+    ///
+    /// If `config.durability` is set — durable stores need fallible
+    /// construction; use [`Store::create`] or [`Store::open_with`].
     pub fn with_config(db: DatabaseF, config: StoreConfig) -> Arc<Store> {
+        assert!(
+            config.durability.is_none(),
+            "StoreConfig sets durability: build this store with Store::create or Store::open_with"
+        );
+        Store::build(db, 0, config, None)
+    }
+
+    fn build(
+        db: DatabaseF,
+        version: Version,
+        config: StoreConfig,
+        durable: Option<Durable>,
+    ) -> Arc<Store> {
         let history = History::new(config.history_capacity);
-        history.record(0, db.clone());
+        history.record(version, db.clone());
         Arc::new(Store {
-            root: Arc::new(VersionedRoot::new(db)),
+            root: Arc::new(VersionedRoot::with_version(db, version)),
             log: Mutex::new(Vec::new()),
             log_cap: config.log_cap.max(1),
             policy: config.policy,
             history,
+            durable,
             #[cfg(any(test, feature = "fault-injection"))]
             faults: Mutex::new(None),
         })
+    }
+
+    /// Creates a **durable** store in a fresh directory: writes the
+    /// version-0 checkpoint (the initial database), starts the WAL at
+    /// version 1, and returns the running store. `config.durability`
+    /// must be set; the directory must not already hold checkpoints
+    /// (open an existing store with [`Store::open`]).
+    pub fn create(db: DatabaseF, config: StoreConfig) -> Result<Arc<Store>, DurabilityError> {
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or_else(|| DurabilityError::Corrupt {
+                detail: "Store::create needs StoreConfig::durability".into(),
+            })?;
+        std::fs::create_dir_all(&dcfg.dir)?;
+        if !list_checkpoints(&dcfg.dir)?.is_empty() {
+            return Err(DurabilityError::Corrupt {
+                detail: format!(
+                    "{}: directory already holds checkpoints; use Store::open",
+                    dcfg.dir.display()
+                ),
+            });
+        }
+        write_checkpoint(&dcfg.dir, 0, &db)?;
+        let wal = Wal::create(&dcfg, 1)?;
+        Ok(Store::build(
+            db,
+            0,
+            config,
+            Some(Durable {
+                cfg: dcfg,
+                wal: Mutex::new(wal),
+                since_checkpoint: Mutex::new(0),
+                #[cfg(any(test, feature = "fault-injection"))]
+                plan: Mutex::new(None),
+            }),
+        ))
+    }
+
+    /// Opens (recovers) a durable store from `dir` with default
+    /// configuration: newest valid checkpoint + WAL tail replay, torn
+    /// tail truncated on resume. See [`Store::open_with`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Arc<Store>, DurabilityError> {
+        Store::open_with(StoreConfig {
+            durability: Some(DurabilityConfig::new(dir.as_ref())),
+            ..StoreConfig::default()
+        })
+    }
+
+    /// Opens (recovers) a durable store with explicit configuration.
+    ///
+    /// Recovery anchors on the newest *valid* checkpoint, replays every
+    /// contiguous WAL record above it through the same apply path commits
+    /// use, truncates a torn tail (a crash artifact) in place, and
+    /// resumes the WAL at the next version. Mid-log corruption — a
+    /// record that fails its CRC but is *followed* by valid records — is
+    /// a hard [`DurabilityError::ChecksumMismatch`]: that is damage, not
+    /// a crash, and silently dropping acknowledged commits is worse than
+    /// refusing to open.
+    ///
+    /// Every replayed commit is recorded into the commit log and the
+    /// time-travel history, so conflict validation and [`Store::as_of`]
+    /// behave exactly as if the store had never restarted.
+    pub fn open_with(config: StoreConfig) -> Result<Arc<Store>, DurabilityError> {
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or_else(|| DurabilityError::Corrupt {
+                detail: "Store::open_with needs StoreConfig::durability".into(),
+            })?;
+        let rec = recover(&dcfg)?;
+        let wal = Wal::resume(&dcfg, rec.next_version, rec.tail.clone())?;
+        let store = Store::build(
+            rec.db.clone(),
+            rec.checkpoint_version,
+            config,
+            Some(Durable {
+                cfg: dcfg,
+                wal: Mutex::new(wal),
+                since_checkpoint: Mutex::new(0),
+                #[cfg(any(test, feature = "fault-injection"))]
+                plan: Mutex::new(None),
+            }),
+        );
+        let mut db = rec.db;
+        for commit in rec.commits {
+            let ops: Vec<Op> = commit.ops.into_iter().map(Op::from).collect();
+            db = apply_ops(&db, &ops).map_err(|e| DurabilityError::Corrupt {
+                detail: format!("replaying recovered commit v{}: {e}", commit.version),
+            })?;
+            store
+                .root
+                .try_install(commit.version - 1, db.clone())
+                .map_err(|race| DurabilityError::Corrupt {
+                    detail: format!(
+                        "recovery replay raced: expected v{}, found v{}",
+                        race.expected, race.found
+                    ),
+                })?;
+            store
+                .record_commit(commit.version, WriteSet::from_ops(&ops), None, db.clone())
+                .map_err(|e| DurabilityError::Corrupt {
+                    detail: format!("recording recovered commit v{}: {e}", commit.version),
+                })?;
+        }
+        Ok(store)
     }
 
     /// The current committed version.
@@ -379,9 +538,24 @@ impl Store {
     }
 
     /// Records a successful commit: the write set into the validation log
-    /// (version-sorted — concurrent winners may arrive out of order) and
-    /// the new root into the time-travel history.
-    pub(crate) fn record_commit(&self, version: Version, writes: WriteSet, db: DatabaseF) {
+    /// (version-sorted — concurrent winners may arrive out of order), the
+    /// new root into the time-travel history, and — on a durable store
+    /// with `wal_payload` — the encoded writeset into the WAL, fsynced
+    /// per the configured [`fdm_durability::SyncPolicy`]. Recovery replay
+    /// passes `None`: those commits are already on disk.
+    ///
+    /// The in-memory bookkeeping always completes (the commit *is*
+    /// installed); a WAL or checkpoint failure is then surfaced as
+    /// [`FdmError::Durability`] — the memory state may be ahead of the
+    /// log, exactly as after a crash, and recovery replays the durable
+    /// prefix.
+    pub(crate) fn record_commit(
+        &self,
+        version: Version,
+        writes: WriteSet,
+        wal_payload: Option<&[u8]>,
+        db: DatabaseF,
+    ) -> Result<()> {
         {
             let mut log = self.log.lock();
             let at = log
@@ -395,7 +569,120 @@ impl Store {
                 log.drain(..excess);
             }
         }
-        self.history.record(version, db);
+        self.history.record(version, db.clone());
+        if let (Some(d), Some(payload)) = (self.durable.as_ref(), wal_payload) {
+            d.wal
+                .lock()
+                .append(version, payload)
+                .map_err(|e| FdmError::Durability {
+                    detail: e.to_string(),
+                })?;
+            let due = {
+                let mut since = d.since_checkpoint.lock();
+                *since += 1;
+                match d.cfg.checkpoint_every {
+                    Some(every) if *since >= every => {
+                        *since = 0;
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if due {
+                self.write_checkpoint_now(d, version, &db)
+                    .map_err(|e| FdmError::Durability {
+                        detail: e.to_string(),
+                    })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes a transaction's recorded ops for the WAL — *before* the
+    /// CAS loop, so an unserializable write (a closure-valued assign)
+    /// fails the commit before anything installs. `None` on an
+    /// in-memory store.
+    pub(crate) fn encode_for_wal(&self, ops: &[Op]) -> Result<Option<Vec<u8>>> {
+        if self.durable.is_none() {
+            return Ok(None);
+        }
+        let wal_ops: Vec<WalOp> = ops.iter().map(WalOp::from).collect();
+        encode_ops(&wal_ops)
+            .map(Some)
+            .map_err(|e| FdmError::Durability {
+                detail: e.to_string(),
+            })
+    }
+
+    fn write_checkpoint_now(
+        &self,
+        d: &Durable,
+        version: Version,
+        db: &DatabaseF,
+    ) -> Result<(), DurabilityError> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = d.plan.lock().clone() {
+            write_checkpoint_faulty(&d.cfg.dir, version, db, &plan)?;
+            prune_checkpoints(&d.cfg.dir, d.cfg.retain_checkpoints)?;
+            return Ok(());
+        }
+        write_checkpoint(&d.cfg.dir, version, db)?;
+        prune_checkpoints(&d.cfg.dir, d.cfg.retain_checkpoints)?;
+        Ok(())
+    }
+
+    /// `true` if this store has a WAL (built by [`Store::create`] /
+    /// [`Store::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The highest version known durable (its fsync ran), or `None` on
+    /// an in-memory store. Under [`fdm_durability::SyncPolicy::Always`]
+    /// this equals [`Store::version`] after every commit; under group
+    /// commit it can lag by up to the group size.
+    pub fn durable_version(&self) -> Option<Version> {
+        self.durable.as_ref().map(|d| d.wal.lock().synced_version())
+    }
+
+    /// Forces an fsync of the WAL, draining any group-commit window.
+    /// A no-op on an in-memory store.
+    pub fn sync_wal(&self) -> Result<(), DurabilityError> {
+        match &self.durable {
+            Some(d) => d.wal.lock().sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes a checkpoint of the current committed state, applies
+    /// retention (pruning old checkpoints and fully-covered WAL
+    /// segments), and returns the checkpointed version.
+    pub fn checkpoint(&self) -> Result<Version, DurabilityError> {
+        let d = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| DurabilityError::Corrupt {
+                detail: "checkpoint() on an in-memory store".into(),
+            })?;
+        let (version, db) = self.snapshot_versioned();
+        self.write_checkpoint_now(d, version, &db)?;
+        *d.since_checkpoint.lock() = 0;
+        Ok(version)
+    }
+
+    /// Offline-style fsck of this store's durability directory: validates
+    /// every checkpoint, scans every WAL segment, and reports what
+    /// recovery would do. Reads the files as they are on disk; call
+    /// [`Store::sync_wal`] first if you want the report to cover the
+    /// current group-commit window.
+    pub fn verify_integrity(&self) -> Result<IntegrityReport, DurabilityError> {
+        let d = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| DurabilityError::Corrupt {
+                detail: "verify_integrity() on an in-memory store".into(),
+            })?;
+        fdm_durability::verify_integrity(&d.cfg)
     }
 }
 
@@ -410,6 +697,19 @@ impl Store {
     /// Removes the installed fault plan, if any.
     pub fn clear_fault_plan(&self) {
         *self.faults.lock() = None;
+    }
+
+    /// Installs a crash plan on the durability layer: subsequent WAL
+    /// writes, fsyncs, and checkpoint writes consult it (torn writes,
+    /// bit flips, duplicated tail records, dropped fsyncs). A no-op on
+    /// an in-memory store. Crash plans are sticky — after a simulated
+    /// crash the store keeps failing with `Crashed`; "reboot" by
+    /// dropping the store and calling [`Store::open`].
+    pub fn install_crash_plan(&self, plan: Arc<CrashPlan>) {
+        if let Some(d) = &self.durable {
+            d.wal.lock().install_crash_plan(Arc::clone(&plan));
+            *d.plan.lock() = Some(plan);
+        }
     }
 
     fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
@@ -558,7 +858,8 @@ mod tests {
             err,
             FdmError::VersionEvicted {
                 version: 1,
-                oldest: Some(4)
+                oldest: Some(4),
+                newest: Some(5)
             }
         ));
     }
@@ -665,6 +966,140 @@ mod tests {
             .unwrap();
         assert!(plan.injected_delays() >= 1);
         assert_eq!(store.version(), 1);
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fdm-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_store_survives_a_restart() {
+        let dir = scratch("restart");
+        let accounts = RelationF::new("accounts", &["id"])
+            .insert(
+                Value::Int(1),
+                TupleF::builder("a").attr("balance", 100).build(),
+            )
+            .unwrap();
+        let db = DatabaseF::new("bank").with_relation(accounts);
+        let cfg = StoreConfig {
+            durability: Some(fdm_durability::DurabilityConfig::new(&dir)),
+            ..StoreConfig::default()
+        };
+        let store = Store::create(db, cfg).unwrap();
+        assert!(store.is_durable());
+        for i in 1..=5i64 {
+            store
+                .run(|txn| txn.update_attr("accounts", &Value::Int(1), "balance", 100 + i))
+                .unwrap();
+        }
+        assert_eq!(store.version(), 5);
+        assert_eq!(
+            store.durable_version(),
+            Some(5),
+            "Always policy: every ack durable"
+        );
+        let report = store.verify_integrity().unwrap();
+        assert_eq!(report.replay_to, 5);
+        assert!(!report.torn_tail);
+        drop(store);
+
+        let back = Store::open(&dir).unwrap();
+        assert_eq!(back.version(), 5);
+        let bal = back
+            .snapshot()
+            .relation("accounts")
+            .unwrap()
+            .lookup(&Value::Int(1))
+            .unwrap()
+            .get("balance")
+            .unwrap();
+        assert_eq!(bal, Value::Int(105));
+        // history and commit log were rebuilt: time travel + new commits work
+        assert_eq!(
+            back.as_of(2)
+                .unwrap()
+                .relation("accounts")
+                .unwrap()
+                .lookup(&Value::Int(1))
+                .unwrap()
+                .get("balance")
+                .unwrap(),
+            Value::Int(102)
+        );
+        back.run(|txn| txn.update_attr("accounts", &Value::Int(1), "balance", 1))
+            .unwrap();
+        assert_eq!(back.version(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_a_populated_directory_and_checkpoint_bounds_replay() {
+        let dir = scratch("create-twice");
+        let db = DatabaseF::new("d").with_relation(RelationF::new("r", &["k"]));
+        let cfg = || StoreConfig {
+            durability: Some(fdm_durability::DurabilityConfig::new(&dir)),
+            ..StoreConfig::default()
+        };
+        let store = Store::create(db.clone(), cfg()).unwrap();
+        store
+            .run(|txn| {
+                txn.upsert(
+                    "r",
+                    Value::Int(1),
+                    TupleF::builder("t").attr("v", 1).build(),
+                )
+            })
+            .unwrap();
+        let err = match Store::create(db, cfg()) {
+            Err(e) => e,
+            Ok(_) => panic!("create on a populated directory must fail"),
+        };
+        assert!(matches!(
+            err,
+            fdm_durability::DurabilityError::Corrupt { .. }
+        ));
+        // an explicit checkpoint anchors recovery at the current version
+        assert_eq!(store.checkpoint().unwrap(), 1);
+        let report = store.verify_integrity().unwrap();
+        assert_eq!(report.checkpoint_version, 1);
+        drop(store);
+        let back = Store::open(&dir).unwrap();
+        assert_eq!(back.version(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unserializable_write_fails_before_install() {
+        let dir = scratch("unserializable");
+        let db = DatabaseF::new("d").with_relation(RelationF::new("r", &["k"]));
+        let store = Store::create(
+            db,
+            StoreConfig {
+                durability: Some(fdm_durability::DurabilityConfig::new(&dir)),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin();
+        txn.assign(
+            "f",
+            fdm_core::FnValue::Lambda(Arc::new(fdm_core::LambdaF::unary(
+                "f",
+                fdm_core::Domain::Typed(fdm_core::ValueType::Int),
+                |v| Ok(v.clone()),
+            ))),
+        )
+        .unwrap();
+        let err = txn.commit().unwrap_err();
+        assert!(
+            matches!(err, FdmError::Durability { .. }),
+            "lambda assigns cannot be logged: {err}"
+        );
+        assert_eq!(store.version(), 0, "nothing installed");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Regression pin for the commit-log locking discipline: `begin()`

@@ -201,6 +201,10 @@ impl Transaction {
                 conflicts: Vec::new(),
             });
         }
+        // Durable stores encode the writeset for the WAL *before* the
+        // CAS loop: an unserializable write (e.g. a closure-valued
+        // assign) must fail the commit before anything installs.
+        let wal_payload = self.store.encode_for_wal(&self.ops)?;
         let start = Instant::now();
         let mut backoff = policy.backoff();
         let max_attempts = policy.max_attempts.max(1);
@@ -271,7 +275,12 @@ impl Transaction {
             let installed = candidate.clone();
             match self.store.root.try_install(current.version, candidate) {
                 Ok(v) => {
-                    self.store.record_commit(v, self.writes.clone(), installed);
+                    self.store.record_commit(
+                        v,
+                        self.writes.clone(),
+                        wal_payload.as_deref(),
+                        installed,
+                    )?;
                     return Ok(CommitOutcome {
                         version: v,
                         attempts,
@@ -324,24 +333,7 @@ impl Transaction {
     }
 
     fn replay_onto(&self, base: &DatabaseF) -> Result<DatabaseF> {
-        let mut db = base.clone();
-        for op in &self.ops {
-            match op {
-                Op::Upsert { rel, key, tuple } => {
-                    db = db_upsert(&db, rel, key.clone(), (**tuple).clone())?;
-                }
-                Op::Delete { rel, key } => {
-                    db = db_delete(&db, rel, key)?;
-                }
-                Op::Assign { name, value } => {
-                    db = db.with_entry(name.as_ref(), value.clone());
-                }
-                Op::Drop { name } => {
-                    db = db.without_entry(name)?;
-                }
-            }
-        }
-        Ok(db)
+        crate::writeset::apply_ops(base, &self.ops)
     }
 }
 

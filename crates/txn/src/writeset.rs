@@ -1,6 +1,8 @@
 //! Write sets and recorded operations for snapshot-isolation commits.
 
-use fdm_core::{FnValue, Name, TupleF, Value};
+use fdm_core::{DatabaseF, FnValue, Name, Result, TupleF, Value};
+use fdm_durability::WalOp;
+use fdm_fql::{db_delete, db_upsert};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -17,6 +19,19 @@ pub struct WriteSet {
 }
 
 impl WriteSet {
+    /// The write set a list of recorded operations touches — used when
+    /// rebuilding commit-log entries from recovered WAL records.
+    pub fn from_ops(ops: &[Op]) -> WriteSet {
+        let mut ws = WriteSet::default();
+        for op in ops {
+            match op {
+                Op::Upsert { rel, key, .. } | Op::Delete { rel, key } => ws.touch_key(rel, key),
+                Op::Assign { name, .. } | Op::Drop { name } => ws.touch_entry(name),
+            }
+        }
+        ws
+    }
+
     /// Records a point write.
     pub fn touch_key(&mut self, rel: &Name, key: &Value) {
         self.keys.insert((rel.clone(), key.clone()));
@@ -143,6 +158,67 @@ pub enum Op {
         /// Entry name.
         name: Name,
     },
+}
+
+/// Applies recorded operations onto a committed root, in order — the
+/// single replay path shared by the snapshot-isolation merge (disjoint
+/// writers replaying onto a newer root) and crash recovery (replaying
+/// WAL records onto a checkpoint).
+pub(crate) fn apply_ops(base: &DatabaseF, ops: &[Op]) -> Result<DatabaseF> {
+    let mut db = base.clone();
+    for op in ops {
+        match op {
+            Op::Upsert { rel, key, tuple } => {
+                db = db_upsert(&db, rel, key.clone(), (**tuple).clone())?;
+            }
+            Op::Delete { rel, key } => {
+                db = db_delete(&db, rel, key)?;
+            }
+            Op::Assign { name, value } => {
+                db = db.with_entry(name.as_ref(), value.clone());
+            }
+            Op::Drop { name } => {
+                db = db.without_entry(name)?;
+            }
+        }
+    }
+    Ok(db)
+}
+
+// The WAL stores its own op type (`fdm-durability` cannot depend on this
+// crate), mirroring [`Op`] field for field; the conversions are lossless
+// in both directions.
+
+impl From<&Op> for WalOp {
+    fn from(op: &Op) -> WalOp {
+        match op {
+            Op::Upsert { rel, key, tuple } => WalOp::Upsert {
+                rel: rel.clone(),
+                key: key.clone(),
+                tuple: Arc::clone(tuple),
+            },
+            Op::Delete { rel, key } => WalOp::Delete {
+                rel: rel.clone(),
+                key: key.clone(),
+            },
+            Op::Assign { name, value } => WalOp::Assign {
+                name: name.clone(),
+                value: value.clone(),
+            },
+            Op::Drop { name } => WalOp::Drop { name: name.clone() },
+        }
+    }
+}
+
+impl From<WalOp> for Op {
+    fn from(op: WalOp) -> Op {
+        match op {
+            WalOp::Upsert { rel, key, tuple } => Op::Upsert { rel, key, tuple },
+            WalOp::Delete { rel, key } => Op::Delete { rel, key },
+            WalOp::Assign { name, value } => Op::Assign { name, value },
+            WalOp::Drop { name } => Op::Drop { name },
+        }
+    }
 }
 
 #[cfg(test)]

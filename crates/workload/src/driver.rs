@@ -11,7 +11,7 @@
 use crate::retail::{generate, to_fdm, RetailConfig};
 use crate::zipf::Zipf;
 use fdm_core::{RelationBuilder, Result, TupleF, Value};
-use fdm_txn::{CommitPolicy, Store, Transaction, Version};
+use fdm_txn::{CommitPolicy, DurabilityConfig, DurabilityError, Store, Transaction, Version};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -20,6 +20,12 @@ use std::sync::Arc;
 /// customer given a `credit` attribute (initially 0) for writers to
 /// contend on.
 pub fn retail_store(cfg: &RetailConfig) -> Arc<Store> {
+    Store::new(retail_db(cfg))
+}
+
+/// Builds the retail database (with zeroed `credit`) used by both store
+/// constructors below.
+fn retail_db(cfg: &RetailConfig) -> fdm_core::DatabaseF {
     let data = generate(cfg);
     let db = to_fdm(&data);
     let mut customers = RelationBuilder::new("customers", &["cid"]);
@@ -39,7 +45,93 @@ pub fn retail_store(cfg: &RetailConfig) -> Arc<Store> {
     let customers = customers
         .build()
         .expect("generated cids are unique and sorted");
-    Store::new(db.with_relation(customers))
+    db.with_relation(customers)
+}
+
+/// [`retail_store`], but **durable**: creates a fresh WAL + checkpoint
+/// directory per `dcfg` (the version-0 checkpoint is the generated
+/// retail database). The crash/restart harnesses open this directory
+/// again with [`fdm_txn::Store::open`] after a simulated crash.
+pub fn durable_retail_store(
+    cfg: &RetailConfig,
+    dcfg: DurabilityConfig,
+) -> std::result::Result<Arc<Store>, DurabilityError> {
+    Store::create(
+        retail_db(cfg),
+        fdm_txn::StoreConfig {
+            durability: Some(dcfg),
+            ..fdm_txn::StoreConfig::default()
+        },
+    )
+}
+
+/// What one crash/restart cycle observed.
+#[derive(Debug, Clone)]
+pub struct RestartReport {
+    /// Version found when the cycle opened the store — 0 on the first
+    /// cycle, otherwise whatever recovery rebuilt. With
+    /// `SyncPolicy::Always` this must equal the previous cycle's
+    /// `committed` (no acknowledged commit lost).
+    pub recovered: Version,
+    /// Version at the end of this cycle's writer run (before the crash).
+    pub committed: Version,
+    /// Highest version the WAL had acknowledged durable at that point.
+    pub durable: Version,
+    /// Total `credit` across customers at the end of the run — the audit
+    /// sum the next cycle must recover.
+    pub credit: i64,
+}
+
+/// Runs `cycles` crash/restart rounds against one durability directory:
+/// each round opens the store (creating it on the first round), runs the
+/// concurrent writer mix, records the committed/durable versions, then
+/// *drops the store without any shutdown protocol* — the in-process
+/// equivalent of `kill -9` — and the next round recovers. Returns one
+/// report per cycle; the caller asserts monotonicity / no-loss.
+pub fn run_restart_cycles(
+    dir: &std::path::Path,
+    retail: &RetailConfig,
+    mixed: &MixedConfig,
+    cycles: usize,
+) -> std::result::Result<Vec<RestartReport>, DurabilityError> {
+    let mut out = Vec::with_capacity(cycles);
+    for cycle in 0..cycles {
+        let store = if cycle == 0 {
+            durable_retail_store(retail, DurabilityConfig::new(dir))?
+        } else {
+            Store::open(dir)?
+        };
+        let recovered = store.version();
+        let cfg = MixedConfig {
+            seed: mixed.seed + cycle as u64 * 7919,
+            ..mixed.clone()
+        };
+        run_writers(&store, &cfg);
+        let committed = store.version();
+        let durable = store.durable_version().unwrap_or(0);
+        let db = store.snapshot();
+        let rel = db
+            .relation("customers")
+            .expect("retail store has customers");
+        let credit: i64 = rel
+            .tuples()
+            .expect("unique relation")
+            .iter()
+            .map(|(_, t)| {
+                t.get("credit")
+                    .and_then(|v| v.as_int("credit"))
+                    .expect("credit is an int")
+            })
+            .sum();
+        out.push(RestartReport {
+            recovered,
+            committed,
+            durable,
+            credit,
+        });
+        drop(store); // no shutdown protocol: the next open() is a recovery
+    }
+    Ok(out)
 }
 
 /// Parameters of a mixed read/write run.
@@ -176,6 +268,33 @@ mod tests {
         let t = rel.lookup(&Value::Int(1)).unwrap();
         assert_eq!(t.get("credit").unwrap(), Value::Int(0));
         assert!(t.get("name").is_ok(), "original attributes survive");
+    }
+
+    #[test]
+    fn restart_cycles_recover_every_acknowledged_commit() {
+        let dir = std::env::temp_dir().join(format!("fdm-workload-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mixed = MixedConfig {
+            threads: 2,
+            ops_per_thread: 5,
+            ..MixedConfig::default()
+        };
+        let reports = run_restart_cycles(&dir, &RetailConfig::small(), &mixed, 3).unwrap();
+        assert_eq!(reports.len(), 3);
+        let mut prev_committed = 0;
+        let mut prev_credit = 0;
+        for r in &reports {
+            assert_eq!(r.recovered, prev_committed, "no acknowledged commit lost");
+            assert_eq!(r.committed, r.recovered + 10, "2 threads x 5 ops per cycle");
+            assert_eq!(
+                r.durable, r.committed,
+                "SyncPolicy::Always acks are durable"
+            );
+            assert!(r.credit > prev_credit, "credit only ever grows");
+            prev_committed = r.committed;
+            prev_credit = r.credit;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

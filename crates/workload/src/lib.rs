@@ -12,7 +12,8 @@ pub mod retail;
 pub mod zipf;
 
 pub use driver::{
-    apply_writer_op, retail_store, run_writers, writer_ops, CommitRecord, MixedConfig, WriterOp,
+    apply_writer_op, durable_retail_store, retail_store, run_restart_cycles, run_writers,
+    writer_ops, CommitRecord, MixedConfig, RestartReport, WriterOp,
 };
 pub use retail::{generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational};
 pub use zipf::Zipf;

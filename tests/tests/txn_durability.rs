@@ -1,0 +1,379 @@
+//! Crash-recovery equivalence: for **every** injected crash point, a
+//! durable store recovers to exactly a prefix of its committed history —
+//! never losing an acknowledged (fsynced) commit, never inventing state.
+//!
+//! Two harnesses drive this:
+//!
+//! 1. **Exhaustive byte sweep** — a finished WAL is truncated at *every*
+//!    byte offset `k`; each truncated copy must open cleanly to some
+//!    committed version `v`, monotone in `k`, and the recovered state
+//!    must be byte-identical (empty Fig. 9 `difference`) to replaying
+//!    the first `v` commits through a fresh **in-memory** store. The
+//!    durable path and the volatile path must be the same function.
+//! 2. **`CrashPlan` fault injection** — torn writes, bit flips,
+//!    duplicated tail records, dropped fsyncs, and a crash mid-checkpoint
+//!    are injected at the I/O layer while the store is live, then the
+//!    directory is reopened like a rebooted machine.
+//!
+//! The restart stress test honors `THREADS` (default 4) and keeps its
+//! scratch directory on failure so CI can upload the WAL/checkpoint
+//! files as artifacts. Set `FDM_DURABILITY_SCRATCH` to pin where the
+//! scratch directories live.
+
+use fdm_core::{DatabaseF, FdmError, RelationF, TupleF, Value};
+use fdm_fql::difference;
+use fdm_txn::{CrashPlan, DurabilityConfig, DurabilityError, Store, StoreConfig};
+use fdm_workload::{run_restart_cycles, MixedConfig, RetailConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn threads() -> usize {
+    std::env::var("THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(4)
+}
+
+/// Scratch directory for one test. Honors `FDM_DURABILITY_SCRATCH` so CI
+/// can collect the WAL/checkpoint files of a failed run as artifacts —
+/// tests remove the directory only on success.
+fn scratch(tag: &str) -> PathBuf {
+    let base = std::env::var("FDM_DURABILITY_SCRATCH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir());
+    let dir = base.join(format!("fdm-dur-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ledger_db() -> DatabaseF {
+    DatabaseF::new("ledger").with_relation(RelationF::new("kv", &["k"]))
+}
+
+/// The deterministic op for commit `i`: upsert key `(i % 3) + 1` with
+/// `v = i`. Keys collide across commits, so recovery must preserve
+/// *order*, not just membership.
+fn apply_op(txn: &mut fdm_txn::Transaction, i: i64) -> fdm_core::Result<()> {
+    txn.upsert(
+        "kv",
+        Value::Int((i % 3) + 1),
+        TupleF::builder(format!("t{i}")).attr("v", i).build(),
+    )
+}
+
+fn commit(store: &Arc<Store>, i: i64) -> fdm_core::Result<()> {
+    store.run(|txn| apply_op(txn, i)).map(|_| ())
+}
+
+/// `expected[v]` = the state after replaying commits `1..=v` through a
+/// fresh in-memory store — the reference the durable path must match.
+fn expected_states(n: i64) -> Vec<DatabaseF> {
+    let store = Store::new(ledger_db());
+    let mut states = vec![store.snapshot()];
+    for i in 1..=n {
+        commit(&store, i).unwrap();
+        states.push(store.snapshot());
+    }
+    states
+}
+
+/// Asserts the Fig. 9 `difference` between the two databases is empty.
+fn assert_state_matches(expected: &DatabaseF, recovered: &DatabaseF, ctx: &str) {
+    let diff = difference(expected, recovered).unwrap();
+    let leftovers: Vec<String> = diff.iter().map(|(n, _)| n.as_ref().to_string()).collect();
+    assert!(
+        leftovers.is_empty(),
+        "{ctx}: recovered state diverges from in-memory replay: {leftovers:?}"
+    );
+}
+
+fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|s| s.to_str()) == Some("seg")).then_some(p)
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap() {
+        let e = e.unwrap();
+        std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+    }
+}
+
+fn durable_cfg(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        durability: Some(DurabilityConfig::new(dir)),
+        ..StoreConfig::default()
+    }
+}
+
+/// Satellite: the exhaustive crash-point sweep. Every byte-truncation of
+/// the WAL must recover a committed prefix equal to the in-memory replay.
+#[test]
+fn every_wal_truncation_point_recovers_exactly_a_committed_prefix() {
+    const N: i64 = 6;
+    let dir = scratch("sweep");
+    let store = Store::create(ledger_db(), durable_cfg(&dir)).unwrap();
+    for i in 1..=N {
+        commit(&store, i).unwrap();
+    }
+    drop(store);
+
+    let segs = wal_segments(&dir);
+    assert_eq!(segs.len(), 1, "small log fits one segment");
+    let full = std::fs::read(&segs[0]).unwrap();
+    let seg_name = segs[0].file_name().unwrap().to_owned();
+    let expected = expected_states(N);
+
+    let crash_dir = scratch("sweep-crash");
+    let mut prev_version = 0u64;
+    for k in 0..=full.len() {
+        copy_dir(&dir, &crash_dir);
+        std::fs::write(crash_dir.join(&seg_name), &full[..k]).unwrap();
+        let back = Store::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("cut at byte {k}: open must succeed, got {e}"));
+        let v = back.version();
+        assert!(v <= N as u64, "cut at byte {k}: version {v} beyond history");
+        assert!(
+            v >= prev_version,
+            "cut at byte {k}: recovered {v} < {prev_version} from a shorter prefix — \
+             a complete record was lost"
+        );
+        assert_state_matches(
+            &expected[v as usize],
+            &back.snapshot(),
+            &format!("cut at byte {k} (recovered v{v})"),
+        );
+        prev_version = v;
+    }
+    assert_eq!(
+        prev_version, N as u64,
+        "the untruncated log recovers everything"
+    );
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn write injected while the store is live: the commit that hits
+/// the cut fails, every *acknowledged* commit survives the reboot.
+#[test]
+fn torn_write_mid_commit_never_loses_an_acknowledged_commit() {
+    let dir = scratch("cut");
+    let store = Store::create(ledger_db(), durable_cfg(&dir)).unwrap();
+    let plan = CrashPlan::new();
+    store.install_crash_plan(Arc::clone(&plan));
+
+    commit(&store, 1).unwrap();
+    let record_bytes = plan.written_bytes();
+    assert!(record_bytes > 0, "the WAL append went through the plan");
+    // cut mid-way through the 4th record
+    plan.cut_write_at(record_bytes * 3 + record_bytes / 2);
+
+    let mut acked = 1u64;
+    let mut attempted = 1u64;
+    for i in 2..=8 {
+        attempted = i as u64;
+        match commit(&store, i) {
+            Ok(()) => acked = i as u64,
+            Err(e) => {
+                assert!(
+                    matches!(e, FdmError::Durability { .. }),
+                    "the torn append must surface as a durability error: {e}"
+                );
+                break;
+            }
+        }
+    }
+    assert_eq!(acked, 3, "commits 2 and 3 land, commit 4 hits the cut");
+    assert_eq!(plan.cuts_fired.load(Ordering::SeqCst), 1);
+    drop(store);
+
+    let back = Store::open(&dir).unwrap();
+    let v = back.version();
+    assert!(
+        v >= acked && v < attempted,
+        "recovery must keep every acked commit ({acked}) and cannot resurrect \
+         the torn one ({attempted}): got {v}"
+    );
+    assert_state_matches(
+        &expected_states(v as i64)[v as usize],
+        &back.snapshot(),
+        "after torn-write reboot",
+    );
+    // the store is live again: new commits continue the version sequence
+    commit(&back, 99).unwrap();
+    assert_eq!(back.version(), v + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit flip in an early record (valid data follows it) is media
+/// corruption: recovery must refuse with a typed error rather than
+/// silently truncating acknowledged commits away.
+#[test]
+fn bit_flip_in_the_log_is_a_hard_error_not_silent_truncation() {
+    let dir = scratch("flip");
+    let store = Store::create(ledger_db(), durable_cfg(&dir)).unwrap();
+    let plan = CrashPlan::new();
+    store.install_crash_plan(Arc::clone(&plan));
+    // offset 12 = inside the first record's payload (8-byte record header,
+    // then the version word); the flip lands while record 1 is written
+    plan.flip_bit_at(12, 2);
+    for i in 1..=3 {
+        commit(&store, i).unwrap();
+    }
+    assert_eq!(plan.flips_fired.load(Ordering::SeqCst), 1);
+    drop(store);
+
+    match Store::open(&dir) {
+        Err(DurabilityError::ChecksumMismatch { file, offset }) => {
+            assert!(file.ends_with(".seg"), "names the damaged segment: {file}");
+            assert_eq!(offset, 8, "record 1 starts right after the segment magic");
+        }
+        Err(e) => panic!("expected ChecksumMismatch, got {e}"),
+        Ok(_) => panic!("mid-log corruption must not open cleanly"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A duplicated tail record (a retried append racing a crash) is a legal
+/// artifact: recovery deduplicates by version.
+#[test]
+fn duplicated_tail_record_is_deduplicated_on_reopen() {
+    let dir = scratch("dup");
+    let store = Store::create(ledger_db(), durable_cfg(&dir)).unwrap();
+    let plan = CrashPlan::new();
+    store.install_crash_plan(Arc::clone(&plan));
+    commit(&store, 1).unwrap();
+    commit(&store, 2).unwrap();
+    plan.duplicate_tail_record();
+    commit(&store, 3).unwrap();
+    assert_eq!(plan.dups_fired.load(Ordering::SeqCst), 1);
+    drop(store);
+
+    let back = Store::open(&dir).unwrap();
+    assert_eq!(back.version(), 3, "the duplicate collapses to one commit");
+    let report = back.verify_integrity().unwrap();
+    assert_eq!(report.replay_to, 3);
+    assert_state_matches(&expected_states(3)[3], &back.snapshot(), "after dup reboot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Lying fsyncs: the writer believes its commits are durable while the
+/// medium lags. Power loss (truncation to the true durable boundary)
+/// must still recover everything *below* that boundary.
+#[test]
+fn dropped_fsyncs_recovery_honors_the_true_durable_boundary() {
+    let dir = scratch("dropfsync");
+    let store = Store::create(ledger_db(), durable_cfg(&dir)).unwrap();
+    let plan = CrashPlan::new();
+    store.install_crash_plan(Arc::clone(&plan));
+    for i in 1..=3 {
+        commit(&store, i).unwrap();
+    }
+    let durable = plan.durable_bytes();
+    plan.drop_fsync();
+    for i in 4..=6 {
+        commit(&store, i).unwrap(); // acks backed by swallowed fsyncs
+    }
+    assert!(plan.fsyncs_dropped.load(Ordering::SeqCst) >= 3);
+    assert_eq!(plan.durable_bytes(), durable, "boundary frozen at commit 3");
+    let written = plan.written_bytes();
+    drop(store);
+
+    // power loss: everything past the last *real* fsync evaporates
+    let seg = &wal_segments(&dir)[0];
+    let file_len = std::fs::metadata(seg).unwrap().len();
+    let header = file_len - written; // bytes written before the plan was installed
+    let f = std::fs::OpenOptions::new().write(true).open(seg).unwrap();
+    f.set_len(header + durable).unwrap();
+    drop(f);
+
+    let back = Store::open(&dir).unwrap();
+    assert_eq!(
+        back.version(),
+        3,
+        "every commit below the durable boundary survives; the lied-about ones are gone"
+    );
+    assert_state_matches(&expected_states(3)[3], &back.snapshot(), "after power loss");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash in the middle of writing a checkpoint must not damage the
+/// store: the half-written `.tmp` is never renamed, and recovery anchors
+/// on the previous checkpoint plus full WAL replay.
+#[test]
+fn crash_mid_checkpoint_falls_back_to_the_previous_checkpoint() {
+    let dir = scratch("midckpt");
+    let store = Store::create(ledger_db(), durable_cfg(&dir)).unwrap();
+    for i in 1..=4 {
+        commit(&store, i).unwrap();
+    }
+    assert_eq!(store.checkpoint().unwrap(), 4);
+    for i in 5..=6 {
+        commit(&store, i).unwrap();
+    }
+    let plan = CrashPlan::new();
+    store.install_crash_plan(Arc::clone(&plan));
+    plan.cut_write_at(20); // dies 20 bytes into the checkpoint image
+    store
+        .checkpoint()
+        .expect_err("the checkpoint write crashed");
+    assert_eq!(plan.cuts_fired.load(Ordering::SeqCst), 1);
+    drop(store);
+
+    let back = Store::open(&dir).unwrap();
+    assert_eq!(back.version(), 6, "v4 checkpoint + WAL replay of 5 and 6");
+    let report = back.verify_integrity().unwrap();
+    assert_eq!(report.checkpoint_version, 4);
+    assert_state_matches(
+        &expected_states(6)[6],
+        &back.snapshot(),
+        "after mid-checkpoint crash",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CI `durability-stress` workload: concurrent writers, repeated
+/// kill-and-recover cycles, `THREADS` from the environment. On failure
+/// the scratch directory survives for artifact upload.
+#[test]
+fn restart_stress_recovers_every_cycle_under_concurrency() {
+    let dir = scratch("stress");
+    let t = threads();
+    let mixed = MixedConfig {
+        threads: t,
+        ops_per_thread: 48 / t.max(1),
+        seed: 4242,
+        skew: 0.8,
+    };
+    let reports = run_restart_cycles(&dir, &RetailConfig::small(), &mixed, 4).unwrap();
+    assert_eq!(reports.len(), 4);
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(
+            r.durable, r.committed,
+            "cycle {i}: SyncPolicy::Always makes every ack durable"
+        );
+    }
+    for w in reports.windows(2) {
+        assert_eq!(
+            w[1].recovered, w[0].committed,
+            "recovery resumes exactly where the previous cycle was killed"
+        );
+        assert!(
+            w[1].credit > w[0].credit,
+            "recovered credit keeps the audit sum"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -83,7 +83,8 @@ fn compaction_preserves_the_window_and_evicts_the_rest() {
         store.as_of(2).unwrap_err(),
         fdm_core::FdmError::VersionEvicted {
             version: 2,
-            oldest: Some(6)
+            oldest: Some(6),
+            ..
         }
     ));
     // new commits keep recording into the compacted history
@@ -96,14 +97,13 @@ fn compaction_preserves_the_window_and_evicts_the_rest() {
 
 #[test]
 fn history_capacity_is_respected_under_load() {
-    use fdm_txn::{CommitPolicy, StoreConfig};
+    use fdm_txn::StoreConfig;
     let base = retail_store(&RetailConfig::small()).snapshot();
     let store = Store::with_config(
         base,
         StoreConfig {
-            policy: CommitPolicy::default(),
             history_capacity: 5,
-            log_cap: 4096,
+            ..StoreConfig::default()
         },
     );
     for i in 1..=20i64 {

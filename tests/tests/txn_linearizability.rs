@@ -248,7 +248,8 @@ fn compaction_bounds_time_travel_but_keeps_the_window() {
             err,
             fdm_core::FdmError::VersionEvicted {
                 version: 3,
-                oldest: Some(7)
+                oldest: Some(7),
+                ..
             }
         ),
         "{err:?}"
