@@ -50,6 +50,22 @@ pub(crate) fn parse_checkpoint_name(name: &str) -> Option<Version> {
         .ok()
 }
 
+/// Rejects a checkpoint payload whose length cannot be stated in the
+/// format's `u32` field. Writing it anyway would wrap the stated
+/// length, producing a file `load_checkpoint` always rejects — and with
+/// retention pruning older checkpoints, repeated auto-checkpoints could
+/// leave the directory with no loadable checkpoint at all.
+pub(crate) fn check_checkpoint_payload(version: Version, len: u64) -> Result<()> {
+    if len > u32::MAX as u64 {
+        return Err(DurabilityError::TooLarge {
+            what: format!("checkpoint v{version} payload"),
+            bytes: len,
+            max: u32::MAX as u64,
+        });
+    }
+    Ok(())
+}
+
 /// Writes the checkpoint for `version` atomically (tmp + rename + dir
 /// fsync) and returns its final path.
 pub fn write_checkpoint(dir: &Path, version: Version, db: &DatabaseF) -> Result<PathBuf> {
@@ -85,6 +101,7 @@ fn write_checkpoint_impl(
     let mut payload = Vec::new();
     payload.extend_from_slice(&version.to_le_bytes());
     payload.extend_from_slice(&encode_database(db)?);
+    check_checkpoint_payload(version, payload.len() as u64)?;
     let mut bytes = Vec::with_capacity(16 + payload.len());
     bytes.extend_from_slice(CKPT_MAGIC);
     bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -321,6 +338,19 @@ mod tests {
         // pruning below the retention count is a no-op
         assert!(prune_checkpoints(&dir, 5).unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_checkpoint_payloads_are_rejected() {
+        // the guard fires exactly where the u32 length field would wrap
+        // (a >4 GiB database is not buildable in a test, so the bound
+        // is pinned directly)
+        assert!(check_checkpoint_payload(7, u32::MAX as u64).is_ok());
+        let err = check_checkpoint_payload(7, u32::MAX as u64 + 1).unwrap_err();
+        assert!(
+            matches!(&err, DurabilityError::TooLarge { what, .. } if what.contains("v7")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -58,6 +58,22 @@ pub enum DurabilityError {
         /// tuple 't1'"`.
         what: String,
     },
+    /// A payload is too large for the on-disk format: a WAL record
+    /// above [`crate::wal::MAX_RECORD_BYTES`] (recovery would classify
+    /// its stated length as corruption) or a checkpoint whose length
+    /// overflows the format's `u32` field. Raised on the *write* side,
+    /// before anything installs or reaches disk — an oversized payload
+    /// must fail cleanly, not be acknowledged and then rejected as
+    /// corruption on the next open.
+    TooLarge {
+        /// What was oversized, e.g. `"WAL record payload"` or
+        /// `"checkpoint v7 payload"`.
+        what: String,
+        /// The payload's actual size in bytes.
+        bytes: u64,
+        /// The format's bound it exceeds.
+        max: u64,
+    },
     /// Structurally invalid durable data that is not a checksum issue
     /// (bad magic, impossible tag byte, truncated payload inside a
     /// CRC-valid record).
@@ -96,6 +112,12 @@ impl fmt::Display for DurabilityError {
             }
             DurabilityError::Unserializable { what } => {
                 write!(f, "cannot serialize {what}")
+            }
+            DurabilityError::TooLarge { what, bytes, max } => {
+                write!(
+                    f,
+                    "{what} is {bytes} bytes, over the {max}-byte format bound"
+                )
             }
             DurabilityError::Corrupt { detail } => write!(f, "corrupt durable data: {detail}"),
             DurabilityError::Io { detail } => write!(f, "durability I/O error: {detail}"),
@@ -147,6 +169,13 @@ mod tests {
             what: "λ function 'f'".into(),
         };
         assert!(e.to_string().contains("cannot serialize"));
+        let e = DurabilityError::TooLarge {
+            what: "WAL record payload".into(),
+            bytes: 300,
+            max: 256,
+        };
+        assert!(e.to_string().contains("300 bytes"));
+        assert!(e.to_string().contains("256-byte"));
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub use codec::{decode_database, decode_ops, encode_database, encode_ops, WalOp}
 pub use crash::CrashPlan;
 pub use error::DurabilityError;
 pub use recovery::{recover, verify_integrity, IntegrityReport, Recovered, WalCommit};
-pub use wal::{AppendAck, DurabilityConfig, SyncPolicy, Wal};
+pub use wal::{
+    check_record_payload, AppendAck, DurabilityConfig, SyncPolicy, Wal, MAX_RECORD_BYTES,
+};
 
 /// Commit version number (re-exported from `fdm-storage` for convenience).
 pub type Version = fdm_storage::Version;

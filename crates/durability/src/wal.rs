@@ -34,6 +34,11 @@
 //! suffix), or `Never` (fsync only on rotation/close — benchmarking and
 //! bulk loads). The append acknowledgement reports the *durable
 //! watermark* so callers always know which versions survive a crash.
+//! Under `Always` the caller must treat `AppendAck::durable == false`
+//! (an out-of-order arrival parked in the pending buffer) as
+//! *not yet acknowledged*: the transaction store blocks such commits on
+//! the watermark until the gap-filling append's fsync covers them
+//! (see `record_commit` in `fdm-txn`).
 
 use crate::codec::crc32;
 use crate::error::{DurabilityError, Result};
@@ -42,6 +47,7 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::crash::CrashPlan;
@@ -52,9 +58,30 @@ use std::sync::Arc;
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"FDMWAL01";
 /// Byte length of a record header (`u32 len` + `u32 crc`).
 pub(crate) const RECORD_HEADER: usize = 8;
-/// Upper bound on a single record payload; a stated length above this is
-/// treated as corruption rather than attempted as an allocation.
-pub(crate) const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+/// Upper bound on a single record payload. Recovery treats a stated
+/// length above this as corruption rather than attempting it as an
+/// allocation, so the write side ([`check_record_payload`]) must reject
+/// anything that large *before* it is appended and acknowledged.
+pub const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// Rejects an ops payload too large to become a valid WAL record (the
+/// record payload is the 8-byte version header plus these bytes, and
+/// its stated length must stay within [`MAX_RECORD_BYTES`]). This is
+/// the write-side twin of recovery's corruption bound: an oversized
+/// writeset must fail the commit before it installs — appending it
+/// anyway would produce an acknowledged record that the next open
+/// classifies as a torn tail and silently truncates.
+pub fn check_record_payload(ops_payload_len: usize) -> Result<()> {
+    let bytes = ops_payload_len as u64 + 8;
+    if bytes > MAX_RECORD_BYTES as u64 {
+        return Err(DurabilityError::TooLarge {
+            what: "WAL record payload".into(),
+            bytes,
+            max: MAX_RECORD_BYTES as u64,
+        });
+    }
+    Ok(())
+}
 
 /// When the WAL calls `fsync`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +112,14 @@ pub struct DurabilityConfig {
     /// Write an automatic checkpoint every this many commits
     /// (`None` = only explicit checkpoints).
     pub checkpoint_every: Option<u64>,
+    /// Under [`SyncPolicy::Always`], how long a committer whose record
+    /// arrived out of version order waits for the gap below it to fill
+    /// (and the covering fsync to run) before its commit *fails* rather
+    /// than being acknowledged without a covering fsync. The gap only
+    /// stalls if the committer of the missing version died between its
+    /// install and its WAL append, so this timeout is a crash detector,
+    /// not a pacing knob.
+    pub gap_sync_timeout: Duration,
 }
 
 impl DurabilityConfig {
@@ -97,6 +132,7 @@ impl DurabilityConfig {
             segment_bytes: 8 * 1024 * 1024,
             retain_checkpoints: 2,
             checkpoint_every: Some(256),
+            gap_sync_timeout: Duration::from_secs(2),
         }
     }
 
@@ -121,6 +157,13 @@ impl DurabilityConfig {
     /// Sets the auto-checkpoint cadence (`None` disables).
     pub fn with_checkpoint_every(mut self, every: Option<u64>) -> Self {
         self.checkpoint_every = every.map(|n| n.max(1));
+        self
+    }
+
+    /// Sets how long an out-of-order committer waits for its version
+    /// gap to become durable under [`SyncPolicy::Always`].
+    pub fn with_gap_sync_timeout(mut self, timeout: Duration) -> Self {
+        self.gap_sync_timeout = timeout;
         self
     }
 }
@@ -280,6 +323,7 @@ impl Wal {
     /// are buffered and written once their predecessors arrive; the
     /// on-disk record sequence is always gapless and version-ordered.
     pub fn append(&mut self, version: Version, ops_payload: &[u8]) -> Result<AppendAck> {
+        check_record_payload(ops_payload.len())?;
         if version < self.next_version || self.pending.contains_key(&version) {
             return Err(DurabilityError::Corrupt {
                 detail: format!("duplicate WAL append of v{version}"),
@@ -487,6 +531,30 @@ mod tests {
         segs.sort();
         assert!(segs.len() > 1, "rotation happened: {segs:?}");
         assert_eq!(segs[0], 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_before_append() {
+        // the bound is exact: a record payload of 8 (version) + len
+        // bytes must state a length within MAX_RECORD_BYTES
+        assert!(check_record_payload(MAX_RECORD_BYTES as usize - 8).is_ok());
+        assert!(matches!(
+            check_record_payload(MAX_RECORD_BYTES as usize - 7),
+            Err(DurabilityError::TooLarge { .. })
+        ));
+        // wired into append: rejected before anything is buffered or
+        // written, and the writer stays usable
+        let dir = scratch("oversize");
+        let cfg = DurabilityConfig::new(&dir);
+        let mut wal = Wal::create(&cfg, 1).unwrap();
+        let big = vec![0u8; MAX_RECORD_BYTES as usize];
+        let err = wal.append(1, &big).unwrap_err();
+        assert!(matches!(err, DurabilityError::TooLarge { .. }), "{err}");
+        assert_eq!(wal.pending_len(), 0);
+        assert_eq!(wal.synced_version(), 0);
+        let payload = encode_ops(&[]).unwrap();
+        assert!(wal.append(1, &payload).unwrap().durable);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -7,8 +7,8 @@ use crate::txn::Transaction;
 use crate::writeset::{apply_ops, Op, WriteSet};
 use fdm_core::{DatabaseF, FdmError, Result, TupleF, Value};
 use fdm_durability::{
-    encode_ops, list_checkpoints, prune_checkpoints, recover, write_checkpoint, DurabilityConfig,
-    DurabilityError, IntegrityReport, Wal, WalOp,
+    check_record_payload, encode_ops, list_checkpoints, prune_checkpoints, recover,
+    write_checkpoint, DurabilityConfig, DurabilityError, IntegrityReport, SyncPolicy, Wal, WalOp,
 };
 use fdm_storage::VersionedRoot;
 use fdm_storage::{Backoff, Version};
@@ -151,8 +151,16 @@ impl Default for StoreConfig {
 pub(crate) struct Durable {
     /// Directory, fsync cadence, retention — fixed at open time.
     cfg: DurabilityConfig,
-    /// The append half of the write-ahead log.
-    wal: Mutex<Wal>,
+    /// The append half of the write-ahead log. A `std` mutex (not the
+    /// vendored `parking_lot` shim) because waiters on the durable
+    /// watermark need a [`std::sync::Condvar`] paired with this exact
+    /// lock; access goes through [`Durable::wal`].
+    wal: std::sync::Mutex<Wal>,
+    /// Signaled (with `wal` held) whenever an append advances the
+    /// durable watermark. Under [`SyncPolicy::Always`] an out-of-order
+    /// committer parks here until the gap-filling append's fsync covers
+    /// its version — see [`Store::record_commit`].
+    wal_synced: std::sync::Condvar,
     /// Commits since the last checkpoint (drives
     /// [`DurabilityConfig::checkpoint_every`]).
     since_checkpoint: Mutex<u64>,
@@ -160,6 +168,14 @@ pub(crate) struct Durable {
     /// copy (test/fault-injection builds only).
     #[cfg(any(test, feature = "fault-injection"))]
     plan: Mutex<Option<Arc<CrashPlan>>>,
+}
+
+impl Durable {
+    /// Locks the WAL, recovering from poison — the same non-poisoning
+    /// discipline as the `parking_lot` locks used everywhere else.
+    fn wal(&self) -> std::sync::MutexGuard<'_, Wal> {
+        self.wal.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A transactional FDM store.
@@ -309,7 +325,8 @@ impl Store {
             config,
             Some(Durable {
                 cfg: dcfg,
-                wal: Mutex::new(wal),
+                wal: std::sync::Mutex::new(wal),
+                wal_synced: std::sync::Condvar::new(),
                 since_checkpoint: Mutex::new(0),
                 #[cfg(any(test, feature = "fault-injection"))]
                 plan: Mutex::new(None),
@@ -356,7 +373,8 @@ impl Store {
             config,
             Some(Durable {
                 cfg: dcfg,
-                wal: Mutex::new(wal),
+                wal: std::sync::Mutex::new(wal),
+                wal_synced: std::sync::Condvar::new(),
                 since_checkpoint: Mutex::new(0),
                 #[cfg(any(test, feature = "fault-injection"))]
                 plan: Mutex::new(None),
@@ -544,6 +562,14 @@ impl Store {
     /// per the configured [`fdm_durability::SyncPolicy`]. Recovery replay
     /// passes `None`: those commits are already on disk.
     ///
+    /// Under [`SyncPolicy::Always`] this returns only once the commit's
+    /// record is actually covered by an fsync: a record that arrived out
+    /// of version order (parked in the WAL's pending buffer) blocks on
+    /// [`Durable::wal_synced`] until the gap-filling append syncs past
+    /// it, and fails with [`FdmError::Durability`] if the gap never
+    /// fills ([`DurabilityConfig::gap_sync_timeout`]) — never a false
+    /// acknowledgement.
+    ///
     /// The in-memory bookkeeping always completes (the commit *is*
     /// installed); a WAL or checkpoint failure is then surfaced as
     /// [`FdmError::Durability`] — the memory state may be ahead of the
@@ -571,12 +597,48 @@ impl Store {
         }
         self.history.record(version, db.clone());
         if let (Some(d), Some(payload)) = (self.durable.as_ref(), wal_payload) {
-            d.wal
-                .lock()
-                .append(version, payload)
-                .map_err(|e| FdmError::Durability {
-                    detail: e.to_string(),
-                })?;
+            {
+                let mut wal = d.wal();
+                let ack = wal
+                    .append(version, payload)
+                    .map_err(|e| FdmError::Durability {
+                        detail: e.to_string(),
+                    })?;
+                // This append may have drained buffered successors past
+                // their covering fsync — wake any committer parked on
+                // the durable watermark below.
+                d.wal_synced.notify_all();
+                if matches!(d.cfg.sync, SyncPolicy::Always) && !ack.durable {
+                    // Out-of-order arrival: the record sits in the
+                    // pending buffer behind a version gap, with no fsync
+                    // covering it. `Always` promises an acknowledged
+                    // commit is on the medium, so block until the
+                    // gap-filling committer writes and syncs past this
+                    // version — and fail the commit (durability NOT
+                    // acknowledged) if it never does, e.g. because that
+                    // committer died between its install and its append.
+                    let deadline = std::time::Instant::now() + d.cfg.gap_sync_timeout;
+                    while wal.synced_version() < version {
+                        let left = deadline.saturating_duration_since(std::time::Instant::now());
+                        if left.is_zero() {
+                            return Err(FdmError::Durability {
+                                detail: format!(
+                                    "commit v{version} is buffered behind a WAL version gap \
+                                     (durable watermark v{}) that did not fill within {:?}; \
+                                     durability cannot be acknowledged",
+                                    wal.synced_version(),
+                                    d.cfg.gap_sync_timeout
+                                ),
+                            });
+                        }
+                        wal = d
+                            .wal_synced
+                            .wait_timeout(wal, left)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
+            }
             let due = {
                 let mut since = d.since_checkpoint.lock();
                 *since += 1;
@@ -599,19 +661,21 @@ impl Store {
     }
 
     /// Encodes a transaction's recorded ops for the WAL — *before* the
-    /// CAS loop, so an unserializable write (a closure-valued assign)
-    /// fails the commit before anything installs. `None` on an
-    /// in-memory store.
+    /// CAS loop, so an unserializable write (a closure-valued assign) or
+    /// a writeset too large for the record format fails the commit
+    /// before anything installs. `None` on an in-memory store.
     pub(crate) fn encode_for_wal(&self, ops: &[Op]) -> Result<Option<Vec<u8>>> {
         if self.durable.is_none() {
             return Ok(None);
         }
         let wal_ops: Vec<WalOp> = ops.iter().map(WalOp::from).collect();
-        encode_ops(&wal_ops)
-            .map(Some)
-            .map_err(|e| FdmError::Durability {
-                detail: e.to_string(),
-            })
+        let payload = encode_ops(&wal_ops).map_err(|e| FdmError::Durability {
+            detail: e.to_string(),
+        })?;
+        check_record_payload(payload.len()).map_err(|e| FdmError::Durability {
+            detail: e.to_string(),
+        })?;
+        Ok(Some(payload))
     }
 
     fn write_checkpoint_now(
@@ -642,14 +706,14 @@ impl Store {
     /// this equals [`Store::version`] after every commit; under group
     /// commit it can lag by up to the group size.
     pub fn durable_version(&self) -> Option<Version> {
-        self.durable.as_ref().map(|d| d.wal.lock().synced_version())
+        self.durable.as_ref().map(|d| d.wal().synced_version())
     }
 
     /// Forces an fsync of the WAL, draining any group-commit window.
     /// A no-op on an in-memory store.
     pub fn sync_wal(&self) -> Result<(), DurabilityError> {
         match &self.durable {
-            Some(d) => d.wal.lock().sync(),
+            Some(d) => d.wal().sync(),
             None => Ok(()),
         }
     }
@@ -707,7 +771,7 @@ impl Store {
     /// dropping the store and calling [`Store::open`].
     pub fn install_crash_plan(&self, plan: Arc<CrashPlan>) {
         if let Some(d) = &self.durable {
-            d.wal.lock().install_crash_plan(Arc::clone(&plan));
+            d.wal().install_crash_plan(Arc::clone(&plan));
             *d.plan.lock() = Some(plan);
         }
     }
@@ -1099,6 +1163,82 @@ mod tests {
             "lambda assigns cannot be logged: {err}"
         );
         assert_eq!(store.version(), 0, "nothing installed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression pin for the `SyncPolicy::Always` acknowledgement
+    /// contract: a commit whose WAL record arrives out of version order
+    /// (parked in the pending buffer, `AppendAck::durable == false`)
+    /// must not return `Ok` until the gap-filling append's fsync covers
+    /// it.
+    #[test]
+    fn out_of_order_wal_append_blocks_until_durable() {
+        let dir = scratch("gap-fill");
+        let store = Store::create(
+            DatabaseF::new("d"),
+            StoreConfig {
+                durability: Some(fdm_durability::DurabilityConfig::new(&dir)),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let payload = store.encode_for_wal(&[]).unwrap().unwrap();
+        let db = store.snapshot();
+        // v2 reaches the WAL first, as if its committer won the race to
+        // record_commit after losing the install race
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel();
+            let v2_store = Arc::clone(&store);
+            let v2_payload = payload.clone();
+            let v2_db = db.clone();
+            let handle = s.spawn(move || {
+                let out =
+                    v2_store.record_commit(2, WriteSet::from_ops(&[]), Some(&v2_payload), v2_db);
+                tx.send(()).unwrap();
+                out
+            });
+            assert!(
+                rx.recv_timeout(Duration::from_millis(100)).is_err(),
+                "v2 must stay parked while the v1 gap is open"
+            );
+            store
+                .record_commit(1, WriteSet::from_ops(&[]), Some(&payload), db.clone())
+                .unwrap();
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("filling the gap must release the parked committer");
+            handle.join().unwrap().unwrap();
+        });
+        assert_eq!(store.durable_version(), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The dual: if the gap never fills (the missing version's committer
+    /// died between its install and its WAL append), the parked commit
+    /// fails with a durability error — it is never falsely acknowledged.
+    #[test]
+    fn unfilled_wal_gap_fails_the_commit_instead_of_acking() {
+        let dir = scratch("gap-timeout");
+        let store = Store::create(
+            DatabaseF::new("d"),
+            StoreConfig {
+                durability: Some(
+                    fdm_durability::DurabilityConfig::new(&dir)
+                        .with_gap_sync_timeout(Duration::from_millis(50)),
+                ),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let payload = store.encode_for_wal(&[]).unwrap().unwrap();
+        let db = store.snapshot();
+        let err = store
+            .record_commit(2, WriteSet::from_ops(&[]), Some(&payload), db)
+            .unwrap_err();
+        assert!(
+            matches!(&err, FdmError::Durability { detail } if detail.contains("version gap")),
+            "{err:?}"
+        );
+        assert_eq!(store.durable_version(), Some(0), "nothing acknowledged");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
