@@ -63,8 +63,7 @@ fn bench(c: &mut Criterion) {
         // ablation: pushdown vs declared order on a selective filter
         let q = Query::scan("orders_rel")
             .join("customers", "cid", "cid")
-            .filter("date > $d", Params::new().set("d", "2026-11"))
-            .unwrap();
+            .filter("date > $d", Params::new().set("d", "2026-11"));
         let declared = q.clone();
         let optimized = q.optimize();
         g.bench_with_input(BenchmarkId::new("plan_declared_order", n), &n, |b, _| {

@@ -44,6 +44,16 @@
 //!   of WAL length. Both series are medium-dependent (fsync latency,
 //!   page-cache state), so like `fig11` they are **recorded, never
 //!   gated** — `bench_gate` prints them as recorded-only.
+//! * **PR 8 (rule-engine optimizer)** — `fig13_rule_optimizer`: a
+//!   three-join chain with a constant-foldable filter conjunct where
+//!   only *whole-chain* reordering helps, evaluated as declared vs
+//!   after the legacy PR 5 pass (pushdown + adjacent bubble, replayed
+//!   as two rules under `ReorderStrategy::Adjacent`) vs the shipped
+//!   default rule set (constant folding, pushdown, pruning, greedy
+//!   n-way enumeration). `rule_optimizer_speedup` (declared /
+//!   rule-engine) is recorded now and arms in `bench_gate` once a
+//!   second trajectory entry carries it, like `plan_reorder_speedup`
+//!   before it.
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
@@ -571,6 +581,7 @@ struct GateMetrics {
     group_speedup: f64,
     join_order_speedup: f64,
     plan_reorder_speedup: f64,
+    rule_optimizer_speedup: f64,
     /// Absolute commits/second — recorded in the summary for trend
     /// visibility, never ratio-gated (machine-dependent).
     txn_commit_throughput: f64,
@@ -730,6 +741,56 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         })
     });
 
+    // PR 8: the rule-engine optimizer on the three-join chain fixture,
+    // where only whole-chain reordering helps: the declared plan as-is,
+    // after the legacy PR 5 pass (pushdown + adjacent bubble — the (a, b)
+    // pair is pinned dependent and (b, c) is an exact cost tie, so the
+    // bubble cannot escape the local optimum), and after the shipped
+    // default rule set (constant folding strips the tautological
+    // conjunct, pushdown sinks the filter, the greedy enumerator binds
+    // the fan-out-1 `c` join first). Strategies are pinned through
+    // OptimizerConfig so the process environment cannot skew a series;
+    // plans are computed once, outside the timings.
+    let chain_rows = (orders / 10).max(50);
+    let rule_db = fdm_fql::testutil::chain_db_scaled(chain_rows, 8);
+    let rule_pred = format!("2 > 1 and ck <= {}", chain_rows as i64 / 2);
+    let rule_q = fdm_fql::plan::Query::scan("base")
+        .join("a", "ak", "k")
+        .join("b", "a.av", "k2")
+        .join("c", "ck", "k3")
+        .filter(&rule_pred, fdm_expr::Params::new());
+    let (rule_legacy_plan, rule_engine_plan) = {
+        use fdm_fql::optimizer::{
+            AdjacentJoinReorder, JoinCostModel, Optimizer, OptimizerConfig, PredicatePushdown,
+            ReorderStrategy,
+        };
+        let pinned = OptimizerConfig::new().with_join_cost(JoinCostModel::Stats);
+        let legacy = Optimizer::new()
+            .with_rule(Box::new(PredicatePushdown))
+            .with_rule(Box::new(AdjacentJoinReorder))
+            .with_config(pinned.with_reorder(ReorderStrategy::Adjacent))
+            .optimize(rule_q.clone(), &rule_db);
+        let engine = Optimizer::default()
+            .with_config(pinned.with_reorder(ReorderStrategy::Greedy))
+            .optimize(rule_q.clone(), &rule_db);
+        (legacy, engine)
+    };
+    let rule_declared = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(rule_q.eval(&rule_db).unwrap());
+        })
+    });
+    let rule_legacy = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(rule_legacy_plan.eval(&rule_db).unwrap());
+        })
+    });
+    let rule_engine = with_threads("1", || {
+        median_ns(samples, || {
+            black_box(rule_engine_plan.eval(&rule_db).unwrap());
+        })
+    });
+
     // PR 6: concurrent commit throughput over the retail store — 4 Zipf-
     // contended writer threads of read-modify-write transactions through
     // Store::run_with. One timed run (not median_ns: the store mutates, so
@@ -838,6 +899,34 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         "plan reorder diverges in data"
     );
 
+    // the rule-engine plan must genuinely differ from both the declared
+    // and the legacy-pass plan (otherwise the series measures noise) and
+    // all three must produce identical keyed data (canonical row ids)
+    assert_ne!(
+        rule_q.explain(),
+        rule_engine_plan.explain(),
+        "default rules should rewrite the chain plan"
+    );
+    assert_ne!(
+        rule_legacy_plan.explain(),
+        rule_engine_plan.explain(),
+        "greedy enumeration should beat the adjacent bubble on the chain"
+    );
+    let cd = rule_q.eval(&rule_db).unwrap();
+    let cl = rule_legacy_plan.eval(&rule_db).unwrap();
+    let cr = rule_engine_plan.eval(&rule_db).unwrap();
+    assert_eq!(cd.stored_keys(), cr.stored_keys(), "canonical ids agree");
+    assert_eq!(
+        data_keys(&cd),
+        data_keys(&cr),
+        "rule engine diverges in data"
+    );
+    assert_eq!(
+        data_keys(&cd),
+        data_keys(&cl),
+        "legacy pass diverges in data"
+    );
+
     // the throughput run must have installed exactly one version per
     // commit (no lost updates, no double-installs)
     assert_eq!(
@@ -854,10 +943,11 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         group_speedup: group_btree / group_hash,
         join_order_speedup: join_by_entries / join_by_stats,
         plan_reorder_speedup: reorder_declared / reorder_optimized,
+        rule_optimizer_speedup: rule_declared / rule_engine,
         txn_commit_throughput: txn_throughput,
     };
     let json = format!(
-        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }},\n      \"fig11_txn_commit\": {{ \"threads\": {}, \"commits\": {txn_commits}, \"elapsed_ms\": {:.1}, \"mean_attempts\": {txn_mean_attempts:.3}, \"txn_commit_throughput\": {txn_throughput:.0} }}\n    }}",
+        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }},\n      \"fig13_rule_optimizer\": {{ \"declared_median_ns\": {rule_declared}, \"legacy_pass_median_ns\": {rule_legacy}, \"rule_engine_median_ns\": {rule_engine}, \"legacy_pass_speedup\": {:.2}, \"rule_optimizer_speedup\": {:.2} }},\n      \"fig11_txn_commit\": {{ \"threads\": {}, \"commits\": {txn_commits}, \"elapsed_ms\": {:.1}, \"mean_attempts\": {txn_mean_attempts:.3}, \"txn_commit_throughput\": {txn_throughput:.0} }}\n    }}",
         before_filter / seq_filter,
         before_join / seq_join,
         seq_filter / par_filter,
@@ -869,6 +959,8 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         gate.group_speedup,
         gate.join_order_speedup,
         gate.plan_reorder_speedup,
+        rule_declared / rule_legacy,
+        gate.rule_optimizer_speedup,
         txn_cfg.threads,
         txn_elapsed.as_secs_f64() * 1_000.0,
     );
@@ -1028,7 +1120,7 @@ fn main() {
     let (fig12, wal_commit_overhead, recovery_replay_per_sec) = measure_recovery(quick);
     let entry = if quick {
         format!(
-            "{{\n  \"entry\": \"pr7_durability\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12}\n}}",
+            "{{\n  \"entry\": \"pr8_rule_optimizer\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12}\n}}",
             scale_reports.join(",\n")
         )
     } else {
@@ -1040,7 +1132,7 @@ fn main() {
         // `*_speedup` keys, so its placement is inert to the gate.)
         let (baseline, _) = measure_scale(2_000, samples, par_threads);
         format!(
-            "{{\n  \"entry\": \"pr7_durability\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12},\n  \"quick_gate_baseline\":\n{baseline}\n}}",
+            "{{\n  \"entry\": \"pr8_rule_optimizer\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12},\n  \"quick_gate_baseline\":\n{baseline}\n}}",
             scale_reports.join(",\n")
         )
     };
@@ -1053,7 +1145,7 @@ fn main() {
         // it — see ARMED_METRICS there).
         let g = last_gate.expect("at least one scale ran");
         let summary = format!(
-            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0},\n  \"wal_commit_overhead\": {wal_commit_overhead:.3},\n  \"recovery_replay_per_sec\": {recovery_replay_per_sec:.0}\n}}\n",
+            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"rule_optimizer_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0},\n  \"wal_commit_overhead\": {wal_commit_overhead:.3},\n  \"recovery_replay_per_sec\": {recovery_replay_per_sec:.0}\n}}\n",
             g.union_speedup,
             g.minus_speedup,
             g.intersect_speedup,
@@ -1061,6 +1153,7 @@ fn main() {
             g.group_speedup,
             g.join_order_speedup,
             g.plan_reorder_speedup,
+            g.rule_optimizer_speedup,
             g.txn_commit_throughput,
         );
         std::fs::write(quick_out, summary).expect("write quick summary");

@@ -47,8 +47,12 @@ const METRICS: [&str; 5] = [
 /// measurement, with no independent baseline to regress against.
 /// `plan_reorder_speedup` (declared vs `optimize_for` join order, PR 5)
 /// is recorded in its introducing PR and arms — under the same tolerance
-/// as everything else — the first time a later full run re-records it.
-const ARMED_METRICS: [&str; 1] = ["plan_reorder_speedup"];
+/// as everything else — the first time a later full run re-records it
+/// (which the PR 6 entry did, so it is live). `rule_optimizer_speedup`
+/// (declared vs the PR 8 rule-engine default set on the chain fixture)
+/// follows the same arc: recorded by its introducing entry, armed by
+/// the next full run.
+const ARMED_METRICS: [&str; 2] = ["plan_reorder_speedup", "rule_optimizer_speedup"];
 
 /// Metrics printed for trend visibility but **never** gated, whatever the
 /// trajectory depth: `join_order_speedup` is too scenario-shaped for a

@@ -186,8 +186,7 @@ pub fn fig6_ablation(orders: usize) {
     let db = e.fdm.with_relation(order_rel);
     let q = Query::scan("orders_rel")
         .join("customers", "cid", "cid")
-        .filter("date > $d", Params::new().set("d", "2026-09"))
-        .unwrap();
+        .filter("date > $d", Params::new().set("d", "2026-09"));
     header(
         &format!(
             "Fig. 6 ablation — predicate pushdown (orders = {})",

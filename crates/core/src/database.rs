@@ -94,6 +94,32 @@ impl DatabaseF {
         Ok(self.entry(name)?.as_relation()?.clone())
     }
 
+    /// Cardinality statistics of the relation entry `name` — the planner's
+    /// window into this database's data distribution (rows, attribute
+    /// count, per-position key cardinalities). Errors when the entry is
+    /// missing or not a relation, exactly like [`Self::relation`].
+    ///
+    /// `fdm_fql`'s `PlanContext` consults this (and
+    /// [`Self::estimate_distinct`]) so optimization rules never reach into
+    /// relation internals themselves.
+    pub fn relation_stats(&self, name: &str) -> Result<crate::stats::RelationStats> {
+        Ok(crate::stats::RelationStats::of(
+            self.relation(name)?.as_ref(),
+        ))
+    }
+
+    /// Distinct-count estimate for attribute `attr` of the relation entry
+    /// `rel`: exact for key/uniquely-constrained attributes, a
+    /// [`crate::stats::DistinctSketch`] estimate (≤10% relative error)
+    /// otherwise — see [`crate::stats::estimate_distinct`]. Errors when
+    /// the entry is missing or not a relation.
+    pub fn estimate_distinct(&self, rel: &str, attr: &str) -> Result<usize> {
+        Ok(crate::stats::estimate_distinct(
+            self.relation(rel)?.as_ref(),
+            attr,
+        ))
+    }
+
     /// Looks up a relationship function entry.
     pub fn relationship(&self, name: &str) -> Result<Arc<RelationshipF>> {
         Ok(self.entry(name)?.as_relationship()?.clone())

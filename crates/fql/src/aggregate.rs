@@ -28,6 +28,16 @@ pub enum AggSpec {
 }
 
 impl AggSpec {
+    /// The attribute this aggregate reads from each group member, if any
+    /// (`Count` reads none) — what the optimizer's projection pruning
+    /// counts as "needed" below a `GroupAgg`.
+    pub fn input_attr(&self) -> Option<&str> {
+        match self {
+            AggSpec::Count => None,
+            AggSpec::Sum(a) | AggSpec::Min(a) | AggSpec::Max(a) | AggSpec::Avg(a) => Some(a),
+        }
+    }
+
     /// Evaluates the aggregate over the group members.
     ///
     /// FDM has no NULLs: aggregating an attribute that is missing on some

@@ -138,7 +138,22 @@ fn rows_to_relation(rows: impl IntoIterator<Item = Vec<(Name, Value)>>) -> Resul
 /// as relations contributes; relationships sharing a participant chain
 /// (their bound keys must agree). Relations not reachable from any
 /// relationship are ignored (a join has nothing to say about them).
+///
+/// Cost-model selection follows the ambient
+/// [`OptimizerConfig`](crate::optimizer::OptimizerConfig) resolution
+/// (`FDM_JOIN_COST=entries` as the env fallback); use [`join_with`] to
+/// pin it explicitly.
 pub fn join(db: &DatabaseF) -> Result<RelationF> {
+    join_with(db, &crate::optimizer::OptimizerConfig::new())
+}
+
+/// [`join`] with an explicit [`OptimizerConfig`](crate::optimizer::OptimizerConfig):
+/// the config's [`join_cost`](crate::optimizer::OptimizerConfig::join_cost)
+/// resolution (explicit setting > `FDM_JOIN_COST` env > stats default)
+/// decides whether relationship ordering uses fan-out statistics or the
+/// raw-entry-count heuristic. Either model produces identical rows —
+/// pinned by `tests/tests/join_planning.rs` — only the probe cost moves.
+pub fn join_with(db: &DatabaseF, config: &crate::optimizer::OptimizerConfig) -> Result<RelationF> {
     let relationships: Vec<(Name, Arc<RelationshipF>)> = db
         .relationships()
         .map(|(n, r)| (n.clone(), r.clone()))
@@ -161,11 +176,12 @@ pub fn join(db: &DatabaseF) -> Result<RelationF> {
     // (working rows × average fan-out of the bound side, from the
     // relationship's maintained `fdm_core::stats`) — joining the cheapest
     // relationship first keeps the working row set small for every later
-    // probe. `FDM_JOIN_COST=entries` falls back to the PR 2 raw-entry-count
-    // heuristic (the pinning tests drive both and prove the produced rows
-    // are identical either way). Ties keep declaration order (`min_by`
-    // returns the first minimum).
-    let cost_by_entries = std::env::var("FDM_JOIN_COST").is_ok_and(|v| v == "entries");
+    // probe. `JoinCostModel::Entries` (config, or `FDM_JOIN_COST=entries`
+    // as the env fallback) selects the PR 2 raw-entry-count heuristic (the
+    // pinning tests drive both and prove the produced rows are identical
+    // either way). Ties keep declaration order (`min_by` returns the first
+    // minimum).
+    let cost_by_entries = config.join_cost() == crate::optimizer::JoinCostModel::Entries;
     while !pending.is_empty() {
         let bound_rels: std::collections::BTreeSet<Name> = rows
             .first()

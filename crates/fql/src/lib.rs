@@ -39,6 +39,7 @@ pub mod aggregate;
 pub mod filter;
 pub mod group;
 pub mod join;
+pub mod optimizer;
 pub mod pivot;
 pub mod plan;
 pub mod setops;
@@ -56,7 +57,12 @@ pub use filter::{
     filter_attr, filter_bound, filter_db, filter_expr, filter_fn, filter_kwargs, filter_tuple,
 };
 pub use group::{group, group_fn, Groups};
-pub use join::{join, join_on, JoinOn};
+pub use join::{join, join_on, join_with, JoinOn};
+pub use optimizer::{
+    AdjacentJoinReorder, ConstantFoldingExpr, GreedyJoinOrder, JoinCostModel, OptimizationRule,
+    OptimizeTrace, Optimizer, OptimizerConfig, PlanContext, PredicatePushdown, ProjectionPruning,
+    ReorderStrategy, TraceEntry,
+};
 pub use pivot::pivot;
 pub use plan::{Query, QueryStats};
 pub use setops::{deep_copy, deep_copy_relation, difference, intersect, minus, union};
@@ -80,6 +86,7 @@ pub mod prelude {
     };
     pub use crate::group::{group, group_fn};
     pub use crate::join::{join, join_on, JoinOn};
+    pub use crate::optimizer::{Optimizer, OptimizerConfig};
     pub use crate::pivot::pivot;
     pub use crate::plan::Query;
     pub use crate::setops::{deep_copy, deep_copy_relation, difference, intersect, minus, union};

@@ -1,0 +1,180 @@
+//! Typed optimizer configuration, with the legacy environment switches as
+//! documented fallbacks.
+//!
+//! Before PR 8 the planner's knobs were two scattered `std::env` reads:
+//! `FDM_PLAN_REORDER=off` in `Query::optimize_for` and
+//! `FDM_JOIN_COST=entries` in the schema-level `join`. Both now live in
+//! [`OptimizerConfig`]. **Precedence is: explicit config beats
+//! environment beats built-in default**, and the environment is consulted
+//! at *resolution* time (each [`OptimizerConfig::reorder`] /
+//! [`OptimizerConfig::join_cost`] call), so A/B test harnesses that flip
+//! the variables around an already-constructed [`crate::Optimizer`] keep
+//! working. The precedence is pinned by
+//! `config_beats_env_beats_default` in this module and exercised
+//! end-to-end by `tests/tests/optimizer_rules.rs`.
+
+/// How (and whether) the optimizer may reorder joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorderStrategy {
+    /// Keep the declared left-deep order — the A/B baseline
+    /// (`FDM_PLAN_REORDER=off`).
+    Off,
+    /// The PR 5 bubble pass: swap *adjacent* independent joins when the
+    /// swap strictly shrinks the inner estimate
+    /// (`FDM_PLAN_REORDER=adjacent`).
+    Adjacent,
+    /// Greedy n-way enumeration over the whole join chain, smallest
+    /// estimated fan-out first (the default).
+    Greedy,
+}
+
+/// Which cost signal the schema-level [`crate::join()`] uses to order
+/// its relationship probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinCostModel {
+    /// Raw relationship entry counts — the PR 2 heuristic
+    /// (`FDM_JOIN_COST=entries`).
+    Entries,
+    /// Estimated output rows from [`fdm_core::stats`] (the default).
+    Stats,
+}
+
+/// Optimizer knobs. Unset fields (`None`) resolve through the legacy
+/// environment variables, then to the built-in defaults — see the module
+/// docs for the pinned precedence.
+///
+/// ```
+/// use fdm_fql::optimizer::{OptimizerConfig, ReorderStrategy};
+///
+/// let cfg = OptimizerConfig::new().with_reorder(ReorderStrategy::Off);
+/// assert_eq!(cfg.reorder(), ReorderStrategy::Off); // env no longer consulted
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    reorder: Option<ReorderStrategy>,
+    join_cost: Option<JoinCostModel>,
+    max_passes: Option<usize>,
+}
+
+impl OptimizerConfig {
+    /// The documented fixpoint pass cap (see
+    /// [`crate::Optimizer::optimize_traced`]): plans are shallow trees and
+    /// every rule in the default set strictly shrinks some measure, so
+    /// real plans converge in a handful of passes — the cap only bounds a
+    /// misbehaving user rule.
+    pub const DEFAULT_MAX_PASSES: usize = 64;
+
+    /// A config with every knob unset (environment/defaults apply).
+    pub fn new() -> OptimizerConfig {
+        OptimizerConfig::default()
+    }
+
+    /// Pins the join-reordering strategy, overriding `FDM_PLAN_REORDER`.
+    pub fn with_reorder(mut self, strategy: ReorderStrategy) -> OptimizerConfig {
+        self.reorder = Some(strategy);
+        self
+    }
+
+    /// Pins the schema-join cost model, overriding `FDM_JOIN_COST`.
+    pub fn with_join_cost(mut self, model: JoinCostModel) -> OptimizerConfig {
+        self.join_cost = Some(model);
+        self
+    }
+
+    /// Caps the fixpoint driver's passes (default
+    /// [`Self::DEFAULT_MAX_PASSES`]).
+    pub fn with_max_passes(mut self, passes: usize) -> OptimizerConfig {
+        self.max_passes = Some(passes.max(1));
+        self
+    }
+
+    /// The effective reorder strategy: explicit setting, else
+    /// `FDM_PLAN_REORDER` (`off` / `adjacent`; any other value means the
+    /// default), else [`ReorderStrategy::Greedy`].
+    pub fn reorder(&self) -> ReorderStrategy {
+        self.reorder
+            .unwrap_or_else(|| match std::env::var("FDM_PLAN_REORDER").as_deref() {
+                Ok("off") => ReorderStrategy::Off,
+                Ok("adjacent") => ReorderStrategy::Adjacent,
+                _ => ReorderStrategy::Greedy,
+            })
+    }
+
+    /// The effective schema-join cost model: explicit setting, else
+    /// `FDM_JOIN_COST` (`entries`; any other value means the default),
+    /// else [`JoinCostModel::Stats`].
+    pub fn join_cost(&self) -> JoinCostModel {
+        self.join_cost
+            .unwrap_or_else(|| match std::env::var("FDM_JOIN_COST").as_deref() {
+                Ok("entries") => JoinCostModel::Entries,
+                _ => JoinCostModel::Stats,
+            })
+    }
+
+    /// The effective fixpoint pass cap (never 0).
+    pub fn max_passes(&self) -> usize {
+        self.max_passes.unwrap_or(Self::DEFAULT_MAX_PASSES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env mutations race across test threads; serialize them.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_env(key: &str, value: Option<&str>, f: impl FnOnce()) {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var(key).ok();
+        match value {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+        f();
+        match prev {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+    }
+
+    #[test]
+    fn config_beats_env_beats_default() {
+        with_env("FDM_PLAN_REORDER", Some("off"), || {
+            // default: env fallback applies
+            assert_eq!(OptimizerConfig::new().reorder(), ReorderStrategy::Off);
+            // explicit config wins over the environment
+            let pinned = OptimizerConfig::new().with_reorder(ReorderStrategy::Greedy);
+            assert_eq!(pinned.reorder(), ReorderStrategy::Greedy);
+        });
+        with_env("FDM_PLAN_REORDER", None, || {
+            // no env, no config: built-in default
+            assert_eq!(OptimizerConfig::new().reorder(), ReorderStrategy::Greedy);
+        });
+        with_env("FDM_PLAN_REORDER", Some("adjacent"), || {
+            assert_eq!(OptimizerConfig::new().reorder(), ReorderStrategy::Adjacent);
+        });
+    }
+
+    #[test]
+    fn join_cost_resolution() {
+        with_env("FDM_JOIN_COST", Some("entries"), || {
+            assert_eq!(OptimizerConfig::new().join_cost(), JoinCostModel::Entries);
+            let pinned = OptimizerConfig::new().with_join_cost(JoinCostModel::Stats);
+            assert_eq!(pinned.join_cost(), JoinCostModel::Stats);
+        });
+        with_env("FDM_JOIN_COST", None, || {
+            assert_eq!(OptimizerConfig::new().join_cost(), JoinCostModel::Stats);
+        });
+    }
+
+    #[test]
+    fn pass_cap_is_never_zero() {
+        assert_eq!(
+            OptimizerConfig::new().max_passes(),
+            OptimizerConfig::DEFAULT_MAX_PASSES
+        );
+        assert_eq!(OptimizerConfig::new().with_max_passes(0).max_passes(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! What a rule is allowed to know: statistics and configuration, read-only.
+
+use crate::optimizer::OptimizerConfig;
+use crate::plan::Query;
+use fdm_core::DatabaseF;
+
+/// The read-only planning context handed to every
+/// [`crate::optimizer::OptimizationRule`]: the database's statistics
+/// surface (cardinalities and distinct sketches from [`fdm_core::stats`],
+/// PRs 4–5) plus the effective [`OptimizerConfig`].
+///
+/// Statistics are optional — `Query::optimize` runs the statistics-free
+/// rule set with no database at hand — so every estimate accessor returns
+/// `Option`: `None` uniformly means "unavailable" (no database, missing
+/// relation, or an estimation error), and rules must degrade to a no-op
+/// rather than guess. That convention is what keeps cost-driven rewrites
+/// pinned to the declared plan whenever the cost model has nothing to say.
+pub struct PlanContext<'a> {
+    db: Option<&'a DatabaseF>,
+    config: &'a OptimizerConfig,
+}
+
+impl<'a> PlanContext<'a> {
+    /// A context with full statistics access.
+    pub fn new(db: &'a DatabaseF, config: &'a OptimizerConfig) -> PlanContext<'a> {
+        PlanContext {
+            db: Some(db),
+            config,
+        }
+    }
+
+    /// A context without statistics: every estimate accessor answers
+    /// `None`, so cost-driven rules no-op.
+    pub fn without_stats(config: &'a OptimizerConfig) -> PlanContext<'a> {
+        PlanContext { db: None, config }
+    }
+
+    /// The database being planned against, when one is at hand.
+    pub fn db(&self) -> Option<&'a DatabaseF> {
+        self.db
+    }
+
+    /// The effective optimizer configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        self.config
+    }
+
+    /// Estimated output cardinality of `plan` ([`Query::estimated_rows`]),
+    /// or `None` without statistics or when the estimate fails (e.g. a
+    /// relation the plan references is missing).
+    pub fn estimated_rows(&self, plan: &Query) -> Option<f64> {
+        self.db.and_then(|db| plan.estimated_rows(db).ok())
+    }
+
+    /// Stored cardinality of the relation entry `rel`.
+    pub fn relation_rows(&self, rel: &str) -> Option<usize> {
+        self.db
+            .and_then(|db| db.relation_stats(rel).ok())
+            .map(|s| s.rows)
+    }
+
+    /// Distinct-count estimate for `rel`'s `attr`
+    /// ([`DatabaseF::estimate_distinct`]).
+    pub fn estimate_distinct(&self, rel: &str, attr: &str) -> Option<usize> {
+        self.db.and_then(|db| db.estimate_distinct(rel, attr).ok())
+    }
+}

@@ -1,0 +1,247 @@
+//! The PR 5 adjacent-join bubble pass, as a rule.
+
+use crate::optimizer::{OptimizationRule, PlanContext, ReorderStrategy};
+use crate::plan::Query;
+
+/// Swaps *adjacent* independent joins when the swap strictly shrinks the
+/// inner join's estimated output — one bubble step per firing, repeated
+/// to fixpoint by the driver. This is the pre-PR 8 `optimize_for`
+/// reordering, kept verbatim as the
+/// [`ReorderStrategy::Adjacent`] strategy (and as the bench baseline the
+/// greedy enumerator is measured against); it only fires when the
+/// effective config selects that strategy.
+///
+/// A pair of adjacent joins is **pinned** (never swapped) when the
+/// rewrite could change observable results or lose a dependency:
+///
+/// * the upper join's `input_attr` references the lower join's qualified
+///   output (`"{lower_rel}.…"`) — the upper join *needs* the lower one
+///   underneath it;
+/// * both joins bind the same relation — duplicate qualified names would
+///   change the canonical data key with the executed order;
+/// * either side's estimate is unavailable (a relation missing from the
+///   database, or no statistics in the [`PlanContext`]) or not strictly
+///   better — ties keep declared order.
+///
+/// Pinned by `reorder_pins_dependent_and_self_joins`
+/// (`crates/fql/src/plan.rs`) and `tests/tests/plan_reordering.rs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdjacentJoinReorder;
+
+impl OptimizationRule for AdjacentJoinReorder {
+    fn name(&self) -> &'static str {
+        "adjacent_join_reorder"
+    }
+
+    fn apply(&self, plan: &Query, ctx: &PlanContext) -> Option<Query> {
+        if ctx.config().reorder() != ReorderStrategy::Adjacent {
+            return None;
+        }
+        let (next, changed) = reorder_once(plan.clone(), ctx);
+        changed.then_some(next)
+    }
+}
+
+/// One bottom-up pass of adjacent-join reordering; returns the (possibly)
+/// rewritten plan and whether anything moved. Terminates under the
+/// driver because every swap strictly decreases the inner join's
+/// estimate and estimates are fixed per (relation, attribute) pair.
+fn reorder_once(q: Query, ctx: &PlanContext) -> (Query, bool) {
+    match q {
+        Query::Join {
+            input,
+            rel,
+            input_attr,
+            rel_attr,
+        } => {
+            let (inner, changed) = reorder_once(*input, ctx);
+            if changed {
+                return (
+                    Query::Join {
+                        input: Box::new(inner),
+                        rel,
+                        input_attr,
+                        rel_attr,
+                    },
+                    true,
+                );
+            }
+            if let Query::Join {
+                input: lower_input,
+                rel: lower_rel,
+                input_attr: lower_input_attr,
+                rel_attr: lower_rel_attr,
+            } = inner
+            {
+                let independent = rel != lower_rel
+                    && !input_attr.starts_with(&format!("{lower_rel}."))
+                    && !lower_input_attr.starts_with(&format!("{rel}."));
+                if independent {
+                    let swapped_lower = Query::Join {
+                        input: lower_input.clone(),
+                        rel: rel.clone(),
+                        input_attr: input_attr.clone(),
+                        rel_attr: rel_attr.clone(),
+                    };
+                    let declared_lower = Query::Join {
+                        input: lower_input,
+                        rel: lower_rel.clone(),
+                        input_attr: lower_input_attr.clone(),
+                        rel_attr: lower_rel_attr.clone(),
+                    };
+                    if let (Some(declared_est), Some(swapped_est)) = (
+                        ctx.estimated_rows(&declared_lower),
+                        ctx.estimated_rows(&swapped_lower),
+                    ) {
+                        if swapped_est < declared_est {
+                            return (
+                                Query::Join {
+                                    input: Box::new(swapped_lower),
+                                    rel: lower_rel,
+                                    input_attr: lower_input_attr,
+                                    rel_attr: lower_rel_attr,
+                                },
+                                true,
+                            );
+                        }
+                    }
+                    return (
+                        Query::Join {
+                            input: Box::new(declared_lower),
+                            rel,
+                            input_attr,
+                            rel_attr,
+                        },
+                        false,
+                    );
+                }
+                return (
+                    Query::Join {
+                        input: Box::new(Query::Join {
+                            input: lower_input,
+                            rel: lower_rel,
+                            input_attr: lower_input_attr,
+                            rel_attr: lower_rel_attr,
+                        }),
+                        rel,
+                        input_attr,
+                        rel_attr,
+                    },
+                    false,
+                );
+            }
+            (
+                Query::Join {
+                    input: Box::new(inner),
+                    rel,
+                    input_attr,
+                    rel_attr,
+                },
+                false,
+            )
+        }
+        Query::Filter { input, pred } => {
+            let (inner, changed) = reorder_once(*input, ctx);
+            (
+                Query::Filter {
+                    input: Box::new(inner),
+                    pred,
+                },
+                changed,
+            )
+        }
+        Query::Project { input, attrs } => {
+            let (inner, changed) = reorder_once(*input, ctx);
+            (
+                Query::Project {
+                    input: Box::new(inner),
+                    attrs,
+                },
+                changed,
+            )
+        }
+        Query::GroupAgg { input, by, aggs } => {
+            let (inner, changed) = reorder_once(*input, ctx);
+            (
+                Query::GroupAgg {
+                    input: Box::new(inner),
+                    by,
+                    aggs,
+                },
+                changed,
+            )
+        }
+        Query::OrderBy { input, attr, order } => {
+            let (inner, changed) = reorder_once(*input, ctx);
+            (
+                Query::OrderBy {
+                    input: Box::new(inner),
+                    attr,
+                    order,
+                },
+                changed,
+            )
+        }
+        Query::Limit { input, k } => {
+            let (inner, changed) = reorder_once(*input, ctx);
+            (
+                Query::Limit {
+                    input: Box::new(inner),
+                    k,
+                },
+                changed,
+            )
+        }
+        leaf @ (Query::Scan { .. } | Query::Invalid { .. }) => (leaf, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerConfig;
+    use crate::testutil::skewed_db;
+
+    fn adjacent_cfg() -> OptimizerConfig {
+        OptimizerConfig::new().with_reorder(ReorderStrategy::Adjacent)
+    }
+
+    #[test]
+    fn fires_on_skewed_independent_pair() {
+        let db = skewed_db();
+        let cfg = adjacent_cfg();
+        let ctx = PlanContext::new(&db, &cfg);
+        let q = Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "nk", "k2");
+        let swapped = AdjacentJoinReorder
+            .apply(&q, &ctx)
+            .expect("fan-out 4 vs 1: the swap pays");
+        let plan = swapped.explain();
+        let wide = plan.lines().position(|l| l.contains("wide")).unwrap();
+        let narrow = plan.lines().position(|l| l.contains("narrow")).unwrap();
+        assert!(narrow > wide, "narrow joins first (deeper):\n{plan}");
+        assert!(
+            AdjacentJoinReorder.apply(&swapped, &ctx).is_none(),
+            "fixpoint"
+        );
+    }
+
+    #[test]
+    fn noops_without_stats_or_under_other_strategies() {
+        let db = skewed_db();
+        let q = Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "nk", "k2");
+        // wrong strategy → rule stays quiet even with stats at hand
+        let cfg = OptimizerConfig::new().with_reorder(ReorderStrategy::Greedy);
+        assert!(AdjacentJoinReorder
+            .apply(&q, &PlanContext::new(&db, &cfg))
+            .is_none());
+        // right strategy, no stats → estimates unavailable → pinned
+        let cfg = adjacent_cfg();
+        assert!(AdjacentJoinReorder
+            .apply(&q, &PlanContext::without_stats(&cfg))
+            .is_none());
+    }
+}

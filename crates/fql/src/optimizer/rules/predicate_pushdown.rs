@@ -1,0 +1,242 @@
+//! Filter fusion + predicate pushdown, as a rule.
+
+use crate::optimizer::{OptimizationRule, PlanContext};
+use crate::plan::Query;
+use fdm_expr::{BinOp, Expr};
+
+/// Fuses adjacent filters and pushes predicates down through projections
+/// and joins (never through sorts), one rewrite per firing — the
+/// statistics-free heart of the optimizer, ported verbatim from the
+/// pre-PR 8 `Query::optimize` pass.
+///
+/// * adjacent `Filter(Filter(..))` pairs fuse into one `and` predicate;
+/// * a filter moves below a `Project` when it references only projected
+///   attributes;
+/// * a filter moves below a `Join` when it never references the joined
+///   relation's qualified (`"{rel}."`-prefixed) attributes;
+/// * a filter **never** moves below an `OrderBy`: the sort assigns rank
+///   keys, and filtering before vs after ranking yields observably
+///   different keys (gapped vs contiguous).
+///
+/// Pinned by `optimize_fuses_filters`, `optimize_pushes_filter_below_join`,
+/// `optimize_pushes_filter_below_project`, `filter_stays_above_order_by`
+/// (`crates/fql/src/plan.rs`) and the docs transcript test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PredicatePushdown;
+
+impl OptimizationRule for PredicatePushdown {
+    fn name(&self) -> &'static str {
+        "predicate_pushdown"
+    }
+
+    fn apply(&self, plan: &Query, _ctx: &PlanContext) -> Option<Query> {
+        let (next, changed) = push_down_once(plan.clone());
+        changed.then_some(next)
+    }
+}
+
+/// One bottom-up pushdown step; the fixpoint driver repeats it until the
+/// plan is quiet.
+fn push_down_once(q: Query) -> (Query, bool) {
+    match q {
+        Query::Filter { input, pred } => match *input {
+            // fuse adjacent filters
+            Query::Filter {
+                input: inner,
+                pred: p2,
+            } => (
+                Query::Filter {
+                    input: inner,
+                    pred: Expr::bin(BinOp::And, p2, pred),
+                },
+                true,
+            ),
+            // push below project when the predicate only uses
+            // projected attributes
+            Query::Project {
+                input: inner,
+                attrs,
+            } => {
+                let refs = pred.referenced_attrs();
+                if refs.iter().all(|r| attrs.iter().any(|a| a == r.as_ref())) {
+                    (
+                        Query::Project {
+                            input: Box::new(Query::Filter { input: inner, pred }),
+                            attrs,
+                        },
+                        true,
+                    )
+                } else {
+                    let (inner2, changed) = push_down_once(Query::Project {
+                        input: inner,
+                        attrs,
+                    });
+                    (
+                        Query::Filter {
+                            input: Box::new(inner2),
+                            pred,
+                        },
+                        changed,
+                    )
+                }
+            }
+            // push below join when the predicate never references the
+            // joined relation's (prefixed) attributes
+            Query::Join {
+                input: inner,
+                rel,
+                input_attr,
+                rel_attr,
+            } => {
+                let prefix = format!("{rel}.");
+                let refs = pred.referenced_attrs();
+                if refs.iter().all(|r| !r.starts_with(&prefix)) {
+                    (
+                        Query::Join {
+                            input: Box::new(Query::Filter { input: inner, pred }),
+                            rel,
+                            input_attr,
+                            rel_attr,
+                        },
+                        true,
+                    )
+                } else {
+                    let (inner2, changed) = push_down_once(Query::Join {
+                        input: inner,
+                        rel,
+                        input_attr,
+                        rel_attr,
+                    });
+                    (
+                        Query::Filter {
+                            input: Box::new(inner2),
+                            pred,
+                        },
+                        changed,
+                    )
+                }
+            }
+            // NOTE: a filter is deliberately NOT pushed below an
+            // OrderBy. The sort assigns rank keys; filtering before
+            // vs after ranking yields different keys (contiguous vs
+            // gapped), and the optimizer must never change observable
+            // results — only their cost.
+            other => {
+                let (inner2, changed) = push_down_once(other);
+                (
+                    Query::Filter {
+                        input: Box::new(inner2),
+                        pred,
+                    },
+                    changed,
+                )
+            }
+        },
+        Query::Project { input, attrs } => {
+            let (inner, changed) = push_down_once(*input);
+            (
+                Query::Project {
+                    input: Box::new(inner),
+                    attrs,
+                },
+                changed,
+            )
+        }
+        Query::Join {
+            input,
+            rel,
+            input_attr,
+            rel_attr,
+        } => {
+            let (inner, changed) = push_down_once(*input);
+            (
+                Query::Join {
+                    input: Box::new(inner),
+                    rel,
+                    input_attr,
+                    rel_attr,
+                },
+                changed,
+            )
+        }
+        Query::GroupAgg { input, by, aggs } => {
+            let (inner, changed) = push_down_once(*input);
+            (
+                Query::GroupAgg {
+                    input: Box::new(inner),
+                    by,
+                    aggs,
+                },
+                changed,
+            )
+        }
+        Query::OrderBy { input, attr, order } => {
+            let (inner, changed) = push_down_once(*input);
+            (
+                Query::OrderBy {
+                    input: Box::new(inner),
+                    attr,
+                    order,
+                },
+                changed,
+            )
+        }
+        Query::Limit { input, k } => {
+            let (inner, changed) = push_down_once(*input);
+            (
+                Query::Limit {
+                    input: Box::new(inner),
+                    k,
+                },
+                changed,
+            )
+        }
+        leaf @ (Query::Scan { .. } | Query::Invalid { .. }) => (leaf, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerConfig;
+    use fdm_expr::Params;
+
+    #[test]
+    fn fires_on_pushable_filter_and_noops_at_fixpoint() {
+        let cfg = OptimizerConfig::new();
+        let ctx = PlanContext::without_stats(&cfg);
+        let q = Query::scan("orders")
+            .join("customers", "cid", "cid")
+            .filter("date == '2026-01-05'", Params::new());
+        let pushed = PredicatePushdown
+            .apply(&q, &ctx)
+            .expect("left-side-only predicate moves below the join");
+        let plan = pushed.explain();
+        let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
+        let join_line = plan.lines().position(|l| l.contains("join")).unwrap();
+        assert!(filter_line > join_line, "{plan}");
+        // at the fixpoint the rule reports "nothing to do"
+        assert!(PredicatePushdown.apply(&pushed, &ctx).is_none());
+    }
+
+    #[test]
+    fn noops_on_join_side_predicate() {
+        use fdm_expr::{BinOp, Expr};
+        let cfg = OptimizerConfig::new();
+        let ctx = PlanContext::without_stats(&cfg);
+        // qualified join-output references are built programmatically —
+        // the predicate *language* has no dotted identifiers
+        let pred = Expr::bin(
+            BinOp::Gt,
+            Expr::Attr(std::sync::Arc::from("customers.age")),
+            Expr::lit(40),
+        );
+        let q = Query::scan("orders")
+            .join("customers", "cid", "cid")
+            .filter_expr(pred);
+        assert!(
+            PredicatePushdown.apply(&q, &ctx).is_none(),
+            "a predicate on the joined side is pinned above the join"
+        );
+    }
+}

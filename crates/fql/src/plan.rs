@@ -5,14 +5,16 @@
 //! expression". [`Query`] is that deferred expression: a tree of operators
 //! that *looks* like eager host-language calls but is only executed on
 //! [`Query::eval`] — and [`Query::optimize`] / [`Query::optimize_for`]
-//! may rewrite it first (filter fusion, predicate pushdown through
-//! projections and joins, and — with database statistics in hand —
-//! reordering of adjacent joins by estimated output rows).
+//! may rewrite it first. Since PR 8 both are thin wrappers over the
+//! [`crate::optimizer`] rule engine: constant folding, filter fusion,
+//! predicate pushdown, projection pruning, and — with database
+//! statistics in hand — join reordering, each an independent
+//! [`crate::optimizer::OptimizationRule`] run to fixpoint.
 //!
 //! The executor is deliberately simple (left-deep hash joins); the point
 //! is the *optimization space*, which the `fig6` ablation bench and the
-//! `bench_bulk` `fig6_plan_reorder` series measure (optimized vs.
-//! declared order).
+//! `bench_bulk` `fig6_plan_reorder` / `fig13_rule_optimizer` series
+//! measure (optimized vs. declared order).
 //!
 //! # Canonical row ids
 //!
@@ -29,12 +31,15 @@
 //! nothing [`fdm_core::TupleF::eq_data`] can see) may reflect the
 //! executed order. `FDM_PLAN_REORDER=off` pins the declared left-deep
 //! order for A/B runs, exactly like `FDM_JOIN_COST=entries` does for the
-//! schema-level join. See `docs/OPTIMIZER.md` for the full cost model.
+//! schema-level join (both knobs now live in
+//! [`crate::optimizer::OptimizerConfig`], with the environment as
+//! fallback). See `docs/OPTIMIZER.md` for the full cost model.
 
 use crate::aggregate::{group_and_aggregate, AggSpec};
 use crate::filter::filter_bound;
+use crate::optimizer::Optimizer;
 use fdm_core::{DatabaseF, FdmError, RelationF, Result, TupleF, Value};
-use fdm_expr::{BinOp, Expr, Params};
+use fdm_expr::{Expr, Params};
 use std::sync::Arc;
 
 /// A lazy, optimizable FQL expression producing a relation function.
@@ -47,7 +52,7 @@ use std::sync::Arc;
 /// use fdm_expr::Params;
 ///
 /// let q = Query::scan("customers")
-///     .filter("age > $min", Params::new().set("min", 42)).unwrap()
+///     .filter("age > $min", Params::new().set("min", 42))
 ///     .project(&["name"]);
 /// let out = q.optimize().eval(&retail_db()).unwrap();
 /// assert_eq!(out.len(), 2);
@@ -116,6 +121,16 @@ pub enum Query {
         /// Number of tuples to keep.
         k: usize,
     },
+    /// A plan-construction error captured for deferred reporting: built
+    /// when a builder like [`Query::filter`] is handed an unparsable or
+    /// unbindable predicate, and surfaced as that error by
+    /// [`Query::eval`] / [`Query::estimated_rows`]. Lets builder chains
+    /// compose without `?` mid-pipeline; use [`Query::try_filter`] for
+    /// eager validation.
+    Invalid {
+        /// The deferred error's message.
+        message: String,
+    },
 }
 
 impl Query {
@@ -126,12 +141,30 @@ impl Query {
         }
     }
 
-    /// Adds a filter from a textual predicate with parameters (parsed and
-    /// bound now, at plan-construction time).
-    pub fn filter(self, src: &str, params: Params) -> Result<Query> {
-        let expr = fdm_expr::parse(src).map_err(FdmError::from)?;
-        let bound = params.bind(&expr).map_err(FdmError::from)?;
-        Ok(self.filter_expr(bound))
+    /// Adds a filter from a textual predicate with parameters. The
+    /// predicate is parsed and bound now, but a parse/bind *error* is
+    /// deferred: the chain keeps composing (every builder returns
+    /// `Query`) and the error surfaces at [`Self::eval`], carried by a
+    /// [`Query::Invalid`] node. Use [`Self::try_filter`] to validate
+    /// eagerly instead.
+    pub fn filter(self, src: &str, params: Params) -> Query {
+        match Self::parse_bound(src, &params) {
+            Ok(pred) => self.filter_expr(pred),
+            Err(e) => Query::Invalid {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// [`Self::filter`] with **eager** validation: a predicate that fails
+    /// to parse or bind errors here, at plan-construction time, exactly
+    /// like the pre-PR 8 `filter` did.
+    pub fn try_filter(self, src: &str, params: Params) -> Result<Query> {
+        Ok(self.filter_expr(Self::parse_bound(src, &params).map_err(FdmError::from)?))
+    }
+
+    fn parse_bound(src: &str, params: &Params) -> std::result::Result<Expr, fdm_expr::ExprError> {
+        params.bind(&fdm_expr::parse(src)?)
     }
 
     /// Adds a filter from an already-bound expression.
@@ -189,43 +222,31 @@ impl Query {
         }
     }
 
-    /// Rewrites the plan without database statistics: filter fusion, then
-    /// predicate pushdown to fixpoint. Join order is left exactly as
-    /// declared — reordering needs cardinality estimates, which need a
-    /// database; use [`Self::optimize_for`] when one is at hand.
+    /// Rewrites the plan without database statistics: constant folding,
+    /// filter fusion, predicate pushdown, and projection pruning to
+    /// fixpoint ([`Optimizer::statistics_free`]). Join order is left
+    /// exactly as declared — reordering needs cardinality estimates,
+    /// which need a database; use [`Self::optimize_for`] when one is at
+    /// hand.
     pub fn optimize(self) -> Query {
-        let mut q = self;
-        loop {
-            let (next, changed) = q.push_down_once();
-            q = next;
-            if !changed {
-                return q;
-            }
-        }
+        Optimizer::statistics_free().optimize_without_stats(self)
     }
 
-    /// The full optimizer: [`Self::optimize`]'s statistics-free rewrites,
-    /// then **join reordering** against `db`'s statistics — adjacent
-    /// [`Query::Join`] nodes are reordered (bubble-sort style, to
-    /// fixpoint) so the join with the smaller [`Self::estimated_rows`]
-    /// runs first, shrinking every intermediate the outer joins consume.
+    /// The full optimizer: [`Self::optimize`]'s statistics-free rewrites
+    /// plus **join reordering** against `db`'s statistics. Since PR 8
+    /// this is a thin back-compat wrapper over
+    /// [`Optimizer::default`] — the rule-engine fixpoint driver with the
+    /// built-in rule set (pinned by `optimize_for_is_default_optimizer`
+    /// in `tests/tests/optimizer_rules.rs`); build an
+    /// [`Optimizer`] directly for custom rules, a pinned
+    /// [`crate::optimizer::OptimizerConfig`], or the rewrite trace.
     ///
-    /// A pair of adjacent joins is **pinned** (never swapped) when the
-    /// rewrite could change observable results or lose a dependency:
-    ///
-    /// * the upper join's `input_attr` references the lower join's
-    ///   qualified output (`"{lower_rel}.…"`) — the upper join *needs*
-    ///   the lower one underneath it;
-    /// * both joins bind the same relation — duplicate qualified names
-    ///   would change the canonical data key with the executed order;
-    /// * either side's estimate is unavailable (a relation missing from
-    ///   `db`) or not strictly better — ties keep declared order.
-    ///
-    /// Setting the environment variable `FDM_PLAN_REORDER=off` skips the
-    /// reordering phase entirely (the declared left-deep order is kept),
-    /// mirroring `FDM_JOIN_COST=entries` on the schema join; the
-    /// equivalence tests drive both settings and prove the produced
-    /// relations are key- and data-identical either way.
+    /// The default reordering strategy is the greedy n-way enumerator
+    /// ([`crate::optimizer::GreedyJoinOrder`]); `FDM_PLAN_REORDER=off`
+    /// keeps the declared left-deep order and `=adjacent` selects the
+    /// PR 5 bubble pass, unless a config pins the strategy explicitly.
+    /// The equivalence tests drive all strategies and prove the produced
+    /// relations are key- and data-identical.
     ///
     /// # Examples
     ///
@@ -239,333 +260,7 @@ impl Query {
     /// assert_eq!(q.clone().optimize_for(&db).explain(), q.optimize().explain());
     /// ```
     pub fn optimize_for(self, db: &DatabaseF) -> Query {
-        let q = self.optimize();
-        if std::env::var("FDM_PLAN_REORDER").is_ok_and(|v| v == "off") {
-            return q;
-        }
-        let mut q = q;
-        loop {
-            let (next, changed) = q.reorder_once(db);
-            q = next;
-            if !changed {
-                return q;
-            }
-        }
-    }
-
-    /// One bottom-up pass of adjacent-join reordering; returns the
-    /// (possibly) rewritten plan and whether anything moved. Repeated to
-    /// fixpoint by [`Self::optimize_for`]; terminates because every swap
-    /// strictly decreases the inner join's estimate and estimates are
-    /// fixed per (relation, attribute) pair.
-    fn reorder_once(self, db: &DatabaseF) -> (Query, bool) {
-        match self {
-            Query::Join {
-                input,
-                rel,
-                input_attr,
-                rel_attr,
-            } => {
-                let (inner, changed) = input.reorder_once(db);
-                if changed {
-                    return (
-                        Query::Join {
-                            input: Box::new(inner),
-                            rel,
-                            input_attr,
-                            rel_attr,
-                        },
-                        true,
-                    );
-                }
-                if let Query::Join {
-                    input: lower_input,
-                    rel: lower_rel,
-                    input_attr: lower_input_attr,
-                    rel_attr: lower_rel_attr,
-                } = inner
-                {
-                    let independent = rel != lower_rel
-                        && !input_attr.starts_with(&format!("{lower_rel}."))
-                        && !lower_input_attr.starts_with(&format!("{rel}."));
-                    if independent {
-                        let swapped_lower = Query::Join {
-                            input: lower_input.clone(),
-                            rel: rel.clone(),
-                            input_attr: input_attr.clone(),
-                            rel_attr: rel_attr.clone(),
-                        };
-                        let declared_lower = Query::Join {
-                            input: lower_input,
-                            rel: lower_rel.clone(),
-                            input_attr: lower_input_attr.clone(),
-                            rel_attr: lower_rel_attr.clone(),
-                        };
-                        if let (Ok(declared_est), Ok(swapped_est)) = (
-                            declared_lower.estimated_rows(db),
-                            swapped_lower.estimated_rows(db),
-                        ) {
-                            if swapped_est < declared_est {
-                                return (
-                                    Query::Join {
-                                        input: Box::new(swapped_lower),
-                                        rel: lower_rel,
-                                        input_attr: lower_input_attr,
-                                        rel_attr: lower_rel_attr,
-                                    },
-                                    true,
-                                );
-                            }
-                        }
-                        return (
-                            Query::Join {
-                                input: Box::new(declared_lower),
-                                rel,
-                                input_attr,
-                                rel_attr,
-                            },
-                            false,
-                        );
-                    }
-                    return (
-                        Query::Join {
-                            input: Box::new(Query::Join {
-                                input: lower_input,
-                                rel: lower_rel,
-                                input_attr: lower_input_attr,
-                                rel_attr: lower_rel_attr,
-                            }),
-                            rel,
-                            input_attr,
-                            rel_attr,
-                        },
-                        false,
-                    );
-                }
-                (
-                    Query::Join {
-                        input: Box::new(inner),
-                        rel,
-                        input_attr,
-                        rel_attr,
-                    },
-                    false,
-                )
-            }
-            Query::Filter { input, pred } => {
-                let (inner, changed) = input.reorder_once(db);
-                (
-                    Query::Filter {
-                        input: Box::new(inner),
-                        pred,
-                    },
-                    changed,
-                )
-            }
-            Query::Project { input, attrs } => {
-                let (inner, changed) = input.reorder_once(db);
-                (
-                    Query::Project {
-                        input: Box::new(inner),
-                        attrs,
-                    },
-                    changed,
-                )
-            }
-            Query::GroupAgg { input, by, aggs } => {
-                let (inner, changed) = input.reorder_once(db);
-                (
-                    Query::GroupAgg {
-                        input: Box::new(inner),
-                        by,
-                        aggs,
-                    },
-                    changed,
-                )
-            }
-            Query::OrderBy { input, attr, order } => {
-                let (inner, changed) = input.reorder_once(db);
-                (
-                    Query::OrderBy {
-                        input: Box::new(inner),
-                        attr,
-                        order,
-                    },
-                    changed,
-                )
-            }
-            Query::Limit { input, k } => {
-                let (inner, changed) = input.reorder_once(db);
-                (
-                    Query::Limit {
-                        input: Box::new(inner),
-                        k,
-                    },
-                    changed,
-                )
-            }
-            leaf @ Query::Scan { .. } => (leaf, false),
-        }
-    }
-
-    fn push_down_once(self) -> (Query, bool) {
-        match self {
-            Query::Filter { input, pred } => match *input {
-                // fuse adjacent filters
-                Query::Filter {
-                    input: inner,
-                    pred: p2,
-                } => (
-                    Query::Filter {
-                        input: inner,
-                        pred: Expr::bin(BinOp::And, p2, pred),
-                    },
-                    true,
-                ),
-                // push below project when the predicate only uses
-                // projected attributes
-                Query::Project {
-                    input: inner,
-                    attrs,
-                } => {
-                    let refs = pred.referenced_attrs();
-                    if refs.iter().all(|r| attrs.iter().any(|a| a == r.as_ref())) {
-                        (
-                            Query::Project {
-                                input: Box::new(Query::Filter { input: inner, pred }),
-                                attrs,
-                            },
-                            true,
-                        )
-                    } else {
-                        let (inner2, changed) = Query::Project {
-                            input: inner,
-                            attrs,
-                        }
-                        .push_down_once();
-                        (
-                            Query::Filter {
-                                input: Box::new(inner2),
-                                pred,
-                            },
-                            changed,
-                        )
-                    }
-                }
-                // push below join when the predicate never references the
-                // joined relation's (prefixed) attributes
-                Query::Join {
-                    input: inner,
-                    rel,
-                    input_attr,
-                    rel_attr,
-                } => {
-                    let prefix = format!("{rel}.");
-                    let refs = pred.referenced_attrs();
-                    if refs.iter().all(|r| !r.starts_with(&prefix)) {
-                        (
-                            Query::Join {
-                                input: Box::new(Query::Filter { input: inner, pred }),
-                                rel,
-                                input_attr,
-                                rel_attr,
-                            },
-                            true,
-                        )
-                    } else {
-                        let (inner2, changed) = Query::Join {
-                            input: inner,
-                            rel,
-                            input_attr,
-                            rel_attr,
-                        }
-                        .push_down_once();
-                        (
-                            Query::Filter {
-                                input: Box::new(inner2),
-                                pred,
-                            },
-                            changed,
-                        )
-                    }
-                }
-                // NOTE: a filter is deliberately NOT pushed below an
-                // OrderBy. The sort assigns rank keys; filtering before
-                // vs after ranking yields different keys (contiguous vs
-                // gapped), and the optimizer must never change observable
-                // results — only their cost.
-                other => {
-                    let (inner2, changed) = other.push_down_once();
-                    (
-                        Query::Filter {
-                            input: Box::new(inner2),
-                            pred,
-                        },
-                        changed,
-                    )
-                }
-            },
-            Query::Project { input, attrs } => {
-                let (inner, changed) = input.push_down_once();
-                (
-                    Query::Project {
-                        input: Box::new(inner),
-                        attrs,
-                    },
-                    changed,
-                )
-            }
-            Query::Join {
-                input,
-                rel,
-                input_attr,
-                rel_attr,
-            } => {
-                let (inner, changed) = input.push_down_once();
-                (
-                    Query::Join {
-                        input: Box::new(inner),
-                        rel,
-                        input_attr,
-                        rel_attr,
-                    },
-                    changed,
-                )
-            }
-            Query::GroupAgg { input, by, aggs } => {
-                let (inner, changed) = input.push_down_once();
-                (
-                    Query::GroupAgg {
-                        input: Box::new(inner),
-                        by,
-                        aggs,
-                    },
-                    changed,
-                )
-            }
-            Query::OrderBy { input, attr, order } => {
-                let (inner, changed) = input.push_down_once();
-                (
-                    Query::OrderBy {
-                        input: Box::new(inner),
-                        attr,
-                        order,
-                    },
-                    changed,
-                )
-            }
-            Query::Limit { input, k } => {
-                let (inner, changed) = input.push_down_once();
-                (
-                    Query::Limit {
-                        input: Box::new(inner),
-                        k,
-                    },
-                    changed,
-                )
-            }
-            leaf @ Query::Scan { .. } => (leaf, false),
-        }
+        Optimizer::default().optimize(self, db)
     }
 
     /// Executes the plan against a database function.
@@ -668,6 +363,9 @@ impl Query {
                 let rel = input.run(db, stats)?;
                 crate::transform::limit(&rel, *k)?
             }
+            // a deferred plan-construction error surfaces here, as the
+            // expression error `filter` would have reported eagerly
+            Query::Invalid { message } => return Err(FdmError::Expr(message.clone())),
         };
         stats.produced.push((self.describe(), out.len()));
         Ok(out)
@@ -691,6 +389,7 @@ impl Query {
             }
             Query::OrderBy { attr, order, .. } => format!("order_by({attr}, {order:?})"),
             Query::Limit { k, .. } => format!("limit({k})"),
+            Query::Invalid { message } => format!("invalid({message})"),
         }
     }
 
@@ -763,6 +462,7 @@ impl Query {
                 }
             }
             Query::Limit { input, k } => input.estimated_rows(db)?.min(*k as f64),
+            Query::Invalid { message } => return Err(FdmError::Expr(message.clone())),
         })
     }
 
@@ -777,7 +477,7 @@ impl Query {
             | Query::Project { input, .. }
             | Query::OrderBy { input, .. }
             | Query::Limit { input, .. } => input.base_scan(),
-            Query::Join { .. } | Query::GroupAgg { .. } => None,
+            Query::Join { .. } | Query::GroupAgg { .. } | Query::Invalid { .. } => None,
         }
     }
 
@@ -790,7 +490,7 @@ impl Query {
             out.push_str(&q.describe());
             out.push_str(&format!("  ~{:.0} rows\n", q.estimated_rows(db)?));
             match q {
-                Query::Scan { .. } => {}
+                Query::Scan { .. } | Query::Invalid { .. } => {}
                 Query::Filter { input, .. }
                 | Query::Project { input, .. }
                 | Query::Join { input, .. }
@@ -812,7 +512,7 @@ impl Query {
             out.push_str(&q.describe());
             out.push('\n');
             match q {
-                Query::Scan { .. } => {}
+                Query::Scan { .. } | Query::Invalid { .. } => {}
                 Query::Filter { input, .. }
                 | Query::Project { input, .. }
                 | Query::Join { input, .. }
@@ -896,7 +596,7 @@ impl QueryStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::retail_db;
+    use crate::testutil::{retail_db, skewed_db};
 
     fn order_rel_db() -> DatabaseF {
         // retail db with the order relationship flattened to a relation so
@@ -914,7 +614,6 @@ mod tests {
     fn scan_filter_project_pipeline() {
         let q = Query::scan("customers")
             .filter("age > $min", Params::new().set("min", 40))
-            .unwrap()
             .project(&["name"]);
         let out = q.eval(&retail_db()).unwrap();
         assert_eq!(out.len(), 2);
@@ -936,9 +635,7 @@ mod tests {
     fn optimize_fuses_filters() {
         let q = Query::scan("customers")
             .filter("age > 30", Params::new())
-            .unwrap()
-            .filter("age < 50", Params::new())
-            .unwrap();
+            .filter("age < 50", Params::new());
         let opt = q.clone().optimize();
         let plan = opt.explain();
         assert_eq!(plan.matches("filter").count(), 1, "fused: {plan}");
@@ -952,8 +649,7 @@ mod tests {
     fn optimize_pushes_filter_below_join() {
         let q = Query::scan("orders")
             .join("customers", "cid", "cid")
-            .filter("date == '2026-01-05'", Params::new())
-            .unwrap();
+            .filter("date == '2026-01-05'", Params::new());
         let opt = q.clone().optimize();
         let plan = opt.explain();
         // filter mentions only the left side ("date") → below the join
@@ -997,8 +693,7 @@ mod tests {
     fn optimize_pushes_filter_below_project() {
         let q = Query::scan("customers")
             .project(&["name", "age"])
-            .filter("age > 40", Params::new())
-            .unwrap();
+            .filter("age > 40", Params::new());
         let opt = q.clone().optimize();
         let plan = opt.explain();
         let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
@@ -1045,8 +740,7 @@ mod tests {
         use crate::transform::Order;
         let q = Query::scan("customers")
             .order_by("age", Order::Asc)
-            .filter("age > 30", Params::new())
-            .unwrap();
+            .filter("age > 30", Params::new());
         let opt = q.clone().optimize();
         let plan = opt.explain();
         let filter_line = plan.lines().position(|l| l.contains("filter")).unwrap();
@@ -1073,10 +767,7 @@ mod tests {
         assert_eq!(join.estimated_rows(&db).unwrap(), 3.0);
         // a filter shrinks the estimate; pushdown therefore estimates
         // cheaper intermediate work than the declared order measures
-        let q = join
-            .clone()
-            .filter("date == '2026-01-05'", Params::new())
-            .unwrap();
+        let q = join.clone().filter("date == '2026-01-05'", Params::new());
         let opt = q.clone().optimize();
         let declared_join_est = join.estimated_rows(&db).unwrap();
         // in the optimized plan the join sits above the filter
@@ -1092,44 +783,6 @@ mod tests {
         let annotated = opt.explain_with_cost(&db).unwrap();
         assert!(annotated.contains("~"), "{annotated}");
         assert!(annotated.contains("rows"), "{annotated}");
-    }
-
-    /// A database where the declared join order is the expensive one:
-    /// `base` rows fan out 4× into `wide.k` but exactly 1× into
-    /// `narrow.k2`.
-    fn skewed_db() -> DatabaseF {
-        let mut base = fdm_core::RelationBuilder::new("base", &["id"]);
-        for i in 1..=6i64 {
-            base.push(
-                Value::Int(i),
-                TupleF::builder("b").attr("wk", i).attr("nk", i).build(),
-            );
-        }
-        let mut wide = fdm_core::RelationBuilder::new("wide", &["wid"]);
-        let mut w = 0i64;
-        for k in 1..=6i64 {
-            for _ in 0..4 {
-                w += 1;
-                wide.push(
-                    Value::Int(w),
-                    TupleF::builder("w").attr("k", k).attr("wv", w).build(),
-                );
-            }
-        }
-        let mut narrow = fdm_core::RelationBuilder::new("narrow", &["nid"]);
-        for k in 1..=6i64 {
-            narrow.push(
-                Value::Int(k),
-                TupleF::builder("n")
-                    .attr("k2", k)
-                    .attr("nv", k * 10)
-                    .build(),
-            );
-        }
-        DatabaseF::new("skewed")
-            .with_relation(base.build().unwrap())
-            .with_relation(wide.build().unwrap())
-            .with_relation(narrow.build().unwrap())
     }
 
     #[test]
@@ -1205,11 +858,38 @@ mod tests {
 
     #[test]
     fn explain_shows_tree() {
-        let q = Query::scan("customers")
-            .filter("age > 1", Params::new())
-            .unwrap();
+        let q = Query::scan("customers").filter("age > 1", Params::new());
         let s = q.explain();
         assert!(s.contains("filter"));
         assert!(s.contains("scan(customers)"));
+    }
+
+    #[test]
+    fn bad_filter_defers_its_error_to_eval() {
+        // the chain composes without `?`...
+        let q = Query::scan("customers")
+            .filter("age >", Params::new())
+            .project(&["name"])
+            .limit(1);
+        assert!(q.explain().contains("invalid("), "{}", q.explain());
+        // ...and eval reports the parse error the old eager filter threw
+        let err = q.eval(&retail_db()).unwrap_err();
+        assert!(matches!(err, FdmError::Expr(_)), "{err}");
+        assert!(q.estimated_rows(&retail_db()).is_err());
+        // the optimizer passes the poisoned plan through untouched
+        let opt = Query::scan("customers")
+            .filter("age >", Params::new())
+            .optimize_for(&retail_db());
+        assert!(opt.eval(&retail_db()).is_err());
+        // try_filter keeps the eager behavior
+        assert!(Query::scan("customers")
+            .try_filter("age >", Params::new())
+            .is_err());
+        assert!(Query::scan("customers")
+            .try_filter("age > 1", Params::new())
+            .is_ok());
+        // an unbound parameter is a bind error, deferred the same way
+        let q = Query::scan("customers").filter("age > $min", Params::new());
+        assert!(q.eval(&retail_db()).is_err());
     }
 }

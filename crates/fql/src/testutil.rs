@@ -78,6 +78,102 @@ pub fn retail_db() -> DatabaseF {
         .with_relationship(order)
 }
 
+/// A database where the declared join order is the expensive one: `base`
+/// rows fan out 4× into `wide.k` but exactly 1× into `narrow.k2` — the
+/// fixture behind the join-reordering tests and
+/// `docs/OPTIMIZER.md`'s worked example.
+pub fn skewed_db() -> DatabaseF {
+    let mut base = fdm_core::RelationBuilder::new("base", &["id"]);
+    for i in 1..=6i64 {
+        base.push(
+            Value::Int(i),
+            TupleF::builder("b").attr("wk", i).attr("nk", i).build(),
+        );
+    }
+    let mut wide = fdm_core::RelationBuilder::new("wide", &["wid"]);
+    let mut w = 0i64;
+    for k in 1..=6i64 {
+        for _ in 0..4 {
+            w += 1;
+            wide.push(
+                Value::Int(w),
+                TupleF::builder("w").attr("k", k).attr("wv", w).build(),
+            );
+        }
+    }
+    let mut narrow = fdm_core::RelationBuilder::new("narrow", &["nid"]);
+    for k in 1..=6i64 {
+        narrow.push(
+            Value::Int(k),
+            TupleF::builder("n")
+                .attr("k2", k)
+                .attr("nv", k * 10)
+                .build(),
+        );
+    }
+    DatabaseF::new("skewed")
+        .with_relation(base.build().unwrap())
+        .with_relation(wide.build().unwrap())
+        .with_relation(narrow.build().unwrap())
+}
+
+/// A three-join fixture where only *whole-chain* reordering helps: `a`
+/// fans out `fanout`× per base row, `b` depends on `a`'s output
+/// (`a.av`), and `c` is independent with fan-out 1. Declared as
+/// `a, b, c`, no adjacent swap improves the plan — `(a, b)` is pinned
+/// dependent and `(b, c)` is a fan-out tie — but the greedy enumerator's
+/// `c, a, b` runs the whole pipeline on `fanout`× smaller intermediates.
+/// Used by the `GreedyJoinOrder` tests and the `fig13_rule_optimizer`
+/// bench series.
+pub fn chain_db(fanout: usize) -> DatabaseF {
+    chain_db_scaled(6, fanout)
+}
+
+/// [`chain_db`] with a configurable base-row count (the bench series
+/// scales it; tests use the small default).
+pub fn chain_db_scaled(base_rows: usize, fanout: usize) -> DatabaseF {
+    let mut base = fdm_core::RelationBuilder::new("base", &["id"]);
+    for i in 1..=base_rows as i64 {
+        base.push(
+            Value::Int(i),
+            TupleF::builder("b").attr("ak", i).attr("ck", i).build(),
+        );
+    }
+    let mut a = fdm_core::RelationBuilder::new("a", &["aid"]);
+    let mut av = 0i64;
+    for k in 1..=base_rows as i64 {
+        for _ in 0..fanout {
+            av += 1;
+            a.push(
+                Value::Int(av),
+                TupleF::builder("a").attr("k", k).attr("av", av).build(),
+            );
+        }
+    }
+    // b and c are *keyed* by their join attributes so their distinct
+    // counts are schema-exact (no sketch noise): both are true fan-out-1
+    // joins, making (b, c) an exact cost tie for the adjacent pass.
+    let mut b = fdm_core::RelationBuilder::new("b", &["k2"]);
+    for v in 1..=(base_rows * fanout) as i64 {
+        b.push(
+            Value::Int(v),
+            TupleF::builder("bb").attr("bv", v * 2).build(),
+        );
+    }
+    let mut c = fdm_core::RelationBuilder::new("c", &["k3"]);
+    for k in 1..=base_rows as i64 {
+        c.push(
+            Value::Int(k),
+            TupleF::builder("cc").attr("cv", k * 7).build(),
+        );
+    }
+    DatabaseF::new("chain")
+        .with_relation(base.build().unwrap())
+        .with_relation(a.build().unwrap())
+        .with_relation(b.build().unwrap())
+        .with_relation(c.build().unwrap())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

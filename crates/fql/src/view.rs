@@ -66,9 +66,7 @@ mod tests {
     fn old_customers_view() -> DynamicView {
         DynamicView::new(
             "old_customers",
-            Query::scan("customers")
-                .filter("age > $min", Params::new().set("min", 42))
-                .unwrap(),
+            Query::scan("customers").filter("age > $min", Params::new().set("min", 42)),
         )
     }
 

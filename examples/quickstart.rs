@@ -106,7 +106,7 @@ fn main() -> fdm_core::Result<()> {
 
     // ── lazy plans + the optimizer (§4.2) ────────────────────────────────
     let q = Query::scan("customers")
-        .filter("age > $min", Params::new().set("min", 42))?
+        .filter("age > $min", Params::new().set("min", 42))
         .project(&["name"]);
     println!("\nlazy plan:\n{}", q.explain());
     let optimized = q.optimize();

@@ -304,7 +304,6 @@ fn plan_pipeline_matches_eager_operators() {
     let q = Query::scan("orders")
         .join("customers", "cid", "cid")
         .filter("quantity > 2", Params::new())
-        .unwrap()
         .group_agg(&["customers.state"], &[("n", AggSpec::Count)]);
     let lazy = q.clone().eval(&db).unwrap();
     let optimized = q.optimize().eval(&db).unwrap();

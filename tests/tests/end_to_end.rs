@@ -92,7 +92,6 @@ fn full_pipeline() {
     // 4. query via plans with optimization
     let q = Query::scan("customers")
         .filter("age >= $a", Params::new().set("a", 60))
-        .unwrap()
         .project(&["name", "age"]);
     let opt = q.clone().optimize();
     assert_eq!(
@@ -103,9 +102,7 @@ fn full_pipeline() {
     // 5. a dynamic view stays fresh across commits
     let view = DynamicView::new(
         "seniors",
-        Query::scan("customers")
-            .filter("age >= $a", Params::new().set("a", 60))
-            .unwrap(),
+        Query::scan("customers").filter("age >= $a", Params::new().set("a", 60)),
     );
     let seniors_before = view.eval(&store.snapshot()).unwrap().len();
     store

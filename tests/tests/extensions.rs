@@ -78,7 +78,6 @@ fn plan_with_order_and_limit() {
     let db = to_fdm(&generate(&RetailConfig::small()));
     let q = Query::scan("customers")
         .filter("age >= $a", Params::new().set("a", 30))
-        .unwrap()
         .order_by("age", Order::Desc)
         .limit(5);
     let out = q.clone().optimize().eval(&db).unwrap();
@@ -146,9 +145,7 @@ fn rename_then_join_on_renamed_attribute() {
     let customers = db.relation("customers").unwrap();
     let renamed = rename_attrs(&customers, &[("name", "customer_name")]).unwrap();
     let db2 = db.with_entry("customers2", fdm_core::FnValue::from(renamed));
-    let q = Query::scan("customers2")
-        .filter("len(customer_name) > 0", Params::new())
-        .unwrap();
+    let q = Query::scan("customers2").filter("len(customer_name) > 0", Params::new());
     let out = q.eval(&db2).unwrap();
     assert_eq!(out.len(), customers.len());
 }

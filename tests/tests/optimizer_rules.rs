@@ -1,0 +1,340 @@
+//! Pins the PR 8 rule-engine optimizer's public contract:
+//!
+//! * `Query::optimize_for` is *exactly* `Optimizer::default()` — the
+//!   back-compat wrapper may never drift from the rule engine it wraps;
+//! * configuration beats environment beats default, end to end through
+//!   `Optimizer::optimize` (not just `OptimizerConfig`'s own resolution);
+//! * the `OptimizationRule` trait is implementable from outside the
+//!   crate, and a custom rule drives through the same fixpoint loop with
+//!   the same trace accounting as the built-ins;
+//! * on randomized plan trees the driver terminates (converges under the
+//!   default pass cap) and the optimized plan evaluates to the declared
+//!   plan's keyed data — the "cost may change, results may not" contract,
+//!   exercised under whatever `THREADS` the harness pins (the CI
+//!   determinism job runs this file at 1 and 4);
+//! * `docs/OPTIMIZER.md`'s traced transcript equals the live
+//!   `Optimizer::explain_optimized` output.
+
+use fdm_core::{RelationF, Value};
+use fdm_expr::Params;
+use fdm_fql::optimizer::{
+    OptimizationRule, Optimizer, OptimizerConfig, PlanContext, ReorderStrategy,
+};
+use fdm_fql::plan::Query;
+use fdm_fql::testutil::{chain_db, skewed_db};
+use fdm_fql::AggSpec;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that touch the process-global optimizer env vars.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_env<T>(reorder: Option<&str>, join_cost: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let saved_r = std::env::var("FDM_PLAN_REORDER").ok();
+    let saved_j = std::env::var("FDM_JOIN_COST").ok();
+    let set = |k: &str, v: Option<&str>| match v {
+        Some(v) => std::env::set_var(k, v),
+        None => std::env::remove_var(k),
+    };
+    set("FDM_PLAN_REORDER", reorder);
+    set("FDM_JOIN_COST", join_cost);
+    let out = f();
+    set("FDM_PLAN_REORDER", saved_r.as_deref());
+    set("FDM_JOIN_COST", saved_j.as_deref());
+    out
+}
+
+/// Keyed content of a result: every canonical row id with its tuple's
+/// canonical data key.
+fn keyed_data(rel: &RelationF) -> Vec<(Value, Value)> {
+    rel.tuples()
+        .unwrap()
+        .into_iter()
+        .map(|(k, t)| (k, t.data_key().unwrap()))
+        .collect()
+}
+
+/// A small corpus spanning every operator the rules rewrite: join chains
+/// (reorderable and pinned), pushable and pinned filters, constant
+/// conjuncts, prunable projections, aggregates, sorts, limits.
+fn corpus() -> Vec<Query> {
+    vec![
+        Query::scan("base"),
+        Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "nk", "k2"),
+        Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "nk", "k2")
+            .filter("2 > 1 and nk >= 2", Params::new()),
+        Query::scan("base")
+            .join("wide", "wk", "k")
+            .join("narrow", "wide.wv", "k2"),
+        Query::scan("base")
+            .filter("nk > 1", Params::new())
+            .project(&["wk", "nk"])
+            .group_agg(&["nk"], &[("n", AggSpec::Count)]),
+        Query::scan("base")
+            .join("narrow", "nk", "k2")
+            .order_by("nk", fdm_fql::transform::Order::Desc)
+            .limit(3),
+        // a deferred construction error must ride through untouched
+        Query::scan("base").filter("nk >", Params::new()),
+    ]
+}
+
+#[test]
+fn optimize_for_is_default_optimizer() {
+    let db = skewed_db();
+    for mode in [None, Some("off"), Some("adjacent"), Some("greedy")] {
+        with_env(mode, None, || {
+            for q in corpus() {
+                assert_eq!(
+                    q.clone().optimize_for(&db).explain(),
+                    Optimizer::default().optimize(q.clone(), &db).explain(),
+                    "optimize_for drifted from Optimizer::default() under \
+                     FDM_PLAN_REORDER={mode:?} on:\n{}",
+                    q.explain()
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn config_beats_env_through_the_driver() {
+    let db = skewed_db();
+    let q = Query::scan("base")
+        .join("wide", "wk", "k")
+        .join("narrow", "nk", "k2");
+    // env says off, config says greedy: the chain still reorders
+    let forced = with_env(Some("off"), None, || {
+        Optimizer::default()
+            .with_config(OptimizerConfig::new().with_reorder(ReorderStrategy::Greedy))
+            .optimize(q.clone(), &db)
+    });
+    let Query::Join { rel, .. } = &forced else {
+        panic!("join stays on top: {}", forced.explain())
+    };
+    assert_eq!(
+        rel,
+        "wide",
+        "greedy hoists narrow below wide:\n{}",
+        forced.explain()
+    );
+    // env says greedy, config says off: declared order survives
+    let pinned = with_env(Some("greedy"), None, || {
+        Optimizer::default()
+            .with_config(OptimizerConfig::new().with_reorder(ReorderStrategy::Off))
+            .optimize(q.clone(), &db)
+    });
+    assert_eq!(
+        pinned.explain(),
+        q.clone().optimize().explain(),
+        "explicit Off beats env greedy"
+    );
+    // and with nothing explicit, env decides
+    let env_driven = with_env(Some("off"), None, || {
+        Optimizer::default().optimize(q.clone(), &db)
+    });
+    assert_eq!(env_driven.explain(), q.optimize().explain());
+}
+
+/// A rule defined *outside* `fdm-fql`: collapses stacked `Limit` nodes to
+/// the smaller bound. `limit(a).limit(b)` and `limit(min(a, b))` keep
+/// exactly the same rows, so the results contract holds.
+struct CollapseLimits;
+
+impl OptimizationRule for CollapseLimits {
+    fn name(&self) -> &'static str {
+        "collapse_limits"
+    }
+
+    fn apply(&self, plan: &Query, _ctx: &PlanContext) -> Option<Query> {
+        fn collapse(q: &Query) -> Option<Query> {
+            match q {
+                Query::Limit { input, k } => {
+                    if let Query::Limit {
+                        input: inner,
+                        k: k2,
+                    } = input.as_ref()
+                    {
+                        return Some(Query::Limit {
+                            input: inner.clone(),
+                            k: (*k).min(*k2),
+                        });
+                    }
+                    collapse(input).map(|inner| Query::Limit {
+                        input: Box::new(inner),
+                        k: *k,
+                    })
+                }
+                Query::Filter { input, pred } => collapse(input).map(|inner| Query::Filter {
+                    input: Box::new(inner),
+                    pred: pred.clone(),
+                }),
+                _ => None,
+            }
+        }
+        collapse(plan)
+    }
+}
+
+#[test]
+fn external_rules_drive_through_the_same_fixpoint() {
+    let db = skewed_db();
+    let q = Query::scan("base")
+        .order_by("nk", fdm_fql::transform::Order::Asc)
+        .limit(5)
+        .limit(3)
+        .limit(4);
+    let opt = Optimizer::new().with_rule(Box::new(CollapseLimits));
+    let (collapsed, trace) = opt.optimize_traced(q.clone(), &db);
+    assert!(trace.converged);
+    assert_eq!(trace.fires("collapse_limits"), 2, "{:?}", trace.entries);
+    let Query::Limit { k, input } = &collapsed else {
+        panic!("limit survives: {}", collapsed.explain())
+    };
+    assert_eq!(*k, 3);
+    assert!(
+        !matches!(input.as_ref(), Query::Limit { .. }),
+        "one limit left: {}",
+        collapsed.explain()
+    );
+    assert_eq!(
+        keyed_data(&q.eval(&db).unwrap()),
+        keyed_data(&collapsed.eval(&db).unwrap())
+    );
+    // and it composes with the built-ins
+    let full = Optimizer::default().with_rule(Box::new(CollapseLimits));
+    assert_eq!(full.rule_names().len(), 6);
+    assert_eq!(
+        keyed_data(&full.optimize(q.clone(), &db).eval(&db).unwrap()),
+        keyed_data(&q.eval(&db).unwrap())
+    );
+}
+
+#[test]
+fn greedy_beats_adjacent_on_the_chain_fixture() {
+    // the fixture where adjacent swaps are stuck: a (fan-out 8) must stay
+    // before dependent b, and (b, c) ties — only whole-chain enumeration
+    // hoists the independent fan-out-1 c below everything
+    let db = chain_db(8);
+    let q = Query::scan("base")
+        .join("a", "ak", "k")
+        .join("b", "a.av", "k2")
+        .join("c", "ck", "k3");
+    let optimize_under = |strategy: ReorderStrategy| {
+        Optimizer::default()
+            .with_config(OptimizerConfig::new().with_reorder(strategy))
+            .optimize(q.clone(), &db)
+    };
+    let adjacent = optimize_under(ReorderStrategy::Adjacent);
+    let greedy = optimize_under(ReorderStrategy::Greedy);
+    assert_eq!(
+        adjacent.explain(),
+        q.explain(),
+        "no adjacent swap improves the declared chain"
+    );
+    assert_ne!(greedy.explain(), q.explain(), "greedy reorders it");
+    let (_, s_declared) = q.eval_with_stats(&db).unwrap();
+    let (_, s_greedy) = greedy.eval_with_stats(&db).unwrap();
+    assert!(
+        s_greedy.total_intermediate() < s_declared.total_intermediate(),
+        "measured intermediates shrink: {} vs {}",
+        s_greedy.total_intermediate(),
+        s_declared.total_intermediate()
+    );
+    assert_eq!(
+        keyed_data(&q.eval(&db).unwrap()),
+        keyed_data(&greedy.eval(&db).unwrap())
+    );
+}
+
+#[test]
+fn optimizer_md_traced_transcript_is_live() {
+    // docs/OPTIMIZER.md shows a real `explain_optimized` run; the fenced
+    // block between the trace-transcript markers must equal live output.
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/OPTIMIZER.md"))
+        .expect("docs/OPTIMIZER.md exists");
+    let begin = md
+        .find("<!-- trace-transcript:begin -->")
+        .expect("trace-transcript begin marker");
+    let end = md
+        .find("<!-- trace-transcript:end -->")
+        .expect("trace-transcript end marker");
+    let block = &md[begin..end];
+    let fence_open = block.find("```text").expect("```text fence") + "```text\n".len();
+    let fence_close = block[fence_open..].find("```").expect("closing fence") + fence_open;
+    let documented = &block[fence_open..fence_close];
+
+    let db = chain_db(8);
+    let q = Query::scan("base")
+        .join("a", "ak", "k")
+        .join("b", "a.av", "k2")
+        .join("c", "ck", "k3")
+        .filter("2 > 1 and ck <= 4", Params::new());
+    let actual = with_env(None, None, || {
+        Optimizer::default().explain_optimized(q, &db).unwrap()
+    });
+    assert_eq!(
+        documented, actual,
+        "docs/OPTIMIZER.md traced transcript drifted from real \
+         explain_optimized output"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random plan trees over the skewed fixture: the driver always
+    /// converges under the default pass cap, and the optimized plan
+    /// produces the declared plan's keyed data exactly — under every
+    /// reordering strategy.
+    #[test]
+    fn fixpoint_terminates_and_preserves_results(
+        join_shape in 0usize..4,
+        filter_shape in 0usize..4,
+        tail_shape in 0usize..4,
+        strategy in 0usize..3,
+    ) {
+        let db = skewed_db();
+        let mut q = Query::scan("base");
+        if join_shape & 1 != 0 {
+            q = q.join("wide", "wk", "k");
+        }
+        if join_shape & 2 != 0 {
+            q = q.join("narrow", "nk", "k2");
+        }
+        q = match filter_shape {
+            1 => q.filter("nk > 1", Params::new()),
+            2 => q.filter("2 > 1 and nk >= 2 and wk <= 5", Params::new()),
+            3 => q.filter("1 > 2", Params::new()),
+            _ => q,
+        };
+        q = match tail_shape {
+            1 => q.project(&["nk", "wk"]),
+            2 => q.group_agg(&["nk"], &[("n", AggSpec::Count)]),
+            3 => q.order_by("nk", fdm_fql::transform::Order::Asc).limit(4),
+            _ => q,
+        };
+        let strategy = [
+            ReorderStrategy::Off,
+            ReorderStrategy::Adjacent,
+            ReorderStrategy::Greedy,
+        ][strategy];
+        let opt = Optimizer::default()
+            .with_config(OptimizerConfig::new().with_reorder(strategy));
+        let (optimized, trace) = opt.optimize_traced(q.clone(), &db);
+        prop_assert!(
+            trace.converged,
+            "must converge under the default cap: {:?}",
+            trace.fire_counts()
+        );
+        prop_assert_eq!(
+            keyed_data(&q.eval(&db).unwrap()),
+            keyed_data(&optimized.eval(&db).unwrap())
+        );
+    }
+}

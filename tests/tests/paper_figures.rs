@@ -448,9 +448,7 @@ fn s44_views() {
     let db = retail_db();
     let view = DynamicView::new(
         "oldies",
-        Query::scan("customers")
-            .filter("age > $a", Params::new().set("a", 42))
-            .unwrap(),
+        Query::scan("customers").filter("age > $a", Params::new().set("a", 42)),
     );
     assert_eq!(view.eval(&db).unwrap().len(), 2);
     let db_m = materialize_view(&db, &view).unwrap();

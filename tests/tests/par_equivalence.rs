@@ -157,7 +157,6 @@ fn plan_pipeline_parallel_matches_sequential() {
     assert_par_equal("plan scan→filter→project", || {
         Query::scan("customers")
             .filter("age > $min", Params::new().set("min", 30))
-            .unwrap()
             .project(&["name", "age", "cid"])
             .optimize()
             .eval(&db)

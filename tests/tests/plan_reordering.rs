@@ -179,9 +179,7 @@ fn reordering_changes_the_plan_never_the_results() {
 #[test]
 fn reordering_composes_with_pushdown() {
     let db = skewed_db(8, 5, 1);
-    let q = declared_query()
-        .filter("tag == 'b3'", Params::new())
-        .unwrap();
+    let q = declared_query().filter("tag == 'b3'", Params::new());
     let opt = with_reorder(None, || q.clone().optimize_for(&db));
     let plan = opt.explain();
     // the filter references only base attrs: pushed below both joins,
@@ -225,8 +223,7 @@ fn optimizer_md_transcript_is_live() {
     let db = db.with_relation(orders);
     let q = Query::scan("orders")
         .join("customers", "cid", "cid")
-        .filter("date > '2026-02'", Params::new())
-        .unwrap();
+        .filter("date > '2026-02'", Params::new());
     let actual = with_reorder(None, || q.optimize_for(&db).explain_with_cost(&db).unwrap());
     assert_eq!(
         documented, actual,
@@ -250,7 +247,7 @@ proptest! {
         let db = skewed_db(base_rows, wide_fanout, narrow_per_key);
         let mut q = declared_query();
         if with_filter {
-            q = q.filter("nk > 1", Params::new()).unwrap();
+            q = q.filter("nk > 1", Params::new());
         }
         let opt = q.clone().optimize_for(&db);
         let declared = q.eval(&db).unwrap();
