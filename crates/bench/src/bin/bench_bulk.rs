@@ -54,6 +54,12 @@
 //!   rule-engine) is recorded now and arms in `bench_gate` once a
 //!   second trajectory entry carries it, like `plan_reorder_speedup`
 //!   before it.
+//! * **PR 9 (incremental view maintenance)** — `fig14_view_refresh`: a
+//!   maintained filter→group view over the customers relation, refreshed
+//!   by delta propagation vs from-scratch recompute, across delta batch
+//!   sizes (1, 16, 128 changed rows). `view_refresh_speedup` is the
+//!   single-row-delta ratio — the maintained path's headline case — and
+//!   follows the record-then-arm arc in `bench_gate`.
 //!
 //! Medians are computed criterion-style (N timed samples, median reported).
 //!
@@ -582,6 +588,7 @@ struct GateMetrics {
     join_order_speedup: f64,
     plan_reorder_speedup: f64,
     rule_optimizer_speedup: f64,
+    view_refresh_speedup: f64,
     /// Absolute commits/second — recorded in the summary for trend
     /// visibility, never ratio-gated (machine-dependent).
     txn_commit_throughput: f64,
@@ -811,6 +818,71 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
     let txn_mean_attempts =
         txn_records.iter().map(|r| r.attempts).sum::<usize>() as f64 / txn_commits.max(1) as f64;
 
+    // PR 9: incremental view maintenance vs recompute. A maintained
+    // filter→group view over the customers relation; per delta batch
+    // size, one refresh cycle is "advance to the changed database and
+    // back" — the incremental side applies the two row deltas through
+    // the view's operator tree, the recompute side evaluates the same
+    // plan from scratch twice. The batch updates bump ages across the
+    // filter boundary so rows genuinely enter and leave the view.
+    let view_q = fdm_fql::plan::Query::scan("customers")
+        .filter("age > 42", fdm_expr::Params::new())
+        .group_agg(
+            &["state"],
+            &[
+                ("n", fdm_fql::AggSpec::Count),
+                ("sum_age", fdm_fql::AggSpec::Sum("age".into())),
+            ],
+        );
+    let n_customers = customers.len();
+    let mut view_series = Vec::new();
+    let mut view_refresh_speedup = f64::NAN;
+    for batch in [1usize, 16, 128] {
+        let mut db2 = db.clone();
+        let stride = (n_customers / batch).max(1);
+        for i in 0..batch {
+            let key = Value::Int(((i * stride) % n_customers) as i64 + 1);
+            let t = customers.lookup(&key).expect("generated cids are dense");
+            let age = t.get("age").unwrap().as_int("age").unwrap();
+            // 43 - age flips rows across the `age > 42` boundary
+            db2 = fdm_fql::db_upsert(&db2, "customers", key, t.with_attr("age", 85 - age)).unwrap();
+        }
+        let fwd = fdm_core::DbDelta::between(&db, &db2).unwrap();
+        let back = fdm_core::DbDelta::between(&db2, &db).unwrap();
+        let mut view = fdm_fql::MaintainedView::new("fig14", view_q.clone(), &db).unwrap();
+        let view_incremental = with_threads("1", || {
+            median_ns(samples, || {
+                black_box(view.apply(&db2, &fwd).unwrap());
+                black_box(view.apply(&db, &back).unwrap());
+            })
+        });
+        let view_recompute = with_threads("1", || {
+            median_ns(samples, || {
+                black_box(view_q.eval(&db2).unwrap());
+                black_box(view_q.eval(&db).unwrap());
+            })
+        });
+        // the maintained result must equal the recompute before the
+        // ratio is published (ends on `db` after the backward delta)
+        view.apply(&db2, &fwd).unwrap();
+        let maintained = view.relation();
+        let fresh = view_q.eval(&db2).unwrap();
+        assert_eq!(
+            maintained.stored_keys(),
+            fresh.stored_keys(),
+            "fig14: maintained view diverges in keys at batch {batch}"
+        );
+        view.apply(&db, &back).unwrap();
+        let speedup = view_recompute / view_incremental;
+        if batch == 1 {
+            view_refresh_speedup = speedup;
+        }
+        view_series.push(format!(
+            "{{ \"delta_rows\": {batch}, \"incremental_median_ns\": {view_incremental}, \"recompute_median_ns\": {view_recompute}, \"speedup\": {speedup:.2} }}"
+        ));
+    }
+    let view_series = view_series.join(", ");
+
     // PR 3: deep_copy sequential vs thread-chunked. The cutoff is pinned
     // low so the chunked path is exercised at every scale (the CI smoke
     // scale sits below the production cutoff).
@@ -944,10 +1016,11 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         join_order_speedup: join_by_entries / join_by_stats,
         plan_reorder_speedup: reorder_declared / reorder_optimized,
         rule_optimizer_speedup: rule_declared / rule_engine,
+        view_refresh_speedup,
         txn_commit_throughput: txn_throughput,
     };
     let json = format!(
-        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }},\n      \"fig13_rule_optimizer\": {{ \"declared_median_ns\": {rule_declared}, \"legacy_pass_median_ns\": {rule_legacy}, \"rule_engine_median_ns\": {rule_engine}, \"legacy_pass_speedup\": {:.2}, \"rule_optimizer_speedup\": {:.2} }},\n      \"fig11_txn_commit\": {{ \"threads\": {}, \"commits\": {txn_commits}, \"elapsed_ms\": {:.1}, \"mean_attempts\": {txn_mean_attempts:.3}, \"txn_commit_throughput\": {txn_throughput:.0} }}\n    }}",
+        "    {{\n      \"scale_orders\": {orders},\n      \"samples\": {samples},\n      \"fig4_filter\": {{ \"before_median_ns\": {before_filter}, \"after_median_ns\": {seq_filter}, \"speedup\": {:.2} }},\n      \"fig6_join\": {{ \"before_median_ns\": {before_join}, \"after_median_ns\": {seq_join}, \"speedup\": {:.2} }},\n      \"fig4_filter_parallel\": {{ \"sequential_median_ns\": {seq_filter}, \"parallel_median_ns\": {par_filter}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig6_join_parallel\": {{ \"sequential_median_ns\": {seq_join}, \"parallel_median_ns\": {par_join}, \"threads\": {par_threads}, \"speedup\": {:.2} }},\n      \"fig9_union\": {{ \"per_element_median_ns\": {union_insert}, \"merge_median_ns\": {union_merge}, \"union_speedup\": {:.2} }},\n      \"fig9_minus\": {{ \"per_element_median_ns\": {minus_insert}, \"uncached_merge_median_ns\": {minus_uncached}, \"cached_merge_median_ns\": {minus_cached}, \"minus_speedup\": {:.2} }},\n      \"fig9_intersect\": {{ \"uncached_merge_median_ns\": {intersect_uncached}, \"cached_merge_median_ns\": {intersect_cached}, \"intersect_speedup\": {:.2} }},\n      \"fig9_deep_copy\": {{ \"sequential_median_ns\": {deep_copy_seq}, \"parallel_median_ns\": {deep_copy_par}, \"threads\": {par_threads}, \"deep_copy_speedup\": {:.2} }},\n      \"fig4_group\": {{ \"btreemap_median_ns\": {group_btree}, \"hash_median_ns\": {group_hash}, \"group_speedup\": {:.2} }},\n      \"fig6_join_order\": {{ \"entry_count_median_ns\": {join_by_entries}, \"cost_model_median_ns\": {join_by_stats}, \"join_order_speedup\": {:.2} }},\n      \"fig6_plan_reorder\": {{ \"declared_median_ns\": {reorder_declared}, \"reordered_median_ns\": {reorder_optimized}, \"plan_reorder_speedup\": {:.2} }},\n      \"fig13_rule_optimizer\": {{ \"declared_median_ns\": {rule_declared}, \"legacy_pass_median_ns\": {rule_legacy}, \"rule_engine_median_ns\": {rule_engine}, \"legacy_pass_speedup\": {:.2}, \"rule_optimizer_speedup\": {:.2} }},\n      \"fig14_view_refresh\": {{ \"series\": [ {view_series} ], \"view_refresh_speedup\": {:.2} }},\n      \"fig11_txn_commit\": {{ \"threads\": {}, \"commits\": {txn_commits}, \"elapsed_ms\": {:.1}, \"mean_attempts\": {txn_mean_attempts:.3}, \"txn_commit_throughput\": {txn_throughput:.0} }}\n    }}",
         before_filter / seq_filter,
         before_join / seq_join,
         seq_filter / par_filter,
@@ -961,6 +1034,7 @@ fn measure_scale(orders: usize, samples: usize, par_threads: &str) -> (String, G
         gate.plan_reorder_speedup,
         rule_declared / rule_legacy,
         gate.rule_optimizer_speedup,
+        gate.view_refresh_speedup,
         txn_cfg.threads,
         txn_elapsed.as_secs_f64() * 1_000.0,
     );
@@ -1120,7 +1194,7 @@ fn main() {
     let (fig12, wal_commit_overhead, recovery_replay_per_sec) = measure_recovery(quick);
     let entry = if quick {
         format!(
-            "{{\n  \"entry\": \"pr8_rule_optimizer\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12}\n}}",
+            "{{\n  \"entry\": \"pr9_view_maintenance\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12}\n}}",
             scale_reports.join(",\n")
         )
     } else {
@@ -1132,7 +1206,7 @@ fn main() {
         // `*_speedup` keys, so its placement is inert to the gate.)
         let (baseline, _) = measure_scale(2_000, samples, par_threads);
         format!(
-            "{{\n  \"entry\": \"pr8_rule_optimizer\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12},\n  \"quick_gate_baseline\":\n{baseline}\n}}",
+            "{{\n  \"entry\": \"pr9_view_maintenance\",\n  \"scales\": [\n{}\n  ],\n  \"fig12_recovery\":\n{fig12},\n  \"quick_gate_baseline\":\n{baseline}\n}}",
             scale_reports.join(",\n")
         )
     };
@@ -1145,7 +1219,7 @@ fn main() {
         // it — see ARMED_METRICS there).
         let g = last_gate.expect("at least one scale ran");
         let summary = format!(
-            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"rule_optimizer_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0},\n  \"wal_commit_overhead\": {wal_commit_overhead:.3},\n  \"recovery_replay_per_sec\": {recovery_replay_per_sec:.0}\n}}\n",
+            "{{\n  \"entry\": \"bench_quick\",\n  \"samples\": {samples},\n  \"union_speedup\": {:.3},\n  \"minus_speedup\": {:.3},\n  \"intersect_speedup\": {:.3},\n  \"deep_copy_speedup\": {:.3},\n  \"group_speedup\": {:.3},\n  \"join_order_speedup\": {:.3},\n  \"plan_reorder_speedup\": {:.3},\n  \"rule_optimizer_speedup\": {:.3},\n  \"view_refresh_speedup\": {:.3},\n  \"txn_commit_throughput\": {:.0},\n  \"wal_commit_overhead\": {wal_commit_overhead:.3},\n  \"recovery_replay_per_sec\": {recovery_replay_per_sec:.0}\n}}\n",
             g.union_speedup,
             g.minus_speedup,
             g.intersect_speedup,
@@ -1154,6 +1228,7 @@ fn main() {
             g.join_order_speedup,
             g.plan_reorder_speedup,
             g.rule_optimizer_speedup,
+            g.view_refresh_speedup,
             g.txn_commit_throughput,
         );
         std::fs::write(quick_out, summary).expect("write quick summary");

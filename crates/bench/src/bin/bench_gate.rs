@@ -51,8 +51,14 @@ const METRICS: [&str; 5] = [
 /// (which the PR 6 entry did, so it is live). `rule_optimizer_speedup`
 /// (declared vs the PR 8 rule-engine default set on the chain fixture)
 /// follows the same arc: recorded by its introducing entry, armed by
-/// the next full run.
-const ARMED_METRICS: [&str; 2] = ["plan_reorder_speedup", "rule_optimizer_speedup"];
+/// the next full run. `view_refresh_speedup` (incremental view
+/// maintenance vs from-scratch recompute for a single-row delta, PR 9)
+/// is the third to walk it.
+const ARMED_METRICS: [&str; 3] = [
+    "plan_reorder_speedup",
+    "rule_optimizer_speedup",
+    "view_refresh_speedup",
+];
 
 /// Metrics printed for trend visibility but **never** gated, whatever the
 /// trajectory depth: `join_order_speedup` is too scenario-shaped for a

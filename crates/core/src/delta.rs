@@ -1,0 +1,358 @@
+//! Deltas over the persistent structures: what changed between two
+//! versions of a relation, relationship, or whole database.
+//!
+//! This is the vocabulary incremental view maintenance (the `fdm-fql`
+//! `ivm` module) and the transaction layer's view catalog speak to each
+//! other: a commit's writeset, or a plain before/after pair of database
+//! values, is normalized into a [`DbDelta`] — per-entry row changes where
+//! both sides are relations, an explicit [`EntryDelta::Replaced`] marker
+//! where an entry was rebound wholesale — and propagated through
+//! maintained query plans instead of recomputing them.
+//!
+//! Diffing leans on the cached [`DataKey`](crate::DataKey) fingerprints:
+//! deciding whether a shared key actually changed costs one hash compare
+//! in the steady state, the same trick the PR 3 merge setops use.
+
+use crate::error::{Name, Result};
+use crate::relation::RelationF;
+use crate::relationship::RelationshipF;
+use crate::tuple::TupleF;
+use crate::value::Value;
+use crate::DatabaseF;
+use std::sync::Arc;
+
+/// One key's transition in a relation: `old` is the tuple before, `new`
+/// the tuple after; `None` on either side means the key was absent there.
+/// An insert has no `old`, a remove has no `new`, an update has both.
+#[derive(Debug, Clone)]
+pub struct TupleChange {
+    /// The relation key the change happened under.
+    pub key: Value,
+    /// The tuple previously stored under `key`, if any.
+    pub old: Option<Arc<TupleF>>,
+    /// The tuple now stored under `key`, if any.
+    pub new: Option<Arc<TupleF>>,
+}
+
+impl TupleChange {
+    /// True when the key appeared (no `old`).
+    pub fn is_insert(&self) -> bool {
+        self.old.is_none() && self.new.is_some()
+    }
+
+    /// True when the key disappeared (no `new`).
+    pub fn is_remove(&self) -> bool {
+        self.old.is_some() && self.new.is_none()
+    }
+
+    /// True when the key exists on both sides (with different data —
+    /// diffing never emits a no-op change).
+    pub fn is_update(&self) -> bool {
+        self.old.is_some() && self.new.is_some()
+    }
+}
+
+/// One link's transition in a relationship function: the participant key
+/// combination plus the attribute tuples before and after.
+#[derive(Debug, Clone)]
+pub struct LinkChange {
+    /// The participant keys identifying the link.
+    pub keys: Vec<Value>,
+    /// The link's attribute tuple before, if the link existed.
+    pub old: Option<Arc<TupleF>>,
+    /// The link's attribute tuple after, if the link still exists.
+    pub new: Option<Arc<TupleF>>,
+}
+
+/// What happened to one database entry between two versions.
+#[derive(Debug, Clone)]
+pub enum EntryDelta {
+    /// Both sides are relations and the change is expressible as row
+    /// transitions under stable keys.
+    Rows(Vec<TupleChange>),
+    /// The entry was rebound wholesale (assigned a new value, dropped,
+    /// created, or changed kind): consumers must re-read the entry from
+    /// the after-database and re-derive — the explicit fallback marker
+    /// incremental maintenance counts when it cannot stay incremental.
+    Replaced,
+}
+
+/// A database-level delta: the changed entries, by name. Unchanged
+/// entries are absent — an empty delta means the two databases hold
+/// data-identical relation entries.
+#[derive(Debug, Clone, Default)]
+pub struct DbDelta {
+    /// `(entry name, what happened)` for every changed entry.
+    pub entries: Vec<(Name, EntryDelta)>,
+}
+
+impl DbDelta {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The delta for one entry, if it changed.
+    pub fn entry(&self, name: &str) -> Option<&EntryDelta> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, d)| d)
+    }
+
+    /// Diffs two database values into a delta: relation entries present
+    /// on both sides diff row-by-row ([`diff_relations`]); entries that
+    /// appeared, disappeared, or are not relations on both sides become
+    /// [`EntryDelta::Replaced`]. Non-relation entries that are untouched
+    /// (same underlying value on both sides) are skipped.
+    pub fn between(before: &DatabaseF, after: &DatabaseF) -> Result<DbDelta> {
+        use crate::function::FnValue;
+        let mut entries: Vec<(Name, EntryDelta)> = Vec::new();
+        let mut seen: Vec<&Name> = Vec::new();
+        for (name, b) in before.iter() {
+            seen.push(name);
+            match (b, after.iter().find(|(n, _)| *n == name).map(|(_, e)| e)) {
+                (FnValue::Relation(rb), Some(FnValue::Relation(ra))) => {
+                    if Arc::ptr_eq(rb, ra) {
+                        continue; // structurally shared: provably unchanged
+                    }
+                    let changes = diff_relations(rb, ra)?;
+                    if !changes.is_empty() {
+                        entries.push((name.clone(), EntryDelta::Rows(changes)));
+                    }
+                }
+                (FnValue::Relation(_), _) => entries.push((name.clone(), EntryDelta::Replaced)),
+                // non-relation entries: replaced unless identical
+                (vb, Some(va)) if vb.identity() == va.identity() => {}
+                _ => entries.push((name.clone(), EntryDelta::Replaced)),
+            }
+        }
+        for (name, _) in after.iter() {
+            if !seen.contains(&name) {
+                entries.push((name.clone(), EntryDelta::Replaced));
+            }
+        }
+        Ok(DbDelta { entries })
+    }
+}
+
+/// Diffs two relation values by stored key: a two-pointer merge over the
+/// key-sorted entry lists, emitting one [`TupleChange`] per key whose
+/// tuple appeared, disappeared, or changed data (compared through the
+/// cached fingerprints via [`TupleF::eq_data`]).
+pub fn diff_relations(old: &RelationF, new: &RelationF) -> Result<Vec<TupleChange>> {
+    let a = old.tuples()?;
+    let b = new.tuples()?;
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some((ka, ta)), Some((kb, tb))) => match ka.cmp(kb) {
+                std::cmp::Ordering::Less => {
+                    out.push(TupleChange {
+                        key: ka.clone(),
+                        old: Some(ta.clone()),
+                        new: None,
+                    });
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(TupleChange {
+                        key: kb.clone(),
+                        old: None,
+                        new: Some(tb.clone()),
+                    });
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if !Arc::ptr_eq(ta, tb) && !ta.eq_data(tb) {
+                        out.push(TupleChange {
+                            key: ka.clone(),
+                            old: Some(ta.clone()),
+                            new: Some(tb.clone()),
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some((ka, ta)), None) => {
+                out.push(TupleChange {
+                    key: ka.clone(),
+                    old: Some(ta.clone()),
+                    new: None,
+                });
+                i += 1;
+            }
+            (None, Some((kb, tb))) => {
+                out.push(TupleChange {
+                    key: kb.clone(),
+                    old: None,
+                    new: Some(tb.clone()),
+                });
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    Ok(out)
+}
+
+/// Diffs two relationship values by participant-key combination, the
+/// [`diff_relations`] counterpart for link functions.
+pub fn diff_relationships(old: &RelationshipF, new: &RelationshipF) -> Result<Vec<LinkChange>> {
+    let a: Vec<(Vec<Value>, Arc<TupleF>)> = old.iter().collect();
+    let b: Vec<(Vec<Value>, Arc<TupleF>)> = new.iter().collect();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some((ka, ta)), Some((kb, tb))) => match ka.cmp(kb) {
+                std::cmp::Ordering::Less => {
+                    out.push(LinkChange {
+                        keys: ka.clone(),
+                        old: Some(ta.clone()),
+                        new: None,
+                    });
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(LinkChange {
+                        keys: kb.clone(),
+                        old: None,
+                        new: Some(tb.clone()),
+                    });
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if !Arc::ptr_eq(ta, tb) && !ta.eq_data(tb) {
+                        out.push(LinkChange {
+                            keys: ka.clone(),
+                            old: Some(ta.clone()),
+                            new: Some(tb.clone()),
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some((ka, ta)), None) => {
+                out.push(LinkChange {
+                    keys: ka.clone(),
+                    old: Some(ta.clone()),
+                    new: None,
+                });
+                i += 1;
+            }
+            (None, Some((kb, tb))) => {
+                out.push(LinkChange {
+                    keys: kb.clone(),
+                    old: None,
+                    new: Some(tb.clone()),
+                });
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FnValue;
+    use crate::relationship::Participant;
+    use crate::{Domain, SharedDomain, ValueType};
+
+    fn rel(rows: &[(i64, &str, i64)]) -> RelationF {
+        let mut r = RelationF::new("people", &["id"]);
+        for (id, name, age) in rows {
+            r = r
+                .insert(
+                    Value::Int(*id),
+                    TupleF::builder(format!("p{id}"))
+                        .attr("name", *name)
+                        .attr("age", *age)
+                        .build(),
+                )
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn diff_relations_classifies_all_transitions() {
+        let old = rel(&[(1, "a", 10), (2, "b", 20), (3, "c", 30)]);
+        let new = rel(&[(2, "b", 21), (3, "c", 30), (4, "d", 40)]);
+        let d = diff_relations(&old, &new).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(d[0].is_remove() && d[0].key == Value::Int(1));
+        assert!(d[1].is_update() && d[1].key == Value::Int(2));
+        assert!(d[2].is_insert() && d[2].key == Value::Int(4));
+        // key 3 is untouched: no change emitted
+        assert!(d.iter().all(|c| c.key != Value::Int(3)));
+    }
+
+    #[test]
+    fn diff_relations_is_empty_on_data_identical_inputs() {
+        let a = rel(&[(1, "a", 10)]);
+        let b = rel(&[(1, "a", 10)]);
+        assert!(diff_relations(&a, &b).unwrap().is_empty());
+        assert!(diff_relations(&a, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn db_delta_between_marks_rebinds_as_replaced() {
+        let before = DatabaseF::new("db")
+            .with_relation(rel(&[(1, "a", 10)]))
+            .with_entry("gone", FnValue::from(rel(&[(9, "z", 1)]).renamed("gone")));
+        let after = DatabaseF::new("db")
+            .with_relation(rel(&[(1, "a", 11)]))
+            .with_entry("fresh", FnValue::from(rel(&[(7, "q", 2)]).renamed("fresh")));
+        let d = DbDelta::between(&before, &after).unwrap();
+        assert!(matches!(
+            d.entry("people"),
+            Some(EntryDelta::Rows(c)) if c.len() == 1 && c[0].is_update()
+        ));
+        assert!(matches!(d.entry("gone"), Some(EntryDelta::Replaced)));
+        assert!(matches!(d.entry("fresh"), Some(EntryDelta::Replaced)));
+        assert!(d.entry("nope").is_none());
+        // identical databases: empty delta (structural sharing fast path)
+        assert!(DbDelta::between(&after, &after).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_relationships_tracks_links() {
+        let cid = SharedDomain::new("cid", Domain::Typed(ValueType::Int));
+        let pid = SharedDomain::new("pid", Domain::Typed(ValueType::Int));
+        let base = RelationshipF::new(
+            "order",
+            vec![
+                Participant::new("customers", "cid", cid.clone()),
+                Participant::new("products", "pid", pid.clone()),
+            ],
+        );
+        let old = base
+            .insert(
+                &[Value::Int(1), Value::Int(10)],
+                TupleF::builder("o").attr("qty", 1).build(),
+            )
+            .unwrap();
+        let new = base
+            .insert(
+                &[Value::Int(1), Value::Int(10)],
+                TupleF::builder("o").attr("qty", 2).build(),
+            )
+            .unwrap()
+            .insert(
+                &[Value::Int(2), Value::Int(10)],
+                TupleF::builder("o").attr("qty", 5).build(),
+            )
+            .unwrap();
+        let d = diff_relationships(&old, &new).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d[0].old.is_some() && d[0].new.is_some(), "qty update");
+        assert!(d[1].old.is_none() && d[1].new.is_some(), "new link");
+    }
+}

@@ -62,6 +62,7 @@
 
 pub mod constraint;
 pub mod database;
+pub mod delta;
 pub mod domain;
 pub mod error;
 pub mod function;
@@ -76,6 +77,7 @@ pub mod value;
 
 pub use constraint::Constraint;
 pub use database::DatabaseF;
+pub use delta::{diff_relations, diff_relationships, DbDelta, EntryDelta, LinkChange, TupleChange};
 pub use domain::{Domain, SharedDomain};
 pub use error::{FdmError, Name, Result};
 pub use fdm_storage::splitmix64;

@@ -38,6 +38,7 @@
 pub mod aggregate;
 pub mod filter;
 pub mod group;
+pub mod ivm;
 pub mod join;
 pub mod optimizer;
 pub mod pivot;
@@ -57,6 +58,7 @@ pub use filter::{
     filter_attr, filter_bound, filter_db, filter_expr, filter_fn, filter_kwargs, filter_tuple,
 };
 pub use group::{group, group_fn, Groups};
+pub use ivm::{IvmStats, MaintainedView};
 pub use join::{join, join_on, join_with, JoinOn};
 pub use optimizer::{
     AdjacentJoinReorder, ConstantFoldingExpr, GreedyJoinOrder, JoinCostModel, OptimizationRule,
@@ -85,6 +87,7 @@ pub mod prelude {
         filter_attr, filter_bound, filter_db, filter_expr, filter_fn, filter_kwargs,
     };
     pub use crate::group::{group, group_fn};
+    pub use crate::ivm::{IvmStats, MaintainedView};
     pub use crate::join::{join, join_on, JoinOn};
     pub use crate::optimizer::{Optimizer, OptimizerConfig};
     pub use crate::pivot::pivot;

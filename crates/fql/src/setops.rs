@@ -102,7 +102,7 @@ pub fn deep_copy(db: &DatabaseF) -> Result<DatabaseF> {
 /// from a plain stored body, bulk-built O(n) from the (key-ordered)
 /// enumerated tuples otherwise. Multi bodies collapse duplicate keys to
 /// the last tuple, matching the old `BTreeMap::insert` indexing.
-fn key_map(rel: &RelationF) -> Result<PMap<Value, Arc<TupleF>>> {
+pub(crate) fn key_map(rel: &RelationF) -> Result<PMap<Value, Arc<TupleF>>> {
     if let Some(m) = rel.stored_map() {
         return Ok(m.clone());
     }

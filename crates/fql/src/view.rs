@@ -38,9 +38,16 @@ impl DynamicView {
         &self.query
     }
 
-    /// Evaluates the view against `db` — always fresh.
+    /// Evaluates the view against `db` — always fresh, through the full
+    /// default optimizer (the same plan the maintained path compiles),
+    /// not just the statistics-free rewrite set.
     pub fn eval(&self, db: &DatabaseF) -> Result<RelationF> {
-        Ok(self.query.clone().optimize().eval(db)?.renamed(&self.name))
+        Ok(self
+            .query
+            .clone()
+            .optimize_for(db)
+            .eval(db)?
+            .renamed(&self.name))
     }
 }
 
@@ -115,6 +122,36 @@ mod tests {
         // refreshing re-materializes
         let db_m3 = materialize_view(&db_m2, &view).unwrap();
         assert_eq!(db_m3.relation("old_customers").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dynamic_eval_runs_the_default_optimizer() {
+        // pinned byte-identical: the ad-hoc path must produce exactly
+        // what evaluating `Optimizer::default()`'s plan produces — same
+        // canonical keys, same tuple data keys, in the same order
+        let db = crate::testutil::skewed_db();
+        let view = DynamicView::new(
+            "wide_by_nk",
+            Query::scan("base")
+                .join("wide", "wk", "k")
+                .join("narrow", "nk", "k2")
+                .filter("2 > 1 and nk >= 2", Params::new()),
+        );
+        let ad_hoc = view.eval(&db).unwrap();
+        let planned = crate::optimizer::Optimizer::default()
+            .optimize(view.query().clone(), &db)
+            .eval(&db)
+            .unwrap()
+            .renamed(view.name());
+        let keyed = |rel: &fdm_core::RelationF| {
+            rel.tuples()
+                .unwrap()
+                .into_iter()
+                .map(|(k, t)| (k, t.data_key().unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ad_hoc.name(), planned.name());
+        assert_eq!(keyed(&ad_hoc), keyed(&planned));
     }
 
     #[test]

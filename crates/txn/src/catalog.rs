@@ -1,0 +1,480 @@
+//! The view catalog: maintained views subscribed to commits.
+//!
+//! [`Store::register_view`](crate::Store::register_view) compiles an FQL
+//! plan into a [`MaintainedView`] (see `fdm-fql`'s `ivm` module) and
+//! subscribes it to the store's commit stream. Every committed writeset
+//! becomes a [`DbDelta`] and is propagated through the view's operator
+//! tree *under the same version watermark the commit installed*, so
+//! reading a view always answers "the view as of version v" for a
+//! concrete, known v.
+//!
+//! Commits can reach the catalog out of version order (the installing
+//! CAS and the post-install bookkeeping are not one atomic step), so the
+//! catalog buffers `(version, ops, root)` entries and advances each view
+//! only through a *contiguous* version prefix — a view's watermark never
+//! jumps a gap that a straggling committer might still fill.
+//!
+//! Maintenance errors never fail the commit that triggered them: the
+//! commit is already installed and durable by the time the catalog sees
+//! it. A failing view is instead *poisoned* — its error is remembered
+//! and surfaced on the next read — while other views keep advancing.
+
+use crate::writeset::Op;
+use fdm_core::delta::{DbDelta, EntryDelta, TupleChange};
+use fdm_core::{DatabaseF, FdmError, Name, Result, Value};
+use fdm_fql::ivm::{IvmStats, MaintainedView};
+use fdm_fql::plan::Query;
+use fdm_storage::Version;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// When a registered view is brought forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// Maintained inside every commit's bookkeeping: reads are always at
+    /// the store head (default).
+    Eager,
+    /// Maintained only when
+    /// [`Store::refresh_views_to`](crate::Store::refresh_views_to) is
+    /// called: commits stay cheap, reads pick their version.
+    Manual,
+}
+
+/// One subscribed view plus its maintenance cursor.
+struct RegisteredView {
+    view: MaintainedView,
+    /// The newest version whose delta has been applied.
+    watermark: Version,
+    /// The committed root at `watermark` — the "before" side of the next
+    /// delta.
+    base: DatabaseF,
+    mode: RefreshMode,
+    /// Set when maintenance failed; the view stops advancing and reads
+    /// surface this until re-registered.
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    /// Commits not yet consumed by every view, keyed by version:
+    /// `(recorded ops, the root the commit installed)`.
+    pending: BTreeMap<Version, (Vec<Op>, DatabaseF)>,
+    views: Vec<RegisteredView>,
+}
+
+/// The set of maintained views subscribed to a [`Store`](crate::Store).
+///
+/// All state sits behind one mutex: view maintenance is serialized with
+/// respect to itself, which is what makes "apply each commit's delta
+/// exactly once, in version order" trivially correct. Commits on a store
+/// with no registered views pay one uncontended lock and return.
+#[derive(Default)]
+pub struct ViewCatalog {
+    inner: Mutex<CatalogInner>,
+}
+
+impl ViewCatalog {
+    /// Feeds one installed commit to the catalog. Called from the
+    /// store's commit bookkeeping *after* the root is installed and the
+    /// commit is in the time-travel history. Never fails the commit:
+    /// per-view errors poison that view only.
+    pub(crate) fn observe(&self, version: Version, ops: &[Op], db: &DatabaseF) {
+        let mut inner = self.inner.lock();
+        if inner.views.is_empty() {
+            return;
+        }
+        inner.pending.insert(version, (ops.to_vec(), db.clone()));
+        inner.drain(Some(RefreshMode::Eager), Version::MAX);
+        inner.prune();
+    }
+
+    /// Registers a view against the store's current snapshot, taken
+    /// *while holding the catalog lock* so no commit can slip between
+    /// the initial materialization and the subscription. Returns the
+    /// version the view starts at.
+    pub(crate) fn register(
+        &self,
+        name: &str,
+        query: Query,
+        mode: RefreshMode,
+        snapshot: impl FnOnce() -> (Version, DatabaseF),
+    ) -> Result<Version> {
+        let mut inner = self.inner.lock();
+        // Any commit whose observe() completed before we took the lock
+        // has version <= v0 (install precedes observe); later commits
+        // will be drained from `pending` by watermark order.
+        let (v0, db0) = snapshot();
+        if inner.views.iter().any(|rv| rv.view.name() == name) {
+            return Err(FdmError::Expr(format!(
+                "view '{name}' is already registered"
+            )));
+        }
+        let view = MaintainedView::new(name, query, &db0)?;
+        inner.views.push(RegisteredView {
+            view,
+            watermark: v0,
+            base: db0,
+            mode,
+            error: None,
+        });
+        if mode == RefreshMode::Eager {
+            inner.drain(Some(RefreshMode::Eager), Version::MAX);
+        }
+        inner.prune();
+        Ok(v0)
+    }
+
+    /// Brings **every** view (eager and manual) forward through the
+    /// contiguous pending prefix, up to at most `version`. Returns the
+    /// minimum watermark across healthy views afterwards — the version
+    /// every view is guaranteed to reflect.
+    pub(crate) fn refresh_to(&self, version: Version) -> Result<Version> {
+        let mut inner = self.inner.lock();
+        inner.drain(None, version);
+        inner.prune();
+        let floor = inner
+            .views
+            .iter()
+            .filter(|rv| rv.error.is_none())
+            .map(|rv| rv.watermark)
+            .min();
+        match floor {
+            Some(v) => Ok(v),
+            None if inner.views.is_empty() => Err(FdmError::Expr(
+                "refresh_views_to: no views are registered".into(),
+            )),
+            None => Err(FdmError::Expr(
+                inner
+                    .views
+                    .iter()
+                    .find_map(|rv| rv.error.clone())
+                    .unwrap_or_else(|| "all registered views are poisoned".into()),
+            )),
+        }
+    }
+
+    /// The view's result relation and the version it reflects, or the
+    /// poisoning error if maintenance failed.
+    pub(crate) fn read(&self, name: &str) -> Result<(Version, fdm_core::RelationF)> {
+        let inner = self.inner.lock();
+        let rv = inner
+            .views
+            .iter()
+            .find(|rv| rv.view.name() == name)
+            .ok_or_else(|| FdmError::Expr(format!("no registered view named '{name}'")))?;
+        if let Some(e) = &rv.error {
+            return Err(FdmError::Expr(format!(
+                "view '{name}' is poisoned by a maintenance error: {e}"
+            )));
+        }
+        Ok((rv.watermark, rv.view.relation()))
+    }
+
+    /// Maintenance counters for a view, if it is registered.
+    pub(crate) fn stats(&self, name: &str) -> Option<IvmStats> {
+        let inner = self.inner.lock();
+        inner
+            .views
+            .iter()
+            .find(|rv| rv.view.name() == name)
+            .map(|rv| rv.view.stats().clone())
+    }
+}
+
+impl CatalogInner {
+    /// Advances views (those matching `mode`, or all when `None`)
+    /// through the contiguous prefix of `pending`, stopping at `up_to`.
+    fn drain(&mut self, mode: Option<RefreshMode>, up_to: Version) {
+        for rv in &mut self.views {
+            if rv.error.is_some() || mode.is_some_and(|m| rv.mode != m) {
+                continue;
+            }
+            loop {
+                let next = rv.watermark + 1;
+                if next > up_to {
+                    break;
+                }
+                let Some((ops, db)) = self.pending.get(&next) else {
+                    break; // gap: a straggling committer may still fill it
+                };
+                let delta = delta_from_ops(&rv.base, db, ops);
+                match rv.view.apply(db, &delta) {
+                    Ok(_) => {
+                        rv.base = db.clone();
+                        rv.watermark = next;
+                    }
+                    Err(e) => {
+                        rv.error = Some(format!("applying delta for v{next}: {e}"));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops pending commits every healthy view has consumed. Poisoned
+    /// views never hold entries back — they will not advance again.
+    fn prune(&mut self) {
+        if self.views.is_empty() {
+            self.pending.clear();
+            return;
+        }
+        let floor = self
+            .views
+            .iter()
+            .filter(|rv| rv.error.is_none())
+            .map(|rv| rv.watermark)
+            .min()
+            .unwrap_or(Version::MAX);
+        self.pending.retain(|v, _| *v > floor);
+    }
+}
+
+/// Translates a commit's recorded ops into the [`DbDelta`] the IVM layer
+/// consumes, using the committed roots on either side of the commit to
+/// resolve each touched key's old/new tuple. Point writes become
+/// [`EntryDelta::Rows`]; whole-entry rebinds ([`Op::Assign`] /
+/// [`Op::Drop`]) become [`EntryDelta::Replaced`], which the view layer
+/// handles with a scoped recompute.
+fn delta_from_ops(base: &DatabaseF, after: &DatabaseF, ops: &[Op]) -> DbDelta {
+    let mut touched: BTreeMap<Name, BTreeSet<Value>> = BTreeMap::new();
+    let mut replaced: BTreeSet<Name> = BTreeSet::new();
+    for op in ops {
+        match op {
+            Op::Upsert { rel, key, .. } | Op::Delete { rel, key } => {
+                touched.entry(rel.clone()).or_default().insert(key.clone());
+            }
+            Op::Assign { name, .. } | Op::Drop { name } => {
+                replaced.insert(name.clone());
+            }
+        }
+    }
+    let mut entries: Vec<(Name, EntryDelta)> = Vec::new();
+    for (rel, keys) in touched {
+        if replaced.contains(&rel) {
+            continue; // the rebind supersedes the point writes
+        }
+        let (old_rel, new_rel) = (base.relation(&rel), after.relation(&rel));
+        let (Ok(old_rel), Ok(new_rel)) = (old_rel, new_rel) else {
+            // the entry appeared, vanished, or changed kind mid-commit —
+            // too coarse for a row delta
+            entries.push((rel, EntryDelta::Replaced));
+            continue;
+        };
+        let mut changes = Vec::new();
+        for key in keys {
+            let old = old_rel.lookup(&key);
+            let new = new_rel.lookup(&key);
+            let same = match (&old, &new) {
+                (None, None) => true,
+                (Some(o), Some(n)) => o.eq_data(n),
+                _ => false,
+            };
+            if !same {
+                changes.push(TupleChange { key, old, new });
+            }
+        }
+        if !changes.is_empty() {
+            entries.push((rel, EntryDelta::Rows(changes)));
+        }
+    }
+    for name in replaced {
+        entries.push((name, EntryDelta::Replaced));
+    }
+    DbDelta { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use fdm_core::TupleF;
+    use fdm_fql::prelude::Params;
+    use fdm_fql::testutil::retail_db;
+    use fdm_fql::update::db_upsert;
+    use fdm_fql::DynamicView;
+    use std::sync::Arc;
+
+    fn olds_query() -> Query {
+        Query::scan("customers").filter("age > $min", Params::new().set("min", 42))
+    }
+
+    fn customer(cid: i64, name: &str, age: i64) -> Arc<TupleF> {
+        Arc::new(
+            TupleF::builder(format!("c{cid}"))
+                .attr("name", name)
+                .attr("age", age)
+                .build(),
+        )
+    }
+
+    fn upsert_op(cid: i64, name: &str, age: i64) -> Op {
+        Op::Upsert {
+            rel: Name::from("customers"),
+            key: Value::Int(cid),
+            tuple: customer(cid, name, age),
+        }
+    }
+
+    #[test]
+    fn eager_view_follows_store_commits() {
+        let store = Store::new(retail_db());
+        let v0 = store.register_view("olds", olds_query()).unwrap();
+        assert_eq!(v0, 0);
+        let (v, rel) = store.view("olds").unwrap();
+        assert_eq!((v, rel.len()), (0, 2));
+
+        let mut t = store.begin();
+        t.upsert(
+            "customers",
+            Value::Int(9),
+            TupleF::builder("c9")
+                .attr("name", "Zoe")
+                .attr("age", 70)
+                .build(),
+        )
+        .unwrap();
+        let v1 = t.commit().unwrap();
+
+        let (v, rel) = store.view("olds").unwrap();
+        assert_eq!(v, v1, "eager views read at the commit head");
+        assert_eq!(rel.len(), 3);
+        // the maintained result matches a from-scratch dynamic eval
+        let fresh = DynamicView::new("olds", olds_query())
+            .eval(&store.snapshot())
+            .unwrap();
+        let keyed = |r: &fdm_core::RelationF| {
+            r.tuples()
+                .unwrap()
+                .into_iter()
+                .map(|(k, t)| (k, t.data_key().unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keyed(&rel), keyed(&fresh));
+        assert!(store.view_stats("olds").unwrap().deltas_applied >= 1);
+    }
+
+    #[test]
+    fn out_of_order_commits_buffer_behind_the_gap() {
+        let db0 = retail_db();
+        let catalog = ViewCatalog::default();
+        catalog
+            .register("olds", olds_query(), RefreshMode::Eager, || {
+                (0, db0.clone())
+            })
+            .unwrap();
+
+        let db1 = db_upsert(
+            &db0,
+            "customers",
+            Value::Int(9),
+            (*customer(9, "Zoe", 70)).clone(),
+        )
+        .unwrap();
+        let db2 = db_upsert(
+            &db1,
+            "customers",
+            Value::Int(10),
+            (*customer(10, "Yan", 61)).clone(),
+        )
+        .unwrap();
+
+        // v2 arrives first: the view must NOT jump the v1 gap
+        catalog.observe(2, &[upsert_op(10, "Yan", 61)], &db2);
+        let (v, rel) = catalog.read("olds").unwrap();
+        assert_eq!((v, rel.len()), (0, 2), "gap holds the watermark at v0");
+
+        // the straggler fills the gap: both drain, in order
+        catalog.observe(1, &[upsert_op(9, "Zoe", 70)], &db1);
+        let (v, rel) = catalog.read("olds").unwrap();
+        assert_eq!((v, rel.len()), (2, 4));
+    }
+
+    #[test]
+    fn manual_views_advance_only_on_refresh() {
+        let store = Store::new(retail_db());
+        store
+            .register_view_with("olds", olds_query(), RefreshMode::Manual)
+            .unwrap();
+        let mut t = store.begin();
+        t.upsert(
+            "customers",
+            Value::Int(9),
+            TupleF::builder("c9")
+                .attr("name", "Zoe")
+                .attr("age", 70)
+                .build(),
+        )
+        .unwrap();
+        let v1 = t.commit().unwrap();
+
+        let (v, rel) = store.view("olds").unwrap();
+        assert_eq!((v, rel.len()), (0, 2), "manual: stale until refreshed");
+
+        let reached = store.refresh_views_to(v1).unwrap();
+        assert_eq!(reached, v1);
+        let (v, rel) = store.view("olds").unwrap();
+        assert_eq!((v, rel.len()), (v1, 3));
+    }
+
+    #[test]
+    fn maintenance_errors_poison_only_the_failing_view() {
+        let store = Store::new(retail_db());
+        store.register_view("olds", olds_query()).unwrap();
+        store
+            .register_view("names", Query::scan("customers").project(&["name"]))
+            .unwrap();
+
+        // a customer with no `age` makes the filter predicate fail
+        let mut t = store.begin();
+        t.upsert(
+            "customers",
+            Value::Int(9),
+            TupleF::builder("c9").attr("name", "Ghost").build(),
+        )
+        .unwrap();
+        let v1 = t.commit().unwrap();
+
+        let err = store.view("olds").unwrap_err().to_string();
+        assert!(err.contains("poisoned"), "got: {err}");
+        // the healthy view advanced past the same commit
+        let (v, rel) = store.view("names").unwrap();
+        assert_eq!((v, rel.len()), (v1, 4));
+        // refresh reports the poisoning only once no healthy view remains
+        assert_eq!(store.refresh_views_to(v1).unwrap(), v1);
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_read_rejects_unknown() {
+        let store = Store::new(retail_db());
+        store.register_view("olds", olds_query()).unwrap();
+        assert!(store.register_view("olds", olds_query()).is_err());
+        assert!(store.view("nope").is_err());
+        assert!(store.view_stats("nope").is_none());
+        assert!(store.refresh_views_to(0).is_ok());
+    }
+
+    #[test]
+    fn whole_entry_rebinds_take_the_replaced_path() {
+        let store = Store::new(retail_db());
+        store.register_view("olds", olds_query()).unwrap();
+        // rebind `customers` wholesale: one extra senior, one junior
+        let rebound = crate::writeset::apply_ops(
+            &store.snapshot(),
+            &[upsert_op(9, "Zoe", 70), upsert_op(10, "Kid", 12)],
+        )
+        .unwrap()
+        .relation("customers")
+        .unwrap();
+        let mut t = store.begin();
+        t.assign("customers", fdm_core::FnValue::Relation(rebound))
+            .unwrap();
+        let v1 = t.commit().unwrap();
+        let (v, rel) = store.view("olds").unwrap();
+        assert_eq!((v, rel.len()), (v1, 3));
+        assert!(
+            store.view_stats("olds").unwrap().fallback_recomputes >= 1,
+            "an Assign must go through the scoped-recompute fallback"
+        );
+    }
+}

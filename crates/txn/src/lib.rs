@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;
 pub mod history;
@@ -53,6 +54,7 @@ pub mod store;
 pub mod txn;
 pub mod writeset;
 
+pub use catalog::{RefreshMode, ViewCatalog};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::FaultPlan;
 #[cfg(any(test, feature = "fault-injection"))]

@@ -2,10 +2,11 @@
 //! database function, the commit log used for snapshot-isolation
 //! validation, and the bounded version history behind time-travel reads.
 
+use crate::catalog::{RefreshMode, ViewCatalog};
 use crate::history::History;
 use crate::txn::Transaction;
 use crate::writeset::{apply_ops, Op, WriteSet};
-use fdm_core::{DatabaseF, FdmError, Result, TupleF, Value};
+use fdm_core::{DatabaseF, FdmError, RelationF, Result, TupleF, Value};
 use fdm_durability::{
     check_record_payload, encode_ops, list_checkpoints, prune_checkpoints, recover,
     write_checkpoint, DurabilityConfig, DurabilityError, IntegrityReport, SyncPolicy, Wal, WalOp,
@@ -238,6 +239,8 @@ pub struct Store {
     pub(crate) history: History,
     /// The WAL + checkpoint machinery, when this store is durable.
     pub(crate) durable: Option<Durable>,
+    /// Maintained views subscribed to commits (see [`Store::register_view`]).
+    pub(crate) views: ViewCatalog,
     /// Injected faults, if a plan is installed (test/fault-injection
     /// builds only).
     #[cfg(any(test, feature = "fault-injection"))]
@@ -291,6 +294,7 @@ impl Store {
             policy: config.policy,
             history,
             durable,
+            views: ViewCatalog::default(),
             #[cfg(any(test, feature = "fault-injection"))]
             faults: Mutex::new(None),
         })
@@ -396,7 +400,13 @@ impl Store {
                     ),
                 })?;
             store
-                .record_commit(commit.version, WriteSet::from_ops(&ops), None, db.clone())
+                .record_commit(
+                    commit.version,
+                    WriteSet::from_ops(&ops),
+                    &ops,
+                    None,
+                    db.clone(),
+                )
                 .map_err(|e| DurabilityError::Corrupt {
                     detail: format!("recording recovered commit v{}: {e}", commit.version),
                 })?;
@@ -444,6 +454,55 @@ impl Store {
     /// returns how many entries were evicted.
     pub fn compact_history(&self, keep_last_n: usize) -> usize {
         self.history.compact(keep_last_n)
+    }
+
+    /// Registers an **eagerly maintained** view: compiles `query` through
+    /// the default optimizer, materializes it against the current
+    /// snapshot, and subscribes it to every subsequent commit — each
+    /// commit's writeset is propagated incrementally through the view's
+    /// operator tree under that commit's version (see `docs/VIEWS.md`).
+    /// Returns the version the view starts at. Errors if a view with
+    /// this name is already registered or the initial evaluation fails.
+    pub fn register_view(&self, name: &str, query: fdm_fql::Query) -> Result<Version> {
+        self.register_view_with(name, query, RefreshMode::Eager)
+    }
+
+    /// [`Store::register_view`] with an explicit [`RefreshMode`]:
+    /// [`RefreshMode::Manual`] views are advanced only by
+    /// [`Store::refresh_views_to`], keeping the commit path free of
+    /// maintenance work while the catalog buffers the deltas.
+    pub fn register_view_with(
+        &self,
+        name: &str,
+        query: fdm_fql::Query,
+        mode: RefreshMode,
+    ) -> Result<Version> {
+        self.views
+            .register(name, query, mode, || self.snapshot_versioned())
+    }
+
+    /// Reads a registered view: the maintained result relation and the
+    /// commit version it reflects. Errors if no view has this name or a
+    /// maintenance failure poisoned it.
+    pub fn view(&self, name: &str) -> Result<(Version, RelationF)> {
+        self.views.read(name)
+    }
+
+    /// Maintenance counters for a registered view (deltas applied, rows
+    /// changed, dirty groups, fallback recomputes), or `None` if no view
+    /// has this name.
+    pub fn view_stats(&self, name: &str) -> Option<fdm_fql::IvmStats> {
+        self.views.stats(name)
+    }
+
+    /// Brings every registered view — manual and eager — forward through
+    /// the buffered commits, up to at most `version`. Returns the
+    /// minimum watermark across healthy views: the version all of them
+    /// are guaranteed to reflect (which may exceed `version` if they
+    /// were already ahead, or fall short of it if a commit in between
+    /// has installed but not yet reached its post-install bookkeeping).
+    pub fn refresh_views_to(&self, version: Version) -> Result<Version> {
+        self.views.refresh_to(version)
     }
 
     /// Begins a transaction on the current snapshot (paper Fig. 11
@@ -579,6 +638,7 @@ impl Store {
         &self,
         version: Version,
         writes: WriteSet,
+        ops: &[Op],
         wal_payload: Option<&[u8]>,
         db: DatabaseF,
     ) -> Result<()> {
@@ -596,6 +656,11 @@ impl Store {
             }
         }
         self.history.record(version, db.clone());
+        // Maintain registered views before the WAL section: the commit is
+        // installed and in the history, so views must see it even if the
+        // durability acknowledgement below fails. Per-view maintenance
+        // errors never fail the commit (they poison that view only).
+        self.views.observe(version, ops, &db);
         if let (Some(d), Some(payload)) = (self.durable.as_ref(), wal_payload) {
             {
                 let mut wal = d.wal();
@@ -1192,8 +1257,13 @@ mod tests {
             let v2_payload = payload.clone();
             let v2_db = db.clone();
             let handle = s.spawn(move || {
-                let out =
-                    v2_store.record_commit(2, WriteSet::from_ops(&[]), Some(&v2_payload), v2_db);
+                let out = v2_store.record_commit(
+                    2,
+                    WriteSet::from_ops(&[]),
+                    &[],
+                    Some(&v2_payload),
+                    v2_db,
+                );
                 tx.send(()).unwrap();
                 out
             });
@@ -1202,7 +1272,7 @@ mod tests {
                 "v2 must stay parked while the v1 gap is open"
             );
             store
-                .record_commit(1, WriteSet::from_ops(&[]), Some(&payload), db.clone())
+                .record_commit(1, WriteSet::from_ops(&[]), &[], Some(&payload), db.clone())
                 .unwrap();
             rx.recv_timeout(Duration::from_secs(10))
                 .expect("filling the gap must release the parked committer");
@@ -1232,7 +1302,7 @@ mod tests {
         let payload = store.encode_for_wal(&[]).unwrap().unwrap();
         let db = store.snapshot();
         let err = store
-            .record_commit(2, WriteSet::from_ops(&[]), Some(&payload), db)
+            .record_commit(2, WriteSet::from_ops(&[]), &[], Some(&payload), db)
             .unwrap_err();
         assert!(
             matches!(&err, FdmError::Durability { detail } if detail.contains("version gap")),

@@ -278,6 +278,7 @@ impl Transaction {
                     self.store.record_commit(
                         v,
                         self.writes.clone(),
+                        &self.ops,
                         wal_payload.as_deref(),
                         installed,
                     )?;

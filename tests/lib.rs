@@ -1,2 +1,33 @@
 //! Shared helpers for the integration tests (the tests themselves live in
 //! `tests/tests/*.rs`).
+
+use fdm_core::{DatabaseF, RelationF, Value};
+use fdm_fql::MaintainedView;
+
+/// A relation reduced to its canonical content: `(key, data-key)` pairs
+/// in key order. Two relations with equal canonical rows hold the same
+/// data under the same keys, whatever their names or in-memory layout.
+pub fn canonical_rows(rel: &RelationF) -> Vec<(Value, Value)> {
+    rel.tuples()
+        .expect("operator outputs are unique relations")
+        .into_iter()
+        .map(|(k, t)| (k, t.data_key().expect("operator outputs carry no closures")))
+        .collect()
+}
+
+/// The differential oracle for incremental view maintenance: the
+/// maintained result must equal re-running the view's (already
+/// optimized) plan from scratch against `db` — same canonical keys,
+/// same tuple data, in the same order. `context` labels the failure.
+pub fn assert_view_equiv(view: &MaintainedView, db: &DatabaseF, context: &str) {
+    let fresh = view
+        .plan()
+        .clone()
+        .eval(db)
+        .unwrap_or_else(|e| panic!("{context}: recompute oracle failed: {e}"));
+    assert_eq!(
+        canonical_rows(&view.relation()),
+        canonical_rows(&fresh),
+        "{context}: maintained view diverged from a from-scratch recompute"
+    );
+}
