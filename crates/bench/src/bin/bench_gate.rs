@@ -53,11 +53,18 @@ const METRICS: [&str; 5] = [
 /// follows the same arc: recorded by its introducing entry, armed by
 /// the next full run. `view_refresh_speedup` (incremental view
 /// maintenance vs from-scratch recompute for a single-row delta, PR 9)
-/// is the third to walk it.
-const ARMED_METRICS: [&str; 3] = [
+/// is the third to walk it. The PR 10 serving ratios
+/// (`serve_read_speedup`: hot-tuple cache vs per-request tree walk;
+/// `serve_write_speedup`: group commit vs one-commit-per-request, both
+/// from `bench_serve`) are the fourth and fifth — same-process ratios,
+/// recorded by their introducing entry, armed when the next full run
+/// re-records them.
+const ARMED_METRICS: [&str; 5] = [
     "plan_reorder_speedup",
     "rule_optimizer_speedup",
     "view_refresh_speedup",
+    "serve_read_speedup",
+    "serve_write_speedup",
 ];
 
 /// Metrics printed for trend visibility but **never** gated, whatever the
@@ -65,14 +72,21 @@ const ARMED_METRICS: [&str; 3] = [
 /// hard ratio; `txn_commit_throughput` (PR 6) and the PR 7 durability
 /// figures (`wal_commit_overhead`, `recovery_replay_per_sec`) are
 /// medium-dependent — fsync latency and page-cache state do not cancel
-/// out across runners. The CI log still shows them side by side with the
-/// committed numbers so a drift is visible before anyone thinks to gate
-/// it.
-const RECORDED_METRICS: [&str; 4] = [
+/// out across runners. The PR 10 serving figures (`serve_ops_per_sec`,
+/// `serve_read_p50_us`, `serve_read_p99_us` from `bench_serve`'s
+/// concurrent mixed run) are absolute throughput/latency numbers for the
+/// same reason: wall-clock per request is runner weather, so only the
+/// cache-vs-naive and batched-vs-sequential *ratios* above are ever
+/// gated. The CI log still shows them side by side with the committed
+/// numbers so a drift is visible before anyone thinks to gate it.
+const RECORDED_METRICS: [&str; 7] = [
     "join_order_speedup",
     "txn_commit_throughput",
     "wal_commit_overhead",
     "recovery_replay_per_sec",
+    "serve_ops_per_sec",
+    "serve_read_p50_us",
+    "serve_read_p99_us",
 ];
 
 /// Number of trajectory entries (objects carrying an `"entry"` tag) that

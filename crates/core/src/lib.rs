@@ -70,6 +70,7 @@ pub mod fxhash;
 pub mod par;
 pub mod relation;
 pub mod relationship;
+pub mod shard;
 pub mod stats;
 pub mod tuple;
 pub mod types;
@@ -86,6 +87,7 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use par::{par_map_chunks, ParConfig, ParallelBuilder};
 pub use relation::{RelationBuilder, RelationF};
 pub use relationship::{Participant, RelationshipBuilder, RelationshipF};
+pub use shard::{ShardMap, ShardedRelation};
 pub use stats::{
     distinct_hint, estimate_distinct, AttrSketches, DistinctSketch, RelationStats,
     RelationshipStats,

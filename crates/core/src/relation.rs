@@ -375,6 +375,25 @@ impl RelationF {
         }
     }
 
+    /// The *stored* `(key, tuple)` pairs whose keys lie in `[lo, hi]`
+    /// (inclusive bounds, either side optional), in ascending key order —
+    /// the serving layer's range-scan primitive. Plain stored bodies
+    /// answer straight from the tree (O(log n) to the first key, O(1)
+    /// per result); multi/hybrid bodies filter their stored iteration.
+    /// Computed parts are excluded, like [`Self::iter_stored`].
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<(Value, Arc<TupleF>)> {
+        match &self.body {
+            Body::Unique(m) => m
+                .range(lo, hi)
+                .map(|(k, t)| (k.clone(), t.clone()))
+                .collect(),
+            _ => self
+                .iter_stored()
+                .filter(|(k, _)| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k <= h))
+                .collect(),
+        }
+    }
+
     /// Iterates the *stored* `(key, tuple-group)` pairs in key order:
     /// multi bodies yield each group in O(1) (structural share, no
     /// per-member clone), unique/hybrid bodies yield singleton groups,

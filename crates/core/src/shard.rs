@@ -1,0 +1,527 @@
+//! Key-range sharding of relation functions — the serving layer's scale
+//! primitive.
+//!
+//! A [`ShardMap`] splits a relation's key space into contiguous ranges at
+//! explicit boundary keys; a [`ShardedRelation`] holds one stored
+//! [`RelationF`] per range plus the map that routes keys to shards.
+//! Everything stays persistent (a "mutation" rebuilds exactly one shard
+//! and shares the rest), and everything stays a plain relation function
+//! per shard, so the PR 2 parallel operators, the bulk builders, and the
+//! FQL operators all work unchanged *inside* a shard.
+//!
+//! # Routing contract
+//!
+//! Boundaries are strictly ascending and each boundary key is the **first
+//! key of the shard to its right**: with boundaries `[b0, b1]`, shard 0
+//! holds keys `< b0`, shard 1 holds `[b0, b1)`, shard 2 holds `>= b1`.
+//! A key exactly equal to a boundary therefore routes to the
+//! higher-indexed shard — pinned by tests here and by the shard-boundary
+//! proptest in the integration suite, because an off-by-one at a boundary
+//! is precisely the bug a differential oracle exists to catch.
+//!
+//! Because shards partition the key space in key order, concatenating the
+//! shards' (key-sorted) entries in shard order *is* the global key order:
+//! range scans concatenate per-shard range scans, and
+//! [`ShardedRelation::to_relation`] is a single O(n) `from_sorted` build.
+//! The sharded ≡ unsharded equivalence this implies is the module's
+//! correctness bar, enforced by `tests/tests/shard_equivalence.rs`.
+//!
+//! Shards store plain unique bodies (the serving layout); constraints and
+//! computed bodies stay on the unsharded source relation — shard before
+//! serving, after constraint enforcement.
+
+use crate::error::{FdmError, Name, Result};
+use crate::par::{par_map_chunks, ParConfig};
+use crate::relation::{RelationBuilder, RelationF};
+use crate::tuple::TupleF;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Routes keys to shard indexes by key range (see the module docs for the
+/// boundary contract).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// Strictly ascending boundary keys; `boundaries[i]` is the first key
+    /// of shard `i + 1`.
+    boundaries: Arc<[Value]>,
+}
+
+impl ShardMap {
+    /// A map with the given boundary keys — shard count is
+    /// `boundaries.len() + 1`. An empty boundary list is the degenerate
+    /// single-shard map. Boundaries must be strictly ascending.
+    pub fn new(boundaries: Vec<Value>) -> Result<ShardMap> {
+        if let Some(w) = boundaries.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(FdmError::ConstraintViolation {
+                constraint: "shard boundaries strictly ascending".to_string(),
+                detail: format!("boundary {} does not precede {}", w[0], w[1]),
+            });
+        }
+        Ok(ShardMap {
+            boundaries: boundaries.into(),
+        })
+    }
+
+    /// The single-shard map (no boundaries): every key routes to shard 0.
+    pub fn single() -> ShardMap {
+        ShardMap {
+            boundaries: Arc::from([]),
+        }
+    }
+
+    /// Picks `shards - 1` boundaries at even rank positions of `rel`'s
+    /// stored keys, so the shards carry near-equal entry counts for the
+    /// current data. Falls back to fewer shards (down to one) when the
+    /// relation has fewer distinct keys than requested shards.
+    pub fn for_relation(rel: &RelationF, shards: usize) -> Result<ShardMap> {
+        let keys = rel.stored_keys();
+        let shards = shards.max(1).min(keys.len().max(1));
+        let mut boundaries = Vec::with_capacity(shards - 1);
+        for i in 1..shards {
+            // rank of the first key of shard i under an even split
+            boundaries.push(keys[i * keys.len() / shards].clone());
+        }
+        boundaries.dedup();
+        ShardMap::new(boundaries)
+    }
+
+    /// Number of shards this map routes into.
+    pub fn shard_count(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The boundary keys (strictly ascending; `boundaries()[i]` is the
+    /// first key of shard `i + 1`).
+    pub fn boundaries(&self) -> &[Value] {
+        &self.boundaries
+    }
+
+    /// The shard index `key` routes to: the number of boundaries `<= key`,
+    /// so a key equal to a boundary goes to the shard *right* of it.
+    pub fn route(&self, key: &Value) -> usize {
+        self.boundaries.partition_point(|b| b <= key)
+    }
+
+    /// The inclusive shard-index span a `[lo, hi]` range scan must visit
+    /// (either bound optional, meaning unbounded on that side).
+    pub fn route_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> (usize, usize) {
+        let first = lo.map_or(0, |k| self.route(k));
+        let last = hi.map_or(self.shard_count() - 1, |k| self.route(k));
+        (first, last)
+    }
+}
+
+/// A relation function partitioned by key range into per-shard stored
+/// relations (see the module docs).
+#[derive(Clone)]
+pub struct ShardedRelation {
+    map: ShardMap,
+    /// One stored relation per shard, in key-range order; every shard
+    /// carries the source relation's name and key attributes.
+    shards: Arc<[RelationF]>,
+}
+
+impl ShardedRelation {
+    /// Partitions a stored relation under `map`. One key-ordered pass:
+    /// routing an ascending key stream just advances the shard cursor, so
+    /// the split is O(n) with one comparison per boundary crossing; the
+    /// per-shard O(len) tree builds run in parallel when the relation
+    /// clears the [`ParConfig`] cutoff.
+    pub fn from_relation(rel: &RelationF, map: ShardMap) -> Result<ShardedRelation> {
+        let mut buckets: Vec<Vec<(Value, Arc<TupleF>)>> = vec![Vec::new(); map.shard_count()];
+        let mut shard = 0usize;
+        for (key, tuple) in rel.iter_stored() {
+            // ascending keys: the route index is monotone
+            while shard + 1 < buckets.len() && map.boundaries()[shard] <= key {
+                shard += 1;
+            }
+            debug_assert_eq!(shard, map.route(&key), "monotone routing");
+            buckets[shard].push((key, tuple));
+        }
+        Self::from_buckets(rel.name(), rel.key_attrs(), map, buckets, rel.len())
+    }
+
+    /// Bulk-loads a sharded relation from unsorted entries: each entry is
+    /// routed to its bucket, then every shard bulk-builds through the
+    /// sort-detecting [`RelationBuilder`] — in parallel across shards
+    /// above the cutoff. A duplicate key is reported with exactly the
+    /// sequential builder's error (duplicates always route to the same
+    /// shard, so none can hide across a boundary).
+    pub fn build(
+        name: impl AsRef<str>,
+        key_attrs: &[&str],
+        map: ShardMap,
+        entries: Vec<(Value, Arc<TupleF>)>,
+    ) -> Result<ShardedRelation> {
+        let total = entries.len();
+        let mut buckets: Vec<Vec<(Value, Arc<TupleF>)>> = vec![Vec::new(); map.shard_count()];
+        for (key, tuple) in entries {
+            buckets[map.route(&key)].push((key, tuple));
+        }
+        let key_attrs: Vec<Name> = key_attrs.iter().map(|k| Name::from(*k)).collect();
+        Self::from_buckets(name.as_ref(), &key_attrs, map, buckets, total)
+    }
+
+    fn from_buckets(
+        name: &str,
+        key_attrs: &[Name],
+        map: ShardMap,
+        buckets: Vec<Vec<(Value, Arc<TupleF>)>>,
+        total: usize,
+    ) -> Result<ShardedRelation> {
+        let key_strs: Vec<&str> = key_attrs.iter().map(|n| n.as_ref()).collect();
+        let build_one = |entries: Vec<(Value, Arc<TupleF>)>| -> Result<RelationF> {
+            let mut b = RelationBuilder::new(name, &key_strs);
+            for (k, t) in entries {
+                b.push_arc(k, t);
+            }
+            b.build()
+        };
+        let cfg = ParConfig::from_env();
+        let shards: Vec<Result<RelationF>> = if cfg.should_parallelize(total) && buckets.len() >= 2
+        {
+            // one task per shard; par_map_chunks keeps shard order
+            let buckets: Vec<Vec<(Value, Arc<TupleF>)>> = buckets;
+            par_map_chunks(&buckets, cfg.threads.min(buckets.len()), |chunk| {
+                chunk
+                    .iter()
+                    .map(|b| build_one(b.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            buckets.into_iter().map(build_one).collect()
+        };
+        // lowest shard's error first == global key order, matching the
+        // sequential builder on the same entries
+        let shards = shards.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(ShardedRelation {
+            map,
+            shards: shards.into(),
+        })
+    }
+
+    /// The routing map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's relation function (panics if `i` is out of range).
+    pub fn shard(&self, i: usize) -> &RelationF {
+        &self.shards[i]
+    }
+
+    /// The shards in key-range order.
+    pub fn shards(&self) -> &[RelationF] {
+        &self.shards
+    }
+
+    /// Total stored entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(RelationF::len).sum()
+    }
+
+    /// `true` if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(RelationF::is_empty)
+    }
+
+    /// Point lookup: route, then look up inside one shard.
+    pub fn lookup(&self, key: &Value) -> Option<Arc<TupleF>> {
+        self.shards[self.map.route(key)].lookup(key)
+    }
+
+    /// `true` if some shard stores `key`.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        self.shards[self.map.route(key)].contains_key(key)
+    }
+
+    /// Range scan over `[lo, hi]` (inclusive, either bound optional):
+    /// only the shards whose ranges intersect the bounds are visited, and
+    /// concatenating their per-shard scans in shard order is already the
+    /// global key order.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<(Value, Arc<TupleF>)> {
+        let (first, last) = self.map.route_range(lo, hi);
+        let mut out = Vec::new();
+        for shard in &self.shards[first..=last] {
+            out.extend(shard.range(lo, hi));
+        }
+        out
+    }
+
+    /// All entries in global key order.
+    pub fn iter_stored(&self) -> impl Iterator<Item = (Value, Arc<TupleF>)> + '_ {
+        self.shards.iter().flat_map(RelationF::iter_stored)
+    }
+
+    /// Insert-or-replace one tuple: rebuilds the routed shard only; the
+    /// other shards are shared with `self`.
+    pub fn upsert(&self, key: Value, tuple: TupleF) -> Result<ShardedRelation> {
+        let i = self.map.route(&key);
+        self.replace_shard(i, self.shards[i].upsert(key, tuple)?)
+    }
+
+    /// Deletes one key (an error if absent, like [`RelationF::delete`]).
+    pub fn delete(&self, key: &Value) -> Result<ShardedRelation> {
+        let i = self.map.route(key);
+        self.replace_shard(i, self.shards[i].delete(key)?)
+    }
+
+    fn replace_shard(&self, i: usize, shard: RelationF) -> Result<ShardedRelation> {
+        let mut shards: Vec<RelationF> = self.shards.to_vec();
+        shards[i] = shard;
+        Ok(ShardedRelation {
+            map: self.map.clone(),
+            shards: shards.into(),
+        })
+    }
+
+    /// Applies a per-shard operator to every shard — in parallel across
+    /// shards when the total entry count clears the [`ParConfig`] cutoff.
+    /// This is how the PR 2 parallel operators run per-shard: `f` sees a
+    /// plain relation function and may use any operator on it.
+    ///
+    /// Routing contract: `f` must not move entries to keys outside the
+    /// shard's range (dropping entries or rewriting non-key attributes is
+    /// fine — a filter, a projection, an extend). Violations are caught
+    /// in debug builds.
+    pub fn map_shards(
+        &self,
+        f: impl Fn(&RelationF) -> Result<RelationF> + Sync,
+    ) -> Result<ShardedRelation> {
+        let cfg = ParConfig::from_env();
+        let outputs: Vec<Result<RelationF>> =
+            if cfg.should_parallelize(self.len()) && self.shards.len() >= 2 {
+                par_map_chunks(&self.shards, cfg.threads.min(self.shards.len()), |chunk| {
+                    chunk.iter().map(&f).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                self.shards.iter().map(&f).collect()
+            };
+        let shards = outputs.into_iter().collect::<Result<Vec<_>>>()?;
+        debug_assert!(
+            shards
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.iter_stored().all(|(k, _)| self.map.route(&k) == i)),
+            "map_shards output moved a key across a shard boundary"
+        );
+        Ok(ShardedRelation {
+            map: self.map.clone(),
+            shards: shards.into(),
+        })
+    }
+
+    /// Merges the shards back into one stored relation — a single O(n)
+    /// bulk build, since shard order is global key order. This is the
+    /// differential oracle's bridge: `to_relation()` of a sharded
+    /// relation must be byte-identical to the unsharded relation it was
+    /// split from.
+    pub fn to_relation(&self) -> RelationF {
+        let name = self.shards[0].name().to_string();
+        let key_attrs: Vec<&str> = self.shards[0]
+            .key_attrs()
+            .iter()
+            .map(Name::as_ref)
+            .collect();
+        let entries: Vec<(Value, Arc<TupleF>)> = self.iter_stored().collect();
+        RelationF::from_sorted(&name, &key_attrs, entries)
+    }
+}
+
+impl std::fmt::Debug for ShardedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRelation")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("boundaries", &self.map.boundaries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> TupleF {
+        TupleF::builder("t").attr("x", x).build()
+    }
+
+    fn rel(n: i64) -> RelationF {
+        RelationF::from_sorted(
+            "r",
+            &["k"],
+            (0..n)
+                .map(|i| (Value::Int(i), Arc::new(t(i * 10))))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn boundary_key_routes_right() {
+        let map = ShardMap::new(vec![Value::Int(10), Value::Int(20)]).unwrap();
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.route(&Value::Int(9)), 0);
+        assert_eq!(map.route(&Value::Int(10)), 1, "boundary key opens shard 1");
+        assert_eq!(map.route(&Value::Int(19)), 1);
+        assert_eq!(map.route(&Value::Int(20)), 2, "boundary key opens shard 2");
+        assert_eq!(map.route(&Value::Int(1000)), 2);
+    }
+
+    #[test]
+    fn unsorted_boundaries_rejected() {
+        assert!(ShardMap::new(vec![Value::Int(5), Value::Int(5)]).is_err());
+        assert!(ShardMap::new(vec![Value::Int(9), Value::Int(3)]).is_err());
+        assert!(ShardMap::new(Vec::new()).unwrap().shard_count() == 1);
+    }
+
+    #[test]
+    fn partition_and_merge_roundtrip() {
+        let r = rel(100);
+        let map = ShardMap::new(vec![Value::Int(30), Value::Int(60)]).unwrap();
+        let sharded = ShardedRelation::from_relation(&r, map).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.len(), 100);
+        assert_eq!(sharded.shard(0).len(), 30);
+        assert_eq!(sharded.shard(1).len(), 30);
+        assert_eq!(sharded.shard(2).len(), 40);
+        let back = sharded.to_relation();
+        assert_eq!(back.stored_keys(), r.stored_keys());
+        for k in r.stored_keys() {
+            assert!(Arc::ptr_eq(
+                &back.lookup(&k).unwrap(),
+                &r.lookup(&k).unwrap()
+            ));
+        }
+    }
+
+    #[test]
+    fn lookup_and_range_agree_with_unsharded() {
+        let r = rel(50);
+        let map = ShardMap::for_relation(&r, 4).unwrap();
+        let sharded = ShardedRelation::from_relation(&r, map).unwrap();
+        for i in -1..51 {
+            let k = Value::Int(i);
+            match (sharded.lookup(&k), r.lookup(&k)) {
+                (Some(a), Some(b)) => assert!(Arc::ptr_eq(&a, &b), "key {i}"),
+                (None, None) => {}
+                (a, b) => panic!(
+                    "key {i}: sharded {:?} vs unsharded {:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        let lo = Value::Int(13);
+        let hi = Value::Int(37);
+        let got: Vec<Value> = sharded
+            .range(Some(&lo), Some(&hi))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(got, (13..=37).map(Value::Int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_build_routes_unsorted_entries() {
+        let mut entries: Vec<(Value, Arc<TupleF>)> =
+            (0..40).map(|i| (Value::Int(i), Arc::new(t(i)))).collect();
+        entries.reverse();
+        let map = ShardMap::new(vec![Value::Int(20)]).unwrap();
+        let sharded = ShardedRelation::build("r", &["k"], map, entries).unwrap();
+        assert_eq!(sharded.shard(0).len(), 20);
+        assert_eq!(sharded.shard(1).len(), 20);
+        assert_eq!(
+            sharded.to_relation().stored_keys(),
+            (0..40).map(Value::Int).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_key_error_matches_sequential_builder() {
+        let entries = vec![
+            (Value::Int(1), Arc::new(t(1))),
+            (Value::Int(1), Arc::new(t(2))),
+        ];
+        let map = ShardMap::new(vec![Value::Int(50)]).unwrap();
+        let err = ShardedRelation::build("r", &["k"], map, entries.clone()).unwrap_err();
+        let mut seq = RelationBuilder::new("r", &["k"]);
+        for (k, tu) in entries {
+            seq.push_arc(k, tu);
+        }
+        assert_eq!(err.to_string(), seq.build().unwrap_err().to_string());
+    }
+
+    #[test]
+    fn upsert_and_delete_rebuild_one_shard() {
+        let r = rel(30);
+        let map = ShardMap::new(vec![Value::Int(10), Value::Int(20)]).unwrap();
+        let sharded = ShardedRelation::from_relation(&r, map).unwrap();
+        let updated = sharded.upsert(Value::Int(15), t(999)).unwrap();
+        assert_eq!(
+            updated.lookup(&Value::Int(15)).unwrap().get("x").unwrap(),
+            Value::Int(999)
+        );
+        // untouched shards are shared, not copied
+        assert!(Arc::ptr_eq(
+            &updated.shard(0).lookup(&Value::Int(3)).unwrap(),
+            &sharded.shard(0).lookup(&Value::Int(3)).unwrap()
+        ));
+        let deleted = updated.delete(&Value::Int(15)).unwrap();
+        assert!(deleted.lookup(&Value::Int(15)).is_none());
+        assert_eq!(deleted.len(), 29);
+        assert!(
+            deleted.delete(&Value::Int(15)).is_err(),
+            "absent key errors"
+        );
+    }
+
+    #[test]
+    fn map_shards_runs_operators_per_shard() {
+        let r = rel(40);
+        let map = ShardMap::new(vec![Value::Int(13), Value::Int(29)]).unwrap();
+        let sharded = ShardedRelation::from_relation(&r, map).unwrap();
+        // a filter expressed as a per-shard rebuild
+        let filtered = sharded
+            .map_shards(|shard| {
+                let mut b = shard.builder_like();
+                for (k, t) in shard.iter_stored() {
+                    if t.get("x").unwrap() >= Value::Int(100) {
+                        b.push_arc(k, t);
+                    }
+                }
+                b.build()
+            })
+            .unwrap();
+        assert_eq!(filtered.len(), 30);
+        assert_eq!(
+            filtered.to_relation().stored_keys(),
+            (10..40).map(Value::Int).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn for_relation_splits_evenly() {
+        let r = rel(100);
+        let map = ShardMap::for_relation(&r, 5).unwrap();
+        assert_eq!(map.shard_count(), 5);
+        let sharded = ShardedRelation::from_relation(&r, map).unwrap();
+        for i in 0..5 {
+            assert_eq!(sharded.shard(i).len(), 20, "even split");
+        }
+        // more shards than keys degrades gracefully
+        let tiny = rel(2);
+        let map = ShardMap::for_relation(&tiny, 10).unwrap();
+        assert!(map.shard_count() <= 2);
+    }
+}

@@ -188,6 +188,32 @@ pub fn antijoin(rel: &RelationF, attr: &str, keys: &BTreeSet<Value>) -> Result<R
     crate::filter::filter_fn(rel, |t| Ok(!keys.contains(&t.get(attr)?)))
 }
 
+/// DISTINCT over tuple *data*: keeps the first occurrence (in key
+/// order) of every distinct tuple body and drops the duplicates that
+/// joins and projections multiply out — closing the dedup carry-over
+/// those operators left behind.
+///
+/// Dedup reuses the tuple's cached [`TupleF::fingerprint`] (the PR 3
+/// `DataKey`): the seen-set is keyed by the precomputed 64-bit hash, so
+/// the overwhelmingly common *unequal* case costs one integer probe, and
+/// a hash collision falls back to the exact canonical-key comparison
+/// ([`TupleF::eq_data`]) instead of trusting the hash. Join outputs that
+/// already computed their fingerprints pay nothing extra here.
+pub fn distinct(rel: &RelationF) -> Result<RelationF> {
+    let mut seen: fdm_core::FxHashMap<u64, Vec<Arc<TupleF>>> = fdm_core::FxHashMap::default();
+    let mut out = rel.builder_like();
+    for (key, tuple) in rel.tuples()? {
+        let hash = tuple.fingerprint()?.hash();
+        let bucket = seen.entry(hash).or_default();
+        if bucket.iter().any(|kept| kept.eq_data(&tuple)) {
+            continue;
+        }
+        bucket.push(Arc::clone(&tuple));
+        out.push_arc(key, tuple);
+    }
+    out.build()
+}
+
 /// Semi-join on the relation's *key* rather than an attribute.
 pub fn semijoin_keys(rel: &RelationF, keys: &BTreeSet<Value>) -> Result<RelationF> {
     let mut out = rel.builder_like();
@@ -266,6 +292,53 @@ mod tests {
         // limit beyond size is a no-op
         assert_eq!(limit(&rel, 100).unwrap().len(), 3);
         assert_eq!(limit(&rel, 0).unwrap().len(), 0);
+    }
+
+    /// Pins `distinct`'s multiplicity against an independent baseline: a
+    /// `BTreeSet` over materialized canonical bodies (`DataKey::value`),
+    /// which cannot share the fingerprint cache with the code under test.
+    #[test]
+    fn distinct_multiplicity_matches_btreeset_baseline() {
+        // a projection-shaped relation: 7 rows, 3 distinct bodies
+        let mut rel = RelationF::new("cities", &["rid"]);
+        for (rid, city) in [
+            (1, "Berlin"),
+            (2, "Paris"),
+            (3, "Berlin"),
+            (4, "Lyon"),
+            (5, "Paris"),
+            (6, "Berlin"),
+            (7, "Lyon"),
+        ] {
+            rel = rel
+                .insert(
+                    Value::Int(rid),
+                    TupleF::builder("c").attr("city", city).build(),
+                )
+                .expect("unique rids");
+        }
+        let baseline: BTreeSet<Value> = rel
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.fingerprint().unwrap().value().clone())
+            .collect();
+        let out = distinct(&rel).unwrap();
+        assert_eq!(out.len(), baseline.len(), "one survivor per distinct body");
+        let out_bodies: BTreeSet<Value> = out
+            .tuples()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.fingerprint().unwrap().value().clone())
+            .collect();
+        assert_eq!(out_bodies, baseline, "no body lost, none invented");
+        // the survivor is the first occurrence in key order
+        let keys: Vec<Value> = out.tuples().unwrap().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![Value::Int(1), Value::Int(2), Value::Int(4)]);
+        // idempotent, and a no-op on an already-duplicate-free relation
+        assert_eq!(distinct(&out).unwrap().len(), out.len());
+        let unique = customers_relation();
+        assert_eq!(distinct(&unique).unwrap().len(), unique.len());
     }
 
     #[test]

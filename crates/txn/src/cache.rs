@@ -1,0 +1,382 @@
+//! The hot-tuple cache: a bounded fingerprint-keyed front for point
+//! reads, invalidated by commit version.
+//!
+//! A Zipf-skewed serving workload reads a small set of head tuples over
+//! and over; each uncached read walks the persistent tree (O(log n) node
+//! hops and `Arc` bumps per lookup). The cache fronts that path with one
+//! hash probe: entries are keyed by the same FxHash fingerprint
+//! machinery as the PR 3 [`fdm_core::DataKey`] — the 64-bit
+//! [`fdm_core::Value::fx_hash`] of the `(relation, key)` pair, verified
+//! against the stored pair on hit so a collision can never serve the
+//! wrong tuple — and each fill warms the tuple's own `DataKey` cache, so
+//! downstream set operations and grouping on served tuples start O(1).
+//!
+//! # Invalidation contract (pinned by `tests/tests/cache_invalidation.rs`)
+//!
+//! **A cache entry is never served to a reader whose snapshot version it
+//! could be stale for.** Concretely, a hit requires the cache to have
+//! *processed the invalidations of every commit up to the reader's
+//! snapshot version*:
+//!
+//! * every committed version's write set is fed to [`HotTupleCache::invalidate`]
+//!   (the store does this inside `record_commit`), which evicts the
+//!   written keys and advances a **contiguous** watermark `applied` —
+//!   version `v` only advances the watermark once every version `<= v`
+//!   has been processed, because commits can record out of order;
+//! * a read at snapshot version `v` consults the cache only when
+//!   `applied >= v`; otherwise it is a (counted) miss and falls through
+//!   to the tree;
+//! * a fill observed at version `v` is dropped if any invalidation for a
+//!   version `> v` has already been processed (`max_processed > v`) —
+//!   the fill could resurrect a value that invalidation already evicted.
+//!
+//! Together these make staleness impossible: an entry present under
+//! `applied >= v` survived the invalidation of every commit `<= applied`,
+//! so it is the newest committed value for its key as of `applied` — at
+//! or after the reader's snapshot, never before it. (A cached point read
+//! therefore serves the *latest* committed value; strict historical
+//! reads use [`Store::as_of`](crate::Store::as_of), which never touches
+//! the cache.) A recovered store starts with an empty, cold cache reset
+//! to the recovered version — recovery replay proves nothing about what
+//! a pre-crash cache held.
+
+use crate::writeset::WriteSet;
+use fdm_core::{FxHashMap, Name, TupleF, Value};
+use fdm_storage::Version;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Observability counters for the cache (cumulative since the last
+/// [`HotTupleCache::reset`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads answered from the cache.
+    pub hits: u64,
+    /// Reads that fell through because the key was absent.
+    pub misses: u64,
+    /// Reads that fell through because the invalidation watermark had
+    /// not yet covered the reader's snapshot version.
+    pub stale_misses: u64,
+    /// Entries inserted.
+    pub fills: u64,
+    /// Fills dropped because a newer version's invalidation had already
+    /// been processed.
+    pub rejected_fills: u64,
+    /// Entries evicted by capacity.
+    pub evictions: u64,
+    /// Entries evicted by commit invalidation.
+    pub invalidations: u64,
+}
+
+struct CacheEntry {
+    rel: Name,
+    key: Value,
+    tuple: Arc<TupleF>,
+}
+
+struct Inner {
+    /// fingerprint → entry; the fingerprint is `fx_hash(rel) ^ fx_hash(key)`
+    /// rotated, verified against the stored `(rel, key)` on every hit.
+    map: FxHashMap<u64, CacheEntry>,
+    /// Insertion-order queue for FIFO eviction (may hold stale
+    /// fingerprints of already-invalidated entries; they are skipped).
+    queue: VecDeque<u64>,
+    /// Contiguous invalidation watermark: every version `<= applied` has
+    /// had its write set processed.
+    applied: Version,
+    /// Highest version whose invalidation has been processed (may be
+    /// ahead of `applied` when commits record out of order).
+    max_processed: Version,
+    /// Processed versions above `applied`, awaiting the gap to fill.
+    pending: BTreeSet<Version>,
+    stats: CacheStats,
+}
+
+/// The cache itself; one per [`Store`](crate::Store), shared by all
+/// readers. See the module docs for the invalidation contract.
+pub struct HotTupleCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// The `(relation, key)` fingerprint: an FxHash-style fold over the
+/// relation-name bytes (no `Value` allocation on the hot read path)
+/// mixed with the key's [`Value::fx_hash`], so `("a", 1)` and `("b", 1)`
+/// land apart.
+fn fingerprint(rel: &str, key: &Value) -> u64 {
+    let mut h: u64 = 0;
+    for &b in rel.as_bytes() {
+        h = (h.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+    fdm_core::splitmix64(h).wrapping_add(key.fx_hash())
+}
+
+impl HotTupleCache {
+    /// An empty cache holding at most `capacity` entries, with the
+    /// invalidation watermark at `version` (the store's version at
+    /// construction — 0 for a fresh store, the recovered version after
+    /// [`Store::open`](crate::Store::open)).
+    pub fn new(capacity: usize, version: Version) -> HotTupleCache {
+        HotTupleCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                queue: VecDeque::new(),
+                applied: version,
+                max_processed: version,
+                pending: BTreeSet::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Maximum entries retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `(rel, key)` for a reader at snapshot `version`. `None`
+    /// is a miss (absent, or the watermark has not covered `version`).
+    pub fn get(&self, rel: &str, key: &Value, version: Version) -> Option<Arc<TupleF>> {
+        let mut inner = self.inner.lock();
+        if inner.applied < version {
+            inner.stats.stale_misses += 1;
+            return None;
+        }
+        let fp = fingerprint(rel, key);
+        match inner.map.get(&fp) {
+            Some(e) if e.rel.as_ref() == rel && e.key == *key => {
+                let t = Arc::clone(&e.tuple);
+                inner.stats.hits += 1;
+                Some(t)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offers a tuple read from a snapshot at `version` for caching.
+    /// Dropped when an invalidation for a newer version already ran (the
+    /// fill could be stale). Warms the tuple's `DataKey` fingerprint.
+    pub fn fill(&self, rel: &str, key: &Value, tuple: &Arc<TupleF>, version: Version) {
+        // warming outside the lock: first fingerprint() call pays the
+        // canonical-key materialization, every later consumer is O(1)
+        let _ = tuple.fingerprint();
+        let mut inner = self.inner.lock();
+        if inner.max_processed > version {
+            inner.stats.rejected_fills += 1;
+            return;
+        }
+        let fp = fingerprint(rel, key);
+        let fresh = !inner.map.contains_key(&fp);
+        if fresh && inner.map.len() >= self.capacity {
+            // skip queue residue of entries already invalidated
+            while let Some(old) = inner.queue.pop_front() {
+                if inner.map.remove(&old).is_some() {
+                    inner.stats.evictions += 1;
+                    break;
+                }
+            }
+        }
+        inner.map.insert(
+            fp,
+            CacheEntry {
+                rel: Name::from(rel),
+                key: key.clone(),
+                tuple: Arc::clone(tuple),
+            },
+        );
+        if fresh {
+            inner.queue.push_back(fp);
+        }
+        inner.stats.fills += 1;
+    }
+
+    /// Processes one committed version's write set: evicts every written
+    /// key (a whole-entry replacement evicts everything cached under
+    /// that relation) and advances the contiguous watermark.
+    pub fn invalidate(&self, version: Version, writes: &WriteSet) {
+        let mut inner = self.inner.lock();
+        for (rel, key) in writes.iter_keys() {
+            let fp = fingerprint(rel.as_ref(), key);
+            if inner.map.remove(&fp).is_some() {
+                inner.stats.invalidations += 1;
+            }
+        }
+        let replaced: Vec<&Name> = writes.iter_entries().collect();
+        if !replaced.is_empty() {
+            let before = inner.map.len();
+            inner
+                .map
+                .retain(|_, e| !replaced.iter().any(|r| **r == e.rel));
+            inner.stats.invalidations += (before - inner.map.len()) as u64;
+        }
+        inner.max_processed = inner.max_processed.max(version);
+        if version > inner.applied {
+            inner.pending.insert(version);
+            loop {
+                let next = inner.applied + 1;
+                if !inner.pending.remove(&next) {
+                    break;
+                }
+                inner.applied = next;
+            }
+        }
+    }
+
+    /// Empties the cache and moves the watermark to `version` — what a
+    /// just-recovered store does: nothing cached before the crash can be
+    /// trusted, and reads resume cold.
+    pub fn reset(&self, version: Version) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.queue.clear();
+        inner.pending.clear();
+        inner.applied = version;
+        inner.max_processed = version;
+        inner.stats = CacheStats::default();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The contiguous invalidation watermark (highest version `v` such
+    /// that every commit `<= v` has been processed).
+    pub fn applied_version(&self) -> Version {
+        self.inner.lock().applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Arc<TupleF> {
+        Arc::new(TupleF::builder("t").attr("x", x).build())
+    }
+
+    fn writes(rel: &str, key: i64) -> WriteSet {
+        let mut w = WriteSet::default();
+        w.touch_key(&Name::from(rel), &Value::Int(key));
+        w
+    }
+
+    #[test]
+    fn hit_after_fill_at_same_version() {
+        let c = HotTupleCache::new(8, 0);
+        assert!(c.get("r", &Value::Int(1), 0).is_none());
+        c.fill("r", &Value::Int(1), &t(10), 0);
+        let got = c.get("r", &Value::Int(1), 0).unwrap();
+        assert_eq!(got.get("x").unwrap(), Value::Int(10));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn reader_ahead_of_watermark_misses() {
+        let c = HotTupleCache::new(8, 0);
+        c.fill("r", &Value::Int(1), &t(10), 0);
+        // a commit installed v1 but its invalidation has not run yet
+        assert!(c.get("r", &Value::Int(1), 1).is_none(), "stale-guard miss");
+        assert_eq!(c.stats().stale_misses, 1);
+        c.invalidate(1, &WriteSet::default());
+        assert!(c.get("r", &Value::Int(1), 1).is_some());
+    }
+
+    #[test]
+    fn invalidate_evicts_written_keys() {
+        let c = HotTupleCache::new(8, 0);
+        c.fill("r", &Value::Int(1), &t(10), 0);
+        c.fill("r", &Value::Int(2), &t(20), 0);
+        c.invalidate(1, &writes("r", 1));
+        assert!(c.get("r", &Value::Int(1), 1).is_none(), "written key gone");
+        assert!(
+            c.get("r", &Value::Int(2), 1).is_some(),
+            "other key survives"
+        );
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn entry_replacement_sweeps_the_relation() {
+        let c = HotTupleCache::new(8, 0);
+        c.fill("r", &Value::Int(1), &t(10), 0);
+        c.fill("s", &Value::Int(1), &t(11), 0);
+        let mut w = WriteSet::default();
+        w.touch_entry(&Name::from("r"));
+        c.invalidate(1, &w);
+        assert!(c.get("r", &Value::Int(1), 1).is_none());
+        assert!(c.get("s", &Value::Int(1), 1).is_some());
+    }
+
+    #[test]
+    fn out_of_order_invalidation_advances_contiguously() {
+        let c = HotTupleCache::new(8, 0);
+        c.invalidate(2, &WriteSet::default());
+        assert_eq!(c.applied_version(), 0, "v1 missing: watermark held");
+        c.invalidate(1, &WriteSet::default());
+        assert_eq!(c.applied_version(), 2, "gap filled: both applied");
+    }
+
+    #[test]
+    fn late_fill_after_newer_invalidation_is_dropped() {
+        let c = HotTupleCache::new(8, 0);
+        // commit v1 writes the key and its invalidation runs first
+        c.invalidate(1, &writes("r", 1));
+        // a reader that loaded the v0 snapshot now offers the old value
+        c.fill("r", &Value::Int(1), &t(10), 0);
+        assert_eq!(c.stats().rejected_fills, 1);
+        assert!(
+            c.get("r", &Value::Int(1), 1).is_none(),
+            "stale fill must not resurrect the evicted value"
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let c = HotTupleCache::new(2, 0);
+        c.fill("r", &Value::Int(1), &t(1), 0);
+        c.fill("r", &Value::Int(2), &t(2), 0);
+        c.fill("r", &Value::Int(3), &t(3), 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.get("r", &Value::Int(1), 0).is_none(), "oldest evicted");
+        assert!(c.get("r", &Value::Int(3), 0).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reset_goes_cold_at_version() {
+        let c = HotTupleCache::new(8, 0);
+        c.fill("r", &Value::Int(1), &t(1), 0);
+        c.reset(7);
+        assert!(c.is_empty());
+        assert_eq!(c.applied_version(), 7);
+        assert!(c.get("r", &Value::Int(1), 7).is_none());
+    }
+
+    #[test]
+    fn fill_warms_the_data_key() {
+        let c = HotTupleCache::new(8, 0);
+        let tuple = t(42);
+        c.fill("r", &Value::Int(1), &tuple, 0);
+        let served = c.get("r", &Value::Int(1), 0).unwrap();
+        // the served Arc shares the warmed fingerprint cache
+        assert!(served.fingerprint().is_ok());
+        assert!(Arc::ptr_eq(&served, &tuple));
+    }
+}

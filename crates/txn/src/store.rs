@@ -133,6 +133,10 @@ pub struct StoreConfig {
     /// are fallible; the infallible constructors reject a config that
     /// sets this.
     pub durability: Option<DurabilityConfig>,
+    /// Capacity of the hot-tuple cache fronting [`Store::read_point`]
+    /// (see [`crate::cache`] for the invalidation contract). `None` (the
+    /// default) disables caching: point reads always walk the tree.
+    pub hot_cache: Option<usize>,
 }
 
 impl Default for StoreConfig {
@@ -142,6 +146,7 @@ impl Default for StoreConfig {
             history_capacity: 1024,
             log_cap: 4096,
             durability: None,
+            hot_cache: None,
         }
     }
 }
@@ -241,6 +246,10 @@ pub struct Store {
     pub(crate) durable: Option<Durable>,
     /// Maintained views subscribed to commits (see [`Store::register_view`]).
     pub(crate) views: ViewCatalog,
+    /// Hot-tuple cache fronting point reads, when configured
+    /// (`StoreConfig::hot_cache`); invalidated inside
+    /// [`Store::record_commit`] before anything else.
+    pub(crate) cache: Option<crate::cache::HotTupleCache>,
     /// Injected faults, if a plan is installed (test/fault-injection
     /// builds only).
     #[cfg(any(test, feature = "fault-injection"))]
@@ -295,6 +304,11 @@ impl Store {
             history,
             durable,
             views: ViewCatalog::default(),
+            // a recovered store starts cold at the recovered version:
+            // nothing cached before the crash can be trusted
+            cache: config
+                .hot_cache
+                .map(|cap| crate::cache::HotTupleCache::new(cap, version)),
             #[cfg(any(test, feature = "fault-injection"))]
             faults: Mutex::new(None),
         })
@@ -614,6 +628,51 @@ impl Store {
         self.log.lock().len()
     }
 
+    /// Point read of one tuple at the current version, served through
+    /// the hot-tuple cache when one is configured
+    /// (`StoreConfig::hot_cache`). The cache can only serve a value at
+    /// or after the reader's snapshot version, never before it (the
+    /// [`crate::cache`] invalidation contract); without a cache this is
+    /// a plain snapshot lookup.
+    pub fn read_point(&self, rel: &str, key: &Value) -> Result<Option<Arc<TupleF>>> {
+        self.read_point_versioned(rel, key).map(|(_, t)| t)
+    }
+
+    /// [`Store::read_point`], also reporting the snapshot version the
+    /// read was served at — the version the invalidation contract is
+    /// stated against, which the pin tests assert with.
+    pub fn read_point_versioned(
+        &self,
+        rel: &str,
+        key: &Value,
+    ) -> Result<(Version, Option<Arc<TupleF>>)> {
+        if let Some(cache) = &self.cache {
+            // Hit fast path: the version number alone suffices — no
+            // snapshot clone. A hit at version `v` requires the cache to
+            // have processed every invalidation `<= v`, so the entry is
+            // the newest committed value *at or after* `v` (a commit can
+            // land between the version read and the probe; serving its
+            // newer value is within the contract, never older).
+            let version = self.root.version();
+            if let Some(t) = cache.get(rel, key, version) {
+                return Ok((version, Some(t)));
+            }
+            let current = self.root.load();
+            let found = current.value.relation(rel)?.lookup(key);
+            if let Some(t) = &found {
+                cache.fill(rel, key, t, current.version);
+            }
+            return Ok((current.version, found));
+        }
+        let current = self.root.load();
+        Ok((current.version, current.value.relation(rel)?.lookup(key)))
+    }
+
+    /// The hot-tuple cache's counters, when one is configured.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
     /// Records a successful commit: the write set into the validation log
     /// (version-sorted — concurrent winners may arrive out of order), the
     /// new root into the time-travel history, and — on a durable store
@@ -642,6 +701,13 @@ impl Store {
         wal_payload: Option<&[u8]>,
         db: DatabaseF,
     ) -> Result<()> {
+        // Cache invalidation first: evict the written keys and advance
+        // the watermark before this commit's version becomes servable
+        // (readers at this version miss until the watermark covers it —
+        // see `crate::cache` for why that ordering is the safe one).
+        if let Some(cache) = &self.cache {
+            cache.invalidate(version, &writes);
+        }
         {
             let mut log = self.log.lock();
             let at = log

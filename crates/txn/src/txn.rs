@@ -336,6 +336,13 @@ impl Transaction {
     fn replay_onto(&self, base: &DatabaseF) -> Result<DatabaseF> {
         crate::writeset::apply_ops(base, &self.ops)
     }
+
+    /// Decomposes the transaction into its commit ingredients — the
+    /// batch committer's entry point ([`crate::batch`]); the transaction
+    /// is consumed, exactly like `commit`.
+    pub(crate) fn into_parts(self) -> (Version, WriteSet, Vec<Op>) {
+        (self.base_version, self.writes, self.ops)
+    }
 }
 
 #[cfg(test)]

@@ -9,11 +9,17 @@
 
 pub mod driver;
 pub mod retail;
+pub mod serve;
 pub mod zipf;
 
 pub use driver::{
-    apply_writer_op, durable_retail_store, retail_store, run_restart_cycles, run_writers,
-    writer_ops, CommitRecord, MixedConfig, RestartReport, WriterOp,
+    apply_writer_op, durable_retail_store, retail_db, retail_store, retail_store_with,
+    run_restart_cycles, run_writers, writer_ops, CommitRecord, MixedConfig, RestartReport,
+    WriterOp,
 };
 pub use retail::{generate, to_fdm, to_relational, RetailConfig, RetailData, RetailRelational};
+pub use serve::{
+    commit_serve_write, commit_serve_writes_batched, serve_ops, total_credit, writes_of,
+    ServeConfig, ServeOp,
+};
 pub use zipf::Zipf;

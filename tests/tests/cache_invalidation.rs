@@ -1,0 +1,224 @@
+//! Pin tests for the hot-tuple cache's invalidation contract: **a cache
+//! entry can never serve a value older than the reader's snapshot
+//! version** (`crates/txn/src/cache.rs`). Each test pins one clause of
+//! the contract from the outside, through `Store::read_point_versioned`:
+//!
+//! * **read-your-writes** — a committer immediately re-reading its key
+//!   must see its own write, no matter how hot the cache was before the
+//!   commit;
+//! * **concurrent writer** — under a racing writer that only ever grows
+//!   a counter, every cached read must be at least as new as the
+//!   reported snapshot version says (newer is allowed — a commit can
+//!   land between the version read and the probe — older never);
+//! * **post-recovery cold cache** — a recovered store must resume with
+//!   an empty cache at the recovered version: nothing cached before the
+//!   crash can be trusted, and the first read is a (counted) miss that
+//!   serves the recovered tree's value.
+
+use fdm_core::Value;
+use fdm_txn::{DurabilityConfig, Store, StoreConfig, SyncPolicy};
+use fdm_workload::{commit_serve_write, retail_store_with, RetailConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn retail() -> RetailConfig {
+    RetailConfig {
+        customers: 100,
+        ..RetailConfig::small()
+    }
+}
+
+fn serving_config() -> StoreConfig {
+    StoreConfig {
+        hot_cache: Some(64),
+        ..StoreConfig::default()
+    }
+}
+
+fn credit_of(t: &fdm_core::TupleF) -> i64 {
+    t.get("credit")
+        .and_then(|v| v.as_int("credit"))
+        .expect("credit is an int")
+}
+
+/// Scratch directory for the recovery test, honoring the CI artifact
+/// convention (`FDM_DURABILITY_SCRATCH`): removed only on success, so a
+/// failure leaves the exact files behind.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let base = std::env::var("FDM_DURABILITY_SCRATCH")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir());
+    let dir = base.join(format!(
+        "fdm-cache-invalidation-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn read_your_writes_through_a_hot_cache() {
+    let store = retail_store_with(&retail(), serving_config());
+    let key = Value::Int(7);
+    // make the entry as hot as possible: cached, re-read, version pinned
+    let before = store
+        .read_point("customers", &key)
+        .expect("customers relation exists")
+        .expect("dense cids");
+    let before_credit = credit_of(&before);
+    for _ in 0..3 {
+        store
+            .read_point("customers", &key)
+            .expect("relation exists");
+    }
+    for round in 1..=10 {
+        commit_serve_write(&store, 7, 5);
+        let (version, after) = store
+            .read_point_versioned("customers", &key)
+            .expect("customers relation exists");
+        let after = after.expect("dense cids");
+        assert_eq!(
+            credit_of(&after),
+            before_credit + 5 * round,
+            "round {round}: the committer must read its own write back"
+        );
+        assert_eq!(version, store.version(), "quiescent store: read at head");
+    }
+    let stats = store.cache_stats().expect("hot cache is on");
+    assert!(
+        stats.invalidations > 0,
+        "commits must evict the written key"
+    );
+}
+
+/// One writer thread monotonically grows customer 1's credit while
+/// reader threads hammer the same key through the cache. For every read,
+/// the value must be **at least** as new as the reported version's
+/// ground truth in the time-travel history — the cache may serve newer
+/// (a commit can land between the version read and the cache probe),
+/// never older.
+#[test]
+fn concurrent_writer_never_yields_a_stale_read() {
+    let store = retail_store_with(&retail(), serving_config());
+    let key = Value::Int(1);
+    let base = credit_of(
+        &store
+            .read_point("customers", &key)
+            .expect("relation exists")
+            .expect("dense cids"),
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer_store = Arc::clone(&store);
+        let writer_stop = &stop;
+        s.spawn(move || {
+            for _ in 0..300 {
+                commit_serve_write(&writer_store, 1, 1);
+            }
+            writer_stop.store(true, Ordering::Release);
+        });
+        for _ in 0..2 {
+            let reader_store = Arc::clone(&store);
+            let reader_stop = &stop;
+            let key = key.clone();
+            s.spawn(move || {
+                let mut last = base;
+                while !reader_stop.load(Ordering::Acquire) {
+                    let (version, t) = reader_store
+                        .read_point_versioned("customers", &key)
+                        .expect("relation exists");
+                    let got = credit_of(&t.expect("dense cids"));
+                    let floor = credit_of(
+                        &reader_store
+                            .as_of(version)
+                            .expect("within retention")
+                            .relation("customers")
+                            .expect("relation exists")
+                            .lookup(&key)
+                            .expect("dense cids"),
+                    );
+                    assert!(
+                        got >= floor,
+                        "cached read ({got}) older than its reported version v{version} ({floor})"
+                    );
+                    assert!(got >= last, "reads went backwards: {got} after {last}");
+                    last = got;
+                }
+            });
+        }
+    });
+    assert_eq!(
+        credit_of(
+            &store
+                .read_point("customers", &key)
+                .expect("relation exists")
+                .expect("dense cids")
+        ),
+        base + 300,
+        "no lost updates under the racing readers"
+    );
+}
+
+#[test]
+fn recovery_resumes_with_a_cold_cache_at_the_recovered_version() {
+    let dir = scratch("recovery");
+    let dcfg = || {
+        DurabilityConfig::new(&dir)
+            .with_sync(SyncPolicy::Always)
+            .with_checkpoint_every(None)
+    };
+    let key = Value::Int(3);
+    let committed = {
+        let store = Store::create(
+            fdm_workload::retail_db(&retail()),
+            StoreConfig {
+                durability: Some(dcfg()),
+                ..serving_config()
+            },
+        )
+        .expect("fresh scratch dir");
+        for _ in 0..5 {
+            commit_serve_write(&store, 3, 9);
+        }
+        // warm the cache so the pre-crash process had a hot entry
+        let warmed = store
+            .read_point("customers", &key)
+            .expect("relation exists")
+            .expect("dense cids");
+        assert!(store.cache_stats().expect("cache on").fills > 0);
+        (store.version(), credit_of(&warmed))
+    };
+
+    let recovered = Store::open_with(StoreConfig {
+        durability: Some(dcfg()),
+        ..serving_config()
+    })
+    .expect("clean shutdown recovers");
+    assert_eq!(recovered.version(), committed.0, "recovery replays the WAL");
+    let stats = recovered
+        .cache_stats()
+        .expect("recovered store keeps its cache config");
+    assert_eq!(stats.hits + stats.misses, 0, "recovered cache starts empty");
+    let (version, t) = recovered
+        .read_point_versioned("customers", &key)
+        .expect("relation exists");
+    assert_eq!(version, committed.0);
+    assert_eq!(
+        credit_of(&t.expect("dense cids")),
+        committed.1,
+        "first post-recovery read serves the recovered tree's value"
+    );
+    let stats = recovered.cache_stats().expect("cache on");
+    assert_eq!(stats.misses, 1, "the cold read is a counted miss");
+    assert_eq!(stats.fills, 1, "and refills the cache");
+    assert!(
+        recovered
+            .read_point("customers", &key)
+            .expect("relation exists")
+            .is_some(),
+        "second read is served again"
+    );
+    assert_eq!(recovered.cache_stats().expect("cache on").hits, 1);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}

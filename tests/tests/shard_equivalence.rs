@@ -1,0 +1,239 @@
+//! Property-based differential oracle for key-range sharding
+//! (`fdm_core::shard`): random shard-boundary layouts crossed with random
+//! mutation streams, checked against the unsharded relation after every
+//! step. Boundary keys get no benefit of the doubt — every generated
+//! layout is probed *exactly at* each boundary (and one off on both
+//! sides), because the routing contract ("a key equal to a boundary opens
+//! the shard to its right") is precisely where an off-by-one would hide.
+//!
+//! Three properties:
+//!
+//! * **mutation streams** — replaying the same upsert/delete stream
+//!   through a `ShardedRelation` and a plain `RelationF` keeps them
+//!   canonically identical at every step, whatever the layout;
+//! * **reads** — point lookups and range scans (bounded, half-open, and
+//!   pinned to boundaries) agree key-for-key and tuple-for-tuple;
+//! * **joins** — FQL joins and per-shard semijoins over the sharded data
+//!   answer exactly like the unsharded relation.
+
+use fdm_core::{RelationF, ShardMap, ShardedRelation, TupleF, Value};
+use fdm_fql::{join_on, semijoin, JoinOn};
+use fdm_tests::canonical_rows;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Keys live in `0..KEY_SPACE`; boundaries are drawn from the same space
+/// so layouts routinely land exactly on stored keys.
+const KEY_SPACE: i64 = 240;
+
+fn tuple(key: i64, val: i64) -> TupleF {
+    TupleF::builder("t")
+        .attr("group", key % 7)
+        .attr("val", val)
+        .build()
+}
+
+fn base_relation(keys: &BTreeSet<i64>) -> RelationF {
+    RelationF::from_sorted(
+        "r",
+        &["k"],
+        keys.iter()
+            .map(|&k| (Value::Int(k), Arc::new(tuple(k, k * 3))))
+            .collect(),
+    )
+}
+
+fn shard_map(raw: &BTreeSet<i64>) -> ShardMap {
+    ShardMap::new(raw.iter().map(|&b| Value::Int(b)).collect())
+        .expect("BTreeSet boundaries are strictly ascending")
+}
+
+/// Canonical equality of a sharded relation against its unsharded model,
+/// via the merge bridge (`to_relation`) — same rows, same order.
+fn assert_same(sharded: &ShardedRelation, model: &RelationF, context: &str) {
+    assert_eq!(sharded.len(), model.len(), "{context}: length diverged");
+    assert_eq!(
+        canonical_rows(&sharded.to_relation()),
+        canonical_rows(model),
+        "{context}: canonical rows diverged"
+    );
+}
+
+/// Every probe point a layout makes interesting: each boundary exactly,
+/// one key either side of it, plus the key-space edges.
+fn probe_keys(map: &ShardMap) -> Vec<i64> {
+    let mut probes = vec![-1, 0, KEY_SPACE - 1, KEY_SPACE];
+    for b in map.boundaries() {
+        let b = b.as_int("k").expect("int boundaries");
+        probes.extend([b - 1, b, b + 1]);
+    }
+    probes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random layout × random mutation stream: the sharded relation and
+    /// the flat model stay canonically identical after **every** step,
+    /// and absent-key deletes fail identically on both sides.
+    #[test]
+    fn mutation_streams_preserve_equivalence(
+        keys in prop::collection::btree_set(0i64..KEY_SPACE, 10..60),
+        raw_bounds in prop::collection::btree_set(0i64..KEY_SPACE, 0..8),
+        ops in prop::collection::vec((0u8..2, 0i64..KEY_SPACE, 0i64..1_000), 0..40),
+    ) {
+        let mut model = base_relation(&keys);
+        let map = shard_map(&raw_bounds);
+        let mut sharded = ShardedRelation::from_relation(&model, map.clone()).unwrap();
+        assert_same(&sharded, &model, "initial split");
+
+        // the generated stream, then a forced pass across every boundary
+        // key (upsert onto the boundary, then delete it again) so each
+        // layout's routing edge is mutated, not just read
+        let mut stream: Vec<(u8, i64, i64)> = ops;
+        for b in map.boundaries() {
+            let b = b.as_int("k").unwrap();
+            stream.push((0, b, b * 11));
+            stream.push((1, b, 0));
+        }
+
+        for (step, (op, key, val)) in stream.into_iter().enumerate() {
+            let k = Value::Int(key);
+            match op {
+                0 => {
+                    sharded = sharded.upsert(k.clone(), tuple(key, val)).unwrap();
+                    model = model.upsert(k, tuple(key, val)).unwrap();
+                }
+                _ => {
+                    let a = sharded.delete(&k);
+                    let b = model.delete(&k);
+                    prop_assert_eq!(
+                        a.is_ok(), b.is_ok(),
+                        "step {}: delete({}) outcome diverged", step, key
+                    );
+                    if let (Ok(s), Ok(m)) = (a, b) {
+                        sharded = s;
+                        model = m;
+                    }
+                }
+            }
+            assert_same(&sharded, &model, &format!("after step {step}"));
+        }
+    }
+
+    /// Point reads and range scans agree with the flat model — including
+    /// probes pinned exactly to every shard boundary and scans whose
+    /// bounds *are* boundary keys (empty, single-key, and straddling).
+    #[test]
+    fn reads_agree_at_and_around_boundaries(
+        keys in prop::collection::btree_set(0i64..KEY_SPACE, 10..80),
+        raw_bounds in prop::collection::btree_set(0i64..KEY_SPACE, 0..8),
+        scans in prop::collection::vec((0i64..KEY_SPACE, 0i64..40), 0..12),
+    ) {
+        let model = base_relation(&keys);
+        let map = shard_map(&raw_bounds);
+        let sharded = ShardedRelation::from_relation(&model, map.clone()).unwrap();
+
+        for key in probe_keys(&map) {
+            let k = Value::Int(key);
+            match (sharded.lookup(&k), model.lookup(&k)) {
+                (Some(a), Some(b)) => prop_assert!(
+                    Arc::ptr_eq(&a, &b),
+                    "lookup({}) returned a different tuple", key
+                ),
+                (None, None) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "lookup({}): sharded {:?} vs model {:?}", key, a.is_some(), b.is_some()
+                ),
+            }
+            prop_assert_eq!(sharded.contains_key(&k), model.contains_key(&k));
+        }
+
+        // generated scans, plus scans whose bounds sit exactly on each
+        // boundary: [b, b], [b-1, b], [b, b+7], and the half-open sides
+        let mut ranges: Vec<(Option<i64>, Option<i64>)> = scans
+            .into_iter()
+            .map(|(lo, len)| (Some(lo), Some(lo + len)))
+            .collect();
+        ranges.push((None, None));
+        for b in map.boundaries() {
+            let b = b.as_int("k").unwrap();
+            ranges.extend([
+                (Some(b), Some(b)),
+                (Some(b - 1), Some(b)),
+                (Some(b), Some(b + 7)),
+                (None, Some(b)),
+                (Some(b), None),
+            ]);
+        }
+        for (lo, hi) in ranges {
+            let lo = lo.map(Value::Int);
+            let hi = hi.map(Value::Int);
+            let got = sharded.range(lo.as_ref(), hi.as_ref());
+            let want = model.range(lo.as_ref(), hi.as_ref());
+            prop_assert_eq!(
+                got.len(), want.len(),
+                "range {:?}..={:?} cardinality diverged", lo, hi
+            );
+            for ((gk, gt), (wk, wt)) in got.iter().zip(want.iter()) {
+                prop_assert_eq!(gk, wk, "range {:?}..={:?} key order", &lo, &hi);
+                prop_assert!(Arc::ptr_eq(gt, wt), "range tuple for key {:?}", gk);
+            }
+        }
+    }
+
+    /// Joins see no difference: an FQL `join_on` against a dimension
+    /// relation answers identically over the merged sharded data, and a
+    /// per-shard semijoin (`map_shards`) equals the flat semijoin.
+    #[test]
+    fn joins_over_sharded_equal_unsharded(
+        keys in prop::collection::btree_set(0i64..KEY_SPACE, 10..60),
+        raw_bounds in prop::collection::btree_set(0i64..KEY_SPACE, 1..8),
+        picked in prop::collection::btree_set(0i64..7, 1..5),
+    ) {
+        let model = base_relation(&keys);
+        let map = shard_map(&raw_bounds);
+        let sharded = ShardedRelation::from_relation(&model, map).unwrap();
+
+        // dimension table keyed by the fact relation's `group` attribute
+        let dim = RelationF::from_sorted(
+            "groups",
+            &["gid"],
+            (0..7)
+                .map(|g| {
+                    (
+                        Value::Int(g),
+                        Arc::new(TupleF::builder("g").attr("label", format!("g{g}")).build()),
+                    )
+                })
+                .collect(),
+        );
+        let db_of = |facts: RelationF| {
+            fdm_core::DatabaseF::new("db")
+                .with_relation(facts)
+                .with_relation(dim.clone())
+        };
+        let on = [JoinOn::new("r", "group", "groups", "gid")];
+        let flat = join_on(&db_of(model.clone()), &on).unwrap();
+        let merged = join_on(&db_of(sharded.to_relation()), &on).unwrap();
+        prop_assert_eq!(
+            canonical_rows(&flat),
+            canonical_rows(&merged),
+            "join_on diverged over the shard merge bridge"
+        );
+
+        // semijoin pushed inside each shard vs run flat
+        let group_keys: BTreeSet<Value> = picked.into_iter().map(Value::Int).collect();
+        let per_shard = sharded
+            .map_shards(|shard| semijoin(shard, "group", &group_keys))
+            .unwrap();
+        let flat_semi = semijoin(&model, "group", &group_keys).unwrap();
+        prop_assert_eq!(
+            canonical_rows(&per_shard.to_relation()),
+            canonical_rows(&flat_semi),
+            "per-shard semijoin diverged from the flat semijoin"
+        );
+    }
+}
